@@ -1,0 +1,213 @@
+package embsp
+
+import (
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/alg/cgmsort"
+)
+
+// Table 1 workload constructors, re-exported so applications can run
+// the paper's algorithm suite through any engine. Each returned
+// program type carries an Output method that assembles the result
+// from a Result's VPs.
+
+// Geometry input types.
+type (
+	// Point is a point in the plane.
+	Point = cgmgeom.Point
+	// Point3 is a point in space.
+	Point3 = cgmgeom.Point3
+	// Rect is an axis-parallel rectangle.
+	Rect = cgmgeom.Rect
+	// Segment is a line segment with X1 < X2.
+	Segment = cgmgeom.Segment
+	// HSegment is a horizontal segment for next-element search.
+	HSegment = cgmgeom.HSegment
+	// EnvelopePiece is one piece of a lower envelope.
+	EnvelopePiece = cgmgeom.EnvelopePiece
+	// TreeInfo is the per-vertex output of an Euler tour.
+	TreeInfo = cgmgraph.TreeInfo
+)
+
+// Program types (each implements Program and has Output/observables).
+type (
+	SortProgram         = cgmsort.SortProgram
+	PermuteProgram      = cgmsort.PermuteProgram
+	Maxima3DProgram     = cgmgeom.Maxima3D
+	Dominance2DProgram  = cgmgeom.Dominance2D
+	RectUnionProgram    = cgmgeom.RectUnion
+	Hull2DProgram       = cgmgeom.Hull2D
+	EnvelopeProgram     = cgmgeom.Envelope
+	NextElementProgram  = cgmgeom.NextElement
+	NN2DProgram         = cgmgeom.NN2D
+	SeparabilityProgram = cgmgeom.Separability
+	GenEnvelopeProgram  = cgmgeom.GenEnvelope
+	SegTreeProgram      = cgmgeom.SegTree
+	ListRankProgram     = cgmgraph.ListRank
+	EulerTourProgram    = cgmgraph.EulerTour
+	CCProgram           = cgmgraph.CC
+	LCAProgram          = cgmgraph.LCA
+	ExprTreeProgram     = cgmgraph.ExprTree
+	TourAggProgram      = cgmgraph.TourAgg
+)
+
+// Expression node kinds for NewExprTree.
+const (
+	OpLeaf = cgmgraph.OpLeaf
+	OpAdd  = cgmgraph.OpAdd
+	OpMul  = cgmgraph.OpMul
+)
+
+// NewSort returns a distributed sample sort of flat w-word records
+// over v virtual processors (Group A, "Sorting").
+func NewSort(data []uint64, w, v int) (*SortProgram, error) {
+	return cgmsort.NewSort(data, w, v)
+}
+
+// NewPermute routes vals[i] to position targets[i] (Group A,
+// "Permutation").
+func NewPermute(vals []uint64, targets []int, v int) (*PermuteProgram, error) {
+	return cgmsort.NewPermute(vals, targets, v)
+}
+
+// NewTranspose transposes an r×c row-major matrix (Group A, "Matrix
+// transpose").
+func NewTranspose(matrix []uint64, r, c, v int) (*PermuteProgram, error) {
+	return cgmsort.NewTranspose(matrix, r, c, v)
+}
+
+// NewMaxima3D computes 3D maxima (Group B, "3D-maxima").
+func NewMaxima3D(pts []Point3, v int) (*Maxima3DProgram, error) {
+	return cgmgeom.NewMaxima3D(pts, v)
+}
+
+// NewDominance2D computes weighted dominance counts (Group B,
+// "2D-weighted dominance counting").
+func NewDominance2D(pts []Point, weights []uint64, v int) (*Dominance2DProgram, error) {
+	return cgmgeom.NewDominance2D(pts, weights, v)
+}
+
+// NewRectUnion computes the area of a union of rectangles (Group B).
+func NewRectUnion(rects []Rect, v int) (*RectUnionProgram, error) {
+	return cgmgeom.NewRectUnion(rects, v)
+}
+
+// NewHull2D computes a planar convex hull (Group B; stands in for the
+// 3D hull / Voronoi family — see DESIGN.md §5).
+func NewHull2D(pts []Point, v int) (*Hull2DProgram, error) {
+	return cgmgeom.NewHull2D(pts, v)
+}
+
+// NewEnvelope computes the lower envelope of non-intersecting
+// segments (Group B).
+func NewEnvelope(segs []Segment, v int) (*EnvelopeProgram, error) {
+	return cgmgeom.NewEnvelope(segs, v)
+}
+
+// NewNextElement answers batched vertical ray-shooting queries
+// (Group B, "Next element search").
+func NewNextElement(segs []HSegment, queries []Point, v int) (*NextElementProgram, error) {
+	return cgmgeom.NewNextElement(segs, queries, v)
+}
+
+// NewNN2D computes all nearest neighbors (Group B, "2D-nearest
+// neighbors").
+func NewNN2D(pts []Point, v int) (*NN2DProgram, error) {
+	return cgmgeom.NewNN2D(pts, v)
+}
+
+// NewSeparability decides linear separability of two point sets
+// (Group B, "Uni- and multi-directional separability").
+func NewSeparability(a, b []Point, v int) (*SeparabilityProgram, error) {
+	return cgmgeom.NewSeparability(a, b, v)
+}
+
+// NewGenEnvelope computes the lower envelope of possibly-intersecting
+// segments (Group B, "Generalized lower envelope of line segments").
+func NewGenEnvelope(segs []Segment, v int) (*GenEnvelopeProgram, error) {
+	return cgmgeom.NewGenEnvelope(segs, v)
+}
+
+// NewSegTree builds a segment tree over intervals in batched fashion
+// (Group B, "Segment tree construction"): non-empty nodes with
+// contiguous interval lists, ready for batched stabbing queries.
+func NewSegTree(intervals []Segment, v int) (*SegTreeProgram, error) {
+	return cgmgeom.NewSegTree(intervals, v)
+}
+
+// SegTreeNode is one node of a built segment tree.
+type SegTreeNode = cgmgeom.Node
+
+// NewListRank ranks linked lists (Group C, "List ranking"). succ[i] =
+// -1 marks a tail; weight nil means unit weights.
+func NewListRank(succ []int, weight []uint64, v int) (*ListRankProgram, error) {
+	return cgmgraph.NewListRank(succ, weight, v)
+}
+
+// NewEulerTour computes an Euler tour of a tree rooted at vertex 0
+// and its tree applications (Group C, "Euler tour").
+func NewEulerTour(n int, edges [][2]int, v int) (*EulerTourProgram, error) {
+	return cgmgraph.NewEulerTour(n, edges, v)
+}
+
+// NewCC computes connected components and a spanning forest (Group C).
+func NewCC(n int, edges [][2]int, v int) (*CCProgram, error) {
+	return cgmgraph.NewCC(n, edges, v)
+}
+
+// NewLCA answers batched lowest-common-ancestor queries on a tree
+// rooted at vertex 0 (Group C, "Lowest common ancestor").
+func NewLCA(n int, edges [][2]int, queries [][2]int, v int) (*LCAProgram, error) {
+	return cgmgraph.NewLCA(n, edges, queries, v)
+}
+
+// NewExprTree evaluates an arithmetic expression tree over ℤ/2⁶⁴ by
+// parallel tree contraction (Group C, "Tree contraction / Expression
+// tree evaluation"). parent[0] must be -1 (node 0 is the root).
+func NewExprTree(parent []int, kind []uint8, value []uint64, v int) (*ExprTreeProgram, error) {
+	return cgmgraph.NewExprTree(parent, kind, value, v)
+}
+
+// Runner executes a Program on an engine of the caller's choice; it
+// is how multi-phase drivers such as Biconnectivity stay
+// engine-agnostic.
+type Runner = cgmgraph.Runner
+
+// EMRunner returns a Runner executing programs on the given EM
+// machine.
+func EMRunner(cfg MachineConfig, opts Options) Runner {
+	return func(p Program) ([]VP, error) {
+		c := cfg
+		if c.M < 3*p.MaxContextWords() {
+			c.M = 3 * p.MaxContextWords()
+		}
+		res, err := Run(p, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.VPs, nil
+	}
+}
+
+// Biconnectivity computes biconnected-component labels for the edges
+// of a connected graph (Group C, "Biconnected components") with the
+// Tarjan–Vishkin reduction, composed from CC, EulerTour and TourAgg
+// runs executed through the supplied Runner.
+func Biconnectivity(n int, edges [][2]int, v int, run Runner) ([]int, error) {
+	return cgmgraph.Biconnectivity(n, edges, v, run)
+}
+
+// EarDecomposition computes an (open) ear decomposition of a
+// biconnected graph (Group C, "Ear and open ear decomposition"),
+// composed from CC, EulerTour, LCA and TourAgg runs executed through
+// the supplied Runner. The result is each edge's 0-based ear index.
+func EarDecomposition(n int, edges [][2]int, v int, run Runner) ([]int, error) {
+	return cgmgraph.EarDecomposition(n, edges, v, run)
+}
+
+// NewTourAgg computes per-vertex subtree minima and maxima of a value
+// array over a tree rooted at vertex 0 — the Euler-tour reduction
+// behind the biconnectivity and ear-decomposition drivers.
+func NewTourAgg(n int, edges [][2]int, vals []uint64, v int) (*TourAggProgram, error) {
+	return cgmgraph.NewTourAgg(n, edges, vals, v)
+}

@@ -1,0 +1,278 @@
+package embsp_test
+
+// End-to-end smoke coverage of every public constructor: each Table 1
+// workload is instantiated on a tiny input, run on the sequential EM
+// machine, and its output spot-checked. (Deeper correctness testing
+// lives next to each algorithm; this guards the exported surface.)
+
+import (
+	"testing"
+
+	"embsp"
+)
+
+func smallMachine(p embsp.Program) embsp.MachineConfig {
+	m := 4 * p.MaxContextWords()
+	if m < 4*64 {
+		m = 4 * 64 // at least D·B with headroom
+	}
+	return embsp.MachineConfig{
+		P: 1, M: m, D: 2, B: 64, G: 100,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+	}
+}
+
+func runSmall(t *testing.T, p embsp.Program) *embsp.Result {
+	t.Helper()
+	res, err := embsp.Run(p, smallMachine(p), embsp.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPublicConstructorsEndToEnd(t *testing.T) {
+	const v = 4
+
+	t.Run("Permute", func(t *testing.T) {
+		p, err := embsp.NewPermute([]uint64{10, 20, 30, 40}, []int{3, 2, 1, 0}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 40 || out[3] != 10 {
+			t.Fatalf("permute output %v", out)
+		}
+	})
+
+	t.Run("Transpose", func(t *testing.T) {
+		p, err := embsp.NewTranspose([]uint64{1, 2, 3, 4, 5, 6}, 2, 3, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 1 || out[1] != 4 || out[2] != 2 {
+			t.Fatalf("transpose output %v", out)
+		}
+	})
+
+	t.Run("Maxima3D", func(t *testing.T) {
+		p, err := embsp.NewMaxima3D([]embsp.Point3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 1}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if len(out) != 1 || out[0] != 1 {
+			t.Fatalf("maxima output %v", out)
+		}
+	})
+
+	t.Run("Dominance2D", func(t *testing.T) {
+		p, err := embsp.NewDominance2D(
+			[]embsp.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}},
+			[]uint64{1, 1, 1}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 0 || out[1] != 1 || out[2] != 2 {
+			t.Fatalf("dominance output %v", out)
+		}
+	})
+
+	t.Run("RectUnion", func(t *testing.T) {
+		p, err := embsp.NewRectUnion([]embsp.Rect{
+			{X1: 0, X2: 1, Y1: 0, Y2: 1},
+			{X1: 2, X2: 3, Y1: 0, Y2: 1},
+		}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if area := p.Output(runSmall(t, p).VPs); area != 2 {
+			t.Fatalf("union area %v, want 2", area)
+		}
+	})
+
+	t.Run("Hull2D", func(t *testing.T) {
+		p, err := embsp.NewHull2D([]embsp.Point{
+			{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 2}, {X: 1, Y: 0.5},
+		}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hull := p.Output(runSmall(t, p).VPs); len(hull) != 3 {
+			t.Fatalf("hull %v, want 3 vertices", hull)
+		}
+	})
+
+	t.Run("Envelope", func(t *testing.T) {
+		p, err := embsp.NewEnvelope([]embsp.Segment{{X1: 0, Y1: 1, X2: 2, Y2: 1}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pieces := p.Output(runSmall(t, p).VPs); len(pieces) != 1 || pieces[0].Seg != 0 {
+			t.Fatalf("envelope %v", pieces)
+		}
+	})
+
+	t.Run("GenEnvelope", func(t *testing.T) {
+		p, err := embsp.NewGenEnvelope([]embsp.Segment{
+			{X1: 0, Y1: 0, X2: 4, Y2: 4},
+			{X1: 0, Y1: 4, X2: 4, Y2: 0},
+		}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pieces := p.Output(runSmall(t, p).VPs); len(pieces) != 2 {
+			t.Fatalf("generalized envelope %v", pieces)
+		}
+	})
+
+	t.Run("NextElement", func(t *testing.T) {
+		p, err := embsp.NewNextElement(
+			[]embsp.HSegment{{X1: 0, X2: 2, Y: 2}, {X1: 0, X2: 2, Y: 0}},
+			[]embsp.Point{{X: 1, Y: 1}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runSmall(t, p)
+		above, below := p.Trapezoids(res.VPs)
+		if above[0] != 0 || below[0] != 1 {
+			t.Fatalf("trapezoid (%d,%d), want (0,1)", above[0], below[0])
+		}
+	})
+
+	t.Run("SegTree", func(t *testing.T) {
+		p, err := embsp.NewSegTree([]embsp.Segment{{X1: 0, X2: 2}, {X1: 1, X2: 3}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodes := p.Output(runSmall(t, p).VPs); len(nodes) == 0 {
+			t.Fatal("segment tree empty")
+		}
+	})
+
+	t.Run("NN2D", func(t *testing.T) {
+		p, err := embsp.NewNN2D([]embsp.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 0}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 1 || out[1] != 0 || out[2] != 1 {
+			t.Fatalf("nn output %v", out)
+		}
+	})
+
+	t.Run("Separability", func(t *testing.T) {
+		p, err := embsp.NewSeparability(
+			[]embsp.Point{{X: 0, Y: 0}, {X: 1, Y: 0}},
+			[]embsp.Point{{X: 5, Y: 0}, {X: 6, Y: 1}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Output(runSmall(t, p).VPs) {
+			t.Fatal("separable sets reported inseparable")
+		}
+	})
+
+	t.Run("ListRank", func(t *testing.T) {
+		p, err := embsp.NewListRank([]int{1, 2, -1}, nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 2 || out[1] != 1 || out[2] != 0 {
+			t.Fatalf("ranks %v", out)
+		}
+	})
+
+	t.Run("EulerTour", func(t *testing.T) {
+		p, err := embsp.NewEulerTour(3, [][2]int{{0, 1}, {1, 2}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := p.Output(runSmall(t, p).VPs)
+		if info.Depth[2] != 2 || info.Size[0] != 3 || info.Parent[1] != 0 {
+			t.Fatalf("tree info %+v", info)
+		}
+	})
+
+	t.Run("CC", func(t *testing.T) {
+		p, err := embsp.NewCC(4, [][2]int{{0, 1}, {2, 3}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[1] != 0 || out[3] != 2 {
+			t.Fatalf("components %v", out)
+		}
+	})
+
+	t.Run("LCA", func(t *testing.T) {
+		p, err := embsp.NewLCA(4, [][2]int{{0, 1}, {0, 2}, {2, 3}}, [][2]int{{1, 3}, {3, 2}}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := p.Output(runSmall(t, p).VPs)
+		if out[0] != 0 || out[1] != 2 {
+			t.Fatalf("lcas %v", out)
+		}
+	})
+
+	t.Run("ExprTree", func(t *testing.T) {
+		// (2 + 3) stored as root * with... build root=+(leaf 2, leaf 3).
+		p, err := embsp.NewExprTree(
+			[]int{-1, 0, 0},
+			[]uint8{embsp.OpAdd, embsp.OpLeaf, embsp.OpLeaf},
+			[]uint64{0, 2, 3}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Output(runSmall(t, p).VPs); got != 5 {
+			t.Fatalf("expression value %d, want 5", got)
+		}
+	})
+
+	t.Run("TourAgg", func(t *testing.T) {
+		p, err := embsp.NewTourAgg(3, [][2]int{{0, 1}, {1, 2}}, []uint64{5, 1, 9}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mins, maxs := p.Output(runSmall(t, p).VPs)
+		if mins[0] != 1 || maxs[0] != 9 || mins[2] != 9 {
+			t.Fatalf("agg mins=%v maxs=%v", mins, maxs)
+		}
+	})
+
+	t.Run("Drivers", func(t *testing.T) {
+		runner := embsp.EMRunner(embsp.MachineConfig{
+			P: 1, M: 2048, D: 2, B: 64, G: 100,
+			Cost: embsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+		}, embsp.Options{Seed: 3})
+		// A triangle with a tail: two biconnected components.
+		edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}
+		labels, err := embsp.Biconnectivity(4, edges, v, runner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[0] != labels[1] || labels[0] != labels[2] || labels[3] == labels[0] {
+			t.Fatalf("bicc labels %v", labels)
+		}
+		// A 4-cycle with a chord: 2 ears.
+		earEdges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
+		ears, err := embsp.EarDecomposition(4, earEdges, v, runner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nEars := 0
+		for _, e := range ears {
+			if e+1 > nEars {
+				nEars = e + 1
+			}
+		}
+		if nEars != 2 {
+			t.Fatalf("ears %v, want 2 ears", ears)
+		}
+	})
+
+}

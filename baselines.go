@@ -1,0 +1,37 @@
+package embsp
+
+import (
+	"embsp/internal/disk"
+	"embsp/internal/pdm"
+)
+
+// Baseline types, re-exported for comparisons against the simulation
+// (the "previous results" column of the paper's Table 1).
+type (
+	// PDMMachine is a single-processor parallel-disk-model machine
+	// running the classical sequential EM algorithms (external merge
+	// sort, permutation, transpose, PRAM-simulation list ranking).
+	PDMMachine = pdm.Machine
+	// PDMFile is a word sequence stored on a PDMMachine's disks.
+	PDMFile = pdm.File
+	// SKOptions configures the Sibeyn–Kaufmann-style unblocked
+	// simulation baseline.
+	SKOptions = pdm.SKOptions
+	// SKResult is its outcome.
+	SKResult = pdm.SKResult
+	// DiskStats is the I/O accounting shared by every engine.
+	DiskStats = disk.Stats
+)
+
+// NewPDMMachine returns a PDM machine with m words of memory over d
+// disks with block size b.
+func NewPDMMachine(m, d, b int) (*PDMMachine, error) { return pdm.NewMachine(m, d, b) }
+
+// RunSK executes a Program with the Sibeyn–Kaufmann-style
+// one-VP-at-a-time mailbox simulation: correct, but with no blocking
+// or parallel-disk adaptation. Comparing its I/O count with Run's on
+// the same program measures exactly the gap the paper's technique
+// closes.
+func RunSK(p Program, d, b int, opts SKOptions) (*SKResult, error) {
+	return pdm.SKSim(p, d, b, opts)
+}

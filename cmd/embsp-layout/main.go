@@ -1,0 +1,32 @@
+// Command embsp-layout visualizes the paper's Figure 2: the
+// reorganization performed by Algorithm 2 (SimulateRouting) from the
+// standard linked format produced by the randomized writing phase to
+// the standard consecutive format the next fetch phase streams with
+// fully parallel I/O. It also prints the configured machine — the
+// paper's Figure 1 model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"embsp/internal/core"
+)
+
+func main() {
+	v := flag.Int("v", 8, "virtual processors")
+	d := flag.Int("d", 4, "disk drives")
+	b := flag.Int("b", 8, "block (track) size in words")
+	per := flag.Int("blocks", 2, "message blocks per virtual processor")
+	k := flag.Int("k", 2, "group size (VPs simulated together)")
+	seed := flag.Uint64("seed", 0xF162, "random seed")
+	flag.Parse()
+
+	fmt.Printf("EM-BSP machine (Figure 1): 1 processor, D=%d drives, B=%d words/track;\n", *d, *b)
+	fmt.Printf("one parallel I/O operation moves up to %d words (one track per drive).\n\n", *d**b)
+	if err := core.DemoRouting(os.Stdout, *v, *d, *b, *per, *k, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

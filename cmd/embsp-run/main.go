@@ -1,0 +1,246 @@
+// Command embsp-run executes one Table 1 workload on a configurable
+// simulated EM machine and prints the model costs — a quick way to
+// explore how an algorithm's I/O responds to p, D, B, M and v without
+// writing code.
+//
+// Usage examples:
+//
+//	embsp-run -alg sort -n 1048576 -p 1 -d 4 -b 1024
+//	embsp-run -alg cc -n 65536 -p 4 -d 8 -v 128
+//	embsp-run -alg lca -n 32768 -deterministic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+type algSpec struct {
+	name  string
+	build func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error)
+}
+
+func algs() []algSpec {
+	return []algSpec{
+		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			p, err := embsp.NewSort(keys, 1, v)
+			return p, func(res *embsp.Result) string {
+				out := p.Output(res.VPs)
+				for i := 1; i < len(out); i++ {
+					if out[i-1] > out[i] {
+						return "FAILED: output not sorted"
+					}
+				}
+				return fmt.Sprintf("%d keys sorted", len(out))
+			}, err
+		}},
+		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			p, err := embsp.NewPermute(vals, r.Perm(n), v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d records routed", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			p, err := embsp.NewHull2D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("hull has %d vertices", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point3, n)
+			for i := range pts {
+				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+			}
+			p, err := embsp.NewMaxima3D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d maximal points", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			p, err := embsp.NewNN2D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d nearest neighbors found", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			perm := r.Perm(n)
+			succ := make([]int, n)
+			for i := range succ {
+				succ[i] = -1
+			}
+			for i := 0; i+1 < n; i++ {
+				succ[perm[i]] = perm[i+1]
+			}
+			p, err := embsp.NewListRank(succ, nil, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d nodes ranked", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			edges := randomTree(r, n)
+			p, err := embsp.NewEulerTour(n, edges, v)
+			return p, func(res *embsp.Result) string {
+				info := p.Output(res.VPs)
+				maxDepth := 0
+				for _, d := range info.Depth {
+					if d > maxDepth {
+						maxDepth = d
+					}
+				}
+				return fmt.Sprintf("tree rooted; height %d", maxDepth)
+			}, err
+		}},
+		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			edges := make([][2]int, 0, 2*n)
+			for len(edges) < 2*n {
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+			p, err := embsp.NewCC(n, edges, v)
+			return p, func(res *embsp.Result) string {
+				comps := map[int]bool{}
+				for _, l := range p.Output(res.VPs) {
+					comps[l] = true
+				}
+				return fmt.Sprintf("%d components, %d forest edges, %d Borůvka rounds",
+					len(comps), len(p.Forest(res.VPs)), p.Rounds(res.VPs))
+			}, err
+		}},
+		{"lca", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			edges := randomTree(r, n)
+			queries := make([][2]int, n)
+			for i := range queries {
+				queries[i] = [2]int{r.Intn(n), r.Intn(n)}
+			}
+			p, err := embsp.NewLCA(n, edges, queries, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d LCA queries answered", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"expr", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			parent, kind, value := randomExpr(r, n)
+			p, err := embsp.NewExprTree(parent, kind, value, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("expression value %d", p.Output(res.VPs))
+			}, err
+		}},
+	}
+}
+
+func randomTree(r *prng.Rand, n int) [][2]int {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{r.Intn(i), i})
+	}
+	return edges
+}
+
+func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []uint64) {
+	parent = []int{-1}
+	kind = []uint8{embsp.OpLeaf}
+	value = []uint64{r.Uint64() % 100}
+	if nLeaves <= 1 {
+		return
+	}
+	leaves := []int{0}
+	for len(leaves) < nLeaves {
+		li := r.Intn(len(leaves))
+		node := leaves[li]
+		if r.Bool() {
+			kind[node] = embsp.OpAdd
+		} else {
+			kind[node] = embsp.OpMul
+		}
+		for c := 0; c < 2; c++ {
+			parent = append(parent, node)
+			kind = append(kind, embsp.OpLeaf)
+			value = append(value, r.Uint64()%100)
+			if c == 0 {
+				leaves[li] = len(parent) - 1
+			} else {
+				leaves = append(leaves, len(parent)-1)
+			}
+		}
+	}
+	return
+}
+
+func main() {
+	alg := flag.String("alg", "sort", "workload: sort permute hull maxima nn listrank euler cc lca expr")
+	n := flag.Int("n", 1<<16, "problem size")
+	v := flag.Int("v", 32, "virtual processors")
+	procs := flag.Int("p", 1, "real processors")
+	d := flag.Int("d", 4, "disks per processor")
+	b := flag.Int("b", 512, "block size in words")
+	mFactor := flag.Int("mfactor", 6, "memory = mfactor × µ (per processor)")
+	g := flag.Float64("g", 1000, "I/O cost G per parallel operation")
+	seed := flag.Uint64("seed", 1, "random seed")
+	det := flag.Bool("deterministic", false, "deterministic (CGM) block placement")
+	flag.Parse()
+
+	var spec *algSpec
+	names := make([]string, 0)
+	for _, a := range algs() {
+		a := a
+		names = append(names, a.name)
+		if a.name == *alg {
+			spec = &a
+		}
+	}
+	if spec == nil {
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "unknown -alg %q; available: %v\n", *alg, names)
+		os.Exit(2)
+	}
+
+	r := prng.New(*seed)
+	prog, describe, err := spec.build(*n, *v, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := embsp.MachineConfig{
+		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(*b), Pkt: *b, L: 100},
+	}
+	res, err := embsp.Run(prog, cfg, embsp.Options{Seed: *seed, Deterministic: *det})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", *alg, describe(res))
+	fmt.Printf("machine: p=%d D=%d B=%d M=%d words (k=%d VPs/group, %d groups)\n",
+		cfg.P, cfg.D, cfg.B, cfg.M, res.EM.K, res.EM.Groups)
+	fmt.Printf("supersteps λ=%d\n", res.Costs.Supersteps)
+	fmt.Printf("I/O: %d parallel ops, %d blocks, utilization %.2f, T_IO=%.4g\n",
+		res.EM.Run.Ops, res.EM.Run.Blocks(), res.EM.Run.Utilization(), res.EM.IOTime)
+	if cfg.P > 1 {
+		fmt.Printf("communication: %d packets (%d words), T_comm=%.4g\n",
+			res.EM.CommPkts, res.EM.CommWords, res.EM.CommTime)
+	}
+	fmt.Printf("memory high-water: %d words; peak disk blocks/drive: %d\n",
+		res.EM.MemHigh, res.EM.LiveBlocksPerDrive)
+}

@@ -1,0 +1,85 @@
+// Package embsp is a working implementation of the simulation
+// technique of Dehne, Dittrich and Hutchinson, "Efficient External
+// Memory Algorithms by Simulating Coarse-Grained Parallel Algorithms"
+// (SPAA '97; Algorithmica 36, 2003): it executes BSP* / CGM parallel
+// programs as external-memory algorithms on a simulated machine with
+// p processors, M words of memory each, and D disks per processor
+// with block size B, where one parallel I/O operation moves up to D
+// blocks at cost G.
+//
+// Three engines run the same Program with bitwise identical results:
+//
+//   - Run with P == 1 — Algorithm 1 (SeqCompoundSuperstep) plus
+//     Algorithm 2 (SimulateRouting): contexts and messages live on the
+//     simulated disks in the paper's standard consecutive and standard
+//     linked formats, only k = ⌊M/µ⌋ virtual processors are in memory
+//     at a time, and all I/O is fully blocked and D-parallel.
+//   - Run with P > 1 — Algorithm 3 (ParCompoundSuperstep): messages
+//     are scattered in packets to random processors to balance the
+//     disk load, then routed locally.
+//   - RunReference — the in-memory BSP reference semantics.
+//
+// The package also provides the Table 1 workloads (sorting,
+// permutation, matrix transpose; 3D maxima, 2D dominance counting,
+// rectangle union, convex hull, lower envelope, next-element search,
+// all nearest neighbors; list ranking, Euler tour, connected
+// components) as ready-made Programs, and the previously-known
+// sequential EM baselines they are compared against. The bench
+// harness under cmd/embsp-bench regenerates every row of the paper's
+// Table 1 and its figure/lemma-level claims; see EXPERIMENTS.md.
+package embsp
+
+import (
+	"embsp/internal/bsp"
+	"embsp/internal/core"
+)
+
+// Core model types, re-exported from the engine packages.
+type (
+	// MachineConfig describes the target EM-BSP* machine: P
+	// processors, M words of memory and D disks (block size B, I/O
+	// cost G) each, plus BSP*-level cost parameters.
+	MachineConfig = core.MachineConfig
+	// Options configures a run (seed, deterministic placement).
+	Options = core.Options
+	// Result is a completed run: final VP states, measured BSP costs
+	// and external-memory statistics.
+	Result = core.Result
+	// EMStats reports the external-memory behaviour of a run.
+	EMStats = core.EMStats
+	// CostParams holds the BSP* parameters ĝ, g, b and L.
+	CostParams = bsp.CostParams
+	// Program is a BSP-like algorithm for v virtual processors.
+	Program = bsp.Program
+	// VP is one virtual processor of a Program.
+	VP = bsp.VP
+	// Env is a VP's execution environment during a superstep.
+	Env = bsp.Env
+	// Message is a point-to-point message between VPs.
+	Message = bsp.Message
+	// Costs holds measured BSP-level model costs.
+	Costs = bsp.Costs
+	// ReferenceResult is the outcome of an in-memory reference run.
+	ReferenceResult = bsp.Result
+)
+
+// DefaultMachine returns a laptop-scale machine: one processor, 1 MiW
+// of memory, 4 disks with 1 KiW blocks.
+func DefaultMachine() MachineConfig { return core.DefaultMachine() }
+
+// DefaultCostParams returns the default BSP* parameters used by the
+// examples.
+func DefaultCostParams() CostParams { return bsp.DefaultCostParams() }
+
+// Run executes the program on the configured external-memory machine,
+// using the sequential engine for P == 1 and the parallel engine
+// otherwise.
+func Run(p Program, cfg MachineConfig, opts Options) (*Result, error) {
+	return core.Run(p, cfg, opts)
+}
+
+// RunReference executes the program entirely in memory — the
+// reference semantics every EM engine must reproduce exactly.
+func RunReference(p Program, seed uint64) (*ReferenceResult, error) {
+	return bsp.Run(p, bsp.RunOptions{Seed: seed})
+}

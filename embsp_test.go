@@ -1,0 +1,108 @@
+package embsp_test
+
+import (
+	"sort"
+	"testing"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+// TestPublicAPISort exercises the exported surface end to end: build
+// a Table 1 program through the public constructors, run it on the
+// reference runner and both EM engines, and compare.
+func TestPublicAPISort(t *testing.T) {
+	r := prng.New(1)
+	const n = 2000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	prog, err := embsp.NewSort(keys, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := embsp.RunReference(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prog.Output(ref.VPs)
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := range want {
+		if want[i] != sorted[i] {
+			t.Fatalf("reference output wrong at %d", i)
+		}
+	}
+
+	for _, p := range []int{1, 2} {
+		cfg := embsp.MachineConfig{
+			P: p, M: 4 * prog.MaxContextWords(), D: 2, B: 64, G: 100,
+			Cost: embsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+		}
+		res, err := embsp.Run(prog, cfg, embsp.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got := prog.Output(res.VPs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: EM output differs at %d", p, i)
+			}
+		}
+		if res.EM.Run.Ops <= 0 {
+			t.Errorf("p=%d: no I/O counted", p)
+		}
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	mach, err := embsp.NewPDMMachine(4096, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{5, 3, 9, 1, 7}
+	f, err := mach.WriteFile(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := mach.MergeSort(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mach.ReadFile(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PDM sort wrong at %d: %v", i, got)
+		}
+	}
+
+	prog, err := embsp.NewSort(keys, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := embsp.RunSK(prog, 2, 64, embsp.SKOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skOut := prog.Output(sk.VPs)
+	for i := range want {
+		if skOut[i] != want[i] {
+			t.Fatalf("SK simulation wrong at %d: %v", i, skOut)
+		}
+	}
+}
+
+func TestDefaultMachineValid(t *testing.T) {
+	cfg := embsp.DefaultMachine()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultMachine invalid: %v", err)
+	}
+	if embsp.DefaultCostParams().Pkt <= 0 {
+		t.Error("default packet size not positive")
+	}
+}

@@ -1,0 +1,92 @@
+// emgeom runs two GIS/computational-geometry workloads from the
+// paper's Table 1 Group B through the EM simulation: 3D maxima of a
+// large point cloud and the area of a union of rectangles (a map
+// overlay primitive), verifying both against in-core references.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+func main() {
+	r := prng.New(2026)
+
+	// --- 3D maxima ---------------------------------------------------
+	const n3 = 1 << 15
+	pts := make([]embsp.Point3, n3)
+	for i := range pts {
+		pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+	}
+	maxProg, err := embsp.NewMaxima3D(pts, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := embsp.MachineConfig{
+		P: 1, M: 5 * maxProg.MaxContextWords(), D: 4, B: 512, G: 1000,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 512, Pkt: 512, L: 100},
+	}
+	res, err := embsp.Run(maxProg, cfg, embsp.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxima := maxProg.Output(res.VPs)
+	for _, i := range maxima { // spot-verify maximality
+		for j := range pts {
+			if j != i && pts[j].X > pts[i].X && pts[j].Y > pts[i].Y && pts[j].Z > pts[i].Z {
+				log.Fatalf("point %d is not maximal (dominated by %d)", i, j)
+			}
+		}
+	}
+	fmt.Printf("3D maxima: %d of %d points are maximal (λ=%d, %d I/O ops, util %.2f)\n",
+		len(maxima), n3, res.Costs.Supersteps, res.EM.Run.Ops, res.EM.Run.Utilization())
+
+	// --- area of union of rectangles ---------------------------------
+	const nr = 1 << 12
+	rects := make([]embsp.Rect, nr)
+	for i := range rects {
+		x, y := r.Float64(), r.Float64()
+		rects[i] = embsp.Rect{X1: x, X2: x + 0.002 + r.Float64()*0.05, Y1: y, Y2: y + 0.002 + r.Float64()*0.05}
+	}
+	ruProg, err := embsp.NewRectUnion(rects, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgR := cfg
+	cfgR.M = 5 * ruProg.MaxContextWords()
+	resR, err := embsp.Run(ruProg, cfgR, embsp.Options{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	area := ruProg.Output(resR.VPs)
+
+	// Monte-Carlo sanity check over the rectangles' bounding box.
+	bx1, by1 := math.Inf(1), math.Inf(1)
+	bx2, by2 := math.Inf(-1), math.Inf(-1)
+	for _, rc := range rects {
+		bx1, by1 = math.Min(bx1, rc.X1), math.Min(by1, rc.Y1)
+		bx2, by2 = math.Max(bx2, rc.X2), math.Max(by2, rc.Y2)
+	}
+	hit := 0
+	const samples = 200000
+	for s := 0; s < samples; s++ {
+		x := bx1 + r.Float64()*(bx2-bx1)
+		y := by1 + r.Float64()*(by2-by1)
+		for _, rc := range rects {
+			if rc.X1 <= x && x <= rc.X2 && rc.Y1 <= y && y <= rc.Y2 {
+				hit++
+				break
+			}
+		}
+	}
+	mc := float64(hit) / samples * (bx2 - bx1) * (by2 - by1)
+	if math.Abs(area-mc) > 0.02*(1+mc) {
+		log.Fatalf("union area %.4f far from Monte-Carlo estimate %.4f", area, mc)
+	}
+	fmt.Printf("rectangle union: area %.4f over %d rectangles (Monte-Carlo %.4f; λ=%d, %d I/O ops)\n",
+		area, nr, mc, resR.Costs.Supersteps, resR.EM.Run.Ops)
+}

@@ -1,0 +1,93 @@
+// emsort sorts a large key array in external memory two ways and
+// compares their exact parallel-I/O counts on identical simulated
+// hardware:
+//
+//  1. the paper's route — the CGM sample sort simulated as an EM
+//     algorithm (Theorem 1 / Corollary 1, the Table 1 'Sorting' row);
+//  2. the classical PDM external merge sort baseline.
+//
+// Both run on one processor with four disks. The simulated route also
+// runs on a 4-processor machine to show the parallel speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+func main() {
+	const (
+		n = 1 << 20
+		v = 64   // virtual processors
+		b = 1024 // block size in words
+		d = 4    // disks
+	)
+	r := prng.New(7)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+
+	prog, err := embsp.NewSort(keys, 1, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := embsp.MachineConfig{
+		P: 1, M: 6 * prog.MaxContextWords(), D: d, B: b, G: 1000,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(b), Pkt: b, L: 100},
+	}
+	res, err := embsp.Run(prog, cfg, embsp.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := prog.Output(res.VPs)
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			log.Fatalf("output not sorted at %d", i)
+		}
+	}
+	fmt.Printf("EM-CGM sample sort: %d keys sorted in λ=%d supersteps\n", n, res.Costs.Supersteps)
+	fmt.Printf("  p=1 D=%d: %d parallel I/O ops, utilization %.2f, T_IO=%.3g\n",
+		d, res.EM.Run.Ops, res.EM.Run.Utilization(), res.EM.IOTime)
+
+	cfg4 := cfg
+	cfg4.P = 4
+	res4, err := embsp.Run(prog, cfg4, embsp.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  p=4 D=%d: T_IO=%.3g (%.1fx speedup), %d packets between processors\n",
+		d, res4.EM.IOTime, res.EM.IOTime/res4.EM.IOTime, res4.EM.CommPkts)
+
+	// PDM merge sort baseline on the same disk geometry and memory.
+	mach, err := embsp.NewPDMMachine(cfg.M, d, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := mach.WriteFile(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach.Arr.ResetStats()
+	sorted, err := mach.MergeSort(f, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check, err := mach.ReadFile(sorted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != check[i] {
+			log.Fatalf("EM-CGM and PDM sorts disagree at %d", i)
+		}
+	}
+	st := mach.Arr.Stats()
+	fmt.Printf("PDM merge sort baseline: %d parallel I/O ops, utilization %.2f\n", st.Ops, st.Utilization())
+	fmt.Printf("(the hand-crafted baseline is leaner on one processor — the simulation's\n")
+	fmt.Printf(" return is automatic parallelism: same code, p processors, ~p× less I/O time)\n")
+}

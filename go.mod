@@ -1,0 +1,3 @@
+module embsp
+
+go 1.22

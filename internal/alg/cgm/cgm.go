@@ -1,0 +1,117 @@
+// Package cgm provides shared building blocks for writing CGM
+// (Coarse Grained Multicomputer) algorithms as bsp.Programs: block
+// data distribution, order-preserving key encodings, and reusable
+// distributed sub-machines (sample sort, prefix sums) that a host
+// virtual processor embeds in its context and steps through its own
+// supersteps.
+//
+// A CGM algorithm (Section 2.2 of the paper) alternates computation
+// rounds and h-relations with h ≤ n/p. The algorithms built from this
+// package (internal/alg/cgmsort, cgmgeom, cgmgraph) are the Table 1
+// workloads; running them through internal/core turns them into the
+// paper's parallel EM algorithms.
+package cgm
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist returns the block-distribution range [lo, hi) of items owned
+// by VP id when n items are spread over v virtual processors: VP i
+// owns items [i·⌈n/v⌉, (i+1)·⌈n/v⌉).
+func Dist(n, v, id int) (lo, hi int) {
+	per := (n + v - 1) / v
+	lo = id * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// DistSize returns the number of items VP id owns under Dist.
+func DistSize(n, v, id int) int {
+	lo, hi := Dist(n, v, id)
+	return hi - lo
+}
+
+// MaxPart returns ⌈n/v⌉, the largest per-VP share under Dist.
+func MaxPart(n, v int) int { return (n + v - 1) / v }
+
+// Owner returns the VP owning item index i under Dist.
+func Owner(n, v, i int) int { return i / MaxPart(n, v) }
+
+// EncodeFloat maps a float64 to a uint64 such that the natural uint64
+// order matches the float order (total order with -Inf < ... < +Inf;
+// NaNs are not supported). Used to sort geometric coordinates with the
+// integer-keyed Sorter.
+func EncodeFloat(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// DecodeFloat inverts EncodeFloat.
+func DecodeFloat(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// Records are flat []uint64 slices holding fixed-width tuples. recLess
+// compares two W-word records lexicographically; SortRecords sorts a
+// flat record slice in place.
+
+func recLess(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// SortRecords sorts the flat record slice data (length a multiple of
+// w) lexicographically by its w-word records.
+func SortRecords(data []uint64, w int) {
+	n := len(data) / w
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return recLess(data[idx[i]*w:idx[i]*w+w], data[idx[j]*w:idx[j]*w+w])
+	})
+	out := make([]uint64, len(data))
+	for i, j := range idx {
+		copy(out[i*w:(i+1)*w], data[j*w:(j+1)*w])
+	}
+	copy(data, out)
+}
+
+// RecordsSorted reports whether data is sorted by its w-word records.
+func RecordsSorted(data []uint64, w int) bool {
+	n := len(data) / w
+	for i := 1; i < n; i++ {
+		if recLess(data[i*w:(i+1)*w], data[(i-1)*w:i*w]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBound returns the first record index i in the sorted flat
+// record slice data such that data[i] >= key (lexicographically).
+func LowerBound(data []uint64, w int, key []uint64) int {
+	n := len(data) / w
+	return sort.Search(n, func(i int) bool {
+		return !recLess(data[i*w:(i+1)*w], key)
+	})
+}

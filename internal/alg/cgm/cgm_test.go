@@ -1,0 +1,140 @@
+package cgm
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/prng"
+)
+
+func TestDistCoversAll(t *testing.T) {
+	f := func(nRaw, vRaw uint16) bool {
+		n := int(nRaw % 500)
+		v := int(vRaw%16) + 1
+		covered := 0
+		prevHi := 0
+		for id := 0; id < v; id++ {
+			lo, hi := Dist(n, v, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			for i := lo; i < hi; i++ {
+				if Owner(n, v, i) != id {
+					return false
+				}
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistBalance(t *testing.T) {
+	n, v := 103, 10
+	for id := 0; id < v; id++ {
+		if sz := DistSize(n, v, id); sz > MaxPart(n, v) {
+			t.Errorf("VP %d owns %d > ⌈n/v⌉ = %d", id, sz, MaxPart(n, v))
+		}
+	}
+}
+
+func TestEncodeFloatOrderPreserving(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -1e-300, 0, 1e-300, 0.5, 2, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if EncodeFloat(vals[i-1]) >= EncodeFloat(vals[i]) {
+			t.Errorf("order broken between %v and %v", vals[i-1], vals[i])
+		}
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a < b {
+			return EncodeFloat(a) < EncodeFloat(b)
+		}
+		if a > b {
+			return EncodeFloat(a) > EncodeFloat(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFloatRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		got := DecodeFloat(EncodeFloat(a))
+		return got == a || (a == 0 && got == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	r := prng.New(6)
+	for _, w := range []int{1, 2, 4} {
+		n := 200
+		data := make([]uint64, n*w)
+		for i := range data {
+			data[i] = uint64(r.Intn(8)) // duplicates stress ties
+		}
+		want := toPairs(data, w)
+		SortRecords(data, w)
+		if !RecordsSorted(data, w) {
+			t.Fatalf("w=%d: not sorted", w)
+		}
+		got := toPairs(data, w)
+		sort.Slice(want, func(i, j int) bool { return lessSlice(want[i], want[j]) })
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("w=%d: record %d differs", w, i)
+				}
+			}
+		}
+	}
+}
+
+func toPairs(data []uint64, w int) [][]uint64 {
+	out := make([][]uint64, len(data)/w)
+	for i := range out {
+		out[i] = append([]uint64(nil), data[i*w:(i+1)*w]...)
+	}
+	return out
+}
+
+func lessSlice(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestLowerBound(t *testing.T) {
+	data := []uint64{1, 0, 3, 1, 3, 2, 7, 0} // 2-word records, sorted
+	if i := LowerBound(data, 2, []uint64{3, 0}); i != 1 {
+		t.Errorf("LowerBound(3,0) = %d, want 1", i)
+	}
+	if i := LowerBound(data, 2, []uint64{3, 2}); i != 2 {
+		t.Errorf("LowerBound(3,2) = %d, want 2", i)
+	}
+	if i := LowerBound(data, 2, []uint64{9, 9}); i != 4 {
+		t.Errorf("LowerBound(9,9) = %d, want 4", i)
+	}
+	if i := LowerBound(data, 2, []uint64{0, 0}); i != 0 {
+		t.Errorf("LowerBound(0,0) = %d, want 0", i)
+	}
+}

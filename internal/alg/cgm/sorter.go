@@ -1,0 +1,167 @@
+package cgm
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"embsp/internal/bsp"
+	"embsp/internal/words"
+)
+
+// Sorter is an embeddable distributed sample sort (PSRS — parallel
+// sorting by regular sampling; Goodrich-style communication-efficient
+// sorting shape with λ = O(1) communication rounds).
+//
+// A host VP embeds a Sorter in its context, fills Data with its local
+// flat records (W words each, compared lexicographically), and then
+// forwards its Step/Save/Load calls to the Sorter until Step reports
+// done. All VPs must drive their Sorters in the same supersteps, and
+// the Sorter owns the inbox during its phases. After completion, Data
+// holds the VP's slice of the globally sorted sequence: concatenating
+// Data over VP ids yields the total order.
+//
+// Records should be made distinct (e.g. by appending an index word):
+// the lexicographic order is then total, which both balances the
+// output (the PSRS 2n/v guarantee) and makes results deterministic.
+//
+// Phases (one superstep each, λ = 4 supersteps):
+//
+//	0: local sort; send v regular samples to VP 0
+//	1: VP 0 sorts the samples, broadcasts v-1 splitters
+//	2: partition local records by splitter; route to destinations
+//	3: sort received records; done
+type Sorter struct {
+	// W is the record width in words (≥ 1).
+	W int
+	// Data holds the VP's local flat records (len divisible by W).
+	Data []uint64
+
+	phase     int
+	splitters []uint64
+}
+
+// Active reports whether the Sorter still needs Step calls.
+func (s *Sorter) Active() bool { return s.phase <= 3 }
+
+// Supersteps returns the number of supersteps a Sorter consumes.
+const SorterSupersteps = 4
+
+// chargeSort charges a comparison-sort's work for n records.
+func chargeSort(env *bsp.Env, n int) {
+	if n > 1 {
+		env.Charge(int64(n) * int64(bits.Len(uint(n))))
+	}
+}
+
+// Step advances the sort by one superstep. It consumes the inbox and
+// returns true when the sort is complete (after which Data is the
+// sorted slice and the Sorter must not be stepped again).
+func (s *Sorter) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	v := env.NumVPs()
+	switch s.phase {
+	case 0:
+		SortRecords(s.Data, s.W)
+		chargeSort(env, len(s.Data)/s.W)
+		n := len(s.Data) / s.W
+		cnt := v
+		if n < cnt {
+			cnt = n
+		}
+		samples := make([]uint64, 0, cnt*s.W)
+		for j := 0; j < cnt; j++ {
+			i := j * n / cnt
+			samples = append(samples, s.Data[i*s.W:(i+1)*s.W]...)
+		}
+		if len(samples) > 0 {
+			env.Send(0, samples)
+		}
+	case 1:
+		if env.ID() == 0 {
+			var samples []uint64
+			for _, m := range in {
+				samples = append(samples, m.Payload...)
+			}
+			SortRecords(samples, s.W)
+			chargeSort(env, len(samples)/s.W)
+			m := len(samples) / s.W
+			spl := make([]uint64, 0, (v-1)*s.W)
+			for i := 1; i < v; i++ {
+				j := i * m / v
+				if j >= m {
+					j = m - 1
+				}
+				if j < 0 {
+					continue
+				}
+				spl = append(spl, samples[j*s.W:(j+1)*s.W]...)
+			}
+			for d := 0; d < v; d++ {
+				env.Send(d, spl)
+			}
+		}
+	case 2:
+		if len(in) != 1 {
+			return false, fmt.Errorf("cgm: sorter expected splitters, got %d messages", len(in))
+		}
+		s.splitters = in[0].Payload
+		ns := len(s.splitters) / s.W
+		n := len(s.Data) / s.W
+		// Destination of a record: the number of splitters <= it.
+		// Records are sorted, so destinations are non-decreasing and
+		// each VP receives one contiguous run.
+		start := 0
+		for d := 0; d < v && start < n; d++ {
+			end := n
+			if d < ns {
+				// First record index with record > splitter d.
+				key := s.splitters[d*s.W : (d+1)*s.W]
+				end = start + sort.Search(n-start, func(i int) bool {
+					r := s.Data[(start+i)*s.W : (start+i+1)*s.W]
+					return recLess(key, r)
+				})
+			}
+			if end > start {
+				env.Send(d, s.Data[start*s.W:end*s.W])
+			}
+			start = end
+		}
+		env.Charge(int64(n))
+		s.Data = nil
+	case 3:
+		var recv []uint64
+		for _, m := range in {
+			recv = append(recv, m.Payload...)
+		}
+		SortRecords(recv, s.W)
+		chargeSort(env, len(recv)/s.W)
+		s.Data = recv
+		s.phase++
+		return true, nil
+	default:
+		return false, fmt.Errorf("cgm: sorter stepped after completion (phase %d)", s.phase)
+	}
+	s.phase++
+	return false, nil
+}
+
+// Save marshals the Sorter state (W is static host configuration and
+// is not saved).
+func (s *Sorter) Save(enc *words.Encoder) {
+	enc.PutUint(uint64(s.phase))
+	enc.PutUints(s.Data)
+	enc.PutUints(s.splitters)
+}
+
+// Load restores the Sorter state; W must already be set by the host.
+func (s *Sorter) Load(dec *words.Decoder) {
+	s.phase = int(dec.Uint())
+	s.Data = dec.Uints()
+	s.splitters = dec.Uints()
+}
+
+// SaveSize returns an upper bound on Save's output given a bound
+// maxRecs on the number of local records.
+func (s *Sorter) SaveSize(maxRecs, v int) int {
+	return 1 + words.SizeUints(maxRecs*s.W) + words.SizeUints((v-1)*s.W)
+}

@@ -1,0 +1,156 @@
+package cgm_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/cgm"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// sortHost is a minimal host program driving an embedded Sorter.
+type sortHost struct {
+	v    int
+	w    int
+	data []uint64
+}
+
+func (p *sortHost) NumVPs() int          { return p.v }
+func (p *sortHost) MaxContextWords() int { return 2 + len(p.data) + (p.v+1)*p.w + 64 }
+func (p *sortHost) MaxCommWords() int {
+	return 3*len(p.data) + p.v*(p.v*p.w+1) + p.v*((p.v-1)*p.w+1) + 16
+}
+func (p *sortHost) NewVP(id int) bsp.VP {
+	lo, hi := cgm.Dist(len(p.data)/p.w, p.v, id)
+	local := append([]uint64(nil), p.data[lo*p.w:hi*p.w]...)
+	return &sortHostVP{s: cgm.Sorter{W: p.w, Data: local}}
+}
+
+type sortHostVP struct {
+	s cgm.Sorter
+}
+
+func (vp *sortHostVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	return vp.s.Step(env, in)
+}
+func (vp *sortHostVP) Save(enc *words.Encoder) { vp.s.Save(enc) }
+func (vp *sortHostVP) Load(dec *words.Decoder) { vp.s.Load(dec) }
+
+func runSortHost(t *testing.T, data []uint64, w, v int, seed uint64) []uint64 {
+	t.Helper()
+	p := &sortHost{v: v, w: w, data: data}
+	res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []uint64
+	for _, vp := range res.VPs {
+		out = append(out, vp.(*sortHostVP).s.Data...)
+	}
+	return out
+}
+
+func TestSorterDirect(t *testing.T) {
+	r := prng.New(1)
+	for _, n := range []int{0, 1, 5, 64, 301} {
+		for _, v := range []int{1, 2, 7} {
+			data := make([]uint64, n)
+			for i := range data {
+				data[i] = r.Uint64() % 64 // duplicates stress splitters
+			}
+			got := runSortHost(t, data, 1, v, uint64(n*10+v))
+			want := append([]uint64(nil), data...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: %d records out, want %d", n, v, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: record %d = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSorterSupersteps(t *testing.T) {
+	p := &sortHost{v: 4, w: 1, data: []uint64{5, 2, 8, 1, 9, 3}}
+	res, err := bsp.Run(p, bsp.RunOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Costs.Supersteps != cgm.SorterSupersteps {
+		t.Errorf("λ = %d, want %d", res.Costs.Supersteps, cgm.SorterSupersteps)
+	}
+}
+
+func TestSorterSaveSizeHolds(t *testing.T) {
+	// SaveSize must bound the actual encoding for the stated record
+	// budget.
+	s := &cgm.Sorter{W: 3, Data: make([]uint64, 3*50)}
+	enc := words.NewEncoder(nil)
+	s.Save(enc)
+	if enc.Len() > s.SaveSize(50, 8) {
+		t.Errorf("Save wrote %d words, SaveSize(50,8) = %d", enc.Len(), s.SaveSize(50, 8))
+	}
+}
+
+// scanHost drives an embedded Scan.
+type scanHost struct {
+	v    int
+	vals []uint64
+}
+
+func (p *scanHost) NumVPs() int          { return p.v }
+func (p *scanHost) MaxContextWords() int { return cgm.ScanSaveWords + 2 }
+func (p *scanHost) MaxCommWords() int    { return 3*p.v + 8 }
+func (p *scanHost) NewVP(id int) bsp.VP {
+	return &scanHostVP{s: cgm.Scan{Value: p.vals[id]}}
+}
+
+type scanHostVP struct {
+	s cgm.Scan
+}
+
+func (vp *scanHostVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	return vp.s.Step(env, in)
+}
+func (vp *scanHostVP) Save(enc *words.Encoder) { vp.s.Save(enc) }
+func (vp *scanHostVP) Load(dec *words.Decoder) { vp.s.Load(dec) }
+
+func TestScanDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		v := r.Intn(12) + 1
+		vals := make([]uint64, v)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(1000))
+		}
+		p := &scanHost{v: v, vals: vals}
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return false
+		}
+		if res.Costs.Supersteps != cgm.ScanSupersteps {
+			return false
+		}
+		var run, total uint64
+		for _, x := range vals {
+			total += x
+		}
+		for i, vp := range res.VPs {
+			sc := vp.(*scanHostVP).s
+			if sc.Prefix != run || sc.Total != total {
+				return false
+			}
+			run += vals[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,464 @@
+package cgmgeom_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+func randPts3(r *prng.Rand, n int) []cgmgeom.Point3 {
+	out := make([]cgmgeom.Point3, n)
+	for i := range out {
+		out[i] = cgmgeom.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+	}
+	return out
+}
+
+func randPts(r *prng.Rand, n int) []cgmgeom.Point {
+	out := make([]cgmgeom.Point, n)
+	for i := range out {
+		out[i] = cgmgeom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return out
+}
+
+func bruteMaxima3(pts []cgmgeom.Point3) []int {
+	var out []int
+	for i, p := range pts {
+		maximal := true
+		for j, q := range pts {
+			if i != j && q.X > p.X && q.Y > p.Y && q.Z > p.Z {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func intsToWords(s []int) []uint64 {
+	out := make([]uint64, len(s))
+	for i, x := range s {
+		out[i] = uint64(int64(x))
+	}
+	return out
+}
+
+func TestMaxima3D(t *testing.T) {
+	r := prng.New(2)
+	for _, n := range []int{0, 1, 2, 30, 150} {
+		for _, v := range []int{1, 3, 6} {
+			pts := randPts3(r, n)
+			p, err := cgmgeom.NewMaxima3D(pts, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 3, func(vps []bsp.VP) []uint64 { return intsToWords(p.Output(vps)) })
+			got := p.Output(res.VPs)
+			want := bruteMaxima3(pts)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: %d maxima, want %d", n, v, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: maxima[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func bruteDominance(pts []cgmgeom.Point, w []uint64) []uint64 {
+	out := make([]uint64, len(pts))
+	for i, p := range pts {
+		for j, q := range pts {
+			if q.X < p.X && q.Y < p.Y {
+				out[i] += w[j]
+			}
+		}
+	}
+	return out
+}
+
+func TestDominance2D(t *testing.T) {
+	r := prng.New(5)
+	for _, n := range []int{0, 1, 2, 40, 130} {
+		for _, v := range []int{1, 2, 5} {
+			pts := randPts(r, n)
+			w := make([]uint64, n)
+			for i := range w {
+				w[i] = uint64(r.Intn(10) + 1)
+			}
+			p, err := cgmgeom.NewDominance2D(pts, w, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 17, func(vps []bsp.VP) []uint64 { return p.Output(vps) })
+			got := p.Output(res.VPs)
+			want := bruteDominance(pts, w)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: dom[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func bruteUnionArea(rects []cgmgeom.Rect) float64 {
+	// Coordinate-compressed grid accumulation.
+	var xs, ys []float64
+	for _, r := range rects {
+		xs = append(xs, r.X1, r.X2)
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	area := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		if xs[i] == xs[i+1] {
+			continue
+		}
+		mx := xs[i] + (xs[i+1]-xs[i])/2
+		for j := 0; j+1 < len(ys); j++ {
+			if ys[j] == ys[j+1] {
+				continue
+			}
+			my := ys[j] + (ys[j+1]-ys[j])/2
+			for _, r := range rects {
+				if r.X1 <= mx && mx <= r.X2 && r.Y1 <= my && my <= r.Y2 {
+					area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return area
+}
+
+func randRects(r *prng.Rand, n int) []cgmgeom.Rect {
+	out := make([]cgmgeom.Rect, n)
+	for i := range out {
+		x, y := r.Float64(), r.Float64()
+		out[i] = cgmgeom.Rect{X1: x, X2: x + 0.01 + r.Float64()*0.3, Y1: y, Y2: y + 0.01 + r.Float64()*0.3}
+	}
+	return out
+}
+
+func TestRectUnion(t *testing.T) {
+	r := prng.New(7)
+	for _, n := range []int{0, 1, 2, 25, 80} {
+		for _, v := range []int{1, 2, 5} {
+			rects := randRects(r, n)
+			p, err := cgmgeom.NewRectUnion(rects, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 23, func(vps []bsp.VP) []uint64 {
+				return []uint64{math.Float64bits(p.Output(vps))}
+			})
+			got := p.Output(res.VPs)
+			want := bruteUnionArea(rects)
+			if diff := math.Abs(got - want); diff > 1e-9*(1+want) {
+				t.Fatalf("n=%d v=%d: area = %v, want %v", n, v, got, want)
+			}
+		}
+	}
+}
+
+func bruteHull(pts []cgmgeom.Point) map[int]bool {
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if pts[idx[a]].X != pts[idx[b]].X {
+			return pts[idx[a]].X < pts[idx[b]].X
+		}
+		return pts[idx[a]].Y < pts[idx[b]].Y
+	})
+	cross := func(a, b, c cgmgeom.Point) float64 {
+		return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	}
+	build := func(lower bool) []int {
+		var h []int
+		for _, i := range idx {
+			for len(h) >= 2 {
+				c := cross(pts[h[len(h)-2]], pts[h[len(h)-1]], pts[i])
+				if (lower && c > 0) || (!lower && c < 0) {
+					break
+				}
+				h = h[:len(h)-1]
+			}
+			h = append(h, i)
+		}
+		return h
+	}
+	set := make(map[int]bool)
+	for _, i := range build(true) {
+		set[i] = true
+	}
+	for _, i := range build(false) {
+		set[i] = true
+	}
+	return set
+}
+
+func TestHull2D(t *testing.T) {
+	r := prng.New(11)
+	for _, n := range []int{1, 2, 3, 50, 200} {
+		for _, v := range []int{1, 2, 4, 7} {
+			pts := randPts(r, n)
+			p, err := cgmgeom.NewHull2D(pts, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 29, func(vps []bsp.VP) []uint64 { return intsToWords(p.Output(vps)) })
+			got := p.Output(res.VPs)
+			want := bruteHull(pts)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: hull has %d vertices, want %d", n, v, len(got), len(want))
+			}
+			for _, i := range got {
+				if !want[i] {
+					t.Fatalf("n=%d v=%d: vertex %d not on reference hull", n, v, i)
+				}
+			}
+			if res.Costs.Supersteps != p.Lambda() {
+				t.Errorf("n=%d v=%d: λ = %d, want %d", n, v, res.Costs.Supersteps, p.Lambda())
+			}
+			if n >= 3 && !ccw(pts, got) {
+				t.Errorf("n=%d v=%d: hull not in CCW order: %v", n, v, got)
+			}
+		}
+	}
+}
+
+// ccw checks the output ordering is counter-clockwise (positive area).
+func ccw(pts []cgmgeom.Point, hull []int) bool {
+	area := 0.0
+	for i := range hull {
+		a, b := pts[hull[i]], pts[hull[(i+1)%len(hull)]]
+		area += a.X*b.Y - b.X*a.Y
+	}
+	return area > 0
+}
+
+func randSegments(r *prng.Rand, n int) []cgmgeom.Segment {
+	// Non-crossing segments: horizontal-ish segments at distinct
+	// heights never intersect.
+	out := make([]cgmgeom.Segment, n)
+	for i := range out {
+		x := r.Float64()
+		y := float64(i) + r.Float64()*0.4
+		out[i] = cgmgeom.Segment{X1: x, Y1: y, X2: x + 0.05 + r.Float64()*0.4, Y2: y + r.Float64()*0.1}
+	}
+	return out
+}
+
+func bruteEnvelope(segs []cgmgeom.Segment) []cgmgeom.EnvelopePiece {
+	var xs []float64
+	for _, s := range segs {
+		xs = append(xs, s.X1, s.X2)
+	}
+	sort.Float64s(xs)
+	uniq := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	var out []cgmgeom.EnvelopePiece
+	for i := 0; i+1 < len(uniq); i++ {
+		a, b := uniq[i], uniq[i+1]
+		mid := a + (b-a)/2
+		best := -1
+		bestY := math.Inf(1)
+		for j, s := range segs {
+			if s.X1 <= a && s.X2 >= b {
+				y := s.Y1 + (s.Y2-s.Y1)*(mid-s.X1)/(s.X2-s.X1)
+				if y < bestY || (y == bestY && j < best) {
+					bestY, best = y, j
+				}
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Seg == best && out[n-1].X2 == a {
+			out[n-1].X2 = b
+			continue
+		}
+		out = append(out, cgmgeom.EnvelopePiece{X1: a, X2: b, Seg: best})
+	}
+	return out
+}
+
+func TestEnvelope(t *testing.T) {
+	r := prng.New(13)
+	for _, n := range []int{1, 2, 20, 60} {
+		for _, v := range []int{1, 2, 5} {
+			segs := randSegments(r, n)
+			p, err := cgmgeom.NewEnvelope(segs, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 31, func(vps []bsp.VP) []uint64 {
+				var out []uint64
+				for _, pc := range p.Output(vps) {
+					out = append(out, math.Float64bits(pc.X1), math.Float64bits(pc.X2), uint64(pc.Seg))
+				}
+				return out
+			})
+			got := p.Output(res.VPs)
+			want := bruteEnvelope(segs)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: %d pieces, want %d\n got: %v\nwant: %v", n, v, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: piece %d = %+v, want %+v", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNextElement(t *testing.T) {
+	r := prng.New(17)
+	for _, n := range []int{0, 1, 25} {
+		for _, q := range []int{0, 1, 40} {
+			for _, v := range []int{1, 3, 5} {
+				segs := make([]cgmgeom.HSegment, n)
+				for i := range segs {
+					x := r.Float64()
+					segs[i] = cgmgeom.HSegment{X1: x, X2: x + r.Float64()*0.5, Y: r.Float64()}
+				}
+				queries := randPts(r, q)
+				p, err := cgmgeom.NewNextElement(segs, queries, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := algtest.RunAll(t, p, 37, func(vps []bsp.VP) []uint64 { return intsToWords(p.Output(vps)) })
+				got := p.Output(res.VPs)
+				for i, pt := range queries {
+					want := -1
+					bestY := math.Inf(1)
+					for j, s := range segs {
+						if s.X1 <= pt.X && pt.X <= s.X2 && s.Y > pt.Y && s.Y < bestY {
+							bestY, want = s.Y, j
+						}
+					}
+					if got[i] != want {
+						t.Fatalf("n=%d q=%d v=%d: query %d = %d, want %d", n, q, v, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNextElementTrapezoids(t *testing.T) {
+	r := prng.New(18)
+	segs := make([]cgmgeom.HSegment, 30)
+	for i := range segs {
+		x := r.Float64()
+		segs[i] = cgmgeom.HSegment{X1: x, X2: x + r.Float64()*0.5, Y: r.Float64()}
+	}
+	queries := randPts(r, 50)
+	p, err := cgmgeom.NewNextElement(segs, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunRef(t, p, 38)
+	above, below := p.Trapezoids(res.VPs)
+	for i, pt := range queries {
+		wantAbove, wantBelow := -1, -1
+		bestUp, bestDown := math.Inf(1), math.Inf(-1)
+		for j, s := range segs {
+			if s.X1 <= pt.X && pt.X <= s.X2 {
+				if s.Y > pt.Y && s.Y < bestUp {
+					bestUp, wantAbove = s.Y, j
+				}
+				if s.Y < pt.Y && s.Y > bestDown {
+					bestDown, wantBelow = s.Y, j
+				}
+			}
+		}
+		if above[i] != wantAbove || below[i] != wantBelow {
+			t.Fatalf("query %d: trapezoid (%d,%d), want (%d,%d)", i, above[i], below[i], wantAbove, wantBelow)
+		}
+	}
+}
+
+func bruteNN(pts []cgmgeom.Point) []int {
+	out := make([]int, len(pts))
+	for i := range out {
+		out[i] = -1
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			dx, dy := q.X-pts[i].X, q.Y-pts[i].Y
+			d := dx*dx + dy*dy
+			if d < best {
+				best, out[i] = d, j
+			}
+		}
+	}
+	return out
+}
+
+func TestNN2D(t *testing.T) {
+	r := prng.New(19)
+	for _, n := range []int{0, 1, 2, 30, 120} {
+		for _, v := range []int{1, 2, 4, 7} {
+			pts := randPts(r, n)
+			p, err := cgmgeom.NewNN2D(pts, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 41, func(vps []bsp.VP) []uint64 { return intsToWords(p.Output(vps)) })
+			got := p.Output(res.VPs)
+			want := bruteNN(pts)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: nn[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Clustered points force multi-slab NN refinement: a point whose
+// neighbor lies several empty slabs away.
+func TestNN2DFarNeighbors(t *testing.T) {
+	pts := []cgmgeom.Point{
+		{X: 0.01, Y: 0.5}, {X: 0.02, Y: 0.5},
+		{X: 10.0, Y: 0.5}, // isolated: neighbor is far left
+		{X: 0.03, Y: 0.52}, {X: 0.015, Y: 0.48},
+		{X: 20.0, Y: 0.5}, // even more isolated
+	}
+	p, err := cgmgeom.NewNN2D(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunAll(t, p, 43, func(vps []bsp.VP) []uint64 { return intsToWords(p.Output(vps)) })
+	got := p.Output(res.VPs)
+	want := bruteNN(pts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nn[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

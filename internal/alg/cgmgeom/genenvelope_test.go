@@ -1,0 +1,230 @@
+package cgmgeom_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+func randCrossingSegments(r *prng.Rand, n int) []cgmgeom.Segment {
+	out := make([]cgmgeom.Segment, n)
+	for i := range out {
+		x := r.Float64()
+		out[i] = cgmgeom.Segment{
+			X1: x, Y1: r.Float64(),
+			X2: x + 0.05 + r.Float64()*0.6, Y2: r.Float64(),
+		}
+	}
+	return out
+}
+
+// validateEnvelope checks the piece list against the segments by
+// random sampling: within a piece the named segment must be lowest
+// (within eps), and x values outside every piece must be uncovered.
+func validateEnvelope(t *testing.T, segs []cgmgeom.Segment, pieces []cgmgeom.EnvelopePiece, r *prng.Rand) {
+	t.Helper()
+	const eps = 1e-9
+	// Structure: sorted, non-overlapping.
+	for i := range pieces {
+		if pieces[i].X1 >= pieces[i].X2 {
+			t.Fatalf("piece %d is empty: %+v", i, pieces[i])
+		}
+		if i > 0 && pieces[i].X1 < pieces[i-1].X2-eps {
+			t.Fatalf("pieces %d and %d overlap", i-1, i)
+		}
+	}
+	evalAt := func(s cgmgeom.Segment, x float64) float64 {
+		return s.Y1 + (s.Y2-s.Y1)*(x-s.X1)/(s.X2-s.X1)
+	}
+	inPiece := func(x float64) int {
+		for i, p := range pieces {
+			if p.X1+eps < x && x < p.X2-eps {
+				return i
+			}
+		}
+		return -1
+	}
+	loAll, hiAll := math.Inf(1), math.Inf(-1)
+	for _, s := range segs {
+		loAll = math.Min(loAll, s.X1)
+		hiAll = math.Max(hiAll, s.X2)
+	}
+	for trial := 0; trial < 400; trial++ {
+		x := loAll + r.Float64()*(hiAll-loAll)
+		pi := inPiece(x)
+		bestY := math.Inf(1)
+		best := -1
+		for j, s := range segs {
+			if s.X1+eps < x && x < s.X2-eps {
+				if y := evalAt(s, x); y < bestY {
+					bestY, best = y, j
+				}
+			}
+		}
+		switch {
+		case best == -1 && pi == -1:
+			// uncovered both ways (or x within eps of a boundary)
+		case best == -1 && pi != -1:
+			t.Fatalf("x=%v claimed covered by piece %d but no segment spans it", x, pi)
+		case pi == -1:
+			// x may sit within eps of a piece boundary; tolerate only
+			// if some piece boundary is near.
+			near := false
+			for _, p := range pieces {
+				if math.Abs(p.X1-x) < 1e-6 || math.Abs(p.X2-x) < 1e-6 {
+					near = true
+				}
+			}
+			if !near {
+				t.Fatalf("x=%v covered by segment %d but no piece claims it", x, best)
+			}
+		default:
+			claimed := segs[pieces[pi].Seg]
+			if evalAt(claimed, x) > bestY+1e-6 {
+				t.Fatalf("x=%v: piece says segment %d (y=%v) but %d is lower (y=%v)",
+					x, pieces[pi].Seg, evalAt(claimed, x), best, bestY)
+			}
+		}
+	}
+}
+
+func TestGenEnvelope(t *testing.T) {
+	r := prng.New(73)
+	for _, n := range []int{1, 2, 10, 60, 150} {
+		for _, v := range []int{1, 2, 5} {
+			segs := randCrossingSegments(r, n)
+			p, err := cgmgeom.NewGenEnvelope(segs, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 79, func(vps []bsp.VP) []uint64 {
+				var out []uint64
+				for _, pc := range p.Output(vps) {
+					out = append(out, math.Float64bits(pc.X1), math.Float64bits(pc.X2), uint64(pc.Seg))
+				}
+				return out
+			})
+			validateEnvelope(t, segs, p.Output(res.VPs), r)
+		}
+	}
+}
+
+func TestGenEnvelopeCrossingPair(t *testing.T) {
+	// Two segments crossing in the middle: the envelope must switch
+	// at the crossing.
+	segs := []cgmgeom.Segment{
+		{X1: 0, Y1: 0, X2: 10, Y2: 10},
+		{X1: 0, Y1: 10, X2: 10, Y2: 0},
+	}
+	p, err := cgmgeom.NewGenEnvelope(segs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunRef(t, p, 83)
+	pieces := p.Output(res.VPs)
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %+v, want 2", pieces)
+	}
+	if pieces[0].Seg != 0 || pieces[1].Seg != 1 {
+		t.Fatalf("piece order %d,%d, want 0,1", pieces[0].Seg, pieces[1].Seg)
+	}
+	if math.Abs(pieces[0].X2-5) > 1e-9 {
+		t.Fatalf("crossing at %v, want 5", pieces[0].X2)
+	}
+}
+
+func TestGenEnvelopeMatchesSimpleEnvelope(t *testing.T) {
+	// On non-crossing inputs the generalized envelope must agree with
+	// the specialized one piece for piece.
+	r := prng.New(79)
+	segs := randSegments(r, 40) // stacked, non-crossing
+	gp, err := cgmgeom.NewGenEnvelope(segs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := cgmgeom.NewEnvelope(segs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres := algtest.RunRef(t, gp, 89)
+	sres := algtest.RunRef(t, sp, 89)
+	got := gp.Output(gres.VPs)
+	want := sp.Output(sres.VPs)
+	if len(got) != len(want) {
+		t.Fatalf("%d pieces vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seg != want[i].Seg ||
+			math.Abs(got[i].X1-want[i].X1) > 1e-9 ||
+			math.Abs(got[i].X2-want[i].X2) > 1e-9 {
+			t.Fatalf("piece %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenEnvelopeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		n := r.Intn(50) + 1
+		segs := randCrossingSegments(r, n)
+		p, err := cgmgeom.NewGenEnvelope(segs, r.Intn(5)+1)
+		if err != nil {
+			return false
+		}
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return false
+		}
+		pieces := p.Output(res.VPs)
+		// Spot-validate by sampling (no *testing.T in quick functions).
+		const eps = 1e-9
+		for trial := 0; trial < 50; trial++ {
+			x := r.Float64() * 1.6
+			bestY := math.Inf(1)
+			covered := false
+			for _, s := range segs {
+				if s.X1+eps < x && x < s.X2-eps {
+					covered = true
+					y := s.Y1 + (s.Y2-s.Y1)*(x-s.X1)/(s.X2-s.X1)
+					if y < bestY {
+						bestY = y
+					}
+				}
+			}
+			var pieceY = math.Inf(1)
+			inside := false
+			nearEdge := false
+			for _, pc := range pieces {
+				if pc.X1+eps < x && x < pc.X2-eps {
+					inside = true
+					s := segs[pc.Seg]
+					pieceY = s.Y1 + (s.Y2-s.Y1)*(x-s.X1)/(s.X2-s.X1)
+				}
+				if math.Abs(pc.X1-x) < 1e-6 || math.Abs(pc.X2-x) < 1e-6 {
+					nearEdge = true
+				}
+			}
+			if covered != inside && !nearEdge {
+				return false
+			}
+			if inside && pieceY > bestY+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenEnvelopeRejectsVertical(t *testing.T) {
+	if _, err := cgmgeom.NewGenEnvelope([]cgmgeom.Segment{{X1: 1, X2: 1}}, 1); err == nil {
+		t.Error("vertical segment accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package cgmgeom_test
+
+import (
+	"math/bits"
+	"sort"
+	"testing"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgm"
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+func randIntervals(r *prng.Rand, n int) []cgmgeom.Segment {
+	out := make([]cgmgeom.Segment, n)
+	for i := range out {
+		x := r.Float64()
+		out[i] = cgmgeom.Segment{X1: x, X2: x + 0.01 + r.Float64()*0.5}
+	}
+	return out
+}
+
+func TestSegTree(t *testing.T) {
+	r := prng.New(83)
+	for _, n := range []int{1, 2, 17, 120} {
+		for _, v := range []int{1, 2, 5} {
+			intervals := randIntervals(r, n)
+			p, err := cgmgeom.NewSegTree(intervals, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 91, func(vps []bsp.VP) []uint64 {
+				var out []uint64
+				for _, nd := range p.Output(vps) {
+					out = append(out, uint64(nd.ID))
+					for _, iv := range nd.Intervals {
+						out = append(out, uint64(iv))
+					}
+				}
+				return out
+			})
+			nodes := p.Output(res.VPs)
+
+			// Every interval appears in at most 2·log₂(2n)+2 nodes.
+			perInterval := map[int]int{}
+			for _, nd := range nodes {
+				for _, iv := range nd.Intervals {
+					perInterval[iv]++
+				}
+			}
+			bound := 2*bits.Len(uint(4*n)) + 2
+			for iv, c := range perInterval {
+				if c > bound {
+					t.Fatalf("n=%d: interval %d in %d nodes, bound %d", n, iv, c, bound)
+				}
+			}
+
+			// Stabbing queries agree with brute force.
+			var ends []uint64
+			for _, s := range intervals {
+				ends = append(ends, cgm.EncodeFloat(s.X1), cgm.EncodeFloat(s.X2))
+			}
+			sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+			for trial := 0; trial < 60; trial++ {
+				x := r.Float64() * 1.5
+				got := p.Stab(nodes, ends, x)
+				var want []int
+				for iv, s := range intervals {
+					if s.X1 < x && x < s.X2 {
+						want = append(want, iv)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("n=%d v=%d x=%v: %d hits, want %d (%v vs %v)", n, v, x, len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d v=%d x=%v: hit %d = %d, want %d", n, v, x, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSegTreeRejectsBadInterval(t *testing.T) {
+	if _, err := cgmgeom.NewSegTree([]cgmgeom.Segment{{X1: 2, X2: 1}}, 1); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}

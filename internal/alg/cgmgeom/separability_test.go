@@ -1,0 +1,124 @@
+package cgmgeom_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+// bruteSeparable decides hull disjointness by exhaustive candidate
+// separating lines through all point pairs (O(n³), exact for point
+// sets in general position) plus axis-aligned candidates.
+func bruteSeparable(a, b []cgmgeom.Point) bool {
+	all := append(append([]cgmgeom.Point{}, a...), b...)
+	var dirs []cgmgeom.Point
+	for i := range all {
+		for j := range all {
+			if i < j {
+				dirs = append(dirs, cgmgeom.Point{X: -(all[j].Y - all[i].Y), Y: all[j].X - all[i].X})
+				dirs = append(dirs, cgmgeom.Point{X: all[j].X - all[i].X, Y: all[j].Y - all[i].Y})
+			}
+		}
+	}
+	dirs = append(dirs, cgmgeom.Point{X: 1}, cgmgeom.Point{Y: 1})
+	for _, d := range dirs {
+		minA, maxA := proj(a, d)
+		minB, maxB := proj(b, d)
+		if maxA < minB || maxB < minA {
+			return true
+		}
+	}
+	return false
+}
+
+func proj(pts []cgmgeom.Point, d cgmgeom.Point) (lo, hi float64) {
+	lo, hi = 1e300, -1e300
+	for _, p := range pts {
+		v := p.X*d.X + p.Y*d.Y
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func shiftedPts(r *prng.Rand, n int, dx, dy float64) []cgmgeom.Point {
+	out := make([]cgmgeom.Point, n)
+	for i := range out {
+		out[i] = cgmgeom.Point{X: dx + r.Float64(), Y: dy + r.Float64()}
+	}
+	return out
+}
+
+func TestSeparability(t *testing.T) {
+	r := prng.New(47)
+	cases := []struct {
+		name string
+		a, b []cgmgeom.Point
+	}{
+		{"farApart", shiftedPts(r, 30, 0, 0), shiftedPts(r, 30, 5, 5)},
+		{"overlapping", shiftedPts(r, 30, 0, 0), shiftedPts(r, 30, 0.2, 0.2)},
+		{"touchingGap", shiftedPts(r, 20, 0, 0), shiftedPts(r, 20, 1.05, 0)},
+		{"diagonalGap", shiftedPts(r, 25, 0, 0), shiftedPts(r, 25, 1.2, 1.2)},
+		{"singlePoints", []cgmgeom.Point{{X: 0, Y: 0}}, []cgmgeom.Point{{X: 1, Y: 1}}},
+		{"pointInCloud", []cgmgeom.Point{{X: 0.5, Y: 0.5}}, shiftedPts(r, 40, 0, 0)},
+		{"collinearSegs", []cgmgeom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, []cgmgeom.Point{{X: 2, Y: 0}, {X: 3, Y: 0}}},
+		{"collinearOverlap", []cgmgeom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}}, []cgmgeom.Point{{X: 1, Y: 0}, {X: 3, Y: 0}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, v := range []int{1, 3, 5} {
+				p, err := cgmgeom.NewSeparability(c.a, c.b, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := algtest.RunAll(t, p, 97, func(vps []bsp.VP) []uint64 {
+					if p.Output(vps) {
+						return []uint64{1}
+					}
+					return []uint64{0}
+				})
+				got := p.Output(res.VPs)
+				want := bruteSeparable(c.a, c.b)
+				if got != want {
+					t.Fatalf("v=%d: separable = %v, want %v", v, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSeparabilityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		na, nb := r.Intn(25)+1, r.Intn(25)+1
+		dx := r.Float64() * 2.4 // sweeps through overlap and separation
+		a := shiftedPts(r, na, 0, 0)
+		b := shiftedPts(r, nb, dx, 0)
+		p, err := cgmgeom.NewSeparability(a, b, r.Intn(6)+1)
+		if err != nil {
+			return false
+		}
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return false
+		}
+		return p.Output(res.VPs) == bruteSeparable(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeparabilityRejectsEmpty(t *testing.T) {
+	if _, err := cgmgeom.NewSeparability(nil, []cgmgeom.Point{{}}, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+}

@@ -1,0 +1,206 @@
+package cgmgraph
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+)
+
+// Runner executes a program on the caller's engine of choice (the
+// in-memory reference, the sequential EM engine, or the parallel EM
+// engine) and returns the final virtual-processor states. It lets
+// multi-phase drivers like Biconnectivity compose the Table 1
+// programs while remaining engine-agnostic.
+type Runner func(p bsp.Program) ([]bsp.VP, error)
+
+// Biconnectivity computes the biconnected components of a connected
+// graph (the Table 1 "Biconnected components" row) with the
+// Tarjan–Vishkin reduction, composed from the package's programs:
+//
+//  1. CC finds a spanning tree;
+//  2. EulerTour roots it at vertex 0 (first occurrences, subtree
+//     sizes — an ancestor-consistent interval numbering);
+//  3. TourAgg computes low(v)/high(v): the extremes, over v's
+//     subtree, of the tour numbers reachable by one non-tree edge;
+//  4. an auxiliary graph on the tree edges is formed (two
+//     Tarjan–Vishkin rules) and CC labels its components, which are
+//     exactly the biconnected components.
+//
+// Each phase is a full CGM program executed through the supplied
+// Runner; the O(n+m) glue between phases (building per-vertex values
+// and the auxiliary edge list) runs in core, a documented deviation —
+// a fully external driver would route the glue through the sort
+// program.
+//
+// The result assigns every edge of the input the minimum input-edge
+// index of its biconnected component.
+func Biconnectivity(n int, edges [][2]int, v int, run Runner) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cgmgraph: n = %d, want >= 1", n)
+	}
+	if len(edges) == 0 {
+		return nil, nil
+	}
+
+	// Phase 1: spanning tree.
+	ccProg, err := NewCC(n, edges, v)
+	if err != nil {
+		return nil, err
+	}
+	ccVPs, err := run(ccProg)
+	if err != nil {
+		return nil, fmt.Errorf("cgmgraph: biconnectivity spanning tree: %w", err)
+	}
+	labels := ccProg.Output(ccVPs)
+	for _, l := range labels {
+		if l != labels[0] {
+			return nil, fmt.Errorf("cgmgraph: biconnectivity requires a connected graph")
+		}
+	}
+	forest := ccProg.Forest(ccVPs)
+	isTree := make([]bool, len(edges))
+	treeEdges := make([][2]int, 0, n-1)
+	for _, ei := range forest {
+		isTree[ei] = true
+		treeEdges = append(treeEdges, edges[ei])
+	}
+
+	// Phase 2: root the tree.
+	euProg, err := NewEulerTour(n, treeEdges, v)
+	if err != nil {
+		return nil, err
+	}
+	euVPs, err := run(euProg)
+	if err != nil {
+		return nil, fmt.Errorf("cgmgraph: biconnectivity rooting: %w", err)
+	}
+	info := euProg.Output(euVPs)
+	first := info.First
+	size := info.Size
+	parent := info.Parent
+
+	// inSub reports whether w lies in v's subtree (interval test on
+	// the tour numbering).
+	inSub := func(w, vtx int) bool {
+		return first[vtx] <= first[w] && first[w] <= first[vtx]+2*size[vtx]-2
+	}
+
+	// Glue: per-vertex direct reach through one non-tree edge.
+	lowVal := make([]uint64, n)
+	highVal := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		lowVal[i] = uint64(first[i])
+		highVal[i] = uint64(first[i])
+	}
+	for ei, e := range edges {
+		if isTree[ei] {
+			continue
+		}
+		a, b := e[0], e[1]
+		for _, pair := range [2][2]int{{a, b}, {b, a}} {
+			x, y := pair[0], pair[1]
+			if uint64(first[y]) < lowVal[x] {
+				lowVal[x] = uint64(first[y])
+			}
+			if uint64(first[y]) > highVal[x] {
+				highVal[x] = uint64(first[y])
+			}
+		}
+	}
+
+	// Phase 3: subtree extremes (low and high in one program, since
+	// TourAgg aggregates min and max together; low uses lowVal's min,
+	// high uses highVal's max — run twice to keep the value arrays
+	// independent).
+	lowProg, err := NewTourAgg(n, treeEdges, lowVal, v)
+	if err != nil {
+		return nil, err
+	}
+	lowVPs, err := run(lowProg)
+	if err != nil {
+		return nil, fmt.Errorf("cgmgraph: biconnectivity low pass: %w", err)
+	}
+	low, _ := lowProg.Output(lowVPs)
+
+	highProg, err := NewTourAgg(n, treeEdges, highVal, v)
+	if err != nil {
+		return nil, err
+	}
+	highVPs, err := run(highProg)
+	if err != nil {
+		return nil, fmt.Errorf("cgmgraph: biconnectivity high pass: %w", err)
+	}
+	_, high := highProg.Output(highVPs)
+
+	// Glue: the Tarjan–Vishkin auxiliary graph over tree edges. Tree
+	// edge (parent(x), x) is represented by its child endpoint x, so
+	// the auxiliary vertices are 1..n-1 in child-relabeled space; we
+	// keep original vertex ids and skip the root.
+	var aux [][2]int
+	for ei, e := range edges {
+		if isTree[ei] {
+			continue
+		}
+		a, b := e[0], e[1]
+		if !inSub(a, b) && !inSub(b, a) {
+			// Rule 1: unrelated endpoints join their tree edges.
+			aux = append(aux, [2]int{a, b})
+		}
+	}
+	for x := 0; x < n; x++ {
+		u := parent[x]
+		if u <= 0 {
+			continue // x is the root or u is the root: no tree edge above u
+		}
+		if int(low[x]) < first[u] || int(high[x]) > first[u]+2*size[u]-2 {
+			// Rule 2: some non-tree edge escapes u's subtree from
+			// within x's subtree: (u,x) and (p(u),u) are in one
+			// biconnected component.
+			aux = append(aux, [2]int{x, u})
+		}
+	}
+
+	// Phase 4: components of the auxiliary graph (on vertices; vertex
+	// x stands for tree edge (parent(x), x), the root is isolated).
+	auxProg, err := NewCC(n, aux, v)
+	if err != nil {
+		return nil, err
+	}
+	auxVPs, err := run(auxProg)
+	if err != nil {
+		return nil, fmt.Errorf("cgmgraph: biconnectivity aux components: %w", err)
+	}
+	comp := auxProg.Output(auxVPs)
+
+	// Assign component labels to edges: a tree edge takes its child
+	// endpoint's component; a non-tree edge takes its deeper (larger
+	// tour number) endpoint's component. Canonicalize to the minimum
+	// edge index per component.
+	rawLabels := make([]int, len(edges))
+	for ei, e := range edges {
+		a, b := e[0], e[1]
+		var rep int
+		if isTree[ei] {
+			if parent[a] == b {
+				rep = a
+			} else {
+				rep = b
+			}
+		} else {
+			rep = a
+			if first[b] > first[a] {
+				rep = b
+			}
+		}
+		rawLabels[ei] = comp[rep]
+	}
+	canon := make(map[int]int)
+	out := make([]int, len(edges))
+	for ei, l := range rawLabels {
+		if _, ok := canon[l]; !ok {
+			canon[l] = ei
+		}
+		out[ei] = canon[l]
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package cgmgraph_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/bsp"
+	"embsp/internal/core"
+	"embsp/internal/prng"
+)
+
+func bruteSubtreeAgg(n int, edges [][2]int, vals []uint64) (mins, maxs []uint64) {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	mins = make([]uint64, n)
+	maxs = make([]uint64, n)
+	var dfs func(u, par int)
+	dfs = func(u, par int) {
+		mins[u], maxs[u] = vals[u], vals[u]
+		for _, w := range adj[u] {
+			if w != par {
+				dfs(w, u)
+				if mins[w] < mins[u] {
+					mins[u] = mins[w]
+				}
+				if maxs[w] > maxs[u] {
+					maxs[u] = maxs[w]
+				}
+			}
+		}
+	}
+	dfs(0, -1)
+	return mins, maxs
+}
+
+func TestTourAgg(t *testing.T) {
+	r := prng.New(53)
+	for _, n := range []int{1, 2, 3, 20, 100} {
+		for _, v := range []int{1, 2, 4} {
+			edges := randomTree(r, n)
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = r.Uint64() % 1000
+			}
+			p, err := cgmgraph.NewTourAgg(n, edges, vals, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := bsp.Run(p, bsp.RunOptions{Seed: 59, ValidateContexts: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMin, gotMax := p.Output(res.VPs)
+			wantMin, wantMax := bruteSubtreeAgg(n, edges, vals)
+			for i := 0; i < n; i++ {
+				if gotMin[i] != wantMin[i] || gotMax[i] != wantMax[i] {
+					t.Fatalf("n=%d v=%d vertex %d: got (%d,%d), want (%d,%d)",
+						n, v, i, gotMin[i], gotMax[i], wantMin[i], wantMax[i])
+				}
+			}
+			// EM engine equivalence.
+			cfg := core.MachineConfig{
+				P: 1, M: 3*p.MaxContextWords() + 128, D: 2, B: 64, G: 100,
+				Cost: bsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+			}
+			emRes, err := core.Run(p, cfg, core.Options{Seed: 59})
+			if err != nil {
+				t.Fatal(err)
+			}
+			emMin, emMax := p.Output(emRes.VPs)
+			for i := 0; i < n; i++ {
+				if emMin[i] != gotMin[i] || emMax[i] != gotMax[i] {
+					t.Fatalf("EM run differs at vertex %d", i)
+				}
+			}
+		}
+	}
+}
+
+// bruteBiCC computes per-edge biconnected component labels with the
+// classical DFS edge-stack algorithm; labels are canonicalized to the
+// minimum edge index of each component.
+func bruteBiCC(n int, edges [][2]int) []int {
+	type half struct{ to, idx int }
+	adj := make([][]half, n)
+	for i, e := range edges {
+		adj[e[0]] = append(adj[e[0]], half{e[1], i})
+		adj[e[1]] = append(adj[e[1]], half{e[0], i})
+	}
+	labels := make([]int, len(edges))
+	for i := range labels {
+		labels[i] = -1
+	}
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var stack []int
+	timer := 0
+	var comp [][]int
+	var dfs func(u, peidx int)
+	dfs = func(u, peidx int) {
+		disc[u] = timer
+		low[u] = timer
+		timer++
+		for _, h := range adj[u] {
+			if h.idx == peidx {
+				continue
+			}
+			if disc[h.to] == -1 {
+				stack = append(stack, h.idx)
+				dfs(h.to, h.idx)
+				if low[h.to] < low[u] {
+					low[u] = low[h.to]
+				}
+				if low[h.to] >= disc[u] {
+					// u is an articulation point (or root): pop a component.
+					var c []int
+					for {
+						e := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						c = append(c, e)
+						if e == h.idx {
+							break
+						}
+					}
+					comp = append(comp, c)
+				}
+			} else if disc[h.to] < disc[u] {
+				stack = append(stack, h.idx)
+				if disc[h.to] < low[u] {
+					low[u] = disc[h.to]
+				}
+			}
+		}
+	}
+	dfs(0, -1)
+	for _, c := range comp {
+		m := c[0]
+		for _, e := range c {
+			if e < m {
+				m = e
+			}
+		}
+		for _, e := range c {
+			labels[e] = m
+		}
+	}
+	return labels
+}
+
+// samePartition checks the two labelings induce the same grouping.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// refRunner executes programs on the in-memory reference with context
+// validation.
+func refRunner(seed uint64) cgmgraph.Runner {
+	return func(p bsp.Program) ([]bsp.VP, error) {
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.VPs, nil
+	}
+}
+
+// emRunner executes programs on the sequential EM engine.
+func emRunner(seed uint64) cgmgraph.Runner {
+	return func(p bsp.Program) ([]bsp.VP, error) {
+		cfg := core.MachineConfig{
+			P: 1, M: 3*p.MaxContextWords() + 256, D: 2, B: 64, G: 100,
+			Cost: bsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+		}
+		res, err := core.Run(p, cfg, core.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.VPs, nil
+	}
+}
+
+// connectedRandomGraph returns a random connected graph: a random
+// tree plus extra random edges.
+func connectedRandomGraph(r *prng.Rand, n, extra int) [][2]int {
+	edges := randomTree(r, n)
+	for i := 0; i < extra; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return edges
+}
+
+func TestBiconnectivity(t *testing.T) {
+	r := prng.New(61)
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"singleEdge", 2, [][2]int{{0, 1}}},
+		{"path", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+		{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}},
+		{"twoTriangles", 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}}},
+		{"bridge", 6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}}},
+		{"random20", 20, connectedRandomGraph(r, 20, 12)},
+		{"random60", 60, connectedRandomGraph(r, 60, 40)},
+		{"denseSmall", 8, connectedRandomGraph(r, 8, 20)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := bruteBiCC(c.n, c.edges)
+			for _, v := range []int{1, 3} {
+				got, err := cgmgraph.Biconnectivity(c.n, c.edges, v, refRunner(63))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !samePartition(got, want) {
+					t.Fatalf("v=%d (ref): partition differs\n got: %v\nwant: %v", v, got, want)
+				}
+			}
+			got, err := cgmgraph.Biconnectivity(c.n, c.edges, 3, emRunner(63))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePartition(got, want) {
+				t.Fatalf("EM: partition differs\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+func TestBiconnectivityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		n := r.Intn(40) + 2
+		edges := connectedRandomGraph(r, n, r.Intn(2*n))
+		got, err := cgmgraph.Biconnectivity(n, edges, r.Intn(5)+1, refRunner(seed))
+		if err != nil {
+			return false
+		}
+		return samePartition(got, bruteBiCC(n, edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiconnectivityRejectsDisconnected(t *testing.T) {
+	_, err := cgmgraph.Biconnectivity(4, [][2]int{{0, 1}, {2, 3}}, 2, refRunner(1))
+	if err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package cgmgraph_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+// randomExpr builds a random binary expression tree with nLeaves
+// leaves rooted at node 0. It returns parent/kind/value arrays.
+func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []uint64) {
+	if nLeaves == 1 {
+		return []int{-1}, []uint8{cgmgraph.OpLeaf}, []uint64{r.Uint64()}
+	}
+	// Grow the tree by splitting random leaves.
+	parent = []int{-1}
+	kind = []uint8{cgmgraph.OpLeaf}
+	value = []uint64{0}
+	leaves := []int{0}
+	for len(leaves) < nLeaves {
+		li := r.Intn(len(leaves))
+		node := leaves[li]
+		if r.Bool() {
+			kind[node] = cgmgraph.OpAdd
+		} else {
+			kind[node] = cgmgraph.OpMul
+		}
+		for c := 0; c < 2; c++ {
+			parent = append(parent, node)
+			kind = append(kind, cgmgraph.OpLeaf)
+			value = append(value, 0)
+			if c == 0 {
+				leaves[li] = len(parent) - 1
+			} else {
+				leaves = append(leaves, len(parent)-1)
+			}
+		}
+	}
+	for _, l := range leaves {
+		value[l] = r.Uint64() % 1000
+	}
+	return parent, kind, value
+}
+
+// seqEval is the sequential reference over ℤ/2⁶⁴.
+func seqEval(parent []int, kind []uint8, value []uint64) uint64 {
+	n := len(parent)
+	children := make([][]int, n)
+	for i := 1; i < n; i++ {
+		children[parent[i]] = append(children[parent[i]], i)
+	}
+	var eval func(i int) uint64
+	eval = func(i int) uint64 {
+		if kind[i] == cgmgraph.OpLeaf {
+			return value[i]
+		}
+		a, b := eval(children[i][0]), eval(children[i][1])
+		if kind[i] == cgmgraph.OpAdd {
+			return a + b
+		}
+		return a * b
+	}
+	return eval(0)
+}
+
+func TestExprTree(t *testing.T) {
+	r := prng.New(37)
+	for _, leaves := range []int{1, 2, 3, 8, 40, 150} {
+		for _, v := range []int{1, 2, 4} {
+			parent, kind, value := randomExpr(r, leaves)
+			p, err := cgmgraph.NewExprTree(parent, kind, value, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 91, func(vps []bsp.VP) []uint64 {
+				return []uint64{p.Output(vps)}
+			})
+			got := p.Output(res.VPs)
+			want := seqEval(parent, kind, value)
+			if got != want {
+				t.Fatalf("leaves=%d v=%d: value = %d, want %d", leaves, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExprTreeDeepChain(t *testing.T) {
+	// A left-deep comb: ((((l1 op l2) op l3) ...) — stresses repeated
+	// bypassing along one path.
+	r := prng.New(41)
+	const depth = 60
+	parent := []int{-1}
+	kind := []uint8{cgmgraph.OpAdd}
+	value := []uint64{0}
+	cur := 0
+	for d := 0; d < depth; d++ {
+		// right child: leaf
+		parent = append(parent, cur)
+		kind = append(kind, cgmgraph.OpLeaf)
+		value = append(value, r.Uint64()%100)
+		// left child: next operator (or final leaf)
+		parent = append(parent, cur)
+		if d == depth-1 {
+			kind = append(kind, cgmgraph.OpLeaf)
+			value = append(value, r.Uint64()%100)
+		} else {
+			if d%2 == 0 {
+				kind = append(kind, cgmgraph.OpMul)
+			} else {
+				kind = append(kind, cgmgraph.OpAdd)
+			}
+			value = append(value, 0)
+		}
+		cur = len(parent) - 1
+	}
+	p, err := cgmgraph.NewExprTree(parent, kind, value, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunRef(t, p, 93)
+	if got, want := p.Output(res.VPs), seqEval(parent, kind, value); got != want {
+		t.Fatalf("value = %d, want %d", got, want)
+	}
+}
+
+func TestExprTreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		leaves := r.Intn(60) + 1
+		v := r.Intn(5) + 1
+		parent, kind, value := randomExpr(r, leaves)
+		p, err := cgmgraph.NewExprTree(parent, kind, value, v)
+		if err != nil {
+			return false
+		}
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return false
+		}
+		return p.Output(res.VPs) == seqEval(parent, kind, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprTreeRejectsBadInput(t *testing.T) {
+	if _, err := cgmgraph.NewExprTree([]int{0}, []uint8{cgmgraph.OpLeaf}, []uint64{1}, 1); err == nil {
+		t.Error("root with parent accepted")
+	}
+	if _, err := cgmgraph.NewExprTree([]int{-1, 0}, []uint8{cgmgraph.OpAdd, cgmgraph.OpLeaf}, []uint64{0, 1}, 1); err == nil {
+		t.Error("unary operator accepted")
+	}
+	if _, err := cgmgraph.NewExprTree([]int{-1, 0, 0}, []uint8{cgmgraph.OpLeaf, cgmgraph.OpLeaf, cgmgraph.OpLeaf}, []uint64{0, 1, 2}, 1); err == nil {
+		t.Error("leaf with children accepted")
+	}
+}

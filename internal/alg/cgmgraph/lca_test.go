@@ -1,0 +1,96 @@
+package cgmgraph_test
+
+import (
+	"testing"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+// bruteLCA walks parents upward.
+func bruteLCA(parent []int, u, v int) int {
+	depth := func(x int) int {
+		d := 0
+		for parent[x] >= 0 {
+			x = parent[x]
+			d++
+		}
+		return d
+	}
+	du, dv := depth(u), depth(v)
+	for du > dv {
+		u = parent[u]
+		du--
+	}
+	for dv > du {
+		v = parent[v]
+		dv--
+	}
+	for u != v {
+		u, v = parent[u], parent[v]
+	}
+	return u
+}
+
+func TestLCA(t *testing.T) {
+	r := prng.New(31)
+	for _, n := range []int{1, 2, 3, 15, 80} {
+		for _, v := range []int{1, 2, 4} {
+			edges := randomTree(r, n)
+			ref := treeReference(n, edges)
+			nq := 2 * n
+			queries := make([][2]int, nq)
+			for i := range queries {
+				queries[i] = [2]int{r.Intn(n), r.Intn(n)}
+			}
+			p, err := cgmgraph.NewLCA(n, edges, queries, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 83, func(vps []bsp.VP) []uint64 {
+				var out []uint64
+				for _, a := range p.Output(vps) {
+					out = append(out, uint64(a))
+				}
+				return out
+			})
+			got := p.Output(res.VPs)
+			for i, q := range queries {
+				want := bruteLCA(ref.Parent, q[0], q[1])
+				if got[i] != want {
+					t.Fatalf("n=%d v=%d: LCA(%d,%d) = %d, want %d", n, v, q[0], q[1], got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestLCAEdgeQueries(t *testing.T) {
+	// Path: LCA is the shallower endpoint; star: LCA is 0 unless equal.
+	n := 10
+	var path [][2]int
+	for i := 1; i < n; i++ {
+		path = append(path, [2]int{i - 1, i})
+	}
+	queries := [][2]int{{0, 9}, {9, 0}, {4, 4}, {3, 7}, {9, 9}, {0, 0}}
+	p, err := cgmgraph.NewLCA(n, path, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunRef(t, p, 89)
+	got := p.Output(res.VPs)
+	want := []int{0, 0, 4, 3, 9, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLCARejectsBadQuery(t *testing.T) {
+	if _, err := cgmgraph.NewLCA(2, [][2]int{{0, 1}}, [][2]int{{0, 2}}, 1); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}

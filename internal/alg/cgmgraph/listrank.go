@@ -1,0 +1,115 @@
+package cgmgraph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"embsp/internal/alg/cgm"
+	"embsp/internal/bsp"
+	"embsp/internal/words"
+)
+
+// ListRank is the Table 1 "List ranking" row: given successor
+// pointers forming disjoint chains, compute every node's weighted
+// distance to the end of its chain.
+type ListRank struct {
+	v      int
+	n      int
+	succ   []int
+	weight []uint64
+}
+
+// NewListRank returns the program for the given successor array
+// (succ[i] = -1 marks a chain tail) and optional weights (nil means
+// unit weights) on v VPs.
+func NewListRank(succ []int, weight []uint64, v int) (*ListRank, error) {
+	if v <= 0 {
+		return nil, fmt.Errorf("cgmgraph: v = %d, want > 0", v)
+	}
+	if weight != nil && len(weight) != len(succ) {
+		return nil, fmt.Errorf("cgmgraph: %d nodes but %d weights", len(succ), len(weight))
+	}
+	for i, s := range succ {
+		if s < -1 || s >= len(succ) || s == i {
+			return nil, fmt.Errorf("cgmgraph: succ[%d] = %d out of range", i, s)
+		}
+	}
+	return &ListRank{v: v, n: len(succ), succ: succ, weight: weight}, nil
+}
+
+func (p *ListRank) NumVPs() int { return p.v }
+
+// rankerBounds computes shared µ/γ bounds for a ranker over n nodes.
+func rankerBounds(n, v int) (mu, gamma int) {
+	maxOwn := cgm.MaxPart(n, v)
+	// Subscriptions accumulate one entry per contraction round in the
+	// worst case; rounds are O(log n) with overwhelming probability.
+	maxSubs := maxOwn * (2*bits.Len(uint(n+1)) + 8)
+	rk := Ranker{}
+	mu = 4 + rk.SaveSize(maxOwn, maxSubs)
+	thr := rankerThreshold(n, v)
+	gamma = 20*maxOwn + 8*thr + 8*v + 64
+	return mu, gamma
+}
+
+func (p *ListRank) MaxContextWords() int {
+	mu, _ := rankerBounds(p.n, p.v)
+	return mu
+}
+
+func (p *ListRank) MaxCommWords() int {
+	_, gamma := rankerBounds(p.n, p.v)
+	return gamma
+}
+
+func (p *ListRank) NewVP(id int) bsp.VP {
+	lo, hi := cgm.Dist(p.n, p.v, id)
+	succ := make([]uint64, hi-lo)
+	weight := make([]uint64, hi-lo)
+	for i := lo; i < hi; i++ {
+		if p.succ[i] < 0 {
+			succ[i-lo] = none
+		} else {
+			succ[i-lo] = uint64(p.succ[i])
+		}
+		if p.weight == nil {
+			weight[i-lo] = 1
+		} else {
+			weight[i-lo] = p.weight[i]
+		}
+	}
+	return &listRankVP{ranker: Ranker{N: p.n, Succ: succ, Weight: weight}}
+}
+
+type listRankVP struct {
+	ranker Ranker
+}
+
+func (vp *listRankVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	return vp.ranker.Step(env, in)
+}
+
+func (vp *listRankVP) Save(enc *words.Encoder) { vp.ranker.Save(enc) }
+func (vp *listRankVP) Load(dec *words.Decoder) { vp.ranker.Load(dec) }
+
+// Output returns the rank of every node: the sum of weights along the
+// chain from the node to its tail (hop count for unit weights).
+func (p *ListRank) Output(vps []bsp.VP) []uint64 {
+	out := make([]uint64, 0, p.n)
+	for _, vp := range vps {
+		out = append(out, vp.(*listRankVP).ranker.Rank...)
+	}
+	return out
+}
+
+// Rounds returns the contraction rounds used (an observable for the
+// O(log p) claim); valid after a run.
+func (p *ListRank) Rounds(vps []bsp.VP) int {
+	r := 0
+	for _, vp := range vps {
+		if x := vp.(*listRankVP).ranker.Rounds; x > r {
+			r = x
+		}
+	}
+	return r
+}

@@ -1,0 +1,193 @@
+package cgmgraph_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/alg/algtest"
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+)
+
+// randomChains builds a successor array of nLists random disjoint
+// chains covering n nodes.
+func randomChains(r *prng.Rand, n, nLists int) []int {
+	perm := r.Perm(n)
+	succ := make([]int, n)
+	for i := range succ {
+		succ[i] = -1
+	}
+	if n == 0 {
+		return succ
+	}
+	if nLists < 1 {
+		nLists = 1
+	}
+	// Split the permutation into nLists chains at random cut points.
+	cuts := map[int]bool{0: true}
+	for len(cuts) < nLists && len(cuts) < n {
+		cuts[r.Intn(n)] = true
+	}
+	for i := 0; i+1 < n; i++ {
+		if !cuts[i+1] {
+			succ[perm[i]] = perm[i+1]
+		}
+	}
+	return succ
+}
+
+// seqRank is the sequential reference.
+func seqRank(succ []int, weight []uint64) []uint64 {
+	n := len(succ)
+	rank := make([]uint64, n)
+	done := make([]bool, n)
+	var solve func(i int) uint64
+	solve = func(i int) uint64 {
+		if done[i] {
+			return rank[i]
+		}
+		done[i] = true
+		w := uint64(1)
+		if weight != nil {
+			w = weight[i]
+		}
+		if succ[i] >= 0 {
+			rank[i] = w + solve(succ[i])
+		}
+		return rank[i]
+	}
+	for i := range succ {
+		solve(i)
+	}
+	return rank
+}
+
+func TestListRankSingleChain(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 100, 333} {
+		for _, v := range []int{1, 2, 4, 7} {
+			r := prng.New(uint64(n*100 + v))
+			succ := randomChains(r, n, 1)
+			p, err := cgmgraph.NewListRank(succ, nil, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 51, func(vps []bsp.VP) []uint64 { return p.Output(vps) })
+			got := p.Output(res.VPs)
+			want := seqRank(succ, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: rank[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestListRankMultipleChains(t *testing.T) {
+	r := prng.New(3)
+	for _, n := range []int{20, 150} {
+		for _, lists := range []int{2, 5} {
+			succ := randomChains(r, n, lists)
+			p, err := cgmgraph.NewListRank(succ, nil, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := algtest.RunAll(t, p, 53, func(vps []bsp.VP) []uint64 { return p.Output(vps) })
+			got := p.Output(res.VPs)
+			want := seqRank(succ, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d lists=%d: rank[%d] = %d, want %d", n, lists, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestListRankWeighted(t *testing.T) {
+	r := prng.New(9)
+	n := 120
+	succ := randomChains(r, n, 3)
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = uint64(r.Intn(100))
+	}
+	p, err := cgmgraph.NewListRank(succ, w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunAll(t, p, 57, func(vps []bsp.VP) []uint64 { return p.Output(vps) })
+	got := p.Output(res.VPs)
+	want := seqRank(succ, w)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestListRankSignedWeights(t *testing.T) {
+	// Two's-complement weights give signed prefix behaviour (used for
+	// tree depth via Euler tours): ranks wrap correctly.
+	succ := []int{1, 2, 3, -1}
+	minusOne := int64(-1)
+	w := []uint64{1, uint64(minusOne), 1, 7}
+	p, err := cgmgraph.NewListRank(succ, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := algtest.RunRef(t, p, 1)
+	got := p.Output(res.VPs)
+	// rank[3]=0, rank[2]=1, rank[1]=0, rank[0]=1
+	want := []uint64{1, 0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestListRankProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		n := r.Intn(120)
+		v := r.Intn(6) + 1
+		lists := r.Intn(4) + 1
+		succ := randomChains(r, n, lists)
+		p, err := cgmgraph.NewListRank(succ, nil, v)
+		if err != nil {
+			return false
+		}
+		res, err := bsp.Run(p, bsp.RunOptions{Seed: seed, ValidateContexts: true})
+		if err != nil {
+			return false
+		}
+		got := p.Output(res.VPs)
+		want := seqRank(succ, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListRankRejectsBadInput(t *testing.T) {
+	if _, err := cgmgraph.NewListRank([]int{0}, nil, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := cgmgraph.NewListRank([]int{5}, nil, 1); err == nil {
+		t.Error("out-of-range successor accepted")
+	}
+	if _, err := cgmgraph.NewListRank([]int{-1}, []uint64{1, 2}, 1); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, err := cgmgraph.NewListRank([]int{-1}, nil, 0); err == nil {
+		t.Error("v=0 accepted")
+	}
+}

@@ -1,0 +1,461 @@
+// Package cgmgraph implements the Group C (graph) workloads of the
+// paper's Table 1 as CGM programs: list ranking, Euler tour with tree
+// applications (parent, depth, subtree size), and connected
+// components with spanning forest. The CGM algorithms have λ =
+// O(log p)-flavoured round counts (measured λ is reported by the
+// bench harness next to the paper's bound).
+package cgmgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"embsp/internal/alg/cgm"
+	"embsp/internal/bsp"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// Ranker is an embeddable distributed list-ranking machine in the
+// style of the randomized contraction algorithms of Cáceres et al.
+// [11]: given n nodes with successor pointers (forming one or more
+// disjoint chains) and per-node weights, it computes for every node u
+//
+//	rank(u) = w(u) + rank(succ(u)),  rank(tail) = 0
+//
+// i.e. the weighted distance to the end of u's chain (hop count for
+// unit weights).
+//
+// The machine proceeds in three stages:
+//
+//  1. Contraction rounds: each round, an independent set of nodes
+//     (selected by per-node coin flips computable from ids alone) is
+//     spliced out; a spliced node remembers its successor and weight
+//     at splice time and subscribes to that successor's rank. Every
+//     round ends with an active-node count at VP 0.
+//  2. When the active count drops below a threshold, VP 0 gathers the
+//     remaining chains and ranks them sequentially.
+//  3. Expansion: ranks propagate back through the subscription lists,
+//     one splice level per superstep, until every node is ranked.
+//
+// The host VP embeds a Ranker, fills Succ/Weight for its block of
+// nodes (block distribution of n nodes over v VPs), and forwards
+// Step/Save/Load until Step reports done. The Ranker owns the inbox
+// during its activity.
+type Ranker struct {
+	// N is the global number of nodes; set before the first Step.
+	N int
+	// Succ holds successor node ids for the VP's owned block
+	// (engine: -1 encoded as MaxUint64 marks a chain tail).
+	Succ []uint64
+	// Weight holds the per-node weights (interpreted as int64,
+	// summed with wraparound; unit ranks use 1).
+	Weight []uint64
+	// Rank holds the results for the owned block once done.
+	Rank []uint64
+	// Rounds counts the contraction rounds used (observable λ).
+	Rounds int
+
+	phase   uint64
+	doneCmd bool
+	pred    []uint64
+	state   []uint64   // 0 active, 1 spliced
+	known   []uint64   // rank known flag
+	subs    [][]uint64 // per owned node: subscriber (node, addW) pairs
+}
+
+// The MaxUint64 value marks "none" for node references.
+const none = ^uint64(0)
+
+// Ranker phases.
+const (
+	rkSetup    = 0 // send pred notifications
+	rkContract = 1 // splice rounds
+	rkGather   = 2 // ship active chains to VP 0
+	rkSolve    = 3 // VP 0 ranks the gathered chains
+	rkExpand   = 4 // subscription-driven rank propagation
+	rkDone     = 5
+)
+
+// Message tags (first payload word).
+const (
+	rkTagSetPred = iota
+	rkTagSetSucc
+	rkTagCount
+	rkTagCmd
+	rkTagChain
+	rkTagRank
+	rkTagSub
+	rkTagUnknown
+)
+
+// Commands broadcast by VP 0.
+const (
+	rkCmdContinue = iota
+	rkCmdGather
+	rkCmdDone
+)
+
+// sortUints sorts a uint64 slice ascending.
+func sortUints(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// rankerThreshold is the active-node count below which VP 0 gathers
+// the remaining chains (scaled by v so the gather is an O(n/v + v)
+// h-relation).
+func rankerThreshold(n, v int) int {
+	t := cgm.MaxPart(n, v)
+	if t < 4*v {
+		t = 4 * v
+	}
+	return t
+}
+
+func (r *Ranker) lo(env *bsp.Env) int {
+	lo, _ := cgm.Dist(r.N, env.NumVPs(), env.ID())
+	return lo
+}
+
+// Active reports whether the Ranker still needs Step calls.
+func (r *Ranker) Active() bool { return r.phase != rkDone }
+
+// coin returns the selection coin of a node in a contraction round;
+// it is a pure function of (run seed, round, node), so any VP can
+// evaluate any node's coin locally without communication.
+func coin(seed uint64, round, node uint64) bool {
+	return prng.Derive(seed, 0xC01, round, node)&1 == 1
+}
+
+// Step advances the ranking by one superstep, returning true when all
+// owned ranks are known.
+func (r *Ranker) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	v := env.NumVPs()
+	lo := r.lo(env)
+	own := len(r.Succ)
+	if len(r.pred) != own {
+		r.pred = make([]uint64, own)
+		r.state = make([]uint64, own)
+		r.known = make([]uint64, own)
+		r.Rank = make([]uint64, own)
+		r.subs = make([][]uint64, own)
+		for i := range r.pred {
+			r.pred[i] = none
+		}
+	}
+
+	switch r.phase {
+	case rkSetup:
+		parts := make([][]uint64, v)
+		for i, s := range r.Succ {
+			if s != none {
+				d := cgm.Owner(r.N, v, int(s))
+				parts[d] = append(parts[d], rkTagSetPred, s, uint64(lo+i))
+			}
+		}
+		for d, part := range parts {
+			if len(part) > 0 {
+				env.Send(d, part)
+			}
+		}
+		if env.ID() == 0 {
+			// Seed the command pipeline.
+			for d := 0; d < v; d++ {
+				env.Send(d, []uint64{rkTagCmd, rkCmdContinue})
+			}
+		}
+		env.Send(0, []uint64{rkTagCount, uint64(own)})
+		env.Charge(int64(own))
+		r.phase = rkContract
+		return false, nil
+
+	case rkContract:
+		cmd, counts, err := r.applyUpdates(env, in, lo)
+		if err != nil {
+			return false, err
+		}
+		if cmd == rkCmdGather {
+			// Ship remaining active nodes to VP 0.
+			var chain []uint64
+			for i := range r.state {
+				if r.state[i] == 0 {
+					chain = append(chain, uint64(lo+i), r.Succ[i], r.Weight[i])
+				}
+			}
+			if len(chain) > 0 {
+				env.Send(0, append([]uint64{rkTagChain}, chain...))
+			}
+			r.phase = rkSolve
+			return false, nil
+		}
+		if env.ID() == 0 {
+			next := rkCmdContinue
+			if counts <= uint64(rankerThreshold(r.N, v)) {
+				next = rkCmdGather
+			}
+			for d := 0; d < v; d++ {
+				env.Send(d, []uint64{rkTagCmd, uint64(next)})
+			}
+		}
+		// Contraction round: splice out an independent set.
+		r.Rounds++
+		round := uint64(r.Rounds)
+		seed := rankerSeed(env)
+		parts := make([][]uint64, v)
+		var active uint64
+		for i := range r.state {
+			if r.state[i] != 0 {
+				continue
+			}
+			u := uint64(lo + i)
+			if r.Succ[i] != none && coin(seed, round, u) &&
+				(r.pred[i] == none || !coin(seed, round, r.pred[i])) {
+				// Splice u out: pred.succ = succ(u) (+w), succ.pred =
+				// pred(u); subscribe u to succ(u)'s rank.
+				s, w := r.Succ[i], r.Weight[i]
+				if r.pred[i] != none {
+					d := cgm.Owner(r.N, v, int(r.pred[i]))
+					parts[d] = append(parts[d], rkTagSetSucc, r.pred[i], s, w)
+				}
+				ds := cgm.Owner(r.N, v, int(s))
+				parts[ds] = append(parts[ds], rkTagSetPred, s, r.pred[i])
+				parts[ds] = append(parts[ds], rkTagSub, s, u, w)
+				r.state[i] = 1
+				continue
+			}
+			active++
+		}
+		for d, part := range parts {
+			if len(part) > 0 {
+				env.Send(d, part)
+			}
+		}
+		env.Send(0, []uint64{rkTagCount, active})
+		env.Charge(int64(own))
+		return false, nil
+
+	case rkSolve:
+		// Apply the trailing splice updates that arrived with the
+		// gathered chains, then (at VP 0) rank the contracted lists.
+		if _, _, err := r.applyUpdates(env, in, lo); err != nil {
+			return false, err
+		}
+		if env.ID() == 0 {
+			succ := make(map[uint64]uint64)
+			weight := make(map[uint64]uint64)
+			hasPred := make(map[uint64]bool)
+			for _, m := range in {
+				if m.Payload[0] != rkTagChain {
+					continue
+				}
+				p := m.Payload[1:]
+				for i := 0; i+3 <= len(p); i += 3 {
+					succ[p[i]] = p[i+1]
+					weight[p[i]] = p[i+2]
+					if p[i+1] != none {
+						hasPred[p[i+1]] = true
+					}
+				}
+			}
+			// Walk every chain from its head, computing ranks from
+			// the tail backwards via a stack.
+			heads := make([]uint64, 0, len(succ))
+			for u := range succ {
+				if !hasPred[u] {
+					heads = append(heads, u)
+				}
+			}
+			sortUints(heads)
+			ranks := make(map[uint64]uint64)
+			for _, u := range heads {
+				var path []uint64
+				for x := u; x != none; {
+					if _, ok := succ[x]; !ok {
+						return false, fmt.Errorf("cgmgraph: chain reaches unknown node %d", x)
+					}
+					path = append(path, x)
+					if len(path) > len(succ) {
+						return false, fmt.Errorf("cgmgraph: chain longer than node count (cycle?)")
+					}
+					x = succ[x]
+				}
+				ranks[path[len(path)-1]] = 0
+				for i := len(path) - 2; i >= 0; i-- {
+					ranks[path[i]] = weight[path[i]] + ranks[path[i+1]]
+				}
+			}
+			if len(ranks) != len(succ) {
+				return false, fmt.Errorf("cgmgraph: ranked %d of %d gathered nodes (cycle?)", len(ranks), len(succ))
+			}
+			ranked := make([]uint64, 0, len(ranks))
+			for u := range ranks {
+				ranked = append(ranked, u)
+			}
+			sortUints(ranked)
+			parts := make([][]uint64, v)
+			for _, u := range ranked {
+				d := cgm.Owner(r.N, v, int(u))
+				parts[d] = append(parts[d], rkTagRank, u, ranks[u])
+			}
+			for d, part := range parts {
+				if len(part) > 0 {
+					env.Send(d, part)
+				}
+			}
+			env.Charge(int64(len(succ)) * 2)
+		}
+		r.phase = rkExpand
+		return false, nil
+
+	case rkExpand:
+		if _, _, err := r.applyUpdates(env, in, lo); err != nil {
+			return false, err
+		}
+		if r.doneCmd {
+			r.phase = rkDone
+			return true, nil
+		}
+		var unknown uint64
+		for i := range r.known {
+			if r.known[i] == 0 {
+				unknown++
+			}
+		}
+		// VP 0 watches the unknown counts inside applyUpdates and
+		// broadcasts DONE once they hit zero; here we only report.
+		env.Send(0, []uint64{rkTagUnknown, unknown})
+		env.Charge(int64(len(r.known)))
+		return false, nil
+
+	default:
+		return false, fmt.Errorf("cgmgraph: ranker stepped after completion")
+	}
+}
+
+// rankerSeed derives the coin seed. Env.Rand streams are
+// (id, superstep)-specific, but coins must be globally evaluable, so
+// we key purely off a constant; determinism across engines holds
+// because the round counter advances identically everywhere.
+func rankerSeed(env *bsp.Env) uint64 { return 0x9E3779B97F4A7C15 }
+
+// applyUpdates processes pointer/rank/subscription messages. It
+// returns the command broadcast by VP 0 (or rkCmdContinue) and, at
+// VP 0, the summed counter values.
+func (r *Ranker) applyUpdates(env *bsp.Env, in []bsp.Message, lo int) (cmd int, counts uint64, err error) {
+	v := env.NumVPs()
+	cmd = rkCmdContinue
+	var unknownTotal uint64
+	sawUnknown := false
+	for _, m := range in {
+		p := m.Payload
+		i := 0
+		for i < len(p) {
+			switch p[i] {
+			case rkTagSetPred:
+				r.pred[int(p[i+1])-lo] = p[i+2]
+				i += 3
+			case rkTagSetSucc:
+				j := int(p[i+1]) - lo
+				r.Succ[j] = p[i+2]
+				r.Weight[j] += p[i+3]
+				i += 4
+			case rkTagSub:
+				j := int(p[i+1]) - lo
+				r.subs[j] = append(r.subs[j], p[i+2], p[i+3])
+				i += 4
+			case rkTagRank:
+				j := int(p[i+1]) - lo
+				if r.known[j] == 0 {
+					r.known[j] = 1
+					r.Rank[j] = p[i+2]
+					// Notify subscribers: their rank is ours plus
+					// their splice weight.
+					for s := 0; s+2 <= len(r.subs[j]); s += 2 {
+						u, w := r.subs[j][s], r.subs[j][s+1]
+						d := cgm.Owner(r.N, v, int(u))
+						env.Send(d, []uint64{rkTagRank, u, r.Rank[j] + w})
+					}
+					r.subs[j] = nil
+				}
+				i += 3
+			case rkTagCount:
+				counts += p[i+1]
+				i += 2
+			case rkTagUnknown:
+				unknownTotal += p[i+1]
+				sawUnknown = true
+				i += 2
+			case rkTagCmd:
+				cmd = int(p[i+1])
+				if cmd == rkCmdDone {
+					r.doneCmd = true
+				}
+				i += 2
+			case rkTagChain:
+				i = len(p) // consumed by the solve phase
+			default:
+				return 0, 0, fmt.Errorf("cgmgraph: unknown ranker tag %d", p[i])
+			}
+		}
+	}
+	if env.ID() == 0 && sawUnknown && r.phase == rkExpand && !r.doneCmd {
+		next := rkCmdContinue
+		if unknownTotal == 0 {
+			next = rkCmdDone
+		}
+		for d := 0; d < v; d++ {
+			env.Send(d, []uint64{rkTagCmd, uint64(next)})
+		}
+	}
+	return cmd, counts, nil
+}
+
+// Save marshals the Ranker state (N is static host configuration).
+func (r *Ranker) Save(enc *words.Encoder) {
+	enc.PutUint(r.phase)
+	enc.PutUint(uint64(r.Rounds))
+	enc.PutBool(r.doneCmd)
+	enc.PutUints(r.Succ)
+	enc.PutUints(r.Weight)
+	enc.PutUints(r.Rank)
+	enc.PutUints(r.pred)
+	enc.PutUints(r.state)
+	enc.PutUints(r.known)
+	var flat []uint64
+	for _, s := range r.subs {
+		flat = append(flat, uint64(len(s)))
+		flat = append(flat, s...)
+	}
+	enc.PutUints(flat)
+}
+
+// Load restores the Ranker; N must already be set by the host.
+func (r *Ranker) Load(dec *words.Decoder) {
+	r.phase = dec.Uint()
+	r.Rounds = int(dec.Uint())
+	r.doneCmd = dec.Bool()
+	r.Succ = dec.Uints()
+	r.Weight = dec.Uints()
+	r.Rank = dec.Uints()
+	r.pred = dec.Uints()
+	r.state = dec.Uints()
+	r.known = dec.Uints()
+	flat := dec.Uints()
+	r.subs = make([][]uint64, len(r.Succ))
+	if len(flat) == 0 {
+		return // saved before the first Step: no subscriptions yet
+	}
+	j := 0
+	for i := range r.subs {
+		n := int(flat[j])
+		j++
+		r.subs[i] = append([]uint64(nil), flat[j:j+n]...)
+		j += n
+	}
+}
+
+// SaveSize bounds Save's output for maxOwn owned nodes and maxSubs
+// total subscription entries.
+func (r *Ranker) SaveSize(maxOwn, maxSubs int) int {
+	return 3 + 6*words.SizeUints(maxOwn) + words.SizeUints(maxOwn+2*maxSubs)
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"embsp/internal/alg/cgmgeom"
+	"embsp/internal/alg/cgmgraph"
+	"embsp/internal/prng"
+)
+
+// Workload generators. All inputs are generated with distinct
+// coordinates (general position), as the geometry algorithms assume.
+
+func genKeys(seed uint64, n int) []uint64 {
+	r := prng.New(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+func genPerm(seed uint64, n int) []int {
+	return prng.New(seed).Perm(n)
+}
+
+func genPoints(seed uint64, n int) []cgmgeom.Point {
+	r := prng.New(seed)
+	out := make([]cgmgeom.Point, n)
+	for i := range out {
+		out[i] = cgmgeom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return out
+}
+
+func genPoints3(seed uint64, n int) []cgmgeom.Point3 {
+	r := prng.New(seed)
+	out := make([]cgmgeom.Point3, n)
+	for i := range out {
+		out[i] = cgmgeom.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+	}
+	return out
+}
+
+func genRects(seed uint64, n int) []cgmgeom.Rect {
+	r := prng.New(seed)
+	out := make([]cgmgeom.Rect, n)
+	for i := range out {
+		x, y := r.Float64(), r.Float64()
+		out[i] = cgmgeom.Rect{X1: x, X2: x + 0.005 + r.Float64()*0.1, Y1: y, Y2: y + 0.005 + r.Float64()*0.1}
+	}
+	return out
+}
+
+// genSegments returns non-crossing segments (stacked at distinct
+// heights).
+func genSegments(seed uint64, n int) []cgmgeom.Segment {
+	r := prng.New(seed)
+	out := make([]cgmgeom.Segment, n)
+	for i := range out {
+		x := r.Float64()
+		y := float64(i) + r.Float64()*0.4
+		out[i] = cgmgeom.Segment{X1: x, Y1: y, X2: x + 0.02 + r.Float64()*0.3, Y2: y + r.Float64()*0.05}
+	}
+	return out
+}
+
+func genHSegments(seed uint64, n int) []cgmgeom.HSegment {
+	r := prng.New(seed)
+	out := make([]cgmgeom.HSegment, n)
+	for i := range out {
+		x := r.Float64()
+		out[i] = cgmgeom.HSegment{X1: x, X2: x + 0.01 + r.Float64()*0.3, Y: r.Float64()}
+	}
+	return out
+}
+
+// genList returns the successor array of one random chain over n
+// nodes.
+func genList(seed uint64, n int) []int {
+	perm := prng.New(seed).Perm(n)
+	succ := make([]int, n)
+	for i := range succ {
+		succ[i] = -1
+	}
+	for i := 0; i+1 < n; i++ {
+		succ[perm[i]] = perm[i+1]
+	}
+	return succ
+}
+
+// genTree returns a random tree: vertex i attaches to a random
+// earlier vertex.
+func genTree(seed uint64, n int) [][2]int {
+	r := prng.New(seed)
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{r.Intn(i), i})
+	}
+	return edges
+}
+
+// genExpr builds a random binary expression tree with the given
+// number of leaves (random leaf splits; +/× operators, small leaf
+// values).
+func genExpr(seed uint64, nLeaves int) (parent []int, kind []uint8, value []uint64) {
+	r := prng.New(seed)
+	parent = []int{-1}
+	kind = []uint8{cgmgraph.OpLeaf}
+	value = []uint64{r.Uint64() % 1000}
+	if nLeaves == 1 {
+		return parent, kind, value
+	}
+	leaves := []int{0}
+	for len(leaves) < nLeaves {
+		li := r.Intn(len(leaves))
+		node := leaves[li]
+		if r.Bool() {
+			kind[node] = cgmgraph.OpAdd
+		} else {
+			kind[node] = cgmgraph.OpMul
+		}
+		for c := 0; c < 2; c++ {
+			parent = append(parent, node)
+			kind = append(kind, cgmgraph.OpLeaf)
+			value = append(value, r.Uint64()%1000)
+			if c == 0 {
+				leaves[li] = len(parent) - 1
+			} else {
+				leaves = append(leaves, len(parent)-1)
+			}
+		}
+	}
+	return parent, kind, value
+}
+
+// genGraph returns m random edges over n vertices (no self-loops).
+func genGraph(seed uint64, n, m int) [][2]int {
+	r := prng.New(seed)
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return edges
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "math"
+
+// Theory predictions. The reproduction does not chase the paper's
+// constants — the meas/theory columns should be roughly flat across a
+// sweep (same asymptotic shape), and the comparisons should preserve
+// who wins and the crossovers.
+
+// emCGMOps predicts the parallel I/O operations of a simulated CGM
+// algorithm (Corollary 1): Õ(λ·v·µ/(p·D·B)) — per compound superstep
+// the simulation streams every context and the message traffic once,
+// through p·D disks in blocks of B.
+func emCGMOps(lambda, totalWords, p, d, b int) float64 {
+	return float64(lambda) * float64(totalWords) / float64(p*d*b)
+}
+
+// sortIOOps predicts the PDM external merge sort cost
+// Θ((n/DB)·log_{M/B}(n/B)) in parallel I/O operations (read+write per
+// pass).
+func sortIOOps(n, m, d, b int) float64 {
+	nb := float64(n) / float64(b)
+	base := float64(m) / float64(b)
+	if base < 2 {
+		base = 2
+	}
+	passes := math.Ceil(math.Log(nb) / math.Log(base))
+	if passes < 1 {
+		passes = 1
+	}
+	return 2 * nb / float64(d) * passes
+}
+
+// logp returns max(1, ⌈log2 p⌉)-ish for Group C round predictions.
+func log2ceil(x int) int {
+	n := 0
+	for v := 1; v < x; v <<= 1 {
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}

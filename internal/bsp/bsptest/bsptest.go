@@ -1,0 +1,150 @@
+// Package bsptest provides small deterministic BSP programs used to
+// test the runners: the in-memory reference runner and the EM
+// simulation engines must produce bitwise identical results on them.
+package bsptest
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+	"embsp/internal/words"
+)
+
+// mix folds a value into a running checksum (order-sensitive).
+func mix(sum, v uint64) uint64 {
+	sum ^= v + 0x9e3779b97f4a7c15 + (sum << 6) + (sum >> 2)
+	return sum * 0xff51afd7ed558ccd
+}
+
+// RingProgram circulates values around a directed ring for Rounds
+// rounds. VP id starts holding the value id; each round it sends its
+// value to (id+1) mod V and adopts the value received from its left
+// neighbour, accumulating the sum of adopted values. The final
+// accumulator of VP id is Σ_{r=1..Rounds} ((id - r) mod V), which
+// tests can compute independently.
+type RingProgram struct {
+	V      int
+	Rounds int
+}
+
+func (p *RingProgram) NumVPs() int          { return p.V }
+func (p *RingProgram) MaxContextWords() int { return 4 }
+func (p *RingProgram) MaxCommWords() int    { return 2 }
+
+func (p *RingProgram) NewVP(id int) bsp.VP {
+	return &ringVP{p: p, id: id, val: uint64(id)}
+}
+
+type ringVP struct {
+	p   *RingProgram
+	id  int
+	val uint64
+	acc uint64
+}
+
+func (v *ringVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	if env.Superstep() > 0 {
+		if len(in) != 1 {
+			return false, fmt.Errorf("ring VP %d got %d messages, want 1", v.id, len(in))
+		}
+		v.val = in[0].Payload[0]
+		v.acc += v.val
+	}
+	if env.Superstep() == v.p.Rounds {
+		return true, nil
+	}
+	env.Send((v.id+1)%v.p.V, []uint64{v.val})
+	env.Charge(1)
+	return false, nil
+}
+
+func (v *ringVP) Save(enc *words.Encoder) {
+	enc.PutUint(v.val)
+	enc.PutUint(v.acc)
+}
+
+func (v *ringVP) Load(dec *words.Decoder) {
+	v.val = dec.Uint()
+	v.acc = dec.Uint()
+}
+
+// RingAcc returns the accumulator of VP id after a completed run.
+func RingAcc(res *bsp.Result, id int) uint64 { return res.VPs[id].(*ringVP).acc }
+
+// ExpectedRingAcc computes the expected accumulator analytically.
+func ExpectedRingAcc(v, rounds, id int) uint64 {
+	var acc uint64
+	for r := 1; r <= rounds; r++ {
+		acc += uint64(((id-r)%v + v) % v)
+	}
+	return acc
+}
+
+// RandomProgram is a randomized traffic generator: in each of Steps
+// supersteps every VP sends MsgsPerStep messages of random length up
+// to MaxLen words to random destinations, and folds everything it
+// receives (source, sequence and payload) into an order-sensitive
+// checksum. Because Env.Rand is keyed by (seed, vp, superstep), the
+// traffic — and hence every checksum — is a pure function of the run
+// seed, independent of the engine executing the program.
+type RandomProgram struct {
+	V           int
+	Steps       int
+	MsgsPerStep int
+	MaxLen      int
+}
+
+func (p *RandomProgram) NumVPs() int          { return p.V }
+func (p *RandomProgram) MaxContextWords() int { return 4 }
+
+// MaxCommWords bounds the worst case: every VP in the system sends all
+// its messages to one victim.
+func (p *RandomProgram) MaxCommWords() int {
+	return p.V * p.MsgsPerStep * (p.MaxLen + 1)
+}
+
+func (p *RandomProgram) NewVP(id int) bsp.VP { return &randomVP{p: p, id: id} }
+
+type randomVP struct {
+	p   *RandomProgram
+	id  int
+	sum uint64
+}
+
+func (v *randomVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	for _, m := range in {
+		v.sum = mix(v.sum, uint64(m.Src))
+		v.sum = mix(v.sum, uint64(m.Seq))
+		for _, w := range m.Payload {
+			v.sum = mix(v.sum, w)
+		}
+	}
+	if env.Superstep() == v.p.Steps {
+		return true, nil
+	}
+	r := env.Rand()
+	buf := make([]uint64, v.p.MaxLen)
+	for i := 0; i < v.p.MsgsPerStep; i++ {
+		dst := r.Intn(v.p.V)
+		n := r.Intn(v.p.MaxLen + 1)
+		for j := 0; j < n; j++ {
+			buf[j] = r.Uint64()
+		}
+		env.Send(dst, buf[:n])
+	}
+	env.Charge(int64(v.p.MsgsPerStep))
+	return false, nil
+}
+
+func (v *randomVP) Save(enc *words.Encoder) { enc.PutUint(v.sum) }
+func (v *randomVP) Load(dec *words.Decoder) { v.sum = dec.Uint() }
+
+// Checksums extracts all VP checksums from a completed RandomProgram
+// run.
+func Checksums(res *bsp.Result) []uint64 {
+	out := make([]uint64, len(res.VPs))
+	for i, vp := range res.VPs {
+		out[i] = vp.(*randomVP).sum
+	}
+	return out
+}

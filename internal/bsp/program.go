@@ -1,0 +1,141 @@
+// Package bsp defines the BSP / BSP* / CGM programming model used by
+// both the in-memory reference runner and the external-memory
+// simulation engines, together with the model cost accounting of
+// Section 2 of Dehne–Dittrich–Hutchinson.
+//
+// A Program describes an algorithm for v virtual processors. Execution
+// proceeds in compound supersteps (receive, compute, send): in each
+// superstep every virtual processor receives the messages sent to it
+// in the previous superstep, performs local computation, and sends
+// messages that will be received in the next superstep. The program
+// ends when every virtual processor votes to halt in the same
+// superstep.
+//
+// Virtual processor state (the paper's context) must be serializable
+// to 64-bit words: the EM engines keep contexts on simulated disk
+// between supersteps and only materialize k = ⌊M/µ⌋ of them at a time.
+// A Program declares µ (MaxContextWords) and γ (MaxCommWords) up
+// front; the engines preallocate disk areas from these bounds exactly
+// as the paper's simulation does, and enforce them at run time.
+package bsp
+
+import (
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// Message is a point-to-point message between virtual processors.
+// Seq is the per-source send order; deliveries to a virtual processor
+// are always sorted by (Src, Seq), so program results are independent
+// of which engine (in-memory, sequential EM, parallel EM) ran them.
+type Message struct {
+	Src     int
+	Dst     int
+	Seq     int
+	Payload []uint64
+}
+
+// Program describes a BSP-like algorithm.
+type Program interface {
+	// NumVPs returns v, the number of virtual processors.
+	NumVPs() int
+	// MaxContextWords returns µ: an upper bound, in words, on the
+	// marshaled context of any virtual processor at any superstep.
+	MaxContextWords() int
+	// MaxCommWords returns γ: an upper bound, in words, on the total
+	// message payload sent by one virtual processor in one superstep,
+	// and likewise on the total received. Payload accounting includes
+	// one header word per message (destination bookkeeping), mirroring
+	// the paper's "messages inherit the destination address".
+	MaxCommWords() int
+	// NewVP returns virtual processor id in its initial state.
+	NewVP(id int) VP
+}
+
+// VP is one virtual processor of a Program.
+type VP interface {
+	// Step executes the computation phase of one compound superstep.
+	// in holds the messages sent to this VP in the previous superstep
+	// in canonical (Src, Seq) order; the VP may keep the payload
+	// slices. Returning halt=true votes to end the program: the run
+	// finishes when all VPs vote halt in the same superstep, and it is
+	// an error to send a message while voting halt.
+	Step(env *Env, in []Message) (halt bool, err error)
+	// Save marshals the VP's context. The encoding must be at most
+	// MaxContextWords() words and must capture all state the VP needs
+	// across supersteps.
+	Save(enc *words.Encoder)
+	// Load restores the VP's context from a previous Save.
+	Load(dec *words.Decoder)
+}
+
+// NewEnv constructs the Env for one VP's Step call. It is the hook
+// through which execution engines (the in-memory runner and the EM
+// simulation engines) provide the messaging fabric: emit is invoked
+// once per Send with the copied payload.
+func NewEnv(id, v, superstep int, seed uint64, emit func(dst int, payload []uint64)) *Env {
+	return &Env{id: id, v: v, superstep: superstep, seed: seed, emit: emit}
+}
+
+// SendTotals reports the traffic generated through this Env: total
+// payload+header words sent, number of messages, and the accumulated
+// computation charge. Engines use it for cost accounting and γ
+// enforcement.
+func (e *Env) SendTotals() (sendWords, msgs int, charge int64) {
+	return e.sendWords, e.sends, e.charge
+}
+
+// Env gives a VP access to its execution environment during Step.
+type Env struct {
+	id        int
+	v         int
+	superstep int
+	seed      uint64
+	rng       *prng.Rand
+	sendWords int
+	sends     int
+	charge    int64
+	emit      func(dst int, payload []uint64)
+}
+
+// ID returns the VP's id in [0, NumVPs).
+func (e *Env) ID() int { return e.id }
+
+// NumVPs returns v.
+func (e *Env) NumVPs() int { return e.v }
+
+// Superstep returns the zero-based index of the current superstep.
+func (e *Env) Superstep() int { return e.superstep }
+
+// Send sends payload to VP dst; it is received in the next superstep.
+// The payload is copied, so the caller may reuse the slice. An empty
+// payload still forms a message (one header word of traffic).
+func (e *Env) Send(dst int, payload []uint64) {
+	if dst < 0 || dst >= e.v {
+		panic("bsp: Send to VP out of range")
+	}
+	p := make([]uint64, len(payload))
+	copy(p, payload)
+	e.sendWords += len(payload) + 1 // header word, per model accounting
+	e.sends++
+	e.emit(dst, p)
+}
+
+// Charge adds ops basic computation operations to the VP's cost for
+// this superstep (the model's t_j). Engines add their own simulation
+// overhead separately; Charge expresses the algorithm's own work.
+func (e *Env) Charge(ops int64) {
+	if ops > 0 {
+		e.charge += ops
+	}
+}
+
+// Rand returns a deterministic random stream keyed by (run seed, VP
+// id, superstep). The stream is identical across all engines, so
+// randomized programs still produce engine-independent results.
+func (e *Env) Rand() *prng.Rand {
+	if e.rng == nil {
+		e.rng = prng.New(prng.Derive(e.seed, uint64(e.id), uint64(e.superstep)))
+	}
+	return e.rng
+}

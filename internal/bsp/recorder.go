@@ -1,0 +1,88 @@
+package bsp
+
+// CostRecorder accumulates model costs superstep by superstep. It is
+// shared by the in-memory runner and the EM engines so that all of
+// them measure BSP/BSP* costs identically: for every superstep, each
+// virtual processor reports its traffic once via RecordVP.
+type CostRecorder struct {
+	pkt   int
+	steps []SuperstepCost
+	cur   SuperstepCost
+	open  bool
+}
+
+// NewCostRecorder returns a recorder using packet size pkt (the
+// model's b) for BSP* packet counting.
+func NewCostRecorder(pkt int) *CostRecorder {
+	if pkt <= 0 {
+		pkt = 1
+	}
+	return &CostRecorder{pkt: pkt}
+}
+
+// PktSize returns the packet size b used for packet accounting.
+func (c *CostRecorder) PktSize() int { return c.pkt }
+
+// BeginStep starts accumulation for the next superstep.
+func (c *CostRecorder) BeginStep() {
+	if c.open {
+		panic("bsp: BeginStep without EndStep")
+	}
+	c.cur = SuperstepCost{}
+	c.open = true
+}
+
+// VPTraffic describes one virtual processor's activity in one
+// superstep, as observed by an engine.
+type VPTraffic struct {
+	SendWords int // total payload+header words sent
+	RecvWords int // total payload+header words received
+	SendPkts  int // Σ ⌈message/b⌉ over sent messages
+	RecvPkts  int // Σ ⌈message/b⌉ over received messages
+	Messages  int // number of messages sent
+	Charge    int64
+}
+
+// RecordVP folds one VP's superstep activity into the current step.
+func (c *CostRecorder) RecordVP(t VPTraffic) {
+	if !c.open {
+		panic("bsp: RecordVP outside a step")
+	}
+	if t.SendWords > c.cur.MaxSendWords {
+		c.cur.MaxSendWords = t.SendWords
+	}
+	if t.RecvWords > c.cur.MaxRecvWords {
+		c.cur.MaxRecvWords = t.RecvWords
+	}
+	if t.SendPkts > c.cur.MaxSendPkts {
+		c.cur.MaxSendPkts = t.SendPkts
+	}
+	if t.RecvPkts > c.cur.MaxRecvPkts {
+		c.cur.MaxRecvPkts = t.RecvPkts
+	}
+	if t.Charge > c.cur.MaxCharge {
+		c.cur.MaxCharge = t.Charge
+	}
+	c.cur.TotalWords += int64(t.SendWords)
+	c.cur.Messages += int64(t.Messages)
+	c.cur.TotalCharge += t.Charge
+}
+
+// EndStep closes the current superstep.
+func (c *CostRecorder) EndStep() {
+	if !c.open {
+		panic("bsp: EndStep without BeginStep")
+	}
+	c.steps = append(c.steps, c.cur)
+	c.open = false
+}
+
+// Costs returns the accumulated run costs.
+func (c *CostRecorder) Costs() Costs {
+	return Costs{Supersteps: len(c.steps), PerStep: append([]SuperstepCost(nil), c.steps...)}
+}
+
+// MsgPkts returns the BSP* packet count ⌈words/b⌉ of one message of
+// the given payload+header size, with the model's minimum of one
+// packet.
+func (c *CostRecorder) MsgPkts(wordCount int) int { return pkts(wordCount, c.pkt) }

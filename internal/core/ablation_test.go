@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/bsp"
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/prng"
+)
+
+// TestNoRoutingEquivalence: the ablation must still compute exactly
+// the reference results — only the I/O schedule differs.
+func TestNoRoutingEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		v := r.Intn(16) + 1
+		p := &bsptest.RandomProgram{
+			V:           v,
+			Steps:       r.Intn(3) + 1,
+			MsgsPerStep: r.Intn(4),
+			MaxLen:      r.Intn(16),
+		}
+		ref, err := bsp.Run(p, bsp.RunOptions{Seed: seed, PktSize: 8})
+		if err != nil {
+			return false
+		}
+		cfg := tinyMachine(r.Intn(4)+1, 8+r.Intn(8), 0)
+		cfg.M = cfg.D*cfg.B + 100
+		cfg.Cost.Pkt = cfg.B
+		res, err := core.Run(p, cfg, core.Options{Seed: seed, NoRouting: true})
+		if err != nil {
+			return false
+		}
+		a, b := bsptest.Checksums(ref), bsptest.Checksums(res.ToBSPResult())
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoRoutingSkipsReorganization: the ablation performs no routing
+// ops and typically fewer total ops, at somewhat lower guaranteed
+// parallelism.
+func TestNoRoutingSkipsReorganization(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	cfg := tinyMachine(4, 8, 256)
+	routed, err := core.Run(p, cfg, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := core.Run(p, cfg, core.Options{Seed: 5, NoRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.EM.RouteOps != 0 {
+		t.Errorf("ablation recorded %d routing ops", ablated.EM.RouteOps)
+	}
+	if routed.EM.RouteOps <= 0 {
+		t.Errorf("routed run recorded no routing ops")
+	}
+	if ablated.EM.Run.Ops >= routed.EM.Run.Ops {
+		t.Errorf("ablation ops %d >= routed ops %d (expected cheaper: no double move)",
+			ablated.EM.Run.Ops, routed.EM.Run.Ops)
+	}
+}
+
+// TestMemoryBudgetTight: the engines must run within their documented
+// internal-memory footprint — M + k·(µ + 6γ) + D·B words — even at
+// slack factor 1, on both the sequential and parallel engines. The
+// accountant rejects any grab beyond the budget, so success here
+// proves the Θ(k·µ)-style working-set claim holds with constant 1.
+func TestMemoryBudgetTight(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 3, MsgsPerStep: 6, MaxLen: 40}
+	for _, procs := range []int{1, 3} {
+		cfg := tinyMachine(4, 8, 256)
+		cfg.P = procs
+		cfg.MemSlack = 1
+		res, err := core.Run(p, cfg, core.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("P=%d: engine exceeded its own footprint formula at slack 1: %v", procs, err)
+		}
+		if res.EM.MemHigh <= 0 {
+			t.Errorf("P=%d: memory accounting recorded nothing", procs)
+		}
+	}
+}
+
+func TestNoRoutingRejectedForMultiProc(t *testing.T) {
+	p := &bsptest.RingProgram{V: 4, Rounds: 1}
+	cfg := parMachine(2, 1, 8, 32)
+	if _, err := core.Run(p, cfg, core.Options{NoRouting: true}); err == nil {
+		t.Error("NoRouting accepted with P > 1")
+	}
+}

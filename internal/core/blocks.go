@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"embsp/internal/bsp"
+)
+
+// Message blocks. Step 1(d) of Algorithm SeqCompoundSuperstep cuts
+// every generated message into blocks of size B; each block inherits
+// the destination address of its message. A block image is laid out
+// as
+//
+//	word 0: destination VP
+//	word 1: source VP
+//	word 2: per-source sequence number of the message
+//	word 3: chunk index within the message
+//	word 4: total payload length of the message, in words
+//	words 5..B-1: payload chunk (zero padded)
+//
+// so a block is self-describing: the fetch phase reconstructs
+// messages from block contents alone. Chunk i carries payload words
+// [i·C, min((i+1)·C, len)) with C = B - 5; a message of payload
+// length len occupies max(1, ⌈len/C⌉) blocks.
+
+// blockMeta is the engine's directory entry for one message block.
+type blockMeta struct {
+	dst   int
+	src   int
+	seq   int
+	chunk int
+}
+
+// chunkCap returns C, the payload capacity of one message block.
+func chunkCap(B int) int { return B - headerWords }
+
+// numChunks returns the number of blocks a payload of length n cuts
+// into.
+func numChunks(n, B int) int {
+	c := chunkCap(B)
+	if n <= 0 {
+		return 1
+	}
+	return (n + c - 1) / c
+}
+
+// outMsg is a message collected during the computation phase, before
+// the writing phase cuts it into blocks.
+type outMsg struct {
+	dst     int
+	src     int
+	seq     int
+	payload []uint64
+}
+
+// cutMessage appends the block images of m to the pending writer via
+// emit. img is valid only for the duration of the call.
+func cutMessage(m outMsg, B int, scratch []uint64, emit func(meta blockMeta, img []uint64) error) error {
+	c := chunkCap(B)
+	n := len(m.payload)
+	chunks := numChunks(n, B)
+	for i := 0; i < chunks; i++ {
+		img := scratch[:B]
+		img[0] = uint64(m.dst)
+		img[1] = uint64(m.src)
+		img[2] = uint64(m.seq)
+		img[3] = uint64(i)
+		img[4] = uint64(n)
+		lo := i * c
+		hi := lo + c
+		if hi > n {
+			hi = n
+		}
+		copy(img[headerWords:], m.payload[lo:hi])
+		for j := headerWords + (hi - lo); j < B; j++ {
+			img[j] = 0
+		}
+		if err := emit(blockMeta{dst: m.dst, src: m.src, seq: m.seq, chunk: i}, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseBlock reads a block image's header.
+func parseBlock(img []uint64) (meta blockMeta, totalLen int) {
+	return blockMeta{
+		dst:   int(img[0]),
+		src:   int(img[1]),
+		seq:   int(img[2]),
+		chunk: int(img[3]),
+	}, int(img[4])
+}
+
+// metaLess is the canonical block order: by destination VP, then
+// source, sequence, chunk. Blocks sorted this way concatenate directly
+// into the canonical (Src, Seq) message delivery order.
+func metaLess(a, b blockMeta) bool {
+	if a.dst != b.dst {
+		return a.dst < b.dst
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.chunk < b.chunk
+}
+
+// reassemble turns the sorted block images of one group's incoming
+// traffic into per-VP message lists. blocks[i] is the i-th block image
+// (length B each, concatenated in buf); metas[i] its parsed header.
+// The result maps local VP offsets (dst - loVP) to messages in
+// canonical delivery order.
+func reassemble(buf []uint64, metas []blockMeta, B, loVP, hiVP int) ([][]bsp.Message, error) {
+	order := make([]int, len(metas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return metaLess(metas[order[i]], metas[order[j]]) })
+
+	out := make([][]bsp.Message, hiVP-loVP)
+	c := chunkCap(B)
+	i := 0
+	for i < len(order) {
+		idx := order[i]
+		m := metas[idx]
+		if m.dst < loVP || m.dst >= hiVP {
+			return nil, fmt.Errorf("core: block for VP %d routed to group [%d,%d)", m.dst, loVP, hiVP)
+		}
+		if m.chunk != 0 {
+			return nil, fmt.Errorf("core: message (dst %d, src %d, seq %d) starts at chunk %d", m.dst, m.src, m.seq, m.chunk)
+		}
+		totalLen := int(buf[idx*B+4])
+		chunks := numChunks(totalLen, B)
+		payload := make([]uint64, 0, totalLen)
+		for j := 0; j < chunks; j++ {
+			if i+j >= len(order) {
+				return nil, fmt.Errorf("core: message (dst %d, src %d, seq %d) truncated at chunk %d of %d", m.dst, m.src, m.seq, j, chunks)
+			}
+			bidx := order[i+j]
+			bm := metas[bidx]
+			if bm.dst != m.dst || bm.src != m.src || bm.seq != m.seq || bm.chunk != j {
+				return nil, fmt.Errorf("core: message (dst %d, src %d, seq %d) missing chunk %d", m.dst, m.src, m.seq, j)
+			}
+			lo := j * c
+			hi := lo + c
+			if hi > totalLen {
+				hi = totalLen
+			}
+			payload = append(payload, buf[bidx*B+headerWords:bidx*B+headerWords+(hi-lo)]...)
+		}
+		i += chunks
+		out[m.dst-loVP] = append(out[m.dst-loVP], bsp.Message{Src: m.src, Dst: m.dst, Seq: m.seq, Payload: payload})
+	}
+	return out, nil
+}
+
+// sortSlice sorts s by less.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// bucketOf maps a destination VP to its bucket: bucket i contains the
+// blocks destined for the i-th range of ⌈v/D⌉ consecutive VPs.
+func bucketOf(dst, v, D int) int {
+	per := (v + D - 1) / D
+	return dst / per
+}
+
+// groupOf maps a destination VP to its simulation group of k
+// consecutive VPs.
+func groupOf(dst, k int) int { return dst / k }

@@ -1,0 +1,195 @@
+// Package core implements the paper's central contribution: the
+// simulation of BSP* / CGM algorithms as external-memory algorithms
+// (Dehne–Dittrich–Hutchinson, Section 5).
+//
+// The sequential engine (p = 1) implements Algorithm 1
+// (SeqCompoundSuperstep) and Algorithm 2 (SimulateRouting); the
+// parallel engine (p > 1) implements Algorithm 3
+// (ParCompoundSuperstep). Both execute any bsp.Program with contexts
+// held on a simulated multi-disk subsystem, materializing only
+// k = ⌊M/µ⌋ virtual processors at a time, and both are required to
+// produce results bitwise identical to the in-memory reference runner
+// bsp.Run.
+package core
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+)
+
+// MachineConfig describes the target EM-BSP* machine (Section 3).
+type MachineConfig struct {
+	// P is the number of real processors.
+	P int
+	// M is the internal memory per real processor, in words.
+	M int
+	// D is the number of disk drives per real processor.
+	D int
+	// B is the transfer block (track) size in words.
+	B int
+	// G is the model time of one parallel I/O operation.
+	G float64
+	// Cost holds the BSP*-level parameters (ĝ, g, b, L). The model
+	// requires the packet size b ≥ B.
+	Cost bsp.CostParams
+	// MemSlack scales the engine's internal-memory budget to
+	// MemSlack·M words, reflecting the Θ(kµ) = O(M) constant of the
+	// theorems. 0 means 8.
+	MemSlack int
+}
+
+// headerWords is the per-block header of a message block: destination
+// VP, source VP, per-source sequence number, chunk index, and the
+// total payload length of the message.
+const headerWords = 5
+
+// Validate checks the machine configuration against the model's
+// constraints.
+func (c MachineConfig) Validate() error {
+	if c.P <= 0 {
+		return fmt.Errorf("core: P = %d, want > 0", c.P)
+	}
+	if c.D <= 0 || c.B <= 0 {
+		return fmt.Errorf("core: D = %d, B = %d, want > 0", c.D, c.B)
+	}
+	if c.B < headerWords+1 {
+		return fmt.Errorf("core: B = %d, want >= %d (message block header plus one payload word)", c.B, headerWords+1)
+	}
+	if c.M < c.D*c.B {
+		return fmt.Errorf("core: M = %d < D·B = %d; the model requires one block per disk to fit in memory", c.M, c.D*c.B)
+	}
+	if c.G < 0 {
+		return fmt.Errorf("core: G = %v, want >= 0", c.G)
+	}
+	if c.Cost.Pkt != 0 && c.Cost.Pkt < c.B {
+		return fmt.Errorf("core: packet size b = %d < block size B = %d; the simulation requires b >= B", c.Cost.Pkt, c.B)
+	}
+	return nil
+}
+
+func (c MachineConfig) memSlack() int {
+	if c.MemSlack <= 0 {
+		return 8
+	}
+	return c.MemSlack
+}
+
+// DefaultMachine returns a small laptop-scale machine useful in
+// examples: one processor, 1 MiW memory, 4 disks, 1 KiW blocks, with
+// the packet size matched to the block size (the model requires
+// b >= B).
+func DefaultMachine() MachineConfig {
+	cost := bsp.DefaultCostParams()
+	cost.Pkt = 1 << 10
+	cost.GPkt = float64(cost.Pkt)
+	return MachineConfig{P: 1, M: 1 << 20, D: 4, B: 1 << 10, G: 1 << 12, Cost: cost}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed keys all randomness: the Env.Rand streams of the program
+	// and the engine's own disk/processor permutations.
+	Seed uint64
+	// MaxSupersteps aborts runaway programs; 0 means 1 << 20.
+	MaxSupersteps int
+	// Deterministic selects the deterministic placement variant the
+	// paper notes is possible for communication of predetermined size
+	// (CGM): blocks are assigned to disks round-robin instead of by
+	// random permutation.
+	Deterministic bool
+	// NoRouting is an ablation of Algorithm 2 (sequential engine
+	// only): generated blocks are left where the randomized writing
+	// phase put them, and the next fetch phase reads each group's
+	// blocks from their scattered tracks with greedy per-drive
+	// batching. Lemma 2 says the random placement is already balanced
+	// whp, so this mode usually performs well — the paper's two-pass
+	// reorganization buys the worst-case guarantee and physically
+	// consecutive tracks. The ablate/routing bench quantifies the
+	// trade.
+	NoRouting bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxSupersteps == 0 {
+		o.MaxSupersteps = 1 << 20
+	}
+}
+
+// EMStats reports the external-memory behaviour of a run.
+type EMStats struct {
+	// K is the group size k = max(1, ⌊M/µ⌋) (capped at v).
+	K int
+	// Groups is ⌈v/k⌉, the number of rounds per compound superstep.
+	Groups int
+	// CtxBlocksPerVP is ⌈µ/B⌉.
+	CtxBlocksPerVP int
+	// Setup / Run / Finish are disk statistics for writing the initial
+	// contexts, the simulation proper, and reading back the final
+	// contexts. For P > 1 they aggregate all processors.
+	Setup  disk.Stats
+	Run    disk.Stats
+	Finish disk.Stats
+	// PerProc holds each real processor's Run statistics (P entries).
+	PerProc []disk.Stats
+	// IOTime is the model I/O time of the simulation proper:
+	// G · Σ_steps max_proc (ops in step). For P = 1 it is G·Run.Ops.
+	IOTime float64
+	// RouteOps counts the parallel I/O operations spent inside
+	// SimulateRouting (a subset of Run.Ops).
+	RouteOps int64
+	// RaggedSlots counts read slots skipped because a bucket had no
+	// block on the scheduled disk — positions the paper's analysis
+	// fills with dummy blocks.
+	RaggedSlots int64
+	// MaxBucketSkew is the largest observed ratio between the maximum
+	// per-drive share of a bucket and the even share R/D (Lemma 2's l).
+	MaxBucketSkew float64
+	// MemHigh is the engine's internal-memory high-water mark in words
+	// (max over processors).
+	MemHigh int64
+	// LiveBlocksPerDrive is the peak number of simultaneously live
+	// blocks per drive (contexts + staged and delivered messages),
+	// the paper's O(vµ/DB) disk-space quantity. Max over processors.
+	LiveBlocksPerDrive int64
+	// CommWords / CommPkts / CommTime describe real inter-processor
+	// traffic (P > 1 only): total words and packets exchanged between
+	// real processors, and the model time Σ_steps max(L, g·maxpkts).
+	CommWords int64
+	CommPkts  int64
+	CommTime  float64
+}
+
+// Result is the outcome of an EM simulation run.
+type Result struct {
+	// VPs holds the final virtual processor states, indexed by id.
+	VPs []bsp.VP
+	// Costs holds the BSP-level model costs, measured exactly as the
+	// in-memory runner measures them.
+	Costs bsp.Costs
+	// EM holds the external-memory statistics.
+	EM EMStats
+}
+
+// ToBSPResult adapts the Result for code that consumes the reference
+// runner's result type (same VPs and costs, no EM statistics).
+func (r *Result) ToBSPResult() *bsp.Result { return &bsp.Result{VPs: r.VPs, Costs: r.Costs} }
+
+// Run executes the program on the configured machine, dispatching to
+// the sequential (P = 1) or parallel (P > 1) engine.
+func Run(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := bsp.CheckProgram(p); err != nil {
+		return nil, err
+	}
+	if cfg.P == 1 {
+		return runSeq(p, cfg, opts)
+	}
+	if opts.NoRouting {
+		return nil, fmt.Errorf("core: the NoRouting ablation is implemented for P = 1 only")
+	}
+	return runPar(p, cfg, opts)
+}

@@ -1,0 +1,687 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/mem"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// The parallel engine implements Algorithm 3 (ParCompoundSuperstep):
+// a v-processor BSP* program on a p-processor EM-BSP* machine.
+//
+// Virtual processors are assigned in blocks: real processor i owns
+// VPs [i·⌈v/p⌉, (i+1)·⌈v/p⌉). A compound superstep runs in
+// ⌈(v/p)/k⌉ rounds; in round j, batch j — the j-th group of k VPs of
+// every real processor, kp VPs in total — is simulated.
+//
+//   - Fetching phase: each processor reads the blocks pertaining to
+//     batch j from its local disks, combines the blocks destined for a
+//     common simulating processor into packets, and routes them in one
+//     real communication superstep.
+//   - Computing phase: each processor simulates its k current VPs.
+//   - Writing phase: generated messages are split into packets of
+//     size b, each packet is sent to a RANDOMLY chosen processor (the
+//     paper's disk-load balancing step), and every receiver cuts its
+//     packets into blocks and writes them to its local disks under a
+//     random drive permutation, maintaining D buckets keyed by
+//     destination batch.
+//
+// At the end of the superstep each processor reorganizes its received
+// blocks with the local SimulateRouting (Algorithm 2), so that the
+// next superstep's fetch phase reads every batch fully blocked and
+// D-parallel.
+//
+// Real processors run as goroutines separated by phase barriers. All
+// communication cells are owned by a single writer per phase and all
+// deliveries are sorted canonically, so results are bitwise
+// deterministic and identical to the in-memory reference runner.
+
+// wireBlock is a message block in flight between real processors.
+type wireBlock struct {
+	meta blockMeta
+	img  []uint64
+}
+
+type procState struct {
+	id int
+	lo int // first owned VP
+	hi int // one past last owned VP
+
+	arr  *disk.Array
+	acct *mem.Accountant
+	rng  *prng.Rand
+
+	ctxArea   disk.Area
+	inRegions [][]groupRegion // per batch
+	inAreas   []disk.Area
+	inBlocks  int
+
+	// Superstep-scoped scratch.
+	halts   int
+	sends   int
+	dir     *outDirectory
+	writer  *blockWriter
+	scratch []uint64
+
+	// Accounting.
+	opsMark  int64
+	routeOps int64
+	ragged   int64
+	maxSkew  float64
+	peakLive int64
+}
+
+func (ps *procState) ownCount() int { return ps.hi - ps.lo }
+
+func (ps *procState) noteLive(muBlocks, extraBlocks int) {
+	live := int64(ps.ownCount()*muBlocks + extraBlocks)
+	per := live / int64(ps.arr.Config().D)
+	if per > ps.peakLive {
+		ps.peakLive = per
+	}
+}
+
+type parEngine struct {
+	p    bsp.Program
+	cfg  MachineConfig
+	opts Options
+
+	v        int
+	mu       int
+	gamma    int
+	k        int
+	vpp      int // VPs per real processor (ceiling)
+	batches  int // rounds per compound superstep
+	muBlocks int
+	pktBlk   int // blocks per packet: max(1, ⌊b/B⌋)
+
+	procs []*procState
+
+	recMu sync.Mutex
+	rec   *bsp.CostRecorder
+
+	// Exchange matrices, reallocated each phase; cell [src][dst] is
+	// written only by src's goroutine and read only after the barrier.
+	fetchX   [][][]wireBlock
+	scatterX [][][]wireBlock
+	pktX     [][]int64 // packets per channel this superstep
+	wordX    [][]int64 // words per channel this superstep
+
+	commTime  float64
+	commPkts  int64
+	commWords int64
+	ioTime    float64
+}
+
+// owner returns the real processor owning VP id.
+func (e *parEngine) owner(id int) int { return id / e.vpp }
+
+// batchOf returns the batch (round index) in which VP id is simulated.
+func (e *parEngine) batchOf(id int) int { return (id % e.vpp) / e.k }
+
+// bucketKey maps a block to its bucket: each bucket covers
+// ⌈batches/D⌉ consecutive batches, as Algorithm 3 prescribes.
+func (e *parEngine) bucketKey(m blockMeta) int {
+	per := (e.batches + e.cfg.D - 1) / e.cfg.D
+	return e.batchOf(m.dst) / per
+}
+
+// batchBounds returns the VP range [lo, hi) of processor ps in round j.
+func (e *parEngine) batchBounds(ps *procState, j int) (lo, hi int) {
+	lo = ps.lo + j*e.k
+	hi = lo + e.k
+	if hi > ps.hi {
+		hi = ps.hi
+	}
+	if lo > ps.hi {
+		lo = ps.hi
+	}
+	return lo, hi
+}
+
+func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+	opts.defaults()
+	v := p.NumVPs()
+	mu := p.MaxContextWords()
+	gamma := p.MaxCommWords()
+	k := cfg.M / mu
+	if k < 1 {
+		k = 1
+	}
+	vpp := (v + cfg.P - 1) / cfg.P
+	if k > vpp {
+		k = vpp
+	}
+	e := &parEngine{
+		p: p, cfg: cfg, opts: opts,
+		v: v, mu: mu, gamma: gamma, k: k, vpp: vpp,
+		batches:  (vpp + k - 1) / k,
+		muBlocks: (mu + cfg.B - 1) / cfg.B,
+		pktBlk:   maxInt(1, cfg.Cost.Pkt/cfg.B),
+		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
+	}
+	e.procs = make([]*procState, cfg.P)
+	for i := range e.procs {
+		lo := i * vpp
+		hi := lo + vpp
+		if lo > v {
+			lo = v
+		}
+		if hi > v {
+			hi = v
+		}
+		e.procs[i] = &procState{
+			id: i, lo: lo, hi: hi,
+			arr:  disk.MustNewArray(disk.Config{D: cfg.D, B: cfg.B}),
+			acct: mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma)),
+			rng:  prng.New(prng.Derive(opts.Seed, 0xFA12, uint64(i))),
+		}
+	}
+	return e.run()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// parallel runs f once per real processor, concurrently, and joins
+// errors.
+func (e *parEngine) parallel(f func(ps *procState) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.procs))
+	for i := range e.procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(e.procs[i])
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (e *parEngine) run() (*Result, error) {
+	// Setup: every processor reserves its context area and writes its
+	// VPs' initial contexts.
+	err := e.parallel(func(ps *procState) error {
+		ps.ctxArea = ps.arr.Reserve(ps.ownCount() * e.muBlocks)
+		ps.noteLive(e.muBlocks, 0)
+		return e.writeInitialContexts(ps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var setup disk.Stats
+	for _, ps := range e.procs {
+		setup.Add(ps.arr.Stats())
+		ps.arr.ResetStats()
+	}
+
+	for step := 0; ; step++ {
+		if step >= e.opts.MaxSupersteps {
+			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
+		}
+		halts, sends, err := e.compoundSuperstep(step)
+		if err != nil {
+			return nil, err
+		}
+		if halts == e.v {
+			if sends > 0 {
+				return nil, fmt.Errorf("core: %d messages sent while halting in superstep %d", sends, step)
+			}
+			break
+		}
+		if halts != 0 {
+			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+	}
+
+	var runStats disk.Stats
+	perProc := make([]disk.Stats, len(e.procs))
+	for i, ps := range e.procs {
+		perProc[i] = ps.arr.Stats()
+		runStats.Add(perProc[i])
+	}
+
+	vps := make([]bsp.VP, e.v)
+	err = e.parallel(func(ps *procState) error { return e.readFinalContexts(ps, vps) })
+	if err != nil {
+		return nil, err
+	}
+	var finish disk.Stats
+	for i, ps := range e.procs {
+		s := ps.arr.Stats()
+		finish.Ops += s.Ops - perProc[i].Ops
+		finish.ReadOps += s.ReadOps - perProc[i].ReadOps
+		finish.BlocksRead += s.BlocksRead - perProc[i].BlocksRead
+	}
+
+	res := &Result{VPs: vps, Costs: e.rec.Costs()}
+	em := EMStats{
+		K:              e.k,
+		Groups:         e.batches,
+		CtxBlocksPerVP: e.muBlocks,
+		Setup:          setup,
+		Run:            runStats,
+		Finish:         finish,
+		PerProc:        perProc,
+		IOTime:         e.ioTime,
+		CommTime:       e.commTime,
+		CommPkts:       e.commPkts,
+		CommWords:      e.commWords,
+	}
+	for _, ps := range e.procs {
+		em.RouteOps += ps.routeOps
+		em.RaggedSlots += ps.ragged
+		if ps.maxSkew > em.MaxBucketSkew {
+			em.MaxBucketSkew = ps.maxSkew
+		}
+		if h := ps.acct.High(); h > em.MemHigh {
+			em.MemHigh = h
+		}
+		if ps.peakLive > em.LiveBlocksPerDrive {
+			em.LiveBlocksPerDrive = ps.peakLive
+		}
+	}
+	res.EM = em
+	return res, nil
+}
+
+func (e *parEngine) writeInitialContexts(ps *procState) error {
+	if ps.ownCount() == 0 {
+		return nil
+	}
+	bufWords := e.k * e.muBlocks * e.cfg.B
+	if err := ps.acct.Grab(int64(bufWords)); err != nil {
+		return err
+	}
+	defer ps.acct.Release(int64(bufWords))
+	buf := make([]uint64, bufWords)
+	enc := words.NewEncoder(nil)
+	for j := 0; j < e.batches; j++ {
+		lo, hi := e.batchBounds(ps, j)
+		if lo == hi {
+			continue
+		}
+		clear(buf[:(hi-lo)*e.muBlocks*e.cfg.B])
+		for id := lo; id < hi; id++ {
+			enc.Reset()
+			e.p.NewVP(id).Save(enc)
+			if enc.Len() > e.mu {
+				return fmt.Errorf("core: VP %d initial context is %d words, exceeding µ=%d", id, enc.Len(), e.mu)
+			}
+			copy(buf[(id-lo)*e.muBlocks*e.cfg.B:], enc.Words())
+		}
+		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
+		if err := ps.arr.WriteRange(ps.ctxArea, cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *parEngine) readFinalContexts(ps *procState, out []bsp.VP) error {
+	if ps.ownCount() == 0 {
+		return nil
+	}
+	bufWords := e.k * e.muBlocks * e.cfg.B
+	if err := ps.acct.Grab(int64(bufWords)); err != nil {
+		return err
+	}
+	defer ps.acct.Release(int64(bufWords))
+	buf := make([]uint64, bufWords)
+	for j := 0; j < e.batches; j++ {
+		lo, hi := e.batchBounds(ps, j)
+		if lo == hi {
+			continue
+		}
+		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
+		if err := ps.arr.ReadRange(ps.ctxArea, cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+			return err
+		}
+		for id := lo; id < hi; id++ {
+			vp := e.p.NewVP(id)
+			vp.Load(words.NewDecoder(buf[(id-lo)*e.muBlocks*e.cfg.B : (id-lo+1)*e.muBlocks*e.cfg.B]))
+			out[id] = vp
+		}
+	}
+	return nil
+}
+
+// compoundSuperstep runs Algorithm 3 for one compound superstep.
+func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
+	P := e.cfg.P
+	e.rec.BeginStep()
+	defer e.rec.EndStep()
+
+	e.pktX = make([][]int64, P)
+	e.wordX = make([][]int64, P)
+	for i := 0; i < P; i++ {
+		e.pktX[i] = make([]int64, P)
+		e.wordX[i] = make([]int64, P)
+	}
+	for _, ps := range e.procs {
+		ps.halts, ps.sends = 0, 0
+		ps.dir = newOutDirectory(e.cfg.D, e.cfg.D)
+		ps.opsMark = ps.arr.Stats().Ops
+		flushBuf := make([]uint64, e.cfg.D*e.cfg.B)
+		ps.writer = newBlockWriter(ps.arr, ps.dir, e.bucketKey, ps.rng, e.opts.Deterministic, flushBuf)
+		ps.scratch = make([]uint64, e.cfg.B)
+	}
+
+	for j := 0; j < e.batches; j++ {
+		// Fetching phase: read batch-j blocks and route them to the
+		// simulating processors.
+		e.fetchX = freshMatrix(P)
+		if err := e.parallel(func(ps *procState) error { return e.fetchForward(ps, j) }); err != nil {
+			return 0, 0, err
+		}
+		// Computing phase (and cutting generated messages into packets
+		// scattered to random processors).
+		e.scatterX = freshMatrix(P)
+		if err := e.parallel(func(ps *procState) error { return e.computeBatch(ps, j, step) }); err != nil {
+			return 0, 0, err
+		}
+		// Writing phase: every processor writes the packets it
+		// received to its local disks, maintaining the D buckets.
+		if err := e.parallel(func(ps *procState) error { return e.receiveWrite(ps) }); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, ps := range e.procs {
+		halts += ps.halts
+		sends += ps.sends
+	}
+
+	if halts != e.v {
+		// Step 2 of Algorithm 3: reorganize the received batches with
+		// the local SimulateRouting.
+		if err := e.parallel(func(ps *procState) error { return e.routeLocal(ps) }); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Superstep model costs: I/O time is the max over processors; real
+	// communication is max(L, g·max_i(sent+received packets)).
+	var maxOps int64
+	for _, ps := range e.procs {
+		if d := ps.arr.Stats().Ops - ps.opsMark; d > maxOps {
+			maxOps = d
+		}
+	}
+	e.ioTime += e.cfg.G * float64(maxOps)
+	var maxPkts int64
+	for i := 0; i < P; i++ {
+		var sent, recv int64
+		for o := 0; o < P; o++ {
+			if o != i {
+				sent += e.pktX[i][o]
+				recv += e.pktX[o][i]
+				e.commWords += e.wordX[i][o]
+				e.commPkts += e.pktX[i][o]
+			}
+		}
+		if sent+recv > maxPkts {
+			maxPkts = sent + recv
+		}
+	}
+	ct := e.cfg.Cost.GPkt * float64(maxPkts)
+	if ct < e.cfg.Cost.L {
+		ct = e.cfg.Cost.L
+	}
+	e.commTime += ct
+	return halts, sends, nil
+}
+
+func freshMatrix(p int) [][][]wireBlock {
+	m := make([][][]wireBlock, p)
+	for i := range m {
+		m[i] = make([][]wireBlock, p)
+	}
+	return m
+}
+
+// fetchForward reads the blocks of batch j from the local disks and
+// forwards each to the processor simulating its destination VP,
+// combining blocks per destination into packets of size b.
+func (e *parEngine) fetchForward(ps *procState, j int) error {
+	var regions []groupRegion
+	if j < len(ps.inRegions) {
+		regions = ps.inRegions[j]
+	}
+	buf, metas, grabbed, err := readRegions(ps.arr, ps.acct, regions)
+	if err != nil {
+		return err
+	}
+	if metas == nil {
+		return nil
+	}
+	B := e.cfg.B
+	nwords := make([]int64, e.cfg.P)
+	for i, m := range metas {
+		o := e.owner(m.dst)
+		img := make([]uint64, B)
+		copy(img, buf[i*B:(i+1)*B])
+		e.fetchX[ps.id][o] = append(e.fetchX[ps.id][o], wireBlock{meta: m, img: img})
+		nwords[o] += int64(B)
+	}
+	for o, w := range nwords {
+		if o == ps.id || w == 0 {
+			continue
+		}
+		e.wordX[ps.id][o] += w
+		e.pktX[ps.id][o] += (w + int64(e.rec.PktSize()) - 1) / int64(e.rec.PktSize())
+	}
+	if grabbed > 0 {
+		ps.acct.Release(grabbed)
+	}
+	return nil
+}
+
+// computeBatch reassembles the batch's messages, simulates the k
+// current VPs, and scatters the generated messages — as packets of
+// ⌊b/B⌋ blocks — to randomly chosen processors.
+func (e *parEngine) computeBatch(ps *procState, j, step int) error {
+	lo, hi := e.batchBounds(ps, j)
+	n := hi - lo
+	B := e.cfg.B
+
+	// Gather the wire blocks addressed to this processor.
+	var metas []blockMeta
+	var total int
+	for src := 0; src < e.cfg.P; src++ {
+		total += len(e.fetchX[src][ps.id])
+	}
+	if n == 0 {
+		if total != 0 {
+			return fmt.Errorf("core: processor %d received %d blocks for an empty batch %d", ps.id, total, j)
+		}
+		return nil
+	}
+	inGrab := int64(total * B)
+	if err := ps.acct.Grab(inGrab); err != nil {
+		return err
+	}
+	buf := make([]uint64, total*B)
+	idx := 0
+	for src := 0; src < e.cfg.P; src++ {
+		for _, wb := range e.fetchX[src][ps.id] {
+			copy(buf[idx*B:(idx+1)*B], wb.img)
+			metas = append(metas, wb.meta)
+			idx++
+		}
+	}
+	var inbox [][]bsp.Message
+	var err error
+	if total == 0 {
+		inbox = make([][]bsp.Message, n)
+	} else {
+		inbox, err = reassemble(buf, metas, B, lo, hi)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Contexts of the current k VPs.
+	ctxWords := n * e.muBlocks * B
+	if err := ps.acct.Grab(int64(ctxWords)); err != nil {
+		return err
+	}
+	ctxBuf := make([]uint64, ctxWords)
+	cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
+	if err := ps.arr.ReadRange(ps.ctxArea, cl, ch, ctxBuf); err != nil {
+		return err
+	}
+	vps := make([]bsp.VP, n)
+	for i := 0; i < n; i++ {
+		vps[i] = e.p.NewVP(lo + i)
+		vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*B : (i+1)*e.muBlocks*B]))
+	}
+
+	// Simulate the computation supersteps.
+	var outs []outMsg
+	var outWords int64
+	for i := 0; i < n; i++ {
+		id := lo + i
+		recvWords, recvPkts := 0, 0
+		for _, m := range inbox[i] {
+			w := len(m.Payload) + 1
+			recvWords += w
+			recvPkts += e.rec.MsgPkts(w)
+		}
+		if recvWords > e.gamma {
+			return fmt.Errorf("core: VP %d received %d words in superstep %d, exceeding γ=%d", id, recvWords, step, e.gamma)
+		}
+		seq := 0
+		sendPkts := 0
+		env := bsp.NewEnv(id, e.v, step, e.opts.Seed, func(dst int, payload []uint64) {
+			outs = append(outs, outMsg{dst: dst, src: id, seq: seq, payload: payload})
+			seq++
+			sendPkts += e.rec.MsgPkts(len(payload) + 1)
+			outWords += int64(len(payload) + 1)
+		})
+		halt, err := vps[i].Step(env, inbox[i])
+		if err != nil {
+			return fmt.Errorf("core: VP %d superstep %d: %w", id, step, err)
+		}
+		sw, msgs, charge := env.SendTotals()
+		if sw > e.gamma {
+			return fmt.Errorf("core: VP %d sent %d words in superstep %d, exceeding γ=%d", id, sw, step, e.gamma)
+		}
+		if halt {
+			ps.halts++
+		}
+		ps.sends += msgs
+		e.recMu.Lock()
+		e.rec.RecordVP(bsp.VPTraffic{
+			SendWords: sw, RecvWords: recvWords,
+			SendPkts: sendPkts, RecvPkts: recvPkts,
+			Messages: msgs, Charge: charge,
+		})
+		e.recMu.Unlock()
+	}
+
+	// Write contexts back.
+	clear(ctxBuf)
+	enc := words.NewEncoder(nil)
+	for i := 0; i < n; i++ {
+		enc.Reset()
+		vps[i].Save(enc)
+		if enc.Len() > e.mu {
+			return fmt.Errorf("core: VP %d context is %d words after superstep %d, exceeding µ=%d", lo+i, enc.Len(), step, e.mu)
+		}
+		copy(ctxBuf[i*e.muBlocks*B:], enc.Words())
+	}
+	if err := ps.arr.WriteRange(ps.ctxArea, cl, ch, ctxBuf); err != nil {
+		return err
+	}
+	ps.acct.Release(int64(ctxWords))
+
+	// Scatter: cut each message into blocks, group ⌊b/B⌋ consecutive
+	// blocks of one message into a packet, and send every packet to a
+	// uniformly random processor. In deterministic (CGM) mode the
+	// packet goes straight to a rotation determined by its message
+	// identity, which is balanced for predetermined communication.
+	if err := ps.acct.Grab(outWords); err != nil {
+		return err
+	}
+	rng := prng.New(prng.Derive(e.opts.Seed, 0x5CA7, uint64(ps.id), uint64(step)))
+	for _, m := range outs {
+		pktLeft := 0
+		target := 0
+		npkt := 0
+		err := cutMessage(m, B, ps.scratch, func(meta blockMeta, img []uint64) error {
+			if pktLeft == 0 {
+				if e.opts.Deterministic {
+					target = (meta.dst + meta.src + npkt) % e.cfg.P
+				} else {
+					target = rng.Intn(e.cfg.P)
+				}
+				npkt++
+				pktLeft = e.pktBlk
+				if target != ps.id {
+					e.pktX[ps.id][target]++
+				}
+			}
+			pktLeft--
+			cp := make([]uint64, B)
+			copy(cp, img)
+			e.scatterX[ps.id][target] = append(e.scatterX[ps.id][target], wireBlock{meta: meta, img: cp})
+			if target != ps.id {
+				e.wordX[ps.id][target] += int64(B)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	ps.acct.Release(outWords)
+	ps.acct.Release(inGrab)
+	return nil
+}
+
+// receiveWrite writes the scattered packets this processor received
+// to its local disks, D blocks per parallel operation under a random
+// drive permutation, maintaining the bucket directory.
+func (e *parEngine) receiveWrite(ps *procState) error {
+	for src := 0; src < e.cfg.P; src++ {
+		for _, wb := range e.scatterX[src][ps.id] {
+			if err := ps.writer.add(wb.meta, wb.img); err != nil {
+				return err
+			}
+		}
+	}
+	return ps.writer.flush()
+}
+
+// routeLocal is Step 2 of Algorithm 3: reorganize this processor's
+// received blocks so each batch is evenly distributed over the local
+// disks in standard consecutive format.
+func (e *parEngine) routeLocal(ps *procState) error {
+	for _, ar := range ps.inAreas {
+		ps.arr.FreeArea(ar)
+	}
+	ps.noteLive(e.muBlocks, ps.inBlocks+ps.dir.total)
+	route, err := simulateRouting(ps.arr, ps.acct, ps.dir, func(m blockMeta) int { return e.batchOf(m.dst) }, e.batches)
+	if err != nil {
+		return err
+	}
+	ps.routeOps += route.stats.ops
+	ps.ragged += route.stats.ragged
+	if route.stats.maxSkew > ps.maxSkew {
+		ps.maxSkew = route.stats.maxSkew
+	}
+	ps.inRegions, ps.inAreas, ps.inBlocks = route.regions, route.areas, route.total
+	ps.noteLive(e.muBlocks, route.total)
+	return nil
+}

@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/bsp"
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/prng"
+)
+
+func parMachine(p, d, b, m int) core.MachineConfig {
+	return core.MachineConfig{
+		P: p, M: m, D: d, B: b, G: 10,
+		Cost: bsp.CostParams{GUnit: 1, GPkt: 2, Pkt: 2 * b, L: 5},
+	}
+}
+
+func TestParRingMatchesReference(t *testing.T) {
+	for _, p := range []int{2, 3, 4} {
+		for _, v := range []int{1, 4, 9, 16} {
+			prog := &bsptest.RingProgram{V: v, Rounds: 4}
+			ref, err := bsp.Run(prog, bsp.RunOptions{Seed: 21, PktSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(prog, parMachine(p, 2, 8, 64), core.Options{Seed: 21})
+			if err != nil {
+				t.Fatalf("p=%d v=%d: %v", p, v, err)
+			}
+			for id := 0; id < v; id++ {
+				if got, want := bsptest.RingAcc(res.ToBSPResult(), id), bsptest.RingAcc(ref, id); got != want {
+					t.Errorf("p=%d v=%d vp=%d: acc=%d, want %d", p, v, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParRandomProgramEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		v := r.Intn(24) + 1
+		prog := &bsptest.RandomProgram{
+			V:           v,
+			Steps:       r.Intn(3) + 1,
+			MsgsPerStep: r.Intn(4),
+			MaxLen:      r.Intn(16),
+		}
+		ref, err := bsp.Run(prog, bsp.RunOptions{Seed: seed, PktSize: 16})
+		if err != nil {
+			return false
+		}
+		p := r.Intn(4) + 2
+		d := r.Intn(3) + 1
+		b := 8 + r.Intn(8)
+		m := d*b + r.Intn(100)
+		res, err := core.Run(prog, parMachine(p, d, b, m), core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		a, bb := bsptest.Checksums(ref), bsptest.Checksums(res.ToBSPResult())
+		for i := range a {
+			if a[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParMatchesSeqCosts(t *testing.T) {
+	// BSP-level program costs must be engine independent.
+	prog := &bsptest.RandomProgram{V: 12, Steps: 3, MsgsPerStep: 3, MaxLen: 8}
+	seq, err := core.Run(prog, parMachine(1, 2, 8, 96), core.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Run(prog, parMachine(3, 2, 8, 96), core.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Costs.Supersteps != par.Costs.Supersteps {
+		t.Fatalf("λ: %d vs %d", seq.Costs.Supersteps, par.Costs.Supersteps)
+	}
+	for i := range seq.Costs.PerStep {
+		if seq.Costs.PerStep[i] != par.Costs.PerStep[i] {
+			t.Errorf("superstep %d: seq %+v vs par %+v", i, seq.Costs.PerStep[i], par.Costs.PerStep[i])
+		}
+	}
+}
+
+func TestParRealCommunicationCounted(t *testing.T) {
+	prog := &bsptest.RandomProgram{V: 16, Steps: 3, MsgsPerStep: 3, MaxLen: 8}
+	res, err := core.Run(prog, parMachine(4, 2, 8, 64), core.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EM.CommPkts <= 0 || res.EM.CommWords <= 0 {
+		t.Errorf("no real communication recorded: pkts=%d words=%d", res.EM.CommPkts, res.EM.CommWords)
+	}
+	if res.EM.CommTime <= 0 {
+		t.Errorf("CommTime = %v, want > 0", res.EM.CommTime)
+	}
+	if res.EM.IOTime <= 0 {
+		t.Errorf("IOTime = %v, want > 0", res.EM.IOTime)
+	}
+	// IOTime uses the per-superstep max over processors, so it must
+	// be at most G times the total ops and at least G times ops/p.
+	total := float64(res.EM.Run.Ops)
+	if res.EM.IOTime > 10*total || res.EM.IOTime < 10*total/4 {
+		t.Errorf("IOTime = %v not within [G·ops/p, G·ops] = [%v, %v]", res.EM.IOTime, 10*total/4, 10*total)
+	}
+}
+
+func TestParDeterministicModeReproducible(t *testing.T) {
+	prog := &bsptest.RandomProgram{V: 12, Steps: 3, MsgsPerStep: 2, MaxLen: 6}
+	cfg := parMachine(3, 2, 8, 64)
+	a, err := core.Run(prog, cfg, core.Options{Seed: 4, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Run(prog, cfg, core.Options{Seed: 4, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EM.Run.Ops != b.EM.Run.Ops || a.EM.CommPkts != b.EM.CommPkts {
+		t.Errorf("deterministic par mode not reproducible: ops %d/%d pkts %d/%d",
+			a.EM.Run.Ops, b.EM.Run.Ops, a.EM.CommPkts, b.EM.CommPkts)
+	}
+	ca, cb := bsptest.Checksums(a.ToBSPResult()), bsptest.Checksums(b.ToBSPResult())
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("VP %d diverged", i)
+		}
+	}
+}
+
+// TestParSchedulingIndependence: results and op counts must not
+// depend on goroutine scheduling. Running the same configuration with
+// GOMAXPROCS=1 (fully serialized goroutines) must reproduce the
+// parallel execution exactly.
+func TestParSchedulingIndependence(t *testing.T) {
+	prog := &bsptest.RandomProgram{V: 18, Steps: 3, MsgsPerStep: 3, MaxLen: 10}
+	cfg := parMachine(4, 2, 8, 96)
+	wide, err := core.Run(prog, cfg, core.Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	narrow, err := core.Run(prog, cfg, core.Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bsptest.Checksums(wide.ToBSPResult()), bsptest.Checksums(narrow.ToBSPResult())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("VP %d output depends on scheduling", i)
+		}
+	}
+	if wide.EM.Run.Ops != narrow.EM.Run.Ops {
+		t.Errorf("op counts depend on scheduling: %d vs %d", wide.EM.Run.Ops, narrow.EM.Run.Ops)
+	}
+	if wide.EM.CommPkts != narrow.EM.CommPkts {
+		t.Errorf("packet counts depend on scheduling: %d vs %d", wide.EM.CommPkts, narrow.EM.CommPkts)
+	}
+	for i := range wide.Costs.PerStep {
+		if wide.Costs.PerStep[i] != narrow.Costs.PerStep[i] {
+			t.Errorf("superstep %d costs depend on scheduling", i)
+		}
+	}
+}
+
+// TestParDiskLoadBalanced: Algorithm 3 scatters packets to random
+// processors precisely so that disk load stays balanced across the
+// real machines. On uniform traffic the per-processor ops must be
+// within a small factor of the mean.
+func TestParDiskLoadBalanced(t *testing.T) {
+	prog := &bsptest.RandomProgram{V: 32, Steps: 4, MsgsPerStep: 6, MaxLen: 16}
+	res, err := core.Run(prog, parMachine(4, 2, 8, 128), core.Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	maxOps := int64(0)
+	for _, ps := range res.EM.PerProc {
+		total += ps.Ops
+		if ps.Ops > maxOps {
+			maxOps = ps.Ops
+		}
+	}
+	mean := float64(total) / float64(len(res.EM.PerProc))
+	if float64(maxOps) > 1.5*mean {
+		t.Errorf("per-processor ops skewed: max %d vs mean %.0f", maxOps, mean)
+	}
+}
+
+func TestParMoreProcsThanVPs(t *testing.T) {
+	prog := &bsptest.RingProgram{V: 2, Rounds: 3}
+	res, err := core.Run(prog, parMachine(4, 1, 8, 32), core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		if got, want := bsptest.RingAcc(res.ToBSPResult(), id), bsptest.ExpectedRingAcc(2, 3, id); got != want {
+			t.Errorf("vp %d: %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestParLargeContexts(t *testing.T) {
+	p := &bigCtxProgram{v: 9, rounds: 3, ctxWords: 40}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 6, PktSize: 16, ValidateContexts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, parMachine(3, 2, 8, 120), core.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.VPs {
+		a := ref.VPs[i].(*bigCtxVP).data
+		b := res.VPs[i].(*bigCtxVP).data
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("VP %d word %d: %d vs %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}

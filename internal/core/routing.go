@@ -1,0 +1,318 @@
+package core
+
+import (
+	"embsp/internal/disk"
+	"embsp/internal/mem"
+	"embsp/internal/prng"
+)
+
+// blockWriter implements Step 1(d) of Algorithm 1 (and the disk-write
+// part of Step 1(c) of Algorithm 3): it accepts block images, buffers
+// up to D of them, and flushes each full buffer in one parallel write
+// operation, assigning blocks to drives by a fresh random permutation
+// (or round-robin rotation in deterministic mode). Every written block
+// is appended to its bucket's standard-linked-format list.
+type blockWriter struct {
+	arr       *disk.Array
+	dir       *outDirectory
+	bucketKey func(blockMeta) int
+	rng       *prng.Rand
+	det       bool
+	rr        int
+
+	buf     []uint64 // D·B words
+	metas   []blockMeta
+	perm    []int
+	pending int
+}
+
+func newBlockWriter(arr *disk.Array, dir *outDirectory, bucketKey func(blockMeta) int, rng *prng.Rand, det bool, buf []uint64) *blockWriter {
+	D := arr.Config().D
+	return &blockWriter{
+		arr: arr, dir: dir, bucketKey: bucketKey, rng: rng, det: det,
+		buf: buf, metas: make([]blockMeta, D), perm: make([]int, D),
+	}
+}
+
+func (w *blockWriter) add(meta blockMeta, img []uint64) error {
+	B := w.arr.Config().B
+	copy(w.buf[w.pending*B:(w.pending+1)*B], img)
+	w.metas[w.pending] = meta
+	w.pending++
+	if w.pending == w.arr.Config().D {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *blockWriter) flush() error {
+	if w.pending == 0 {
+		return nil
+	}
+	D, B := w.arr.Config().D, w.arr.Config().B
+	if w.det {
+		for i := 0; i < D; i++ {
+			w.perm[i] = (w.rr + i) % D
+		}
+		w.rr = (w.rr + w.pending) % D
+	} else {
+		w.rng.PermInto(w.perm)
+	}
+	reqs := make([]disk.WriteReq, 0, w.pending)
+	for i := 0; i < w.pending; i++ {
+		d := w.perm[i]
+		t := w.arr.Alloc(d)
+		reqs = append(reqs, disk.WriteReq{Disk: d, Track: t, Src: w.buf[i*B : (i+1)*B]})
+		b := w.bucketKey(w.metas[i])
+		w.dir.q[b][d] = append(w.dir.q[b][d], blockRef{track: t, meta: w.metas[i]})
+		w.dir.total++
+	}
+	w.pending = 0
+	return w.arr.WriteOp(reqs)
+}
+
+// routeStats reports the behaviour of one SimulateRouting invocation.
+type routeStats struct {
+	ops     int64   // parallel I/O operations performed
+	ragged  int64   // scheduled slots with no block (paper: dummy blocks)
+	maxSkew float64 // max over buckets of (max per-drive share)·D/R — Lemma 2's l
+}
+
+// routeResult is the reorganized layout: for every group (keyed by
+// groupKey), the list of consecutive-format regions holding its
+// blocks, plus the areas backing them.
+type routeResult struct {
+	regions [][]groupRegion
+	areas   []disk.Area
+	total   int
+	stats   routeStats
+}
+
+// simulateRouting implements Algorithm 2 on one disk array:
+// reorganize the blocks of dir from standard linked format into
+// standard consecutive format per group, where a block's group is
+// groupKey(meta) ∈ [0, numGroups).
+//
+// Step 1 gathers bucket b onto drive b: parallel operation j reads one
+// block of bucket b from drive (b+j) mod D for all b simultaneously.
+// Step 2 stripes each gathered bucket — sorted by (group, destination,
+// source, sequence, chunk) — across the drives into a rotated
+// consecutive area: operation j writes bucket b's j-th block to drive
+// (b+j) mod D, the paper's track formula d·⌈vγ/D²B⌉ + ⌊j/D⌋.
+func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, groupKey func(blockMeta) int, numGroups int) (*routeResult, error) {
+	D, B := arr.Config().D, arr.Config().B
+	res := &routeResult{total: dir.total}
+
+	// Lemma 2 observation: per-drive share of each bucket.
+	for b := 0; b < D; b++ {
+		R, maxPer := 0, 0
+		for s := 0; s < D; s++ {
+			n := len(dir.q[b][s])
+			R += n
+			if n > maxPer {
+				maxPer = n
+			}
+		}
+		if R > 0 {
+			if skew := float64(maxPer) * float64(D) / float64(R); skew > res.stats.maxSkew {
+				res.stats.maxSkew = skew
+			}
+		}
+	}
+
+	bufWords := D * B
+	if err := acct.Grab(int64(bufWords)); err != nil {
+		return nil, err
+	}
+	defer acct.Release(int64(bufWords))
+	buf := make([]uint64, bufWords)
+
+	type rel struct{ d, t int }
+
+	// Step 1: gather bucket b onto drive b.
+	staged := make([][]blockRef, D)
+	cursors := make([][]int, D)
+	for b := 0; b < D; b++ {
+		cursors[b] = make([]int, D)
+	}
+	remaining := dir.total
+	for j := 0; remaining > 0; j++ {
+		reads := make([]disk.ReadReq, 0, D)
+		writes := make([]disk.WriteReq, 0, D)
+		var toRelease []rel
+		for b := 0; b < D; b++ {
+			s := (b + j) % D
+			q := dir.q[b][s]
+			cur := cursors[b][s]
+			if cur >= len(q) {
+				continue
+			}
+			ref := q[cur]
+			cursors[b][s]++
+			seg := buf[len(reads)*B : (len(reads)+1)*B]
+			reads = append(reads, disk.ReadReq{Disk: s, Track: ref.track, Dst: seg})
+			t := arr.Alloc(b)
+			writes = append(writes, disk.WriteReq{Disk: b, Track: t, Src: seg})
+			staged[b] = append(staged[b], blockRef{track: t, meta: ref.meta})
+			toRelease = append(toRelease, rel{s, ref.track})
+			remaining--
+		}
+		if len(reads) == 0 {
+			continue
+		}
+		res.stats.ragged += int64(D - len(reads))
+		if err := arr.ReadOp(reads); err != nil {
+			return nil, err
+		}
+		if err := arr.WriteOp(writes); err != nil {
+			return nil, err
+		}
+		res.stats.ops += 2
+		for _, r := range toRelease {
+			arr.Release(r.d, r.t)
+		}
+	}
+
+	// Step 2: stripe each bucket into a rotated consecutive area in
+	// (group, destination, source, sequence, chunk) order.
+	res.areas = make([]disk.Area, D)
+	maxLen := 0
+	for b := 0; b < D; b++ {
+		sortSlice(staged[b], func(x, y blockRef) bool {
+			gx, gy := groupKey(x.meta), groupKey(y.meta)
+			if gx != gy {
+				return gx < gy
+			}
+			return metaLess(x.meta, y.meta)
+		})
+		res.areas[b] = arr.ReserveRot(len(staged[b]), b)
+		if len(staged[b]) > maxLen {
+			maxLen = len(staged[b])
+		}
+	}
+	for j := 0; j < maxLen; j++ {
+		reads := make([]disk.ReadReq, 0, D)
+		writes := make([]disk.WriteReq, 0, D)
+		var toRelease []rel
+		for b := 0; b < D; b++ {
+			if j >= len(staged[b]) {
+				continue
+			}
+			ref := staged[b][j]
+			seg := buf[len(reads)*B : (len(reads)+1)*B]
+			reads = append(reads, disk.ReadReq{Disk: b, Track: ref.track, Dst: seg})
+			addr := res.areas[b].Addr(j)
+			writes = append(writes, disk.WriteReq{Disk: addr.Disk, Track: addr.Track, Src: seg})
+			toRelease = append(toRelease, rel{b, ref.track})
+		}
+		res.stats.ragged += int64(D - len(reads))
+		if err := arr.ReadOp(reads); err != nil {
+			return nil, err
+		}
+		if err := arr.WriteOp(writes); err != nil {
+			return nil, err
+		}
+		res.stats.ops += 2
+		for _, r := range toRelease {
+			arr.Release(r.d, r.t)
+		}
+	}
+
+	// Record every group's contiguous slices.
+	res.regions = make([][]groupRegion, numGroups)
+	for b := 0; b < D; b++ {
+		i := 0
+		for i < len(staged[b]) {
+			g := groupKey(staged[b][i].meta)
+			j := i + 1
+			for j < len(staged[b]) && groupKey(staged[b][j].meta) == g {
+				j++
+			}
+			res.regions[g] = append(res.regions[g], groupRegion{area: res.areas[b], lo: i, hi: j})
+			i = j
+		}
+	}
+	return res, nil
+}
+
+// readScattered reads the blocks listed per drive (the NoRouting
+// ablation's fetch path) with greedy batching: every parallel read
+// operation takes the next pending block of each drive, so the op
+// count equals the maximum per-drive share — exactly the quantity
+// Lemma 2 bounds. Source tracks are released after reading. Returns
+// like readRegions; the caller releases the grab.
+func readScattered(arr *disk.Array, acct *mem.Accountant, perDrive [][]blockRef) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
+	B := arr.Config().B
+	total := 0
+	for _, refs := range perDrive {
+		total += len(refs)
+	}
+	if total == 0 {
+		return nil, nil, 0, nil
+	}
+	grabbed = int64(total * B)
+	if err := acct.Grab(grabbed); err != nil {
+		return nil, nil, 0, err
+	}
+	buf = make([]uint64, total*B)
+	metas = make([]blockMeta, 0, total)
+	cursors := make([]int, len(perDrive))
+	idx := 0
+	for idx < total {
+		reqs := make([]disk.ReadReq, 0, len(perDrive))
+		type rel struct{ d, t int }
+		var toRelease []rel
+		for d, refs := range perDrive {
+			if cursors[d] >= len(refs) {
+				continue
+			}
+			ref := refs[cursors[d]]
+			cursors[d]++
+			reqs = append(reqs, disk.ReadReq{Disk: d, Track: ref.track, Dst: buf[idx*B : (idx+1)*B]})
+			metas = append(metas, ref.meta)
+			toRelease = append(toRelease, rel{d, ref.track})
+			idx++
+		}
+		if err := arr.ReadOp(reqs); err != nil {
+			acct.Release(grabbed)
+			return nil, nil, 0, err
+		}
+		for _, r := range toRelease {
+			arr.Release(r.d, r.t)
+		}
+	}
+	return buf, metas, grabbed, nil
+}
+
+// readRegions reads all blocks of the given regions into a freshly
+// grabbed buffer and parses their directory entries. The caller
+// releases the returned grab.
+func readRegions(arr *disk.Array, acct *mem.Accountant, regions []groupRegion) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
+	B := arr.Config().B
+	total := 0
+	for _, r := range regions {
+		total += r.hi - r.lo
+	}
+	if total == 0 {
+		return nil, nil, 0, nil
+	}
+	grabbed = int64(total * B)
+	if err := acct.Grab(grabbed); err != nil {
+		return nil, nil, 0, err
+	}
+	buf = make([]uint64, total*B)
+	off := 0
+	for _, r := range regions {
+		nb := r.hi - r.lo
+		if err := arr.ReadRange(r.area, r.lo, r.hi, buf[off*B:(off+nb)*B]); err != nil {
+			acct.Release(grabbed)
+			return nil, nil, 0, err
+		}
+		off += nb
+	}
+	metas = make([]blockMeta, total)
+	for i := 0; i < total; i++ {
+		metas[i], _ = parseBlock(buf[i*B : (i+1)*B])
+	}
+	return buf, metas, grabbed, nil
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/mem"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// blockRef locates one staged message block together with its
+// directory entry.
+type blockRef struct {
+	track int
+	meta  blockMeta
+}
+
+// outDirectory holds the standard-linked-format state of Step 1(d):
+// for every (bucket, drive) pair, the ordered list of tracks on that
+// drive holding blocks of that bucket. Algorithm 2 uses D buckets; the
+// NoRouting ablation buckets directly by destination group.
+type outDirectory struct {
+	q     [][][]blockRef // [bucket][drive]
+	total int
+}
+
+func newOutDirectory(buckets, D int) *outDirectory {
+	d := &outDirectory{q: make([][][]blockRef, buckets)}
+	for b := range d.q {
+		d.q[b] = make([][]blockRef, D)
+	}
+	return d
+}
+
+// groupRegion is a slice [lo, hi) of an area holding one group's
+// incoming message blocks.
+type groupRegion struct {
+	area disk.Area
+	lo   int
+	hi   int
+}
+
+// seqEngine simulates a BSP* program on a single-processor EM-BSP*
+// machine: Algorithm 1 (SeqCompoundSuperstep) plus Algorithm 2
+// (SimulateRouting).
+type seqEngine struct {
+	p    bsp.Program
+	cfg  MachineConfig
+	opts Options
+
+	v        int
+	mu       int
+	gamma    int
+	k        int
+	groups   int
+	muBlocks int
+
+	arr  *disk.Array
+	acct *mem.Accountant
+	rec  *bsp.CostRecorder
+	rng  *prng.Rand
+
+	ctxArea   disk.Area
+	inRegions [][]groupRegion
+	inAreas   []disk.Area
+	inBlocks  int
+	inDir     *outDirectory // NoRouting ablation: scattered blocks
+
+	routeOps int64
+	ragged   int64
+	maxSkew  float64
+	peakLive int64
+}
+
+// groupBounds returns the VP id range [lo, hi) of group g.
+func (e *seqEngine) groupBounds(g int) (lo, hi int) {
+	lo = g * e.k
+	hi = lo + e.k
+	if hi > e.v {
+		hi = e.v
+	}
+	return lo, hi
+}
+
+func (e *seqEngine) noteLive(extraBlocks int) {
+	live := int64(e.v*e.muBlocks + extraBlocks)
+	per := live / int64(e.cfg.D)
+	if per > e.peakLive {
+		e.peakLive = per
+	}
+}
+
+func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+	opts.defaults()
+	v := p.NumVPs()
+	mu := p.MaxContextWords()
+	gamma := p.MaxCommWords()
+	k := cfg.M / mu
+	if k < 1 {
+		k = 1
+	}
+	if k > v {
+		k = v
+	}
+	e := &seqEngine{
+		p: p, cfg: cfg, opts: opts,
+		v: v, mu: mu, gamma: gamma, k: k,
+		groups:   (v + k - 1) / k,
+		muBlocks: (mu + cfg.B - 1) / cfg.B,
+		arr:      disk.MustNewArray(disk.Config{D: cfg.D, B: cfg.B}),
+		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
+		rng:      prng.New(prng.Derive(opts.Seed, 0xE19)),
+	}
+	// The theorems assume γ = O(µ) (a VP's messages fit in its local
+	// memory), so the engine footprint is Θ(k·µ) = Θ(M). The budget
+	// below makes that concrete — M plus the group's contexts and
+	// physically encoded messages (≤ 3γ words per VP each way) and one
+	// block per drive — scaled by the configured slack constant.
+	// Programs honouring γ = O(µ) stay within O(M); others are still
+	// tracked and bounded.
+	e.acct = mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma))
+	return e.run()
+}
+
+// engineMemLimit computes the internal-memory budget for one
+// processor simulating groups of k VPs.
+func engineMemLimit(cfg MachineConfig, k, mu, gamma int) int64 {
+	return int64(cfg.memSlack()) * (int64(cfg.M) + int64(k)*int64(mu+6*gamma) + int64(cfg.D*cfg.B))
+}
+
+func (e *seqEngine) run() (*Result, error) {
+	// Reserve the context area: v·⌈µ/B⌉ blocks in standard consecutive
+	// format, VP j's i-th context block at global block index
+	// i + j·(µ/B), as the paper's Step 1(a)/1(e) details prescribe.
+	e.ctxArea = e.arr.Reserve(e.v * e.muBlocks)
+
+	e.noteLive(0)
+	if err := e.writeInitialContexts(); err != nil {
+		return nil, err
+	}
+	setup := e.arr.Stats()
+	e.arr.ResetStats()
+
+	for step := 0; ; step++ {
+		if step >= e.opts.MaxSupersteps {
+			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
+		}
+		halts, sends, dir, err := e.compoundSuperstep(step)
+		if err != nil {
+			return nil, err
+		}
+		if halts == e.v {
+			if sends > 0 {
+				return nil, fmt.Errorf("core: %d messages sent while halting in superstep %d", sends, step)
+			}
+			break
+		}
+		if halts != 0 {
+			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+		if e.opts.NoRouting {
+			// Ablation: leave the blocks where the writing phase put
+			// them; the next fetch reads them scattered.
+			e.noteLive(dir.total)
+			e.inDir = dir
+			// Observe the balance the fetch will pay for (Lemma 2).
+			for g := 0; g < e.groups; g++ {
+				R, maxPer := 0, 0
+				for d := 0; d < e.cfg.D; d++ {
+					n := len(dir.q[g][d])
+					R += n
+					if n > maxPer {
+						maxPer = n
+					}
+				}
+				if R > 0 {
+					if skew := float64(maxPer) * float64(e.cfg.D) / float64(R); skew > e.maxSkew {
+						e.maxSkew = skew
+					}
+				}
+			}
+			continue
+		}
+		// Free the consumed input areas, then reorganize the generated
+		// blocks (Algorithm 2) for the next superstep's fetch phase.
+		for _, ar := range e.inAreas {
+			e.arr.FreeArea(ar)
+		}
+		e.noteLive(e.inBlocks + dir.total)
+		route, err := simulateRouting(e.arr, e.acct, dir, func(m blockMeta) int { return groupOf(m.dst, e.k) }, e.groups)
+		if err != nil {
+			return nil, err
+		}
+		e.routeOps += route.stats.ops
+		e.ragged += route.stats.ragged
+		if route.stats.maxSkew > e.maxSkew {
+			e.maxSkew = route.stats.maxSkew
+		}
+		e.inRegions, e.inAreas, e.inBlocks = route.regions, route.areas, route.total
+		e.noteLive(route.total)
+	}
+	runStats := e.arr.Stats()
+
+	vps, err := e.readFinalContexts()
+	if err != nil {
+		return nil, err
+	}
+	finish := e.arr.Stats()
+	finish.Ops -= runStats.Ops
+	finish.ReadOps -= runStats.ReadOps
+	finish.WriteOps -= runStats.WriteOps
+	finish.BlocksRead -= runStats.BlocksRead
+	finish.BlocksWritten -= runStats.BlocksWritten
+	finish.PerDrive = nil
+
+	res := &Result{VPs: vps, Costs: e.rec.Costs()}
+	res.EM = EMStats{
+		K:                  e.k,
+		Groups:             e.groups,
+		CtxBlocksPerVP:     e.muBlocks,
+		Setup:              setup,
+		Run:                runStats,
+		Finish:             finish,
+		PerProc:            []disk.Stats{runStats},
+		IOTime:             e.cfg.G * float64(runStats.Ops),
+		RouteOps:           e.routeOps,
+		RaggedSlots:        e.ragged,
+		MaxBucketSkew:      e.maxSkew,
+		MemHigh:            e.acct.High(),
+		LiveBlocksPerDrive: e.peakLive,
+	}
+	return res, nil
+}
+
+// writeInitialContexts marshals every VP's initial state to the
+// context area, one group at a time (the input-distribution phase).
+func (e *seqEngine) writeInitialContexts() error {
+	bufWords := e.k * e.muBlocks * e.cfg.B
+	if err := e.acct.Grab(int64(bufWords)); err != nil {
+		return err
+	}
+	defer e.acct.Release(int64(bufWords))
+	buf := make([]uint64, bufWords)
+	enc := words.NewEncoder(nil)
+	for g := 0; g < e.groups; g++ {
+		lo, hi := e.groupBounds(g)
+		clear(buf[:(hi-lo)*e.muBlocks*e.cfg.B])
+		for id := lo; id < hi; id++ {
+			enc.Reset()
+			e.p.NewVP(id).Save(enc)
+			if enc.Len() > e.mu {
+				return fmt.Errorf("core: VP %d initial context is %d words, exceeding µ=%d", id, enc.Len(), e.mu)
+			}
+			copy(buf[(id-lo)*e.muBlocks*e.cfg.B:], enc.Words())
+		}
+		if err := e.arr.WriteRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFinalContexts loads every VP from disk after the program halted.
+func (e *seqEngine) readFinalContexts() ([]bsp.VP, error) {
+	vps := make([]bsp.VP, e.v)
+	bufWords := e.k * e.muBlocks * e.cfg.B
+	if err := e.acct.Grab(int64(bufWords)); err != nil {
+		return nil, err
+	}
+	defer e.acct.Release(int64(bufWords))
+	buf := make([]uint64, bufWords)
+	for g := 0; g < e.groups; g++ {
+		lo, hi := e.groupBounds(g)
+		if err := e.arr.ReadRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+			return nil, err
+		}
+		for id := lo; id < hi; id++ {
+			vp := e.p.NewVP(id)
+			vp.Load(words.NewDecoder(buf[(id-lo)*e.muBlocks*e.cfg.B : (id-lo+1)*e.muBlocks*e.cfg.B]))
+			vps[id] = vp
+		}
+	}
+	return vps, nil
+}
+
+// compoundSuperstep simulates one compound superstep (Algorithm 1,
+// Step 1): for each group, fetch contexts and messages, run the
+// computation phase, and write generated blocks and changed contexts.
+// It returns the number of halt votes, the number of messages sent,
+// and the output directory for SimulateRouting.
+func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirectory, err error) {
+	nbuckets := e.cfg.D
+	bucketKey := func(m blockMeta) int { return bucketOf(m.dst, e.v, e.cfg.D) }
+	if e.opts.NoRouting {
+		nbuckets = e.groups
+		bucketKey = func(m blockMeta) int { return groupOf(m.dst, e.k) }
+	}
+	dir = newOutDirectory(nbuckets, e.cfg.D)
+	e.rec.BeginStep()
+	defer e.rec.EndStep()
+
+	ctxWords := e.k * e.muBlocks * e.cfg.B
+	if err := e.acct.Grab(int64(ctxWords)); err != nil {
+		return 0, 0, nil, err
+	}
+	defer e.acct.Release(int64(ctxWords))
+	ctxBuf := make([]uint64, ctxWords)
+
+	// Scratch for one pending parallel write (D block images).
+	flushWords := e.cfg.D * e.cfg.B
+	if err := e.acct.Grab(int64(flushWords)); err != nil {
+		return 0, 0, nil, err
+	}
+	defer e.acct.Release(int64(flushWords))
+	writer := newBlockWriter(e.arr, dir, bucketKey, e.rng, e.opts.Deterministic, make([]uint64, flushWords))
+
+	enc := words.NewEncoder(nil)
+	scratch := make([]uint64, e.cfg.B)
+	for g := 0; g < e.groups; g++ {
+		lo, hi := e.groupBounds(g)
+		n := hi - lo
+
+		// Fetching phase: contexts (Step 1(a)).
+		if err := e.arr.ReadRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
+			return 0, 0, nil, err
+		}
+		vps := make([]bsp.VP, n)
+		for i := 0; i < n; i++ {
+			vps[i] = e.p.NewVP(lo + i)
+			vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*e.cfg.B : (i+1)*e.muBlocks*e.cfg.B]))
+		}
+
+		// Fetching phase: incoming messages (Step 1(b)).
+		var buf []uint64
+		var metas []blockMeta
+		var grabbed int64
+		var err error
+		if e.opts.NoRouting {
+			if e.inDir != nil {
+				buf, metas, grabbed, err = readScattered(e.arr, e.acct, e.inDir.q[g])
+			}
+		} else {
+			var regions []groupRegion
+			if g < len(e.inRegions) {
+				regions = e.inRegions[g]
+			}
+			buf, metas, grabbed, err = readRegions(e.arr, e.acct, regions)
+		}
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		var inbox [][]bsp.Message
+		if metas == nil {
+			inbox = make([][]bsp.Message, n)
+		} else {
+			inbox, err = reassemble(buf, metas, e.cfg.B, lo, hi)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+		}
+
+		// Computation phase (Step 1(c)) — collect generated messages
+		// in internal memory, as the paper prescribes.
+		var outs []outMsg
+		var outWords int64
+		for i := 0; i < n; i++ {
+			id := lo + i
+			recvWords, recvPkts := 0, 0
+			for _, m := range inbox[i] {
+				w := len(m.Payload) + 1
+				recvWords += w
+				recvPkts += e.rec.MsgPkts(w)
+			}
+			if recvWords > e.gamma {
+				return 0, 0, nil, fmt.Errorf("core: VP %d received %d words in superstep %d, exceeding γ=%d", id, recvWords, step, e.gamma)
+			}
+			seq := 0
+			sendPkts := 0
+			env := bsp.NewEnv(id, e.v, step, e.opts.Seed, func(dst int, payload []uint64) {
+				outs = append(outs, outMsg{dst: dst, src: id, seq: seq, payload: payload})
+				seq++
+				sendPkts += e.rec.MsgPkts(len(payload) + 1)
+				outWords += int64(len(payload) + 1)
+			})
+			halt, err := vps[i].Step(env, inbox[i])
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("core: VP %d superstep %d: %w", id, step, err)
+			}
+			sw, msgs, charge := env.SendTotals()
+			if sw > e.gamma {
+				return 0, 0, nil, fmt.Errorf("core: VP %d sent %d words in superstep %d, exceeding γ=%d", id, sw, step, e.gamma)
+			}
+			if halt {
+				halts++
+			}
+			sends += msgs
+			e.rec.RecordVP(bsp.VPTraffic{
+				SendWords: sw,
+				RecvWords: recvWords,
+				SendPkts:  sendPkts,
+				RecvPkts:  recvPkts,
+				Messages:  msgs,
+				Charge:    charge,
+			})
+		}
+		if err := e.acct.Grab(outWords); err != nil {
+			return 0, 0, nil, err
+		}
+
+		// Writing phase: generated messages (Step 1(d)).
+		for _, m := range outs {
+			if err := cutMessage(m, e.cfg.B, scratch, writer.add); err != nil {
+				return 0, 0, nil, err
+			}
+		}
+		if err := writer.flush(); err != nil {
+			return 0, 0, nil, err
+		}
+		e.acct.Release(outWords)
+		if grabbed > 0 {
+			e.acct.Release(grabbed)
+		}
+
+		// Writing phase: changed contexts (Step 1(e)).
+		clear(ctxBuf[:n*e.muBlocks*e.cfg.B])
+		for i := 0; i < n; i++ {
+			enc.Reset()
+			vps[i].Save(enc)
+			if enc.Len() > e.mu {
+				return 0, 0, nil, fmt.Errorf("core: VP %d context is %d words after superstep %d, exceeding µ=%d", lo+i, enc.Len(), step, e.mu)
+			}
+			copy(ctxBuf[i*e.muBlocks*e.cfg.B:], enc.Words())
+		}
+		if err := e.arr.WriteRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return halts, sends, dir, nil
+}

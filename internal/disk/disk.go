@@ -1,0 +1,322 @@
+// Package disk simulates the secondary-memory subsystem of the EM-BSP
+// machine model (Section 3 of Dehne–Dittrich–Hutchinson).
+//
+// Each real processor owns D disk drives. A drive is a sequence of
+// tracks, consecutively numbered from 0, accessed by direct random
+// access. A track stores exactly one block of B records (here: 64-bit
+// words). In a single parallel I/O operation the processor may
+// transfer at most one track per drive — up to D·B words — at cost G.
+// An operation involving fewer drives incurs the same cost; the model
+// thereby gives an incentive to keep all drives busy, which is exactly
+// what the paper's layout formats (standard consecutive format,
+// standard linked format) achieve.
+//
+// The Array type enforces the one-track-per-drive rule and counts
+// parallel I/O operations, block transfers, per-drive load, and
+// physically sequential vs. non-sequential track accesses. All counts
+// are exact; the quantities proved about in the paper's lemmas
+// (numbers of parallel I/O operations, per-drive block balance) are
+// read directly off these statistics.
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the disk subsystem of one processor.
+type Config struct {
+	// D is the number of drives.
+	D int
+	// B is the track (block) size in words.
+	B int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.D <= 0 {
+		return fmt.Errorf("disk: D = %d, want > 0", c.D)
+	}
+	if c.B <= 0 {
+		return fmt.Errorf("disk: B = %d, want > 0", c.B)
+	}
+	return nil
+}
+
+// Addr identifies one block: a (drive, track) pair.
+type Addr struct {
+	Disk  int
+	Track int
+}
+
+// ReadReq asks one drive for one track. Dst must have length B; the
+// track contents are copied into it. Reading a never-written track
+// yields zeros (the drive is formatted but blank).
+type ReadReq struct {
+	Disk  int
+	Track int
+	Dst   []uint64
+}
+
+// WriteReq writes one track on one drive. Src must have length B.
+type WriteReq struct {
+	Disk  int
+	Track int
+	Src   []uint64
+}
+
+// DriveStats holds per-drive transfer counts.
+type DriveStats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	// SeqAccesses counts accesses whose track number immediately
+	// follows the previously accessed track on the same drive;
+	// RandAccesses counts the rest. The ratio indicates how well a
+	// layout preserves physical locality.
+	SeqAccesses  int64
+	RandAccesses int64
+}
+
+// Stats aggregates I/O accounting for an Array. Ops is the number of
+// parallel I/O operations: the model time spent on I/O is G·Ops.
+type Stats struct {
+	Ops           int64
+	ReadOps       int64
+	WriteOps      int64
+	BlocksRead    int64
+	BlocksWritten int64
+	PerDrive      []DriveStats
+}
+
+// Blocks returns the total number of blocks transferred.
+func (s Stats) Blocks() int64 { return s.BlocksRead + s.BlocksWritten }
+
+// Utilization returns the mean number of drives used per parallel I/O
+// operation divided by D: 1.0 means every operation moved D blocks.
+func (s Stats) Utilization() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Blocks()) / float64(s.Ops*int64(len(s.PerDrive)))
+}
+
+// Add accumulates other into s. The two must have the same drive count
+// (or s may be zero-valued).
+func (s *Stats) Add(other Stats) {
+	s.Ops += other.Ops
+	s.ReadOps += other.ReadOps
+	s.WriteOps += other.WriteOps
+	s.BlocksRead += other.BlocksRead
+	s.BlocksWritten += other.BlocksWritten
+	if s.PerDrive == nil {
+		s.PerDrive = make([]DriveStats, len(other.PerDrive))
+	}
+	for i := range other.PerDrive {
+		s.PerDrive[i].BlocksRead += other.PerDrive[i].BlocksRead
+		s.PerDrive[i].BlocksWritten += other.PerDrive[i].BlocksWritten
+		s.PerDrive[i].SeqAccesses += other.PerDrive[i].SeqAccesses
+		s.PerDrive[i].RandAccesses += other.PerDrive[i].RandAccesses
+	}
+}
+
+type drive struct {
+	tracks    [][]uint64
+	freeList  []int
+	next      int // bump allocator high-water mark
+	lastTrack int // previously accessed track, -1 initially
+}
+
+// Array simulates the D drives of one processor.
+type Array struct {
+	cfg    Config
+	drives []drive
+	stats  Stats
+}
+
+// NewArray returns a blank disk subsystem.
+func NewArray(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg, drives: make([]drive, cfg.D)}
+	for i := range a.drives {
+		a.drives[i].lastTrack = -1
+	}
+	a.stats.PerDrive = make([]DriveStats, cfg.D)
+	return a, nil
+}
+
+// MustNewArray is NewArray for statically valid configurations.
+func MustNewArray(cfg Config) *Array {
+	a, err := NewArray(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (a *Array) Stats() Stats {
+	s := a.stats
+	s.PerDrive = append([]DriveStats(nil), a.stats.PerDrive...)
+	return s
+}
+
+// ResetStats zeroes the statistics, e.g. to exclude input staging from
+// a measured experiment. Allocated data is untouched.
+func (a *Array) ResetStats() {
+	a.stats = Stats{PerDrive: make([]DriveStats, a.cfg.D)}
+}
+
+var errDriveConflict = errors.New("disk: parallel I/O op addresses one drive twice")
+
+func (a *Array) checkAddr(d, t int) error {
+	if d < 0 || d >= a.cfg.D {
+		return fmt.Errorf("disk: drive %d out of range [0,%d)", d, a.cfg.D)
+	}
+	if t < 0 {
+		return fmt.Errorf("disk: negative track %d", t)
+	}
+	return nil
+}
+
+func (a *Array) touch(d, t int) {
+	dr := &a.drives[d]
+	if t == dr.lastTrack+1 {
+		a.stats.PerDrive[d].SeqAccesses++
+	} else {
+		a.stats.PerDrive[d].RandAccesses++
+	}
+	dr.lastTrack = t
+}
+
+// ReadOp performs one parallel I/O operation reading len(reqs) tracks,
+// at most one per drive. It costs one operation regardless of how many
+// drives participate (the model's flat cost G). An empty request list
+// is a no-op and costs nothing.
+func (a *Array) ReadOp(reqs []ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := a.validateDistinct(len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if len(r.Dst) != a.cfg.B {
+			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), a.cfg.B)
+		}
+		dr := &a.drives[r.Disk]
+		if r.Track < len(dr.tracks) && dr.tracks[r.Track] != nil {
+			copy(r.Dst, dr.tracks[r.Track])
+		} else {
+			clear(r.Dst)
+		}
+		a.touch(r.Disk, r.Track)
+		a.stats.PerDrive[r.Disk].BlocksRead++
+	}
+	a.stats.Ops++
+	a.stats.ReadOps++
+	a.stats.BlocksRead += int64(len(reqs))
+	return nil
+}
+
+// WriteOp performs one parallel I/O operation writing len(reqs) tracks,
+// at most one per drive.
+func (a *Array) WriteOp(reqs []WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := a.validateDistinct(len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if len(r.Src) != a.cfg.B {
+			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), a.cfg.B)
+		}
+		dr := &a.drives[r.Disk]
+		for r.Track >= len(dr.tracks) {
+			dr.tracks = append(dr.tracks, nil)
+		}
+		if dr.tracks[r.Track] == nil {
+			dr.tracks[r.Track] = make([]uint64, a.cfg.B)
+		}
+		copy(dr.tracks[r.Track], r.Src)
+		a.touch(r.Disk, r.Track)
+		a.stats.PerDrive[r.Disk].BlocksWritten++
+	}
+	a.stats.Ops++
+	a.stats.WriteOps++
+	a.stats.BlocksWritten += int64(len(reqs))
+	return nil
+}
+
+func (a *Array) validateDistinct(n int, at func(int) (disk, track int)) error {
+	var seenLow uint64 // bitmask fast path for D <= 64
+	var seen map[int]bool
+	for i := 0; i < n; i++ {
+		d, t := at(i)
+		if err := a.checkAddr(d, t); err != nil {
+			return err
+		}
+		if d < 64 {
+			bit := uint64(1) << uint(d)
+			if seenLow&bit != 0 {
+				return errDriveConflict
+			}
+			seenLow |= bit
+			continue
+		}
+		if seen == nil {
+			seen = make(map[int]bool)
+		}
+		if seen[d] {
+			return errDriveConflict
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Alloc returns a free track on the given drive, reusing freed tracks
+// before extending the drive. Used for standard-linked-format bucket
+// blocks, whose placement is dynamic.
+func (a *Array) Alloc(d int) int {
+	dr := &a.drives[d]
+	if n := len(dr.freeList); n > 0 {
+		t := dr.freeList[n-1]
+		dr.freeList = dr.freeList[:n-1]
+		return t
+	}
+	t := dr.next
+	dr.next++
+	return t
+}
+
+// Release returns a track to the drive's free list. The track contents
+// are cleared so stale data cannot leak into later reads.
+func (a *Array) Release(d, t int) {
+	dr := &a.drives[d]
+	if t < len(dr.tracks) {
+		dr.tracks[t] = nil
+	}
+	dr.freeList = append(dr.freeList, t)
+}
+
+// Tracks returns the bump-allocator high-water mark of drive d: the
+// number of tracks ever allocated on it (peak disk space in blocks).
+func (a *Array) Tracks(d int) int { return a.drives[d].next }
+
+// PeekTrack returns a copy of a track's contents without performing a
+// model I/O operation. It exists for tests, assertions and layout
+// visualization only; engine code must use ReadOp.
+func (a *Array) PeekTrack(d, t int) []uint64 {
+	out := make([]uint64, a.cfg.B)
+	dr := &a.drives[d]
+	if t < len(dr.tracks) && dr.tracks[t] != nil {
+		copy(out, dr.tracks[t])
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/prng"
+)
+
+func TestAreaStriping(t *testing.T) {
+	a := newTest(t, 3, 2)
+	ar := a.Reserve(7)
+	if ar.Blocks() != 7 {
+		t.Fatalf("Blocks = %d, want 7", ar.Blocks())
+	}
+	// Block i lives on drive i mod D with consecutive tracks per drive.
+	perDriveTracks := make(map[int][]int)
+	for i := 0; i < 7; i++ {
+		ad := ar.Addr(i)
+		if ad.Disk != i%3 {
+			t.Errorf("block %d on drive %d, want %d", i, ad.Disk, i%3)
+		}
+		perDriveTracks[ad.Disk] = append(perDriveTracks[ad.Disk], ad.Track)
+	}
+	for d, tracks := range perDriveTracks {
+		for i := 1; i < len(tracks); i++ {
+			if tracks[i] != tracks[i-1]+1 {
+				t.Errorf("drive %d tracks not consecutive: %v", d, tracks)
+			}
+		}
+	}
+	// Per-drive block counts differ by at most one (Definition 2).
+	minC, maxC := 7, 0
+	for d := 0; d < 3; d++ {
+		c := len(perDriveTracks[d])
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC-minC > 1 {
+		t.Errorf("per-drive block counts differ by %d > 1", maxC-minC)
+	}
+}
+
+func TestTwoAreasDisjoint(t *testing.T) {
+	a := newTest(t, 2, 2)
+	ar1 := a.Reserve(5)
+	ar2 := a.Reserve(5)
+	used := make(map[Addr]bool)
+	for i := 0; i < 5; i++ {
+		used[ar1.Addr(i)] = true
+	}
+	for i := 0; i < 5; i++ {
+		if used[ar2.Addr(i)] {
+			t.Fatalf("areas overlap at %v", ar2.Addr(i))
+		}
+	}
+}
+
+func TestReadWriteRange(t *testing.T) {
+	a := newTest(t, 3, 4)
+	ar := a.Reserve(10)
+	src := make([]uint64, 10*4)
+	for i := range src {
+		src[i] = uint64(i * 3)
+	}
+	if err := a.WriteRange(ar, 0, 10, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 10*4)
+	if err := a.ReadRange(ar, 0, 10, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("word %d: got %d, want %d", i, dst[i], src[i])
+		}
+	}
+	// Partial range.
+	part := make([]uint64, 3*4)
+	if err := a.ReadRange(ar, 4, 7, part); err != nil {
+		t.Fatal(err)
+	}
+	for i := range part {
+		if part[i] != src[4*4+i] {
+			t.Fatalf("partial word %d: got %d, want %d", i, part[i], src[4*4+i])
+		}
+	}
+}
+
+func TestRangeOpCounts(t *testing.T) {
+	a := newTest(t, 4, 2)
+	ar := a.Reserve(10)
+	buf := make([]uint64, 10*2)
+	if err := a.WriteRange(ar, 0, 10, buf); err != nil {
+		t.Fatal(err)
+	}
+	// 10 blocks over 4 drives => ceil(10/4) = 3 parallel write ops.
+	if s := a.Stats(); s.WriteOps != 3 {
+		t.Errorf("WriteOps = %d, want 3", s.WriteOps)
+	}
+	a.ResetStats()
+	if err := a.ReadRange(ar, 0, 10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.ReadOps != 3 {
+		t.Errorf("ReadOps = %d, want 3", s.ReadOps)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	a := newTest(t, 2, 2)
+	ar := a.Reserve(4)
+	if err := a.ReadRange(ar, 0, 5, make([]uint64, 10)); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := a.ReadRange(ar, 0, 2, make([]uint64, 3)); err == nil {
+		t.Error("wrong buffer size accepted")
+	}
+	if err := a.WriteRange(ar, 3, 2, nil); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRangeRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		d := r.Intn(5) + 1
+		b := r.Intn(6) + 1
+		n := r.Intn(30) + 1
+		a := MustNewArray(Config{D: d, B: b})
+		ar := a.Reserve(n)
+		src := make([]uint64, n*b)
+		for i := range src {
+			src[i] = r.Uint64()
+		}
+		if err := a.WriteRange(ar, 0, n, src); err != nil {
+			return false
+		}
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo) + 1
+		if hi > n {
+			hi = n
+		}
+		dst := make([]uint64, (hi-lo)*b)
+		if err := a.ReadRange(ar, lo, hi, dst); err != nil {
+			return false
+		}
+		for i := range dst {
+			if dst[i] != src[lo*b+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceAddressesMatchParent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		d := r.Intn(6) + 1
+		a := MustNewArray(Config{D: d, B: 4})
+		n := r.Intn(50) + 1
+		rot := r.Intn(d)
+		ar := a.ReserveRot(n, rot)
+		off := r.Intn(n)
+		cnt := r.Intn(n-off) + 1
+		if off+cnt > n {
+			cnt = n - off
+		}
+		sl := Slice(ar, off, cnt)
+		if sl.Blocks() != cnt {
+			return false
+		}
+		for i := 0; i < cnt; i++ {
+			if sl.Addr(i) != ar.Addr(off+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceRejectsBadRange(t *testing.T) {
+	a := newTest(t, 2, 2)
+	ar := a.Reserve(4)
+	for _, c := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			Slice(ar, c[0], c[1])
+		}()
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	a := newTest(t, 3, 2)
+	b := NewBuckets(a, 4)
+	if b.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets = %d, want 4", b.NumBuckets())
+	}
+	b.Append(0, 1, 10)
+	b.Append(0, 1, 11)
+	b.Append(2, 1, 5)
+	b.Append(1, 3, 0)
+	if got := b.Len(0, 1); got != 2 {
+		t.Errorf("Len(0,1) = %d, want 2", got)
+	}
+	if got := b.Total(1); got != 3 {
+		t.Errorf("Total(1) = %d, want 3", got)
+	}
+	if got := b.MaxPerDrive(1); got != 2 {
+		t.Errorf("MaxPerDrive(1) = %d, want 2", got)
+	}
+	if got := b.Total(0); got != 0 {
+		t.Errorf("Total(0) = %d, want 0", got)
+	}
+	tracks := b.Tracks(0, 1)
+	if len(tracks) != 2 || tracks[0] != 10 || tracks[1] != 11 {
+		t.Errorf("Tracks(0,1) = %v, want [10 11]", tracks)
+	}
+}
+
+func TestPeekTrackDoesNotCount(t *testing.T) {
+	a := newTest(t, 1, 2)
+	_ = a.WriteOp([]WriteReq{{Disk: 0, Track: 0, Src: []uint64{5, 6}}})
+	before := a.Stats().Ops
+	got := a.PeekTrack(0, 0)
+	if got[0] != 5 || got[1] != 6 {
+		t.Errorf("PeekTrack = %v, want [5 6]", got)
+	}
+	if a.Stats().Ops != before {
+		t.Error("PeekTrack counted as an I/O op")
+	}
+}
+
+func TestTracksHighWaterMark(t *testing.T) {
+	a := newTest(t, 2, 2)
+	a.Reserve(6) // 3 tracks per drive
+	_ = a.Alloc(0)
+	if got := a.Tracks(0); got != 4 {
+		t.Errorf("Tracks(0) = %d, want 4", got)
+	}
+	if got := a.Tracks(1); got != 3 {
+		t.Errorf("Tracks(1) = %d, want 3", got)
+	}
+}

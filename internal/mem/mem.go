@@ -1,0 +1,57 @@
+// Package mem provides an internal-memory accountant for the EM-BSP
+// simulation. The model grants each real processor M words of internal
+// memory; the simulation engine must hold at most Θ(k·µ) words at any
+// time (contexts and messages of the current group plus staging
+// buffers). The accountant makes that claim checkable: every buffer
+// the engine materializes is grabbed against the budget, and exceeding
+// it is an error rather than a silent fidelity leak.
+package mem
+
+import "fmt"
+
+// Accountant tracks internal memory usage in words against a limit.
+type Accountant struct {
+	limit int64
+	used  int64
+	high  int64
+}
+
+// NewAccountant returns an accountant with the given limit in words.
+// A non-positive limit disables enforcement (unlimited memory); usage
+// is still tracked.
+func NewAccountant(limit int64) *Accountant {
+	return &Accountant{limit: limit}
+}
+
+// Limit returns the configured limit (0 means unlimited).
+func (a *Accountant) Limit() int64 { return a.limit }
+
+// Used returns the currently held words.
+func (a *Accountant) Used() int64 { return a.used }
+
+// High returns the high-water mark of held words.
+func (a *Accountant) High() int64 { return a.high }
+
+// Grab reserves n words, failing if the limit would be exceeded.
+func (a *Accountant) Grab(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("mem: negative grab %d", n)
+	}
+	if a.limit > 0 && a.used+n > a.limit {
+		return fmt.Errorf("mem: internal memory exceeded: used %d + grab %d > limit %d words", a.used, n, a.limit)
+	}
+	a.used += n
+	if a.used > a.high {
+		a.high = a.used
+	}
+	return nil
+}
+
+// Release returns n words to the budget. Releasing more than is held
+// panics: that is an engine accounting bug, not a runtime condition.
+func (a *Accountant) Release(n int64) {
+	if n < 0 || n > a.used {
+		panic(fmt.Sprintf("mem: release %d with %d held", n, a.used))
+	}
+	a.used -= n
+}

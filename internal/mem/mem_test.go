@@ -1,0 +1,57 @@
+package mem
+
+import "testing"
+
+func TestGrabRelease(t *testing.T) {
+	a := NewAccountant(100)
+	if err := a.Grab(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Grab(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Grab(1); err == nil {
+		t.Error("over-limit grab accepted")
+	}
+	if a.Used() != 100 || a.High() != 100 {
+		t.Errorf("Used=%d High=%d, want 100/100", a.Used(), a.High())
+	}
+	a.Release(50)
+	if err := a.Grab(30); err != nil {
+		t.Errorf("grab after release failed: %v", err)
+	}
+	if a.Used() != 80 {
+		t.Errorf("Used = %d, want 80", a.Used())
+	}
+	if a.High() != 100 {
+		t.Errorf("High = %d, want 100", a.High())
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	a := NewAccountant(0)
+	if err := a.Grab(1 << 40); err != nil {
+		t.Errorf("unlimited accountant rejected grab: %v", err)
+	}
+	if a.High() != 1<<40 {
+		t.Errorf("High = %d, want %d", a.High(), int64(1)<<40)
+	}
+}
+
+func TestNegativeGrab(t *testing.T) {
+	a := NewAccountant(10)
+	if err := a.Grab(-1); err == nil {
+		t.Error("negative grab accepted")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	a := NewAccountant(10)
+	_ = a.Grab(5)
+	a.Release(6)
+}

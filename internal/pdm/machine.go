@@ -1,0 +1,123 @@
+// Package pdm implements the previously-known sequential EM baselines
+// the paper's Table 1 compares against (its second column), on the
+// same simulated disk substrate as the EM-CGM simulation:
+//
+//   - external multiway merge sort in Vitter's parallel disk model
+//     (Aggarwal–Vitter / Vitter–Shriver shape, with D-parallel striped
+//     runs and forecast buffers) [1], [31], [33];
+//   - permutation, directly (one random access per record) and by
+//     sorting — the paper's min(n/D, sort) bound;
+//   - matrix transpose (by sorting);
+//   - the PRAM-simulation technique of Chiang et al. [14]: one sort
+//     per pointer-jumping step, for list ranking;
+//   - a Sibeyn–Kaufmann-style one-VP-at-a-time unblocked simulation
+//     [26] of arbitrary bsp.Programs (see sksim.go), the paper's
+//     closest prior simulation technique.
+//
+// All I/O is counted by the shared disk.Array, so baseline and
+// simulation numbers are directly comparable.
+package pdm
+
+import (
+	"fmt"
+
+	"embsp/internal/disk"
+	"embsp/internal/mem"
+)
+
+// Machine is a single-processor PDM machine: M words of internal
+// memory over a D-disk array with block size B.
+type Machine struct {
+	M    int
+	Arr  *disk.Array
+	Acct *mem.Accountant
+}
+
+// NewMachine returns a machine with a fresh disk array.
+func NewMachine(m, d, b int) (*Machine, error) {
+	arr, err := disk.NewArray(disk.Config{D: d, B: b})
+	if err != nil {
+		return nil, err
+	}
+	if m < 4*d*b {
+		return nil, fmt.Errorf("pdm: M = %d, want >= 4·D·B = %d (merge buffers)", m, 4*d*b)
+	}
+	return &Machine{M: m, Arr: arr, Acct: mem.NewAccountant(int64(m))}, nil
+}
+
+// File is a sequence of words stored in standard consecutive format.
+type File struct {
+	area  disk.Area
+	words int
+}
+
+// Words returns the file length in words.
+func (f File) Words() int { return f.words }
+
+// Blocks returns the file length in blocks.
+func (f File) Blocks(b int) int { return (f.words + b - 1) / b }
+
+// chunkWords returns the streaming buffer size: half the memory,
+// rounded down to whole D·B stripes (at least one stripe).
+func (m *Machine) chunkWords() int {
+	db := m.Arr.Config().D * m.Arr.Config().B
+	c := m.M / 2 / db * db
+	if c < db {
+		c = db
+	}
+	return c
+}
+
+// WriteFile streams data onto a fresh consecutive area.
+func (m *Machine) WriteFile(data []uint64) (File, error) {
+	B := m.Arr.Config().B
+	nb := (len(data) + B - 1) / B
+	area := m.Arr.Reserve(nb)
+	chunk := m.chunkWords()
+	if err := m.Acct.Grab(int64(chunk)); err != nil {
+		return File{}, err
+	}
+	defer m.Acct.Release(int64(chunk))
+	buf := make([]uint64, chunk)
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		nw := end - off
+		nbk := (nw + B - 1) / B
+		clear(buf[:nbk*B])
+		copy(buf, data[off:end])
+		if err := m.Arr.WriteRange(area, off/B, off/B+nbk, buf[:nbk*B]); err != nil {
+			return File{}, err
+		}
+	}
+	return File{area: area, words: len(data)}, nil
+}
+
+// ReadFile streams a file back into memory (counted I/O).
+func (m *Machine) ReadFile(f File) ([]uint64, error) {
+	B := m.Arr.Config().B
+	out := make([]uint64, f.words)
+	chunk := m.chunkWords()
+	if err := m.Acct.Grab(int64(chunk)); err != nil {
+		return nil, err
+	}
+	defer m.Acct.Release(int64(chunk))
+	buf := make([]uint64, chunk)
+	for off := 0; off < f.words; off += chunk {
+		end := off + chunk
+		if end > f.words {
+			end = f.words
+		}
+		nbk := (end - off + B - 1) / B
+		if err := m.Arr.ReadRange(f.area, off/B, off/B+nbk, buf[:nbk*B]); err != nil {
+			return nil, err
+		}
+		copy(out[off:end], buf)
+	}
+	return out, nil
+}
+
+// Free releases the file's blocks.
+func (m *Machine) Free(f File) { m.Arr.FreeArea(f.area) }

@@ -1,0 +1,185 @@
+package pdm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PRAMListRank ranks a linked list with the PRAM-simulation technique
+// of Chiang et al. [14]: every PRAM pointer-jumping step
+//
+//	rank(i) += rank(succ(i)); succ(i) = succ(succ(i))
+//
+// is simulated by a constant number of external sorts and scans, for
+// a total of Θ(sort(n)·log n) I/O — the Table 1 "previous results"
+// baseline that the EM-CGM list ranking improves on.
+//
+// succ[i] = -1 marks a chain tail. The result is each node's hop
+// distance to its chain's tail.
+func (m *Machine) PRAMListRank(succ []int) ([]uint64, error) {
+	n := len(succ)
+	if n == 0 {
+		return nil, nil
+	}
+	sentinel := uint64(n) // "no successor"
+
+	// State file A: (i, succ_i, rank_i) sorted by i.
+	aw, err := m.newFileWriter(3 * n)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range succ {
+		su := sentinel
+		rank := uint64(0)
+		if s >= 0 {
+			su = uint64(s)
+			rank = 1
+		} else if s != -1 {
+			return nil, fmt.Errorf("pdm: succ[%d] = %d invalid", i, s)
+		}
+		if err := aw.emit(uint64(i), su, rank); err != nil {
+			return nil, err
+		}
+	}
+	a, err := aw.finish()
+	if err != nil {
+		return nil, err
+	}
+
+	rounds := bits.Len(uint(n))
+	for round := 0; round < rounds; round++ {
+		// Q: (succ_i, i) for nodes still pointing somewhere, sorted
+		// by successor so it can be joined against A.
+		cnt := 0
+		if err := m.scanFile(a, 3, func(_ int, rec []uint64) error {
+			if rec[1] != sentinel {
+				cnt++
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if cnt == 0 {
+			break
+		}
+		qw, err := m.newFileWriter(2 * cnt)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.scanFile(a, 3, func(_ int, rec []uint64) error {
+			if rec[1] != sentinel {
+				return qw.emit(rec[1], rec[0])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		qf, err := qw.finish()
+		if err != nil {
+			return nil, err
+		}
+		qs, err := m.MergeSort(qf, 2)
+		if err != nil {
+			return nil, err
+		}
+		m.Free(qf)
+
+		// Join: stream A (sorted by node id) against Q (sorted by
+		// successor id): for each query (s, i) emit (i, succ_s,
+		// rank_s).
+		uw, err := m.newFileWriter(3 * cnt)
+		if err != nil {
+			return nil, err
+		}
+		qr := m.newRunReader(qs, 2)
+		q, err := qr.next(2)
+		if err != nil {
+			return nil, err
+		}
+		var qbuf [2]uint64
+		if q != nil {
+			copy(qbuf[:], q)
+			q = qbuf[:]
+		}
+		if err := m.scanFile(a, 3, func(_ int, rec []uint64) error {
+			for q != nil && q[0] == rec[0] {
+				if err := uw.emit(q[1], rec[1], rec[2]); err != nil {
+					return err
+				}
+				nq, err := qr.next(2)
+				if err != nil {
+					return err
+				}
+				if nq == nil {
+					q = nil
+				} else {
+					copy(qbuf[:], nq)
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		uf, err := uw.finish()
+		if err != nil {
+			return nil, err
+		}
+		m.Free(qs)
+		us, err := m.MergeSort(uf, 3)
+		if err != nil {
+			return nil, err
+		}
+		m.Free(uf)
+
+		// Update pass: merge A with U (both sorted by node id).
+		aw, err := m.newFileWriter(3 * n)
+		if err != nil {
+			return nil, err
+		}
+		ur := m.newRunReader(us, 3)
+		u, err := ur.next(3)
+		if err != nil {
+			return nil, err
+		}
+		var ubuf [3]uint64
+		if u != nil {
+			copy(ubuf[:], u)
+			u = ubuf[:]
+		}
+		if err := m.scanFile(a, 3, func(_ int, rec []uint64) error {
+			id, su, rank := rec[0], rec[1], rec[2]
+			if u != nil && u[0] == id {
+				su = u[1]
+				rank += u[2]
+				nu, err := ur.next(3)
+				if err != nil {
+					return err
+				}
+				if nu == nil {
+					u = nil
+				} else {
+					copy(ubuf[:], nu)
+				}
+			}
+			return aw.emit(id, su, rank)
+		}); err != nil {
+			return nil, err
+		}
+		m.Free(us)
+		m.Free(a)
+		a, err = aw.finish()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ranks := make([]uint64, n)
+	if err := m.scanFile(a, 3, func(i int, rec []uint64) error {
+		ranks[rec[0]] = rec[2]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	m.Free(a)
+	return ranks, nil
+}

@@ -1,0 +1,229 @@
+package pdm
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/words"
+)
+
+// SKSim simulates a BSP program one virtual processor at a time with
+// a v×v on-disk mailbox matrix, in the style of Sibeyn and Kaufmann
+// [26] (the concurrent simulation technique reviewed in Section 2.1):
+// cell (i, j) holds the messages sent by VP i to VP j in the current
+// superstep. The simulation is correct and simple, but — as the paper
+// points out — it has no mechanism for the disk blocking factor or
+// for multiple disks: every access moves one block per I/O operation,
+// and fetching VP j's messages touches one cell per sender. Run it
+// next to core.Run on the same program to measure exactly the
+// blocking/striping gap the paper's technique closes.
+type SKOptions struct {
+	// Seed keys the program's Env.Rand streams (same convention as
+	// the other engines, so results are comparable bit for bit).
+	Seed uint64
+	// MaxSupersteps aborts runaway programs; 0 means 1 << 20.
+	MaxSupersteps int
+	// ProbeEmptyCells reads every mailbox cell header even when the
+	// cell is empty (the fully oblivious v² behaviour). Off by
+	// default: the simulation keeps an in-memory occupancy directory.
+	ProbeEmptyCells bool
+}
+
+// SKResult is the outcome of an SKSim run.
+type SKResult struct {
+	VPs        []bsp.VP
+	Supersteps int
+	Disk       disk.Stats
+}
+
+// SKSim executes the program on a D-disk array with block size b.
+func SKSim(p bsp.Program, d, b int, opts SKOptions) (*SKResult, error) {
+	if err := bsp.CheckProgram(p); err != nil {
+		return nil, err
+	}
+	if opts.MaxSupersteps == 0 {
+		opts.MaxSupersteps = 1 << 20
+	}
+	arr, err := disk.NewArray(disk.Config{D: d, B: b})
+	if err != nil {
+		return nil, err
+	}
+	v := p.NumVPs()
+	mu := p.MaxContextWords()
+	gamma := p.MaxCommWords()
+	muBlocks := (mu + b - 1) / b
+	// A cell stores one sender's traffic to one receiver: payload plus
+	// 2 header words per message; 3γ words bound both.
+	cellBlocks := (3*gamma+b-1)/b + 1
+
+	ctxArea := arr.Reserve(v * muBlocks)
+	// Double-buffered mailbox matrix: VPs simulated later in the same
+	// superstep must still read the previous superstep's cells, so
+	// writes go to the other matrix.
+	var cells [2][]disk.Area
+	for k := range cells {
+		cells[k] = make([]disk.Area, v*v)
+		for i := range cells[k] {
+			cells[k][i] = arr.Reserve(cellBlocks)
+		}
+	}
+	used := make([]int, v*v) // occupancy directory, in words
+
+	// blockwise I/O: one block per operation — deliberately no
+	// D-parallel batching, that is the point of this baseline.
+	readWords := func(area disk.Area, nWords int, buf []uint64) error {
+		for blk := 0; blk*b < nWords; blk++ {
+			ad := area.Addr(blk)
+			if err := arr.ReadOp([]disk.ReadReq{{Disk: ad.Disk, Track: ad.Track, Dst: buf[blk*b : (blk+1)*b]}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeWords := func(area disk.Area, nWords int, buf []uint64) error {
+		for blk := 0; blk*b < nWords; blk++ {
+			ad := area.Addr(blk)
+			if err := arr.WriteOp([]disk.WriteReq{{Disk: ad.Disk, Track: ad.Track, Src: buf[blk*b : (blk+1)*b]}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Write initial contexts.
+	ctxBuf := make([]uint64, muBlocks*b)
+	enc := words.NewEncoder(nil)
+	for id := 0; id < v; id++ {
+		enc.Reset()
+		p.NewVP(id).Save(enc)
+		if enc.Len() > mu {
+			return nil, fmt.Errorf("pdm: VP %d initial context exceeds µ", id)
+		}
+		clear(ctxBuf)
+		copy(ctxBuf, enc.Words())
+		sub := subArea(ctxArea, id*muBlocks, muBlocks)
+		if err := writeWords(sub, muBlocks*b, ctxBuf); err != nil {
+			return nil, err
+		}
+	}
+
+	cellBuf := make([]uint64, cellBlocks*b)
+	for step := 0; ; step++ {
+		if step >= opts.MaxSupersteps {
+			return nil, fmt.Errorf("pdm: no convergence after %d supersteps", opts.MaxSupersteps)
+		}
+		halts := 0
+		sends := 0
+		nextUsed := make([]int, v*v)
+		outBufs := make([][]uint64, v) // per-destination encoding for current VP
+		for j := 0; j < v; j++ {
+			// Fetch context.
+			sub := subArea(ctxArea, j*muBlocks, muBlocks)
+			if err := readWords(sub, muBlocks*b, ctxBuf); err != nil {
+				return nil, err
+			}
+			vp := p.NewVP(j)
+			vp.Load(words.NewDecoder(ctxBuf))
+
+			// Fetch messages: one cell per sender.
+			var inbox []bsp.Message
+			for i := 0; i < v; i++ {
+				w := used[i*v+j]
+				if w == 0 && !opts.ProbeEmptyCells {
+					continue
+				}
+				rd := w
+				if rd == 0 {
+					rd = 1 // oblivious probe: one block to discover emptiness
+				}
+				if err := readWords(cells[step%2][i*v+j], rd, cellBuf); err != nil {
+					return nil, err
+				}
+				for off := 0; off < w; {
+					seq := int(cellBuf[off])
+					l := int(cellBuf[off+1])
+					payload := make([]uint64, l)
+					copy(payload, cellBuf[off+2:off+2+l])
+					inbox = append(inbox, bsp.Message{Src: i, Dst: j, Seq: seq, Payload: payload})
+					off += 2 + l
+				}
+			}
+
+			// Compute.
+			for d := range outBufs {
+				outBufs[d] = nil
+			}
+			seq := 0
+			env := bsp.NewEnv(j, v, step, opts.Seed, func(dst int, payload []uint64) {
+				outBufs[dst] = append(outBufs[dst], uint64(seq), uint64(len(payload)))
+				outBufs[dst] = append(outBufs[dst], payload...)
+				seq++
+			})
+			halt, err := vp.Step(env, inbox)
+			if err != nil {
+				return nil, fmt.Errorf("pdm: VP %d superstep %d: %w", j, step, err)
+			}
+			_, msgs, _ := env.SendTotals()
+			sends += msgs
+			if halt {
+				halts++
+			}
+
+			// Write generated messages to cells (j, d).
+			for dIdx, ob := range outBufs {
+				if len(ob) == 0 {
+					continue
+				}
+				if len(ob) > cellBlocks*b {
+					return nil, fmt.Errorf("pdm: cell (%d,%d) overflow: %d words", j, dIdx, len(ob))
+				}
+				clear(cellBuf[:((len(ob)+b-1)/b)*b])
+				copy(cellBuf, ob)
+				if err := writeWords(cells[(step+1)%2][j*v+dIdx], len(ob), cellBuf); err != nil {
+					return nil, err
+				}
+				nextUsed[j*v+dIdx] = len(ob)
+			}
+
+			// Write context back.
+			enc.Reset()
+			vp.Save(enc)
+			if enc.Len() > mu {
+				return nil, fmt.Errorf("pdm: VP %d context exceeds µ after superstep %d", j, step)
+			}
+			clear(ctxBuf)
+			copy(ctxBuf, enc.Words())
+			if err := writeWords(sub, muBlocks*b, ctxBuf); err != nil {
+				return nil, err
+			}
+		}
+		used = nextUsed
+		if halts == v {
+			if sends > 0 {
+				return nil, fmt.Errorf("pdm: messages sent while halting in superstep %d", step)
+			}
+			// Collect final VPs.
+			vps := make([]bsp.VP, v)
+			for id := 0; id < v; id++ {
+				sub := subArea(ctxArea, id*muBlocks, muBlocks)
+				if err := readWords(sub, muBlocks*b, ctxBuf); err != nil {
+					return nil, err
+				}
+				vps[id] = p.NewVP(id)
+				vps[id].Load(words.NewDecoder(ctxBuf))
+			}
+			return &SKResult{VPs: vps, Supersteps: step + 1, Disk: arr.Stats()}, nil
+		}
+		if halts != 0 {
+			return nil, fmt.Errorf("pdm: split halt vote in superstep %d", step)
+		}
+	}
+}
+
+// subArea views a block range of an area as its own area-like
+// accessor. The disk.Area type has no slicing, so we reconstruct
+// addresses via the parent (blocks off..off+n-1).
+func subArea(parent disk.Area, off, n int) disk.Area {
+	return disk.Slice(parent, off, n)
+}

@@ -1,0 +1,162 @@
+// Package words provides a fixed-width (64-bit word) record codec.
+//
+// The external-memory machine model of Dehne, Dittrich and Hutchinson
+// counts data in fixed-size records: a disk track stores exactly B
+// records, a parallel I/O operation moves up to D·B records, and the
+// context of a virtual processor occupies at most µ records. This
+// package fixes the record to a 64-bit word (uint64) and provides an
+// Encoder/Decoder pair used to marshal virtual-processor contexts and
+// message payloads into word slices.
+//
+// Encoding is positional and fixed-width: every Put* call appends a
+// known number of words, and the matching Get on the Decoder must be
+// issued in the same order. Mismatched decodes are programming errors
+// and panic, like an out-of-bounds slice index.
+package words
+
+import "math"
+
+// Encoder appends values to a word buffer. The zero value is ready to
+// use and grows as needed; NewEncoder can wrap a preallocated buffer to
+// avoid allocation in hot paths.
+type Encoder struct {
+	buf []uint64
+}
+
+// NewEncoder returns an Encoder that appends to buf (length 0 slices
+// of suitable capacity avoid reallocation).
+func NewEncoder(buf []uint64) *Encoder {
+	return &Encoder{buf: buf[:0]}
+}
+
+// Words returns the encoded words. The slice aliases the Encoder's
+// internal buffer and is invalidated by further Put calls.
+func (e *Encoder) Words() []uint64 { return e.buf }
+
+// Len returns the number of words encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards all encoded words, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint appends one word.
+func (e *Encoder) PutUint(u uint64) { e.buf = append(e.buf, u) }
+
+// PutInt appends a signed integer as one word (two's complement).
+func (e *Encoder) PutInt(i int64) { e.buf = append(e.buf, uint64(i)) }
+
+// PutFloat appends a float64 as one word (IEEE-754 bits).
+func (e *Encoder) PutFloat(f float64) { e.buf = append(e.buf, math.Float64bits(f)) }
+
+// PutBool appends a boolean as one word (0 or 1).
+func (e *Encoder) PutBool(b bool) {
+	var u uint64
+	if b {
+		u = 1
+	}
+	e.buf = append(e.buf, u)
+}
+
+// PutUints appends a length prefix followed by the slice elements
+// (len(s)+1 words).
+func (e *Encoder) PutUints(s []uint64) {
+	e.buf = append(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutInts appends a length prefix followed by the slice elements.
+func (e *Encoder) PutInts(s []int64) {
+	e.buf = append(e.buf, uint64(len(s)))
+	for _, v := range s {
+		e.buf = append(e.buf, uint64(v))
+	}
+}
+
+// PutFloats appends a length prefix followed by the slice elements.
+func (e *Encoder) PutFloats(s []float64) {
+	e.buf = append(e.buf, uint64(len(s)))
+	for _, v := range s {
+		e.buf = append(e.buf, math.Float64bits(v))
+	}
+}
+
+// Decoder reads values from a word buffer in the order they were
+// encoded.
+type Decoder struct {
+	buf []uint64
+	off int
+}
+
+// NewDecoder returns a Decoder reading from buf.
+func NewDecoder(buf []uint64) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of words not yet consumed.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the number of words consumed so far.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) next() uint64 {
+	if d.off >= len(d.buf) {
+		panic("words: decode past end of buffer")
+	}
+	u := d.buf[d.off]
+	d.off++
+	return u
+}
+
+// Uint decodes one word.
+func (d *Decoder) Uint() uint64 { return d.next() }
+
+// Int decodes one word as a signed integer.
+func (d *Decoder) Int() int64 { return int64(d.next()) }
+
+// Float decodes one word as a float64.
+func (d *Decoder) Float() float64 { return math.Float64frombits(d.next()) }
+
+// Bool decodes one word as a boolean.
+func (d *Decoder) Bool() bool { return d.next() != 0 }
+
+// Uints decodes a length-prefixed slice. The result is a copy.
+func (d *Decoder) Uints() []uint64 {
+	n := int(d.next())
+	if n < 0 || d.off+n > len(d.buf) {
+		panic("words: corrupt slice length")
+	}
+	s := make([]uint64, n)
+	copy(s, d.buf[d.off:d.off+n])
+	d.off += n
+	return s
+}
+
+// Ints decodes a length-prefixed slice of signed integers.
+func (d *Decoder) Ints() []int64 {
+	n := int(d.next())
+	if n < 0 || d.off+n > len(d.buf) {
+		panic("words: corrupt slice length")
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(d.buf[d.off+i])
+	}
+	d.off += n
+	return s
+}
+
+// Floats decodes a length-prefixed slice of float64s.
+func (d *Decoder) Floats() []float64 {
+	n := int(d.next())
+	if n < 0 || d.off+n > len(d.buf) {
+		panic("words: corrupt slice length")
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Float64frombits(d.buf[d.off+i])
+	}
+	d.off += n
+	return s
+}
+
+// SizeUints returns the encoded size in words of a []uint64 of length n
+// (length prefix plus elements). SizeInts and SizeFloats are identical.
+func SizeUints(n int) int { return 1 + n }

@@ -1,0 +1,144 @@
+package words
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUint(42)
+	e.PutInt(-7)
+	e.PutFloat(3.25)
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Words())
+	if got := d.Uint(); got != 42 {
+		t.Errorf("Uint = %d, want 42", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d, want -7", got)
+	}
+	if got := d.Float(); got != 3.25 {
+		t.Errorf("Float = %v, want 3.25", got)
+	}
+	if !d.Bool() {
+		t.Error("first Bool = false, want true")
+	}
+	if d.Bool() {
+		t.Error("second Bool = true, want false")
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	us := []uint64{1, 2, 3}
+	is := []int64{-1, 0, 9}
+	fs := []float64{0.5, -2, math.Inf(1)}
+	e.PutUints(us)
+	e.PutInts(is)
+	e.PutFloats(fs)
+	e.PutUints(nil)
+	d := NewDecoder(e.Words())
+	if got := d.Uints(); !reflect.DeepEqual(got, us) {
+		t.Errorf("Uints = %v, want %v", got, us)
+	}
+	if got := d.Ints(); !reflect.DeepEqual(got, is) {
+		t.Errorf("Ints = %v, want %v", got, is)
+	}
+	if got := d.Floats(); !reflect.DeepEqual(got, fs) {
+		t.Errorf("Floats = %v, want %v", got, fs)
+	}
+	if got := d.Uints(); len(got) != 0 {
+		t.Errorf("empty Uints = %v, want empty", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b int64, c float64, flag bool, s []uint64, is []int64) bool {
+		if math.IsNaN(c) {
+			c = 0 // NaN != NaN; bits still round-trip but == comparison fails
+		}
+		e := NewEncoder(nil)
+		e.PutUint(a)
+		e.PutInt(b)
+		e.PutFloat(c)
+		e.PutBool(flag)
+		e.PutUints(s)
+		e.PutInts(is)
+		d := NewDecoder(e.Words())
+		if d.Uint() != a || d.Int() != b || d.Float() != c || d.Bool() != flag {
+			return false
+		}
+		gs := d.Uints()
+		gi := d.Ints()
+		if len(gs) != len(s) || len(gi) != len(is) {
+			return false
+		}
+		for i := range s {
+			if gs[i] != s[i] {
+				return false
+			}
+		}
+		for i := range is {
+			if gi[i] != is[i] {
+				return false
+			}
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(make([]uint64, 0, 8))
+	e.PutUint(1)
+	e.PutUint(2)
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", e.Len())
+	}
+	e.PutUint(9)
+	if got := e.Words()[0]; got != 9 {
+		t.Errorf("Words[0] = %d, want 9", got)
+	}
+}
+
+func TestDecodePastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("decoding past end did not panic")
+		}
+	}()
+	d := NewDecoder([]uint64{1})
+	d.Uint()
+	d.Uint()
+}
+
+func TestCorruptSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupt slice length did not panic")
+		}
+	}()
+	d := NewDecoder([]uint64{100, 1, 2}) // claims 100 elements, has 2
+	d.Uints()
+}
+
+func TestSizeUints(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUints(make([]uint64, 17))
+	if e.Len() != SizeUints(17) {
+		t.Errorf("encoded %d words, SizeUints says %d", e.Len(), SizeUints(17))
+	}
+}
