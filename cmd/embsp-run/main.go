@@ -8,6 +8,8 @@
 //	embsp-run -alg sort -n 1048576 -p 1 -d 4 -b 1024
 //	embsp-run -alg cc -n 65536 -p 4 -d 8 -v 128
 //	embsp-run -alg lca -n 32768 -deterministic
+//	embsp-run -alg sort -n 65536 -faults 0.01
+//	embsp-run -alg permute -p 4 -faults read=0.02,corrupt=0.01,faildrive=2@500 -fault-seed 7
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"embsp"
 	"embsp/internal/prng"
@@ -188,6 +192,81 @@ func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []
 	return
 }
 
+// parseFaultPlan turns the -faults flag value into a fault plan. A
+// plain float r is shorthand for read=r,write=r,corrupt=r; the long
+// form is a comma-separated list of key=value fields:
+//
+//	read=R write=R corrupt=R   per-block fault probabilities in [0,1)
+//	firstop=N                  first operation index eligible for faults
+//	faildrive=D@OP             drive D dies permanently at operation OP
+//	failproc=P                 processor hit by the drive death (P>1 runs)
+//	mirror                     write mirror copies even with no drive death
+func parseFaultPlan(spec string, seed uint64) (*embsp.FaultPlan, error) {
+	plan := &embsp.FaultPlan{Seed: seed}
+	if r, err := strconv.ParseFloat(spec, 64); err == nil {
+		plan.ReadErrorRate, plan.WriteErrorRate, plan.CorruptRate = r, r, r
+		return plan, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if field == "mirror" {
+			plan.Mirror = true
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults field %q: want key=value", field)
+		}
+		switch key {
+		case "read", "write", "corrupt":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults rate %q: %v", field, err)
+			}
+			switch key {
+			case "read":
+				plan.ReadErrorRate = r
+			case "write":
+				plan.WriteErrorRate = r
+			case "corrupt":
+				plan.CorruptRate = r
+			}
+		case "firstop":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults field %q: %v", field, err)
+			}
+			plan.FirstOp = n
+		case "faildrive":
+			ds, ops, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("bad -faults field %q: want faildrive=D@OP", field)
+			}
+			d, err := strconv.Atoi(ds)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults drive %q: %v", field, err)
+			}
+			op, err := strconv.ParseInt(ops, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults operation %q: %v", field, err)
+			}
+			plan.FailDrive, plan.FailDriveOp = d, op
+		case "failproc":
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults field %q: %v", field, err)
+			}
+			plan.FailProc = p
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q", key)
+		}
+	}
+	return plan, nil
+}
+
 func main() {
 	alg := flag.String("alg", "sort", "workload: sort permute hull maxima nn listrank euler cc lca expr")
 	n := flag.Int("n", 1<<16, "problem size")
@@ -199,6 +278,9 @@ func main() {
 	g := flag.Float64("g", 1000, "I/O cost G per parallel operation")
 	seed := flag.Uint64("seed", 1, "random seed")
 	det := flag.Bool("deterministic", false, "deterministic (CGM) block placement")
+	faults := flag.String("faults", "", "fault plan: a rate (e.g. 0.01) or read=R,write=R,corrupt=R,firstop=N,faildrive=D@OP,failproc=P,mirror")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault schedule")
+	maxRetries := flag.Int("max-retries", 0, "transient-fault retry budget per op (0 = default, negative disables retries)")
 	flag.Parse()
 
 	var spec *algSpec
@@ -226,7 +308,16 @@ func main() {
 		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
 		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(*b), Pkt: *b, L: 100},
 	}
-	res, err := embsp.Run(prog, cfg, embsp.Options{Seed: *seed, Deterministic: *det})
+	opts := embsp.Options{Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries}
+	if *faults != "" {
+		plan, err := parseFaultPlan(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.FaultPlan = plan
+	}
+	res, err := embsp.Run(prog, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -243,4 +334,11 @@ func main() {
 	}
 	fmt.Printf("memory high-water: %d words; peak disk blocks/drive: %d\n",
 		res.EM.MemHigh, res.EM.LiveBlocksPerDrive)
+	if opts.FaultPlan != nil {
+		em := res.EM
+		fmt.Printf("faults: %d injected (%d checksum failures, %d drive losses)\n",
+			em.FaultsInjected, em.ChecksumFailures, em.DriveFailures)
+		fmt.Printf("recovery: %d retries (%d blocks), %d superstep replays, %d extra ops, %d mirror ops\n",
+			em.Retries, em.RetriedBlocks, em.Replays, em.RecoveryOps, em.MirrorOps)
+	}
 }

@@ -32,6 +32,7 @@ package embsp
 import (
 	"embsp/internal/bsp"
 	"embsp/internal/core"
+	"embsp/internal/fault"
 )
 
 // Core model types, re-exported from the engine packages.
@@ -61,6 +62,15 @@ type (
 	Costs = bsp.Costs
 	// ReferenceResult is the outcome of an in-memory reference run.
 	ReferenceResult = bsp.Result
+	// FaultPlan is a deterministic seed-driven fault-injection
+	// schedule; set Options.FaultPlan to run the engines with
+	// imperfect hardware and superstep-granularity recovery. Results
+	// stay bitwise identical to the fault-free run; the recovery work
+	// is reported in EMStats.
+	FaultPlan = fault.Plan
+	// FaultError is the typed error the fault layer reports when
+	// recovery is impossible (e.g. an unmirrored drive loss).
+	FaultError = fault.Error
 )
 
 // DefaultMachine returns a laptop-scale machine: one processor, 1 MiW

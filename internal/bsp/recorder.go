@@ -77,6 +77,22 @@ func (c *CostRecorder) EndStep() {
 	c.open = false
 }
 
+// Mark returns the number of closed supersteps, for a later Rewind.
+func (c *CostRecorder) Mark() int { return len(c.steps) }
+
+// Rewind discards every superstep recorded after the given Mark and
+// any open step. The EM engines use it to roll the cost accounting
+// back to the last compound-superstep barrier when a fault aborts an
+// attempt that is then replayed.
+func (c *CostRecorder) Rewind(mark int) {
+	if mark < 0 || mark > len(c.steps) {
+		panic("bsp: Rewind past recorded steps")
+	}
+	c.steps = c.steps[:mark]
+	c.cur = SuperstepCost{}
+	c.open = false
+}
+
 // Costs returns the accumulated run costs.
 func (c *CostRecorder) Costs() Costs {
 	return Costs{Supersteps: len(c.steps), PerStep: append([]SuperstepCost(nil), c.steps...)}

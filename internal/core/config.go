@@ -17,6 +17,7 @@ import (
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
+	"embsp/internal/fault"
 )
 
 // MachineConfig describes the target EM-BSP* machine (Section 3).
@@ -109,6 +110,20 @@ type Options struct {
 	// consecutive tracks. The ablate/routing bench quantifies the
 	// trade.
 	NoRouting bool
+	// FaultPlan, when non-nil and enabled, wraps every processor's disk
+	// array in the fault-injection layer and turns on the engines'
+	// superstep checkpoint/replay machinery (contexts double-buffered,
+	// input-area frees deferred to the barrier commit). The simulation
+	// result remains bitwise identical to the fault-free run; the extra
+	// work appears in EMStats as RecoveryOps/Replays/MirrorOps.
+	// Incompatible with NoRouting (the ablation releases its scattered
+	// blocks while reading them, destroying the replay source).
+	FaultPlan *fault.Plan
+	// MaxRetries bounds the fault layer's transparent charged retries
+	// per operation: 0 means fault.DefaultMaxRetries, negative disables
+	// retries so every transient fault escalates to a superstep replay
+	// (useful for exercising the rollback path).
+	MaxRetries int
 }
 
 func (o *Options) defaults() {
@@ -159,6 +174,28 @@ type EMStats struct {
 	CommWords int64
 	CommPkts  int64
 	CommTime  float64
+	// Fault-tolerance accounting (all zero without a fault plan;
+	// aggregated over processors for P > 1).
+	//
+	// FaultsInjected totals injected faults of every kind;
+	// ChecksumFailures counts corrupted blocks detected on read;
+	// DriveFailures counts permanent drive deaths.
+	FaultsInjected   int64
+	ChecksumFailures int64
+	DriveFailures    int64
+	// Retries / RetriedBlocks count the fault layer's transparent
+	// re-issued operations and the blocks they re-transferred; Replays
+	// counts compound supersteps (or setup/finish phases) rolled back
+	// and replayed by the engine.
+	Retries       int64
+	RetriedBlocks int64
+	Replays       int64
+	// RecoveryOps is the total charged parallel I/O spent on recovery:
+	// retry re-issues, redirect splits after a drive loss, and every
+	// operation consumed by rolled-back superstep attempts. MirrorOps
+	// counts the extra writes maintaining mirror copies.
+	RecoveryOps int64
+	MirrorOps   int64
 }
 
 // Result is the outcome of an EM simulation run.
@@ -184,6 +221,17 @@ func Run(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	}
 	if err := bsp.CheckProgram(p); err != nil {
 		return nil, err
+	}
+	if opts.FaultPlan != nil {
+		if err := opts.FaultPlan.Validate(); err != nil {
+			return nil, err
+		}
+		if opts.NoRouting && opts.FaultPlan.Enabled() {
+			return nil, fmt.Errorf("core: the NoRouting ablation cannot run under a fault plan (scattered blocks are released as they are read, leaving nothing to replay from)")
+		}
+		if opts.FaultPlan.FailProc >= cfg.P {
+			return nil, fmt.Errorf("core: FaultPlan.FailProc = %d, machine has %d processors", opts.FaultPlan.FailProc, cfg.P)
+		}
 	}
 	if cfg.P == 1 {
 		return runSeq(p, cfg, opts)

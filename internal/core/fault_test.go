@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embsp/internal/bsp"
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/fault"
+	"embsp/internal/prng"
+)
+
+// transientPlan injects all three transient fault kinds at rates high
+// enough that every nontrivial run sees several of each.
+func transientPlan(seed uint64) *fault.Plan {
+	return &fault.Plan{
+		Seed:           seed,
+		ReadErrorRate:  0.02,
+		WriteErrorRate: 0.02,
+		CorruptRate:    0.02,
+	}
+}
+
+func checksumsEqual(t *testing.T, ref *bsp.Result, res *core.Result, label string) {
+	t.Helper()
+	a, b := bsptest.Checksums(ref), bsptest.Checksums(res.ToBSPResult())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: VP %d state differs from reference under faults", label, i)
+		}
+	}
+}
+
+// TestFaultTransientBitwise is the issue's acceptance property at
+// fixed shape: with transient faults injected at >= 1% per block, both
+// engines still produce results bitwise identical to the in-memory
+// reference, and the recovery work is visible in EMStats.
+func TestFaultTransientBitwise(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 9, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{Seed: 9, FaultPlan: transientPlan(77)})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "transient")
+		em := res.EM
+		if em.FaultsInjected == 0 {
+			t.Errorf("P=%d: no faults injected at 2%% rates", procs)
+		}
+		if em.Retries == 0 || em.RecoveryOps == 0 {
+			t.Errorf("P=%d: Retries=%d RecoveryOps=%d, want both > 0", procs, em.Retries, em.RecoveryOps)
+		}
+		// Every fault-layer retry re-issues one charged operation, so
+		// RecoveryOps accounts for at least the retries.
+		if em.RecoveryOps < em.Retries {
+			t.Errorf("P=%d: RecoveryOps=%d < Retries=%d", procs, em.RecoveryOps, em.Retries)
+		}
+		if em.ChecksumFailures == 0 {
+			t.Errorf("P=%d: corruption injected but never detected", procs)
+		}
+	}
+}
+
+// TestFaultReplayPath disables the fault layer's transparent retries
+// so every transient fault escalates to a full superstep rollback, and
+// checks the replay machinery preserves bitwise fidelity.
+func TestFaultReplayPath(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 12, Steps: 3, MsgsPerStep: 3, MaxLen: 10}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 4, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With retries disabled a superstep attempt only succeeds when every
+	// processor is fault-free for the whole attempt, so the clean
+	// probability shrinks exponentially in P times the per-attempt
+	// traffic. 0.5% per block keeps the expected replay count per
+	// superstep in the tens while making replay exhaustion vanishingly
+	// unlikely.
+	plan := &fault.Plan{Seed: 5, ReadErrorRate: 0.005, WriteErrorRate: 0.005, CorruptRate: 0.005}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{Seed: 4, FaultPlan: plan, MaxRetries: -1})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "replay")
+		em := res.EM
+		if em.Replays == 0 {
+			t.Errorf("P=%d: retries disabled and faults injected, but no superstep was replayed", procs)
+		}
+		if em.Retries != 0 {
+			t.Errorf("P=%d: retries disabled but Retries=%d", procs, em.Retries)
+		}
+		if em.RecoveryOps == 0 {
+			t.Errorf("P=%d: replays happened but RecoveryOps=0", procs)
+		}
+	}
+}
+
+// TestFaultDriveLoss kills one drive mid-run and checks the engines
+// degrade gracefully: the run completes bitwise identical on the
+// surviving drives, with the mirroring and redirection overhead
+// reported.
+func TestFaultDriveLoss(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 21, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		plan := &fault.Plan{Seed: 13, FailDriveOp: 40, FailDrive: 2}
+		res, err := core.Run(p, cfg, core.Options{Seed: 21, FaultPlan: plan})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "drive loss")
+		em := res.EM
+		if em.DriveFailures != 1 {
+			t.Errorf("P=%d: DriveFailures=%d, want 1", procs, em.DriveFailures)
+		}
+		if em.MirrorOps == 0 {
+			t.Errorf("P=%d: mirroring enabled but MirrorOps=0", procs)
+		}
+		// A death whose op touches the dying drive forces a replay;
+		// either way the post-death redirection must charge extra ops.
+		if em.RecoveryOps == 0 {
+			t.Errorf("P=%d: degraded operation should charge recovery ops", procs)
+		}
+		// Compare against the same plan without the drive death: the
+		// degradation overhead must be measurable, not free.
+		mirrorOnly := &fault.Plan{Seed: 13, Mirror: true}
+		base, err := core.Run(p, cfg, core.Options{Seed: 21, FaultPlan: mirrorOnly})
+		if err != nil {
+			t.Fatalf("P=%d baseline: %v", procs, err)
+		}
+		if res.EM.Run.Ops <= base.EM.Run.Ops {
+			t.Errorf("P=%d: drive loss run took %d ops, mirrored baseline %d — expected measurable overhead",
+				procs, res.EM.Run.Ops, base.EM.Run.Ops)
+		}
+	}
+}
+
+// TestFaultDeterminism: the same seed must produce the same fault
+// schedule, the same recovery work and the same I/O counts.
+func TestFaultDeterminism(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 14, Steps: 3, MsgsPerStep: 3, MaxLen: 10}
+	for _, procs := range []int{1, 2} {
+		cfg := parMachine(procs, 3, 8, 200)
+		opts := core.Options{Seed: 8, FaultPlan: transientPlan(42)}
+		a, err := core.Run(p, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Run(p, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.EM.FaultsInjected != b.EM.FaultsInjected ||
+			a.EM.Retries != b.EM.Retries ||
+			a.EM.RecoveryOps != b.EM.RecoveryOps ||
+			a.EM.Replays != b.EM.Replays ||
+			a.EM.Run.Ops != b.EM.Run.Ops {
+			t.Errorf("P=%d: same seed, different runs:\n a: faults=%d retries=%d recovery=%d replays=%d ops=%d\n b: faults=%d retries=%d recovery=%d replays=%d ops=%d",
+				procs,
+				a.EM.FaultsInjected, a.EM.Retries, a.EM.RecoveryOps, a.EM.Replays, a.EM.Run.Ops,
+				b.EM.FaultsInjected, b.EM.Retries, b.EM.RecoveryOps, b.EM.Replays, b.EM.Run.Ops)
+		}
+	}
+}
+
+// TestFaultRandomizedEquivalence drives random programs, machine
+// shapes and fault plans through both engines and checks bitwise
+// fidelity every time.
+func TestFaultRandomizedEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		v := r.Intn(16) + 1
+		p := &bsptest.RandomProgram{
+			V:           v,
+			Steps:       r.Intn(3) + 1,
+			MsgsPerStep: r.Intn(4),
+			MaxLen:      r.Intn(16),
+		}
+		ref, err := bsp.Run(p, bsp.RunOptions{Seed: seed, PktSize: 8})
+		if err != nil {
+			return false
+		}
+		procs := r.Intn(3) + 1
+		d := r.Intn(3) + 2
+		b := 8 + r.Intn(8)
+		m := d*b + r.Intn(200)
+		cfg := parMachine(procs, d, b, m)
+		plan := &fault.Plan{
+			Seed:           r.Uint64(),
+			ReadErrorRate:  r.Float64() * 0.05,
+			WriteErrorRate: r.Float64() * 0.05,
+			CorruptRate:    r.Float64() * 0.05,
+		}
+		if r.Bool() {
+			plan.FailDriveOp = int64(r.Intn(100) + 1)
+			plan.FailDrive = r.Intn(d)
+			plan.FailProc = r.Intn(procs)
+		}
+		res, err := core.Run(p, cfg, core.Options{Seed: seed, FaultPlan: plan})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		a, bb := bsptest.Checksums(ref), bsptest.Checksums(res.ToBSPResult())
+		for i := range a {
+			if a[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultNoRoutingRejected: the ablation frees its replay source
+// while reading, so combining it with fault injection is an error.
+func TestFaultNoRoutingRejected(t *testing.T) {
+	p := &bsptest.RingProgram{V: 4, Rounds: 1}
+	cfg := tinyMachine(2, 8, 64)
+	_, err := core.Run(p, cfg, core.Options{NoRouting: true, FaultPlan: transientPlan(1)})
+	if err == nil {
+		t.Fatal("NoRouting + FaultPlan accepted")
+	}
+}
+
+// TestFaultStatsCleanWithoutPlan: runs without a fault plan must not
+// report any fault accounting.
+func TestFaultStatsCleanWithoutPlan(t *testing.T) {
+	p := &bsptest.RingProgram{V: 6, Rounds: 2}
+	res, err := core.Run(p, tinyMachine(2, 8, 64), core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := res.EM
+	if em.FaultsInjected != 0 || em.RecoveryOps != 0 || em.Replays != 0 || em.MirrorOps != 0 {
+		t.Errorf("fault stats nonzero without a plan: %+v", em)
+	}
+}

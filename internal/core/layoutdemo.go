@@ -34,7 +34,7 @@ func DemoRouting(w io.Writer, v, d, b, blocksPerVP, k int, seed uint64) error {
 	rng := prng.New(seed)
 	writer := newBlockWriter(arr, dir,
 		func(m blockMeta) int { return bucketOf(m.dst, v, d) },
-		rng, false, make([]uint64, d*b))
+		rng, false, nil, make([]uint64, d*b))
 
 	// Writing phase: every VP sends blocksPerVP single-block messages
 	// to every... one block per (src, dst) round-robin pattern.

@@ -7,6 +7,7 @@ import (
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
+	"embsp/internal/fault"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
 	"embsp/internal/words"
@@ -41,6 +42,15 @@ import (
 // communication cells are owned by a single writer per phase and all
 // deliveries are sorted canonically, so results are bitwise
 // deterministic and identical to the in-memory reference runner.
+//
+// With a fault plan configured, each processor's disk array is wrapped
+// in its own fault layer (fault schedules keyed per processor); the
+// whole compound superstep is one recovery unit: a recoverable fault
+// on any processor rolls all of them back to the barrier and replays
+// the superstep. Contexts are double-buffered and input-area frees
+// deferred to the barrier commit, exactly as in the sequential engine,
+// and after a permanent drive loss the block writer remaps its packet
+// scatter onto the surviving drives.
 
 // wireBlock is a message block in flight between real processors.
 type wireBlock struct {
@@ -54,20 +64,24 @@ type procState struct {
 	hi int // one past last owned VP
 
 	arr  *disk.Array
+	fd   *fault.Disk // nil without a fault plan
+	dsk  disk.Disk   // arr, or fd wrapping it
 	acct *mem.Accountant
 	rng  *prng.Rand
 
-	ctxArea   disk.Area
+	ctxAreas  [2]disk.Area // fault mode double-buffers; [1] unused otherwise
+	ctxCur    int
 	inRegions [][]groupRegion // per batch
 	inAreas   []disk.Area
 	inBlocks  int
 
 	// Superstep-scoped scratch.
-	halts   int
-	sends   int
-	dir     *outDirectory
-	writer  *blockWriter
-	scratch []uint64
+	halts        int
+	sends        int
+	dir          *outDirectory
+	writer       *blockWriter
+	scratch      []uint64
+	pendingRoute *routeResult // fault mode: routing result awaiting commit
 
 	// Accounting.
 	opsMark  int64
@@ -81,10 +95,21 @@ func (ps *procState) ownCount() int { return ps.hi - ps.lo }
 
 func (ps *procState) noteLive(muBlocks, extraBlocks int) {
 	live := int64(ps.ownCount()*muBlocks + extraBlocks)
-	per := live / int64(ps.arr.Config().D)
+	per := live / int64(ps.dsk.Config().D)
 	if per > ps.peakLive {
 		ps.peakLive = per
 	}
+}
+
+// ctxRead returns the area holding the committed contexts; ctxWrite
+// the area the running superstep writes to. They coincide unless
+// fault-mode double-buffering is on.
+func (ps *procState) ctxRead() disk.Area { return ps.ctxAreas[ps.ctxCur] }
+func (ps *procState) ctxWrite() disk.Area {
+	if ps.fd != nil {
+		return ps.ctxAreas[ps.ctxCur^1]
+	}
+	return ps.ctxAreas[ps.ctxCur]
 }
 
 type parEngine struct {
@@ -117,6 +142,9 @@ type parEngine struct {
 	commPkts  int64
 	commWords int64
 	ioTime    float64
+
+	replays     int64
+	recoveryOps int64 // I/O ops consumed by rolled-back attempts
 }
 
 // owner returns the real processor owning VP id.
@@ -144,6 +172,9 @@ func (e *parEngine) batchBounds(ps *procState, j int) (lo, hi int) {
 	}
 	return lo, hi
 }
+
+// faulty reports whether the engine runs under a fault plan.
+func (e *parEngine) faulty() bool { return e.procs[0].fd != nil }
 
 func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	opts.defaults()
@@ -176,12 +207,31 @@ func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		if hi > v {
 			hi = v
 		}
-		e.procs[i] = &procState{
+		ps := &procState{
 			id: i, lo: lo, hi: hi,
 			arr:  disk.MustNewArray(disk.Config{D: cfg.D, B: cfg.B}),
 			acct: mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma)),
 			rng:  prng.New(prng.Derive(opts.Seed, 0xFA12, uint64(i))),
 		}
+		ps.dsk = ps.arr
+		if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
+			// Each processor's disk array gets its own fault layer with
+			// an independently keyed schedule; the planned drive death
+			// strikes only processor FailProc.
+			plan := *opts.FaultPlan
+			plan.Seed = prng.Derive(plan.Seed, 0xFA17, uint64(i))
+			if plan.FailProc != i {
+				plan.FailDriveOp = 0
+				plan.Mirror = opts.FaultPlan.Mirrored()
+			}
+			fd, err := fault.Wrap(ps.arr, plan, opts.MaxRetries)
+			if err != nil {
+				return nil, err
+			}
+			ps.fd = fd
+			ps.dsk = fd
+		}
+		e.procs[i] = ps
 	}
 	return e.run()
 }
@@ -209,28 +259,47 @@ func (e *parEngine) parallel(f func(ps *procState) error) error {
 	return errors.Join(errs...)
 }
 
+// replayPhase runs an idempotent whole-area phase across all
+// processors, re-running it when a recoverable fault escapes the fault
+// layer's retries (the phases neither allocate tracks nor leave
+// partial state).
+func (e *parEngine) replayPhase(phase func(ps *procState) error) error {
+	err := e.parallel(phase)
+	r := 0
+	for ; err != nil && e.faulty() && fault.Replayable(err) && r < maxReplays; r++ {
+		e.replays++
+		err = e.parallel(phase)
+	}
+	if err != nil && r >= maxReplays {
+		return fmt.Errorf("core: phase unrecoverable after %d replays: %w", r, err)
+	}
+	return err
+}
+
 func (e *parEngine) run() (*Result, error) {
-	// Setup: every processor reserves its context area and writes its
-	// VPs' initial contexts.
-	err := e.parallel(func(ps *procState) error {
-		ps.ctxArea = ps.arr.Reserve(ps.ownCount() * e.muBlocks)
+	// Setup: every processor reserves its context area(s) and writes
+	// its VPs' initial contexts.
+	for _, ps := range e.procs {
+		ps.ctxAreas[0] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
+		if ps.fd != nil {
+			ps.ctxAreas[1] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
+		}
 		ps.noteLive(e.muBlocks, 0)
-		return e.writeInitialContexts(ps)
-	})
-	if err != nil {
+	}
+	if err := e.replayPhase(func(ps *procState) error { return e.writeInitialContexts(ps) }); err != nil {
 		return nil, err
 	}
 	var setup disk.Stats
 	for _, ps := range e.procs {
-		setup.Add(ps.arr.Stats())
-		ps.arr.ResetStats()
+		setup.Add(ps.dsk.Stats())
+		ps.dsk.ResetStats()
 	}
 
 	for step := 0; ; step++ {
 		if step >= e.opts.MaxSupersteps {
 			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
 		}
-		halts, sends, err := e.compoundSuperstep(step)
+		halts, sends, err := e.runStep(step)
 		if err != nil {
 			return nil, err
 		}
@@ -248,18 +317,17 @@ func (e *parEngine) run() (*Result, error) {
 	var runStats disk.Stats
 	perProc := make([]disk.Stats, len(e.procs))
 	for i, ps := range e.procs {
-		perProc[i] = ps.arr.Stats()
+		perProc[i] = ps.dsk.Stats()
 		runStats.Add(perProc[i])
 	}
 
 	vps := make([]bsp.VP, e.v)
-	err = e.parallel(func(ps *procState) error { return e.readFinalContexts(ps, vps) })
-	if err != nil {
+	if err := e.replayPhase(func(ps *procState) error { return e.readFinalContexts(ps, vps) }); err != nil {
 		return nil, err
 	}
 	var finish disk.Stats
 	for i, ps := range e.procs {
-		s := ps.arr.Stats()
+		s := ps.dsk.Stats()
 		finish.Ops += s.Ops - perProc[i].Ops
 		finish.ReadOps += s.ReadOps - perProc[i].ReadOps
 		finish.BlocksRead += s.BlocksRead - perProc[i].BlocksRead
@@ -292,8 +360,150 @@ func (e *parEngine) run() (*Result, error) {
 			em.LiveBlocksPerDrive = ps.peakLive
 		}
 	}
+	if e.faulty() {
+		var c fault.Counters
+		for _, ps := range e.procs {
+			c.Add(ps.fd.Counters())
+		}
+		em.FaultsInjected = c.Injected()
+		em.ChecksumFailures = c.ChecksumFailures
+		em.DriveFailures = c.DriveFailures
+		em.Retries = c.Retries
+		em.RetriedBlocks = c.RetriedBlocks
+		em.MirrorOps = c.MirrorOps
+		em.Replays = e.replays
+		em.RecoveryOps = c.RecoveryOps + e.recoveryOps
+	}
 	res.EM = em
 	return res, nil
+}
+
+// parSnapshot is the superstep checkpoint manifest across all
+// processors plus the engine's shared accounting.
+type parSnapshot struct {
+	procs     []procSnapshot
+	recMark   int
+	commTime  float64
+	commPkts  int64
+	commWords int64
+	ioTime    float64
+}
+
+type procSnapshot struct {
+	fd       *fault.Snapshot
+	rng      [4]uint64
+	acctMark int64
+	opsMark  int64
+	routeOps int64
+	ragged   int64
+	maxSkew  float64
+	peakLive int64
+}
+
+func (e *parEngine) snapshot() parSnapshot {
+	s := parSnapshot{
+		procs:     make([]procSnapshot, len(e.procs)),
+		recMark:   e.rec.Mark(),
+		commTime:  e.commTime,
+		commPkts:  e.commPkts,
+		commWords: e.commWords,
+		ioTime:    e.ioTime,
+	}
+	for i, ps := range e.procs {
+		s.procs[i] = procSnapshot{
+			fd:       ps.fd.Snapshot(),
+			rng:      ps.rng.State(),
+			acctMark: ps.acct.Mark(),
+			opsMark:  ps.dsk.Stats().Ops,
+			routeOps: ps.routeOps,
+			ragged:   ps.ragged,
+			maxSkew:  ps.maxSkew,
+			peakLive: ps.peakLive,
+		}
+	}
+	return s
+}
+
+func (e *parEngine) restore(s parSnapshot) {
+	// The rolled-back attempt's charged operations were real work; the
+	// model pays its wall-clock as the slowest processor's share.
+	var maxAborted int64
+	for i, ps := range e.procs {
+		p := s.procs[i]
+		aborted := ps.dsk.Stats().Ops - p.opsMark
+		e.recoveryOps += aborted
+		if aborted > maxAborted {
+			maxAborted = aborted
+		}
+		ps.fd.Restore(p.fd)
+		ps.rng.SetState(p.rng)
+		ps.acct.Rewind(p.acctMark)
+		ps.routeOps = p.routeOps
+		ps.ragged = p.ragged
+		ps.maxSkew = p.maxSkew
+		ps.peakLive = p.peakLive
+		ps.pendingRoute = nil
+	}
+	e.rec.Rewind(s.recMark)
+	e.commTime = s.commTime
+	e.commPkts = s.commPkts
+	e.commWords = s.commWords
+	e.ioTime = s.ioTime + e.cfg.G*float64(maxAborted)
+}
+
+// runStep runs one compound superstep. In fault mode the whole
+// superstep — all processors, all batches, the routing phase — is one
+// recovery unit: a recoverable fault anywhere rolls every processor
+// back to the barrier and replays.
+func (e *parEngine) runStep(step int) (halts, sends int, err error) {
+	if !e.faulty() {
+		return e.compoundSuperstep(step)
+	}
+	for attempt := 0; ; attempt++ {
+		snap := e.snapshot()
+		halts, sends, err = e.compoundSuperstep(step)
+		if err == nil {
+			if err := e.commitSuperstep(); err != nil {
+				return 0, 0, err
+			}
+			return halts, sends, nil
+		}
+		if !fault.Replayable(err) {
+			return 0, 0, err
+		}
+		if attempt >= maxReplays {
+			return 0, 0, fmt.Errorf("core: superstep %d unrecoverable after %d replays: %w", step, attempt, err)
+		}
+		e.restore(snap)
+		e.replays++
+	}
+}
+
+// commitSuperstep is the barrier commit in fault mode: free the
+// consumed input areas, install the routing results, and flip the
+// context double buffers. Single-threaded; runs only after every
+// processor finished the superstep.
+func (e *parEngine) commitSuperstep() error {
+	for _, ps := range e.procs {
+		if ps.pendingRoute != nil {
+			for _, ar := range ps.inAreas {
+				if err := disk.FreeArea(ps.dsk, ar); err != nil {
+					return err
+				}
+			}
+			route := ps.pendingRoute
+			ps.pendingRoute = nil
+			ps.routeOps += route.stats.ops
+			ps.ragged += route.stats.ragged
+			if route.stats.maxSkew > ps.maxSkew {
+				ps.maxSkew = route.stats.maxSkew
+			}
+			ps.inRegions, ps.inAreas, ps.inBlocks = route.regions, route.areas, route.total
+			ps.noteLive(e.muBlocks, route.total)
+		}
+		ps.ctxCur ^= 1
+	}
+	return nil
 }
 
 func (e *parEngine) writeInitialContexts(ps *procState) error {
@@ -322,7 +532,7 @@ func (e *parEngine) writeInitialContexts(ps *procState) error {
 			copy(buf[(id-lo)*e.muBlocks*e.cfg.B:], enc.Words())
 		}
 		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-		if err := ps.arr.WriteRange(ps.ctxArea, cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.WriteRange(ps.dsk, ps.ctxRead(), cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
 			return err
 		}
 	}
@@ -345,7 +555,7 @@ func (e *parEngine) readFinalContexts(ps *procState, out []bsp.VP) error {
 			continue
 		}
 		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-		if err := ps.arr.ReadRange(ps.ctxArea, cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.ReadRange(ps.dsk, ps.ctxRead(), cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
 			return err
 		}
 		for id := lo; id < hi; id++ {
@@ -357,11 +567,13 @@ func (e *parEngine) readFinalContexts(ps *procState, out []bsp.VP) error {
 	return nil
 }
 
-// compoundSuperstep runs Algorithm 3 for one compound superstep.
+// compoundSuperstep runs Algorithm 3 for one compound superstep. On
+// error the cost recorder's current step stays open and superstep
+// buffers stay grabbed; either the run aborts, or fault-mode restore
+// rewinds both to the barrier.
 func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 	P := e.cfg.P
 	e.rec.BeginStep()
-	defer e.rec.EndStep()
 
 	e.pktX = make([][]int64, P)
 	e.wordX = make([][]int64, P)
@@ -372,9 +584,13 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 	for _, ps := range e.procs {
 		ps.halts, ps.sends = 0, 0
 		ps.dir = newOutDirectory(e.cfg.D, e.cfg.D)
-		ps.opsMark = ps.arr.Stats().Ops
+		ps.opsMark = ps.dsk.Stats().Ops
 		flushBuf := make([]uint64, e.cfg.D*e.cfg.B)
-		ps.writer = newBlockWriter(ps.arr, ps.dir, e.bucketKey, ps.rng, e.opts.Deterministic, flushBuf)
+		var down func(int) bool
+		if ps.fd != nil {
+			down = ps.fd.Down
+		}
+		ps.writer = newBlockWriter(ps.dsk, ps.dir, e.bucketKey, ps.rng, e.opts.Deterministic, down, flushBuf)
 		ps.scratch = make([]uint64, e.cfg.B)
 	}
 
@@ -409,12 +625,13 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 			return 0, 0, err
 		}
 	}
+	e.rec.EndStep()
 
 	// Superstep model costs: I/O time is the max over processors; real
 	// communication is max(L, g·max_i(sent+received packets)).
 	var maxOps int64
 	for _, ps := range e.procs {
-		if d := ps.arr.Stats().Ops - ps.opsMark; d > maxOps {
+		if d := ps.dsk.Stats().Ops - ps.opsMark; d > maxOps {
 			maxOps = d
 		}
 	}
@@ -458,7 +675,7 @@ func (e *parEngine) fetchForward(ps *procState, j int) error {
 	if j < len(ps.inRegions) {
 		regions = ps.inRegions[j]
 	}
-	buf, metas, grabbed, err := readRegions(ps.arr, ps.acct, regions)
+	buf, metas, grabbed, err := readRegions(ps.dsk, ps.acct, regions)
 	if err != nil {
 		return err
 	}
@@ -538,7 +755,7 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 	}
 	ctxBuf := make([]uint64, ctxWords)
 	cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-	if err := ps.arr.ReadRange(ps.ctxArea, cl, ch, ctxBuf); err != nil {
+	if err := disk.ReadRange(ps.dsk, ps.ctxRead(), cl, ch, ctxBuf); err != nil {
 		return err
 	}
 	vps := make([]bsp.VP, n)
@@ -601,7 +818,7 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 		}
 		copy(ctxBuf[i*e.muBlocks*B:], enc.Words())
 	}
-	if err := ps.arr.WriteRange(ps.ctxArea, cl, ch, ctxBuf); err != nil {
+	if err := disk.WriteRange(ps.dsk, ps.ctxWrite(), cl, ch, ctxBuf); err != nil {
 		return err
 	}
 	ps.acct.Release(int64(ctxWords))
@@ -666,15 +883,26 @@ func (e *parEngine) receiveWrite(ps *procState) error {
 
 // routeLocal is Step 2 of Algorithm 3: reorganize this processor's
 // received blocks so each batch is evenly distributed over the local
-// disks in standard consecutive format.
+// disks in standard consecutive format. In normal operation the result
+// is installed immediately; in fault mode it is parked until the
+// engine-level barrier commit, because another processor's fault can
+// still roll this superstep back.
 func (e *parEngine) routeLocal(ps *procState) error {
-	for _, ar := range ps.inAreas {
-		ps.arr.FreeArea(ar)
+	if ps.fd == nil {
+		for _, ar := range ps.inAreas {
+			if err := disk.FreeArea(ps.dsk, ar); err != nil {
+				return err
+			}
+		}
 	}
 	ps.noteLive(e.muBlocks, ps.inBlocks+ps.dir.total)
-	route, err := simulateRouting(ps.arr, ps.acct, ps.dir, func(m blockMeta) int { return e.batchOf(m.dst) }, e.batches)
+	route, err := simulateRouting(ps.dsk, ps.acct, ps.dir, func(m blockMeta) int { return e.batchOf(m.dst) }, e.batches)
 	if err != nil {
 		return err
+	}
+	if ps.fd != nil {
+		ps.pendingRoute = route
+		return nil
 	}
 	ps.routeOps += route.stats.ops
 	ps.ragged += route.stats.ragged
@@ -685,3 +913,4 @@ func (e *parEngine) routeLocal(ps *procState) error {
 	ps.noteLive(e.muBlocks, route.total)
 	return nil
 }
+

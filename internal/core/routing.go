@@ -12,12 +12,18 @@ import (
 // operation, assigning blocks to drives by a fresh random permutation
 // (or round-robin rotation in deterministic mode). Every written block
 // is appended to its bucket's standard-linked-format list.
+//
+// When the fault layer reports a dead drive (down != nil), the writer
+// scatters only over the surviving drives, splitting a full buffer
+// into as many parallel operations as needed — the engine's graceful
+// degradation after a permanent drive loss.
 type blockWriter struct {
-	arr       *disk.Array
+	dsk       disk.Disk
 	dir       *outDirectory
 	bucketKey func(blockMeta) int
 	rng       *prng.Rand
 	det       bool
+	down      func(d int) bool // nil when no fault layer is present
 	rr        int
 
 	buf     []uint64 // D·B words
@@ -26,50 +32,85 @@ type blockWriter struct {
 	pending int
 }
 
-func newBlockWriter(arr *disk.Array, dir *outDirectory, bucketKey func(blockMeta) int, rng *prng.Rand, det bool, buf []uint64) *blockWriter {
-	D := arr.Config().D
+func newBlockWriter(dsk disk.Disk, dir *outDirectory, bucketKey func(blockMeta) int, rng *prng.Rand, det bool, down func(int) bool, buf []uint64) *blockWriter {
+	D := dsk.Config().D
 	return &blockWriter{
-		arr: arr, dir: dir, bucketKey: bucketKey, rng: rng, det: det,
+		dsk: dsk, dir: dir, bucketKey: bucketKey, rng: rng, det: det, down: down,
 		buf: buf, metas: make([]blockMeta, D), perm: make([]int, D),
 	}
 }
 
 func (w *blockWriter) add(meta blockMeta, img []uint64) error {
-	B := w.arr.Config().B
+	B := w.dsk.Config().B
 	copy(w.buf[w.pending*B:(w.pending+1)*B], img)
 	w.metas[w.pending] = meta
 	w.pending++
-	if w.pending == w.arr.Config().D {
+	if w.pending == w.dsk.Config().D {
 		return w.flush()
 	}
 	return nil
+}
+
+// liveInto fills dst with the drives still serving I/O and returns the
+// filled prefix. With no fault layer that is simply [0, D).
+func (w *blockWriter) liveInto(dst []int) []int {
+	D := w.dsk.Config().D
+	dst = dst[:0]
+	for d := 0; d < D; d++ {
+		if w.down == nil || !w.down(d) {
+			dst = append(dst, d)
+		}
+	}
+	return dst
 }
 
 func (w *blockWriter) flush() error {
 	if w.pending == 0 {
 		return nil
 	}
-	D, B := w.arr.Config().D, w.arr.Config().B
-	if w.det {
-		for i := 0; i < D; i++ {
-			w.perm[i] = (w.rr + i) % D
-		}
-		w.rr = (w.rr + w.pending) % D
-	} else {
-		w.rng.PermInto(w.perm)
+	B := w.dsk.Config().B
+	var liveBuf [64]int
+	live := w.liveInto(liveBuf[:0])
+	L := len(live)
+	if L == 0 {
+		return &engineError{msg: "no live drives"}
 	}
-	reqs := make([]disk.WriteReq, 0, w.pending)
-	for i := 0; i < w.pending; i++ {
-		d := w.perm[i]
-		t := w.arr.Alloc(d)
-		reqs = append(reqs, disk.WriteReq{Disk: d, Track: t, Src: w.buf[i*B : (i+1)*B]})
-		b := w.bucketKey(w.metas[i])
-		w.dir.q[b][d] = append(w.dir.q[b][d], blockRef{track: t, meta: w.metas[i]})
-		w.dir.total++
+	for base := 0; base < w.pending; {
+		n := w.pending - base
+		if n > L {
+			n = L
+		}
+		if w.det {
+			for i := 0; i < L; i++ {
+				w.perm[i] = (w.rr + i) % L
+			}
+			w.rr = (w.rr + n) % L
+		} else {
+			w.rng.PermInto(w.perm[:L])
+		}
+		reqs := make([]disk.WriteReq, 0, n)
+		for i := 0; i < n; i++ {
+			d := live[w.perm[i]]
+			t := w.dsk.Alloc(d)
+			reqs = append(reqs, disk.WriteReq{Disk: d, Track: t, Src: w.buf[(base+i)*B : (base+i+1)*B]})
+			b := w.bucketKey(w.metas[base+i])
+			w.dir.q[b][d] = append(w.dir.q[b][d], blockRef{track: t, meta: w.metas[base+i]})
+			w.dir.total++
+		}
+		if err := w.dsk.WriteOp(reqs); err != nil {
+			return err
+		}
+		base += n
 	}
 	w.pending = 0
-	return w.arr.WriteOp(reqs)
+	return nil
 }
+
+// engineError is a plain internal failure (not a fault, not a model
+// violation).
+type engineError struct{ msg string }
+
+func (e *engineError) Error() string { return "core: " + e.msg }
 
 // routeStats reports the behaviour of one SimulateRouting invocation.
 type routeStats struct {
@@ -99,8 +140,12 @@ type routeResult struct {
 // source, sequence, chunk) — across the drives into a rotated
 // consecutive area: operation j writes bucket b's j-th block to drive
 // (b+j) mod D, the paper's track formula d·⌈vγ/D²B⌉ + ⌊j/D⌋.
-func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, groupKey func(blockMeta) int, numGroups int) (*routeResult, error) {
-	D, B := arr.Config().D, arr.Config().B
+//
+// Under the fault layer a dead drive's tracks are served transparently
+// from their mirror copies; the extra operations the redirection costs
+// are charged by the layer and surfaced as RecoveryOps.
+func simulateRouting(dsk disk.Disk, acct *mem.Accountant, dir *outDirectory, groupKey func(blockMeta) int, numGroups int) (*routeResult, error) {
+	D, B := dsk.Config().D, dsk.Config().B
 	res := &routeResult{total: dir.total}
 
 	// Lemma 2 observation: per-drive share of each bucket.
@@ -151,7 +196,7 @@ func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, g
 			cursors[b][s]++
 			seg := buf[len(reads)*B : (len(reads)+1)*B]
 			reads = append(reads, disk.ReadReq{Disk: s, Track: ref.track, Dst: seg})
-			t := arr.Alloc(b)
+			t := dsk.Alloc(b)
 			writes = append(writes, disk.WriteReq{Disk: b, Track: t, Src: seg})
 			staged[b] = append(staged[b], blockRef{track: t, meta: ref.meta})
 			toRelease = append(toRelease, rel{s, ref.track})
@@ -161,15 +206,17 @@ func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, g
 			continue
 		}
 		res.stats.ragged += int64(D - len(reads))
-		if err := arr.ReadOp(reads); err != nil {
+		if err := dsk.ReadOp(reads); err != nil {
 			return nil, err
 		}
-		if err := arr.WriteOp(writes); err != nil {
+		if err := dsk.WriteOp(writes); err != nil {
 			return nil, err
 		}
 		res.stats.ops += 2
 		for _, r := range toRelease {
-			arr.Release(r.d, r.t)
+			if err := dsk.Release(r.d, r.t); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -185,7 +232,7 @@ func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, g
 			}
 			return metaLess(x.meta, y.meta)
 		})
-		res.areas[b] = arr.ReserveRot(len(staged[b]), b)
+		res.areas[b] = dsk.ReserveRot(len(staged[b]), b)
 		if len(staged[b]) > maxLen {
 			maxLen = len(staged[b])
 		}
@@ -206,15 +253,17 @@ func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, g
 			toRelease = append(toRelease, rel{b, ref.track})
 		}
 		res.stats.ragged += int64(D - len(reads))
-		if err := arr.ReadOp(reads); err != nil {
+		if err := dsk.ReadOp(reads); err != nil {
 			return nil, err
 		}
-		if err := arr.WriteOp(writes); err != nil {
+		if err := dsk.WriteOp(writes); err != nil {
 			return nil, err
 		}
 		res.stats.ops += 2
 		for _, r := range toRelease {
-			arr.Release(r.d, r.t)
+			if err := dsk.Release(r.d, r.t); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -241,8 +290,8 @@ func simulateRouting(arr *disk.Array, acct *mem.Accountant, dir *outDirectory, g
 // count equals the maximum per-drive share — exactly the quantity
 // Lemma 2 bounds. Source tracks are released after reading. Returns
 // like readRegions; the caller releases the grab.
-func readScattered(arr *disk.Array, acct *mem.Accountant, perDrive [][]blockRef) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
-	B := arr.Config().B
+func readScattered(dsk disk.Disk, acct *mem.Accountant, perDrive [][]blockRef) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
+	B := dsk.Config().B
 	total := 0
 	for _, refs := range perDrive {
 		total += len(refs)
@@ -273,12 +322,15 @@ func readScattered(arr *disk.Array, acct *mem.Accountant, perDrive [][]blockRef)
 			toRelease = append(toRelease, rel{d, ref.track})
 			idx++
 		}
-		if err := arr.ReadOp(reqs); err != nil {
+		if err := dsk.ReadOp(reqs); err != nil {
 			acct.Release(grabbed)
 			return nil, nil, 0, err
 		}
 		for _, r := range toRelease {
-			arr.Release(r.d, r.t)
+			if err := dsk.Release(r.d, r.t); err != nil {
+				acct.Release(grabbed)
+				return nil, nil, 0, err
+			}
 		}
 	}
 	return buf, metas, grabbed, nil
@@ -287,8 +339,8 @@ func readScattered(arr *disk.Array, acct *mem.Accountant, perDrive [][]blockRef)
 // readRegions reads all blocks of the given regions into a freshly
 // grabbed buffer and parses their directory entries. The caller
 // releases the returned grab.
-func readRegions(arr *disk.Array, acct *mem.Accountant, regions []groupRegion) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
-	B := arr.Config().B
+func readRegions(dsk disk.Disk, acct *mem.Accountant, regions []groupRegion) (buf []uint64, metas []blockMeta, grabbed int64, err error) {
+	B := dsk.Config().B
 	total := 0
 	for _, r := range regions {
 		total += r.hi - r.lo
@@ -304,7 +356,7 @@ func readRegions(arr *disk.Array, acct *mem.Accountant, regions []groupRegion) (
 	off := 0
 	for _, r := range regions {
 		nb := r.hi - r.lo
-		if err := arr.ReadRange(r.area, r.lo, r.hi, buf[off*B:(off+nb)*B]); err != nil {
+		if err := disk.ReadRange(dsk, r.area, r.lo, r.hi, buf[off*B:(off+nb)*B]); err != nil {
 			acct.Release(grabbed)
 			return nil, nil, 0, err
 		}

@@ -26,7 +26,7 @@ func TestRoutingInvariants(t *testing.T) {
 		dir := newOutDirectory(d, d)
 		writer := newBlockWriter(arr, dir,
 			func(m blockMeta) int { return bucketOf(m.dst, v, d) },
-			r, false, make([]uint64, d*b))
+			r, false, nil, make([]uint64, d*b))
 
 		// Random blocks with a payload checksum derived from their
 		// identity, so reads can be validated.
@@ -100,7 +100,7 @@ func TestRoutingParallelism(t *testing.T) {
 	r := prng.New(7)
 	writer := newBlockWriter(arr, dir,
 		func(m blockMeta) int { return bucketOf(m.dst, v, d) },
-		r, false, make([]uint64, d*b))
+		r, false, nil, make([]uint64, d*b))
 	img := make([]uint64, b)
 	for c := 0; c < perVP; c++ {
 		for dst := 0; dst < v; dst++ {

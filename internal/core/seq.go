@@ -5,10 +5,20 @@ import (
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
+	"embsp/internal/fault"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
 	"embsp/internal/words"
 )
+
+// maxReplays bounds how many times one compound superstep may be
+// rolled back and replayed before the engine gives up. Each replay
+// draws a fresh fault schedule, so the replay count is geometric in
+// the probability of one clean attempt; the bound is a runaway
+// backstop set far above anything a survivable plan produces (with
+// retries disabled entirely, a large superstep can legitimately need
+// dozens of attempts).
+const maxReplays = 1000
 
 // blockRef locates one staged message block together with its
 // directory entry.
@@ -45,6 +55,15 @@ type groupRegion struct {
 // seqEngine simulates a BSP* program on a single-processor EM-BSP*
 // machine: Algorithm 1 (SeqCompoundSuperstep) plus Algorithm 2
 // (SimulateRouting).
+//
+// With a fault plan configured, the engine checkpoints at every
+// compound-superstep barrier: the contexts of the previous superstep
+// and the routed input regions stay on disk untouched while the next
+// superstep runs (contexts are double-buffered between two areas;
+// input-area frees are deferred to commit), so a recoverable fault
+// rolls the allocator, checksum directory, PRNG, cost recorder and
+// memory accountant back to the barrier and replays the superstep
+// from identical inputs.
 type seqEngine struct {
 	p    bsp.Program
 	cfg  MachineConfig
@@ -58,11 +77,14 @@ type seqEngine struct {
 	muBlocks int
 
 	arr  *disk.Array
+	fd   *fault.Disk // nil without a fault plan
+	dsk  disk.Disk   // arr, or fd wrapping it
 	acct *mem.Accountant
 	rec  *bsp.CostRecorder
 	rng  *prng.Rand
 
-	ctxArea   disk.Area
+	ctxAreas  [2]disk.Area // fault mode double-buffers; [1] unused otherwise
+	ctxCur    int          // context area holding the committed contexts
 	inRegions [][]groupRegion
 	inAreas   []disk.Area
 	inBlocks  int
@@ -72,6 +94,9 @@ type seqEngine struct {
 	ragged   int64
 	maxSkew  float64
 	peakLive int64
+
+	replays     int64
+	recoveryOps int64 // I/O ops consumed by rolled-back attempts
 }
 
 // groupBounds returns the VP id range [lo, hi) of group g.
@@ -113,6 +138,21 @@ func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
 		rng:      prng.New(prng.Derive(opts.Seed, 0xE19)),
 	}
+	e.dsk = e.arr
+	if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
+		plan := *opts.FaultPlan
+		if plan.FailProc != 0 {
+			// The failing processor does not exist on this one-processor
+			// machine; its drive death cannot happen here.
+			plan.FailDriveOp = 0
+		}
+		fd, err := fault.Wrap(e.arr, plan, opts.MaxRetries)
+		if err != nil {
+			return nil, err
+		}
+		e.fd = fd
+		e.dsk = fd
+	}
 	// The theorems assume γ = O(µ) (a VP's messages fit in its local
 	// memory), so the engine footprint is Θ(k·µ) = Θ(M). The budget
 	// below makes that concrete — M plus the group's contexts and
@@ -133,21 +173,26 @@ func engineMemLimit(cfg MachineConfig, k, mu, gamma int) int64 {
 func (e *seqEngine) run() (*Result, error) {
 	// Reserve the context area: v·⌈µ/B⌉ blocks in standard consecutive
 	// format, VP j's i-th context block at global block index
-	// i + j·(µ/B), as the paper's Step 1(a)/1(e) details prescribe.
-	e.ctxArea = e.arr.Reserve(e.v * e.muBlocks)
+	// i + j·(µ/B), as the paper's Step 1(a)/1(e) details prescribe. In
+	// fault mode a second area double-buffers the contexts so the
+	// barrier state survives a mid-superstep rollback.
+	e.ctxAreas[0] = disk.Reserve(e.dsk, e.v*e.muBlocks)
+	if e.fd != nil {
+		e.ctxAreas[1] = disk.Reserve(e.dsk, e.v*e.muBlocks)
+	}
 
 	e.noteLive(0)
-	if err := e.writeInitialContexts(); err != nil {
+	if err := e.replayPhase(e.writeInitialContexts); err != nil {
 		return nil, err
 	}
-	setup := e.arr.Stats()
-	e.arr.ResetStats()
+	setup := e.dsk.Stats()
+	e.dsk.ResetStats()
 
 	for step := 0; ; step++ {
 		if step >= e.opts.MaxSupersteps {
 			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
 		}
-		halts, sends, dir, err := e.compoundSuperstep(step)
+		halts, sends, err := e.runStep(step)
 		if err != nil {
 			return nil, err
 		}
@@ -160,54 +205,18 @@ func (e *seqEngine) run() (*Result, error) {
 		if halts != 0 {
 			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
 		}
-		if e.opts.NoRouting {
-			// Ablation: leave the blocks where the writing phase put
-			// them; the next fetch reads them scattered.
-			e.noteLive(dir.total)
-			e.inDir = dir
-			// Observe the balance the fetch will pay for (Lemma 2).
-			for g := 0; g < e.groups; g++ {
-				R, maxPer := 0, 0
-				for d := 0; d < e.cfg.D; d++ {
-					n := len(dir.q[g][d])
-					R += n
-					if n > maxPer {
-						maxPer = n
-					}
-				}
-				if R > 0 {
-					if skew := float64(maxPer) * float64(e.cfg.D) / float64(R); skew > e.maxSkew {
-						e.maxSkew = skew
-					}
-				}
-			}
-			continue
-		}
-		// Free the consumed input areas, then reorganize the generated
-		// blocks (Algorithm 2) for the next superstep's fetch phase.
-		for _, ar := range e.inAreas {
-			e.arr.FreeArea(ar)
-		}
-		e.noteLive(e.inBlocks + dir.total)
-		route, err := simulateRouting(e.arr, e.acct, dir, func(m blockMeta) int { return groupOf(m.dst, e.k) }, e.groups)
-		if err != nil {
-			return nil, err
-		}
-		e.routeOps += route.stats.ops
-		e.ragged += route.stats.ragged
-		if route.stats.maxSkew > e.maxSkew {
-			e.maxSkew = route.stats.maxSkew
-		}
-		e.inRegions, e.inAreas, e.inBlocks = route.regions, route.areas, route.total
-		e.noteLive(route.total)
 	}
-	runStats := e.arr.Stats()
+	runStats := e.dsk.Stats()
 
-	vps, err := e.readFinalContexts()
-	if err != nil {
+	var vps []bsp.VP
+	if err := e.replayPhase(func() error {
+		var err error
+		vps, err = e.readFinalContexts()
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	finish := e.arr.Stats()
+	finish := e.dsk.Stats()
 	finish.Ops -= runStats.Ops
 	finish.ReadOps -= runStats.ReadOps
 	finish.WriteOps -= runStats.WriteOps
@@ -231,7 +240,194 @@ func (e *seqEngine) run() (*Result, error) {
 		MemHigh:            e.acct.High(),
 		LiveBlocksPerDrive: e.peakLive,
 	}
+	if e.fd != nil {
+		c := e.fd.Counters()
+		res.EM.FaultsInjected = c.Injected()
+		res.EM.ChecksumFailures = c.ChecksumFailures
+		res.EM.DriveFailures = c.DriveFailures
+		res.EM.Retries = c.Retries
+		res.EM.RetriedBlocks = c.RetriedBlocks
+		res.EM.MirrorOps = c.MirrorOps
+		res.EM.Replays = e.replays
+		res.EM.RecoveryOps = c.RecoveryOps + e.recoveryOps
+	}
 	return res, nil
+}
+
+// seqSnapshot is the superstep checkpoint manifest: everything needed
+// to roll the engine back to the last compound-superstep barrier.
+type seqSnapshot struct {
+	fd       *fault.Snapshot
+	rng      [4]uint64
+	recMark  int
+	acctMark int64
+	opsMark  int64
+	routeOps int64
+	ragged   int64
+	maxSkew  float64
+	peakLive int64
+}
+
+func (e *seqEngine) snapshot() seqSnapshot {
+	return seqSnapshot{
+		fd:       e.fd.Snapshot(),
+		rng:      e.rng.State(),
+		recMark:  e.rec.Mark(),
+		acctMark: e.acct.Mark(),
+		opsMark:  e.dsk.Stats().Ops,
+		routeOps: e.routeOps,
+		ragged:   e.ragged,
+		maxSkew:  e.maxSkew,
+		peakLive: e.peakLive,
+	}
+}
+
+func (e *seqEngine) restore(s seqSnapshot) {
+	e.fd.Restore(s.fd)
+	e.rng.SetState(s.rng)
+	e.rec.Rewind(s.recMark)
+	e.acct.Rewind(s.acctMark)
+	// The rolled-back attempt's charged operations were real work the
+	// model paid for recovery.
+	e.recoveryOps += e.dsk.Stats().Ops - s.opsMark
+	e.routeOps = s.routeOps
+	e.ragged = s.ragged
+	e.maxSkew = s.maxSkew
+	e.peakLive = s.peakLive
+}
+
+// replayPhase runs an idempotent whole-area phase (initial context
+// distribution, final context collection), re-running it when a
+// recoverable fault escapes the fault layer's own retries. The phases
+// neither allocate tracks nor leave partial state, so re-running is
+// the complete rollback.
+func (e *seqEngine) replayPhase(phase func() error) error {
+	err := phase()
+	r := 0
+	for ; err != nil && e.fd != nil && fault.Replayable(err) && r < maxReplays; r++ {
+		e.replays++
+		err = phase()
+	}
+	if err != nil && r >= maxReplays {
+		return fmt.Errorf("core: phase unrecoverable after %d replays: %w", r, err)
+	}
+	return err
+}
+
+// runStep runs one compound superstep (plus its routing phase). In
+// fault mode every recoverable fault that escaped the fault layer's
+// own retries rolls the engine back to the barrier and replays.
+func (e *seqEngine) runStep(step int) (halts, sends int, err error) {
+	if e.fd == nil {
+		return e.stepOnce(step)
+	}
+	for attempt := 0; ; attempt++ {
+		snap := e.snapshot()
+		halts, sends, err = e.stepOnce(step)
+		if err == nil {
+			return halts, sends, nil
+		}
+		if !fault.Replayable(err) {
+			return 0, 0, err
+		}
+		if attempt >= maxReplays {
+			return 0, 0, fmt.Errorf("core: superstep %d unrecoverable after %d replays: %w", step, attempt, err)
+		}
+		e.restore(snap)
+		e.replays++
+	}
+}
+
+// stepOnce runs one attempt of superstep step: the compound superstep,
+// then (when the program continues) the routing reorganization, then
+// the barrier commit.
+func (e *seqEngine) stepOnce(step int) (halts, sends int, err error) {
+	halts, sends, dir, err := e.compoundSuperstep(step)
+	if err != nil {
+		return 0, 0, err
+	}
+	if e.opts.NoRouting {
+		// Ablation: leave the blocks where the writing phase put
+		// them; the next fetch reads them scattered.
+		if halts == 0 {
+			e.noteLive(dir.total)
+			e.inDir = dir
+			// Observe the balance the fetch will pay for (Lemma 2).
+			for g := 0; g < e.groups; g++ {
+				R, maxPer := 0, 0
+				for d := 0; d < e.cfg.D; d++ {
+					n := len(dir.q[g][d])
+					R += n
+					if n > maxPer {
+						maxPer = n
+					}
+				}
+				if R > 0 {
+					if skew := float64(maxPer) * float64(e.cfg.D) / float64(R); skew > e.maxSkew {
+						e.maxSkew = skew
+					}
+				}
+			}
+		}
+		return halts, sends, nil
+	}
+	if halts != 0 {
+		// Unanimous halt (or a split vote the caller will reject):
+		// nothing left to route; commit the final contexts.
+		e.commitCtx()
+		return halts, sends, nil
+	}
+	// In normal operation the consumed input areas are freed before
+	// routing (they are dead weight); in fault mode they are the replay
+	// source, so their release waits for the barrier commit below.
+	if e.fd == nil {
+		for _, ar := range e.inAreas {
+			if err := disk.FreeArea(e.dsk, ar); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	e.noteLive(e.inBlocks + dir.total)
+	route, err := simulateRouting(e.dsk, e.acct, dir, func(m blockMeta) int { return groupOf(m.dst, e.k) }, e.groups)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Barrier commit: from here on the superstep is durable.
+	if e.fd != nil {
+		for _, ar := range e.inAreas {
+			if err := disk.FreeArea(e.dsk, ar); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	e.routeOps += route.stats.ops
+	e.ragged += route.stats.ragged
+	if route.stats.maxSkew > e.maxSkew {
+		e.maxSkew = route.stats.maxSkew
+	}
+	e.inRegions, e.inAreas, e.inBlocks = route.regions, route.areas, route.total
+	e.noteLive(route.total)
+	e.commitCtx()
+	return halts, sends, nil
+}
+
+// commitCtx makes the contexts written by the superstep the committed
+// generation (in fault mode, by flipping the double buffer).
+func (e *seqEngine) commitCtx() {
+	if e.fd != nil {
+		e.ctxCur ^= 1
+	}
+}
+
+// ctxRead returns the area holding the committed contexts; ctxWrite
+// the area the running superstep writes to. They coincide unless
+// fault-mode double-buffering is on.
+func (e *seqEngine) ctxRead() disk.Area { return e.ctxAreas[e.ctxCur] }
+func (e *seqEngine) ctxWrite() disk.Area {
+	if e.fd != nil {
+		return e.ctxAreas[e.ctxCur^1]
+	}
+	return e.ctxAreas[e.ctxCur]
 }
 
 // writeInitialContexts marshals every VP's initial state to the
@@ -255,7 +451,7 @@ func (e *seqEngine) writeInitialContexts() error {
 			}
 			copy(buf[(id-lo)*e.muBlocks*e.cfg.B:], enc.Words())
 		}
-		if err := e.arr.WriteRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.WriteRange(e.dsk, e.ctxRead(), lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
 			return err
 		}
 	}
@@ -273,7 +469,7 @@ func (e *seqEngine) readFinalContexts() ([]bsp.VP, error) {
 	buf := make([]uint64, bufWords)
 	for g := 0; g < e.groups; g++ {
 		lo, hi := e.groupBounds(g)
-		if err := e.arr.ReadRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.ReadRange(e.dsk, e.ctxRead(), lo*e.muBlocks, hi*e.muBlocks, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
 			return nil, err
 		}
 		for id := lo; id < hi; id++ {
@@ -290,6 +486,10 @@ func (e *seqEngine) readFinalContexts() ([]bsp.VP, error) {
 // computation phase, and write generated blocks and changed contexts.
 // It returns the number of halt votes, the number of messages sent,
 // and the output directory for SimulateRouting.
+//
+// On error the cost recorder's current step stays open and buffers
+// grabbed by the aborted attempt stay held; either the run aborts, or
+// fault-mode restore rewinds both to the barrier.
 func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirectory, err error) {
 	nbuckets := e.cfg.D
 	bucketKey := func(m blockMeta) int { return bucketOf(m.dst, e.v, e.cfg.D) }
@@ -299,7 +499,6 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 	}
 	dir = newOutDirectory(nbuckets, e.cfg.D)
 	e.rec.BeginStep()
-	defer e.rec.EndStep()
 
 	ctxWords := e.k * e.muBlocks * e.cfg.B
 	if err := e.acct.Grab(int64(ctxWords)); err != nil {
@@ -314,7 +513,11 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		return 0, 0, nil, err
 	}
 	defer e.acct.Release(int64(flushWords))
-	writer := newBlockWriter(e.arr, dir, bucketKey, e.rng, e.opts.Deterministic, make([]uint64, flushWords))
+	var down func(int) bool
+	if e.fd != nil {
+		down = e.fd.Down
+	}
+	writer := newBlockWriter(e.dsk, dir, bucketKey, e.rng, e.opts.Deterministic, down, make([]uint64, flushWords))
 
 	enc := words.NewEncoder(nil)
 	scratch := make([]uint64, e.cfg.B)
@@ -323,7 +526,7 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		n := hi - lo
 
 		// Fetching phase: contexts (Step 1(a)).
-		if err := e.arr.ReadRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.ReadRange(e.dsk, e.ctxRead(), lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
 			return 0, 0, nil, err
 		}
 		vps := make([]bsp.VP, n)
@@ -339,14 +542,14 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		var err error
 		if e.opts.NoRouting {
 			if e.inDir != nil {
-				buf, metas, grabbed, err = readScattered(e.arr, e.acct, e.inDir.q[g])
+				buf, metas, grabbed, err = readScattered(e.dsk, e.acct, e.inDir.q[g])
 			}
 		} else {
 			var regions []groupRegion
 			if g < len(e.inRegions) {
 				regions = e.inRegions[g]
 			}
-			buf, metas, grabbed, err = readRegions(e.arr, e.acct, regions)
+			buf, metas, grabbed, err = readRegions(e.dsk, e.acct, regions)
 		}
 		if err != nil {
 			return 0, 0, nil, err
@@ -433,9 +636,10 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 			}
 			copy(ctxBuf[i*e.muBlocks*e.cfg.B:], enc.Words())
 		}
-		if err := e.arr.WriteRange(e.ctxArea, lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
+		if err := disk.WriteRange(e.dsk, e.ctxWrite(), lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
 			return 0, 0, nil, err
 		}
 	}
+	e.rec.EndStep()
 	return halts, sends, dir, nil
 }

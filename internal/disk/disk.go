@@ -93,16 +93,21 @@ func (s Stats) Blocks() int64 { return s.BlocksRead + s.BlocksWritten }
 
 // Utilization returns the mean number of drives used per parallel I/O
 // operation divided by D: 1.0 means every operation moved D blocks.
+// A Stats with no operations or no per-drive table reports 0.
 func (s Stats) Utilization() float64 {
-	if s.Ops == 0 {
+	if s.Ops == 0 || len(s.PerDrive) == 0 {
 		return 0
 	}
 	return float64(s.Blocks()) / float64(s.Ops*int64(len(s.PerDrive)))
 }
 
 // Add accumulates other into s. The two must have the same drive count
-// (or s may be zero-valued).
+// (or s may be zero-valued); merging mismatched drive counts would
+// silently attribute traffic to the wrong drives, so it panics.
 func (s *Stats) Add(other Stats) {
+	if s.PerDrive != nil && other.PerDrive != nil && len(s.PerDrive) != len(other.PerDrive) {
+		panic(fmt.Sprintf("disk: Stats.Add of %d-drive stats into %d-drive stats", len(other.PerDrive), len(s.PerDrive)))
+	}
 	s.Ops += other.Ops
 	s.ReadOps += other.ReadOps
 	s.WriteOps += other.WriteOps
@@ -119,11 +124,39 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// Disk is the device-level contract of the simulated disk subsystem:
+// parallel track transfers, dynamic track allocation, and I/O
+// accounting. *Array is the perfect-hardware implementation; the
+// fault-injection layer (internal/fault) wraps any Disk with
+// checksums, retries and failure simulation. The layout helpers
+// (Reserve, ReadRange, WriteRange, FreeArea) are package functions
+// over this interface, so engines work identically on either.
+type Disk interface {
+	// Config returns the drive-count/block-size configuration.
+	Config() Config
+	// ReadOp performs one parallel read of at most one track per drive.
+	ReadOp(reqs []ReadReq) error
+	// WriteOp performs one parallel write of at most one track per drive.
+	WriteOp(reqs []WriteReq) error
+	// Alloc returns a free track on drive d.
+	Alloc(d int) int
+	// Release returns a track to drive d's free list, clearing it.
+	Release(d, t int) error
+	// ReserveRot allocates a standard-consecutive-format area with the
+	// given drive rotation.
+	ReserveRot(nBlocks, rot int) Area
+	// Stats returns a copy of the accumulated I/O statistics.
+	Stats() Stats
+	// ResetStats zeroes the statistics.
+	ResetStats()
+}
+
 type drive struct {
 	tracks    [][]uint64
 	freeList  []int
-	next      int // bump allocator high-water mark
-	lastTrack int // previously accessed track, -1 initially
+	freeSet   map[int]struct{} // mirrors freeList for O(1) double-free checks
+	next      int              // bump allocator high-water mark
+	lastTrack int              // previously accessed track, -1 initially
 }
 
 // Array simulates the D drives of one processor.
@@ -288,6 +321,7 @@ func (a *Array) Alloc(d int) int {
 	if n := len(dr.freeList); n > 0 {
 		t := dr.freeList[n-1]
 		dr.freeList = dr.freeList[:n-1]
+		delete(dr.freeSet, t)
 		return t
 	}
 	t := dr.next
@@ -296,13 +330,80 @@ func (a *Array) Alloc(d int) int {
 }
 
 // Release returns a track to the drive's free list. The track contents
-// are cleared so stale data cannot leak into later reads.
-func (a *Array) Release(d, t int) {
+// are cleared so stale data cannot leak into later reads. Releasing a
+// track that was never allocated, or releasing the same track twice,
+// is an error: a double free would hand the same track to two
+// allocations and silently corrupt the bucket structures built on it.
+func (a *Array) Release(d, t int) error {
+	if d < 0 || d >= a.cfg.D {
+		return fmt.Errorf("disk: Release drive %d out of range [0,%d)", d, a.cfg.D)
+	}
 	dr := &a.drives[d]
+	if t < 0 || t >= dr.next {
+		return fmt.Errorf("disk: Release track %d on drive %d outside allocated range [0,%d)", t, d, dr.next)
+	}
+	if _, free := dr.freeSet[t]; free {
+		return fmt.Errorf("disk: double release of track %d on drive %d", t, d)
+	}
 	if t < len(dr.tracks) {
 		dr.tracks[t] = nil
 	}
+	if dr.freeSet == nil {
+		dr.freeSet = make(map[int]struct{})
+	}
+	dr.freeSet[t] = struct{}{}
 	dr.freeList = append(dr.freeList, t)
+	return nil
+}
+
+// AllocMark is a snapshot of the array's track allocator, captured by
+// AllocSnapshot and restored by AllocRestore. It backs the engines'
+// superstep checkpoint manifests: rolling the allocator back to the
+// last compound-superstep barrier discards every track allocated by an
+// aborted attempt.
+type AllocMark struct {
+	next []int
+	free [][]int
+}
+
+// AllocSnapshot captures the allocator state (per-drive high-water
+// marks and free lists) for a later AllocRestore.
+func (a *Array) AllocSnapshot() AllocMark {
+	m := AllocMark{next: make([]int, a.cfg.D), free: make([][]int, a.cfg.D)}
+	for d := range a.drives {
+		m.next[d] = a.drives[d].next
+		m.free[d] = append([]int(nil), a.drives[d].freeList...)
+	}
+	return m
+}
+
+// AllocRestore rolls the allocator back to a snapshot and clears the
+// contents of every track that becomes unallocated by the rollback, so
+// data written by an aborted attempt cannot leak into later reads. The
+// caller must guarantee that no track that was allocated at snapshot
+// time has been released since (the engines' checkpoint discipline:
+// committed barrier state is only freed after the next barrier).
+func (a *Array) AllocRestore(m AllocMark) {
+	for d := range a.drives {
+		dr := &a.drives[d]
+		// Tracks allocated after the snapshot: wipe and retract.
+		for t := m.next[d]; t < dr.next; t++ {
+			if t < len(dr.tracks) {
+				dr.tracks[t] = nil
+			}
+		}
+		dr.next = m.next[d]
+		dr.freeList = append(dr.freeList[:0], m.free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			// Tracks the attempt popped off the free list and wrote:
+			// wipe on their way back to free.
+			if t < len(dr.tracks) {
+				dr.tracks[t] = nil
+			}
+			dr.freeSet[t] = struct{}{}
+		}
+	}
 }
 
 // Tracks returns the bump-allocator high-water mark of drive d: the

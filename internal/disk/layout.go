@@ -26,6 +26,9 @@ type Area struct {
 // requires).
 func (a *Array) Reserve(nBlocks int) Area { return a.ReserveRot(nBlocks, 0) }
 
+// Reserve allocates an area of nBlocks blocks on any Disk.
+func Reserve(dsk Disk, nBlocks int) Area { return dsk.ReserveRot(nBlocks, 0) }
+
 // ReserveRot allocates an area whose block-to-drive mapping is rotated
 // by rot: block i lives on drive (rot + i) mod D. Algorithm
 // SimulateRouting (Step 2) writes D bucket areas concurrently, one
@@ -78,11 +81,17 @@ func Slice(ar Area, off, n int) Area {
 
 // FreeArea releases every track of the area back to the drives' free
 // lists (contents cleared). The Area must not be used afterwards.
-func (a *Array) FreeArea(ar Area) {
+func (a *Array) FreeArea(ar Area) error { return FreeArea(a, ar) }
+
+// FreeArea releases every track of the area on any Disk.
+func FreeArea(dsk Disk, ar Area) error {
 	for i := 0; i < ar.n; i++ {
 		ad := ar.Addr(i)
-		a.Release(ad.Disk, ad.Track)
+		if err := dsk.Release(ad.Disk, ad.Track); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // ReadRange reads blocks [lo, hi) of the area into dst, which must
@@ -90,21 +99,27 @@ func (a *Array) FreeArea(ar Area) {
 // operations (each group of D consecutive block indices addresses D
 // distinct drives).
 func (a *Array) ReadRange(ar Area, lo, hi int, dst []uint64) error {
+	return ReadRange(a, ar, lo, hi, dst)
+}
+
+// ReadRange reads blocks [lo, hi) of the area on any Disk.
+func ReadRange(dsk Disk, ar Area, lo, hi int, dst []uint64) error {
+	cfg := dsk.Config()
 	if hi < lo || lo < 0 || hi > ar.n {
 		return fmt.Errorf("disk: ReadRange [%d,%d) out of area range [0,%d)", lo, hi, ar.n)
 	}
-	if len(dst) != (hi-lo)*a.cfg.B {
-		return fmt.Errorf("disk: ReadRange buffer has %d words, want %d", len(dst), (hi-lo)*a.cfg.B)
+	if len(dst) != (hi-lo)*cfg.B {
+		return fmt.Errorf("disk: ReadRange buffer has %d words, want %d", len(dst), (hi-lo)*cfg.B)
 	}
-	reqs := make([]ReadReq, 0, a.cfg.D)
-	for i := lo; i < hi; i += a.cfg.D {
+	reqs := make([]ReadReq, 0, cfg.D)
+	for i := lo; i < hi; i += cfg.D {
 		reqs = reqs[:0]
-		for j := i; j < hi && j < i+a.cfg.D; j++ {
+		for j := i; j < hi && j < i+cfg.D; j++ {
 			addr := ar.Addr(j)
-			off := (j - lo) * a.cfg.B
-			reqs = append(reqs, ReadReq{Disk: addr.Disk, Track: addr.Track, Dst: dst[off : off+a.cfg.B]})
+			off := (j - lo) * cfg.B
+			reqs = append(reqs, ReadReq{Disk: addr.Disk, Track: addr.Track, Dst: dst[off : off+cfg.B]})
 		}
-		if err := a.ReadOp(reqs); err != nil {
+		if err := dsk.ReadOp(reqs); err != nil {
 			return err
 		}
 	}
@@ -114,21 +129,27 @@ func (a *Array) ReadRange(ar Area, lo, hi int, dst []uint64) error {
 // WriteRange writes src to blocks [lo, hi) of the area with maximally
 // parallel I/O operations.
 func (a *Array) WriteRange(ar Area, lo, hi int, src []uint64) error {
+	return WriteRange(a, ar, lo, hi, src)
+}
+
+// WriteRange writes src to blocks [lo, hi) of the area on any Disk.
+func WriteRange(dsk Disk, ar Area, lo, hi int, src []uint64) error {
+	cfg := dsk.Config()
 	if hi < lo || lo < 0 || hi > ar.n {
 		return fmt.Errorf("disk: WriteRange [%d,%d) out of area range [0,%d)", lo, hi, ar.n)
 	}
-	if len(src) != (hi-lo)*a.cfg.B {
-		return fmt.Errorf("disk: WriteRange buffer has %d words, want %d", len(src), (hi-lo)*a.cfg.B)
+	if len(src) != (hi-lo)*cfg.B {
+		return fmt.Errorf("disk: WriteRange buffer has %d words, want %d", len(src), (hi-lo)*cfg.B)
 	}
-	reqs := make([]WriteReq, 0, a.cfg.D)
-	for i := lo; i < hi; i += a.cfg.D {
+	reqs := make([]WriteReq, 0, cfg.D)
+	for i := lo; i < hi; i += cfg.D {
 		reqs = reqs[:0]
-		for j := i; j < hi && j < i+a.cfg.D; j++ {
+		for j := i; j < hi && j < i+cfg.D; j++ {
 			addr := ar.Addr(j)
-			off := (j - lo) * a.cfg.B
-			reqs = append(reqs, WriteReq{Disk: addr.Disk, Track: addr.Track, Src: src[off : off+a.cfg.B]})
+			off := (j - lo) * cfg.B
+			reqs = append(reqs, WriteReq{Disk: addr.Disk, Track: addr.Track, Src: src[off : off+cfg.B]})
 		}
-		if err := a.WriteOp(reqs); err != nil {
+		if err := dsk.WriteOp(reqs); err != nil {
 			return err
 		}
 	}

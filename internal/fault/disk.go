@@ -1,0 +1,494 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"embsp/internal/disk"
+	"embsp/internal/prng"
+)
+
+// DefaultMaxRetries is the retry budget used when the caller passes 0
+// to Wrap. With per-block fault rates r well below 1, the probability
+// that 8 consecutive attempts of one operation all fault is r^9 —
+// negligible — so unrecoverable transient faults essentially only
+// occur when retries are disabled deliberately.
+const DefaultMaxRetries = 8
+
+type addr struct{ d, t int }
+
+// Disk wraps an underlying disk.Array with the fault layer: injection
+// according to a Plan, per-track checksums, bounded charged retries,
+// optional mirroring, and dead-drive redirection. It implements
+// disk.Disk, so the engines and the layout helpers run on it
+// unchanged.
+//
+// Disk is not safe for concurrent use; the engines give each real
+// processor its own wrapped array, exactly as they give each its own
+// disk.Array.
+type Disk struct {
+	inner      *disk.Array
+	plan       Plan
+	maxRetries int
+	rng        *prng.Rand
+
+	attempts int64 // operation attempts seen, the fault-schedule clock
+	dead     []bool
+	sums     map[addr]uint64    // checksum per written physical track
+	mirrors  map[addr]disk.Addr // primary -> mirror copy location
+	ctr      Counters
+}
+
+// Wrap layers the fault model over an array. maxRetries bounds the
+// transparent retry policy: 0 means DefaultMaxRetries, negative
+// disables retries entirely (every transient fault escapes to the
+// caller as a recoverable error). Mirroring requires at least two
+// drives.
+func Wrap(a *disk.Array, plan Plan, maxRetries int) (*Disk, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := a.Config()
+	if plan.FailDriveOp > 0 && plan.FailDrive >= cfg.D {
+		return nil, fmt.Errorf("fault: FailDrive = %d, machine has %d drives", plan.FailDrive, cfg.D)
+	}
+	if plan.Mirrored() && cfg.D < 2 {
+		return nil, fmt.Errorf("fault: mirroring requires D >= 2, have D = %d", cfg.D)
+	}
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	return &Disk{
+		inner:      a,
+		plan:       plan,
+		maxRetries: maxRetries,
+		rng:        prng.New(prng.Derive(plan.Seed, 0xFA01)),
+		dead:       make([]bool, cfg.D),
+		sums:       make(map[addr]uint64),
+		mirrors:    make(map[addr]disk.Addr),
+	}, nil
+}
+
+// MustWrap is Wrap for statically valid plans.
+func MustWrap(a *disk.Array, plan Plan, maxRetries int) *Disk {
+	f, err := Wrap(a, plan, maxRetries)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the underlying configuration.
+func (f *Disk) Config() disk.Config { return f.inner.Config() }
+
+// Stats returns the underlying I/O statistics (retries, mirror writes
+// and redirect splits are all real charged operations and appear
+// here).
+func (f *Disk) Stats() disk.Stats { return f.inner.Stats() }
+
+// ResetStats resets the underlying statistics.
+func (f *Disk) ResetStats() { f.inner.ResetStats() }
+
+// Counters returns the fault and recovery accounting.
+func (f *Disk) Counters() Counters { return f.ctr }
+
+// Down reports whether drive d has failed permanently.
+func (f *Disk) Down(d int) bool { return f.dead[d] }
+
+// LiveDrives returns the number of drives still serving I/O.
+func (f *Disk) LiveDrives() int {
+	n := 0
+	for _, dd := range f.dead {
+		if !dd {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc allocates a track. Allocation is directory metadata, not an
+// I/O operation, so it never faults; I/O on a track whose drive has
+// died is redirected at operation time.
+func (f *Disk) Alloc(d int) int { return f.inner.Alloc(d) }
+
+// ReserveRot reserves a standard-consecutive-format area.
+func (f *Disk) ReserveRot(nBlocks, rot int) disk.Area { return f.inner.ReserveRot(nBlocks, rot) }
+
+// Release frees a track, its checksum, and its mirror copy (if any).
+func (f *Disk) Release(d, t int) error {
+	key := addr{d, t}
+	if m, ok := f.mirrors[key]; ok {
+		delete(f.mirrors, key)
+		delete(f.sums, addr{m.Disk, m.Track})
+		if err := f.inner.Release(m.Disk, m.Track); err != nil {
+			return err
+		}
+	}
+	delete(f.sums, key)
+	return f.inner.Release(d, t)
+}
+
+// checksum is an FNV-1a-style fold over the block's words; any single
+// bit flip changes it.
+func checksum(ws []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range ws {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mirrorDrive returns the live partner drive for d, preferring the
+// next drive in cyclic order.
+func (f *Disk) mirrorDrive(d int) (int, bool) {
+	D := len(f.dead)
+	for i := 1; i < D; i++ {
+		md := (d + i) % D
+		if !f.dead[md] {
+			return md, true
+		}
+	}
+	return 0, false
+}
+
+// tick advances the fault-schedule clock by one operation attempt and
+// reports whether injection is active for it, handling the scheduled
+// drive death.
+func (f *Disk) tick() (inject bool, dying int) {
+	idx := f.attempts
+	f.attempts++
+	dying = -1
+	if f.plan.FailDriveOp > 0 && idx >= f.plan.FailDriveOp && !f.dead[f.plan.FailDrive] {
+		f.dead[f.plan.FailDrive] = true
+		f.ctr.DriveFailures++
+		dying = f.plan.FailDrive
+	}
+	return idx >= f.plan.FirstOp, dying
+}
+
+// resolve maps a logical track address to its current physical
+// location: the track itself while its drive lives, the mirror copy
+// after the drive died. The second result is false if the data is
+// gone for good.
+func (f *Disk) resolve(d, t int) (disk.Addr, bool) {
+	if !f.dead[d] {
+		return disk.Addr{Disk: d, Track: t}, true
+	}
+	if m, ok := f.mirrors[addr{d, t}]; ok {
+		return m, true
+	}
+	return disk.Addr{}, false
+}
+
+// groupsOf partitions n requests (physical drive given by driveAt)
+// into maximal runs with pairwise-distinct drives, preserving order.
+// With no drive dead this yields a single group; after a drive loss,
+// redirected requests can collide with survivors and force extra
+// operations — the degradation the model charges for.
+func groupsOf(n int, driveAt func(int) int) [][]int {
+	var groups [][]int
+	var cur []int
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		d := driveAt(i)
+		if seen[d] {
+			groups = append(groups, cur)
+			cur = nil
+			seen = make(map[int]bool)
+		}
+		seen[d] = true
+		cur = append(cur, i)
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// ReadOp performs one parallel read with fault injection, checksum
+// verification, dead-drive redirection and bounded retries. Every
+// attempt — including failed ones — is charged against the underlying
+// array, so recovery is visible in the model's I/O cost exactly as the
+// issue's retry-with-backoff policy prescribes.
+func (f *Disk) ReadOp(reqs []disk.ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	for try := 0; ; try++ {
+		err := f.readAttempt(reqs)
+		if err == nil {
+			return nil
+		}
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() || try >= f.maxRetries {
+			return err
+		}
+		f.ctr.Retries++
+		f.ctr.RetriedBlocks += int64(len(reqs))
+	}
+}
+
+func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
+	inject, dying := f.tick()
+	if dying >= 0 {
+		for _, r := range reqs {
+			if r.Disk == dying {
+				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "read", Recoverable: f.plan.Mirrored()}
+			}
+		}
+	}
+
+	// Draw the fault schedule for this attempt before doing any I/O,
+	// so the schedule depends only on the operation sequence.
+	failIdx, corrupt := -1, []int(nil)
+	if inject {
+		for i := range reqs {
+			if f.plan.ReadErrorRate > 0 && f.rng.Float64() < f.plan.ReadErrorRate && failIdx < 0 {
+				failIdx = i
+			}
+			if f.plan.CorruptRate > 0 && f.rng.Float64() < f.plan.CorruptRate {
+				corrupt = append(corrupt, i)
+			}
+		}
+	}
+
+	// Resolve physical locations (mirror redirect for dead drives).
+	phys := make([]disk.Addr, len(reqs))
+	for i, r := range reqs {
+		p, ok := f.resolve(r.Disk, r.Track)
+		if !ok {
+			return &Error{Kind: DriveLoss, Disk: r.Disk, Track: r.Track, Op: "read", Recoverable: false}
+		}
+		phys[i] = p
+	}
+
+	// Issue, splitting into extra operations where redirection causes
+	// drive collisions.
+	groups := groupsOf(len(reqs), func(i int) int { return phys[i].Disk })
+	for _, g := range groups {
+		sub := make([]disk.ReadReq, 0, len(g))
+		for _, i := range g {
+			sub = append(sub, disk.ReadReq{Disk: phys[i].Disk, Track: phys[i].Track, Dst: reqs[i].Dst})
+		}
+		if err := f.inner.ReadOp(sub); err != nil {
+			return err
+		}
+	}
+	f.ctr.RecoveryOps += int64(len(groups) - 1)
+
+	// The transient failure is reported after the transfer was
+	// attempted: the operation is charged, its completion is lost.
+	if failIdx >= 0 {
+		f.ctr.InjectedReadFaults++
+		f.ctr.RecoveryOps++ // the re-issue this failure forces
+		return &Error{Kind: TransientRead, Disk: reqs[failIdx].Disk, Track: reqs[failIdx].Track, Op: "read", Recoverable: true}
+	}
+
+	// In-flight corruption: flip one deterministic bit of the
+	// delivered block (only meaningful for checksummed tracks).
+	for _, i := range corrupt {
+		if _, ok := f.sums[addr{phys[i].Disk, phys[i].Track}]; !ok {
+			continue
+		}
+		w := int(f.rng.Uint64() % uint64(len(reqs[i].Dst)))
+		bit := uint(f.rng.Uint64() % 64)
+		reqs[i].Dst[w] ^= 1 << bit
+		f.ctr.InjectedCorruptions++
+	}
+
+	// Verify checksums of everything delivered.
+	for i, r := range reqs {
+		want, ok := f.sums[addr{phys[i].Disk, phys[i].Track}]
+		if !ok {
+			continue
+		}
+		if got := checksum(r.Dst); got != want {
+			f.ctr.ChecksumFailures++
+			f.ctr.RecoveryOps++ // the re-read this detection forces
+			return &Error{Kind: Corruption, Disk: r.Disk, Track: r.Track, Op: "read", Recoverable: true}
+		}
+	}
+	return nil
+}
+
+// WriteOp performs one parallel write with fault injection, checksum
+// recording, mirroring and bounded retries.
+func (f *Disk) WriteOp(reqs []disk.WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	for try := 0; ; try++ {
+		err := f.writeAttempt(reqs)
+		if err == nil {
+			return nil
+		}
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() || try >= f.maxRetries {
+			return err
+		}
+		f.ctr.Retries++
+		f.ctr.RetriedBlocks += int64(len(reqs))
+	}
+}
+
+func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
+	inject, dying := f.tick()
+	if dying >= 0 {
+		for _, r := range reqs {
+			if r.Disk == dying {
+				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "write", Recoverable: f.plan.Mirrored()}
+			}
+		}
+	}
+
+	failIdx := -1
+	if inject && f.plan.WriteErrorRate > 0 {
+		for i := range reqs {
+			if f.rng.Float64() < f.plan.WriteErrorRate && failIdx < 0 {
+				failIdx = i
+			}
+		}
+	}
+
+	// Resolve primaries: a write whose home drive died lands on its
+	// mirror location (allocated on a surviving partner on first use),
+	// which from then on is the block's single, degraded copy.
+	phys := make([]disk.Addr, len(reqs))
+	mirrored := make([]bool, len(reqs)) // true when phys is already the mirror
+	for i, r := range reqs {
+		key := addr{r.Disk, r.Track}
+		if !f.dead[r.Disk] {
+			phys[i] = disk.Addr{Disk: r.Disk, Track: r.Track}
+			continue
+		}
+		m, ok := f.mirrors[key]
+		if !ok {
+			md, live := f.mirrorDrive(r.Disk)
+			if !live {
+				return &Error{Kind: DriveLoss, Disk: r.Disk, Track: r.Track, Op: "write", Recoverable: false}
+			}
+			m = disk.Addr{Disk: md, Track: f.inner.Alloc(md)}
+			f.mirrors[key] = m
+		}
+		phys[i] = m
+		mirrored[i] = true
+	}
+
+	groups := groupsOf(len(reqs), func(i int) int { return phys[i].Disk })
+	for _, g := range groups {
+		sub := make([]disk.WriteReq, 0, len(g))
+		for _, i := range g {
+			sub = append(sub, disk.WriteReq{Disk: phys[i].Disk, Track: phys[i].Track, Src: reqs[i].Src})
+		}
+		if err := f.inner.WriteOp(sub); err != nil {
+			return err
+		}
+	}
+	f.ctr.RecoveryOps += int64(len(groups) - 1)
+
+	// Record checksums for the physical locations written.
+	for i, r := range reqs {
+		f.sums[addr{phys[i].Disk, phys[i].Track}] = checksum(r.Src)
+	}
+
+	if failIdx >= 0 {
+		f.ctr.InjectedWriteFaults++
+		f.ctr.RecoveryOps++ // the re-issue this failure forces
+		return &Error{Kind: TransientWrite, Disk: reqs[failIdx].Disk, Track: reqs[failIdx].Track, Op: "write", Recoverable: true}
+	}
+
+	// Mirror copies on live partner drives.
+	if f.plan.Mirrored() {
+		type mreq struct {
+			i int
+			m disk.Addr
+		}
+		var ms []mreq
+		for i, r := range reqs {
+			if mirrored[i] {
+				continue // the primary is gone; its mirror was just written
+			}
+			key := addr{r.Disk, r.Track}
+			m, ok := f.mirrors[key]
+			if !ok {
+				md, live := f.mirrorDrive(r.Disk)
+				if !live {
+					continue
+				}
+				m = disk.Addr{Disk: md, Track: f.inner.Alloc(md)}
+				f.mirrors[key] = m
+			}
+			ms = append(ms, mreq{i, m})
+		}
+		mgroups := groupsOf(len(ms), func(j int) int { return ms[j].m.Disk })
+		for _, g := range mgroups {
+			sub := make([]disk.WriteReq, 0, len(g))
+			for _, j := range g {
+				sub = append(sub, disk.WriteReq{Disk: ms[j].m.Disk, Track: ms[j].m.Track, Src: reqs[ms[j].i].Src})
+			}
+			if err := f.inner.WriteOp(sub); err != nil {
+				return err
+			}
+			f.ctr.MirrorOps++
+		}
+		for _, mr := range ms {
+			f.sums[addr{mr.m.Disk, mr.m.Track}] = checksum(reqs[mr.i].Src)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the fault layer's rollback state: the underlying
+// allocator and the checksum and mirror directories. Together with the
+// engine-side manifest (superstep index, context-area cursor, PRNG
+// state) it forms the superstep checkpoint. Fault counters, the fault
+// schedule clock and dead drives are deliberately not part of it: a
+// replay is new work under new draws, not a rewind of history.
+type Snapshot struct {
+	alloc   disk.AllocMark
+	sums    map[addr]uint64
+	mirrors map[addr]disk.Addr
+}
+
+// Snapshot captures rollback state at a compound-superstep barrier.
+func (f *Disk) Snapshot() *Snapshot {
+	s := &Snapshot{
+		alloc:   f.inner.AllocSnapshot(),
+		sums:    make(map[addr]uint64, len(f.sums)),
+		mirrors: make(map[addr]disk.Addr, len(f.mirrors)),
+	}
+	for k, v := range f.sums {
+		s.sums[k] = v
+	}
+	for k, v := range f.mirrors {
+		s.mirrors[k] = v
+	}
+	return s
+}
+
+// Restore rolls the fault layer and the underlying allocator back to a
+// snapshot. The snapshot remains valid for further Restores (replays
+// can themselves fault).
+func (f *Disk) Restore(s *Snapshot) {
+	f.inner.AllocRestore(s.alloc)
+	f.sums = make(map[addr]uint64, len(s.sums))
+	for k, v := range s.sums {
+		f.sums[k] = v
+	}
+	f.mirrors = make(map[addr]disk.Addr, len(s.mirrors))
+	for k, v := range s.mirrors {
+		f.mirrors[k] = v
+	}
+}
+
+// Replayable reports whether err contains a fault the engines can
+// recover from by rolling back to the last compound-superstep barrier
+// and replaying.
+func Replayable(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Recoverable
+}

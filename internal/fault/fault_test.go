@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"embsp/internal/disk"
+)
+
+func testArray(t *testing.T, d, b int) *disk.Array {
+	t.Helper()
+	return disk.MustNewArray(disk.Config{D: d, B: b})
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		plan Plan
+		ok   bool
+	}{
+		{Plan{}, true},
+		{Plan{ReadErrorRate: 0.5, WriteErrorRate: 0.99, CorruptRate: 0}, true},
+		{Plan{ReadErrorRate: -0.1}, false},
+		{Plan{WriteErrorRate: 1.0}, false},
+		{Plan{CorruptRate: 1.5}, false},
+		{Plan{FirstOp: -1}, false},
+		{Plan{FailDrive: -1}, false},
+		{Plan{FailProc: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.plan, err, c.ok)
+		}
+	}
+}
+
+func TestWrapRejectsImpossiblePlans(t *testing.T) {
+	a := testArray(t, 2, 4)
+	if _, err := Wrap(a, Plan{FailDriveOp: 5, FailDrive: 2}, 0); err == nil {
+		t.Error("FailDrive beyond D accepted")
+	}
+	one := testArray(t, 1, 4)
+	if _, err := Wrap(one, Plan{Mirror: true}, 0); err == nil {
+		t.Error("mirroring on a single drive accepted")
+	}
+	if _, err := Wrap(one, Plan{FailDriveOp: 5}, 0); err == nil {
+		t.Error("drive death without a mirror partner accepted")
+	}
+}
+
+func TestFaultFreePassThrough(t *testing.T) {
+	f := MustWrap(testArray(t, 2, 2), Plan{Seed: 1}, 0)
+	tr := f.Alloc(0)
+	if err := f.WriteOp([]disk.WriteReq{{Disk: 0, Track: tr, Src: []uint64{3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 2)
+	if err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: tr, Dst: dst}}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("round trip gave %v", dst)
+	}
+	if c := f.Counters(); c.Injected() != 0 || c.Retries != 0 || c.RecoveryOps != 0 {
+		t.Errorf("fault-free plan produced counters %+v", c)
+	}
+}
+
+// TestRetriesAbsorbTransients: with the default retry budget, moderate
+// transient rates never escape to the caller, and the recovery work is
+// counted.
+func TestRetriesAbsorbTransients(t *testing.T) {
+	f := MustWrap(testArray(t, 4, 4), Plan{Seed: 3, ReadErrorRate: 0.2, WriteErrorRate: 0.2}, 0)
+	src := []uint64{1, 2, 3, 4}
+	dst := make([]uint64, 4)
+	for i := 0; i < 200; i++ {
+		tr := f.Alloc(i % 4)
+		if err := f.WriteOp([]disk.WriteReq{{Disk: i % 4, Track: tr, Src: src}}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := f.ReadOp([]disk.ReadReq{{Disk: i % 4, Track: tr, Dst: dst}}); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	c := f.Counters()
+	if c.InjectedReadFaults == 0 || c.InjectedWriteFaults == 0 {
+		t.Errorf("no faults injected at 20%% rates: %+v", c)
+	}
+	if c.Retries == 0 || c.RetriedBlocks == 0 {
+		t.Errorf("faults injected but nothing retried: %+v", c)
+	}
+	if c.RecoveryOps < c.Retries {
+		t.Errorf("RecoveryOps=%d < Retries=%d; every retry is a charged op", c.RecoveryOps, c.Retries)
+	}
+	// Retries are real charged operations on the underlying array.
+	if ops := f.Stats().Ops; ops < 400+c.Retries {
+		t.Errorf("Stats().Ops=%d does not include the %d retries", ops, c.Retries)
+	}
+}
+
+// TestCorruptionDetected: with retries disabled, an injected corruption
+// surfaces as a typed recoverable Corruption error.
+func TestCorruptionDetected(t *testing.T) {
+	f := MustWrap(testArray(t, 1, 4), Plan{Seed: 2, CorruptRate: 0.9}, -1)
+	src := []uint64{9, 8, 7, 6}
+	tr := f.Alloc(0)
+	if err := f.WriteOp([]disk.WriteReq{{Disk: 0, Track: tr, Src: src}}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4)
+	var sawCorruption bool
+	for i := 0; i < 50 && !sawCorruption; i++ {
+		err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: tr, Dst: dst}})
+		if err == nil {
+			continue
+		}
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		if fe.Kind != Corruption || !fe.Recoverable || fe.Disk != 0 || fe.Track != tr {
+			t.Fatalf("unexpected error: %+v", fe)
+		}
+		sawCorruption = true
+	}
+	if !sawCorruption {
+		t.Fatal("90% corruption rate never detected in 50 reads")
+	}
+	if c := f.Counters(); c.ChecksumFailures == 0 || c.InjectedCorruptions == 0 {
+		t.Errorf("counters missed the corruption: %+v", c)
+	}
+	// A clean re-read eventually delivers the true data: corruption is
+	// in-flight, not on the platter.
+	for i := 0; i < 200; i++ {
+		if err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: tr, Dst: dst}}); err == nil {
+			break
+		}
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("clean re-read gave %v, want %v", dst, src)
+		}
+	}
+}
+
+// TestUncheckedBlocksNotCorrupted: corruption only strikes checksummed
+// (written) tracks, so blank reads stay exact zeros.
+func TestUncheckedBlocksNotCorrupted(t *testing.T) {
+	f := MustWrap(testArray(t, 1, 4), Plan{Seed: 2, CorruptRate: 0.9}, 0)
+	dst := make([]uint64, 4)
+	for i := 0; i < 50; i++ {
+		if err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: i, Dst: dst}}); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range dst {
+			if w != 0 {
+				t.Fatalf("blank track corrupted: %v", dst)
+			}
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() Counters {
+		f := MustWrap(testArray(t, 2, 2), Plan{Seed: 11, ReadErrorRate: 0.3, WriteErrorRate: 0.3, CorruptRate: 0.3}, 0)
+		src := []uint64{1, 2}
+		dst := make([]uint64, 2)
+		for i := 0; i < 100; i++ {
+			tr := f.Alloc(i % 2)
+			if err := f.WriteOp([]disk.WriteReq{{Disk: i % 2, Track: tr, Src: src}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.ReadOp([]disk.ReadReq{{Disk: i % 2, Track: tr, Dst: dst}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Counters()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different schedules:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestFirstOpDelaysInjection(t *testing.T) {
+	f := MustWrap(testArray(t, 1, 2), Plan{Seed: 5, ReadErrorRate: 0.9, FirstOp: 1 << 40}, 0)
+	dst := make([]uint64, 2)
+	for i := 0; i < 100; i++ {
+		if err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: i, Dst: dst}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := f.Counters(); c.Injected() != 0 {
+		t.Errorf("faults injected before FirstOp: %+v", c)
+	}
+}
+
+// TestDriveDeathRedirection: after the scheduled death, reads of
+// mirrored tracks are served from the mirror copies and writes land on
+// survivors.
+func TestDriveDeathRedirection(t *testing.T) {
+	f := MustWrap(testArray(t, 3, 2), Plan{Seed: 7, FailDriveOp: 10, FailDrive: 1, Mirror: true}, 0)
+	// Ten mirrored writes before the death.
+	tracks := make([]int, 10)
+	for i := range tracks {
+		tracks[i] = f.Alloc(1)
+		src := []uint64{uint64(i), uint64(i) * 3}
+		if err := f.WriteOp([]disk.WriteReq{{Disk: 1, Track: tracks[i], Src: src}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The next op trips the death; the error names the drive and is
+	// recoverable because copies exist.
+	dst := make([]uint64, 2)
+	err := f.ReadOp([]disk.ReadReq{{Disk: 1, Track: tracks[0], Dst: dst}})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != DriveLoss || fe.Disk != 1 || !fe.Recoverable {
+		t.Fatalf("death op error = %v, want recoverable DriveLoss on drive 1", err)
+	}
+	if !f.Down(1) || f.LiveDrives() != 2 {
+		t.Fatalf("drive 1 not marked dead: down=%v live=%d", f.Down(1), f.LiveDrives())
+	}
+	// Replay of the read: served from the mirror, data intact.
+	for i, tr := range tracks {
+		if err := f.ReadOp([]disk.ReadReq{{Disk: 1, Track: tr, Dst: dst}}); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != uint64(i) || dst[1] != uint64(i)*3 {
+			t.Fatalf("track %d after death: %v, want [%d %d]", tr, dst, i, i*3)
+		}
+	}
+	// Writes addressed to the dead drive keep working.
+	tr := f.Alloc(1)
+	if err := f.WriteOp([]disk.WriteReq{{Disk: 1, Track: tr, Src: []uint64{42, 43}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadOp([]disk.ReadReq{{Disk: 1, Track: tr, Dst: dst}}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 42 || dst[1] != 43 {
+		t.Fatalf("post-death write round trip: %v", dst)
+	}
+	if c := f.Counters(); c.DriveFailures != 1 || c.MirrorOps == 0 {
+		t.Errorf("counters after death: %+v", c)
+	}
+}
+
+// TestLostDataIsFatal: a read of a dead drive's track with no
+// surviving copy is an unrecoverable DriveLoss. A scheduled death
+// always implies mirroring, so the copy is removed white-box to reach
+// the data-gone path.
+func TestLostDataIsFatal(t *testing.T) {
+	f := MustWrap(testArray(t, 2, 2), Plan{Seed: 7, FailDriveOp: 1, FailDrive: 0}, 0)
+	tr := f.Alloc(0)
+	if err := f.WriteOp([]disk.WriteReq{{Disk: 0, Track: tr, Src: []uint64{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 2)
+	err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: tr, Dst: dst}}) // trips the death
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != DriveLoss || !fe.Recoverable {
+		t.Fatalf("death op error = %v, want recoverable DriveLoss", err)
+	}
+	// Simulate the mirror copy also being gone.
+	delete(f.mirrors, addr{0, tr})
+	err = f.ReadOp([]disk.ReadReq{{Disk: 0, Track: tr, Dst: dst}})
+	if !errors.As(err, &fe) || fe.Kind != DriveLoss || fe.Recoverable {
+		t.Fatalf("read of lost data = %v, want unrecoverable DriveLoss", err)
+	}
+	if Replayable(err) {
+		t.Error("unrecoverable loss reported as replayable")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	f := MustWrap(testArray(t, 2, 2), Plan{Seed: 1}, 0)
+	committed := f.Alloc(0)
+	if err := f.WriteOp([]disk.WriteReq{{Disk: 0, Track: committed, Src: []uint64{5, 6}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.Snapshot()
+	// The attempt writes new tracks, then is rolled back.
+	for i := 0; i < 5; i++ {
+		tr := f.Alloc(1)
+		if err := f.WriteOp([]disk.WriteReq{{Disk: 1, Track: tr, Src: []uint64{7, 8}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Restore(snap)
+	dst := make([]uint64, 2)
+	if err := f.ReadOp([]disk.ReadReq{{Disk: 0, Track: committed, Dst: dst}}); err != nil {
+		t.Fatalf("committed track fails checksum after rollback: %v", err)
+	}
+	if dst[0] != 5 || dst[1] != 6 {
+		t.Errorf("committed data lost: %v", dst)
+	}
+	// The attempt's tracks are free again and their checksums gone.
+	if tr := f.Alloc(1); tr != 0 {
+		t.Errorf("allocator not rolled back: Alloc = %d, want 0", tr)
+	}
+}
+
+func TestReplayable(t *testing.T) {
+	rec := &Error{Kind: TransientRead, Recoverable: true}
+	if !Replayable(rec) {
+		t.Error("recoverable error not replayable")
+	}
+	if !Replayable(errors.Join(fmt.Errorf("wrap: %w", rec), errors.New("other"))) {
+		t.Error("joined recoverable error not replayable")
+	}
+	if Replayable(&Error{Kind: DriveLoss, Recoverable: false}) {
+		t.Error("unrecoverable error replayable")
+	}
+	if Replayable(errors.New("plain")) || Replayable(nil) {
+		t.Error("non-fault errors replayable")
+	}
+}
+
+func TestGroupsOf(t *testing.T) {
+	drives := []int{0, 1, 2, 0, 1, 0}
+	got := groupsOf(len(drives), func(i int) int { return drives[i] })
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if len(got) != len(want) {
+		t.Fatalf("groupsOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("groupsOf = %v, want %v", got, want)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("groupsOf = %v, want %v", got, want)
+			}
+		}
+	}
+	if g := groupsOf(0, nil); len(g) != 0 {
+		t.Errorf("groupsOf(0) = %v, want empty", g)
+	}
+}

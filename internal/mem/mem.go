@@ -55,3 +55,17 @@ func (a *Accountant) Release(n int64) {
 	}
 	a.used -= n
 }
+
+// Mark returns the current usage, for a later Rewind.
+func (a *Accountant) Mark() int64 { return a.used }
+
+// Rewind resets usage to a previous Mark. The EM engines use it when a
+// fault aborts a superstep attempt partway: buffers grabbed by the
+// aborted attempt are dropped wholesale rather than released one by
+// one along the unwound error path.
+func (a *Accountant) Rewind(used int64) {
+	if used < 0 || used > a.used {
+		panic(fmt.Sprintf("mem: rewind to %d with %d held", used, a.used))
+	}
+	a.used = used
+}

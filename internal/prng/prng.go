@@ -94,6 +94,14 @@ func (r *Rand) Intn(n int) int {
 // Int63 returns a uniform non-negative int64.
 func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
 
+// State returns the generator's internal state. The engines store it
+// in superstep checkpoint manifests so a rolled-back superstep can be
+// replayed with identical draws.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured by State.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
