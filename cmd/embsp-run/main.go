@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"embsp"
 	"embsp/internal/prng"
@@ -192,6 +196,36 @@ func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []
 	return
 }
 
+// killProgram wraps a Program so that one VP hard-kills the process
+// with SIGKILL — no deferred cleanup, exactly like a power loss — when
+// it starts computing superstep killStep. It exists for the
+// crash-recovery end-to-end test; the resumed invocation must not pass
+// -kill-step again.
+type killProgram struct {
+	embsp.Program
+	killStep int
+}
+
+func (p *killProgram) NewVP(id int) embsp.VP {
+	vp := p.Program.NewVP(id)
+	if id == p.Program.NumVPs()/2 {
+		return &killVP{VP: vp, killStep: p.killStep}
+	}
+	return vp
+}
+
+type killVP struct {
+	embsp.VP
+	killStep int
+}
+
+func (k *killVP) Step(env *embsp.Env, in []embsp.Message) (bool, error) {
+	if env.Superstep() == k.killStep {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
+	return k.VP.Step(env, in)
+}
+
 // parseFaultPlan turns the -faults flag value into a fault plan. A
 // plain float r is shorthand for read=r,write=r,corrupt=r; the long
 // form is a comma-separated list of key=value fields:
@@ -280,7 +314,10 @@ func main() {
 	det := flag.Bool("deterministic", false, "deterministic (CGM) block placement")
 	faults := flag.String("faults", "", "fault plan: a rate (e.g. 0.01) or read=R,write=R,corrupt=R,firstop=N,faildrive=D@OP,failproc=P,mirror")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault schedule")
-	maxRetries := flag.Int("max-retries", 0, "transient-fault retry budget per op (0 = default, negative disables retries)")
+	maxRetries := flag.Int("max-retries", 0, "transient-fault retry budget per op (0 = default, -1 disables retries)")
+	stateDir := flag.String("state-dir", "", "directory for durable on-disk state and the superstep journal")
+	resume := flag.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
+	killStep := flag.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
 	flag.Parse()
 
 	var spec *algSpec
@@ -308,7 +345,10 @@ func main() {
 		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
 		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(*b), Pkt: *b, L: 100},
 	}
-	opts := embsp.Options{Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries}
+	opts := embsp.Options{
+		Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries,
+		StateDir: *stateDir, Resume: *resume,
+	}
 	if *faults != "" {
 		plan, err := parseFaultPlan(*faults, *faultSeed)
 		if err != nil {
@@ -317,9 +357,21 @@ func main() {
 		}
 		opts.FaultPlan = plan
 	}
-	res, err := embsp.Run(prog, cfg, opts)
+	if *killStep >= 0 {
+		prog = &killProgram{Program: prog, killStep: *killStep}
+	}
+
+	// SIGINT/SIGTERM stop the run at the next superstep barrier; with a
+	// -state-dir the journal is left at the last committed superstep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := embsp.RunContext(ctx, prog, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) && *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "state saved; continue with: embsp-run -state-dir %s -resume (plus the original flags)\n", *stateDir)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("%s: %s\n", *alg, describe(res))

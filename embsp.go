@@ -30,9 +30,13 @@
 package embsp
 
 import (
+	"context"
+
 	"embsp/internal/bsp"
 	"embsp/internal/core"
+	"embsp/internal/disk"
 	"embsp/internal/fault"
+	"embsp/internal/journal"
 )
 
 // Core model types, re-exported from the engine packages.
@@ -71,6 +75,19 @@ type (
 	// FaultError is the typed error the fault layer reports when
 	// recovery is impossible (e.g. an unmirrored drive loss).
 	FaultError = fault.Error
+	// ProgramError is the typed error returned when a Program's Step
+	// panics: the panic is recovered in every engine and reported with
+	// the VP id, superstep and stack instead of crashing the process.
+	ProgramError = bsp.ProgramError
+	// JournalError is the typed error reported when the write-ahead
+	// superstep journal in Options.StateDir is damaged (truncated HEAD,
+	// corrupt record, fewer intact records than committed).
+	JournalError = journal.Error
+	// CorruptTrackError is the typed error reported when a track read
+	// from a file-backed simulated drive fails its checksum (e.g. a torn
+	// write from a crash mid-superstep on uncommitted data would be
+	// detected, never silently used).
+	CorruptTrackError = disk.CorruptTrackError
 )
 
 // DefaultMachine returns a laptop-scale machine: one processor, 1 MiW
@@ -86,6 +103,15 @@ func DefaultCostParams() CostParams { return bsp.DefaultCostParams() }
 // otherwise.
 func Run(p Program, cfg MachineConfig, opts Options) (*Result, error) {
 	return core.Run(p, cfg, opts)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled the run stops at the next superstep barrier and returns
+// ctx's error. With Options.StateDir set, the journal is left at the
+// last committed barrier, so the run can be continued later with
+// Options.Resume.
+func RunContext(ctx context.Context, p Program, cfg MachineConfig, opts Options) (*Result, error) {
+	return core.RunContext(ctx, p, cfg, opts)
 }
 
 // RunReference executes the program entirely in memory — the

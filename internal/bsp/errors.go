@@ -1,0 +1,39 @@
+package bsp
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ProgramError reports a panic raised inside user Program/VP code
+// during a Step call. All engines — the in-memory reference runner and
+// both EM engines — recover such panics and return a ProgramError
+// instead of crashing the process, so a long durable run survives a
+// buggy program: the state directory stays at the last committed
+// barrier and remains resumable (e.g. with a fixed program binary).
+type ProgramError struct {
+	// VP is the id of the virtual processor whose Step panicked.
+	VP int
+	// Superstep is the superstep index the panic occurred in.
+	Superstep int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("bsp: program panicked in VP %d, superstep %d: %v", e.VP, e.Superstep, e.Value)
+}
+
+// SafeStep invokes vp.Step with panic isolation: a panic inside the
+// user's Step becomes a *ProgramError return. Engines call their VPs
+// exclusively through it.
+func SafeStep(vp VP, env *Env, in []Message) (halt bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ProgramError{VP: env.ID(), Superstep: env.Superstep(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return vp.Step(env, in)
+}

@@ -93,6 +93,24 @@ func (c *CostRecorder) Rewind(mark int) {
 	c.open = false
 }
 
+// Steps returns a copy of the closed supersteps recorded so far. The
+// EM engines serialize it into their commit journal so a resumed run
+// reports the same per-superstep costs as an uninterrupted one.
+func (c *CostRecorder) Steps() []SuperstepCost {
+	return append([]SuperstepCost(nil), c.steps...)
+}
+
+// Restore replaces the recorded supersteps with a list previously
+// captured by Steps — the resume path's inverse. It panics if a step
+// is open: restoring mid-step would silently drop its traffic.
+func (c *CostRecorder) Restore(steps []SuperstepCost) {
+	if c.open {
+		panic("bsp: Restore with an open step")
+	}
+	c.steps = append(c.steps[:0], steps...)
+	c.cur = SuperstepCost{}
+}
+
 // Costs returns the accumulated run costs.
 func (c *CostRecorder) Costs() Costs {
 	return Costs{Supersteps: len(c.steps), PerStep: append([]SuperstepCost(nil), c.steps...)}

@@ -111,7 +111,7 @@ func Run(p Program, opts RunOptions) (*Result, error) {
 				seq++
 				sendPkts += rec.MsgPkts(len(payload) + 1)
 			})
-			halt, err := vps[id].Step(env, in)
+			halt, err := SafeStep(vps[id], env, in)
 			if err != nil {
 				return nil, fmt.Errorf("bsp: VP %d superstep %d: %w", id, step, err)
 			}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"embsp/internal/bsp"
@@ -67,6 +68,12 @@ func (c MachineConfig) Validate() error {
 	if c.Cost.Pkt != 0 && c.Cost.Pkt < c.B {
 		return fmt.Errorf("core: packet size b = %d < block size B = %d; the simulation requires b >= B", c.Cost.Pkt, c.B)
 	}
+	if c.Cost.L < 0 || c.Cost.GPkt < 0 || c.Cost.GUnit < 0 {
+		return fmt.Errorf("core: negative cost parameter (ĝ=%v, g=%v, L=%v); all must be >= 0", c.Cost.GUnit, c.Cost.GPkt, c.Cost.L)
+	}
+	if c.MemSlack < 0 {
+		return fmt.Errorf("core: MemSlack = %d, want >= 0 (0 selects the default)", c.MemSlack)
+	}
 	return nil
 }
 
@@ -120,16 +127,71 @@ type Options struct {
 	// blocks while reading them, destroying the replay source).
 	FaultPlan *fault.Plan
 	// MaxRetries bounds the fault layer's transparent charged retries
-	// per operation: 0 means fault.DefaultMaxRetries, negative disables
+	// per operation: 0 means fault.DefaultMaxRetries, -1 disables
 	// retries so every transient fault escalates to a superstep replay
-	// (useful for exercising the rollback path).
+	// (useful for exercising the rollback path). Values below -1 are
+	// rejected.
 	MaxRetries int
+	// StateDir, when non-empty, makes the run durable: every simulated
+	// drive is backed by a real file under this directory and every
+	// compound-superstep barrier is committed to a write-ahead journal
+	// there, so a crashed or killed run can be continued with Resume.
+	// Incompatible with NoRouting (the ablation releases its scattered
+	// blocks while reading them, leaving nothing durable to resume
+	// from).
+	StateDir string
+	// Resume continues the run recorded in StateDir from its last
+	// committed barrier instead of starting fresh. The program, machine
+	// configuration and options must match the original run; the
+	// journal records a fingerprint and the engines refuse a mismatch.
+	Resume bool
+	// OnCommit, when non-nil, is invoked after every durable barrier
+	// commit with the superstep index just committed (-1 for the
+	// initial-context commit). Tests use it to interrupt runs at exact
+	// barriers; it is ignored without a StateDir.
+	OnCommit func(step int)
 }
 
 func (o *Options) defaults() {
 	if o.MaxSupersteps == 0 {
 		o.MaxSupersteps = 1 << 20
 	}
+}
+
+// Validate checks the options against each other and against the
+// machine configuration, turning invalid combinations into descriptive
+// errors up front instead of deep engine failures.
+func (o Options) Validate(cfg MachineConfig) error {
+	if o.MaxSupersteps < 0 {
+		return fmt.Errorf("core: MaxSupersteps = %d, want >= 0 (0 selects the default)", o.MaxSupersteps)
+	}
+	if o.MaxRetries < -1 {
+		return fmt.Errorf("core: MaxRetries = %d, want >= -1 (-1 disables retries, 0 selects the default)", o.MaxRetries)
+	}
+	if o.NoRouting && cfg.P != 1 {
+		return fmt.Errorf("core: the NoRouting ablation is implemented for P = 1 only")
+	}
+	if o.NoRouting && o.StateDir != "" {
+		return fmt.Errorf("core: the NoRouting ablation cannot run durably (scattered blocks are released as they are read, leaving nothing to resume from)")
+	}
+	if o.Resume && o.StateDir == "" {
+		return fmt.Errorf("core: Resume requires a StateDir")
+	}
+	if o.FaultPlan != nil {
+		if err := o.FaultPlan.Validate(); err != nil {
+			return err
+		}
+		if o.NoRouting && o.FaultPlan.Enabled() {
+			return fmt.Errorf("core: the NoRouting ablation cannot run under a fault plan (scattered blocks are released as they are read, leaving nothing to replay from)")
+		}
+		if o.FaultPlan.FailProc >= cfg.P {
+			return fmt.Errorf("core: FaultPlan.FailProc = %d, machine has %d processors", o.FaultPlan.FailProc, cfg.P)
+		}
+		if o.FaultPlan.FailDriveOp > 0 && o.FaultPlan.FailDrive >= cfg.D {
+			return fmt.Errorf("core: FaultPlan.FailDrive = %d, machine has %d drives", o.FaultPlan.FailDrive, cfg.D)
+		}
+	}
+	return nil
 }
 
 // EMStats reports the external-memory behaviour of a run.
@@ -216,28 +278,26 @@ func (r *Result) ToBSPResult() *bsp.Result { return &bsp.Result{VPs: r.VPs, Cost
 // Run executes the program on the configured machine, dispatching to
 // the sequential (P = 1) or parallel (P > 1) engine.
 func Run(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+	return RunContext(context.Background(), p, cfg, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the engines check
+// ctx at every compound-superstep barrier and abort cleanly when it is
+// done, returning an error wrapping ctx.Err(). A durable run's journal
+// is left at the last committed barrier, so a cancelled run can be
+// continued later with Options.Resume.
+func RunContext(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(cfg); err != nil {
 		return nil, err
 	}
 	if err := bsp.CheckProgram(p); err != nil {
 		return nil, err
 	}
-	if opts.FaultPlan != nil {
-		if err := opts.FaultPlan.Validate(); err != nil {
-			return nil, err
-		}
-		if opts.NoRouting && opts.FaultPlan.Enabled() {
-			return nil, fmt.Errorf("core: the NoRouting ablation cannot run under a fault plan (scattered blocks are released as they are read, leaving nothing to replay from)")
-		}
-		if opts.FaultPlan.FailProc >= cfg.P {
-			return nil, fmt.Errorf("core: FaultPlan.FailProc = %d, machine has %d processors", opts.FaultPlan.FailProc, cfg.P)
-		}
-	}
 	if cfg.P == 1 {
-		return runSeq(p, cfg, opts)
+		return runSeq(ctx, p, cfg, opts)
 	}
-	if opts.NoRouting {
-		return nil, fmt.Errorf("core: the NoRouting ablation is implemented for P = 1 only")
-	}
-	return runPar(p, cfg, opts)
+	return runPar(ctx, p, cfg, opts)
 }

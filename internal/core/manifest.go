@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/words"
+)
+
+// This file implements the engines' commit-journal manifests: the
+// payload of one journal record is one manifest — a complete,
+// self-contained checkpoint of everything the engine needs to continue
+// from a compound-superstep barrier. Record 0 checkpoints the setup
+// phase (initial contexts written, no superstep run); record i+1
+// checkpoints superstep i. Resume decodes only the LAST committed
+// record: each manifest carries full state, not a delta, so recovery
+// cost is independent of run length.
+//
+// A manifest begins with an engine-kind tag and a fingerprint of the
+// (machine configuration, options, program shape) tuple. A resumed run
+// must present the identical tuple — the simulation is deterministic
+// in it — and the engines refuse to continue from a manifest whose
+// fingerprint disagrees, which catches resuming with a different
+// program, seed, fault plan or machine.
+
+const (
+	manifestSeqKind = 0x5345513 // "SEQ" tag
+	manifestParKind = 0x5041523 // "PAR" tag
+)
+
+// configFingerprint folds everything a resumed run must agree on into
+// one checksum word.
+func configFingerprint(kind uint64, cfg MachineConfig, opts Options, v, mu, gamma int) uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(kind)
+	enc.PutInts([]int64{int64(cfg.P), int64(cfg.M), int64(cfg.D), int64(cfg.B), int64(cfg.MemSlack)})
+	enc.PutFloat(cfg.G)
+	enc.PutFloat(cfg.Cost.GUnit)
+	enc.PutFloat(cfg.Cost.GPkt)
+	enc.PutInt(int64(cfg.Cost.Pkt))
+	enc.PutFloat(cfg.Cost.L)
+	enc.PutUint(opts.Seed)
+	enc.PutInt(int64(opts.MaxSupersteps))
+	enc.PutBool(opts.Deterministic)
+	enc.PutInt(int64(opts.MaxRetries))
+	plan := opts.FaultPlan
+	enc.PutBool(plan != nil && plan.Enabled())
+	if plan != nil && plan.Enabled() {
+		enc.PutUint(plan.Seed)
+		enc.PutFloat(plan.ReadErrorRate)
+		enc.PutFloat(plan.WriteErrorRate)
+		enc.PutFloat(plan.CorruptRate)
+		enc.PutInts([]int64{plan.FirstOp, plan.FailDriveOp, int64(plan.FailDrive), int64(plan.FailProc)})
+		enc.PutBool(plan.Mirror)
+	}
+	enc.PutInts([]int64{int64(v), int64(mu), int64(gamma)})
+	return disk.Checksum(enc.Words())
+}
+
+func encodeStats(enc *words.Encoder, s disk.Stats) {
+	enc.PutInts([]int64{s.Ops, s.ReadOps, s.WriteOps, s.BlocksRead, s.BlocksWritten})
+	enc.PutInt(int64(len(s.PerDrive)))
+	for _, d := range s.PerDrive {
+		enc.PutInts([]int64{d.BlocksRead, d.BlocksWritten, d.SeqAccesses, d.RandAccesses})
+	}
+}
+
+func decodeStats(dec *words.Decoder) disk.Stats {
+	t := dec.Ints()
+	s := disk.Stats{Ops: t[0], ReadOps: t[1], WriteOps: t[2], BlocksRead: t[3], BlocksWritten: t[4]}
+	n := int(dec.Int())
+	if n > 0 {
+		s.PerDrive = make([]disk.DriveStats, n)
+		for i := range s.PerDrive {
+			d := dec.Ints()
+			s.PerDrive[i] = disk.DriveStats{BlocksRead: d[0], BlocksWritten: d[1], SeqAccesses: d[2], RandAccesses: d[3]}
+		}
+	}
+	return s
+}
+
+func encodeStoreState(enc *words.Encoder, s disk.StoreState) {
+	encodeStats(enc, s.Stats)
+	enc.PutInt(int64(len(s.Next)))
+	for d := range s.Next {
+		enc.PutInt(int64(s.Next[d]))
+		enc.PutInt(int64(s.Last[d]))
+		free := make([]int64, len(s.Free[d]))
+		for i, t := range s.Free[d] {
+			free[i] = int64(t)
+		}
+		enc.PutInts(free)
+	}
+}
+
+func decodeStoreState(dec *words.Decoder) disk.StoreState {
+	s := disk.StoreState{Stats: decodeStats(dec)}
+	n := int(dec.Int())
+	s.Next = make([]int, n)
+	s.Last = make([]int, n)
+	s.Free = make([][]int, n)
+	for d := 0; d < n; d++ {
+		s.Next[d] = int(dec.Int())
+		s.Last[d] = int(dec.Int())
+		free := dec.Ints()
+		s.Free[d] = make([]int, len(free))
+		for i, t := range free {
+			s.Free[d][i] = int(t)
+		}
+	}
+	return s
+}
+
+// encodeRegions writes the per-group (per-batch) input regions. Each
+// region is encoded as its full area plus the [lo, hi) block window —
+// regions may reference sliced or derived areas, so no indirection
+// through the owning area list is possible.
+func encodeRegions(enc *words.Encoder, regions [][]groupRegion) {
+	enc.PutInt(int64(len(regions)))
+	for _, rs := range regions {
+		enc.PutInt(int64(len(rs)))
+		for _, r := range rs {
+			r.area.Encode(enc)
+			enc.PutInt(int64(r.lo))
+			enc.PutInt(int64(r.hi))
+		}
+	}
+}
+
+func decodeRegions(dec *words.Decoder) [][]groupRegion {
+	n := int(dec.Int())
+	if n == 0 {
+		return nil
+	}
+	regions := make([][]groupRegion, n)
+	for g := range regions {
+		m := int(dec.Int())
+		for i := 0; i < m; i++ {
+			ar := disk.DecodeArea(dec)
+			lo := int(dec.Int())
+			hi := int(dec.Int())
+			regions[g] = append(regions[g], groupRegion{area: ar, lo: lo, hi: hi})
+		}
+	}
+	return regions
+}
+
+func encodeAreas(enc *words.Encoder, areas []disk.Area) {
+	enc.PutInt(int64(len(areas)))
+	for _, ar := range areas {
+		ar.Encode(enc)
+	}
+}
+
+func decodeAreas(dec *words.Decoder) []disk.Area {
+	n := int(dec.Int())
+	if n == 0 {
+		return nil
+	}
+	areas := make([]disk.Area, n)
+	for i := range areas {
+		areas[i] = disk.DecodeArea(dec)
+	}
+	return areas
+}
+
+func encodeRecSteps(enc *words.Encoder, steps []bsp.SuperstepCost) {
+	enc.PutInt(int64(len(steps)))
+	for _, s := range steps {
+		enc.PutInts([]int64{
+			int64(s.MaxSendWords), int64(s.MaxRecvWords),
+			int64(s.MaxSendPkts), int64(s.MaxRecvPkts),
+			s.TotalWords, s.Messages, s.MaxCharge, s.TotalCharge,
+		})
+	}
+}
+
+func decodeRecSteps(dec *words.Decoder) []bsp.SuperstepCost {
+	n := int(dec.Int())
+	steps := make([]bsp.SuperstepCost, n)
+	for i := range steps {
+		t := dec.Ints()
+		steps[i] = bsp.SuperstepCost{
+			MaxSendWords: int(t[0]), MaxRecvWords: int(t[1]),
+			MaxSendPkts: int(t[2]), MaxRecvPkts: int(t[3]),
+			TotalWords: t[4], Messages: t[5], MaxCharge: t[6], TotalCharge: t[7],
+		}
+	}
+	return steps
+}
+
+// checkManifestHeader verifies the kind tag and fingerprint leading
+// every manifest.
+func checkManifestHeader(dec *words.Decoder, kind uint64, fpr uint64) error {
+	gotKind := dec.Uint()
+	if gotKind != kind {
+		return fmt.Errorf("core: journal was written by a different engine (kind %#x, want %#x); resume with the original P", gotKind, kind)
+	}
+	if got := dec.Uint(); got != fpr {
+		return fmt.Errorf("core: journal fingerprint mismatch: the state directory was written under a different program, machine configuration or options")
+	}
+	return nil
+}
+
+// --- sequential engine -------------------------------------------------
+
+func (e *seqEngine) encodeManifest(enc *words.Encoder) {
+	enc.PutUint(manifestSeqKind)
+	enc.PutUint(e.fpr)
+	enc.PutInt(int64(e.stepsDone))
+	enc.PutBool(e.halted)
+	encodeStats(enc, e.setup)
+	st := e.rng.State()
+	for _, w := range st[:] {
+		enc.PutUint(w)
+	}
+	enc.PutInt(int64(e.ctxCur))
+	e.ctxAreas[0].Encode(enc)
+	e.ctxAreas[1].Encode(enc)
+	enc.PutInt(int64(e.inBlocks))
+	encodeRegions(enc, e.inRegions)
+	encodeAreas(enc, e.inAreas)
+	enc.PutInts([]int64{e.routeOps, e.ragged, e.peakLive, e.replays, e.recoveryOps})
+	enc.PutFloat(e.maxSkew)
+	enc.PutInt(e.acct.High())
+	encodeRecSteps(enc, e.rec.Steps())
+	encodeStoreState(enc, e.store.State())
+	enc.PutBool(e.fd != nil)
+	if e.fd != nil {
+		e.fd.EncodeState(enc)
+	}
+}
+
+func (e *seqEngine) decodeManifest(payload []uint64) error {
+	dec := words.NewDecoder(payload)
+	if err := checkManifestHeader(dec, manifestSeqKind, e.fpr); err != nil {
+		return err
+	}
+	e.stepsDone = int(dec.Int())
+	e.halted = dec.Bool()
+	e.setup = decodeStats(dec)
+	var st [4]uint64
+	for i := range st {
+		st[i] = dec.Uint()
+	}
+	e.rng.SetState(st)
+	e.ctxCur = int(dec.Int())
+	e.ctxAreas[0] = disk.DecodeArea(dec)
+	e.ctxAreas[1] = disk.DecodeArea(dec)
+	e.inBlocks = int(dec.Int())
+	e.inRegions = decodeRegions(dec)
+	e.inAreas = decodeAreas(dec)
+	t := dec.Ints()
+	e.routeOps, e.ragged, e.peakLive, e.replays, e.recoveryOps = t[0], t[1], t[2], t[3], t[4]
+	e.maxSkew = dec.Float()
+	e.acct.AdoptHigh(dec.Int())
+	e.rec.Restore(decodeRecSteps(dec))
+	if err := e.store.AdoptState(decodeStoreState(dec)); err != nil {
+		return err
+	}
+	hadFault := dec.Bool()
+	if hadFault != (e.fd != nil) {
+		return fmt.Errorf("core: journal fault-layer presence (%v) disagrees with the resuming options (%v)", hadFault, e.fd != nil)
+	}
+	if e.fd != nil {
+		if err := e.fd.DecodeState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- parallel engine ---------------------------------------------------
+
+func (e *parEngine) encodeManifest(enc *words.Encoder) {
+	enc.PutUint(manifestParKind)
+	enc.PutUint(e.fpr)
+	enc.PutInt(int64(e.stepsDone))
+	enc.PutBool(e.halted)
+	encodeStats(enc, e.setup)
+	enc.PutFloat(e.ioTime)
+	enc.PutFloat(e.commTime)
+	enc.PutInts([]int64{e.commPkts, e.commWords, e.replays, e.recoveryOps})
+	encodeRecSteps(enc, e.rec.Steps())
+	enc.PutInt(int64(len(e.procs)))
+	for _, ps := range e.procs {
+		st := ps.rng.State()
+		for _, w := range st[:] {
+			enc.PutUint(w)
+		}
+		enc.PutInt(int64(ps.ctxCur))
+		ps.ctxAreas[0].Encode(enc)
+		ps.ctxAreas[1].Encode(enc)
+		enc.PutInt(int64(ps.inBlocks))
+		encodeRegions(enc, ps.inRegions)
+		encodeAreas(enc, ps.inAreas)
+		enc.PutInts([]int64{ps.routeOps, ps.ragged, ps.peakLive})
+		enc.PutFloat(ps.maxSkew)
+		enc.PutInt(ps.acct.High())
+		encodeStoreState(enc, ps.store.State())
+		enc.PutBool(ps.fd != nil)
+		if ps.fd != nil {
+			ps.fd.EncodeState(enc)
+		}
+	}
+}
+
+func (e *parEngine) decodeManifest(payload []uint64) error {
+	dec := words.NewDecoder(payload)
+	if err := checkManifestHeader(dec, manifestParKind, e.fpr); err != nil {
+		return err
+	}
+	e.stepsDone = int(dec.Int())
+	e.halted = dec.Bool()
+	e.setup = decodeStats(dec)
+	e.ioTime = dec.Float()
+	e.commTime = dec.Float()
+	t := dec.Ints()
+	e.commPkts, e.commWords, e.replays, e.recoveryOps = t[0], t[1], t[2], t[3]
+	e.rec.Restore(decodeRecSteps(dec))
+	if n := int(dec.Int()); n != len(e.procs) {
+		return fmt.Errorf("core: journal records %d processors, machine has %d", n, len(e.procs))
+	}
+	for _, ps := range e.procs {
+		var st [4]uint64
+		for i := range st {
+			st[i] = dec.Uint()
+		}
+		ps.rng.SetState(st)
+		ps.ctxCur = int(dec.Int())
+		ps.ctxAreas[0] = disk.DecodeArea(dec)
+		ps.ctxAreas[1] = disk.DecodeArea(dec)
+		ps.inBlocks = int(dec.Int())
+		ps.inRegions = decodeRegions(dec)
+		ps.inAreas = decodeAreas(dec)
+		pt := dec.Ints()
+		ps.routeOps, ps.ragged, ps.peakLive = pt[0], pt[1], pt[2]
+		ps.maxSkew = dec.Float()
+		ps.acct.AdoptHigh(dec.Int())
+		if err := ps.store.AdoptState(decodeStoreState(dec)); err != nil {
+			return err
+		}
+		hadFault := dec.Bool()
+		if hadFault != (ps.fd != nil) {
+			return fmt.Errorf("core: journal fault-layer presence (%v) disagrees with the resuming options (%v)", hadFault, ps.fd != nil)
+		}
+		if ps.fd != nil {
+			if err := ps.fd.DecodeState(dec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
 	"embsp/internal/fault"
+	"embsp/internal/journal"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
 	"embsp/internal/words"
@@ -63,13 +66,14 @@ type procState struct {
 	lo int // first owned VP
 	hi int // one past last owned VP
 
-	arr  *disk.Array
-	fd   *fault.Disk // nil without a fault plan
-	dsk  disk.Disk   // arr, or fd wrapping it
-	acct *mem.Accountant
-	rng  *prng.Rand
+	store  disk.Store  // in-memory Array, or file-backed File when durable
+	fd     *fault.Disk // nil without a fault plan
+	dsk    disk.Disk   // store, or fd wrapping it
+	ckptOn bool        // barrier checkpoint discipline active
+	acct   *mem.Accountant
+	rng    *prng.Rand
 
-	ctxAreas  [2]disk.Area // fault mode double-buffers; [1] unused otherwise
+	ctxAreas  [2]disk.Area // checkpoint mode double-buffers; [1] unused otherwise
 	ctxCur    int
 	inRegions [][]groupRegion // per batch
 	inAreas   []disk.Area
@@ -103,10 +107,10 @@ func (ps *procState) noteLive(muBlocks, extraBlocks int) {
 
 // ctxRead returns the area holding the committed contexts; ctxWrite
 // the area the running superstep writes to. They coincide unless
-// fault-mode double-buffering is on.
+// checkpoint double-buffering is on.
 func (ps *procState) ctxRead() disk.Area { return ps.ctxAreas[ps.ctxCur] }
 func (ps *procState) ctxWrite() disk.Area {
-	if ps.fd != nil {
+	if ps.ckptOn {
 		return ps.ctxAreas[ps.ctxCur^1]
 	}
 	return ps.ctxAreas[ps.ctxCur]
@@ -127,6 +131,14 @@ type parEngine struct {
 	pktBlk   int // blocks per packet: max(1, ⌊b/B⌋)
 
 	procs []*procState
+
+	jrn   *journal.Journal // nil without a StateDir
+	goctx context.Context
+	fpr   uint64 // config fingerprint stamped into every manifest
+
+	setup     disk.Stats // setup-phase statistics (journaled for resume)
+	stepsDone int        // supersteps committed so far
+	halted    bool       // all VPs voted halt (committed)
 
 	recMu sync.Mutex
 	rec   *bsp.CostRecorder
@@ -176,7 +188,12 @@ func (e *parEngine) batchBounds(ps *procState, j int) (lo, hi int) {
 // faulty reports whether the engine runs under a fault plan.
 func (e *parEngine) faulty() bool { return e.procs[0].fd != nil }
 
-func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+// ckpt reports whether the barrier checkpoint discipline is active:
+// under a fault plan (replays need a rollback source) or a StateDir
+// (the journal needs the committed barrier state kept intact).
+func (e *parEngine) ckpt() bool { return e.faulty() || e.jrn != nil }
+
+func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	opts.defaults()
 	v := p.NumVPs()
 	mu := p.MaxContextWords()
@@ -190,12 +207,13 @@ func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		k = vpp
 	}
 	e := &parEngine{
-		p: p, cfg: cfg, opts: opts,
+		p: p, cfg: cfg, opts: opts, goctx: ctx,
 		v: v, mu: mu, gamma: gamma, k: k, vpp: vpp,
 		batches:  (vpp + k - 1) / k,
 		muBlocks: (mu + cfg.B - 1) / cfg.B,
 		pktBlk:   maxInt(1, cfg.Cost.Pkt/cfg.B),
 		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
+		fpr:      configFingerprint(manifestParKind, cfg, opts, v, mu, gamma),
 	}
 	e.procs = make([]*procState, cfg.P)
 	for i := range e.procs {
@@ -209,11 +227,23 @@ func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		}
 		ps := &procState{
 			id: i, lo: lo, hi: hi,
-			arr:  disk.MustNewArray(disk.Config{D: cfg.D, B: cfg.B}),
 			acct: mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma)),
 			rng:  prng.New(prng.Derive(opts.Seed, 0xFA12, uint64(i))),
 		}
-		ps.dsk = ps.arr
+		diskCfg := disk.Config{D: cfg.D, B: cfg.B}
+		if opts.StateDir != "" {
+			// Each real processor's drives live in their own
+			// subdirectory; the journal is shared and lives at the root.
+			f, err := disk.OpenFile(filepath.Join(opts.StateDir, fmt.Sprintf("proc-%02d", i)), diskCfg, opts.Resume)
+			if err != nil {
+				e.closeState()
+				return nil, err
+			}
+			ps.store = f
+		} else {
+			ps.store = disk.MustNewArray(diskCfg)
+		}
+		ps.dsk = ps.store
 		if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
 			// Each processor's disk array gets its own fault layer with
 			// an independently keyed schedule; the planned drive death
@@ -224,8 +254,10 @@ func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 				plan.FailDriveOp = 0
 				plan.Mirror = opts.FaultPlan.Mirrored()
 			}
-			fd, err := fault.Wrap(ps.arr, plan, opts.MaxRetries)
+			fd, err := fault.Wrap(ps.store, plan, opts.MaxRetries)
 			if err != nil {
+				e.procs[i] = ps
+				e.closeState()
 				return nil, err
 			}
 			ps.fd = fd
@@ -233,7 +265,82 @@ func runPar(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		}
 		e.procs[i] = ps
 	}
-	return e.run()
+	if opts.StateDir != "" {
+		var err error
+		if opts.Resume {
+			e.jrn, err = journal.Open(opts.StateDir)
+		} else {
+			e.jrn, err = journal.Create(opts.StateDir)
+		}
+		if err != nil {
+			e.closeState()
+			return nil, err
+		}
+	}
+	for _, ps := range e.procs {
+		ps.ckptOn = e.ckpt()
+	}
+	res, err := e.run()
+	if cerr := e.closeState(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *parEngine) closeState() error {
+	var errs []error
+	if e.jrn != nil {
+		errs = append(errs, e.jrn.Close())
+	}
+	for _, ps := range e.procs {
+		if ps != nil && ps.store != nil {
+			errs = append(errs, ps.store.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkCtx implements cooperative cancellation at barriers.
+func (e *parEngine) checkCtx() error {
+	if err := e.goctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled at superstep barrier %d: %w", e.stepsDone, err)
+	}
+	return nil
+}
+
+// commitJournal makes the barrier durable: every processor's data
+// first (fsync), then the commit record (write-ahead journal append).
+func (e *parEngine) commitJournal(step int) error {
+	if e.jrn == nil {
+		return nil
+	}
+	for _, ps := range e.procs {
+		if err := ps.store.Sync(); err != nil {
+			return err
+		}
+	}
+	enc := words.NewEncoder(nil)
+	e.encodeManifest(enc)
+	if err := e.jrn.Append(enc.Words()); err != nil {
+		return err
+	}
+	if e.opts.OnCommit != nil {
+		e.opts.OnCommit(step)
+	}
+	return nil
+}
+
+// resume restores the engine from the last committed journal record.
+func (e *parEngine) resume() error {
+	recs := e.jrn.Records()
+	if len(recs) == 0 {
+		return &journal.Error{Path: e.opts.StateDir, Record: -1,
+			Reason: "no committed checkpoint to resume from (the run crashed before its first barrier; start it fresh)"}
+	}
+	return e.decodeManifest(recs[len(recs)-1])
 }
 
 func maxInt(a, b int) int {
@@ -277,25 +384,36 @@ func (e *parEngine) replayPhase(phase func(ps *procState) error) error {
 }
 
 func (e *parEngine) run() (*Result, error) {
-	// Setup: every processor reserves its context area(s) and writes
-	// its VPs' initial contexts.
-	for _, ps := range e.procs {
-		ps.ctxAreas[0] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
-		if ps.fd != nil {
-			ps.ctxAreas[1] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
+	if e.opts.Resume {
+		if err := e.resume(); err != nil {
+			return nil, err
 		}
-		ps.noteLive(e.muBlocks, 0)
-	}
-	if err := e.replayPhase(func(ps *procState) error { return e.writeInitialContexts(ps) }); err != nil {
-		return nil, err
-	}
-	var setup disk.Stats
-	for _, ps := range e.procs {
-		setup.Add(ps.dsk.Stats())
-		ps.dsk.ResetStats()
+	} else {
+		// Setup: every processor reserves its context area(s) and writes
+		// its VPs' initial contexts.
+		for _, ps := range e.procs {
+			ps.ctxAreas[0] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
+			if ps.ckptOn {
+				ps.ctxAreas[1] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
+			}
+			ps.noteLive(e.muBlocks, 0)
+		}
+		if err := e.replayPhase(func(ps *procState) error { return e.writeInitialContexts(ps) }); err != nil {
+			return nil, err
+		}
+		for _, ps := range e.procs {
+			e.setup.Add(ps.dsk.Stats())
+			ps.dsk.ResetStats()
+		}
+		if err := e.commitJournal(-1); err != nil {
+			return nil, err
+		}
 	}
 
-	for step := 0; ; step++ {
+	for step := e.stepsDone; !e.halted; step++ {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
 		if step >= e.opts.MaxSupersteps {
 			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
 		}
@@ -303,14 +421,18 @@ func (e *parEngine) run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if halts == e.v {
+		switch {
+		case halts == e.v:
 			if sends > 0 {
 				return nil, fmt.Errorf("core: %d messages sent while halting in superstep %d", sends, step)
 			}
-			break
-		}
-		if halts != 0 {
+			e.halted = true
+		case halts != 0:
 			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+		e.stepsDone = step + 1
+		if err := e.commitJournal(step); err != nil {
+			return nil, err
 		}
 	}
 
@@ -338,7 +460,7 @@ func (e *parEngine) run() (*Result, error) {
 		K:              e.k,
 		Groups:         e.batches,
 		CtxBlocksPerVP: e.muBlocks,
-		Setup:          setup,
+		Setup:          e.setup,
 		Run:            runStats,
 		Finish:         finish,
 		PerProc:        perProc,
@@ -457,7 +579,14 @@ func (e *parEngine) restore(s parSnapshot) {
 // back to the barrier and replays.
 func (e *parEngine) runStep(step int) (halts, sends int, err error) {
 	if !e.faulty() {
-		return e.compoundSuperstep(step)
+		halts, sends, err = e.compoundSuperstep(step)
+		if err == nil && e.ckpt() {
+			err = e.commitSuperstep()
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return halts, sends, nil
 	}
 	for attempt := 0; ; attempt++ {
 		snap := e.snapshot()
@@ -786,7 +915,7 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 			sendPkts += e.rec.MsgPkts(len(payload) + 1)
 			outWords += int64(len(payload) + 1)
 		})
-		halt, err := vps[i].Step(env, inbox[i])
+		halt, err := bsp.SafeStep(vps[i], env, inbox[i])
 		if err != nil {
 			return fmt.Errorf("core: VP %d superstep %d: %w", id, step, err)
 		}
@@ -884,11 +1013,12 @@ func (e *parEngine) receiveWrite(ps *procState) error {
 // routeLocal is Step 2 of Algorithm 3: reorganize this processor's
 // received blocks so each batch is evenly distributed over the local
 // disks in standard consecutive format. In normal operation the result
-// is installed immediately; in fault mode it is parked until the
-// engine-level barrier commit, because another processor's fault can
+// is installed immediately; under the checkpoint discipline it is
+// parked until the engine-level barrier commit, because a fault on
+// another processor (or a crash before the journal record lands) can
 // still roll this superstep back.
 func (e *parEngine) routeLocal(ps *procState) error {
-	if ps.fd == nil {
+	if !ps.ckptOn {
 		for _, ar := range ps.inAreas {
 			if err := disk.FreeArea(ps.dsk, ar); err != nil {
 				return err
@@ -900,7 +1030,7 @@ func (e *parEngine) routeLocal(ps *procState) error {
 	if err != nil {
 		return err
 	}
-	if ps.fd != nil {
+	if ps.ckptOn {
 		ps.pendingRoute = route
 		return nil
 	}

@@ -1,0 +1,349 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"embsp/internal/bsp"
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/disk"
+	"embsp/internal/fault"
+	"embsp/internal/journal"
+)
+
+// panicProgram wraps a Program so one VP panics when it starts
+// computing superstep panicStep — an in-process stand-in for a crash
+// mid-superstep: the journal is left at the last committed barrier
+// with the failed superstep's partial writes in the state directory.
+type panicProgram struct {
+	bsp.Program
+	panicStep int
+}
+
+func (p *panicProgram) NewVP(id int) bsp.VP {
+	vp := p.Program.NewVP(id)
+	if id == p.Program.NumVPs()/2 {
+		return &panicVP{VP: vp, panicStep: p.panicStep}
+	}
+	return vp
+}
+
+type panicVP struct {
+	bsp.VP
+	panicStep int
+}
+
+func (v *panicVP) Step(env *bsp.Env, in []bsp.Message) (bool, error) {
+	if env.Superstep() == v.panicStep {
+		panic(fmt.Sprintf("injected crash in superstep %d", v.panicStep))
+	}
+	return v.VP.Step(env, in)
+}
+
+func testProgram() *bsptest.RandomProgram {
+	return &bsptest.RandomProgram{V: 16, Steps: 5, MsgsPerStep: 4, MaxLen: 12}
+}
+
+func resultsIdentical(t *testing.T, a, b *core.Result, label string) {
+	t.Helper()
+	ca, cb := bsptest.Checksums(a.ToBSPResult()), bsptest.Checksums(b.ToBSPResult())
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("%s: VP states differ", label)
+	}
+	if !reflect.DeepEqual(a.Costs, b.Costs) {
+		t.Errorf("%s: model costs differ:\na: %+v\nb: %+v", label, a.Costs, b.Costs)
+	}
+	if !reflect.DeepEqual(a.EM, b.EM) {
+		t.Errorf("%s: EM statistics differ:\na: %+v\nb: %+v", label, a.EM, b.EM)
+	}
+}
+
+// TestDurableMatchesReference: a durable (file-backed, journaled) run
+// is still bitwise identical to the in-memory reference semantics, on
+// both engines, with and without faults.
+func TestDurableMatchesReference(t *testing.T) {
+	p := testProgram()
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 3, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		for _, plan := range []*fault.Plan{nil, transientPlan(41)} {
+			cfg := parMachine(procs, 4, 8, 256)
+			opts := core.Options{Seed: 3, StateDir: t.TempDir(), FaultPlan: plan}
+			res, err := core.Run(p, cfg, opts)
+			if err != nil {
+				t.Fatalf("P=%d faults=%v: %v", procs, plan != nil, err)
+			}
+			checksumsEqual(t, ref, res, fmt.Sprintf("durable P=%d", procs))
+		}
+	}
+}
+
+// TestCrashAndResumeBitwise is the issue's acceptance property: a run
+// hard-stopped mid-superstep and resumed from its journal produces a
+// Result bitwise identical to the uninterrupted run — including model
+// costs and EM statistics, including under an active fault plan, on
+// both engines.
+func TestCrashAndResumeBitwise(t *testing.T) {
+	p := testProgram()
+	for _, procs := range []int{1, 3} {
+		for _, plan := range []*fault.Plan{nil, transientPlan(41)} {
+			label := fmt.Sprintf("P=%d faults=%v", procs, plan != nil)
+			cfg := parMachine(procs, 4, 8, 256)
+
+			clean, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: t.TempDir(), FaultPlan: plan})
+			if err != nil {
+				t.Fatalf("%s clean: %v", label, err)
+			}
+
+			dir := t.TempDir()
+			crashed := &panicProgram{Program: p, panicStep: 2}
+			_, err = core.Run(crashed, cfg, core.Options{Seed: 3, StateDir: dir, FaultPlan: plan})
+			var pe *bsp.ProgramError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s: crashed run returned %v, want *bsp.ProgramError", label, err)
+			}
+			if pe.Superstep != 2 || pe.VP != p.V/2 {
+				t.Errorf("%s: panic attributed to VP %d superstep %d, want VP %d superstep 2",
+					label, pe.VP, pe.Superstep, p.V/2)
+			}
+
+			res, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true, FaultPlan: plan})
+			if err != nil {
+				t.Fatalf("%s resume: %v", label, err)
+			}
+			resultsIdentical(t, clean, res, label)
+		}
+	}
+}
+
+// TestCancelAndResume: cooperative cancellation stops the run at a
+// superstep barrier with the journal at the last commit; resuming
+// completes it with a bitwise identical Result.
+func TestCancelAndResume(t *testing.T) {
+	p := testProgram()
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		clean, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := core.Options{Seed: 3, StateDir: dir}
+		opts.OnCommit = func(step int) {
+			if step == 1 {
+				cancel()
+			}
+		}
+		_, err = core.RunContext(ctx, p, cfg, opts)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("P=%d: cancelled run returned %v, want context.Canceled", procs, err)
+		}
+
+		res, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true})
+		if err != nil {
+			t.Fatalf("P=%d resume: %v", procs, err)
+		}
+		resultsIdentical(t, clean, res, fmt.Sprintf("P=%d cancel", procs))
+	}
+}
+
+// TestResumeCompletedRun: resuming a state directory whose run already
+// finished just reloads the final contexts — same Result again.
+func TestResumeCompletedRun(t *testing.T) {
+	p := testProgram()
+	cfg := parMachine(1, 4, 8, 256)
+	dir := t.TempDir()
+	clean, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, clean, res, "completed")
+}
+
+// TestResumeTornJournal: a crash between a record's fsync and its HEAD
+// advance leaves a durable but uncommitted tail. Resume must roll it
+// back and still produce the uninterrupted run's exact Result.
+func TestResumeTornJournal(t *testing.T) {
+	p := testProgram()
+	cfg := parMachine(1, 4, 8, 256)
+	clean, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, err = core.Run(&panicProgram{Program: p, panicStep: 2}, cfg, core.Options{Seed: 3, StateDir: dir})
+	var pe *bsp.ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("crashed run returned %v, want *bsp.ProgramError", err)
+	}
+	// Simulate the torn append of the never-committed record.
+	wal, err := os.OpenFile(filepath.Join(dir, "journal.wal"), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write(make([]byte, 57)); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	res, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after torn tail: %v", err)
+	}
+	resultsIdentical(t, clean, res, "torn tail")
+}
+
+// TestResumeCorruptJournal: a committed record that fails its checksum
+// is a typed journal error — never silently replayed.
+func TestResumeCorruptJournal(t *testing.T) {
+	p := testProgram()
+	cfg := parMachine(1, 4, 8, 256)
+	dir := t.TempDir()
+	_, err := core.Run(&panicProgram{Program: p, panicStep: 2}, cfg, core.Options{Seed: 3, StateDir: dir})
+	var pe *bsp.ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("crashed run returned %v, want *bsp.ProgramError", err)
+	}
+
+	path := filepath.Join(dir, "journal.wal")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true})
+	var je *journal.Error
+	if !errors.As(err, &je) {
+		t.Fatalf("resume of corrupt journal returned %v, want *journal.Error", err)
+	}
+}
+
+// TestResumeNoCheckpoint: a run that died before its first barrier
+// commit has nothing to resume from, and says so.
+func TestResumeNoCheckpoint(t *testing.T) {
+	cfg := parMachine(1, 4, 8, 256)
+	dir := t.TempDir()
+	f, err := disk.OpenFile(dir, disk.Config{D: cfg.D, B: cfg.B}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j, err := journal.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, err = core.Run(testProgram(), cfg, core.Options{Seed: 3, StateDir: dir, Resume: true})
+	var je *journal.Error
+	if !errors.As(err, &je) {
+		t.Fatalf("got %v, want *journal.Error", err)
+	}
+}
+
+// TestResumeConfigMismatch: a journal records a fingerprint of the
+// program shape, machine and options; resuming under anything else is
+// refused rather than silently producing garbage.
+func TestResumeConfigMismatch(t *testing.T) {
+	p := testProgram()
+	cfg := parMachine(1, 4, 8, 256)
+	dir := t.TempDir()
+	_, err := core.Run(&panicProgram{Program: p, panicStep: 2}, cfg, core.Options{Seed: 3, StateDir: dir})
+	var pe *bsp.ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("crashed run returned %v, want *bsp.ProgramError", err)
+	}
+
+	if _, err := core.Run(p, cfg, core.Options{Seed: 4, StateDir: dir, Resume: true}); err == nil {
+		t.Error("resume with a different seed: want error, got nil")
+	}
+	if _, err := core.Run(p, cfg, core.Options{Seed: 3, Deterministic: true, StateDir: dir, Resume: true}); err == nil {
+		t.Error("resume with different options: want error, got nil")
+	}
+	// The fingerprint sees the program's shape (v, µ, γ), not its code:
+	// a different MaxLen changes γ and is caught.
+	other := &bsptest.RandomProgram{V: 16, Steps: 5, MsgsPerStep: 4, MaxLen: 20}
+	if _, err := core.Run(other, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true}); err == nil {
+		t.Error("resume with a different-shaped program: want error, got nil")
+	}
+	// A different engine (P) is caught by the manifest kind.
+	if _, err := core.Run(p, parMachine(3, 4, 8, 256), core.Options{Seed: 3, StateDir: dir, Resume: true}); err == nil {
+		t.Error("resume with a different P: want error, got nil")
+	}
+}
+
+// TestPanicIsolation: a panicking Program comes back as a typed
+// ProgramError from all three engines, with the process alive.
+func TestPanicIsolation(t *testing.T) {
+	p := &panicProgram{Program: testProgram(), panicStep: 1}
+	check := func(label string, err error) {
+		t.Helper()
+		var pe *bsp.ProgramError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: got %v, want *bsp.ProgramError", label, err)
+		}
+		if pe.Superstep != 1 {
+			t.Errorf("%s: Superstep = %d, want 1", label, pe.Superstep)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("%s: no stack captured", label)
+		}
+	}
+	_, err := bsp.Run(p, bsp.RunOptions{Seed: 3, PktSize: 8})
+	check("reference", err)
+	for _, procs := range []int{1, 3} {
+		_, err := core.Run(p, parMachine(procs, 4, 8, 256), core.Options{Seed: 3})
+		check(fmt.Sprintf("P=%d", procs), err)
+	}
+}
+
+// TestValidation: malformed machine configurations and options are
+// rejected up front with descriptive errors.
+func TestValidation(t *testing.T) {
+	good := parMachine(1, 4, 8, 256)
+	p := testProgram()
+	cases := []struct {
+		name string
+		cfg  core.MachineConfig
+		opts core.Options
+	}{
+		{"negative MaxSupersteps", good, core.Options{MaxSupersteps: -1}},
+		{"MaxRetries below -1", good, core.Options{MaxRetries: -2}},
+		{"NoRouting P>1", parMachine(2, 4, 8, 256), core.Options{NoRouting: true}},
+		{"NoRouting durable", good, core.Options{NoRouting: true, StateDir: "x"}},
+		{"Resume without StateDir", good, core.Options{Resume: true}},
+		{"NoRouting with faults", good, core.Options{NoRouting: true, FaultPlan: transientPlan(1)}},
+		{"FailProc out of range", good, core.Options{FaultPlan: &fault.Plan{Seed: 1, ReadErrorRate: 0.1, FailProc: 3}}},
+		{"FailDrive out of range", good, core.Options{FaultPlan: &fault.Plan{Seed: 1, FailDriveOp: 5, FailDrive: 9}}},
+		{"fault rate out of range", good, core.Options{FaultPlan: &fault.Plan{Seed: 1, ReadErrorRate: 1.5}}},
+		{"negative L", core.MachineConfig{P: 1, M: 256, D: 4, B: 8, G: 10, Cost: bsp.CostParams{GUnit: 1, GPkt: 2, Pkt: 16, L: -1}}, core.Options{}},
+		{"negative MemSlack", func() core.MachineConfig { c := good; c.MemSlack = -1; return c }(), core.Options{}},
+	}
+	for _, tc := range cases {
+		if _, err := core.Run(p, tc.cfg, tc.opts); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}

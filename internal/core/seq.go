@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
 	"embsp/internal/fault"
+	"embsp/internal/journal"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
 	"embsp/internal/words"
@@ -76,12 +79,19 @@ type seqEngine struct {
 	groups   int
 	muBlocks int
 
-	arr  *disk.Array
-	fd   *fault.Disk // nil without a fault plan
-	dsk  disk.Disk   // arr, or fd wrapping it
-	acct *mem.Accountant
-	rec  *bsp.CostRecorder
-	rng  *prng.Rand
+	store disk.Store       // in-memory Array, or file-backed File when durable
+	fd    *fault.Disk      // nil without a fault plan
+	dsk   disk.Disk        // store, or fd wrapping it
+	jrn   *journal.Journal // nil without a StateDir
+	goctx context.Context
+	acct  *mem.Accountant
+	rec   *bsp.CostRecorder
+	rng   *prng.Rand
+	fpr   uint64 // config fingerprint stamped into every manifest
+
+	setup     disk.Stats // setup-phase statistics (journaled for resume)
+	stepsDone int        // supersteps committed so far
+	halted    bool       // all VPs voted halt (committed)
 
 	ctxAreas  [2]disk.Area // fault mode double-buffers; [1] unused otherwise
 	ctxCur    int          // context area holding the committed contexts
@@ -117,7 +127,7 @@ func (e *seqEngine) noteLive(extraBlocks int) {
 	}
 }
 
-func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
+func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	opts.defaults()
 	v := p.NumVPs()
 	mu := p.MaxContextWords()
@@ -130,15 +140,25 @@ func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 		k = v
 	}
 	e := &seqEngine{
-		p: p, cfg: cfg, opts: opts,
+		p: p, cfg: cfg, opts: opts, goctx: ctx,
 		v: v, mu: mu, gamma: gamma, k: k,
 		groups:   (v + k - 1) / k,
 		muBlocks: (mu + cfg.B - 1) / cfg.B,
-		arr:      disk.MustNewArray(disk.Config{D: cfg.D, B: cfg.B}),
 		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
 		rng:      prng.New(prng.Derive(opts.Seed, 0xE19)),
+		fpr:      configFingerprint(manifestSeqKind, cfg, opts, v, mu, gamma),
 	}
-	e.dsk = e.arr
+	diskCfg := disk.Config{D: cfg.D, B: cfg.B}
+	if opts.StateDir != "" {
+		f, err := disk.OpenFile(opts.StateDir, diskCfg, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		e.store = f
+	} else {
+		e.store = disk.MustNewArray(diskCfg)
+	}
+	e.dsk = e.store
 	if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
 		plan := *opts.FaultPlan
 		if plan.FailProc != 0 {
@@ -146,12 +166,25 @@ func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 			// machine; its drive death cannot happen here.
 			plan.FailDriveOp = 0
 		}
-		fd, err := fault.Wrap(e.arr, plan, opts.MaxRetries)
+		fd, err := fault.Wrap(e.store, plan, opts.MaxRetries)
 		if err != nil {
+			e.store.Close()
 			return nil, err
 		}
 		e.fd = fd
 		e.dsk = fd
+	}
+	if opts.StateDir != "" {
+		var err error
+		if opts.Resume {
+			e.jrn, err = journal.Open(opts.StateDir)
+		} else {
+			e.jrn, err = journal.Create(opts.StateDir)
+		}
+		if err != nil {
+			e.store.Close()
+			return nil, err
+		}
 	}
 	// The theorems assume γ = O(µ) (a VP's messages fit in its local
 	// memory), so the engine footprint is Θ(k·µ) = Θ(M). The budget
@@ -161,7 +194,70 @@ func runSeq(p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	// Programs honouring γ = O(µ) stay within O(M); others are still
 	// tracked and bounded.
 	e.acct = mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma))
-	return e.run()
+	res, err := e.run()
+	if cerr := e.closeState(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ckpt reports whether the engine runs under the barrier checkpoint
+// discipline: contexts double-buffered and input-area frees deferred
+// to the commit. Fault replays need it to keep a rollback source;
+// durable runs need it so the state the last journal record references
+// is never overwritten before the next record is committed.
+func (e *seqEngine) ckpt() bool { return e.fd != nil || e.jrn != nil }
+
+func (e *seqEngine) closeState() error {
+	var errs []error
+	if e.jrn != nil {
+		errs = append(errs, e.jrn.Close())
+	}
+	if e.store != nil {
+		errs = append(errs, e.store.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// checkCtx implements cooperative cancellation at barriers.
+func (e *seqEngine) checkCtx() error {
+	if err := e.goctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled at superstep barrier %d: %w", e.stepsDone, err)
+	}
+	return nil
+}
+
+// commitJournal makes the barrier durable: data first (fsync the
+// store), then the commit record (write-ahead journal append).
+func (e *seqEngine) commitJournal(step int) error {
+	if e.jrn == nil {
+		return nil
+	}
+	if err := e.store.Sync(); err != nil {
+		return err
+	}
+	enc := words.NewEncoder(nil)
+	e.encodeManifest(enc)
+	if err := e.jrn.Append(enc.Words()); err != nil {
+		return err
+	}
+	if e.opts.OnCommit != nil {
+		e.opts.OnCommit(step)
+	}
+	return nil
+}
+
+// resume restores the engine from the last committed journal record.
+func (e *seqEngine) resume() error {
+	recs := e.jrn.Records()
+	if len(recs) == 0 {
+		return &journal.Error{Path: e.opts.StateDir, Record: -1,
+			Reason: "no committed checkpoint to resume from (the run crashed before its first barrier; start it fresh)"}
+	}
+	return e.decodeManifest(recs[len(recs)-1])
 }
 
 // engineMemLimit computes the internal-memory budget for one
@@ -171,24 +267,37 @@ func engineMemLimit(cfg MachineConfig, k, mu, gamma int) int64 {
 }
 
 func (e *seqEngine) run() (*Result, error) {
-	// Reserve the context area: v·⌈µ/B⌉ blocks in standard consecutive
-	// format, VP j's i-th context block at global block index
-	// i + j·(µ/B), as the paper's Step 1(a)/1(e) details prescribe. In
-	// fault mode a second area double-buffers the contexts so the
-	// barrier state survives a mid-superstep rollback.
-	e.ctxAreas[0] = disk.Reserve(e.dsk, e.v*e.muBlocks)
-	if e.fd != nil {
-		e.ctxAreas[1] = disk.Reserve(e.dsk, e.v*e.muBlocks)
+	if e.opts.Resume {
+		if err := e.resume(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Reserve the context area: v·⌈µ/B⌉ blocks in standard
+		// consecutive format, VP j's i-th context block at global block
+		// index i + j·(µ/B), as the paper's Step 1(a)/1(e) details
+		// prescribe. Under the checkpoint discipline a second area
+		// double-buffers the contexts so the barrier state survives a
+		// mid-superstep rollback or crash.
+		e.ctxAreas[0] = disk.Reserve(e.dsk, e.v*e.muBlocks)
+		if e.ckpt() {
+			e.ctxAreas[1] = disk.Reserve(e.dsk, e.v*e.muBlocks)
+		}
+
+		e.noteLive(0)
+		if err := e.replayPhase(e.writeInitialContexts); err != nil {
+			return nil, err
+		}
+		e.setup = e.dsk.Stats()
+		e.dsk.ResetStats()
+		if err := e.commitJournal(-1); err != nil {
+			return nil, err
+		}
 	}
 
-	e.noteLive(0)
-	if err := e.replayPhase(e.writeInitialContexts); err != nil {
-		return nil, err
-	}
-	setup := e.dsk.Stats()
-	e.dsk.ResetStats()
-
-	for step := 0; ; step++ {
+	for step := e.stepsDone; !e.halted; step++ {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
 		if step >= e.opts.MaxSupersteps {
 			return nil, fmt.Errorf("core: no convergence after %d supersteps", e.opts.MaxSupersteps)
 		}
@@ -196,14 +305,18 @@ func (e *seqEngine) run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if halts == e.v {
+		switch {
+		case halts == e.v:
 			if sends > 0 {
 				return nil, fmt.Errorf("core: %d messages sent while halting in superstep %d", sends, step)
 			}
-			break
-		}
-		if halts != 0 {
+			e.halted = true
+		case halts != 0:
 			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+		e.stepsDone = step + 1
+		if err := e.commitJournal(step); err != nil {
+			return nil, err
 		}
 	}
 	runStats := e.dsk.Stats()
@@ -229,7 +342,7 @@ func (e *seqEngine) run() (*Result, error) {
 		K:                  e.k,
 		Groups:             e.groups,
 		CtxBlocksPerVP:     e.muBlocks,
-		Setup:              setup,
+		Setup:              e.setup,
 		Run:                runStats,
 		Finish:             finish,
 		PerProc:            []disk.Stats{runStats},
@@ -378,9 +491,10 @@ func (e *seqEngine) stepOnce(step int) (halts, sends int, err error) {
 		return halts, sends, nil
 	}
 	// In normal operation the consumed input areas are freed before
-	// routing (they are dead weight); in fault mode they are the replay
-	// source, so their release waits for the barrier commit below.
-	if e.fd == nil {
+	// routing (they are dead weight); under the checkpoint discipline
+	// they are the replay/resume source, so their release waits for the
+	// barrier commit below.
+	if !e.ckpt() {
 		for _, ar := range e.inAreas {
 			if err := disk.FreeArea(e.dsk, ar); err != nil {
 				return 0, 0, err
@@ -393,7 +507,7 @@ func (e *seqEngine) stepOnce(step int) (halts, sends int, err error) {
 		return 0, 0, err
 	}
 	// Barrier commit: from here on the superstep is durable.
-	if e.fd != nil {
+	if e.ckpt() {
 		for _, ar := range e.inAreas {
 			if err := disk.FreeArea(e.dsk, ar); err != nil {
 				return 0, 0, err
@@ -412,19 +526,20 @@ func (e *seqEngine) stepOnce(step int) (halts, sends int, err error) {
 }
 
 // commitCtx makes the contexts written by the superstep the committed
-// generation (in fault mode, by flipping the double buffer).
+// generation (under the checkpoint discipline, by flipping the double
+// buffer).
 func (e *seqEngine) commitCtx() {
-	if e.fd != nil {
+	if e.ckpt() {
 		e.ctxCur ^= 1
 	}
 }
 
 // ctxRead returns the area holding the committed contexts; ctxWrite
 // the area the running superstep writes to. They coincide unless
-// fault-mode double-buffering is on.
+// checkpoint double-buffering is on.
 func (e *seqEngine) ctxRead() disk.Area { return e.ctxAreas[e.ctxCur] }
 func (e *seqEngine) ctxWrite() disk.Area {
-	if e.fd != nil {
+	if e.ckpt() {
 		return e.ctxAreas[e.ctxCur^1]
 	}
 	return e.ctxAreas[e.ctxCur]
@@ -587,7 +702,7 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 				sendPkts += e.rec.MsgPkts(len(payload) + 1)
 				outWords += int64(len(payload) + 1)
 			})
-			halt, err := vps[i].Step(env, inbox[i])
+			halt, err := bsp.SafeStep(vps[i], env, inbox[i])
 			if err != nil {
 				return 0, 0, nil, fmt.Errorf("core: VP %d superstep %d: %w", id, step, err)
 			}

@@ -124,6 +124,20 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// Checksum is an FNV-1a-style fold over a block's words; any single
+// bit flip changes it. It is the one checksum of the whole stack: the
+// fault layer uses it to detect in-flight corruption, the file-backed
+// store to detect torn writes, and the commit journal to frame its
+// records.
+func Checksum(ws []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range ws {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Disk is the device-level contract of the simulated disk subsystem:
 // parallel track transfers, dynamic track allocation, and I/O
 // accounting. *Array is the perfect-hardware implementation; the
@@ -149,6 +163,53 @@ type Disk interface {
 	Stats() Stats
 	// ResetStats zeroes the statistics.
 	ResetStats()
+}
+
+// Store is the contract of a disk backend the engines can checkpoint:
+// a Disk plus allocator snapshot/rollback (the fault layer's superstep
+// replay) and whole-state capture/adoption (the durable engines'
+// journal commit and resume). *Array and *File both implement it; the
+// fault layer wraps any Store.
+type Store interface {
+	Disk
+	// AllocSnapshot captures the allocator for a later AllocRestore.
+	AllocSnapshot() AllocMark
+	// AllocRestore rolls the allocator back to a snapshot, discarding
+	// every track allocated since.
+	AllocRestore(m AllocMark)
+	// State captures the store's complete persistent metadata: I/O
+	// statistics plus per-drive allocator state. Together with the
+	// track contents (which a *File keeps on real disk) it defines the
+	// store exactly; the engines journal it at every barrier commit.
+	State() StoreState
+	// AdoptState replaces the store's metadata with a previously
+	// captured State — the resume path's inverse of State.
+	AdoptState(s StoreState) error
+	// Sync makes all written track contents durable (fsync for *File,
+	// a no-op for the in-memory *Array). The engines call it before
+	// appending a commit record to the journal, so a journal record
+	// never refers to data that could still be lost.
+	Sync() error
+	// Close releases the store's resources. The store must not be used
+	// afterwards.
+	Close() error
+}
+
+// StoreState is the persistent metadata of a Store: everything except
+// the track contents themselves. The fields mirror the per-drive
+// allocator (bump high-water mark, last accessed track, free list) and
+// the accumulated statistics; the engines serialize it into the commit
+// journal and feed it back via AdoptState on resume.
+type StoreState struct {
+	Stats Stats
+	// Next holds each drive's bump-allocator high-water mark.
+	Next []int
+	// Last holds each drive's previously accessed track (-1 initially);
+	// it feeds the sequential-vs-random access statistics, so restoring
+	// it keeps resumed runs' Stats bitwise identical.
+	Last []int
+	// Free holds each drive's free list, in stack order.
+	Free [][]int
 }
 
 type drive struct {
@@ -206,9 +267,9 @@ func (a *Array) ResetStats() {
 
 var errDriveConflict = errors.New("disk: parallel I/O op addresses one drive twice")
 
-func (a *Array) checkAddr(d, t int) error {
-	if d < 0 || d >= a.cfg.D {
-		return fmt.Errorf("disk: drive %d out of range [0,%d)", d, a.cfg.D)
+func checkAddr(cfg Config, d, t int) error {
+	if d < 0 || d >= cfg.D {
+		return fmt.Errorf("disk: drive %d out of range [0,%d)", d, cfg.D)
 	}
 	if t < 0 {
 		return fmt.Errorf("disk: negative track %d", t)
@@ -234,7 +295,7 @@ func (a *Array) ReadOp(reqs []ReadReq) error {
 	if len(reqs) == 0 {
 		return nil
 	}
-	if err := a.validateDistinct(len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+	if err := validateDistinct(a.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
 	for _, r := range reqs {
@@ -262,7 +323,7 @@ func (a *Array) WriteOp(reqs []WriteReq) error {
 	if len(reqs) == 0 {
 		return nil
 	}
-	if err := a.validateDistinct(len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+	if err := validateDistinct(a.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
 	for _, r := range reqs {
@@ -286,12 +347,12 @@ func (a *Array) WriteOp(reqs []WriteReq) error {
 	return nil
 }
 
-func (a *Array) validateDistinct(n int, at func(int) (disk, track int)) error {
+func validateDistinct(cfg Config, n int, at func(int) (disk, track int)) error {
 	var seenLow uint64 // bitmask fast path for D <= 64
 	var seen map[int]bool
 	for i := 0; i < n; i++ {
 		d, t := at(i)
-		if err := a.checkAddr(d, t); err != nil {
+		if err := checkAddr(cfg, d, t); err != nil {
 			return err
 		}
 		if d < 64 {
@@ -405,6 +466,54 @@ func (a *Array) AllocRestore(m AllocMark) {
 		}
 	}
 }
+
+// State captures the array's persistent metadata (statistics and
+// per-drive allocator state).
+func (a *Array) State() StoreState {
+	s := StoreState{
+		Stats: a.Stats(),
+		Next:  make([]int, a.cfg.D),
+		Last:  make([]int, a.cfg.D),
+		Free:  make([][]int, a.cfg.D),
+	}
+	for d := range a.drives {
+		s.Next[d] = a.drives[d].next
+		s.Last[d] = a.drives[d].lastTrack
+		s.Free[d] = append([]int(nil), a.drives[d].freeList...)
+	}
+	return s
+}
+
+// AdoptState replaces the array's metadata with a captured State. Track
+// contents are untouched; the in-memory array cannot survive a process
+// restart, so engine-level resume always pairs AdoptState with a *File
+// — the Array implementation exists for interface completeness and
+// tests.
+func (a *Array) AdoptState(s StoreState) error {
+	if len(s.Next) != a.cfg.D || len(s.Last) != a.cfg.D || len(s.Free) != a.cfg.D {
+		return fmt.Errorf("disk: AdoptState of %d/%d/%d-drive state into %d-drive array", len(s.Next), len(s.Last), len(s.Free), a.cfg.D)
+	}
+	st := s.Stats
+	st.PerDrive = append([]DriveStats(nil), s.Stats.PerDrive...)
+	a.stats = st
+	for d := range a.drives {
+		dr := &a.drives[d]
+		dr.next = s.Next[d]
+		dr.lastTrack = s.Last[d]
+		dr.freeList = append([]int(nil), s.Free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			dr.freeSet[t] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Sync is a no-op: the in-memory array has nothing to make durable.
+func (a *Array) Sync() error { return nil }
+
+// Close is a no-op for the in-memory array.
+func (a *Array) Close() error { return nil }
 
 // Tracks returns the bump-allocator high-water mark of drive d: the
 // number of tracks ever allocated on it (peak disk space in blocks).

@@ -1,0 +1,444 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is a file-backed Store: one regular file per simulated drive,
+// accessed with track-aligned pread/pwrite. It is the durable backend
+// behind Options.StateDir — the direction Robillard's EM-BSP
+// simulation takes, backing the simulated drives with real files — and
+// it implements exactly the same model semantics and I/O accounting as
+// the in-memory Array, so a durable run is bitwise identical to an
+// in-memory one.
+//
+// On-disk layout: drive d is the sparse file drive-NNN.dat, whose
+// track t occupies the fixed-size slot [t·slot, (t+1)·slot) with
+//
+//	word 0: track magic (marks the slot as ever written)
+//	word 1: Checksum of the payload
+//	words 2..B+1: the payload (B words)
+//
+// all little-endian. The per-track checksum detects torn writes: a
+// slot whose payload does not match its checksum (e.g. after a crash
+// mid-pwrite) reads back as a typed *CorruptTrackError instead of
+// silently delivering garbage. A small geometry file pins (D, B) so a
+// resume with a mismatched machine configuration fails up front.
+//
+// Allocator metadata (free lists, bump marks, access statistics) lives
+// in memory and is persisted by the engines' commit journal, not by
+// the store itself: reads of free or never-allocated tracks return
+// zeros based on that metadata, so releasing a track needs no physical
+// wipe — which keeps Release crash-safe (the freed track's bytes stay
+// intact on disk until a commit record that no longer references the
+// track is durable).
+//
+// File is not safe for concurrent use, exactly like Array: each
+// simulated processor owns its store. Nor does it lock the directory;
+// running two simulations over one state directory is undefined.
+type File struct {
+	cfg    Config
+	dir    string
+	files  []*os.File
+	drives []drive // tracks field unused; metadata only
+	stats  Stats
+	slotB  int64  // slot size in bytes: (2+B)*8
+	buf    []byte // scratch for one slot
+}
+
+const (
+	trackMagic = 0x454d425354524b31 // "EMBSTRK1"
+	geomMagic  = 0x454d424747454f4d // "EMBGGEOM"
+)
+
+// CorruptTrackError reports a track whose stored payload does not
+// match its per-track checksum — a torn or corrupted write detected by
+// the file-backed store.
+type CorruptTrackError struct {
+	Path  string
+	Disk  int
+	Track int
+}
+
+func (e *CorruptTrackError) Error() string {
+	return fmt.Sprintf("disk: torn or corrupt track %d of drive %d (%s): stored checksum does not match payload", e.Track, e.Disk, e.Path)
+}
+
+// OpenFile opens (resume) or creates (fresh) a file-backed store under
+// dir. A fresh open truncates any previous drive files and records the
+// geometry; a resuming open requires the directory to exist with a
+// matching geometry and leaves all track contents in place (the caller
+// restores allocator metadata via AdoptState from its commit journal).
+func OpenFile(dir string, cfg Config, resume bool) (*File, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	geomPath := filepath.Join(dir, "geometry")
+	if resume {
+		if err := checkGeometry(geomPath, cfg); err != nil {
+			return nil, err
+		}
+	} else if err := writeGeometry(geomPath, cfg); err != nil {
+		return nil, err
+	}
+	f := &File{
+		cfg:    cfg,
+		dir:    dir,
+		files:  make([]*os.File, cfg.D),
+		drives: make([]drive, cfg.D),
+		slotB:  int64(2+cfg.B) * 8,
+		buf:    make([]byte, int64(2+cfg.B)*8),
+	}
+	f.stats.PerDrive = make([]DriveStats, cfg.D)
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	for d := 0; d < cfg.D; d++ {
+		fh, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("drive-%03d.dat", d)), flags, 0o666)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.files[d] = fh
+		f.drives[d].lastTrack = -1
+	}
+	return f, nil
+}
+
+func writeGeometry(path string, cfg Config) error {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf[0:], geomMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(cfg.D))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(cfg.B))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func checkGeometry(path string, cfg Config) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("disk: state directory has no readable geometry (is this a previous run's -state-dir?): %w", err)
+	}
+	if len(buf) != 24 || binary.LittleEndian.Uint64(buf[0:]) != geomMagic {
+		return fmt.Errorf("disk: %s is not a store geometry file", path)
+	}
+	d, b := int(binary.LittleEndian.Uint64(buf[8:])), int(binary.LittleEndian.Uint64(buf[16:]))
+	if d != cfg.D || b != cfg.B {
+		return fmt.Errorf("disk: state directory was written with D=%d B=%d, resuming run wants D=%d B=%d", d, b, cfg.D, cfg.B)
+	}
+	return nil
+}
+
+// Config returns the store configuration.
+func (f *File) Config() Config { return f.cfg }
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (f *File) Stats() Stats {
+	s := f.stats
+	s.PerDrive = append([]DriveStats(nil), f.stats.PerDrive...)
+	return s
+}
+
+// ResetStats zeroes the statistics. Stored data is untouched.
+func (f *File) ResetStats() {
+	f.stats = Stats{PerDrive: make([]DriveStats, f.cfg.D)}
+}
+
+func (f *File) touch(d, t int) {
+	dr := &f.drives[d]
+	if t == dr.lastTrack+1 {
+		f.stats.PerDrive[d].SeqAccesses++
+	} else {
+		f.stats.PerDrive[d].RandAccesses++
+	}
+	dr.lastTrack = t
+}
+
+// blank reports whether the track currently reads as zeros by
+// allocator metadata alone: released, or beyond the bump mark (which
+// covers tracks dirtied by a crashed attempt and later rolled back).
+func (f *File) blank(d, t int) bool {
+	dr := &f.drives[d]
+	if t >= dr.next {
+		return true
+	}
+	_, free := dr.freeSet[t]
+	return free
+}
+
+func (f *File) readSlot(d, t int, dst []uint64) error {
+	n, err := f.files[d].ReadAt(f.buf, int64(t)*f.slotB)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if n < 8 || binary.LittleEndian.Uint64(f.buf[0:]) != trackMagic {
+		// Never physically written (or wiped by a rollback): blank.
+		clear(dst)
+		return nil
+	}
+	if n < int(f.slotB) {
+		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(f.buf[16+8*i:])
+	}
+	if Checksum(dst) != binary.LittleEndian.Uint64(f.buf[8:]) {
+		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
+	}
+	return nil
+}
+
+func (f *File) writeSlot(d, t int, src []uint64) error {
+	binary.LittleEndian.PutUint64(f.buf[0:], trackMagic)
+	binary.LittleEndian.PutUint64(f.buf[8:], Checksum(src))
+	for i, w := range src {
+		binary.LittleEndian.PutUint64(f.buf[16+8*i:], w)
+	}
+	_, err := f.files[d].WriteAt(f.buf, int64(t)*f.slotB)
+	return err
+}
+
+// wipeSlot clears a slot's magic word so the track reads as blank
+// again (used by AllocRestore to discard an aborted attempt's writes).
+func (f *File) wipeSlot(d, t int) error {
+	var zero [8]byte
+	_, err := f.files[d].WriteAt(zero[:], int64(t)*f.slotB)
+	return err
+}
+
+// ReadOp performs one parallel read, at most one track per drive, with
+// the same validation, accounting and blank-track semantics as
+// Array.ReadOp.
+func (f *File) ReadOp(reqs []ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := validateDistinct(f.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if len(r.Dst) != f.cfg.B {
+			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), f.cfg.B)
+		}
+		if f.blank(r.Disk, r.Track) {
+			clear(r.Dst)
+		} else if err := f.readSlot(r.Disk, r.Track, r.Dst); err != nil {
+			return err
+		}
+		f.touch(r.Disk, r.Track)
+		f.stats.PerDrive[r.Disk].BlocksRead++
+	}
+	f.stats.Ops++
+	f.stats.ReadOps++
+	f.stats.BlocksRead += int64(len(reqs))
+	return nil
+}
+
+// WriteOp performs one parallel write, at most one track per drive.
+func (f *File) WriteOp(reqs []WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := validateDistinct(f.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if len(r.Src) != f.cfg.B {
+			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), f.cfg.B)
+		}
+		if err := f.writeSlot(r.Disk, r.Track, r.Src); err != nil {
+			return err
+		}
+		f.touch(r.Disk, r.Track)
+		f.stats.PerDrive[r.Disk].BlocksWritten++
+	}
+	f.stats.Ops++
+	f.stats.WriteOps++
+	f.stats.BlocksWritten += int64(len(reqs))
+	return nil
+}
+
+// Alloc returns a free track on drive d, reusing freed tracks before
+// extending the drive — identical allocation order to Array.Alloc, so
+// durable and in-memory runs lay data out identically.
+func (f *File) Alloc(d int) int {
+	dr := &f.drives[d]
+	var t int
+	if n := len(dr.freeList); n > 0 {
+		t = dr.freeList[n-1]
+		dr.freeList = dr.freeList[:n-1]
+		delete(dr.freeSet, t)
+	} else {
+		t = dr.next
+		dr.next++
+	}
+	// Array clears a track at Release; File defers the clear to here so
+	// releases stay metadata-only (crash safety). A track being handed
+	// out is free in the last durable commit record, so wiping its magic
+	// word destroys no committed data — and makes recycled tracks (and
+	// slots holding stale bytes from a crashed run) read blank, exactly
+	// like Array. Best-effort, like AllocRestore's wipes.
+	f.wipeSlot(d, t) //nolint:errcheck
+	return t
+}
+
+// Release returns a track to the drive's free list. The release is
+// metadata-only (reads of free tracks return zeros by the allocator,
+// not by a physical wipe), which is what makes the engines' commit
+// ordering crash-safe: data referenced by the last durable commit
+// record is never physically destroyed before the next record lands.
+func (f *File) Release(d, t int) error {
+	if d < 0 || d >= f.cfg.D {
+		return fmt.Errorf("disk: Release drive %d out of range [0,%d)", d, f.cfg.D)
+	}
+	dr := &f.drives[d]
+	if t < 0 || t >= dr.next {
+		return fmt.Errorf("disk: Release track %d on drive %d outside allocated range [0,%d)", t, d, dr.next)
+	}
+	if _, free := dr.freeSet[t]; free {
+		return fmt.Errorf("disk: double release of track %d on drive %d", t, d)
+	}
+	if dr.freeSet == nil {
+		dr.freeSet = make(map[int]struct{})
+	}
+	dr.freeSet[t] = struct{}{}
+	dr.freeList = append(dr.freeList, t)
+	return nil
+}
+
+// ReserveRot allocates a standard-consecutive-format area with the
+// given drive rotation, exactly as Array.ReserveRot does.
+func (f *File) ReserveRot(nBlocks, rot int) Area {
+	if nBlocks < 0 {
+		panic("disk: Reserve with negative size")
+	}
+	per := (nBlocks + f.cfg.D - 1) / f.cfg.D
+	ar := Area{d: f.cfg.D, n: nBlocks, rot: ((rot % f.cfg.D) + f.cfg.D) % f.cfg.D, base: make([]int, f.cfg.D)}
+	for d := range f.drives {
+		dr := &f.drives[d]
+		ar.base[d] = dr.next
+		dr.next += per
+		// Reserved slots sit beyond the last committed high-water mark,
+		// so they may hold stale (even torn) bytes from a crashed
+		// attempt; wipe their magic words so ragged never-written slots
+		// read blank, as on Array. See Alloc.
+		for t := ar.base[d]; t < dr.next; t++ {
+			f.wipeSlot(d, t) //nolint:errcheck
+		}
+	}
+	return ar
+}
+
+// AllocSnapshot captures the allocator state for a later AllocRestore.
+func (f *File) AllocSnapshot() AllocMark {
+	m := AllocMark{next: make([]int, f.cfg.D), free: make([][]int, f.cfg.D)}
+	for d := range f.drives {
+		m.next[d] = f.drives[d].next
+		m.free[d] = append([]int(nil), f.drives[d].freeList...)
+	}
+	return m
+}
+
+// AllocRestore rolls the allocator back to a snapshot and wipes the
+// magic word of every track the rollback unallocates, mirroring
+// Array.AllocRestore's clearing semantics. The wiped tracks are, by
+// the engines' checkpoint discipline, never referenced by committed
+// state, so the wipe is safe at any crash point.
+func (f *File) AllocRestore(m AllocMark) {
+	for d := range f.drives {
+		dr := &f.drives[d]
+		for t := m.next[d]; t < dr.next; t++ {
+			// Best-effort wipe: a failed wipe only leaves stale bytes
+			// that metadata already reads as blank.
+			_ = f.wipeSlot(d, t)
+		}
+		dr.next = m.next[d]
+		dr.freeList = append(dr.freeList[:0], m.free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			_ = f.wipeSlot(d, t)
+			dr.freeSet[t] = struct{}{}
+		}
+	}
+}
+
+// State captures the store's persistent metadata.
+func (f *File) State() StoreState {
+	s := StoreState{
+		Stats: f.Stats(),
+		Next:  make([]int, f.cfg.D),
+		Last:  make([]int, f.cfg.D),
+		Free:  make([][]int, f.cfg.D),
+	}
+	for d := range f.drives {
+		s.Next[d] = f.drives[d].next
+		s.Last[d] = f.drives[d].lastTrack
+		s.Free[d] = append([]int(nil), f.drives[d].freeList...)
+	}
+	return s
+}
+
+// AdoptState replaces the store's metadata with a captured State — the
+// resume path. Track contents stay as the drive files hold them; any
+// bytes written after the adopted state was captured are unreachable
+// (free or beyond the bump mark) and read as zeros.
+func (f *File) AdoptState(s StoreState) error {
+	if len(s.Next) != f.cfg.D || len(s.Last) != f.cfg.D || len(s.Free) != f.cfg.D {
+		return fmt.Errorf("disk: AdoptState of %d/%d/%d-drive state into %d-drive store", len(s.Next), len(s.Last), len(s.Free), f.cfg.D)
+	}
+	st := s.Stats
+	st.PerDrive = append([]DriveStats(nil), s.Stats.PerDrive...)
+	f.stats = st
+	for d := range f.drives {
+		dr := &f.drives[d]
+		dr.next = s.Next[d]
+		dr.lastTrack = s.Last[d]
+		dr.freeList = append([]int(nil), s.Free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			dr.freeSet[t] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs every drive file. The engines call it before each
+// journal append: write-ahead discipline requires the data a commit
+// record references to be durable before the record itself.
+func (f *File) Sync() error {
+	for _, fh := range f.files {
+		if fh == nil {
+			continue
+		}
+		if err := fh.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every drive file.
+func (f *File) Close() error {
+	var first error
+	for i, fh := range f.files {
+		if fh == nil {
+			continue
+		}
+		if err := fh.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.files[i] = nil
+	}
+	return first
+}

@@ -1,0 +1,261 @@
+package disk
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"embsp/internal/prng"
+)
+
+func newFileTest(t *testing.T, d, b int) *File {
+	t.Helper()
+	f, err := OpenFile(t.TempDir(), Config{D: d, B: b}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func track(b int, fill uint64) []uint64 {
+	ws := make([]uint64, b)
+	for i := range ws {
+		ws[i] = fill + uint64(i)
+	}
+	return ws
+}
+
+// TestFileMatchesArray drives a File and an Array through an identical
+// random operation sequence and checks that data, statistics and
+// allocator state stay bitwise equal — the property the durable
+// engines rely on for resumed-vs-uninterrupted result identity.
+func TestFileMatchesArray(t *testing.T) {
+	const D, B = 3, 16
+	f := newFileTest(t, D, B)
+	a := MustNewArray(Config{D: D, B: B})
+	r := prng.New(11)
+	type addr struct{ d, t int }
+	var live []addr
+	for op := 0; op < 400; op++ {
+		switch {
+		case len(live) > 0 && r.Intn(4) == 0: // release
+			i := r.Intn(len(live))
+			ad := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := f.Release(ad.d, ad.t); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Release(ad.d, ad.t); err != nil {
+				t.Fatal(err)
+			}
+		case len(live) > 0 && r.Intn(3) == 0: // read back and compare
+			ad := live[r.Intn(len(live))]
+			fw, aw := make([]uint64, B), make([]uint64, B)
+			if err := f.ReadOp([]ReadReq{{Disk: ad.d, Track: ad.t, Dst: fw}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.ReadOp([]ReadReq{{Disk: ad.d, Track: ad.t, Dst: aw}}); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fw, aw) {
+				t.Fatalf("op %d: track (%d,%d) differs between File and Array", op, ad.d, ad.t)
+			}
+		default: // allocate and write
+			d := r.Intn(D)
+			ft, at := f.Alloc(d), a.Alloc(d)
+			if ft != at {
+				t.Fatalf("op %d: File allocated track %d, Array %d", op, ft, at)
+			}
+			ws := track(B, r.Uint64())
+			if err := f.WriteOp([]WriteReq{{Disk: d, Track: ft, Src: ws}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.WriteOp([]WriteReq{{Disk: d, Track: at, Src: ws}}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, addr{d, ft})
+		}
+	}
+	if !reflect.DeepEqual(f.Stats(), a.Stats()) {
+		t.Errorf("statistics diverged:\nfile:  %+v\narray: %+v", f.Stats(), a.Stats())
+	}
+	if !reflect.DeepEqual(f.State(), a.State()) {
+		t.Errorf("allocator state diverged:\nfile:  %+v\narray: %+v", f.State(), a.State())
+	}
+}
+
+// TestFileReopen checks that synced track contents survive Close and a
+// resume reopen, and that allocator metadata adoption reproduces the
+// original store exactly.
+func TestFileReopen(t *testing.T) {
+	const D, B = 2, 8
+	dir := t.TempDir()
+	cfg := Config{D: D, B: B}
+	f, err := OpenFile(dir, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := track(B, 42)
+	tr := f.Alloc(1)
+	if err := f.WriteOp([]WriteReq{{Disk: 1, Track: tr, Src: want}}); err != nil {
+		t.Fatal(err)
+	}
+	state := f.State()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenFile(dir, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.AdoptState(state); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.State(), state) {
+		t.Errorf("adopted state mismatch:\ngot  %+v\nwant %+v", g.State(), state)
+	}
+	got := make([]uint64, B)
+	if err := g.ReadOp([]ReadReq{{Disk: 1, Track: tr, Dst: got}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("track content not preserved across reopen: got %v want %v", got, want)
+	}
+}
+
+// TestFileGeometryMismatch: resuming a state directory with a
+// different drive count or block size must fail up front.
+func TestFileGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, Config{D: 2, B: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for _, cfg := range []Config{{D: 3, B: 8}, {D: 2, B: 16}} {
+		if _, err := OpenFile(dir, cfg, true); err == nil {
+			t.Errorf("resume with geometry %+v: want error, got nil", cfg)
+		}
+	}
+	if _, err := OpenFile(t.TempDir(), Config{D: 2, B: 8}, true); err == nil {
+		t.Error("resume from an empty directory: want error, got nil")
+	}
+}
+
+// TestFileBlankTracks: allocated-but-never-written and released tracks
+// read as zeros, regardless of stale bytes in the backing file.
+func TestFileBlankTracks(t *testing.T) {
+	const B = 8
+	f := newFileTest(t, 1, B)
+	t0 := f.Alloc(0)
+	got := make([]uint64, B)
+	if err := f.ReadOp([]ReadReq{{Disk: 0, Track: t0, Dst: got}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w != 0 {
+			t.Fatalf("fresh track reads %v, want zeros", got)
+		}
+	}
+	if err := f.WriteOp([]WriteReq{{Disk: 0, Track: t0, Src: track(B, 7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 := f.Alloc(0); t1 != t0 {
+		t.Fatalf("free list recycling broken: got track %d, want %d", t1, t0)
+	}
+	if err := f.ReadOp([]ReadReq{{Disk: 0, Track: t0, Dst: got}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w != 0 {
+			t.Fatalf("recycled track reads %v, want zeros", got)
+		}
+	}
+}
+
+// TestFileCorruptTrack flips one byte of a committed track on the real
+// filesystem and checks the read reports a typed CorruptTrackError
+// instead of returning damaged data.
+func TestFileCorruptTrack(t *testing.T) {
+	const B = 8
+	dir := t.TempDir()
+	f, err := OpenFile(dir, Config{D: 1, B: B}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	t0 := f.Alloc(0)
+	if err := f.WriteOp([]WriteReq{{Disk: 0, Track: t0, Src: track(B, 3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "drive-000.dat")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // inside the track payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = f.ReadOp([]ReadReq{{Disk: 0, Track: t0, Dst: make([]uint64, B)}})
+	var ce *CorruptTrackError
+	if !errors.As(err, &ce) {
+		t.Fatalf("read of corrupted track: got %v, want *CorruptTrackError", err)
+	}
+	if ce.Disk != 0 || ce.Track != t0 {
+		t.Errorf("error names track (%d,%d), want (0,%d)", ce.Disk, ce.Track, t0)
+	}
+}
+
+// TestFileAllocRestore: rolling the allocator back invalidates the
+// tracks allocated since the snapshot — they must read as blank even
+// though their bytes were physically written.
+func TestFileAllocRestore(t *testing.T) {
+	const B = 8
+	f := newFileTest(t, 1, B)
+	keep := f.Alloc(0)
+	if err := f.WriteOp([]WriteReq{{Disk: 0, Track: keep, Src: track(B, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	mark := f.AllocSnapshot()
+	scratch := f.Alloc(0)
+	if err := f.WriteOp([]WriteReq{{Disk: 0, Track: scratch, Src: track(B, 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	f.AllocRestore(mark)
+
+	got := make([]uint64, B)
+	if err := f.ReadOp([]ReadReq{{Disk: 0, Track: keep, Dst: got}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, track(B, 1)) {
+		t.Errorf("kept track damaged by rollback: %v", got)
+	}
+	if again := f.Alloc(0); again != scratch {
+		t.Fatalf("rollback did not retract track %d (got %d)", scratch, again)
+	}
+	if err := f.ReadOp([]ReadReq{{Disk: 0, Track: scratch, Dst: got}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w != 0 {
+			t.Fatalf("rolled-back track still holds data: %v", got)
+		}
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 
+	"sort"
+
 	"embsp/internal/disk"
 	"embsp/internal/prng"
+	"embsp/internal/words"
 )
 
 // DefaultMaxRetries is the retry budget used when the caller passes 0
@@ -17,17 +20,18 @@ const DefaultMaxRetries = 8
 
 type addr struct{ d, t int }
 
-// Disk wraps an underlying disk.Array with the fault layer: injection
+// Disk wraps an underlying disk.Store with the fault layer: injection
 // according to a Plan, per-track checksums, bounded charged retries,
 // optional mirroring, and dead-drive redirection. It implements
 // disk.Disk, so the engines and the layout helpers run on it
-// unchanged.
+// unchanged, whether the store underneath is the in-memory Array or
+// the durable file-backed File.
 //
 // Disk is not safe for concurrent use; the engines give each real
-// processor its own wrapped array, exactly as they give each its own
+// processor its own wrapped store, exactly as they give each its own
 // disk.Array.
 type Disk struct {
-	inner      *disk.Array
+	inner      disk.Store
 	plan       Plan
 	maxRetries int
 	rng        *prng.Rand
@@ -39,12 +43,12 @@ type Disk struct {
 	ctr      Counters
 }
 
-// Wrap layers the fault model over an array. maxRetries bounds the
+// Wrap layers the fault model over a store. maxRetries bounds the
 // transparent retry policy: 0 means DefaultMaxRetries, negative
 // disables retries entirely (every transient fault escapes to the
 // caller as a recoverable error). Mirroring requires at least two
 // drives.
-func Wrap(a *disk.Array, plan Plan, maxRetries int) (*Disk, error) {
+func Wrap(a disk.Store, plan Plan, maxRetries int) (*Disk, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +77,7 @@ func Wrap(a *disk.Array, plan Plan, maxRetries int) (*Disk, error) {
 }
 
 // MustWrap is Wrap for statically valid plans.
-func MustWrap(a *disk.Array, plan Plan, maxRetries int) *Disk {
+func MustWrap(a disk.Store, plan Plan, maxRetries int) *Disk {
 	f, err := Wrap(a, plan, maxRetries)
 	if err != nil {
 		panic(err)
@@ -129,17 +133,6 @@ func (f *Disk) Release(d, t int) error {
 	}
 	delete(f.sums, key)
 	return f.inner.Release(d, t)
-}
-
-// checksum is an FNV-1a-style fold over the block's words; any single
-// bit flip changes it.
-func checksum(ws []uint64) uint64 {
-	h := uint64(1469598103934665603)
-	for _, w := range ws {
-		h ^= w
-		h *= 1099511628211
-	}
-	return h
 }
 
 // mirrorDrive returns the live partner drive for d, preferring the
@@ -306,7 +299,7 @@ func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
 		if !ok {
 			continue
 		}
-		if got := checksum(r.Dst); got != want {
+		if got := disk.Checksum(r.Dst); got != want {
 			f.ctr.ChecksumFailures++
 			f.ctr.RecoveryOps++ // the re-read this detection forces
 			return &Error{Kind: Corruption, Disk: r.Disk, Track: r.Track, Op: "read", Recoverable: true}
@@ -392,7 +385,7 @@ func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
 
 	// Record checksums for the physical locations written.
 	for i, r := range reqs {
-		f.sums[addr{phys[i].Disk, phys[i].Track}] = checksum(r.Src)
+		f.sums[addr{phys[i].Disk, phys[i].Track}] = disk.Checksum(r.Src)
 	}
 
 	if failIdx >= 0 {
@@ -436,7 +429,7 @@ func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
 			f.ctr.MirrorOps++
 		}
 		for _, mr := range ms {
-			f.sums[addr{mr.m.Disk, mr.m.Track}] = checksum(reqs[mr.i].Src)
+			f.sums[addr{mr.m.Disk, mr.m.Track}] = disk.Checksum(reqs[mr.i].Src)
 		}
 	}
 	return nil
@@ -491,4 +484,109 @@ func (f *Disk) Restore(s *Snapshot) {
 func Replayable(err error) bool {
 	var fe *Error
 	return errors.As(err, &fe) && fe.Recoverable
+}
+
+// EncodeState appends the fault layer's complete persistent state to
+// enc: the fault-schedule clock, the injection PRNG, dead drives, the
+// accumulated counters, and the checksum and mirror directories (in
+// sorted address order, so the encoding is deterministic). Unlike
+// Snapshot — which deliberately omits the clock and counters because
+// an in-process replay is new work under new draws — a journal commit
+// must capture everything: a resumed process replaces the crashed one
+// entirely, so the fault schedule has to continue exactly where the
+// last committed barrier left it.
+func (f *Disk) EncodeState(enc *words.Encoder) {
+	enc.PutInt(f.attempts)
+	st := f.rng.State()
+	for _, w := range st[:] {
+		enc.PutUint(w)
+	}
+	enc.PutInt(int64(len(f.dead)))
+	for _, d := range f.dead {
+		enc.PutBool(d)
+	}
+	c := f.ctr
+	enc.PutInts([]int64{
+		c.InjectedReadFaults, c.InjectedWriteFaults, c.InjectedCorruptions,
+		c.ChecksumFailures, c.DriveFailures, c.Retries, c.RetriedBlocks,
+		c.RecoveryOps, c.MirrorOps,
+	})
+
+	sumKeys := make([]addr, 0, len(f.sums))
+	for k := range f.sums {
+		sumKeys = append(sumKeys, k)
+	}
+	sort.Slice(sumKeys, func(i, j int) bool {
+		if sumKeys[i].d != sumKeys[j].d {
+			return sumKeys[i].d < sumKeys[j].d
+		}
+		return sumKeys[i].t < sumKeys[j].t
+	})
+	enc.PutInt(int64(len(sumKeys)))
+	for _, k := range sumKeys {
+		enc.PutInt(int64(k.d))
+		enc.PutInt(int64(k.t))
+		enc.PutUint(f.sums[k])
+	}
+
+	mirKeys := make([]addr, 0, len(f.mirrors))
+	for k := range f.mirrors {
+		mirKeys = append(mirKeys, k)
+	}
+	sort.Slice(mirKeys, func(i, j int) bool {
+		if mirKeys[i].d != mirKeys[j].d {
+			return mirKeys[i].d < mirKeys[j].d
+		}
+		return mirKeys[i].t < mirKeys[j].t
+	})
+	enc.PutInt(int64(len(mirKeys)))
+	for _, k := range mirKeys {
+		m := f.mirrors[k]
+		enc.PutInt(int64(k.d))
+		enc.PutInt(int64(k.t))
+		enc.PutInt(int64(m.Disk))
+		enc.PutInt(int64(m.Track))
+	}
+}
+
+// DecodeState restores state previously written by EncodeState.
+func (f *Disk) DecodeState(dec *words.Decoder) error {
+	f.attempts = dec.Int()
+	var st [4]uint64
+	for i := range st {
+		st[i] = dec.Uint()
+	}
+	f.rng.SetState(st)
+	nd := int(dec.Int())
+	if nd != len(f.dead) {
+		return fmt.Errorf("fault: decoding state for %d drives into %d-drive layer", nd, len(f.dead))
+	}
+	for d := range f.dead {
+		f.dead[d] = dec.Bool()
+	}
+	cs := dec.Ints()
+	if len(cs) != 9 {
+		return fmt.Errorf("fault: counter state has %d fields, want 9", len(cs))
+	}
+	f.ctr = Counters{
+		InjectedReadFaults: cs[0], InjectedWriteFaults: cs[1], InjectedCorruptions: cs[2],
+		ChecksumFailures: cs[3], DriveFailures: cs[4], Retries: cs[5], RetriedBlocks: cs[6],
+		RecoveryOps: cs[7], MirrorOps: cs[8],
+	}
+
+	f.sums = make(map[addr]uint64)
+	for n := dec.Int(); n > 0; n-- {
+		d := int(dec.Int())
+		t := int(dec.Int())
+		f.sums[addr{d, t}] = dec.Uint()
+	}
+	f.mirrors = make(map[addr]disk.Addr)
+	for n := dec.Int(); n > 0; n-- {
+		d := int(dec.Int())
+		t := int(dec.Int())
+		md := int(dec.Int())
+		mt := int(dec.Int())
+		f.mirrors[addr{d, t}] = disk.Addr{Disk: md, Track: mt}
+	}
+	return nil
 }

@@ -1,0 +1,270 @@
+// Package journal implements the write-ahead commit journal behind
+// Options.StateDir. The engines append one record per committed
+// compound-superstep barrier (the encoded checkpoint manifest:
+// superstep index, PRNG state, allocator and fault-layer state,
+// context directory, statistics); on resume the journal replays to the
+// last committed barrier and the run continues from there.
+//
+// On disk a journal is two files in the state directory:
+//
+//	journal.wal — the record log, a flat sequence of framed records:
+//	    word 0: record magic
+//	    word 1: sequence number (0, 1, 2, ...)
+//	    word 2: payload length in words
+//	    words 3..3+n: the payload
+//	    last word: checksum over words 1..3+n
+//	HEAD — the commit pointer: [magic, record count, byte length,
+//	    checksum], 32 bytes, replaced atomically.
+//
+// Append follows write-ahead discipline: the record is written and
+// fsynced to journal.wal first, then HEAD is replaced via
+// write-to-temp + fsync + rename + directory fsync. A crash between
+// the two leaves a durable record that HEAD does not cover; Open
+// treats everything beyond HEAD as an uncommitted tail and truncates
+// it (a clean rollback to the last commit — the engines deterministically
+// redo the lost superstep). A record that HEAD covers but that is
+// truncated or fails its checksum is corruption, reported as a typed
+// *Error and never silently replayed.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"embsp/internal/disk"
+)
+
+const (
+	recMagic  = 0x454d424a524e4c31 // "EMBJRNL1"
+	headMagic = 0x454d424a48454144 // "EMBJHEAD"
+	headBytes = 32
+)
+
+// Error reports a structurally damaged journal: a record that the HEAD
+// pointer covers but that cannot be read back intact.
+type Error struct {
+	Path   string
+	Record int // sequence number of the damaged record, -1 for HEAD itself
+	Reason string
+}
+
+func (e *Error) Error() string {
+	if e.Record < 0 {
+		return fmt.Sprintf("journal: %s: %s", e.Path, e.Reason)
+	}
+	return fmt.Sprintf("journal: %s: record %d: %s", e.Path, e.Record, e.Reason)
+}
+
+// Journal is an append-only commit log. It is not safe for concurrent
+// use.
+type Journal struct {
+	dir     string
+	wal     *os.File
+	off     int64      // committed byte length of the wal
+	records [][]uint64 // committed payloads, in sequence order
+	torn    bool       // Open truncated an uncommitted tail
+}
+
+func walPath(dir string) string  { return filepath.Join(dir, "journal.wal") }
+func headPath(dir string) string { return filepath.Join(dir, "HEAD") }
+
+// Create starts a fresh journal in dir, discarding any previous one.
+func Create(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath(dir), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, wal: wal}
+	if err := j.writeHead(0); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open loads an existing journal for resumption. It verifies HEAD,
+// reads back exactly the committed records (verifying each frame), and
+// truncates any uncommitted tail beyond HEAD. Fewer intact records
+// than HEAD promises is corruption and yields a typed *Error.
+func Open(dir string) (*Journal, error) {
+	head, err := os.ReadFile(headPath(dir))
+	if err != nil {
+		return nil, &Error{Path: headPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable commit pointer: %v", err)}
+	}
+	if len(head) != headBytes || binary.LittleEndian.Uint64(head[0:]) != headMagic {
+		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "not a journal HEAD"}
+	}
+	hw := []uint64{
+		binary.LittleEndian.Uint64(head[8:]),
+		binary.LittleEndian.Uint64(head[16:]),
+	}
+	if disk.Checksum(hw) != binary.LittleEndian.Uint64(head[24:]) {
+		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer fails its checksum"}
+	}
+	count, length := int(hw[0]), int64(hw[1])
+
+	wal, err := os.OpenFile(walPath(dir), os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, &Error{Path: walPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable log: %v", err)}
+	}
+	j := &Journal{dir: dir, wal: wal, off: length}
+
+	buf, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if int64(len(buf)) < length {
+		wal.Close()
+		return nil, &Error{Path: walPath(dir), Record: -1,
+			Reason: fmt.Sprintf("log is %d bytes, commit pointer covers %d", len(buf), length)}
+	}
+	off := int64(0)
+	for seq := 0; seq < count; seq++ {
+		payload, n, rerr := parseRecord(buf[off:length], seq)
+		if rerr != nil {
+			wal.Close()
+			rerr.Path = walPath(dir)
+			return nil, rerr
+		}
+		j.records = append(j.records, payload)
+		off += n
+	}
+	if off != length {
+		wal.Close()
+		return nil, &Error{Path: walPath(dir), Record: -1,
+			Reason: fmt.Sprintf("committed records end at byte %d, commit pointer says %d", off, length)}
+	}
+	// Anything beyond HEAD is a durable but uncommitted tail (crash
+	// between record fsync and HEAD rename): truncate it and let the
+	// engine redo that superstep deterministically.
+	if int64(len(buf)) > length {
+		j.torn = true
+		if err := wal.Truncate(length); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// parseRecord decodes one framed record expecting sequence seq,
+// returning the payload and the frame length in bytes.
+func parseRecord(buf []byte, seq int) ([]uint64, int64, *Error) {
+	if len(buf) < 32 {
+		return nil, 0, &Error{Record: seq, Reason: "record truncated before its header"}
+	}
+	if binary.LittleEndian.Uint64(buf[0:]) != recMagic {
+		return nil, 0, &Error{Record: seq, Reason: "bad record magic"}
+	}
+	gotSeq := binary.LittleEndian.Uint64(buf[8:])
+	if gotSeq != uint64(seq) {
+		return nil, 0, &Error{Record: seq, Reason: fmt.Sprintf("record claims sequence %d", gotSeq)}
+	}
+	nwords := binary.LittleEndian.Uint64(buf[16:])
+	frame := 8 * (4 + int64(nwords))
+	if nwords > uint64(len(buf))/8 || int64(len(buf)) < frame {
+		return nil, 0, &Error{Record: seq, Reason: "record truncated mid-payload"}
+	}
+	ws := make([]uint64, 2+nwords) // seq, nwords, payload — the checksummed words
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint64(buf[8+8*i:])
+	}
+	if disk.Checksum(ws) != binary.LittleEndian.Uint64(buf[frame-8:]) {
+		return nil, 0, &Error{Record: seq, Reason: "record fails its checksum"}
+	}
+	return ws[2:], frame, nil
+}
+
+func (j *Journal) writeHead(count int) error {
+	hw := []uint64{uint64(count), uint64(j.off)}
+	buf := make([]byte, headBytes)
+	binary.LittleEndian.PutUint64(buf[0:], headMagic)
+	binary.LittleEndian.PutUint64(buf[8:], hw[0])
+	binary.LittleEndian.PutUint64(buf[16:], hw[1])
+	binary.LittleEndian.PutUint64(buf[24:], disk.Checksum(hw))
+	tmp := headPath(j.dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, headPath(j.dir)); err != nil {
+		return err
+	}
+	// Fsync the directory so the rename itself is durable.
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append commits one record: the framed payload is written and fsynced
+// to the log, then the HEAD pointer is atomically advanced over it.
+// The payload is only considered committed once Append returns nil.
+func (j *Journal) Append(payload []uint64) error {
+	seq := len(j.records)
+	ws := make([]uint64, 2+len(payload))
+	ws[0] = uint64(seq)
+	ws[1] = uint64(len(payload))
+	copy(ws[2:], payload)
+	frame := make([]byte, 8*(4+len(payload)))
+	binary.LittleEndian.PutUint64(frame[0:], recMagic)
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(frame[8+8*i:], w)
+	}
+	binary.LittleEndian.PutUint64(frame[len(frame)-8:], disk.Checksum(ws))
+	if _, err := j.wal.WriteAt(frame, j.off); err != nil {
+		return err
+	}
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	j.off += int64(len(frame))
+	if err := j.writeHead(seq + 1); err != nil {
+		return err
+	}
+	j.records = append(j.records, append([]uint64(nil), payload...))
+	return nil
+}
+
+// Records returns the committed payloads in sequence order. The caller
+// must not modify them.
+func (j *Journal) Records() [][]uint64 { return j.records }
+
+// Torn reports whether Open found and truncated a durable but
+// uncommitted tail after the last committed record — the signature of
+// a crash between a record write and its HEAD advance.
+func (j *Journal) Torn() bool { return j.torn }
+
+// Close closes the log file. The journal must not be appended to
+// afterwards.
+func (j *Journal) Close() error {
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}

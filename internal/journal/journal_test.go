@@ -1,0 +1,175 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func mustCreate(t *testing.T, dir string, payloads ...[]uint64) {
+	t.Helper()
+	j, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	want := [][]uint64{{1, 2, 3}, {}, {0xdeadbeef}, {9, 9, 9, 9}}
+	mustCreate(t, dir, want...)
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := j.Records()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) == 0 && len(want[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if j.Torn() {
+		t.Error("clean journal reported torn")
+	}
+
+	// Appending after reopen continues the sequence.
+	if err := j.Append([]uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := len(j2.Records()); n != len(want)+1 {
+		t.Fatalf("after reopen-append: %d records, want %d", n, len(want)+1)
+	}
+}
+
+// TestJournalTornTail simulates a crash between a record's fsync and
+// its HEAD advance: durable bytes beyond HEAD must be rolled back
+// (truncated), reported via Torn, and the committed prefix preserved.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1}, []uint64{2})
+
+	wal, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write(make([]byte, 41)); err != nil { // partial third record
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail must roll back cleanly, got: %v", err)
+	}
+	defer j.Close()
+	if !j.Torn() {
+		t.Error("Torn() = false after tail truncation")
+	}
+	if n := len(j.Records()); n != 2 {
+		t.Fatalf("got %d records, want the 2 committed ones", n)
+	}
+	if fi, _ := os.Stat(walPath(dir)); fi.Size() != j.off {
+		t.Errorf("wal is %d bytes after rollback, want %d", fi.Size(), j.off)
+	}
+	// The rolled-back journal accepts new commits at the old position.
+	if err := j.Append([]uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCorruptRecord flips a byte inside a committed record: Open
+// must report a typed *Error naming that record, never replay it.
+func TestJournalCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1, 1}, []uint64{2, 2})
+
+	buf, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-12] ^= 0x01 // inside record 1's payload
+	if err := os.WriteFile(walPath(dir), buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir)
+	var je *Error
+	if !errors.As(err, &je) {
+		t.Fatalf("got %v, want *journal.Error", err)
+	}
+	if je.Record != 1 {
+		t.Errorf("error names record %d, want 1", je.Record)
+	}
+}
+
+// TestJournalShortLog: HEAD promising more bytes than the log holds is
+// corruption (a silently truncated log), not a clean rollback.
+func TestJournalShortLog(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1}, []uint64{2})
+
+	fi, err := os.Stat(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath(dir), fi.Size()-8); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	var je *Error
+	if !errors.As(err, &je) {
+		t.Fatalf("got %v, want *journal.Error", err)
+	}
+}
+
+// TestJournalBadHead: a damaged commit pointer is a typed error with
+// Record == -1.
+func TestJournalBadHead(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1})
+
+	head, err := os.ReadFile(headPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(head[8:], 99) // count no longer matches checksum
+	if err := os.WriteFile(headPath(dir), head, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	var je *Error
+	if !errors.As(err, &je) {
+		t.Fatalf("got %v, want *journal.Error", err)
+	}
+	if je.Record != -1 {
+		t.Errorf("error names record %d, want -1 (HEAD)", je.Record)
+	}
+
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open of an empty directory: want error, got nil")
+	}
+}

@@ -56,6 +56,15 @@ func (a *Accountant) Release(n int64) {
 	a.used -= n
 }
 
+// AdoptHigh raises the high-water mark to at least h. The EM engines
+// journal the mark at every barrier commit and adopt it on resume, so
+// a resumed run reports the same MemHigh as an uninterrupted one.
+func (a *Accountant) AdoptHigh(h int64) {
+	if h > a.high {
+		a.high = h
+	}
+}
+
 // Mark returns the current usage, for a later Rewind.
 func (a *Accountant) Mark() int64 { return a.used }
 

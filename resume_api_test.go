@@ -1,0 +1,134 @@
+package embsp_test
+
+// The durability tentpole's acceptance property over the public API: a
+// Table 1 workload killed with SIGKILL mid-superstep — a real process
+// death, not a simulated one — and resumed from its state directory
+// produces a Result bitwise identical to the uninterrupted run.
+//
+// The kill happens in a re-executed copy of the test binary (the
+// crashHelper test below), because SIGKILL cannot be recovered from
+// in-process.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+const (
+	helperEnv = "EMBSP_CRASH_HELPER_DIR"
+	killEnv   = "EMBSP_CRASH_KILL_STEP"
+)
+
+// crashSort builds the workload deterministically so the parent, the
+// helper process and the resumed run all simulate the same program.
+func crashSort(t *testing.T) *embsp.SortProgram {
+	t.Helper()
+	r := prng.New(7)
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	p, err := embsp.NewSort(keys, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func crashMachine() embsp.MachineConfig {
+	return embsp.MachineConfig{
+		P: 1, M: 8192, D: 4, B: 64, G: 10,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 2, Pkt: 128, L: 5},
+	}
+}
+
+// sigkillVP hard-kills the process when superstep killStep starts
+// computing — no deferred cleanup runs, exactly like a power loss.
+type sigkillProgram struct {
+	embsp.Program
+	killStep int
+}
+
+func (p *sigkillProgram) NewVP(id int) embsp.VP {
+	vp := p.Program.NewVP(id)
+	if id == p.Program.NumVPs()/2 {
+		return &sigkillVP{VP: vp, killStep: p.killStep}
+	}
+	return vp
+}
+
+type sigkillVP struct {
+	embsp.VP
+	killStep int
+}
+
+func (k *sigkillVP) Step(env *embsp.Env, in []embsp.Message) (bool, error) {
+	if env.Superstep() == k.killStep {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
+	return k.VP.Step(env, in)
+}
+
+// TestCrashHelperProcess is not a test of its own: re-executed by
+// TestKillAndResumeSort with the environment set, it starts the
+// durable run that SIGKILLs itself mid-superstep.
+func TestCrashHelperProcess(t *testing.T) {
+	dir := os.Getenv(helperEnv)
+	if dir == "" {
+		t.Skip("helper: only runs re-executed with " + helperEnv)
+	}
+	killStep, err := strconv.Atoi(os.Getenv(killEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &sigkillProgram{Program: crashSort(t), killStep: killStep}
+	_, err = embsp.Run(prog, crashMachine(), embsp.Options{Seed: 7, StateDir: dir})
+	t.Fatalf("run survived its own SIGKILL: err=%v", err)
+}
+
+func TestKillAndResumeSort(t *testing.T) {
+	p := crashSort(t)
+	cfg := crashMachine()
+	clean, err := embsp.Run(p, cfg, embsp.Options{Seed: 7, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "state")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashHelperProcess")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir, killEnv+"=3")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die by SIGKILL: err=%v\n%s", err, out)
+	}
+
+	res, err := embsp.Run(p, cfg, embsp.Options{Seed: 7, StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+
+	cleanOut, resOut := p.Output(clean.VPs), p.Output(res.VPs)
+	if !reflect.DeepEqual(cleanOut, resOut) {
+		t.Error("resumed run sorted differently from the uninterrupted run")
+	}
+	for i := 1; i < len(resOut); i++ {
+		if resOut[i-1] > resOut[i] {
+			t.Fatalf("resumed output not sorted at %d", i)
+		}
+	}
+	if !reflect.DeepEqual(clean.Costs, res.Costs) {
+		t.Errorf("model costs differ:\nclean:   %+v\nresumed: %+v", clean.Costs, res.Costs)
+	}
+	if !reflect.DeepEqual(clean.EM, res.EM) {
+		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
+	}
+}
