@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"embsp"
 	"embsp/internal/bench"
 )
 
@@ -24,12 +25,26 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids to run")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium or large")
+	redundancyFlag := flag.String("redundancy", "", "drive redundancy for every run: none, mirror or parity")
+	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *redundancyFlag != "" || *scrub {
+		mode, err := embsp.ParseRedundancy(*redundancyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *scrub && mode != embsp.RedundancyParity {
+			fmt.Fprintln(os.Stderr, "-scrub requires -redundancy parity")
+			os.Exit(2)
+		}
+		bench.SetRedundancy(mode, *scrub)
 	}
 
 	switch {

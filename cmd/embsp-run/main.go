@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"embsp"
 	"embsp/internal/prng"
@@ -318,7 +319,16 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for durable on-disk state and the superstep journal")
 	resume := flag.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
 	killStep := flag.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
+	redundancyFlag := flag.String("redundancy", "", "drive redundancy: none, mirror or parity")
+	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
+	soak := flag.Bool("soak", false, "chaos-soak mode: randomized fault/kill/resume schedules over the Table 1 workloads, checked bitwise against the reference")
+	soakDuration := flag.Duration("duration", 30*time.Second, "how long to keep soaking (-soak)")
+	soakAlgs := flag.String("soak-algs", "", "comma-separated workload filter for -soak (default: all 13)")
 	flag.Parse()
+
+	if *soak {
+		os.Exit(runSoak(*soakDuration, *soakAlgs, *seed))
+	}
 
 	var spec *algSpec
 	names := make([]string, 0)
@@ -347,7 +357,15 @@ func main() {
 	}
 	opts := embsp.Options{
 		Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries,
-		StateDir: *stateDir, Resume: *resume,
+		StateDir: *stateDir, Resume: *resume, Scrub: *scrub,
+	}
+	if *redundancyFlag != "" {
+		mode, err := embsp.ParseRedundancy(*redundancyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Redundancy = mode
 	}
 	if *faults != "" {
 		plan, err := parseFaultPlan(*faults, *faultSeed)
@@ -392,5 +410,13 @@ func main() {
 			em.FaultsInjected, em.ChecksumFailures, em.DriveFailures)
 		fmt.Printf("recovery: %d retries (%d blocks), %d superstep replays, %d extra ops, %d mirror ops\n",
 			em.Retries, em.RetriedBlocks, em.Replays, em.RecoveryOps, em.MirrorOps)
+	}
+	if opts.Redundancy == embsp.RedundancyParity {
+		em := res.EM
+		fmt.Printf("parity: %d ops, %d parity blocks over %d striped, %d degraded ops, %d reconstructed, %d rebuilt\n",
+			em.ParityOps, em.ParityBlocks, em.StripedBlocks, em.DegradedOps, em.ReconstructedBlocks, em.RebuiltBlocks)
+		if opts.Scrub {
+			fmt.Printf("scrub: %d blocks verified, %d repaired\n", em.ScrubbedBlocks, em.ScrubRepairs)
+		}
 	}
 }

@@ -1,0 +1,312 @@
+package main
+
+// Chaos-soak mode (-soak): for a wall-clock budget, repeatedly draw a
+// random Table 1 workload, machine shape, redundancy mode and fault
+// schedule — transient faults, permanent drive deaths, mid-run kills
+// with journal resume — and check every completed run bitwise against
+// the in-memory reference. Any divergence prints the full repro
+// parameters and exits nonzero.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"embsp"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+type soakSpec struct {
+	name  string
+	build func(n, v int, r *prng.Rand) (embsp.Program, error)
+}
+
+// soakTable lists all 13 Table 1 workloads at soak scale.
+func soakTable() []soakSpec {
+	return []soakSpec{
+		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			return embsp.NewSort(keys, 1, v)
+		}},
+		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			return embsp.NewPermute(vals, r.Perm(n), v)
+		}},
+		{"transpose", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			rows := 4
+			keys := make([]uint64, rows*(n/rows))
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			return embsp.NewTranspose(keys, rows, n/rows, v)
+		}},
+		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point3, n)
+			for i := range pts {
+				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+			}
+			return embsp.NewMaxima3D(pts, v)
+		}},
+		{"dominance", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			vals := make([]uint64, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+				vals[i] = uint64(i)
+			}
+			return embsp.NewDominance2D(pts, vals, v)
+		}},
+		{"rectunion", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			rects := make([]embsp.Rect, n)
+			for i := range rects {
+				x, y := r.Float64(), r.Float64()
+				rects[i] = embsp.Rect{X1: x, X2: x + r.Float64(), Y1: y, Y2: y + r.Float64()}
+			}
+			return embsp.NewRectUnion(rects, v)
+		}},
+		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewHull2D(pts, v)
+		}},
+		{"envelope", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			segs := make([]embsp.Segment, n)
+			for i := range segs {
+				x := 3 * float64(i)
+				segs[i] = embsp.Segment{X1: x, Y1: r.Float64(), X2: x + 2, Y2: r.Float64()}
+			}
+			return embsp.NewEnvelope(segs, v)
+		}},
+		{"nextelement", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			hsegs := make([]embsp.HSegment, n)
+			pts := make([]embsp.Point, n)
+			for i := range hsegs {
+				x := r.Float64()
+				hsegs[i] = embsp.HSegment{X1: x, X2: x + 0.2, Y: r.Float64()}
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewNextElement(hsegs, pts, v)
+		}},
+		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewNN2D(pts, v)
+		}},
+		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			perm := r.Perm(n)
+			succ := make([]int, n)
+			for i := range succ {
+				succ[i] = -1
+			}
+			for i := 0; i+1 < n; i++ {
+				succ[perm[i]] = perm[i+1]
+			}
+			return embsp.NewListRank(succ, nil, v)
+		}},
+		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			return embsp.NewEulerTour(n, randomTree(r, n), v)
+		}},
+		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			edges := make([][2]int, 0, n)
+			for len(edges) < n {
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+			return embsp.NewCC(n, edges, v)
+		}},
+	}
+}
+
+// soakCase is one drawn schedule, printable as a repro line.
+type soakCase struct {
+	alg      string
+	n, v     int
+	procs    int
+	d, b     int
+	seed     uint64
+	mode     embsp.Redundancy
+	scrub    bool
+	plan     *embsp.FaultPlan
+	killStep int // superstep after whose commit the run is cancelled and resumed; -1 = none
+}
+
+func (c soakCase) String() string {
+	s := fmt.Sprintf("alg=%s n=%d v=%d p=%d d=%d b=%d seed=%d redundancy=%v scrub=%v",
+		c.alg, c.n, c.v, c.procs, c.d, c.b, c.seed, c.mode, c.scrub)
+	if c.plan != nil {
+		s += fmt.Sprintf(" faults={seed=%d read=%g write=%g corrupt=%g faildrive=%d@%d failproc=%d}",
+			c.plan.Seed, c.plan.ReadErrorRate, c.plan.WriteErrorRate, c.plan.CorruptRate,
+			c.plan.FailDrive, c.plan.FailDriveOp, c.plan.FailProc)
+	}
+	if c.killStep >= 0 {
+		s += fmt.Sprintf(" kill-after-step=%d", c.killStep)
+	}
+	return s
+}
+
+// drawCase samples one schedule from r over the allowed workloads.
+func drawCase(r *prng.Rand, table []soakSpec) soakCase {
+	c := soakCase{
+		alg:      table[r.Intn(len(table))].name,
+		n:        40 + r.Intn(32),
+		v:        4 + r.Intn(5),
+		procs:    1 + 2*r.Intn(2), // 1 or 3
+		d:        3 + r.Intn(2),
+		b:        16,
+		seed:     r.Uint64(),
+		killStep: -1,
+	}
+	if r.Bool() {
+		c.mode = embsp.RedundancyParity
+		c.scrub = r.Bool()
+	} else {
+		c.mode = embsp.RedundancyMirror
+	}
+	plan := &embsp.FaultPlan{
+		Seed:           r.Uint64(),
+		ReadErrorRate:  r.Float64() * 0.02,
+		WriteErrorRate: r.Float64() * 0.02,
+		CorruptRate:    r.Float64() * 0.02,
+	}
+	if r.Bool() {
+		plan.FailDriveOp = int64(5 + r.Intn(80))
+		plan.FailDrive = r.Intn(c.d)
+		plan.FailProc = r.Intn(c.procs)
+	}
+	c.plan = plan
+	if r.Bool() {
+		c.killStep = r.Intn(3)
+	}
+	return c
+}
+
+func soakImage(vp embsp.VP) string {
+	enc := words.NewEncoder(nil)
+	vp.Save(enc)
+	return fmt.Sprint(enc.Words())
+}
+
+// runCase executes one schedule and compares it bitwise against the
+// reference. It returns an error describing the divergence, if any.
+func runCase(c soakCase, table []soakSpec) error {
+	var spec *soakSpec
+	for i := range table {
+		if table[i].name == c.alg {
+			spec = &table[i]
+		}
+	}
+	prog, err := spec.build(c.n, c.v, prng.New(c.seed))
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	ref, err := embsp.RunReference(prog, c.seed)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	cfg := embsp.MachineConfig{
+		P: c.procs, M: 4 * prog.MaxContextWords(), D: c.d, B: c.b, G: 100,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+	}
+	opts := embsp.Options{
+		Seed:       c.seed,
+		FaultPlan:  c.plan,
+		Redundancy: c.mode,
+		Scrub:      c.scrub,
+	}
+	var res *embsp.Result
+	if c.killStep >= 0 {
+		// Simulated power loss: cancel at a committed barrier, then
+		// resume from the journal and require the identical Result.
+		dir, err := os.MkdirTemp("", "embsp-soak-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.StateDir = dir
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		killOpts := opts
+		killOpts.OnCommit = func(step int) {
+			if step == c.killStep {
+				cancel()
+			}
+		}
+		_, err = embsp.RunContext(ctx, prog, cfg, killOpts)
+		switch {
+		case err == nil:
+			// The run finished before the kill step: nothing to resume.
+		case errors.Is(err, context.Canceled):
+		default:
+			return fmt.Errorf("killed run: %w", err)
+		}
+		opts.Resume = true
+		res, err = embsp.Run(prog, cfg, opts)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	} else {
+		res, err = embsp.Run(prog, cfg, opts)
+		if err != nil {
+			return err
+		}
+	}
+	for i, vp := range res.VPs {
+		if soakImage(vp) != soakImage(ref.VPs[i]) {
+			return fmt.Errorf("VP %d context differs from reference", i)
+		}
+	}
+	return nil
+}
+
+// runSoak drives random schedules until the duration expires. It
+// returns the process exit code.
+func runSoak(duration time.Duration, algsCSV string, seed uint64) int {
+	table := soakTable()
+	if algsCSV != "" {
+		want := make(map[string]bool)
+		for _, a := range strings.Split(algsCSV, ",") {
+			want[strings.TrimSpace(a)] = true
+		}
+		var filtered []soakSpec
+		for _, s := range table {
+			if want[s.name] {
+				filtered = append(filtered, s)
+				delete(want, s.name)
+			}
+		}
+		if len(want) > 0 || len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "soak: unknown workloads in -soak-algs %q\n", algsCSV)
+			return 2
+		}
+		table = filtered
+	}
+	r := prng.New(seed)
+	deadline := time.Now().Add(duration)
+	runs := 0
+	for time.Now().Before(deadline) {
+		c := drawCase(r, table)
+		if err := runCase(c, table); err != nil {
+			fmt.Fprintf(os.Stderr, "soak FAILED after %d clean runs: %v\nrepro: %s\n", runs, err, c)
+			return 1
+		}
+		runs++
+	}
+	fmt.Printf("soak: %d runs over %v, all bitwise identical to the reference\n", runs, duration)
+	return 0
+}

@@ -37,6 +37,7 @@ import (
 	"embsp/internal/disk"
 	"embsp/internal/fault"
 	"embsp/internal/journal"
+	"embsp/internal/redundancy"
 )
 
 // Core model types, re-exported from the engine packages.
@@ -88,7 +89,36 @@ type (
 	// write from a crash mid-superstep on uncommitted data would be
 	// detected, never silently used).
 	CorruptTrackError = disk.CorruptTrackError
+	// Redundancy selects how each processor's D simulated drives
+	// survive a permanent drive loss; set Options.Redundancy. See
+	// RedundancyNone, RedundancyMirror and RedundancyParity.
+	Redundancy = redundancy.Mode
+	// UnprotectedDriveLossError is the typed error Options validation
+	// returns when a fault plan schedules a permanent drive death while
+	// Redundancy is none.
+	UnprotectedDriveLossError = core.UnprotectedDriveLossError
 )
+
+// Redundancy modes.
+const (
+	// RedundancyNone leaves the drives unprotected: a permanent drive
+	// loss is unrecoverable, and fault plans scheduling one are
+	// rejected up front.
+	RedundancyNone = redundancy.None
+	// RedundancyMirror keeps a full copy of every written track on a
+	// partner drive (2× capacity, survives one drive loss).
+	RedundancyMirror = redundancy.Mirror
+	// RedundancyParity protects the D drives with rotated XOR parity
+	// groups (RAID-5-style): ~1/(D-1) capacity overhead, one drive
+	// loss survived via degraded reads, background scrub of latent
+	// corruption, and online rebuild onto the survivors' spare
+	// capacity.
+	RedundancyParity = redundancy.Parity
+)
+
+// ParseRedundancy parses "none", "mirror" or "parity" (or "") into a
+// Redundancy mode.
+func ParseRedundancy(s string) (Redundancy, error) { return redundancy.ParseMode(s) }
 
 // DefaultMachine returns a laptop-scale machine: one processor, 1 MiW
 // of memory, 4 disks with 1 KiW blocks.

@@ -18,7 +18,23 @@ import (
 
 	"embsp/internal/bsp"
 	"embsp/internal/core"
+	"embsp/internal/redundancy"
 )
+
+// runRedundancy and runScrub are applied to every standard-machine run
+// so the whole Table 1 suite can be re-measured under a redundancy
+// mode (cmd/embsp-bench -redundancy / -scrub).
+var (
+	runRedundancy redundancy.Mode
+	runScrub      bool
+)
+
+// SetRedundancy selects the drive-redundancy mode (and optional
+// background scrub) for subsequent experiment runs.
+func SetRedundancy(mode redundancy.Mode, scrub bool) {
+	runRedundancy = mode
+	runScrub = scrub
+}
 
 // Scale selects workload sizes: Small for tests and Go benchmarks,
 // Medium for the default CLI run, Large for thorough runs.
@@ -162,7 +178,13 @@ func standardMachines(p bsp.Program, b int, seed uint64) ([]emRow, map[string][2
 	pd := map[string][2]int{}
 	for _, sh := range shapes {
 		cfg := machineFor(p, sh.procs, sh.d, b, 8)
-		res, err := core.Run(p, cfg, core.Options{Seed: seed})
+		opts := core.Options{Seed: seed, Redundancy: runRedundancy, Scrub: runScrub}
+		if sh.d == 1 {
+			// Neither mirroring nor parity fits on a single drive.
+			opts.Redundancy = redundancy.None
+			opts.Scrub = false
+		}
+		res, err := core.Run(p, cfg, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", sh.label, err)
 		}

@@ -19,6 +19,7 @@ import (
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
 	"embsp/internal/fault"
+	"embsp/internal/redundancy"
 )
 
 // MachineConfig describes the target EM-BSP* machine (Section 3).
@@ -150,12 +151,53 @@ type Options struct {
 	// initial-context commit). Tests use it to interrupt runs at exact
 	// barriers; it is ignored without a StateDir.
 	OnCommit func(step int)
+	// Redundancy selects how each processor's disk array survives a
+	// permanent drive loss: RedundancyNone (no protection — a scheduled
+	// FailDriveOp is rejected by Validate), RedundancyMirror (the fault
+	// layer keeps a full copy of every written track, 2× capacity), or
+	// RedundancyParity (rotated XOR parity groups across the D drives,
+	// ~1/(D-1) overhead, with degraded reads, background scrub and
+	// online rebuild). For backwards compatibility, a zero Redundancy
+	// with FaultPlan.Mirror set behaves as RedundancyMirror.
+	Redundancy redundancy.Mode
+	// Scrub enables the background scrub pass between compound
+	// supersteps (RedundancyParity only): a budgeted slice of tracks is
+	// checksum-verified per barrier and latent corruption is repaired
+	// from parity, with the cursor carried in the superstep manifest.
+	Scrub bool
 }
 
 func (o *Options) defaults() {
 	if o.MaxSupersteps == 0 {
 		o.MaxSupersteps = 1 << 20
 	}
+}
+
+// effectiveRedundancy resolves the run's redundancy mode: the explicit
+// Options.Redundancy if set, else RedundancyMirror when the fault plan
+// asks for mirror copies.
+func (o Options) effectiveRedundancy() redundancy.Mode {
+	if o.Redundancy != redundancy.None {
+		return o.Redundancy
+	}
+	if o.FaultPlan != nil && o.FaultPlan.Mirror {
+		return redundancy.Mirror
+	}
+	return redundancy.None
+}
+
+// UnprotectedDriveLossError reports a fault plan that schedules a
+// permanent drive death while the run has no redundancy to survive it.
+// Options.Validate returns it so the impossible run is rejected up
+// front instead of dying mid-simulation with an unrecoverable
+// DriveLoss.
+type UnprotectedDriveLossError struct {
+	FailDrive int
+	FailOp    int64
+}
+
+func (e *UnprotectedDriveLossError) Error() string {
+	return fmt.Sprintf("core: fault plan kills drive %d at op %d but Redundancy is none; a drive loss without mirror or parity protection is unrecoverable (set Options.Redundancy)", e.FailDrive, e.FailOp)
 }
 
 // Validate checks the options against each other and against the
@@ -177,6 +219,20 @@ func (o Options) Validate(cfg MachineConfig) error {
 	if o.Resume && o.StateDir == "" {
 		return fmt.Errorf("core: Resume requires a StateDir")
 	}
+	switch o.Redundancy {
+	case redundancy.None, redundancy.Mirror, redundancy.Parity:
+	default:
+		return fmt.Errorf("core: Redundancy = %d, want none, mirror or parity", int(o.Redundancy))
+	}
+	if o.effectiveRedundancy() != redundancy.None && cfg.D < 2 {
+		return fmt.Errorf("core: Redundancy = %s requires D >= 2, have D = %d", o.effectiveRedundancy(), cfg.D)
+	}
+	if o.Redundancy == redundancy.Parity && o.FaultPlan != nil && o.FaultPlan.Mirror {
+		return fmt.Errorf("core: Redundancy = parity is incompatible with FaultPlan.Mirror")
+	}
+	if o.Scrub && o.effectiveRedundancy() != redundancy.Parity {
+		return fmt.Errorf("core: Scrub requires Redundancy = parity (scrub repairs from parity groups)")
+	}
 	if o.FaultPlan != nil {
 		if err := o.FaultPlan.Validate(); err != nil {
 			return err
@@ -187,8 +243,13 @@ func (o Options) Validate(cfg MachineConfig) error {
 		if o.FaultPlan.FailProc >= cfg.P {
 			return fmt.Errorf("core: FaultPlan.FailProc = %d, machine has %d processors", o.FaultPlan.FailProc, cfg.P)
 		}
-		if o.FaultPlan.FailDriveOp > 0 && o.FaultPlan.FailDrive >= cfg.D {
-			return fmt.Errorf("core: FaultPlan.FailDrive = %d, machine has %d drives", o.FaultPlan.FailDrive, cfg.D)
+		if o.FaultPlan.FailDriveOp > 0 {
+			if o.FaultPlan.FailDrive >= cfg.D {
+				return fmt.Errorf("core: FaultPlan.FailDrive = %d, machine has %d drives", o.FaultPlan.FailDrive, cfg.D)
+			}
+			if o.effectiveRedundancy() == redundancy.None {
+				return &UnprotectedDriveLossError{FailDrive: o.FaultPlan.FailDrive, FailOp: o.FaultPlan.FailDriveOp}
+			}
 		}
 	}
 	return nil
@@ -258,6 +319,33 @@ type EMStats struct {
 	// counts the extra writes maintaining mirror copies.
 	RecoveryOps int64
 	MirrorOps   int64
+	// Parity-redundancy accounting (all zero unless Redundancy is
+	// parity; aggregated over processors for P > 1).
+	//
+	// ParityOps counts the extra charged parallel I/O spent maintaining
+	// parity groups (striping fresh tracks, read-modify-write parity
+	// updates); ParityBlocks and StripedBlocks are gauges of the
+	// current parity tracks held and data tracks protected — their
+	// ratio is the storage overhead, ≤ ⌈tracks/(D-1)⌉ versus the 2× of
+	// mirroring.
+	ParityOps     int64
+	ParityBlocks  int64
+	StripedBlocks int64
+	// DegradedOps counts extra parallel I/O forced by operating without
+	// a drive (reconstruction reads, collision splits onto survivors);
+	// ReconstructedBlocks counts blocks rebuilt from parity on the read
+	// path; RepairedBlocks counts tracks rewritten with reconstructed
+	// data after a checksum failure.
+	DegradedOps         int64
+	ReconstructedBlocks int64
+	RepairedBlocks      int64
+	// ScrubbedBlocks / ScrubRepairs count the background scrub's
+	// verified tracks and the latent-corruption repairs it made;
+	// RebuiltBlocks counts dead-drive tracks reconstructed onto spare
+	// capacity by the online rebuild.
+	ScrubbedBlocks int64
+	ScrubRepairs   int64
+	RebuiltBlocks  int64
 }
 
 // Result is the outcome of an EM simulation run.

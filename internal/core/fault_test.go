@@ -115,7 +115,7 @@ func TestFaultDriveLoss(t *testing.T) {
 	}
 	for _, procs := range []int{1, 3} {
 		cfg := parMachine(procs, 4, 8, 256)
-		plan := &fault.Plan{Seed: 13, FailDriveOp: 40, FailDrive: 2}
+		plan := &fault.Plan{Seed: 13, FailDriveOp: 40, FailDrive: 2, Mirror: true}
 		res, err := core.Run(p, cfg, core.Options{Seed: 21, FaultPlan: plan})
 		if err != nil {
 			t.Fatalf("P=%d: %v", procs, err)
@@ -207,6 +207,7 @@ func TestFaultRandomizedEquivalence(t *testing.T) {
 			plan.FailDriveOp = int64(r.Intn(100) + 1)
 			plan.FailDrive = r.Intn(d)
 			plan.FailProc = r.Intn(procs)
+			plan.Mirror = true // a scheduled death needs explicit redundancy
 		}
 		res, err := core.Run(p, cfg, core.Options{Seed: seed, FaultPlan: plan})
 		if err != nil {

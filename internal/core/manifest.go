@@ -54,6 +54,8 @@ func configFingerprint(kind uint64, cfg MachineConfig, opts Options, v, mu, gamm
 		enc.PutInts([]int64{plan.FirstOp, plan.FailDriveOp, int64(plan.FailDrive), int64(plan.FailProc)})
 		enc.PutBool(plan.Mirror)
 	}
+	enc.PutInt(int64(opts.effectiveRedundancy()))
+	enc.PutBool(opts.Scrub)
 	enc.PutInts([]int64{int64(v), int64(mu), int64(gamma)})
 	return disk.Checksum(enc.Words())
 }
@@ -230,6 +232,10 @@ func (e *seqEngine) encodeManifest(enc *words.Encoder) {
 	if e.fd != nil {
 		e.fd.EncodeState(enc)
 	}
+	enc.PutBool(e.red != nil)
+	if e.red != nil {
+		e.red.EncodeState(enc)
+	}
 }
 
 func (e *seqEngine) decodeManifest(payload []uint64) error {
@@ -268,6 +274,15 @@ func (e *seqEngine) decodeManifest(payload []uint64) error {
 			return err
 		}
 	}
+	hadRed := dec.Bool()
+	if hadRed != (e.red != nil) {
+		return fmt.Errorf("core: journal parity-layer presence (%v) disagrees with the resuming options (%v)", hadRed, e.red != nil)
+	}
+	if e.red != nil {
+		if err := e.red.DecodeState(dec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -302,6 +317,10 @@ func (e *parEngine) encodeManifest(enc *words.Encoder) {
 		enc.PutBool(ps.fd != nil)
 		if ps.fd != nil {
 			ps.fd.EncodeState(enc)
+		}
+		enc.PutBool(ps.red != nil)
+		if ps.red != nil {
+			ps.red.EncodeState(enc)
 		}
 	}
 }
@@ -347,6 +366,15 @@ func (e *parEngine) decodeManifest(payload []uint64) error {
 		}
 		if ps.fd != nil {
 			if err := ps.fd.DecodeState(dec); err != nil {
+				return err
+			}
+		}
+		hadRed := dec.Bool()
+		if hadRed != (ps.red != nil) {
+			return fmt.Errorf("core: journal parity-layer presence (%v) disagrees with the resuming options (%v)", hadRed, ps.red != nil)
+		}
+		if ps.red != nil {
+			if err := ps.red.DecodeState(dec); err != nil {
 				return err
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"embsp/internal/journal"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
+	"embsp/internal/redundancy"
 	"embsp/internal/words"
 )
 
@@ -66,10 +67,11 @@ type procState struct {
 	lo int // first owned VP
 	hi int // one past last owned VP
 
-	store  disk.Store  // in-memory Array, or file-backed File when durable
-	fd     *fault.Disk // nil without a fault plan
-	dsk    disk.Disk   // store, or fd wrapping it
-	ckptOn bool        // barrier checkpoint discipline active
+	store  disk.Store        // outermost store: raw array/file, or the parity layer over it
+	red    *redundancy.Store // nil unless Redundancy is parity
+	fd     *fault.Disk       // nil without a fault plan
+	dsk    disk.Disk         // store, or fd wrapping it
+	ckptOn bool              // barrier checkpoint discipline active
 	acct   *mem.Accountant
 	rng    *prng.Rand
 
@@ -243,17 +245,35 @@ func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 		} else {
 			ps.store = disk.MustNewArray(diskCfg)
 		}
+		mode := opts.effectiveRedundancy()
+		if mode == redundancy.Parity {
+			red, rerr := redundancy.Wrap(ps.store)
+			if rerr != nil {
+				e.procs[i] = ps
+				e.closeState()
+				return nil, rerr
+			}
+			ps.red = red
+			ps.store = red
+		}
 		ps.dsk = ps.store
-		if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
-			// Each processor's disk array gets its own fault layer with
-			// an independently keyed schedule; the planned drive death
-			// strikes only processor FailProc.
-			plan := *opts.FaultPlan
+		// Each processor's disk array gets its own fault layer with an
+		// independently keyed schedule; the planned drive death strikes
+		// only processor FailProc. Redundancy mode is explicit: mirror
+		// copies exactly when the run asked for mirror redundancy.
+		var plan fault.Plan
+		if opts.FaultPlan != nil {
+			plan = *opts.FaultPlan
 			plan.Seed = prng.Derive(plan.Seed, 0xFA17, uint64(i))
 			if plan.FailProc != i {
 				plan.FailDriveOp = 0
-				plan.Mirror = opts.FaultPlan.Mirrored()
 			}
+		}
+		plan.Mirror = mode == redundancy.Mirror
+		// The wrap decision must be uniform across processors — the
+		// engine treats fd as all-or-nothing — so it depends on the
+		// original plan, not the per-processor pruned copy.
+		if (opts.FaultPlan != nil && opts.FaultPlan.Enabled()) || plan.Mirror {
 			fd, err := fault.Wrap(ps.store, plan, opts.MaxRetries)
 			if err != nil {
 				e.procs[i] = ps
@@ -401,6 +421,9 @@ func (e *parEngine) run() (*Result, error) {
 		if err := e.replayPhase(func(ps *procState) error { return e.writeInitialContexts(ps) }); err != nil {
 			return nil, err
 		}
+		if err := e.redBarrier(); err != nil {
+			return nil, err
+		}
 		for _, ps := range e.procs {
 			e.setup.Add(ps.dsk.Stats())
 			ps.dsk.ResetStats()
@@ -429,6 +452,9 @@ func (e *parEngine) run() (*Result, error) {
 			e.halted = true
 		case halts != 0:
 			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+		if err := e.redBarrier(); err != nil {
+			return nil, err
 		}
 		e.stepsDone = step + 1
 		if err := e.commitJournal(step); err != nil {
@@ -496,6 +522,11 @@ func (e *parEngine) run() (*Result, error) {
 		em.Replays = e.replays
 		em.RecoveryOps = c.RecoveryOps + e.recoveryOps
 	}
+	for _, ps := range e.procs {
+		if ps.red != nil {
+			addRedStats(&em, ps.red.Counters())
+		}
+	}
 	res.EM = em
 	return res, nil
 }
@@ -513,6 +544,7 @@ type parSnapshot struct {
 
 type procSnapshot struct {
 	fd       *fault.Snapshot
+	red      *redundancy.Snapshot
 	rng      [4]uint64
 	acctMark int64
 	opsMark  int64
@@ -542,6 +574,9 @@ func (e *parEngine) snapshot() parSnapshot {
 			maxSkew:  ps.maxSkew,
 			peakLive: ps.peakLive,
 		}
+		if ps.red != nil {
+			s.procs[i].red = ps.red.Snapshot()
+		}
 	}
 	return s
 }
@@ -557,7 +592,10 @@ func (e *parEngine) restore(s parSnapshot) {
 		if aborted > maxAborted {
 			maxAborted = aborted
 		}
-		ps.fd.Restore(p.fd)
+		ps.fd.Restore(p.fd) // rolls the shared allocator back first
+		if ps.red != nil {
+			ps.red.Restore(p.red)
+		}
 		ps.rng.SetState(p.rng)
 		ps.acct.Rewind(p.acctMark)
 		ps.routeOps = p.routeOps
@@ -606,6 +644,39 @@ func (e *parEngine) runStep(step int) (halts, sends int, err error) {
 		e.restore(snap)
 		e.replays++
 	}
+}
+
+// redBarrier is the parity-aware commit point, run on every processor
+// after the superstep committed: stripe the fresh tracks into parity
+// groups, then a budgeted slice of online rebuild and (when enabled)
+// scrub. The extra parallel I/O is charged to the model at cost G as
+// the slowest processor's share.
+func (e *parEngine) redBarrier() error {
+	if e.procs[0].red == nil {
+		return nil
+	}
+	var maxOps int64
+	for _, ps := range e.procs {
+		before := ps.dsk.Stats().Ops
+		if err := ps.red.FlushParity(); err != nil {
+			return err
+		}
+		if ps.red.Rebuilding() {
+			if err := ps.red.RebuildStep(redBudget(e.cfg.D)); err != nil {
+				return err
+			}
+		}
+		if e.opts.Scrub {
+			if _, err := ps.red.Scrub(redBudget(e.cfg.D)); err != nil {
+				return err
+			}
+		}
+		if d := ps.dsk.Stats().Ops - before; d > maxOps {
+			maxOps = d
+		}
+	}
+	e.ioTime += e.cfg.G * float64(maxOps)
+	return nil
 }
 
 // commitSuperstep is the barrier commit in fault mode: free the
@@ -1043,4 +1114,3 @@ func (e *parEngine) routeLocal(ps *procState) error {
 	ps.noteLive(e.muBlocks, route.total)
 	return nil
 }
-

@@ -1,0 +1,308 @@
+package core_test
+
+// Engine-level acceptance tests for the parity redundancy layer: a
+// permanent single-drive failure mid-run, with Redundancy == parity,
+// must yield a Result bitwise identical to the fault-free reference —
+// degraded reads, online rebuild and all — on both engines; a crash
+// during the rebuild must resume and still match; and the parity
+// storage overhead must stay near 1/(D-1) instead of mirroring's 2x.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"embsp/internal/bsp"
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/fault"
+	"embsp/internal/redundancy"
+)
+
+// deathPlan schedules a permanent, unmirrored drive death early enough
+// that most of the run executes in degraded or rebuilt state.
+func deathPlan() *fault.Plan {
+	return &fault.Plan{Seed: 13, FailDriveOp: 40, FailDrive: 2}
+}
+
+// TestParityDriveLossBitwise is the issue's acceptance property: with
+// Redundancy == parity a permanent single-drive failure mid-run, at
+// P = 1 and P = 3, yields a Result bitwise identical to the fault-free
+// reference run, with the degraded reads and the rebuild visible in
+// EMStats.
+func TestParityDriveLossBitwise(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 21, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{
+			Seed:       21,
+			FaultPlan:  deathPlan(),
+			Redundancy: redundancy.Parity,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "parity drive loss")
+		em := res.EM
+		if em.DriveFailures != 1 {
+			t.Errorf("P=%d: DriveFailures=%d, want 1", procs, em.DriveFailures)
+		}
+		if em.MirrorOps != 0 {
+			t.Errorf("P=%d: parity mode charged MirrorOps=%d", procs, em.MirrorOps)
+		}
+		if em.ParityOps == 0 {
+			t.Errorf("P=%d: parity enabled but ParityOps=0", procs)
+		}
+		if em.ReconstructedBlocks == 0 {
+			t.Errorf("P=%d: drive died but no block was reconstructed", procs)
+		}
+		if em.DegradedOps == 0 {
+			t.Errorf("P=%d: drive died but DegradedOps=0", procs)
+		}
+		if em.RebuiltBlocks == 0 {
+			t.Errorf("P=%d: drive died but RebuiltBlocks=0 — online rebuild never ran", procs)
+		}
+	}
+}
+
+// TestParityOverhead: the storage cost of parity protection stays near
+// ceil(striped/(D-1)) parity tracks — far below mirroring's 2x — with
+// slack only for stripes left partially filled by barrier flushes and
+// releases.
+func TestParityOverhead(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	for _, procs := range []int{1, 3} {
+		const d = 4
+		cfg := parMachine(procs, d, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{Seed: 21, Redundancy: redundancy.Parity})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		em := res.EM
+		if em.StripedBlocks == 0 || em.ParityBlocks == 0 {
+			t.Fatalf("P=%d: no striping happened: striped=%d parity=%d",
+				procs, em.StripedBlocks, em.ParityBlocks)
+		}
+		// Gauges are summed over processors. Each processor's steady
+		// state is ceil(striped/(D-1)) parity tracks, but every barrier
+		// flush can finalize partially filled stripes and the release
+		// of input areas shrinks stripes without freeing their parity
+		// track, so allow a few partial stripes of slack per processor.
+		maxParity := (em.StripedBlocks+int64(d-2))/int64(d-1) + int64(procs*3*d)
+		if em.ParityBlocks > maxParity {
+			t.Errorf("P=%d: ParityBlocks=%d, want <= %d (striped=%d)",
+				procs, em.ParityBlocks, maxParity, em.StripedBlocks)
+		}
+		// Mirroring would have doubled the footprint: its redundant
+		// block count equals the striped count. Parity must be well
+		// under half of that.
+		if em.ParityBlocks*2 >= em.StripedBlocks {
+			t.Errorf("P=%d: ParityBlocks=%d not below half of striped=%d — no better than mirroring",
+				procs, em.ParityBlocks, em.StripedBlocks)
+		}
+	}
+}
+
+// TestParityScrubClean: with scrubbing enabled and no corruption, the
+// scrub verifies tracks between supersteps, repairs nothing, and the
+// run stays bitwise identical to the reference.
+func TestParityScrubClean(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 21, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{
+			Seed:       21,
+			Redundancy: redundancy.Parity,
+			Scrub:      true,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "scrub")
+		em := res.EM
+		if em.ScrubbedBlocks == 0 {
+			t.Errorf("P=%d: scrub enabled but ScrubbedBlocks=0", procs)
+		}
+		if em.ScrubRepairs != 0 || em.ChecksumFailures != 0 {
+			t.Errorf("P=%d: clean run but repairs=%d checksum failures=%d",
+				procs, em.ScrubRepairs, em.ChecksumFailures)
+		}
+	}
+}
+
+// TestParityTransientFaults: parity and the fault layer's transient
+// injection compose — retries and replays above, parity maintenance
+// below — without losing bitwise fidelity.
+func TestParityTransientFaults(t *testing.T) {
+	p := &bsptest.RandomProgram{V: 16, Steps: 4, MsgsPerStep: 4, MaxLen: 12}
+	ref, err := bsp.Run(p, bsp.RunOptions{Seed: 9, PktSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 3} {
+		cfg := parMachine(procs, 4, 8, 256)
+		res, err := core.Run(p, cfg, core.Options{
+			Seed:       9,
+			FaultPlan:  transientPlan(77),
+			Redundancy: redundancy.Parity,
+			Scrub:      true,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		checksumsEqual(t, ref, res, "parity+transient")
+		if res.EM.FaultsInjected == 0 {
+			t.Errorf("P=%d: no faults injected at 2%% rates", procs)
+		}
+		if res.EM.ParityOps == 0 {
+			t.Errorf("P=%d: parity enabled but ParityOps=0", procs)
+		}
+	}
+}
+
+// TestParityKillDuringRebuildResume is the crash-consistency half of
+// the acceptance property: a run hard-stopped while the online rebuild
+// is still in progress, then resumed from its journal, produces a
+// Result bitwise identical to the uninterrupted run.
+func TestParityKillDuringRebuildResume(t *testing.T) {
+	p := testProgram()
+	for _, procs := range []int{1, 3} {
+		label := fmt.Sprintf("P=%d", procs)
+		cfg := parMachine(procs, 4, 8, 256)
+		opts := func(dir string) core.Options {
+			return core.Options{
+				Seed:       3,
+				StateDir:   dir,
+				FaultPlan:  deathPlan(),
+				Redundancy: redundancy.Parity,
+				Scrub:      true,
+			}
+		}
+		clean, err := core.Run(p, cfg, opts(t.TempDir()))
+		if err != nil {
+			t.Fatalf("%s clean: %v", label, err)
+		}
+		if clean.EM.RebuiltBlocks == 0 {
+			t.Fatalf("%s: shape produced no rebuild work; the kill would not land mid-rebuild", label)
+		}
+
+		// Stop at the first barrier after the drive death (the death at
+		// op 40 lands in superstep 0, and the rebuild budget spreads the
+		// rebuild over several barriers), then resume to completion.
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		killed := opts(dir)
+		killed.OnCommit = func(step int) {
+			if step == 1 {
+				cancel()
+			}
+		}
+		_, err = core.RunContext(ctx, p, cfg, killed)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: killed run returned %v, want context.Canceled", label, err)
+		}
+
+		resumed := opts(dir)
+		resumed.Resume = true
+		res, err := core.Run(p, cfg, resumed)
+		if err != nil {
+			t.Fatalf("%s resume: %v", label, err)
+		}
+		resultsIdentical(t, clean, res, label+" kill during rebuild")
+	}
+}
+
+// TestParityCrashAndResume: the in-process stand-in for SIGKILL — a
+// Program panic mid-superstep — leaves the journal at the last
+// committed barrier; resuming a parity-protected, scrubbed, fault-
+// injected run still reproduces the uninterrupted Result exactly.
+func TestParityCrashAndResume(t *testing.T) {
+	p := testProgram()
+	for _, procs := range []int{1, 3} {
+		label := fmt.Sprintf("P=%d", procs)
+		cfg := parMachine(procs, 4, 8, 256)
+		opts := func(dir string) core.Options {
+			return core.Options{
+				Seed:       3,
+				StateDir:   dir,
+				FaultPlan:  deathPlan(),
+				Redundancy: redundancy.Parity,
+				Scrub:      true,
+			}
+		}
+		clean, err := core.Run(p, cfg, opts(t.TempDir()))
+		if err != nil {
+			t.Fatalf("%s clean: %v", label, err)
+		}
+
+		dir := t.TempDir()
+		crashed := &panicProgram{Program: p, panicStep: 2}
+		_, err = core.Run(crashed, cfg, opts(dir))
+		var pe *bsp.ProgramError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: crashed run returned %v, want *bsp.ProgramError", label, err)
+		}
+
+		resumed := opts(dir)
+		resumed.Resume = true
+		res, err := core.Run(p, cfg, resumed)
+		if err != nil {
+			t.Fatalf("%s resume: %v", label, err)
+		}
+		resultsIdentical(t, clean, res, label+" parity crash")
+	}
+}
+
+// TestRedundancyValidation: the redundancy-mode surface of
+// Options.Validate — unprotected death plans are a typed error, and
+// incoherent mode combinations are rejected up front.
+func TestRedundancyValidation(t *testing.T) {
+	p := testProgram()
+	good := parMachine(1, 4, 8, 256)
+
+	_, err := core.Run(p, good, core.Options{Seed: 3, FaultPlan: deathPlan()})
+	var ue *core.UnprotectedDriveLossError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unprotected death plan: got %v, want *core.UnprotectedDriveLossError", err)
+	}
+	if ue.FailDrive != 2 || ue.FailOp != 40 {
+		t.Errorf("error carries drive %d op %d, want drive 2 op 40", ue.FailDrive, ue.FailOp)
+	}
+
+	cases := []struct {
+		name string
+		cfg  core.MachineConfig
+		opts core.Options
+	}{
+		{"invalid mode", good, core.Options{Redundancy: redundancy.Mode(99)}},
+		{"parity on one drive", parMachine(1, 1, 8, 64), core.Options{Redundancy: redundancy.Parity}},
+		{"scrub without parity", good, core.Options{Scrub: true}},
+		{"scrub with mirror", good, core.Options{Scrub: true, Redundancy: redundancy.Mirror}},
+		{"parity plus mirror plan", good, core.Options{
+			Redundancy: redundancy.Parity,
+			FaultPlan:  &fault.Plan{Seed: 1, Mirror: true},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := core.Run(p, tc.cfg, tc.opts); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+
+	// Mirror via the explicit option (no plan flag) still protects a
+	// death plan.
+	if _, err := core.Run(p, good, core.Options{
+		Seed: 3, FaultPlan: deathPlan(), Redundancy: redundancy.Mirror,
+	}); err != nil {
+		t.Errorf("explicit mirror with death plan: %v", err)
+	}
+}

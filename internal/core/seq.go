@@ -11,8 +11,15 @@ import (
 	"embsp/internal/journal"
 	"embsp/internal/mem"
 	"embsp/internal/prng"
+	"embsp/internal/redundancy"
 	"embsp/internal/words"
 )
+
+// redBudget returns the per-barrier track budget for background
+// redundancy maintenance (rebuild and scrub): a deterministic slice of
+// work per committed superstep, proportional to the drive count so the
+// maintenance rate scales with the machine.
+func redBudget(D int) int { return 4 * D }
 
 // maxReplays bounds how many times one compound superstep may be
 // rolled back and replayed before the engine gives up. Each replay
@@ -79,10 +86,11 @@ type seqEngine struct {
 	groups   int
 	muBlocks int
 
-	store disk.Store       // in-memory Array, or file-backed File when durable
-	fd    *fault.Disk      // nil without a fault plan
-	dsk   disk.Disk        // store, or fd wrapping it
-	jrn   *journal.Journal // nil without a StateDir
+	store disk.Store        // outermost store: raw array/file, or the parity layer over it
+	red   *redundancy.Store // nil unless Redundancy is parity
+	fd    *fault.Disk       // nil without a fault plan
+	dsk   disk.Disk         // store, or fd wrapping it
+	jrn   *journal.Journal  // nil without a StateDir
 	goctx context.Context
 	acct  *mem.Accountant
 	rec   *bsp.CostRecorder
@@ -158,14 +166,31 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 	} else {
 		e.store = disk.MustNewArray(diskCfg)
 	}
+	mode := opts.effectiveRedundancy()
+	if mode == redundancy.Parity {
+		red, err := redundancy.Wrap(e.store)
+		if err != nil {
+			e.store.Close()
+			return nil, err
+		}
+		e.red = red
+		e.store = red
+	}
 	e.dsk = e.store
-	if opts.FaultPlan != nil && opts.FaultPlan.Enabled() {
-		plan := *opts.FaultPlan
+	var plan fault.Plan
+	if opts.FaultPlan != nil {
+		plan = *opts.FaultPlan
 		if plan.FailProc != 0 {
 			// The failing processor does not exist on this one-processor
 			// machine; its drive death cannot happen here.
 			plan.FailDriveOp = 0
 		}
+	}
+	// Redundancy mode is explicit: the fault layer mirrors exactly when
+	// the run asked for mirror redundancy (parity protection lives in
+	// the layer below it).
+	plan.Mirror = mode == redundancy.Mirror
+	if plan.Enabled() {
 		fd, err := fault.Wrap(e.store, plan, opts.MaxRetries)
 		if err != nil {
 			e.store.Close()
@@ -210,6 +235,32 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 // durable runs need it so the state the last journal record references
 // is never overwritten before the next record is committed.
 func (e *seqEngine) ckpt() bool { return e.fd != nil || e.jrn != nil }
+
+// redBarrier is the parity-aware commit point: at every barrier the
+// superstep's fresh tracks are striped into parity groups, then a
+// budgeted slice of background maintenance runs — online rebuild of a
+// dead drive, and (when enabled) the latent-corruption scrub. All
+// before the journal commit, so the manifest always captures a
+// parity-consistent state.
+func (e *seqEngine) redBarrier() error {
+	if e.red == nil {
+		return nil
+	}
+	if err := e.red.FlushParity(); err != nil {
+		return err
+	}
+	if e.red.Rebuilding() {
+		if err := e.red.RebuildStep(redBudget(e.cfg.D)); err != nil {
+			return err
+		}
+	}
+	if e.opts.Scrub {
+		if _, err := e.red.Scrub(redBudget(e.cfg.D)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (e *seqEngine) closeState() error {
 	var errs []error
@@ -287,6 +338,9 @@ func (e *seqEngine) run() (*Result, error) {
 		if err := e.replayPhase(e.writeInitialContexts); err != nil {
 			return nil, err
 		}
+		if err := e.redBarrier(); err != nil {
+			return nil, err
+		}
 		e.setup = e.dsk.Stats()
 		e.dsk.ResetStats()
 		if err := e.commitJournal(-1); err != nil {
@@ -313,6 +367,9 @@ func (e *seqEngine) run() (*Result, error) {
 			e.halted = true
 		case halts != 0:
 			return nil, fmt.Errorf("core: split halt vote in superstep %d: %d of %d VPs halted", step, halts, e.v)
+		}
+		if err := e.redBarrier(); err != nil {
+			return nil, err
 		}
 		e.stepsDone = step + 1
 		if err := e.commitJournal(step); err != nil {
@@ -364,13 +421,32 @@ func (e *seqEngine) run() (*Result, error) {
 		res.EM.Replays = e.replays
 		res.EM.RecoveryOps = c.RecoveryOps + e.recoveryOps
 	}
+	if e.red != nil {
+		addRedStats(&res.EM, e.red.Counters())
+	}
 	return res, nil
+}
+
+// addRedStats folds one parity layer's counters into the run's EMStats
+// (called once per processor).
+func addRedStats(em *EMStats, c redundancy.Counters) {
+	em.ChecksumFailures += c.ChecksumFailures
+	em.ParityOps += c.ParityOps
+	em.ParityBlocks += c.ParityBlocks
+	em.StripedBlocks += c.StripedBlocks
+	em.DegradedOps += c.DegradedOps
+	em.ReconstructedBlocks += c.ReconstructedBlocks
+	em.RepairedBlocks += c.RepairedBlocks
+	em.ScrubbedBlocks += c.ScrubbedBlocks
+	em.ScrubRepairs += c.ScrubRepairs
+	em.RebuiltBlocks += c.RebuiltBlocks
 }
 
 // seqSnapshot is the superstep checkpoint manifest: everything needed
 // to roll the engine back to the last compound-superstep barrier.
 type seqSnapshot struct {
 	fd       *fault.Snapshot
+	red      *redundancy.Snapshot
 	rng      [4]uint64
 	recMark  int
 	acctMark int64
@@ -382,7 +458,7 @@ type seqSnapshot struct {
 }
 
 func (e *seqEngine) snapshot() seqSnapshot {
-	return seqSnapshot{
+	s := seqSnapshot{
 		fd:       e.fd.Snapshot(),
 		rng:      e.rng.State(),
 		recMark:  e.rec.Mark(),
@@ -393,10 +469,17 @@ func (e *seqEngine) snapshot() seqSnapshot {
 		maxSkew:  e.maxSkew,
 		peakLive: e.peakLive,
 	}
+	if e.red != nil {
+		s.red = e.red.Snapshot()
+	}
+	return s
 }
 
 func (e *seqEngine) restore(s seqSnapshot) {
-	e.fd.Restore(s.fd)
+	e.fd.Restore(s.fd) // rolls the shared allocator back first
+	if e.red != nil {
+		e.red.Restore(s.red)
+	}
 	e.rng.SetState(s.rng)
 	e.rec.Rewind(s.recMark)
 	e.acct.Rewind(s.acctMark)

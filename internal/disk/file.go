@@ -119,10 +119,43 @@ func writeGeometry(path string, cfg Config) error {
 	binary.LittleEndian.PutUint64(buf[8:], uint64(cfg.D))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(cfg.B))
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := fh.Write(buf); err != nil {
+		fh.Close()
+		return err
+	}
+	// The geometry must be durable before any journal record can refer
+	// to this state directory: fsync the content before the rename makes
+	// it visible, and the directory after, so a crash can never leave a
+	// visible-but-empty (or torn) geometry file that a resume would
+	// misread as a foreign directory.
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	dh, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = dh.Sync()
+	if cerr := dh.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func checkGeometry(path string, cfg Config) error {

@@ -259,3 +259,78 @@ func TestFileAllocRestore(t *testing.T) {
 		}
 	}
 }
+
+// TestFileCloseIdempotent: Close must be callable any number of times
+// (the engines close on both success and error unwind paths), and the
+// store must stay usable up to the first Close.
+func TestFileCloseIdempotent(t *testing.T) {
+	const D, B = 2, 8
+	f, err := OpenFile(t.TempDir(), Config{D: D, B: B}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteOp([]WriteReq{{Disk: 0, Track: f.Alloc(0), Src: track(B, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close #%d after close: %v", i+2, err)
+		}
+	}
+	// Sync after Close skips the nil handles rather than crashing.
+	if err := f.Sync(); err != nil {
+		t.Errorf("Sync after Close: %v", err)
+	}
+}
+
+// TestFileOpenErrorPaths: every constructor failure must return a
+// typed, actionable error and never leak open drive files (OpenFile
+// closes the partially built store itself).
+func TestFileOpenErrorPaths(t *testing.T) {
+	if _, err := OpenFile(t.TempDir(), Config{D: 0, B: 8}, false); err == nil {
+		t.Error("invalid config: want error, got nil")
+	}
+
+	// Resume of a directory that was never a store.
+	if _, err := OpenFile(t.TempDir(), Config{D: 2, B: 8}, true); err == nil {
+		t.Error("resume of empty directory: want error, got nil")
+	}
+
+	// A drive path occupied by a directory forces the per-drive open to
+	// fail after the geometry landed; OpenFile must clean up after
+	// itself and report the failure.
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "drive-001.dat"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir, Config{D: 2, B: 8}, false); err == nil {
+		t.Error("unopenable drive file: want error, got nil")
+	}
+	// drive-000.dat was opened (and must have been closed) before
+	// drive-001 failed; if the close happened we can recreate freely.
+	if err := os.Remove(filepath.Join(dir, "drive-000.dat")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileGeometryDurability: the geometry file is written atomically
+// (no .tmp residue) and a rewrite of the same directory replaces it.
+func TestFileGeometryDurability(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, Config{D: 2, B: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := os.Stat(filepath.Join(dir, "geometry.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("geometry.tmp left behind (err=%v)", err)
+	}
+	g, err := OpenFile(dir, Config{D: 2, B: 8}, true)
+	if err != nil {
+		t.Fatalf("resume with matching geometry: %v", err)
+	}
+	g.Close()
+}

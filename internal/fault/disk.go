@@ -35,12 +35,22 @@ type Disk struct {
 	plan       Plan
 	maxRetries int
 	rng        *prng.Rand
+	below      driveDier // parity layer underneath, if any
 
 	attempts int64 // operation attempts seen, the fault-schedule clock
 	dead     []bool
 	sums     map[addr]uint64    // checksum per written physical track
 	mirrors  map[addr]disk.Addr // primary -> mirror copy location
 	ctr      Counters
+}
+
+// driveDier is implemented by a redundancy layer beneath the fault
+// wrapper (detected structurally to avoid an import cycle). When
+// present, the fault layer does not mirror or redirect: dead-drive
+// I/O passes straight through and the layer below reconstructs reads
+// from parity and remaps writes onto surviving drives.
+type driveDier interface {
+	DriveDied(d int)
 }
 
 // Wrap layers the fault model over a store. maxRetries bounds the
@@ -56,8 +66,14 @@ func Wrap(a disk.Store, plan Plan, maxRetries int) (*Disk, error) {
 	if plan.FailDriveOp > 0 && plan.FailDrive >= cfg.D {
 		return nil, fmt.Errorf("fault: FailDrive = %d, machine has %d drives", plan.FailDrive, cfg.D)
 	}
-	if plan.Mirrored() && cfg.D < 2 {
-		return nil, fmt.Errorf("fault: mirroring requires D >= 2, have D = %d", cfg.D)
+	below, _ := a.(driveDier)
+	if plan.Mirrored() {
+		if cfg.D < 2 {
+			return nil, fmt.Errorf("fault: mirroring requires D >= 2, have D = %d", cfg.D)
+		}
+		if below != nil {
+			return nil, fmt.Errorf("fault: mirroring and a parity layer are mutually exclusive")
+		}
 	}
 	if maxRetries == 0 {
 		maxRetries = DefaultMaxRetries
@@ -70,6 +86,7 @@ func Wrap(a disk.Store, plan Plan, maxRetries int) (*Disk, error) {
 		plan:       plan,
 		maxRetries: maxRetries,
 		rng:        prng.New(prng.Derive(plan.Seed, 0xFA01)),
+		below:      below,
 		dead:       make([]bool, cfg.D),
 		sums:       make(map[addr]uint64),
 		mirrors:    make(map[addr]disk.Addr),
@@ -159,16 +176,25 @@ func (f *Disk) tick() (inject bool, dying int) {
 		f.dead[f.plan.FailDrive] = true
 		f.ctr.DriveFailures++
 		dying = f.plan.FailDrive
+		if f.below != nil {
+			f.below.DriveDied(dying)
+		}
 	}
 	return idx >= f.plan.FirstOp, dying
 }
 
+// survivable reports whether a permanent drive loss leaves the data
+// reachable: either mirror copies exist or a parity layer underneath
+// can reconstruct.
+func (f *Disk) survivable() bool { return f.plan.Mirrored() || f.below != nil }
+
 // resolve maps a logical track address to its current physical
 // location: the track itself while its drive lives, the mirror copy
-// after the drive died. The second result is false if the data is
-// gone for good.
+// after the drive died. With a parity layer below, dead-drive
+// addresses pass through unchanged — reconstruction happens there.
+// The second result is false if the data is gone for good.
 func (f *Disk) resolve(d, t int) (disk.Addr, bool) {
-	if !f.dead[d] {
+	if !f.dead[d] || f.below != nil {
 		return disk.Addr{Disk: d, Track: t}, true
 	}
 	if m, ok := f.mirrors[addr{d, t}]; ok {
@@ -228,9 +254,18 @@ func (f *Disk) ReadOp(reqs []disk.ReadReq) error {
 func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
 	inject, dying := f.tick()
 	if dying >= 0 {
+		// With a parity layer below, the death itself forces a superstep
+		// rollback: tracks written since the barrier are not yet striped
+		// (parity is flushed at barriers), so any of them on the dead
+		// drive are unprotected and must be regenerated by a replay that
+		// remaps them onto survivors. Mirroring protects at write time,
+		// so there only an operation touching the dying drive aborts.
+		if f.below != nil {
+			return &Error{Kind: DriveLoss, Disk: dying, Op: "read", Recoverable: f.survivable()}
+		}
 		for _, r := range reqs {
 			if r.Disk == dying {
-				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "read", Recoverable: f.plan.Mirrored()}
+				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "read", Recoverable: f.survivable()}
 			}
 		}
 	}
@@ -331,9 +366,14 @@ func (f *Disk) WriteOp(reqs []disk.WriteReq) error {
 func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
 	inject, dying := f.tick()
 	if dying >= 0 {
+		// See readAttempt: a death over a parity layer always aborts the
+		// attempt so the superstep replays with the drive already dead.
+		if f.below != nil {
+			return &Error{Kind: DriveLoss, Disk: dying, Op: "write", Recoverable: f.survivable()}
+		}
 		for _, r := range reqs {
 			if r.Disk == dying {
-				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "write", Recoverable: f.plan.Mirrored()}
+				return &Error{Kind: DriveLoss, Disk: dying, Track: r.Track, Op: "write", Recoverable: f.survivable()}
 			}
 		}
 	}
@@ -349,12 +389,14 @@ func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
 
 	// Resolve primaries: a write whose home drive died lands on its
 	// mirror location (allocated on a surviving partner on first use),
-	// which from then on is the block's single, degraded copy.
+	// which from then on is the block's single, degraded copy. With a
+	// parity layer below, dead-drive writes pass through — remapping
+	// onto spare capacity happens there.
 	phys := make([]disk.Addr, len(reqs))
 	mirrored := make([]bool, len(reqs)) // true when phys is already the mirror
 	for i, r := range reqs {
 		key := addr{r.Disk, r.Track}
-		if !f.dead[r.Disk] {
+		if !f.dead[r.Disk] || f.below != nil {
 			phys[i] = disk.Addr{Disk: r.Disk, Track: r.Track}
 			continue
 		}

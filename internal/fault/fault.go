@@ -137,8 +137,11 @@ type Plan struct {
 	// processor's plan keeps the drive failure).
 	FailProc int
 	// Mirror maintains a copy of every written track on a partner
-	// drive so a single drive loss is survivable. It is implied by
-	// FailDriveOp > 0.
+	// drive so a single drive loss is survivable. Redundancy is
+	// explicit: a plan with FailDriveOp > 0 and no Mirror (and no
+	// parity layer beneath the wrapper) injects an unrecoverable
+	// drive loss — Options.Validate rejects that combination up
+	// front with a typed error.
 	Mirror bool
 }
 
@@ -149,7 +152,7 @@ func (p Plan) Enabled() bool {
 }
 
 // Mirrored reports whether the plan requires mirror copies.
-func (p Plan) Mirrored() bool { return p.Mirror || p.FailDriveOp > 0 }
+func (p Plan) Mirrored() bool { return p.Mirror }
 
 // Validate reports whether the plan is usable.
 func (p Plan) Validate() error {

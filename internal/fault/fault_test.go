@@ -44,8 +44,11 @@ func TestWrapRejectsImpossiblePlans(t *testing.T) {
 	if _, err := Wrap(one, Plan{Mirror: true}, 0); err == nil {
 		t.Error("mirroring on a single drive accepted")
 	}
-	if _, err := Wrap(one, Plan{FailDriveOp: 5}, 0); err == nil {
-		t.Error("drive death without a mirror partner accepted")
+	// Redundancy is explicit policy, enforced by Options.Validate:
+	// the wrapper itself accepts an unprotected death plan (the loss
+	// is simply unrecoverable when it strikes).
+	if _, err := Wrap(one, Plan{FailDriveOp: 5}, 0); err != nil {
+		t.Errorf("unprotected death plan rejected by the constructor: %v", err)
 	}
 }
 
@@ -246,11 +249,10 @@ func TestDriveDeathRedirection(t *testing.T) {
 }
 
 // TestLostDataIsFatal: a read of a dead drive's track with no
-// surviving copy is an unrecoverable DriveLoss. A scheduled death
-// always implies mirroring, so the copy is removed white-box to reach
-// the data-gone path.
+// surviving copy is an unrecoverable DriveLoss. The mirror copy is
+// removed white-box to reach the data-gone path.
 func TestLostDataIsFatal(t *testing.T) {
-	f := MustWrap(testArray(t, 2, 2), Plan{Seed: 7, FailDriveOp: 1, FailDrive: 0}, 0)
+	f := MustWrap(testArray(t, 2, 2), Plan{Seed: 7, FailDriveOp: 1, FailDrive: 0, Mirror: true}, 0)
 	tr := f.Alloc(0)
 	if err := f.WriteOp([]disk.WriteReq{{Disk: 0, Track: tr, Src: []uint64{1, 2}}}); err != nil {
 		t.Fatal(err)

@@ -101,6 +101,59 @@ func TestJournalTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalUnsyncedRenameWindow simulates a crash in which the HEAD
+// rename itself was lost (the rename hit the directory but the crash
+// landed before — or despite — the directory fsync, so the old HEAD
+// reappears after reboot): the journal must come back as the OLD
+// commit point, with every later record rolled back as an uncommitted
+// tail, and keep accepting appends from there.
+func TestJournalUnsyncedRenameWindow(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1}, []uint64{2})
+	oldHead, err := os.ReadFile(headPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// The reboot resurrects the pre-append HEAD.
+	if err := os.WriteFile(headPath(dir), oldHead, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err = Open(dir)
+	if err != nil {
+		t.Fatalf("lost HEAD rename must roll back cleanly, got: %v", err)
+	}
+	defer j.Close()
+	if !j.Torn() {
+		t.Error("Torn() = false after rolling back records beyond the old HEAD")
+	}
+	if n := len(j.Records()); n != 2 {
+		t.Fatalf("got %d records, want the 2 the old HEAD covers", n)
+	}
+	if fi, _ := os.Stat(walPath(dir)); fi.Size() != j.off {
+		t.Errorf("wal is %d bytes after rollback, want %d", fi.Size(), j.off)
+	}
+	if err := j.Append([]uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Records(); len(got) != 3 || got[2][0] != 5 {
+		t.Fatalf("after re-append: records = %v, want [[1] [2] [5]]", got)
+	}
+}
+
 // TestJournalCorruptRecord flips a byte inside a committed record: Open
 // must report a typed *Error naming that record, never replay it.
 func TestJournalCorruptRecord(t *testing.T) {

@@ -1,0 +1,1449 @@
+// Package redundancy adds erasure-coded drive redundancy to the
+// simulated disk subsystem: rotated XOR parity groups across the D
+// drives of one processor (RAID-5 style), giving single-drive-failure
+// tolerance at a storage overhead of one parity track per D-1 data
+// tracks instead of the 2× of full mirroring.
+//
+// The layer slots between the fault-injection layer (internal/fault)
+// and a disk.Store. Data tracks keep their identity mapping — Alloc,
+// Release and ReserveRot forward unchanged, so the engines' layout
+// (standard consecutive and standard linked formats) is untouched —
+// while parity tracks are allocated from the same store, interleaved
+// with client allocations exactly as the fault layer's mirror copies
+// are.
+//
+// Parity is maintained at compound-superstep granularity, which is the
+// natural RAID-5 variant for a BSP-style engine: tracks written during
+// a superstep are grouped into stripes and their parity written at the
+// barrier (FlushParity — one full-stripe write per D-1 fresh tracks),
+// while rewrites and releases of already-striped tracks update parity
+// incrementally with the classic read-modify-write small-write penalty
+// (the old data is read back, charged as a real parallel I/O, before
+// it is overwritten). The parity value of a touched stripe is cached
+// in memory between the touch and the barrier, so one stripe costs at
+// most one parity read and one parity write per superstep no matter
+// how often its members change.
+//
+// On top of the parity groups the layer provides:
+//
+//   - degraded-mode reads: a read of a track whose drive has died, or
+//     whose content fails its recorded checksum, is served by XOR-ing
+//     the stripe's surviving D-1 members. Every extra parallel I/O
+//     this costs is a real charged operation, surfaced in the
+//     ReconstructedBlocks / DegradedOps counters;
+//   - a background scrub: a cursor walks the physical tracks between
+//     supersteps, re-reads checksummed tracks, and repairs latent
+//     corruption from parity. The cursor is part of EncodeState, so a
+//     crash-resumed run continues scrubbing where it left off;
+//   - online rebuild: after a permanent drive death the dead drive's
+//     striped tracks are reconstructed onto spare capacity of the
+//     survivors while the program keeps running, a bounded number of
+//     tracks per barrier; progress is journaled and resumable.
+//
+// All map iterations that cause I/O or enter encoded state are sorted,
+// so the layer preserves the repository's bitwise-determinism
+// guarantees.
+package redundancy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"embsp/internal/disk"
+	"embsp/internal/words"
+)
+
+// Mode selects the drive-redundancy scheme of a run.
+type Mode int
+
+const (
+	// None runs without redundancy: a permanent drive loss is fatal.
+	None Mode = iota
+	// Mirror keeps a full copy of every written track on a partner
+	// drive (2× storage, one extra write op per write op).
+	Mirror
+	// Parity keeps one rotated XOR parity track per stripe of D-1 data
+	// tracks (1/(D-1) storage overhead, superstep-batched parity
+	// writes).
+	Parity
+)
+
+// String returns the mode's flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Mirror:
+		return "mirror"
+	case Parity:
+		return "parity"
+	}
+	return fmt.Sprintf("redundancy.Mode(%d)", int(m))
+}
+
+// ParseMode parses a -redundancy flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "none":
+		return None, nil
+	case "mirror":
+		return Mirror, nil
+	case "parity":
+		return Parity, nil
+	}
+	return None, fmt.Errorf("redundancy: unknown mode %q (want none, mirror or parity)", s)
+}
+
+type addr struct{ d, t int }
+
+func addrLess(a, b addr) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.t < b.t
+}
+
+// stripe is one parity group: at most one member track per data drive
+// (never on the parity drive), so any single member is the XOR of the
+// parity track and the other members.
+type stripe struct {
+	parity  disk.Addr // parity track location
+	members []int     // member track per logical drive, -1 = none
+	count   int
+}
+
+func (st *stripe) full(D int) bool { return st.count >= D-1 }
+
+// Counters reports the layer's redundancy accounting. All figures
+// except the two gauges are monotone over the run; Restore does not
+// roll them back (work a replayed superstep spent really happened).
+type Counters struct {
+	// ChecksumFailures counts tracks whose stored content failed the
+	// recorded checksum when read back (latent at-rest corruption,
+	// detected by a degraded read or by the scrub).
+	ChecksumFailures int64
+	// RepairedBlocks counts tracks rewritten with data reconstructed
+	// from parity (scrub repairs plus read-path repairs).
+	RepairedBlocks int64
+	// ReconstructedBlocks counts blocks served or repaired by XOR-ing
+	// the stripe's surviving members instead of reading the track.
+	ReconstructedBlocks int64
+	// DegradedOps counts the extra charged parallel I/O operations
+	// spent serving reads and writes in degraded mode (reconstruction
+	// reads, collision splits of remapped tracks, repair rewrites).
+	DegradedOps int64
+	// ParityOps counts the charged parallel I/O operations spent
+	// maintaining parity: barrier flushes, read-old-data small writes,
+	// and parity track loads.
+	ParityOps int64
+	// ParityBlocks is the number of parity tracks currently allocated
+	// (a gauge: the storage overhead of the scheme).
+	ParityBlocks int64
+	// StripedBlocks is the number of data tracks currently protected
+	// by a stripe (a gauge).
+	StripedBlocks int64
+	// ScrubbedBlocks counts tracks whose checksum the scrub verified;
+	// ScrubRepairs counts the corrupt ones it repaired from parity.
+	ScrubbedBlocks int64
+	ScrubRepairs   int64
+	// RebuiltBlocks counts dead-drive tracks reconstructed onto spare
+	// capacity of the surviving drives by the online rebuild.
+	RebuiltBlocks int64
+}
+
+// Add accumulates other into c (for multi-processor aggregation).
+func (c *Counters) Add(other Counters) {
+	c.ChecksumFailures += other.ChecksumFailures
+	c.RepairedBlocks += other.RepairedBlocks
+	c.ReconstructedBlocks += other.ReconstructedBlocks
+	c.DegradedOps += other.DegradedOps
+	c.ParityOps += other.ParityOps
+	c.ParityBlocks += other.ParityBlocks
+	c.StripedBlocks += other.StripedBlocks
+	c.ScrubbedBlocks += other.ScrubbedBlocks
+	c.ScrubRepairs += other.ScrubRepairs
+	c.RebuiltBlocks += other.RebuiltBlocks
+}
+
+// Store implements disk.Store over an inner store, adding rotated XOR
+// parity. It is not safe for concurrent use: each real processor owns
+// its own Store, exactly as it owns its own disk array.
+type Store struct {
+	inner disk.Store
+	D, B  int
+
+	stripeOf map[addr]int // logical data track -> stripe id
+	stripes  map[int]*stripe
+	parityAt map[addr]int // physical parity track -> stripe id
+	open     []int        // non-full stripe ids, ascending
+	next     int          // next stripe id; also the parity rotation counter
+
+	pval   map[int][]uint64 // cached current parity value (authoritative)
+	pdirty map[int]bool     // stripes whose cached parity needs write-back
+
+	fresh map[addr]bool      // written but not yet striped data tracks
+	sums  map[addr]uint64    // physical track -> checksum of last write
+	remap map[addr]disk.Addr // dead-drive logical track -> live physical
+	rrmap map[addr]addr      // inverse of remap (physical -> logical)
+	dead  []bool
+
+	// rmwOld caches the barrier-committed content of striped members
+	// rewritten in place during the current superstep, keyed by
+	// physical track. After a superstep rollback the physical track
+	// already holds replayed data the stored parity does not encode,
+	// so parity arithmetic must use this copy for any member the
+	// current attempt has not rewritten yet. Dropped at FlushParity;
+	// deliberately NOT part of Snapshot/Restore (it must survive the
+	// rollback that makes it necessary).
+	rmwOld map[addr][]uint64
+	// wrote marks physical tracks written by the current attempt;
+	// Restore clears it (a rollback starts a new attempt).
+	wrote map[addr]bool
+
+	scrubD, scrubT int // scrub cursor (physical walk)
+	rebDrive       int // drive being rebuilt, -1 when none
+	rebTrack       int // next dead-drive track to examine
+	rebParity      int // next stripe id to check for a lost parity track
+
+	ctr Counters
+}
+
+// Wrap layers parity redundancy over a store. Parity requires at least
+// two drives (one data drive plus a rotated parity drive).
+func Wrap(inner disk.Store) (*Store, error) {
+	cfg := inner.Config()
+	if cfg.D < 2 {
+		return nil, fmt.Errorf("redundancy: parity requires D >= 2, have D = %d", cfg.D)
+	}
+	return &Store{
+		inner:    inner,
+		D:        cfg.D,
+		B:        cfg.B,
+		stripeOf: make(map[addr]int),
+		stripes:  make(map[int]*stripe),
+		parityAt: make(map[addr]int),
+		pval:     make(map[int][]uint64),
+		pdirty:   make(map[int]bool),
+		fresh:    make(map[addr]bool),
+		sums:     make(map[addr]uint64),
+		remap:    make(map[addr]disk.Addr),
+		rrmap:    make(map[addr]addr),
+		dead:     make([]bool, cfg.D),
+		rmwOld:   make(map[addr][]uint64),
+		wrote:    make(map[addr]bool),
+		rebDrive: -1,
+	}, nil
+}
+
+// Config returns the underlying configuration.
+func (s *Store) Config() disk.Config { return s.inner.Config() }
+
+// Stats returns the underlying I/O statistics (parity maintenance,
+// reconstruction and rebuild traffic are all real charged operations
+// and appear here).
+func (s *Store) Stats() disk.Stats { return s.inner.Stats() }
+
+// ResetStats resets the underlying statistics. Redundancy counters are
+// untouched (they are run-wide, not per-phase).
+func (s *Store) ResetStats() { s.inner.ResetStats() }
+
+// Counters returns the redundancy accounting.
+func (s *Store) Counters() Counters { return s.ctr }
+
+// Rebuilding reports whether an online rebuild is still in progress.
+func (s *Store) Rebuilding() bool { return s.rebDrive >= 0 }
+
+// DriveDied marks drive d permanently dead and schedules the online
+// rebuild. The fault layer calls it at the moment of a scheduled drive
+// death; from then on the Store never issues inner I/O against d —
+// reads are reconstructed from parity or served from rebuilt copies,
+// writes land on spare capacity of the survivors.
+func (s *Store) DriveDied(d int) {
+	if d < 0 || d >= s.D || s.dead[d] {
+		return
+	}
+	s.dead[d] = true
+	if s.rebDrive < 0 {
+		s.rebDrive = d
+		s.rebTrack = 0
+		s.rebParity = 0
+	}
+}
+
+// Alloc forwards to the inner allocator: allocation is directory
+// metadata and never faults; I/O on a dead drive's tracks is remapped
+// at operation time.
+func (s *Store) Alloc(d int) int { return s.inner.Alloc(d) }
+
+// ReserveRot forwards to the inner allocator.
+func (s *Store) ReserveRot(nBlocks, rot int) disk.Area { return s.inner.ReserveRot(nBlocks, rot) }
+
+// AllocSnapshot forwards to the inner allocator (the Store's own
+// rollback state is captured separately via Snapshot).
+func (s *Store) AllocSnapshot() disk.AllocMark { return s.inner.AllocSnapshot() }
+
+// AllocRestore forwards to the inner allocator.
+func (s *Store) AllocRestore(m disk.AllocMark) { s.inner.AllocRestore(m) }
+
+// State forwards to the inner store.
+func (s *Store) State() disk.StoreState { return s.inner.State() }
+
+// AdoptState forwards to the inner store.
+func (s *Store) AdoptState(st disk.StoreState) error { return s.inner.AdoptState(st) }
+
+// Sync forwards to the inner store. The engines call FlushParity
+// first, so everything a commit record references — parity included —
+// is durable before the record lands.
+func (s *Store) Sync() error { return s.inner.Sync() }
+
+// Close forwards to the inner store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// parityUsable reports whether the stripe's parity track is readable.
+func (s *Store) parityUsable(st *stripe) bool { return !s.dead[st.parity.Disk] }
+
+// chooseSpare returns a live drive other than d, rotated by salt so
+// remapped and rebuilt tracks spread over the survivors.
+func (s *Store) chooseSpare(d, salt int) (int, bool) {
+	for i := 0; i < s.D; i++ {
+		c := (d + 1 + salt + i) % s.D
+		if c != d && !s.dead[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// groupsOf partitions n requests (physical drive given by driveAt)
+// into maximal runs with pairwise-distinct drives, preserving order —
+// the extra groups are the degradation the model charges for.
+func groupsOf(n int, driveAt func(int) int) [][]int {
+	var groups [][]int
+	var cur []int
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		d := driveAt(i)
+		if seen[d] {
+			groups = append(groups, cur)
+			cur = nil
+			seen = make(map[int]bool)
+		}
+		seen[d] = true
+		cur = append(cur, i)
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// readPhys issues physical reads grouped into valid parallel
+// operations, transparently repairing tracks the inner store reports
+// as corrupt (File's torn-write detection). It returns the number of
+// operations issued.
+func (s *Store) readPhys(reqs []disk.ReadReq) (int, error) {
+	groups := groupsOf(len(reqs), func(i int) int { return reqs[i].Disk })
+	ops := 0
+	for _, g := range groups {
+		sub := make([]disk.ReadReq, 0, len(g))
+		for _, i := range g {
+			sub = append(sub, reqs[i])
+		}
+		for try := 0; ; try++ {
+			err := s.inner.ReadOp(sub)
+			ops++
+			if err == nil {
+				break
+			}
+			var cte *disk.CorruptTrackError
+			if !errors.As(err, &cte) || try > len(sub) {
+				return ops, err
+			}
+			s.ctr.ChecksumFailures++
+			rops, rerr := s.repairTrack(addr{cte.Disk, cte.Track})
+			ops += rops
+			if rerr != nil {
+				return ops, rerr
+			}
+		}
+	}
+	return ops, nil
+}
+
+// writePhys issues physical writes grouped into valid parallel
+// operations and records their checksums. It returns the number of
+// operations issued.
+func (s *Store) writePhys(reqs []disk.WriteReq) (int, error) {
+	groups := groupsOf(len(reqs), func(i int) int { return reqs[i].Disk })
+	for _, g := range groups {
+		sub := make([]disk.WriteReq, 0, len(g))
+		for _, i := range g {
+			sub = append(sub, reqs[i])
+		}
+		if err := s.inner.WriteOp(sub); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range reqs {
+		s.sums[addr{r.Disk, r.Track}] = disk.Checksum(r.Src)
+	}
+	return len(groups), nil
+}
+
+// physOf maps a logical data track to the physical location currently
+// holding its bytes. The second result is false when no physical copy
+// exists (dead drive, not remapped) and the data must be
+// reconstructed.
+func (s *Store) physOf(k addr) (disk.Addr, bool) {
+	if m, ok := s.remap[k]; ok {
+		return m, true
+	}
+	if s.dead[k.d] {
+		return disk.Addr{}, false
+	}
+	return disk.Addr{Disk: k.d, Track: k.t}, true
+}
+
+// loadParity ensures the stripe's current parity value is cached,
+// reading (and verifying) the parity track if needed.
+func (s *Store) loadParity(sid int) error {
+	if _, ok := s.pval[sid]; ok {
+		return nil
+	}
+	st := s.stripes[sid]
+	if !s.parityUsable(st) {
+		return fmt.Errorf("redundancy: parity of stripe %d is on dead drive %d", sid, st.parity.Disk)
+	}
+	buf := make([]uint64, s.B)
+	ops, err := s.readParityTrack(sid, buf)
+	s.ctr.ParityOps += int64(ops)
+	if err != nil {
+		return err
+	}
+	s.pval[sid] = buf
+	return nil
+}
+
+// readParityTrack reads the stripe's stored parity into dst, verifying
+// its recorded checksum and recomputing it from the members when the
+// stored copy is corrupt.
+func (s *Store) readParityTrack(sid int, dst []uint64) (int, error) {
+	st := s.stripes[sid]
+	p := addr{st.parity.Disk, st.parity.Track}
+	ops, err := s.readPhys([]disk.ReadReq{{Disk: p.d, Track: p.t, Dst: dst}})
+	if err != nil {
+		return ops, err
+	}
+	if want, ok := s.sums[p]; ok && disk.Checksum(dst) != want {
+		s.ctr.ChecksumFailures++
+		n, err := s.repairTrack(p)
+		ops += n
+		if err != nil {
+			return ops, err
+		}
+		n, err = s.readPhys([]disk.ReadReq{{Disk: p.d, Track: p.t, Dst: dst}})
+		ops += n
+		if err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
+}
+
+// reconstruct XORs the stripe's parity value with every member other
+// than skip, yielding skip's data. All other members are readable (a
+// stripe never has two members on one logical drive, and only one
+// drive can be dead). The charged operations are counted as
+// DegradedOps by the caller via the returned op count.
+func (s *Store) reconstruct(sid int, skip addr, dst []uint64) (int, error) {
+	st := s.stripes[sid]
+	ops := 0
+	if pv, ok := s.pval[sid]; ok {
+		copy(dst, pv)
+	} else {
+		if !s.parityUsable(st) {
+			return 0, fmt.Errorf("redundancy: cannot reconstruct drive %d track %d: stripe %d's parity is on dead drive %d", skip.d, skip.t, sid, st.parity.Disk)
+		}
+		n, err := s.readParityTrack(sid, dst)
+		ops += n
+		if err != nil {
+			return ops, err
+		}
+	}
+	var reqs []disk.ReadReq
+	var bufs [][]uint64
+	for d := 0; d < s.D; d++ {
+		t := st.members[d]
+		if t < 0 || (d == skip.d && t == skip.t) {
+			continue
+		}
+		p, ok := s.physOf(addr{d, t})
+		if !ok {
+			return ops, fmt.Errorf("redundancy: two lost members in stripe %d (drive %d track %d and drive %d track %d)", sid, skip.d, skip.t, d, t)
+		}
+		pk := addr{p.Disk, p.Track}
+		if old, ok := s.rmwOld[pk]; ok && !s.wrote[pk] {
+			// Rewritten in place this superstep but not yet by the
+			// current attempt: the parity state still encodes the
+			// barrier value, which only the cache holds.
+			for i := range dst {
+				dst[i] ^= old[i]
+			}
+			continue
+		}
+		buf := make([]uint64, s.B)
+		bufs = append(bufs, buf)
+		reqs = append(reqs, disk.ReadReq{Disk: p.Disk, Track: p.Track, Dst: buf})
+	}
+	n, err := s.readPhys(reqs)
+	ops += n
+	if err != nil {
+		return ops, err
+	}
+	for _, b := range bufs {
+		for i := range dst {
+			dst[i] ^= b[i]
+		}
+	}
+	s.ctr.ReconstructedBlocks++
+	return ops, nil
+}
+
+// repairTrack rewrites the physical track p with data reconstructed
+// from its stripe, returning the operations spent. It handles both
+// data tracks (reconstructed from parity and siblings) and parity
+// tracks (recomputed from the members). The recorded checksum is the
+// repair target, so a successful repair restores exactly the
+// last-written content.
+func (s *Store) repairTrack(p addr) (int, error) {
+	buf := make([]uint64, s.B)
+	if sid, ok := s.parityAt[p]; ok {
+		// A parity track: recompute it from the members.
+		ops, err := s.recomputeParity(sid, buf)
+		if err != nil {
+			return ops, err
+		}
+		n, err := s.writePhys([]disk.WriteReq{{Disk: p.d, Track: p.t, Src: buf}})
+		ops += n
+		if err != nil {
+			return ops, err
+		}
+		delete(s.pval, sid)
+		delete(s.pdirty, sid)
+		s.ctr.RepairedBlocks++
+		return ops, nil
+	}
+	logical := p
+	if l, ok := s.rrmap[p]; ok {
+		logical = l
+	}
+	sid, ok := s.stripeOf[logical]
+	if !ok {
+		return 0, fmt.Errorf("redundancy: cannot repair unprotected track (drive %d track %d)", p.d, p.t)
+	}
+	ops, err := s.reconstruct(sid, logical, buf)
+	if err != nil {
+		return ops, err
+	}
+	if want, ok := s.sums[p]; ok && disk.Checksum(buf) != want {
+		return ops, fmt.Errorf("redundancy: reconstruction of drive %d track %d does not match its recorded checksum", p.d, p.t)
+	}
+	n, err := s.writePhys([]disk.WriteReq{{Disk: p.d, Track: p.t, Src: buf}})
+	ops += n
+	if err != nil {
+		return ops, err
+	}
+	s.ctr.RepairedBlocks++
+	return ops, nil
+}
+
+// recomputeParity XORs the current data of every member of the stripe
+// into dst (reading members from their physical locations).
+func (s *Store) recomputeParity(sid int, dst []uint64) (int, error) {
+	st := s.stripes[sid]
+	clear(dst)
+	var reqs []disk.ReadReq
+	var bufs [][]uint64
+	for d := 0; d < s.D; d++ {
+		t := st.members[d]
+		if t < 0 {
+			continue
+		}
+		p, ok := s.physOf(addr{d, t})
+		if !ok {
+			return 0, fmt.Errorf("redundancy: recomputing parity of stripe %d: member on dead drive %d not yet rebuilt", sid, d)
+		}
+		if old, ok := s.rmwOld[addr{p.Disk, p.Track}]; ok {
+			// The stored parity being recomputed encodes the barrier
+			// state; a member rewritten in place this superstep
+			// contributes its barrier-committed value (already verified
+			// when it was captured).
+			for i := range dst {
+				dst[i] ^= old[i]
+			}
+			continue
+		}
+		buf := make([]uint64, s.B)
+		bufs = append(bufs, buf)
+		reqs = append(reqs, disk.ReadReq{Disk: p.Disk, Track: p.Track, Dst: buf})
+	}
+	ops, err := s.readPhys(reqs)
+	if err != nil {
+		return ops, err
+	}
+	// Verify the members before folding them in: recomputing parity
+	// from a corrupt member would launder the corruption into parity
+	// that then "verifies".
+	for i, r := range reqs {
+		if want, ok := s.sums[addr{r.Disk, r.Track}]; ok && disk.Checksum(bufs[i]) != want {
+			return ops, fmt.Errorf("redundancy: recomputing parity of stripe %d: member drive %d track %d fails its checksum", sid, r.Disk, r.Track)
+		}
+	}
+	for _, b := range bufs {
+		for i := range dst {
+			dst[i] ^= b[i]
+		}
+	}
+	return ops, nil
+}
+
+// ReadOp performs one parallel read. Live tracks are read directly
+// (verifying recorded checksums and repairing latent corruption from
+// parity); dead-drive tracks are served from their rebuilt copy or
+// reconstructed from the stripe's surviving members; blank tracks read
+// as zeros, exactly as on the raw store.
+func (s *Store) ReadOp(reqs []disk.ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	var direct []disk.ReadReq
+	directPhys := make([]addr, 0, len(reqs))
+	var recon []int
+	degraded := false
+	for i, r := range reqs {
+		k := addr{r.Disk, r.Track}
+		p, ok := s.physOf(k)
+		switch {
+		case ok:
+			if p.Disk != r.Disk || p.Track != r.Track {
+				degraded = true
+			}
+			direct = append(direct, disk.ReadReq{Disk: p.Disk, Track: p.Track, Dst: r.Dst})
+			directPhys = append(directPhys, addr{p.Disk, p.Track})
+		default:
+			if _, striped := s.stripeOf[k]; striped {
+				recon = append(recon, i)
+				degraded = true
+			} else {
+				// Dead, never striped, never rebuilt: the track was blank
+				// at the death (fresh writes since then are remapped), so
+				// it still reads as zeros.
+				clear(r.Dst)
+			}
+		}
+	}
+	ops := 0
+	if len(direct) > 0 {
+		n, err := s.readPhys(direct)
+		ops += n
+		if err != nil {
+			return err
+		}
+		// Verify recorded checksums; a mismatch is latent corruption the
+		// inner store could not detect itself — reconstruct and repair.
+		for i, r := range direct {
+			p := directPhys[i]
+			want, ok := s.sums[p]
+			if !ok || disk.Checksum(r.Dst) == want {
+				continue
+			}
+			s.ctr.ChecksumFailures++
+			degraded = true
+			n, err := s.repairTrack(p)
+			ops += n
+			if err != nil {
+				return err
+			}
+			n, err = s.readPhys([]disk.ReadReq{r})
+			ops += n
+			if err != nil {
+				return err
+			}
+			if disk.Checksum(r.Dst) != want {
+				return &disk.CorruptTrackError{Disk: p.d, Track: p.t}
+			}
+		}
+	}
+	for _, i := range recon {
+		k := addr{reqs[i].Disk, reqs[i].Track}
+		n, err := s.reconstruct(s.stripeOf[k], k, reqs[i].Dst)
+		ops += n
+		if err != nil {
+			return err
+		}
+		if want, ok := s.sums[k]; ok && disk.Checksum(reqs[i].Dst) != want {
+			return &disk.CorruptTrackError{Disk: k.d, Track: k.t}
+		}
+	}
+	if degraded && ops > 1 {
+		s.ctr.DegradedOps += int64(ops - 1)
+	}
+	return nil
+}
+
+// WriteOp performs one parallel write. Writes to striped tracks update
+// the stripe's cached parity with the classic read-modify-write small
+// write (the old data is read back first, a charged operation); writes
+// to unstriped tracks are recorded for stripe assignment at the next
+// FlushParity. Writes to dead-drive tracks land on spare capacity of
+// the survivors and are remapped from then on.
+func (s *Store) WriteOp(reqs []disk.WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Read old data of striped targets first (parity maintenance).
+	type oldRead struct {
+		sid int
+		buf []uint64
+	}
+	var olds []oldRead
+	var oldReqs []disk.ReadReq
+	type oldCap struct {
+		pk  addr
+		buf []uint64
+	}
+	var oldCapture []oldCap // first-touched members to cache after the read
+	var oldRecon []oldRead
+	for _, r := range reqs {
+		k := addr{r.Disk, r.Track}
+		sid, ok := s.stripeOf[k]
+		if !ok || !s.parityUsable(s.stripes[sid]) {
+			continue
+		}
+		buf := make([]uint64, s.B)
+		if p, live := s.physOf(k); live {
+			pk := addr{p.Disk, p.Track}
+			if old, ok := s.rmwOld[pk]; ok && !s.wrote[pk] {
+				// First rewrite by a replaying attempt: the track already
+				// holds the aborted attempt's data, the parity encodes
+				// the cached barrier value.
+				copy(buf, old)
+				olds = append(olds, oldRead{sid, buf})
+			} else {
+				if !s.wrote[pk] {
+					oldCapture = append(oldCapture, oldCap{pk, buf})
+				}
+				olds = append(olds, oldRead{sid, buf})
+				oldReqs = append(oldReqs, disk.ReadReq{Disk: p.Disk, Track: p.Track, Dst: buf})
+			}
+		} else {
+			// Rewrite of a dead, not-yet-rebuilt member: its old value
+			// must be reconstructed before parity can drop it.
+			n, err := s.reconstruct(sid, k, buf)
+			s.ctr.DegradedOps += int64(n)
+			if err != nil {
+				return err
+			}
+			oldRecon = append(oldRecon, oldRead{sid, buf})
+		}
+	}
+	if len(oldReqs) > 0 {
+		n, err := s.readPhys(oldReqs)
+		s.ctr.ParityOps += int64(n)
+		if err != nil {
+			return err
+		}
+		for _, c := range oldCapture {
+			s.rmwOld[c.pk] = append([]uint64(nil), c.buf...)
+		}
+	}
+	// Fold old and new data into the cached parity values.
+	olds = append(olds, oldRecon...)
+	for _, o := range olds {
+		if err := s.loadParity(o.sid); err != nil {
+			return err
+		}
+		pv := s.pval[o.sid]
+		for i := range pv {
+			pv[i] ^= o.buf[i]
+		}
+		s.pdirty[o.sid] = true
+	}
+	xorNew := func(k addr, src []uint64) error {
+		sid, ok := s.stripeOf[k]
+		if !ok || !s.parityUsable(s.stripes[sid]) {
+			return nil
+		}
+		if err := s.loadParity(sid); err != nil {
+			return err
+		}
+		pv := s.pval[sid]
+		for i := range pv {
+			pv[i] ^= src[i]
+		}
+		s.pdirty[sid] = true
+		return nil
+	}
+	// Resolve physical targets, remapping dead-drive writes.
+	phys := make([]disk.WriteReq, len(reqs))
+	degraded := false
+	for i, r := range reqs {
+		k := addr{r.Disk, r.Track}
+		if err := xorNew(k, r.Src); err != nil {
+			return err
+		}
+		p, live := s.physOf(k)
+		if !live {
+			sd, ok := s.chooseSpare(k.d, k.t)
+			if !ok {
+				return fmt.Errorf("redundancy: no live drive to remap drive %d track %d onto", k.d, k.t)
+			}
+			p = disk.Addr{Disk: sd, Track: s.inner.Alloc(sd)}
+			s.remap[k] = p
+			s.rrmap[addr{p.Disk, p.Track}] = k
+			delete(s.sums, k) // the historical location is dead
+		}
+		if p.Disk != r.Disk {
+			degraded = true
+		}
+		phys[i] = disk.WriteReq{Disk: p.Disk, Track: p.Track, Src: r.Src}
+		s.wrote[addr{p.Disk, p.Track}] = true
+		if _, striped := s.stripeOf[k]; !striped {
+			s.fresh[k] = true
+		}
+	}
+	ops, err := s.writePhys(phys)
+	if err != nil {
+		return err
+	}
+	if ops > 1 {
+		if degraded {
+			s.ctr.DegradedOps += int64(ops - 1)
+		} else {
+			s.ctr.ParityOps += int64(ops - 1)
+		}
+	}
+	return nil
+}
+
+// Release frees a logical track. A striped member is first XOR-ed out
+// of its stripe's parity (reading its current data back — the release
+// side of the small-write penalty); the last member's release frees
+// the parity track too.
+func (s *Store) Release(d, t int) error {
+	k := addr{d, t}
+	if sid, ok := s.stripeOf[k]; ok {
+		st := s.stripes[sid]
+		if s.parityUsable(st) {
+			buf := make([]uint64, s.B)
+			if p, live := s.physOf(k); live {
+				if old, ok := s.rmwOld[addr{p.Disk, p.Track}]; ok && !s.wrote[addr{p.Disk, p.Track}] {
+					// The parity state still encodes the barrier value
+					// of this rolled-back member; fold that out.
+					copy(buf, old)
+				} else {
+					n, err := s.readPhys([]disk.ReadReq{{Disk: p.Disk, Track: p.Track, Dst: buf}})
+					s.ctr.ParityOps += int64(n)
+					if err != nil {
+						return err
+					}
+				}
+			} else {
+				n, err := s.reconstruct(sid, k, buf)
+				s.ctr.DegradedOps += int64(n)
+				if err != nil {
+					return err
+				}
+			}
+			if st.count > 1 {
+				if err := s.loadParity(sid); err != nil {
+					return err
+				}
+				pv := s.pval[sid]
+				for i := range pv {
+					pv[i] ^= buf[i]
+				}
+				s.pdirty[sid] = true
+			}
+		}
+		st.members[d] = -1
+		st.count--
+		delete(s.stripeOf, k)
+		s.ctr.StripedBlocks--
+		if st.count == 0 {
+			s.dropStripe(sid)
+		} else if !s.inOpen(sid) {
+			s.insertOpen(sid)
+		}
+	}
+	if m, ok := s.remap[k]; ok {
+		delete(s.remap, k)
+		delete(s.rrmap, addr{m.Disk, m.Track})
+		delete(s.sums, addr{m.Disk, m.Track})
+		if err := s.inner.Release(m.Disk, m.Track); err != nil {
+			return err
+		}
+	} else {
+		delete(s.sums, k)
+	}
+	delete(s.fresh, k)
+	return s.inner.Release(d, t)
+}
+
+// dropStripe frees an empty stripe and its parity track.
+func (s *Store) dropStripe(sid int) {
+	st := s.stripes[sid]
+	delete(s.parityAt, addr{st.parity.Disk, st.parity.Track})
+	delete(s.sums, addr{st.parity.Disk, st.parity.Track})
+	delete(s.pval, sid)
+	delete(s.pdirty, sid)
+	delete(s.stripes, sid)
+	s.removeOpen(sid)
+	if !s.dead[st.parity.Disk] {
+		s.inner.Release(st.parity.Disk, st.parity.Track) //nolint:errcheck
+	}
+	s.ctr.ParityBlocks--
+}
+
+func (s *Store) inOpen(sid int) bool {
+	i := sort.SearchInts(s.open, sid)
+	return i < len(s.open) && s.open[i] == sid
+}
+
+func (s *Store) insertOpen(sid int) {
+	i := sort.SearchInts(s.open, sid)
+	s.open = append(s.open, 0)
+	copy(s.open[i+1:], s.open[i:])
+	s.open[i] = sid
+}
+
+func (s *Store) removeOpen(sid int) {
+	i := sort.SearchInts(s.open, sid)
+	if i < len(s.open) && s.open[i] == sid {
+		s.open = append(s.open[:i], s.open[i+1:]...)
+	}
+}
+
+// assign places a fresh track into a stripe: the first open stripe
+// with a usable parity track, a free slot on the track's drive and a
+// parity drive other than it; otherwise a new stripe whose parity
+// drive continues the rotation. When no live drive can hold parity
+// (D = 2 with the survivor writing), the track is left unprotected
+// and assign reports ok = false.
+func (s *Store) assign(k addr) (sid int, ok bool) {
+	for _, sid := range s.open {
+		st := s.stripes[sid]
+		if st.members[k.d] < 0 && st.parity.Disk != k.d && s.parityUsable(st) && !st.full(s.D) {
+			st.members[k.d] = k.t
+			st.count++
+			s.stripeOf[k] = sid
+			s.ctr.StripedBlocks++
+			if st.full(s.D) {
+				s.removeOpen(sid)
+			}
+			return sid, true
+		}
+	}
+	pd := -1
+	for i := 0; i < s.D; i++ {
+		c := (s.next + i) % s.D
+		if c != k.d && !s.dead[c] {
+			pd = c
+			break
+		}
+	}
+	if pd < 0 {
+		return 0, false
+	}
+	sid = s.next
+	s.next++
+	st := &stripe{parity: disk.Addr{Disk: pd, Track: s.inner.Alloc(pd)}, members: make([]int, s.D)}
+	for d := range st.members {
+		st.members[d] = -1
+	}
+	st.members[k.d] = k.t
+	st.count = 1
+	s.stripes[sid] = st
+	s.parityAt[addr{pd, st.parity.Track}] = sid
+	s.stripeOf[k] = sid
+	s.pval[sid] = make([]uint64, s.B)
+	s.pdirty[sid] = true
+	s.ctr.ParityBlocks++
+	s.ctr.StripedBlocks++
+	if !st.full(s.D) {
+		s.insertOpen(sid)
+	}
+	return sid, true
+}
+
+// FlushParity is the barrier commit point of the parity scheme: every
+// track written since the last flush is assigned to a stripe, the
+// touched stripes' parity values are brought up to date and written
+// back, and the in-memory parity cache is dropped. The engines call it
+// at every compound-superstep barrier (and before every journal
+// commit), so committed state always carries consistent parity.
+func (s *Store) FlushParity() error {
+	if len(s.fresh) > 0 {
+		keys := make([]addr, 0, len(s.fresh))
+		for k := range s.fresh {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return addrLess(keys[i], keys[j]) })
+		protected := keys[:0]
+		sids := make([]int, 0, len(keys))
+		for _, k := range keys {
+			sid, ok := s.assign(k)
+			if !ok {
+				continue // no live parity drive left: track stays unprotected
+			}
+			if err := s.loadParity(sid); err != nil {
+				return err
+			}
+			protected = append(protected, k)
+			sids = append(sids, sid)
+		}
+		// Read the fresh tracks' data back and fold it into the parity.
+		reqs := make([]disk.ReadReq, len(protected))
+		bufs := make([][]uint64, len(protected))
+		for i, k := range protected {
+			p, live := s.physOf(k)
+			if !live {
+				return fmt.Errorf("redundancy: fresh track on dead drive %d was never remapped", k.d)
+			}
+			bufs[i] = make([]uint64, s.B)
+			reqs[i] = disk.ReadReq{Disk: p.Disk, Track: p.Track, Dst: bufs[i]}
+		}
+		n, err := s.readPhys(reqs)
+		s.ctr.ParityOps += int64(n)
+		if err != nil {
+			return err
+		}
+		for i := range protected {
+			pv := s.pval[sids[i]]
+			for w := range pv {
+				pv[w] ^= bufs[i][w]
+			}
+			s.pdirty[sids[i]] = true
+		}
+		s.fresh = make(map[addr]bool)
+	}
+	if len(s.pdirty) > 0 {
+		sids := make([]int, 0, len(s.pdirty))
+		for sid := range s.pdirty {
+			sids = append(sids, sid)
+		}
+		sort.Ints(sids)
+		reqs := make([]disk.WriteReq, 0, len(sids))
+		for _, sid := range sids {
+			st := s.stripes[sid]
+			reqs = append(reqs, disk.WriteReq{Disk: st.parity.Disk, Track: st.parity.Track, Src: s.pval[sid]})
+		}
+		n, err := s.writePhys(reqs)
+		s.ctr.ParityOps += int64(n)
+		if err != nil {
+			return err
+		}
+		s.pdirty = make(map[int]bool)
+	}
+	// Drop the caches: memory stays bounded by the stripes and members
+	// touched in one superstep, not by the run. The barrier makes the
+	// physical state authoritative again, so the rewrite history of the
+	// finished superstep is no longer needed.
+	s.pval = make(map[int][]uint64)
+	s.rmwOld = make(map[addr][]uint64)
+	s.wrote = make(map[addr]bool)
+	return nil
+}
+
+// Scrub examines up to budget physical tracks from the persistent
+// cursor, re-reading every checksummed one and repairing latent
+// corruption from parity. It reports whether the cursor completed a
+// full cycle over all drives during this call. Dead drives and
+// uncheck-summed (blank or released) tracks are skipped. Scrub must
+// run at a barrier (after FlushParity), where parity is consistent.
+func (s *Store) Scrub(budget int) (wrapped bool, err error) {
+	if budget <= 0 {
+		return false, nil
+	}
+	next := s.inner.State().Next
+	buf := make([]uint64, s.B)
+	for examined := 0; examined < budget; examined++ {
+		// Advance to the next live track within bounds.
+		for s.scrubD < s.D && (s.dead[s.scrubD] || s.scrubT >= next[s.scrubD]) {
+			s.scrubD++
+			s.scrubT = 0
+		}
+		if s.scrubD >= s.D {
+			s.scrubD, s.scrubT = 0, 0
+			return true, nil
+		}
+		p := addr{s.scrubD, s.scrubT}
+		s.scrubT++
+		want, ok := s.sums[p]
+		if !ok {
+			continue
+		}
+		if _, err := s.readPhys([]disk.ReadReq{{Disk: p.d, Track: p.t, Dst: buf}}); err != nil {
+			return false, err
+		}
+		s.ctr.ScrubbedBlocks++
+		if disk.Checksum(buf) == want {
+			continue
+		}
+		s.ctr.ChecksumFailures++
+		// A failed repair (e.g. two corruptions in one stripe — beyond
+		// single-failure tolerance) is recorded but does not abort the
+		// scrub: the track stays corrupt and a read of it will report
+		// the damage.
+		if _, err := s.repairTrack(p); err == nil {
+			s.ctr.ScrubRepairs++
+		}
+	}
+	return false, nil
+}
+
+// RebuildStep advances the online rebuild by up to budget tracks:
+// striped tracks of the dead drive are reconstructed onto spare
+// capacity of the survivors and remapped, then stripes whose parity
+// track died are recomputed onto a live drive. Like Scrub it must run
+// at a barrier. When everything is rebuilt the drive is considered
+// fully absorbed and Rebuilding turns false.
+func (s *Store) RebuildStep(budget int) error {
+	if s.rebDrive < 0 || budget <= 0 {
+		return nil
+	}
+	d := s.rebDrive
+	limit := s.inner.State().Next[d]
+	buf := make([]uint64, s.B)
+	for budget > 0 && s.rebTrack < limit {
+		t := s.rebTrack
+		s.rebTrack++
+		k := addr{d, t}
+		if _, remapped := s.remap[k]; remapped {
+			continue
+		}
+		sid, striped := s.stripeOf[k]
+		if !striped || !s.parityUsable(s.stripes[sid]) {
+			continue
+		}
+		n, err := s.reconstruct(sid, k, buf)
+		s.ctr.DegradedOps += int64(n)
+		if err != nil {
+			return err
+		}
+		sd, ok := s.chooseSpare(d, t)
+		if !ok {
+			return fmt.Errorf("redundancy: no live drive to rebuild drive %d onto", d)
+		}
+		p := disk.Addr{Disk: sd, Track: s.inner.Alloc(sd)}
+		if _, err := s.writePhys([]disk.WriteReq{{Disk: p.Disk, Track: p.Track, Src: buf}}); err != nil {
+			return err
+		}
+		s.remap[k] = p
+		s.rrmap[addr{p.Disk, p.Track}] = k
+		delete(s.sums, k)
+		s.ctr.RebuiltBlocks++
+		budget--
+	}
+	if s.rebTrack < limit {
+		return nil
+	}
+	// Phase 2: re-home parity tracks that lived on the dead drive. With
+	// a full stripe every live drive already holds a member, so the new
+	// parity may share a drive with one — reconstruction then costs an
+	// extra split operation, and full second-failure tolerance is not
+	// restored until those stripes turn over (documented limitation).
+	for budget > 0 && s.rebParity < s.next {
+		sid := s.rebParity
+		s.rebParity++
+		st, ok := s.stripes[sid]
+		if !ok || st.parity.Disk != d {
+			continue
+		}
+		if err := func() error {
+			n, err := s.recomputeParity(sid, buf)
+			s.ctr.DegradedOps += int64(n)
+			if err != nil {
+				return err
+			}
+			pd, ok := s.chooseSpare(d, sid)
+			if !ok {
+				return fmt.Errorf("redundancy: no live drive for the parity of stripe %d", sid)
+			}
+			old := addr{st.parity.Disk, st.parity.Track}
+			np := disk.Addr{Disk: pd, Track: s.inner.Alloc(pd)}
+			if _, err := s.writePhys([]disk.WriteReq{{Disk: np.Disk, Track: np.Track, Src: buf}}); err != nil {
+				return err
+			}
+			delete(s.parityAt, old)
+			delete(s.sums, old)
+			st.parity = np
+			s.parityAt[addr{np.Disk, np.Track}] = sid
+			return nil
+		}(); err != nil {
+			return err
+		}
+		budget--
+	}
+	if s.rebParity >= s.next && s.rebTrack >= s.inner.State().Next[d] {
+		s.rebDrive = -1
+	}
+	return nil
+}
+
+// Snapshot captures the layer's rollback state for a superstep replay:
+// the stripe directory, checksums, remaps and parity cache. Dead
+// drives, the scrub/rebuild cursors and the counters are deliberately
+// not part of it — a replay is new work on the same (possibly
+// degraded) hardware, and work already spent really happened. This
+// mirrors the fault layer's Snapshot philosophy.
+type Snapshot struct {
+	stripeOf map[addr]int
+	stripes  map[int]*stripe
+	parityAt map[addr]int
+	open     []int
+	next     int
+	pval     map[int][]uint64
+	pdirty   map[int]bool
+	fresh    map[addr]bool
+	sums     map[addr]uint64
+	remap    map[addr]disk.Addr
+	rrmap    map[addr]addr
+	striped  int64
+	parityBl int64
+}
+
+// Snapshot captures rollback state at a compound-superstep barrier.
+func (s *Store) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		stripeOf: make(map[addr]int, len(s.stripeOf)),
+		stripes:  make(map[int]*stripe, len(s.stripes)),
+		parityAt: make(map[addr]int, len(s.parityAt)),
+		open:     append([]int(nil), s.open...),
+		next:     s.next,
+		pval:     make(map[int][]uint64, len(s.pval)),
+		pdirty:   make(map[int]bool, len(s.pdirty)),
+		fresh:    make(map[addr]bool, len(s.fresh)),
+		sums:     make(map[addr]uint64, len(s.sums)),
+		remap:    make(map[addr]disk.Addr, len(s.remap)),
+		rrmap:    make(map[addr]addr, len(s.rrmap)),
+		striped:  s.ctr.StripedBlocks,
+		parityBl: s.ctr.ParityBlocks,
+	}
+	for k, v := range s.stripeOf {
+		sn.stripeOf[k] = v
+	}
+	for sid, st := range s.stripes {
+		cp := &stripe{parity: st.parity, members: append([]int(nil), st.members...), count: st.count}
+		sn.stripes[sid] = cp
+	}
+	for k, v := range s.parityAt {
+		sn.parityAt[k] = v
+	}
+	for sid, pv := range s.pval {
+		sn.pval[sid] = append([]uint64(nil), pv...)
+	}
+	for sid := range s.pdirty {
+		sn.pdirty[sid] = true
+	}
+	for k := range s.fresh {
+		sn.fresh[k] = true
+	}
+	for k, v := range s.sums {
+		sn.sums[k] = v
+	}
+	for k, v := range s.remap {
+		sn.remap[k] = v
+	}
+	for k, v := range s.rrmap {
+		sn.rrmap[k] = v
+	}
+	return sn
+}
+
+// Restore rolls the layer back to a snapshot. The snapshot remains
+// valid for further Restores.
+func (s *Store) Restore(sn *Snapshot) {
+	s.stripeOf = make(map[addr]int, len(sn.stripeOf))
+	for k, v := range sn.stripeOf {
+		s.stripeOf[k] = v
+	}
+	s.stripes = make(map[int]*stripe, len(sn.stripes))
+	for sid, st := range sn.stripes {
+		s.stripes[sid] = &stripe{parity: st.parity, members: append([]int(nil), st.members...), count: st.count}
+	}
+	s.parityAt = make(map[addr]int, len(sn.parityAt))
+	for k, v := range sn.parityAt {
+		s.parityAt[k] = v
+	}
+	s.open = append([]int(nil), sn.open...)
+	s.next = sn.next
+	s.pval = make(map[int][]uint64, len(sn.pval))
+	for sid, pv := range sn.pval {
+		s.pval[sid] = append([]uint64(nil), pv...)
+	}
+	s.pdirty = make(map[int]bool, len(sn.pdirty))
+	for sid := range sn.pdirty {
+		s.pdirty[sid] = true
+	}
+	s.fresh = make(map[addr]bool, len(sn.fresh))
+	for k := range sn.fresh {
+		s.fresh[k] = true
+	}
+	s.sums = make(map[addr]uint64, len(sn.sums))
+	for k, v := range sn.sums {
+		s.sums[k] = v
+	}
+	s.remap = make(map[addr]disk.Addr, len(sn.remap))
+	for k, v := range sn.remap {
+		s.remap[k] = v
+	}
+	s.rrmap = make(map[addr]addr, len(sn.rrmap))
+	for k, v := range sn.rrmap {
+		s.rrmap[k] = v
+	}
+	s.ctr.StripedBlocks = sn.striped
+	s.ctr.ParityBlocks = sn.parityBl
+	// A restore starts a fresh attempt: nothing is written yet. rmwOld
+	// deliberately survives — it holds the barrier-committed content of
+	// members the aborted attempt already overwrote in place, which the
+	// replay needs for its parity arithmetic.
+	s.wrote = make(map[addr]bool)
+}
+
+// EncodeState appends the layer's complete persistent state to enc in
+// deterministic order: dead drives, the stripe directory, checksums,
+// remaps, the scrub and rebuild cursors, and the counters. A journal
+// commit must capture everything — a resumed process replaces the
+// crashed one entirely, so the scrub continues at its cursor and an
+// interrupted rebuild picks up exactly where it stopped. It must be
+// called at a barrier, after FlushParity (the parity cache and fresh
+// set are empty there and are not encoded).
+func (s *Store) EncodeState(enc *words.Encoder) {
+	enc.PutInt(int64(s.D))
+	for _, d := range s.dead {
+		enc.PutBool(d)
+	}
+	enc.PutInt(int64(s.next))
+	enc.PutInts([]int64{int64(s.scrubD), int64(s.scrubT), int64(s.rebDrive), int64(s.rebTrack), int64(s.rebParity)})
+	c := s.ctr
+	enc.PutInts([]int64{
+		c.ChecksumFailures, c.RepairedBlocks, c.ReconstructedBlocks, c.DegradedOps,
+		c.ParityOps, c.ParityBlocks, c.StripedBlocks, c.ScrubbedBlocks, c.ScrubRepairs,
+		c.RebuiltBlocks,
+	})
+
+	sids := make([]int, 0, len(s.stripes))
+	for sid := range s.stripes {
+		sids = append(sids, sid)
+	}
+	sort.Ints(sids)
+	enc.PutInt(int64(len(sids)))
+	for _, sid := range sids {
+		st := s.stripes[sid]
+		enc.PutInt(int64(sid))
+		enc.PutInt(int64(st.parity.Disk))
+		enc.PutInt(int64(st.parity.Track))
+		for _, t := range st.members {
+			enc.PutInt(int64(t))
+		}
+	}
+
+	sumKeys := make([]addr, 0, len(s.sums))
+	for k := range s.sums {
+		sumKeys = append(sumKeys, k)
+	}
+	sort.Slice(sumKeys, func(i, j int) bool { return addrLess(sumKeys[i], sumKeys[j]) })
+	enc.PutInt(int64(len(sumKeys)))
+	for _, k := range sumKeys {
+		enc.PutInt(int64(k.d))
+		enc.PutInt(int64(k.t))
+		enc.PutUint(s.sums[k])
+	}
+
+	remapKeys := make([]addr, 0, len(s.remap))
+	for k := range s.remap {
+		remapKeys = append(remapKeys, k)
+	}
+	sort.Slice(remapKeys, func(i, j int) bool { return addrLess(remapKeys[i], remapKeys[j]) })
+	enc.PutInt(int64(len(remapKeys)))
+	for _, k := range remapKeys {
+		m := s.remap[k]
+		enc.PutInt(int64(k.d))
+		enc.PutInt(int64(k.t))
+		enc.PutInt(int64(m.Disk))
+		enc.PutInt(int64(m.Track))
+	}
+}
+
+// DecodeState restores state previously written by EncodeState,
+// rebuilding the derived directories (stripe membership, parity
+// locations, open list, reverse remap).
+func (s *Store) DecodeState(dec *words.Decoder) error {
+	nd := int(dec.Int())
+	if nd != s.D {
+		return fmt.Errorf("redundancy: decoding state for %d drives into %d-drive layer", nd, s.D)
+	}
+	for d := range s.dead {
+		s.dead[d] = dec.Bool()
+	}
+	s.next = int(dec.Int())
+	cur := dec.Ints()
+	if len(cur) != 5 {
+		return fmt.Errorf("redundancy: cursor state has %d fields, want 5", len(cur))
+	}
+	s.scrubD, s.scrubT = int(cur[0]), int(cur[1])
+	s.rebDrive, s.rebTrack, s.rebParity = int(cur[2]), int(cur[3]), int(cur[4])
+	cs := dec.Ints()
+	if len(cs) != 10 {
+		return fmt.Errorf("redundancy: counter state has %d fields, want 10", len(cs))
+	}
+	s.ctr = Counters{
+		ChecksumFailures: cs[0], RepairedBlocks: cs[1], ReconstructedBlocks: cs[2],
+		DegradedOps: cs[3], ParityOps: cs[4], ParityBlocks: cs[5], StripedBlocks: cs[6],
+		ScrubbedBlocks: cs[7], ScrubRepairs: cs[8], RebuiltBlocks: cs[9],
+	}
+
+	s.stripes = make(map[int]*stripe)
+	s.stripeOf = make(map[addr]int)
+	s.parityAt = make(map[addr]int)
+	s.open = nil
+	for n := dec.Int(); n > 0; n-- {
+		sid := int(dec.Int())
+		st := &stripe{members: make([]int, s.D)}
+		st.parity = disk.Addr{Disk: int(dec.Int()), Track: int(dec.Int())}
+		for d := 0; d < s.D; d++ {
+			st.members[d] = int(dec.Int())
+			if st.members[d] >= 0 {
+				st.count++
+				s.stripeOf[addr{d, st.members[d]}] = sid
+			}
+		}
+		s.stripes[sid] = st
+		s.parityAt[addr{st.parity.Disk, st.parity.Track}] = sid
+		if !st.full(s.D) {
+			s.open = append(s.open, sid)
+		}
+	}
+	sort.Ints(s.open)
+
+	s.sums = make(map[addr]uint64)
+	for n := dec.Int(); n > 0; n-- {
+		d := int(dec.Int())
+		t := int(dec.Int())
+		s.sums[addr{d, t}] = dec.Uint()
+	}
+	s.remap = make(map[addr]disk.Addr)
+	s.rrmap = make(map[addr]addr)
+	for n := dec.Int(); n > 0; n-- {
+		k := addr{int(dec.Int()), int(dec.Int())}
+		m := disk.Addr{Disk: int(dec.Int()), Track: int(dec.Int())}
+		s.remap[k] = m
+		s.rrmap[addr{m.Disk, m.Track}] = k
+	}
+	s.pval = make(map[int][]uint64)
+	s.pdirty = make(map[int]bool)
+	s.fresh = make(map[addr]bool)
+	return nil
+}
