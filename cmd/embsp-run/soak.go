@@ -139,11 +139,12 @@ type soakCase struct {
 	n, v     int
 	procs    int
 	d, b     int
-	seed     uint64
-	mode     embsp.Redundancy
-	scrub    bool
-	plan     *embsp.FaultPlan
-	killStep int // superstep after whose commit the run is cancelled and resumed; -1 = none
+	seed      uint64
+	mode      embsp.Redundancy
+	scrub     bool
+	plan      *embsp.FaultPlan
+	killStep  int // superstep after whose commit the run is cancelled and resumed; -1 = none
+	crashStep int // superstep during which one VP panics mid-superstep; -1 = none
 }
 
 func (c soakCase) String() string {
@@ -157,20 +158,54 @@ func (c soakCase) String() string {
 	if c.killStep >= 0 {
 		s += fmt.Sprintf(" kill-after-step=%d", c.killStep)
 	}
+	if c.crashStep >= 0 {
+		s += fmt.Sprintf(" crash-in-step=%d", c.crashStep)
+	}
 	return s
+}
+
+// crashProgram wraps a Program so one VP panics when it starts
+// computing superstep step — a mid-superstep crash that leaves the
+// failed superstep's partial in-place writes in the state directory
+// behind the committed journal record, unlike killStep's clean
+// cancellation at a committed barrier.
+type crashProgram struct {
+	embsp.Program
+	step int
+}
+
+func (p *crashProgram) NewVP(id int) embsp.VP {
+	vp := p.Program.NewVP(id)
+	if id == p.Program.NumVPs()/2 {
+		return &crashVP{VP: vp, step: p.step}
+	}
+	return vp
+}
+
+type crashVP struct {
+	embsp.VP
+	step int
+}
+
+func (v *crashVP) Step(env *embsp.Env, in []embsp.Message) (bool, error) {
+	if env.Superstep() == v.step {
+		panic(fmt.Sprintf("soak: injected crash in superstep %d", v.step))
+	}
+	return v.VP.Step(env, in)
 }
 
 // drawCase samples one schedule from r over the allowed workloads.
 func drawCase(r *prng.Rand, table []soakSpec) soakCase {
 	c := soakCase{
-		alg:      table[r.Intn(len(table))].name,
-		n:        40 + r.Intn(32),
-		v:        4 + r.Intn(5),
-		procs:    1 + 2*r.Intn(2), // 1 or 3
-		d:        3 + r.Intn(2),
-		b:        16,
-		seed:     r.Uint64(),
-		killStep: -1,
+		alg:       table[r.Intn(len(table))].name,
+		n:         40 + r.Intn(32),
+		v:         4 + r.Intn(5),
+		procs:     1 + 2*r.Intn(2), // 1 or 3
+		d:         3 + r.Intn(2),
+		b:         16,
+		seed:      r.Uint64(),
+		killStep:  -1,
+		crashStep: -1,
 	}
 	if r.Bool() {
 		c.mode = embsp.RedundancyParity
@@ -191,7 +226,12 @@ func drawCase(r *prng.Rand, table []soakSpec) soakCase {
 	}
 	c.plan = plan
 	if r.Bool() {
-		c.killStep = r.Intn(3)
+		if r.Bool() {
+			c.killStep = r.Intn(3)
+		} else {
+			// >= 1 so at least one barrier committed before the crash.
+			c.crashStep = 1 + r.Intn(3)
+		}
 	}
 	return c
 }
@@ -230,30 +270,44 @@ func runCase(c soakCase, table []soakSpec) error {
 		Scrub:      c.scrub,
 	}
 	var res *embsp.Result
-	if c.killStep >= 0 {
-		// Simulated power loss: cancel at a committed barrier, then
-		// resume from the journal and require the identical Result.
+	if c.killStep >= 0 || c.crashStep >= 0 {
+		// Simulated power loss, then a resume from the journal that must
+		// produce the identical Result. killStep cancels cleanly at a
+		// committed barrier; crashStep panics mid-superstep, leaving the
+		// failed superstep's partial writes in the state directory.
 		dir, err := os.MkdirTemp("", "embsp-soak-")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(dir)
 		opts.StateDir = dir
-		ctx, cancel := context.WithCancel(context.Background())
-		defer cancel()
-		killOpts := opts
-		killOpts.OnCommit = func(step int) {
-			if step == c.killStep {
-				cancel()
+		if c.crashStep >= 0 {
+			_, err = embsp.Run(&crashProgram{Program: prog, step: c.crashStep}, cfg, opts)
+			var pe *embsp.ProgramError
+			switch {
+			case err == nil:
+				// The run finished before the crash step: nothing to resume.
+			case errors.As(err, &pe):
+			default:
+				return fmt.Errorf("crashed run: %w", err)
 			}
-		}
-		_, err = embsp.RunContext(ctx, prog, cfg, killOpts)
-		switch {
-		case err == nil:
-			// The run finished before the kill step: nothing to resume.
-		case errors.Is(err, context.Canceled):
-		default:
-			return fmt.Errorf("killed run: %w", err)
+		} else {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			killOpts := opts
+			killOpts.OnCommit = func(step int) {
+				if step == c.killStep {
+					cancel()
+				}
+			}
+			_, err = embsp.RunContext(ctx, prog, cfg, killOpts)
+			switch {
+			case err == nil:
+				// The run finished before the kill step: nothing to resume.
+			case errors.Is(err, context.Canceled):
+			default:
+				return fmt.Errorf("killed run: %w", err)
+			}
 		}
 		opts.Resume = true
 		res, err = embsp.Run(prog, cfg, opts)

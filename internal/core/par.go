@@ -360,7 +360,20 @@ func (e *parEngine) resume() error {
 		return &journal.Error{Path: e.opts.StateDir, Record: -1,
 			Reason: "no committed checkpoint to resume from (the run crashed before its first barrier; start it fresh)"}
 	}
-	return e.decodeManifest(recs[len(recs)-1])
+	if err := e.decodeManifest(recs[len(recs)-1]); err != nil {
+		return err
+	}
+	// The crashed attempt may have left in-place rewrites (or torn
+	// writes) the manifest's parity does not encode; repair or adopt
+	// them before the replay's parity arithmetic trusts the disk.
+	for _, ps := range e.procs {
+		if ps.red != nil {
+			if err := ps.red.Reconcile(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func maxInt(a, b int) int {

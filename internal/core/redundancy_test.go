@@ -306,3 +306,59 @@ func TestRedundancyValidation(t *testing.T) {
 		t.Errorf("explicit mirror with death plan: %v", err)
 	}
 }
+
+// TestParityCrashThenDriveLoss closes the RAID write hole end to end:
+// the run crashes mid-superstep (in-place context rewrites on disk,
+// journal at the previous barrier, the layer's in-memory barrier-value
+// cache lost), resumes, and only THEN loses a drive — so the
+// reconstruction runs over state the resume-time reconciliation had to
+// repair or adopt. The resumed Result must stay bitwise identical to
+// the uninterrupted run. The death op indices were measured so the
+// death lands in superstep 3, strictly after the superstep-2 crash
+// (per-barrier fault-layer op counts: P=1 barriers at 507/776/1032,
+// P=3 proc 0 at 367/593/776).
+func TestParityCrashThenDriveLoss(t *testing.T) {
+	p := testProgram()
+	for _, tc := range []struct {
+		procs   int
+		deathOp int64
+	}{{1, 900}, {3, 650}} {
+		label := fmt.Sprintf("P=%d", tc.procs)
+		cfg := parMachine(tc.procs, 4, 8, 256)
+		opts := func(dir string) core.Options {
+			return core.Options{
+				Seed:       3,
+				StateDir:   dir,
+				FaultPlan:  &fault.Plan{Seed: 13, FailDriveOp: tc.deathOp, FailDrive: 2},
+				Redundancy: redundancy.Parity,
+				Scrub:      true,
+			}
+		}
+		clean, err := core.Run(p, cfg, opts(t.TempDir()))
+		if err != nil {
+			t.Fatalf("%s clean: %v", label, err)
+		}
+		if clean.EM.DriveFailures != 1 {
+			t.Fatalf("%s: DriveFailures=%d, want 1 — death op %d never fired", label, clean.EM.DriveFailures, tc.deathOp)
+		}
+		if clean.EM.ReconstructedBlocks == 0 {
+			t.Fatalf("%s: no reconstruction — the death landed too late to matter", label)
+		}
+
+		dir := t.TempDir()
+		crashed := &panicProgram{Program: p, panicStep: 2}
+		_, err = core.Run(crashed, cfg, opts(dir))
+		var pe *bsp.ProgramError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: crashed run returned %v, want *bsp.ProgramError", label, err)
+		}
+
+		resumed := opts(dir)
+		resumed.Resume = true
+		res, err := core.Run(p, cfg, resumed)
+		if err != nil {
+			t.Fatalf("%s resume: %v", label, err)
+		}
+		resultsIdentical(t, clean, res, label+" crash before drive loss")
+	}
+}

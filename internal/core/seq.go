@@ -308,7 +308,16 @@ func (e *seqEngine) resume() error {
 		return &journal.Error{Path: e.opts.StateDir, Record: -1,
 			Reason: "no committed checkpoint to resume from (the run crashed before its first barrier; start it fresh)"}
 	}
-	return e.decodeManifest(recs[len(recs)-1])
+	if err := e.decodeManifest(recs[len(recs)-1]); err != nil {
+		return err
+	}
+	if e.red != nil {
+		// The crashed attempt may have left in-place rewrites (or torn
+		// writes) the manifest's parity does not encode; repair or adopt
+		// them before the replay's parity arithmetic trusts the disk.
+		return e.red.Reconcile()
+	}
+	return nil
 }
 
 // engineMemLimit computes the internal-memory budget for one

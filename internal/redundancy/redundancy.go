@@ -200,6 +200,17 @@ type Store struct {
 	// wrote marks physical tracks written by the current attempt;
 	// Restore clears it (a rollback starts a new attempt).
 	wrote map[addr]bool
+	// recompute marks stripes whose stored parity is known stale after
+	// a crash-resume (Reconcile found residue it could not repair or
+	// recompute immediately: a torn member, or one on a dead drive not
+	// yet rebuilt). Incremental parity maintenance is suspended for
+	// these stripes and reads needing their parity fail loudly;
+	// FlushParity recomputes each one from its members as soon as every
+	// member is readable again. Like rmwOld it describes physical state
+	// rather than superstep state, so it survives Restore and is not
+	// part of Snapshot or EncodeState (it only exists between a
+	// crash-resume and the barrier that clears it).
+	recompute map[int]bool
 
 	scrubD, scrubT int // scrub cursor (physical walk)
 	rebDrive       int // drive being rebuilt, -1 when none
@@ -217,22 +228,23 @@ func Wrap(inner disk.Store) (*Store, error) {
 		return nil, fmt.Errorf("redundancy: parity requires D >= 2, have D = %d", cfg.D)
 	}
 	return &Store{
-		inner:    inner,
-		D:        cfg.D,
-		B:        cfg.B,
-		stripeOf: make(map[addr]int),
-		stripes:  make(map[int]*stripe),
-		parityAt: make(map[addr]int),
-		pval:     make(map[int][]uint64),
-		pdirty:   make(map[int]bool),
-		fresh:    make(map[addr]bool),
-		sums:     make(map[addr]uint64),
-		remap:    make(map[addr]disk.Addr),
-		rrmap:    make(map[addr]addr),
-		dead:     make([]bool, cfg.D),
-		rmwOld:   make(map[addr][]uint64),
-		wrote:    make(map[addr]bool),
-		rebDrive: -1,
+		inner:     inner,
+		D:         cfg.D,
+		B:         cfg.B,
+		stripeOf:  make(map[addr]int),
+		stripes:   make(map[int]*stripe),
+		parityAt:  make(map[addr]int),
+		pval:      make(map[int][]uint64),
+		pdirty:    make(map[int]bool),
+		fresh:     make(map[addr]bool),
+		sums:      make(map[addr]uint64),
+		remap:     make(map[addr]disk.Addr),
+		rrmap:     make(map[addr]addr),
+		dead:      make([]bool, cfg.D),
+		rmwOld:    make(map[addr][]uint64),
+		wrote:     make(map[addr]bool),
+		recompute: make(map[int]bool),
+		rebDrive:  -1,
 	}, nil
 }
 
@@ -302,6 +314,13 @@ func (s *Store) Close() error { return s.inner.Close() }
 
 // parityUsable reports whether the stripe's parity track is readable.
 func (s *Store) parityUsable(st *stripe) bool { return !s.dead[st.parity.Disk] }
+
+// parityActive reports whether the stripe's parity can be maintained
+// incrementally: its parity track is on a live drive and it is not
+// awaiting a post-crash recomputation.
+func (s *Store) parityActive(sid int) bool {
+	return s.parityUsable(s.stripes[sid]) && !s.recompute[sid]
+}
 
 // chooseSpare returns a live drive other than d, rotated by salt so
 // remapped and rebuilt tracks spread over the survivors.
@@ -376,19 +395,21 @@ func (s *Store) readPhys(reqs []disk.ReadReq) (int, error) {
 // operations issued.
 func (s *Store) writePhys(reqs []disk.WriteReq) (int, error) {
 	groups := groupsOf(len(reqs), func(i int) int { return reqs[i].Disk })
+	ops := 0
 	for _, g := range groups {
 		sub := make([]disk.WriteReq, 0, len(g))
 		for _, i := range g {
 			sub = append(sub, reqs[i])
 		}
 		if err := s.inner.WriteOp(sub); err != nil {
-			return 0, err
+			return ops, err
 		}
+		ops++
 	}
 	for _, r := range reqs {
 		s.sums[addr{r.Disk, r.Track}] = disk.Checksum(r.Src)
 	}
-	return len(groups), nil
+	return ops, nil
 }
 
 // physOf maps a logical data track to the physical location currently
@@ -458,6 +479,12 @@ func (s *Store) readParityTrack(sid int, dst []uint64) (int, error) {
 // DegradedOps by the caller via the returned op count.
 func (s *Store) reconstruct(sid int, skip addr, dst []uint64) (int, error) {
 	st := s.stripes[sid]
+	if s.recompute[sid] {
+		// The stored parity is known stale (crash residue Reconcile
+		// could not absorb) and will only be recomputed at the next
+		// barrier; reconstructing from it would return silent garbage.
+		return 0, fmt.Errorf("redundancy: cannot reconstruct drive %d track %d: stripe %d's parity is stale after a crash and awaits recomputation", skip.d, skip.t, sid)
+	}
 	ops := 0
 	if pv, ok := s.pval[sid]; ok {
 		copy(dst, pv)
@@ -519,18 +546,26 @@ func (s *Store) reconstruct(sid int, skip addr, dst []uint64) (int, error) {
 func (s *Store) repairTrack(p addr) (int, error) {
 	buf := make([]uint64, s.B)
 	if sid, ok := s.parityAt[p]; ok {
-		// A parity track: recompute it from the members.
-		ops, err := s.recomputeParity(sid, buf)
-		if err != nil {
-			return ops, err
+		// A parity track: the cached value, when present, is
+		// authoritative (it may carry this superstep's pending updates,
+		// which a recompute from the members would discard); only an
+		// uncached stripe is recomputed.
+		ops := 0
+		if pv, cached := s.pval[sid]; cached {
+			copy(buf, pv)
+		} else {
+			var err error
+			ops, err = s.recomputeParity(sid, buf)
+			if err != nil {
+				return ops, err
+			}
 		}
 		n, err := s.writePhys([]disk.WriteReq{{Disk: p.d, Track: p.t, Src: buf}})
 		ops += n
 		if err != nil {
 			return ops, err
 		}
-		delete(s.pval, sid)
-		delete(s.pdirty, sid)
+		delete(s.pdirty, sid) // the stored copy now matches the cache
 		s.ctr.RepairedBlocks++
 		return ops, nil
 	}
@@ -718,7 +753,7 @@ func (s *Store) WriteOp(reqs []disk.WriteReq) error {
 	for _, r := range reqs {
 		k := addr{r.Disk, r.Track}
 		sid, ok := s.stripeOf[k]
-		if !ok || !s.parityUsable(s.stripes[sid]) {
+		if !ok || !s.parityActive(sid) {
 			continue
 		}
 		buf := make([]uint64, s.B)
@@ -754,6 +789,32 @@ func (s *Store) WriteOp(reqs []disk.WriteReq) error {
 		if err != nil {
 			return err
 		}
+		// Verify the old data against its recorded checksum before it is
+		// folded out of parity or captured as the barrier value. A
+		// mismatch is latent corruption — folding it out would silently
+		// leave parity encoding the corrupt bytes; reconstruct the real
+		// content from parity first, exactly as the read path does.
+		for i, r := range oldReqs {
+			pk := addr{r.Disk, r.Track}
+			want, ok := s.sums[pk]
+			if !ok || disk.Checksum(r.Dst) == want {
+				continue
+			}
+			s.ctr.ChecksumFailures++
+			n, err := s.repairTrack(pk)
+			s.ctr.DegradedOps += int64(n)
+			if err != nil {
+				return err
+			}
+			n, err = s.readPhys([]disk.ReadReq{oldReqs[i]})
+			s.ctr.DegradedOps += int64(n)
+			if err != nil {
+				return err
+			}
+			if disk.Checksum(r.Dst) != want {
+				return &disk.CorruptTrackError{Disk: pk.d, Track: pk.t}
+			}
+		}
 		for _, c := range oldCapture {
 			s.rmwOld[c.pk] = append([]uint64(nil), c.buf...)
 		}
@@ -772,7 +833,7 @@ func (s *Store) WriteOp(reqs []disk.WriteReq) error {
 	}
 	xorNew := func(k addr, src []uint64) error {
 		sid, ok := s.stripeOf[k]
-		if !ok || !s.parityUsable(s.stripes[sid]) {
+		if !ok || !s.parityActive(sid) {
 			return nil
 		}
 		if err := s.loadParity(sid); err != nil {
@@ -835,10 +896,11 @@ func (s *Store) Release(d, t int) error {
 	k := addr{d, t}
 	if sid, ok := s.stripeOf[k]; ok {
 		st := s.stripes[sid]
-		if s.parityUsable(st) {
+		if s.parityActive(sid) {
 			buf := make([]uint64, s.B)
 			if p, live := s.physOf(k); live {
-				if old, ok := s.rmwOld[addr{p.Disk, p.Track}]; ok && !s.wrote[addr{p.Disk, p.Track}] {
+				pk := addr{p.Disk, p.Track}
+				if old, ok := s.rmwOld[pk]; ok && !s.wrote[pk] {
 					// The parity state still encodes the barrier value
 					// of this rolled-back member; fold that out.
 					copy(buf, old)
@@ -847,6 +909,24 @@ func (s *Store) Release(d, t int) error {
 					s.ctr.ParityOps += int64(n)
 					if err != nil {
 						return err
+					}
+					// Same verification as the write path: never fold
+					// unverified bytes out of parity.
+					if want, ok := s.sums[pk]; ok && disk.Checksum(buf) != want {
+						s.ctr.ChecksumFailures++
+						n, err := s.repairTrack(pk)
+						s.ctr.DegradedOps += int64(n)
+						if err != nil {
+							return err
+						}
+						n, err = s.readPhys([]disk.ReadReq{{Disk: p.Disk, Track: p.Track, Dst: buf}})
+						s.ctr.DegradedOps += int64(n)
+						if err != nil {
+							return err
+						}
+						if disk.Checksum(buf) != want {
+							return &disk.CorruptTrackError{Disk: pk.d, Track: pk.t}
+						}
 					}
 				}
 			} else {
@@ -898,6 +978,7 @@ func (s *Store) dropStripe(sid int) {
 	delete(s.sums, addr{st.parity.Disk, st.parity.Track})
 	delete(s.pval, sid)
 	delete(s.pdirty, sid)
+	delete(s.recompute, sid)
 	delete(s.stripes, sid)
 	s.removeOpen(sid)
 	if !s.dead[st.parity.Disk] {
@@ -934,7 +1015,7 @@ func (s *Store) removeOpen(sid int) {
 func (s *Store) assign(k addr) (sid int, ok bool) {
 	for _, sid := range s.open {
 		st := s.stripes[sid]
-		if st.members[k.d] < 0 && st.parity.Disk != k.d && s.parityUsable(st) && !st.full(s.D) {
+		if st.members[k.d] < 0 && st.parity.Disk != k.d && s.parityActive(sid) && !st.full(s.D) {
 			st.members[k.d] = k.t
 			st.count++
 			s.stripeOf[k] = sid
@@ -1053,7 +1134,72 @@ func (s *Store) FlushParity() error {
 	s.pval = make(map[int][]uint64)
 	s.rmwOld = make(map[addr][]uint64)
 	s.wrote = make(map[addr]bool)
+	// Stripes whose parity went stale across a crash (Reconcile could
+	// not recompute them at resume time) are recomputed here, once the
+	// replay has rewritten their unreadable members.
+	if len(s.recompute) > 0 {
+		sids := make([]int, 0, len(s.recompute))
+		for sid := range s.recompute {
+			sids = append(sids, sid)
+		}
+		sort.Ints(sids)
+		for _, sid := range sids {
+			if _, err := s.recomputeStaleParity(sid); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// recomputeStaleParity recomputes and rewrites the parity of a
+// recompute-marked stripe from the current member contents, clearing
+// the mark on success. It keeps the mark (done = false, no error)
+// while the stripe cannot be recomputed yet: a member is torn and not
+// yet rewritten, a member or the parity track sits on a dead drive
+// awaiting rebuild. Its I/O is recovery work outside any superstep's
+// accounting, so no redundancy counters are charged.
+func (s *Store) recomputeStaleParity(sid int) (done bool, err error) {
+	st, ok := s.stripes[sid]
+	if !ok {
+		delete(s.recompute, sid)
+		return true, nil
+	}
+	if !s.parityUsable(st) {
+		return false, nil // the rebuild's re-homing recomputes it
+	}
+	dst := make([]uint64, s.B)
+	buf := make([]uint64, s.B)
+	for d := 0; d < s.D; d++ {
+		t := st.members[d]
+		if t < 0 {
+			continue
+		}
+		p, ok := s.physOf(addr{d, t})
+		if !ok {
+			return false, nil
+		}
+		rerr := s.inner.ReadOp([]disk.ReadReq{{Disk: p.Disk, Track: p.Track, Dst: buf}})
+		var cte *disk.CorruptTrackError
+		if errors.As(rerr, &cte) {
+			return false, nil
+		}
+		if rerr != nil {
+			return false, rerr
+		}
+		pk := addr{p.Disk, p.Track}
+		if want, ok := s.sums[pk]; ok && disk.Checksum(buf) != want {
+			return false, fmt.Errorf("redundancy: recomputing stale parity of stripe %d: member drive %d track %d fails its checksum", sid, pk.d, pk.t)
+		}
+		for i := range dst {
+			dst[i] ^= buf[i]
+		}
+	}
+	if _, werr := s.writePhys([]disk.WriteReq{{Disk: st.parity.Disk, Track: st.parity.Track, Src: dst}}); werr != nil {
+		return false, werr
+	}
+	delete(s.recompute, sid)
+	return true, nil
 }
 
 // Scrub examines up to budget physical tracks from the persistent
@@ -1180,6 +1326,9 @@ func (s *Store) RebuildStep(budget int) error {
 			delete(s.sums, old)
 			st.parity = np
 			s.parityAt[addr{np.Disk, np.Track}] = sid
+			// Re-homing recomputed the parity from the current members,
+			// which is exactly what a crash-stale stripe was waiting for.
+			delete(s.recompute, sid)
 			return nil
 		}(); err != nil {
 			return err
@@ -1446,4 +1595,172 @@ func (s *Store) DecodeState(dec *words.Decoder) error {
 	s.pdirty = make(map[int]bool)
 	s.fresh = make(map[addr]bool)
 	return nil
+}
+
+// Reconcile re-establishes the parity invariant after a crash-resume;
+// the engines call it once, right after DecodeState and before the
+// replay starts.
+//
+// Under the checkpoint discipline a superstep rewrites committed
+// striped tracks in place (the context double-buffer areas), and the
+// in-memory rmwOld cache that lets a same-process replay fold the
+// barrier content out of parity dies with the process. A resumed
+// process therefore faces physical tracks that may hold the crashed
+// attempt's bytes (checksum mismatch against the manifest) or a torn
+// write (the inner store's own per-track checksum fails), with stored
+// parity encoding either the barrier state (crash before FlushParity)
+// or the aborted barrier's state (crash between FlushParity and the
+// journal commit). Left alone, the replay's read-modify-write would
+// fold the crashed bytes out of parity as if they were the barrier
+// content, leaving parity silently stale — the classic RAID write
+// hole.
+//
+// Reconcile scans every checksummed live track. A stripe with exactly
+// one bad track is repaired the ordinary way: the committed content is
+// reconstructed from the surviving tracks and rewritten. A stripe with
+// several bad tracks cannot be rolled back — parity is one equation —
+// so the current physical content is adopted instead: member checksums
+// are updated to match what is on disk and parity is recomputed from
+// it. Adoption is sound because the deterministic replay rewrites
+// exactly the crashed attempt's tracks before the next barrier, and
+// the read-modify-write only needs the "old" value it folds out to be
+// the value parity currently encodes. When a member of such a stripe
+// is torn or lost (dead drive, not yet rebuilt) the recomputation is
+// deferred to the next FlushParity via the recompute set, and reads
+// needing reconstruction from the stripe fail loudly until then: crash
+// residue plus a lost member in one stripe is genuinely beyond
+// single-failure tolerance.
+//
+// Reconcile is accounting-neutral: its repair I/O is real but belongs
+// to no superstep, so the inner Stats and the redundancy Counters are
+// restored around it and a resumed run's figures stay bitwise
+// identical to an uninterrupted one.
+func (s *Store) Reconcile() error {
+	ctr := s.ctr
+	st := s.inner.State()
+	err := s.reconcile()
+	s.ctr = ctr
+	if aerr := s.inner.AdoptState(st); err == nil {
+		err = aerr
+	}
+	return err
+}
+
+func (s *Store) reconcile() error {
+	keys := make([]addr, 0, len(s.sums))
+	for k := range s.sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return addrLess(keys[i], keys[j]) })
+	stale := make(map[addr]uint64) // readable, content != recorded sum -> current checksum
+	torn := make(map[addr]bool)    // the inner store reports the track torn
+	buf := make([]uint64, s.B)
+	for _, k := range keys {
+		if s.dead[k.d] {
+			continue
+		}
+		err := s.inner.ReadOp([]disk.ReadReq{{Disk: k.d, Track: k.t, Dst: buf}})
+		var cte *disk.CorruptTrackError
+		switch {
+		case errors.As(err, &cte):
+			torn[k] = true
+		case err != nil:
+			return err
+		case disk.Checksum(buf) != s.sums[k]:
+			stale[k] = disk.Checksum(buf)
+		}
+	}
+	if len(stale)+len(torn) == 0 {
+		return nil
+	}
+	// Group the residue by stripe (keys is sorted, so bySid's slices
+	// and sids are deterministic).
+	bySid := make(map[int][]addr)
+	var sids []int
+	var orphans []addr
+	for _, k := range keys {
+		if _, isStale := stale[k]; !isStale && !torn[k] {
+			continue
+		}
+		sid, ok := s.sidOfPhys(k)
+		if !ok {
+			orphans = append(orphans, k)
+			continue
+		}
+		if _, seen := bySid[sid]; !seen {
+			sids = append(sids, sid)
+		}
+		bySid[sid] = append(bySid[sid], k)
+	}
+	sort.Ints(sids)
+	// Unprotected residue: adopt what is on disk, or forget the
+	// checksum of a torn track — the replay rewrites it.
+	for _, k := range orphans {
+		if torn[k] {
+			delete(s.sums, k)
+		} else {
+			s.sums[k] = stale[k]
+		}
+	}
+	for _, sid := range sids {
+		bad := bySid[sid]
+		if len(bad) == 1 && s.stripeIntactExcept(sid, bad[0]) {
+			// A single bad track in an otherwise healthy stripe: restore
+			// the committed content from the survivors.
+			if _, err := s.repairTrack(bad[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		// Adoption: the current physical content becomes authoritative.
+		for _, k := range bad {
+			if _, isParity := s.parityAt[k]; isParity {
+				continue // recomputed below, never adopted
+			}
+			if torn[k] {
+				delete(s.sums, k)
+			} else {
+				s.sums[k] = stale[k]
+			}
+		}
+		s.recompute[sid] = true
+		if _, err := s.recomputeStaleParity(sid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sidOfPhys maps a physical track to its stripe via the parity
+// directory, the reverse remap, or the identity mapping.
+func (s *Store) sidOfPhys(k addr) (int, bool) {
+	if sid, ok := s.parityAt[k]; ok {
+		return sid, true
+	}
+	l := k
+	if r, ok := s.rrmap[k]; ok {
+		l = r
+	}
+	sid, ok := s.stripeOf[l]
+	return sid, ok
+}
+
+// stripeIntactExcept reports whether the bad track p can be repaired
+// from the rest of its stripe: every member has a readable physical
+// copy and, unless p is the parity track itself, the parity track is
+// on a live drive.
+func (s *Store) stripeIntactExcept(sid int, p addr) bool {
+	st := s.stripes[sid]
+	if _, isParity := s.parityAt[p]; !isParity && !s.parityUsable(st) {
+		return false
+	}
+	for d, t := range st.members {
+		if t < 0 {
+			continue
+		}
+		if _, ok := s.physOf(addr{d, t}); !ok {
+			return false
+		}
+	}
+	return true
 }

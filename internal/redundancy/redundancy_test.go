@@ -384,3 +384,158 @@ func TestEncodeDecodeResume(t *testing.T) {
 		checkTrack(t, s2, a, B)
 	}
 }
+
+// crashPattern is the deterministic content a superstep's in-place
+// rewrite produces — distinct from pattern so stale parity is
+// detectable.
+func crashPattern(buf []uint64, d, t int) {
+	pattern(buf, d, t)
+	delta := 0xdeadbeefcafef00d * uint64(31*d+7*t+1)
+	for i := range buf {
+		buf[i] ^= delta
+	}
+}
+
+// resumeFrom models a crash-resume: the allocator metadata is restored
+// from the manifest, track contents stay as the crashed process left
+// them, and a fresh layer (empty rmwOld) decodes the manifest.
+func resumeFrom(t *testing.T, raw disk.Store, allocSt disk.StoreState, manifest []uint64) *Store {
+	t.Helper()
+	if err := raw.AdoptState(allocSt); err != nil {
+		t.Fatalf("AdoptState: %v", err)
+	}
+	s, err := Wrap(raw)
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	dec := words.NewDecoder(manifest)
+	if err := s.DecodeState(dec); err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	if err := s.Reconcile(); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	return s
+}
+
+// TestReconcileMidSuperstepCrash is the RAID write hole under the
+// checkpoint discipline: a superstep rewrites striped tracks in place,
+// the process dies before the barrier, and the resumed replay's parity
+// arithmetic must not trust the crashed attempt's on-disk data as the
+// barrier content the stored parity encodes. After the replayed
+// barrier, a drive death must still reconstruct every track bitwise.
+func TestReconcileMidSuperstepCrash(t *testing.T) {
+	const D, B = 4, 8
+	s, raw := mkStore(t, D, B)
+	addrs := writeTracks(t, s, D, B, 4)
+	if err := s.FlushParity(); err != nil {
+		t.Fatalf("FlushParity: %v", err)
+	}
+	enc := words.NewEncoder(nil)
+	s.EncodeState(enc)
+	manifest := append([]uint64(nil), enc.Words()...)
+	allocSt := raw.State()
+
+	// The deterministic superstep: rewrite a third of the striped
+	// tracks in place. Run once by the crashed attempt (no barrier),
+	// then identically by the resumed replay.
+	superstep := func(s *Store) {
+		buf := make([]uint64, B)
+		for i, a := range addrs {
+			if i%3 != 0 {
+				continue
+			}
+			crashPattern(buf, a.Disk, a.Track)
+			if err := s.WriteOp([]disk.WriteReq{{Disk: a.Disk, Track: a.Track, Src: append([]uint64(nil), buf...)}}); err != nil {
+				t.Fatalf("WriteOp: %v", err)
+			}
+		}
+	}
+	superstep(s) // crashed attempt: writes land, no FlushParity, SIGKILL
+
+	s2 := resumeFrom(t, raw, allocSt, manifest)
+	superstep(s2) // replay
+	if err := s2.FlushParity(); err != nil {
+		t.Fatalf("replayed FlushParity: %v", err)
+	}
+
+	// Now lose a drive: every member must reconstruct bitwise.
+	s2.DriveDied(1)
+	want := make([]uint64, B)
+	got := make([]uint64, B)
+	for i, a := range addrs {
+		if err := s2.ReadOp([]disk.ReadReq{{Disk: a.Disk, Track: a.Track, Dst: got}}); err != nil {
+			t.Fatalf("ReadOp drive %d track %d: %v", a.Disk, a.Track, err)
+		}
+		if i%3 == 0 {
+			crashPattern(want, a.Disk, a.Track)
+		} else {
+			pattern(want, a.Disk, a.Track)
+		}
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("drive %d track %d word %d: got %#x want %#x", a.Disk, a.Track, w, got[w], want[w])
+			}
+		}
+	}
+}
+
+// TestReconcilePostFlushCrash is the other window: the crash lands
+// after FlushParity rewrote the parity tracks but before the journal
+// commit, so the resumed manifest's checksums predate everything the
+// barrier wrote. Without reconciliation the replay hard-fails with
+// "member fails its checksum" while repairing the "stale" parity.
+func TestReconcilePostFlushCrash(t *testing.T) {
+	const D, B = 4, 8
+	s, raw := mkStore(t, D, B)
+	addrs := writeTracks(t, s, D, B, 4)
+	if err := s.FlushParity(); err != nil {
+		t.Fatalf("FlushParity: %v", err)
+	}
+	enc := words.NewEncoder(nil)
+	s.EncodeState(enc)
+	manifest := append([]uint64(nil), enc.Words()...)
+	allocSt := raw.State()
+
+	superstep := func(s *Store) {
+		buf := make([]uint64, B)
+		for i, a := range addrs {
+			if i%2 != 0 {
+				continue
+			}
+			crashPattern(buf, a.Disk, a.Track)
+			if err := s.WriteOp([]disk.WriteReq{{Disk: a.Disk, Track: a.Track, Src: append([]uint64(nil), buf...)}}); err != nil {
+				t.Fatalf("WriteOp: %v", err)
+			}
+		}
+	}
+	superstep(s)
+	if err := s.FlushParity(); err != nil { // barrier completed ...
+		t.Fatalf("FlushParity: %v", err)
+	}
+	// ... but the journal commit never landed: resume from the OLD manifest.
+
+	s2 := resumeFrom(t, raw, allocSt, manifest)
+	superstep(s2)
+	if err := s2.FlushParity(); err != nil {
+		t.Fatalf("replayed FlushParity: %v", err)
+	}
+	s2.DriveDied(2)
+	want := make([]uint64, B)
+	got := make([]uint64, B)
+	for i, a := range addrs {
+		if err := s2.ReadOp([]disk.ReadReq{{Disk: a.Disk, Track: a.Track, Dst: got}}); err != nil {
+			t.Fatalf("ReadOp drive %d track %d: %v", a.Disk, a.Track, err)
+		}
+		if i%2 == 0 {
+			crashPattern(want, a.Disk, a.Track)
+		} else {
+			pattern(want, a.Disk, a.Track)
+		}
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("drive %d track %d word %d: got %#x want %#x", a.Disk, a.Track, w, got[w], want[w])
+			}
+		}
+	}
+}
