@@ -27,6 +27,7 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium or large")
 	redundancyFlag := flag.String("redundancy", "", "drive redundancy for every run: none, mirror or parity")
 	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
+	pipelineBaseline := flag.String("pipeline-baseline", "", "measure the group pipeline and write the JSON baseline (BENCH_pipeline.json) to this path")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -48,6 +49,12 @@ func main() {
 	}
 
 	switch {
+	case *pipelineBaseline != "":
+		if err := bench.WritePipelineBaseline(*pipelineBaseline, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pipeline baseline written to %s\n", *pipelineBaseline)
 	case *list:
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)

@@ -319,6 +319,9 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for durable on-disk state and the superstep journal")
 	resume := flag.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
 	killStep := flag.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
+	pipeline := flag.String("pipeline", "auto", "group pipeline (file-backed runs): auto, on or off")
+	ioWorkers := flag.Int("io-workers", 0, "per-drive I/O worker goroutines (0 = one per drive, -1 = synchronous)")
+	driveLatency := flag.Duration("drive-latency", 0, "emulated per-track access latency of the file-backed drives (e.g. 1ms; 0 = none)")
 	redundancyFlag := flag.String("redundancy", "", "drive redundancy: none, mirror or parity")
 	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
 	soak := flag.Bool("soak", false, "chaos-soak mode: randomized fault/kill/resume schedules over the Table 1 workloads, checked bitwise against the reference")
@@ -358,6 +361,17 @@ func main() {
 	opts := embsp.Options{
 		Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries,
 		StateDir: *stateDir, Resume: *resume, Scrub: *scrub,
+		IOWorkers: *ioWorkers, DriveLatency: *driveLatency,
+	}
+	switch *pipeline {
+	case "auto":
+	case "on":
+		opts.Pipeline = 1
+	case "off":
+		opts.Pipeline = -1
+	default:
+		fmt.Fprintf(os.Stderr, "bad -pipeline %q: want auto, on or off\n", *pipeline)
+		os.Exit(2)
 	}
 	if *redundancyFlag != "" {
 		mode, err := embsp.ParseRedundancy(*redundancyFlag)
@@ -404,6 +418,14 @@ func main() {
 	}
 	fmt.Printf("memory high-water: %d words; peak disk blocks/drive: %d\n",
 		res.EM.MemHigh, res.EM.LiveBlocksPerDrive)
+	// The overlap counters are wall-clock observability, not model
+	// output: they go to stderr so two runs of the same workload stay
+	// diffable on stdout (the crash-recovery CI check relies on this).
+	if ov := res.EM.Overlap; ov.PrefetchIssued > 0 || ov.AsyncWrites > 0 {
+		fmt.Fprintf(os.Stderr, "pipeline: %d blocks prefetched (%d cache hits, %d misses), %d async writes, %.1fms stalled, peak %d transfers in flight\n",
+			ov.PrefetchIssued, ov.PrefetchHits, ov.PrefetchMisses,
+			ov.AsyncWrites, float64(ov.StallNanos)/1e6, ov.ConcurrentPeak)
+	}
 	if opts.FaultPlan != nil {
 		em := res.EM
 		fmt.Printf("faults: %d injected (%d checksum failures, %d drive losses)\n",

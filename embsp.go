@@ -53,6 +53,13 @@ type (
 	Result = core.Result
 	// EMStats reports the external-memory behaviour of a run.
 	EMStats = core.EMStats
+	// OverlapStats reports the wall-clock physical-overlap behaviour
+	// of a pipelined file-backed run (EMStats.Overlap): prefetch hit
+	// rates, asynchronous writes, stall time and the concurrency peak.
+	// Unlike every other statistic, it is allowed to differ between
+	// two runs of the same program — it describes the physical
+	// schedule, not the model.
+	OverlapStats = disk.OverlapStats
 	// CostParams holds the BSP* parameters ĝ, g, b and L.
 	CostParams = bsp.CostParams
 	// Program is a BSP-like algorithm for v virtual processors.

@@ -32,6 +32,7 @@ func benchEngine(b *testing.B, procs int) {
 		Cost: embsp.CostParams{GUnit: 1, GPkt: 256, Pkt: 256, L: 100},
 	}
 	b.ReportAllocs()
+	b.SetBytes(8 << 15) // the sorted keys, in bytes
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := embsp.Run(prog, cfg, embsp.Options{Seed: uint64(i)})
@@ -45,9 +46,43 @@ func benchEngine(b *testing.B, procs int) {
 func BenchmarkEngineSeq(b *testing.B)  { benchEngine(b, 1) }
 func BenchmarkEnginePar4(b *testing.B) { benchEngine(b, 4) }
 
+// benchEngineFile measures the sequential engine on a file-backed
+// store with the group pipeline forced to the given setting — the
+// host-throughput companion to internal/bench's perf/pipeline
+// experiment (which guards the speedup ratio under emulated latency;
+// these rows show the raw page-cache cost of each physical schedule).
+func benchEngineFile(b *testing.B, pipeline int) {
+	prog := sortWorkload(1<<13, 32)
+	cfg := embsp.MachineConfig{
+		P: 1, M: 6 * prog.MaxContextWords(), D: 4, B: 256, G: 1000,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 256, Pkt: 256, L: 100},
+	}
+	b.ReportAllocs()
+	b.SetBytes(8 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		opts := embsp.Options{Seed: uint64(i), StateDir: dir, Pipeline: pipeline}
+		if pipeline < 0 {
+			opts.IOWorkers = -1
+		}
+		res, err := embsp.Run(prog, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.EM.Run.Ops), "io_ops")
+	}
+}
+
+func BenchmarkEngineFileSerial(b *testing.B)    { benchEngineFile(b, -1) }
+func BenchmarkEngineFilePipelined(b *testing.B) { benchEngineFile(b, 1) }
+
 func BenchmarkEngineReference(b *testing.B) {
 	prog := sortWorkload(1<<15, 32)
 	b.ReportAllocs()
+	b.SetBytes(8 << 15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := embsp.RunReference(prog, uint64(i)); err != nil {
@@ -59,6 +94,7 @@ func BenchmarkEngineReference(b *testing.B) {
 func BenchmarkEngineSK(b *testing.B) {
 	prog := sortWorkload(1<<12, 16)
 	b.ReportAllocs()
+	b.SetBytes(8 << 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := embsp.RunSK(prog, 4, 256, embsp.SKOptions{Seed: uint64(i)})

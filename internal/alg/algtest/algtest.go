@@ -60,8 +60,10 @@ func RunAll(t *testing.T, p bsp.Program, seed uint64, extract func(vps []bsp.VP)
 			opts core.Options
 		}{name: "randomized", cfg: cfg, opts: core.Options{Seed: seed}})
 	}
-	// The deterministic (CGM) placement variant and the NoRouting
-	// ablation on the sequential machine.
+	// The deterministic (CGM) placement variant, the NoRouting
+	// ablation, and a durable file-backed run with the group pipeline
+	// forced on (I/O workers, prefetch, write-behind) — the physical
+	// schedule must be invisible in every output word.
 	seqCfg := Machines(p)[0]
 	variants = append(variants,
 		struct {
@@ -74,6 +76,11 @@ func RunAll(t *testing.T, p bsp.Program, seed uint64, extract func(vps []bsp.VP)
 			cfg  core.MachineConfig
 			opts core.Options
 		}{name: "norouting", cfg: seqCfg, opts: core.Options{Seed: seed, NoRouting: true}},
+		struct {
+			name string
+			cfg  core.MachineConfig
+			opts core.Options
+		}{name: "pipelined", cfg: seqCfg, opts: core.Options{Seed: seed, StateDir: t.TempDir(), Pipeline: 1}},
 	)
 	for _, vr := range variants {
 		res, err := core.Run(p, vr.cfg, vr.opts)

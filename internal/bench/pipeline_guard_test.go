@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPipelineSpeedupGuard is the CI tripwire for the group pipeline's
+// reason to exist: under emulated per-track access latency (the regime
+// where a physical schedule matters — see MeasurePipeline), the
+// pipelined store must beat the serial schedule by a wide margin at
+// D = 8, and must actually have run D transfers concurrently. The
+// committed BENCH_pipeline.json baseline records ~7x at medium scale;
+// the guard threshold is deliberately loose so host noise cannot trip
+// it, while a regression that serializes the workers (a lock held
+// across a sleep, a worker count clamp, an accidental drain per op)
+// lands far below it. The zero-latency rows are NOT guarded: on a
+// page-cache host with one CPU they measure only bookkeeping overhead
+// and legitimately sit near or below 1x.
+func TestPipelineSpeedupGuard(t *testing.T) {
+	rep, err := MeasurePipeline(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := false
+	for _, r := range rep.Rows {
+		if r.LatencyNanos == 0 || r.D != 8 {
+			continue
+		}
+		guarded = true
+		if r.Speedup < 1.5 {
+			t.Errorf("D=%d lat=%v: pipelined speedup %.2fx, want >= 1.5x (serial %v, pipelined %v)",
+				r.D, time.Duration(r.LatencyNanos), r.Speedup,
+				time.Duration(r.SerialNanos), time.Duration(r.PipelinedNanos))
+		}
+		if r.ConcurrentPeak != int64(r.D) {
+			t.Errorf("D=%d: peak of %d concurrent transfers, want %d — drives are not being driven in parallel",
+				r.D, r.ConcurrentPeak, r.D)
+		}
+		if r.AsyncWrites == 0 {
+			t.Errorf("D=%d: no asynchronous writes — write-behind is not engaging", r.D)
+		}
+	}
+	if !guarded {
+		t.Fatal("MeasurePipeline(Small) produced no emulated-latency D=8 row to guard")
+	}
+}

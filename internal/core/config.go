@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
@@ -165,6 +166,38 @@ type Options struct {
 	// checksum-verified per barrier and latent corruption is repaired
 	// from parity, with the cursor carried in the superstep manifest.
 	Scrub bool
+	// IOWorkers controls the per-drive I/O worker goroutines of the
+	// file-backed store (StateDir runs): 0 selects the default of one
+	// worker per drive, -1 disables them (synchronous physical I/O),
+	// and n > 0 asks for n workers (clamped to D). In-memory arrays
+	// have no physical transfers to overlap, so the knob is ignored
+	// there. The setting changes wall-clock behaviour only — results
+	// and every model-visible statistic are bitwise identical either
+	// way — so a durable run may be resumed with a different value
+	// (the knob is deliberately left out of the config fingerprint).
+	IOWorkers int
+	// Pipeline controls the engines' group pipeline: while group g
+	// computes, group g+1's context and message blocks are prefetched
+	// into the store's physical cache, and group g-1's writes drain in
+	// the background through the store's write-behind. 0 (auto) turns
+	// the pipeline on exactly when the store is file-backed with I/O
+	// workers enabled; 1 forces it on (a no-op over in-memory arrays,
+	// which have nothing to prefetch into); -1 forces it off.
+	// Like IOWorkers, the pipeline is invisible to the model: all
+	// accounting happens at the logical operation in program order, so
+	// results and cost statistics are bitwise identical on and off.
+	Pipeline int
+	// DriveLatency emulates the access time of one physical track
+	// transfer on the file-backed store: every slot read, write or wipe
+	// sleeps this long on the goroutine moving the bytes. It models the
+	// EM machine's independent drives on hosts whose page cache hides
+	// real device latency, making schedule quality (D-parallel access,
+	// I/O–compute overlap) measurable; embsp-bench's perf/pipeline
+	// experiment uses it. Purely wall-clock: results and every model
+	// statistic are unchanged, and like IOWorkers the knob stays out of
+	// the config fingerprint. Zero emulates nothing; ignored by
+	// in-memory arrays.
+	DriveLatency time.Duration
 }
 
 func (o *Options) defaults() {
@@ -209,6 +242,15 @@ func (o Options) Validate(cfg MachineConfig) error {
 	}
 	if o.MaxRetries < -1 {
 		return fmt.Errorf("core: MaxRetries = %d, want >= -1 (-1 disables retries, 0 selects the default)", o.MaxRetries)
+	}
+	if o.IOWorkers < -1 {
+		return fmt.Errorf("core: IOWorkers = %d, want >= -1 (-1 disables workers, 0 selects the default)", o.IOWorkers)
+	}
+	if o.Pipeline < -1 || o.Pipeline > 1 {
+		return fmt.Errorf("core: Pipeline = %d, want -1 (off), 0 (auto) or 1 (on)", o.Pipeline)
+	}
+	if o.DriveLatency < 0 {
+		return fmt.Errorf("core: DriveLatency = %v, want >= 0", o.DriveLatency)
 	}
 	if o.NoRouting && cfg.P != 1 {
 		return fmt.Errorf("core: the NoRouting ablation is implemented for P = 1 only")
@@ -346,6 +388,14 @@ type EMStats struct {
 	ScrubbedBlocks int64
 	ScrubRepairs   int64
 	RebuiltBlocks  int64
+	// Overlap reports the file-backed store's I/O–compute overlap
+	// observability counters (prefetch hits, async writes, stall time,
+	// concurrent-transfer high-water mark), aggregated over processors
+	// for P > 1. These measure wall-clock scheduling, not model work:
+	// they are zero for in-memory arrays, depend on timing, and are
+	// deliberately EXCLUDED from the bitwise-identity contract that
+	// covers every other EMStats field.
+	Overlap disk.OverlapStats
 }
 
 // Result is the outcome of an EM simulation run.

@@ -68,6 +68,8 @@ type procState struct {
 	hi int // one past last owned VP
 
 	store  disk.Store        // outermost store: raw array/file, or the parity layer over it
+	bfile  *disk.File        // the file store itself, nil for in-memory runs
+	pf     disk.Prefetcher   // group-pipeline prefetch target, nil when off
 	red    *redundancy.Store // nil unless Redundancy is parity
 	fd     *fault.Disk       // nil without a fault plan
 	dsk    disk.Disk         // store, or fd wrapping it
@@ -236,12 +238,15 @@ func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 		if opts.StateDir != "" {
 			// Each real processor's drives live in their own
 			// subdirectory; the journal is shared and lives at the root.
-			f, err := disk.OpenFile(filepath.Join(opts.StateDir, fmt.Sprintf("proc-%02d", i)), diskCfg, opts.Resume)
+			f, err := disk.OpenFileOpts(filepath.Join(opts.StateDir, fmt.Sprintf("proc-%02d", i)), diskCfg, opts.Resume,
+				fileStoreOpts(cfg, opts, k, mu, gamma))
 			if err != nil {
 				e.closeState()
 				return nil, err
 			}
 			ps.store = f
+			ps.bfile = f
+			ps.pf = pipelineFor(opts, f)
 		} else {
 			ps.store = disk.MustNewArray(diskCfg)
 		}
@@ -538,6 +543,9 @@ func (e *parEngine) run() (*Result, error) {
 	for _, ps := range e.procs {
 		if ps.red != nil {
 			addRedStats(&em, ps.red.Counters())
+		}
+		if ps.bfile != nil {
+			em.Overlap.Add(ps.bfile.Overlap())
 		}
 	}
 	res.EM = em
@@ -975,6 +983,13 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 	for i := 0; i < n; i++ {
 		vps[i] = e.p.NewVP(lo + i)
 		vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*B : (i+1)*e.muBlocks*B]))
+	}
+
+	// Group pipeline: stage batch j+1's context and message blocks
+	// into the local store's physical cache while this batch computes
+	// (purely physical, no accounting — see pipeline.go).
+	if ps.pf != nil && j+1 < e.batches {
+		ps.pf.Prefetch(e.prefetchBatch(ps, j+1))
 	}
 
 	// Simulate the computation supersteps.

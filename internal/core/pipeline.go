@@ -1,0 +1,103 @@
+package core
+
+import "embsp/internal/disk"
+
+// The group pipeline overlaps physical I/O with compute without
+// touching the model: while group g runs its computation phase, the
+// engine stages group g+1's context and incoming-message blocks into
+// the file store's physical cache (disk.File.Prefetch), and group
+// g-1's context and message writes drain through the store's
+// write-behind queues. Every logical ReadOp/WriteOp still happens in
+// exact serial order with its accounting applied at call time, so
+// results and every cost statistic are bitwise identical with the
+// pipeline on or off — only wall-clock time changes. See DESIGN.md
+// §11 for the full determinism argument.
+//
+// Prefetch addresses are logical. While every drive lives, logical
+// and physical coincide and the staged blocks are direct hits; after
+// a drive death the fault or parity layer redirects reads elsewhere
+// and the staged entries simply go unused (a later miss, never a
+// wrong byte) — prefetching is pure cache priming with zero model
+// accounting either way.
+
+// fileStoreOpts resolves the run options' I/O-worker knob and the
+// engine memory budget into the file store's options. The prefetch /
+// write-behind cache gets a quarter of the engine's internal-memory
+// budget, so the pipeline is bounded by the same O(M) constant as the
+// engine itself (internal/mem enforces it inside the store).
+func fileStoreOpts(cfg MachineConfig, opts Options, k, mu, gamma int) disk.FileOptions {
+	w := opts.IOWorkers
+	switch w {
+	case -1:
+		w = 0 // synchronous
+	case 0:
+		w = cfg.D // default: one worker per drive
+	}
+	return disk.FileOptions{
+		Workers:       w,
+		CacheWords:    engineMemLimit(cfg, k, mu, gamma) / 4,
+		AccessLatency: opts.DriveLatency,
+	}
+}
+
+// pipelineFor resolves Options.Pipeline against the store actually in
+// use: the pipeline runs exactly when there is a file-backed store
+// under the run (f non-nil) and the option does not force it off.
+// With workers disabled the store's Prefetch is a no-op, so "auto"
+// degrades gracefully to the serial schedule.
+func pipelineFor(opts Options, f *disk.File) disk.Prefetcher {
+	if f == nil || opts.Pipeline < 0 {
+		return nil
+	}
+	return f
+}
+
+// areaAddrs appends the addresses of blocks [lo, hi) of an area.
+func areaAddrs(addrs []disk.Addr, ar disk.Area, lo, hi int) []disk.Addr {
+	for i := lo; i < hi; i++ {
+		addrs = append(addrs, ar.Addr(i))
+	}
+	return addrs
+}
+
+// prefetchAddrs collects the blocks group g's fetching phase will
+// read: its slice of the committed context area plus its incoming
+// message blocks (routed regions, or the scattered directory in the
+// NoRouting ablation).
+func (e *seqEngine) prefetchAddrs(g int) []disk.Addr {
+	lo, hi := e.groupBounds(g)
+	addrs := areaAddrs(nil, e.ctxRead(), lo*e.muBlocks, hi*e.muBlocks)
+	if e.opts.NoRouting {
+		if e.inDir != nil {
+			for d, refs := range e.inDir.q[g] {
+				for _, ref := range refs {
+					addrs = append(addrs, disk.Addr{Disk: d, Track: ref.track})
+				}
+			}
+		}
+		return addrs
+	}
+	if g < len(e.inRegions) {
+		for _, r := range e.inRegions[g] {
+			addrs = areaAddrs(addrs, r.area, r.lo, r.hi)
+		}
+	}
+	return addrs
+}
+
+// prefetchBatch collects the blocks processor ps will read for batch
+// j: its slice of the committed context area plus the routed regions
+// of the batch.
+func (e *parEngine) prefetchBatch(ps *procState, j int) []disk.Addr {
+	lo, hi := e.batchBounds(ps, j)
+	if lo == hi {
+		return nil
+	}
+	addrs := areaAddrs(nil, ps.ctxRead(), (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks)
+	if j < len(ps.inRegions) {
+		for _, r := range ps.inRegions[j] {
+			addrs = areaAddrs(addrs, r.area, r.lo, r.hi)
+		}
+	}
+	return addrs
+}

@@ -87,6 +87,8 @@ type seqEngine struct {
 	muBlocks int
 
 	store disk.Store        // outermost store: raw array/file, or the parity layer over it
+	bfile *disk.File        // the file store itself, nil for in-memory runs
+	pf    disk.Prefetcher   // group-pipeline prefetch target, nil when off
 	red   *redundancy.Store // nil unless Redundancy is parity
 	fd    *fault.Disk       // nil without a fault plan
 	dsk   disk.Disk         // store, or fd wrapping it
@@ -158,11 +160,13 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 	}
 	diskCfg := disk.Config{D: cfg.D, B: cfg.B}
 	if opts.StateDir != "" {
-		f, err := disk.OpenFile(opts.StateDir, diskCfg, opts.Resume)
+		f, err := disk.OpenFileOpts(opts.StateDir, diskCfg, opts.Resume, fileStoreOpts(cfg, opts, k, mu, gamma))
 		if err != nil {
 			return nil, err
 		}
 		e.store = f
+		e.bfile = f
+		e.pf = pipelineFor(opts, f)
 	} else {
 		e.store = disk.MustNewArray(diskCfg)
 	}
@@ -432,6 +436,9 @@ func (e *seqEngine) run() (*Result, error) {
 	}
 	if e.red != nil {
 		addRedStats(&res.EM, e.red.Counters())
+	}
+	if e.bfile != nil {
+		res.EM.Overlap = e.bfile.Overlap()
 	}
 	return res, nil
 }
@@ -769,6 +776,14 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 			if err != nil {
 				return 0, 0, nil, err
 			}
+		}
+
+		// Group pipeline: stage group g+1's context and message blocks
+		// into the store's physical cache while group g computes (the
+		// write-behind of group g-1 drains concurrently). Purely
+		// physical — no accounting happens here (see pipeline.go).
+		if e.pf != nil && g+1 < e.groups {
+			e.pf.Prefetch(e.prefetchAddrs(g + 1))
 		}
 
 		// Computation phase (Step 1(c)) — collect generated messages

@@ -22,6 +22,7 @@ package disk
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Config describes the disk subsystem of one processor.
@@ -124,6 +125,49 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// OverlapStats reports how much physical I/O a store overlapped with
+// its caller's computation. These are wall-clock observability
+// counters, not model quantities: the model Stats of a run are bitwise
+// independent of them (the file-backed store reschedules only physical
+// byte movement, never accounting). The in-memory Array moves no
+// physical bytes and always reports zeros.
+type OverlapStats struct {
+	// PrefetchIssued counts blocks submitted for asynchronous
+	// prefetch; PrefetchHits counts logical block reads served from
+	// the prefetch or write-behind cache, and PrefetchMisses those
+	// that had to touch the drive file inside the call.
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchMisses int64
+	// AsyncWrites counts blocks absorbed by the write-behind cache
+	// without stalling the writer.
+	AsyncWrites int64
+	// StallNanos is the wall-clock time logical operations spent
+	// waiting for physical transfers (including barrier drains).
+	StallNanos int64
+	// ConcurrentPeak is the high-water mark of physical transfers
+	// executing at the same instant.
+	ConcurrentPeak int64
+}
+
+// Add accumulates other into o (ConcurrentPeak takes the maximum).
+func (o *OverlapStats) Add(other OverlapStats) {
+	o.PrefetchIssued += other.PrefetchIssued
+	o.PrefetchHits += other.PrefetchHits
+	o.PrefetchMisses += other.PrefetchMisses
+	o.AsyncWrites += other.AsyncWrites
+	o.StallNanos += other.StallNanos
+	o.ConcurrentPeak = max(o.ConcurrentPeak, other.ConcurrentPeak)
+}
+
+// Prefetcher is implemented by stores that can pull blocks toward
+// memory ahead of the logical read that will consume them (*File with
+// workers). Purely physical: no model accounting results.
+type Prefetcher interface {
+	Prefetch(addrs []Addr)
+	Overlap() OverlapStats
+}
+
 // Checksum is an FNV-1a-style fold over a block's words; any single
 // bit flip changes it. It is the one checksum of the whole stack: the
 // fault layer uses it to detect in-flight corruption, the file-backed
@@ -220,9 +264,13 @@ type drive struct {
 	lastTrack int              // previously accessed track, -1 initially
 }
 
-// Array simulates the D drives of one processor.
+// Array simulates the D drives of one processor. All methods are safe
+// for concurrent use (the same contract as the file-backed File):
+// operations serialize on an internal mutex, and racing operations on
+// the same drive are ordered by whatever the race decides.
 type Array struct {
 	cfg    Config
+	mu     sync.Mutex // guards drives and stats
 	drives []drive
 	stats  Stats
 }
@@ -254,6 +302,8 @@ func (a *Array) Config() Config { return a.cfg }
 
 // Stats returns a copy of the accumulated I/O statistics.
 func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	s := a.stats
 	s.PerDrive = append([]DriveStats(nil), a.stats.PerDrive...)
 	return s
@@ -262,6 +312,8 @@ func (a *Array) Stats() Stats {
 // ResetStats zeroes the statistics, e.g. to exclude input staging from
 // a measured experiment. Allocated data is untouched.
 func (a *Array) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.stats = Stats{PerDrive: make([]DriveStats, a.cfg.D)}
 }
 
@@ -298,6 +350,8 @@ func (a *Array) ReadOp(reqs []ReadReq) error {
 	if err := validateDistinct(a.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for _, r := range reqs {
 		if len(r.Dst) != a.cfg.B {
 			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), a.cfg.B)
@@ -326,6 +380,8 @@ func (a *Array) WriteOp(reqs []WriteReq) error {
 	if err := validateDistinct(a.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for _, r := range reqs {
 		if len(r.Src) != a.cfg.B {
 			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), a.cfg.B)
@@ -378,6 +434,8 @@ func validateDistinct(cfg Config, n int, at func(int) (disk, track int)) error {
 // before extending the drive. Used for standard-linked-format bucket
 // blocks, whose placement is dynamic.
 func (a *Array) Alloc(d int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	dr := &a.drives[d]
 	if n := len(dr.freeList); n > 0 {
 		t := dr.freeList[n-1]
@@ -396,6 +454,8 @@ func (a *Array) Alloc(d int) int {
 // is an error: a double free would hand the same track to two
 // allocations and silently corrupt the bucket structures built on it.
 func (a *Array) Release(d, t int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if d < 0 || d >= a.cfg.D {
 		return fmt.Errorf("disk: Release drive %d out of range [0,%d)", d, a.cfg.D)
 	}
@@ -430,6 +490,8 @@ type AllocMark struct {
 // AllocSnapshot captures the allocator state (per-drive high-water
 // marks and free lists) for a later AllocRestore.
 func (a *Array) AllocSnapshot() AllocMark {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	m := AllocMark{next: make([]int, a.cfg.D), free: make([][]int, a.cfg.D)}
 	for d := range a.drives {
 		m.next[d] = a.drives[d].next
@@ -445,6 +507,8 @@ func (a *Array) AllocSnapshot() AllocMark {
 // time has been released since (the engines' checkpoint discipline:
 // committed barrier state is only freed after the next barrier).
 func (a *Array) AllocRestore(m AllocMark) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for d := range a.drives {
 		dr := &a.drives[d]
 		// Tracks allocated after the snapshot: wipe and retract.
@@ -470,8 +534,10 @@ func (a *Array) AllocRestore(m AllocMark) {
 // State captures the array's persistent metadata (statistics and
 // per-drive allocator state).
 func (a *Array) State() StoreState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	s := StoreState{
-		Stats: a.Stats(),
+		Stats: a.stats,
 		Next:  make([]int, a.cfg.D),
 		Last:  make([]int, a.cfg.D),
 		Free:  make([][]int, a.cfg.D),
@@ -490,6 +556,8 @@ func (a *Array) State() StoreState {
 // — the Array implementation exists for interface completeness and
 // tests.
 func (a *Array) AdoptState(s StoreState) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if len(s.Next) != a.cfg.D || len(s.Last) != a.cfg.D || len(s.Free) != a.cfg.D {
 		return fmt.Errorf("disk: AdoptState of %d/%d/%d-drive state into %d-drive array", len(s.Next), len(s.Last), len(s.Free), a.cfg.D)
 	}
@@ -517,12 +585,18 @@ func (a *Array) Close() error { return nil }
 
 // Tracks returns the bump-allocator high-water mark of drive d: the
 // number of tracks ever allocated on it (peak disk space in blocks).
-func (a *Array) Tracks(d int) int { return a.drives[d].next }
+func (a *Array) Tracks(d int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drives[d].next
+}
 
 // PeekTrack returns a copy of a track's contents without performing a
 // model I/O operation. It exists for tests, assertions and layout
 // visualization only; engine code must use ReadOp.
 func (a *Array) PeekTrack(d, t int) []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]uint64, a.cfg.B)
 	dr := &a.drives[d]
 	if t < len(dr.tracks) && dr.tracks[t] != nil {

@@ -6,6 +6,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embsp/internal/mem"
 )
 
 // File is a file-backed Store: one regular file per simulated drive,
@@ -37,17 +42,87 @@ import (
 // intact on disk until a commit record that no longer references the
 // track is durable).
 //
-// File is not safe for concurrent use, exactly like Array: each
-// simulated processor owns its store. Nor does it lock the directory;
-// running two simulations over one state directory is undefined.
+// # Physical concurrency
+//
+// With FileOptions.Workers > 0 the store runs that many I/O worker
+// goroutines; drive d's physical transfers are served by worker
+// d mod Workers, so every drive keeps strict FIFO order while distinct
+// drives proceed concurrently. One ReadOp/WriteOp call fans its
+// request list (at most one track per drive) out across the workers.
+// Writes are absorbed by a write-behind cache and made durable
+// asynchronously; Prefetch schedules reads ahead of need. Crucially,
+// none of this is visible to the model: all accounting — Stats, the
+// sequential/random access chains, allocation order — is applied
+// synchronously at call time in request order, so a run with workers
+// is bitwise identical to a run without them. Only the physical byte
+// movement is rescheduled; the cache is bounded by a mem.Accountant
+// (a soft high-water bound: an operation in flight may overshoot it by
+// up to one block per drive, and writes that cannot grab budget fall
+// back to stalling until their own transfers complete).
+//
+// Two deliberate deviations exist on error paths, both documented
+// here: (1) a physical write error (e.g. a full disk) surfaces at the
+// next Sync or Close rather than from the WriteOp that queued it, with
+// accounting as if the write succeeded; (2) with workers on, malformed
+// request lists are rejected before any accounting, whereas the
+// synchronous path (like Array) accounts requests preceding the
+// malformed one. Neither is reachable from a correct engine.
+//
+// All methods are safe for concurrent use. Operations that race on the
+// same drive serialize in lock order (their relative order, and hence
+// the access statistics, are whatever the race decides — exactly the
+// indeterminacy the caller asked for); operations on distinct drives
+// are independent.
 type File struct {
 	cfg    Config
 	dir    string
 	files  []*os.File
-	drives []drive // tracks field unused; metadata only
-	stats  Stats
-	slotB  int64  // slot size in bytes: (2+B)*8
-	buf    []byte // scratch for one slot
+	slotB  int64         // slot size in bytes: (2+B)*8
+	nworks int           // I/O worker goroutines (0 = fully synchronous)
+	lat    time.Duration // emulated per-access latency (FileOptions.AccessLatency)
+
+	mu       sync.Mutex // guards drives, stats, cache, acct, ov, werr
+	drives   []drive    // tracks field unused; metadata only
+	stats    Stats
+	buf      []byte // scratch for one slot (synchronous path only)
+	cache    map[Addr]*centry
+	acct     *mem.Accountant // cache budget in words, used under mu
+	ov       OverlapStats
+	dirty    []bool       // drives written since their last flush-behind
+	flushing []bool       // drives with a background flush in flight
+	wipes    map[Addr]int // queued-but-unlanded wipes per address
+	werr     error        // first deferred write error, surfaced at Sync/Close
+
+	queues  []*ioQueue
+	wg      sync.WaitGroup
+	flushWG sync.WaitGroup // in-flight background flushes
+	running atomic.Int64   // physical transfers executing right now
+	peak    atomic.Int64   // high-water mark of running
+}
+
+// FileOptions tunes the physical I/O engine of a file-backed store.
+// The zero value is the fully synchronous store (every transfer
+// performed inside the ReadOp/WriteOp call), which is also what
+// OpenFile gives.
+type FileOptions struct {
+	// Workers is the number of I/O worker goroutines. 0 keeps the
+	// store synchronous; n > 0 serves drive d on worker d mod n (values
+	// above D are clamped to D — extra workers would sit idle). Model
+	// accounting is identical either way.
+	Workers int
+	// CacheWords bounds the prefetch + write-behind cache in words
+	// (slot-sized units of B+2 words per track). 0 picks a small
+	// default of 4·D tracks; negative means unbounded. Ignored when
+	// Workers == 0.
+	CacheWords int64
+	// AccessLatency emulates the access time of one physical track
+	// transfer: every pread/pwrite of a slot sleeps this long first.
+	// It models the EM machine's independent physical drives on hosts
+	// whose page cache hides real device latency, so schedule quality
+	// (D-parallel access, I/O–compute overlap) becomes measurable.
+	// Both the synchronous and the worker store pay the same per-access
+	// cost; zero (the default) emulates nothing.
+	AccessLatency time.Duration
 }
 
 const (
@@ -68,12 +143,53 @@ func (e *CorruptTrackError) Error() string {
 	return fmt.Sprintf("disk: torn or corrupt track %d of drive %d (%s): stored checksum does not match payload", e.Track, e.Disk, e.Path)
 }
 
-// OpenFile opens (resume) or creates (fresh) a file-backed store under
-// dir. A fresh open truncates any previous drive files and records the
-// geometry; a resuming open requires the directory to exist with a
-// matching geometry and leaves all track contents in place (the caller
-// restores allocator metadata via AdoptState from its commit journal).
+// task kinds of the per-drive I/O queues.
+const (
+	taskFill    uint8 = iota // physical read into a cache entry
+	taskWrite                // physical write of a cache entry's payload
+	taskWipe                 // clear a slot's magic word (best-effort)
+	taskBarrier              // completion fence: signal wg, move no bytes
+)
+
+type ioTask struct {
+	kind  uint8
+	d, t  int
+	entry *centry
+	wg    *sync.WaitGroup
+}
+
+// centry is one track in the physical cache: a prefetched (or
+// in-flight) read, or a write-behind payload on its way to disk. data
+// is immutable once done; all other fields are guarded by File.mu.
+type centry struct {
+	data  []uint64
+	err   error
+	write bool
+	done  bool          // physical transfer completed
+	gone  bool          // no longer reachable from the cache map
+	ready chan struct{} // closed when done
+	words int64         // budget words held (0 when none)
+}
+
+type ioQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	tasks []ioTask
+	stop  bool
+}
+
+// OpenFile opens (resume) or creates (fresh) a synchronous file-backed
+// store under dir. A fresh open truncates any previous drive files and
+// records the geometry; a resuming open requires the directory to
+// exist with a matching geometry and leaves all track contents in
+// place (the caller restores allocator metadata via AdoptState from
+// its commit journal).
 func OpenFile(dir string, cfg Config, resume bool) (*File, error) {
+	return OpenFileOpts(dir, cfg, resume, FileOptions{})
+}
+
+// OpenFileOpts is OpenFile with physical-concurrency options.
+func OpenFileOpts(dir string, cfg Config, resume bool, opt FileOptions) (*File, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,6 +210,7 @@ func OpenFile(dir string, cfg Config, resume bool) (*File, error) {
 		files:  make([]*os.File, cfg.D),
 		drives: make([]drive, cfg.D),
 		slotB:  int64(2+cfg.B) * 8,
+		lat:    opt.AccessLatency,
 		buf:    make([]byte, int64(2+cfg.B)*8),
 	}
 	f.stats.PerDrive = make([]DriveStats, cfg.D)
@@ -109,6 +226,31 @@ func OpenFile(dir string, cfg Config, resume bool) (*File, error) {
 		}
 		f.files[d] = fh
 		f.drives[d].lastTrack = -1
+	}
+	if opt.Workers > 0 {
+		f.nworks = min(opt.Workers, cfg.D)
+		budget := opt.CacheWords
+		if budget == 0 {
+			budget = int64(4*cfg.D) * int64(cfg.B+2)
+		}
+		if budget < 0 {
+			budget = 0 // mem: non-positive limit = unlimited
+		}
+		f.acct = mem.NewAccountant(budget)
+		f.cache = make(map[Addr]*centry)
+		f.dirty = make([]bool, cfg.D)
+		f.flushing = make([]bool, cfg.D)
+		f.wipes = make(map[Addr]int)
+		f.queues = make([]*ioQueue, f.nworks)
+		for i := range f.queues {
+			q := &ioQueue{}
+			q.cond = sync.NewCond(&q.mu)
+			f.queues[i] = q
+		}
+		f.wg.Add(f.nworks)
+		for i := 0; i < f.nworks; i++ {
+			go f.worker(f.queues[i], make([]byte, f.slotB))
+		}
 	}
 	return f, nil
 }
@@ -176,16 +318,38 @@ func checkGeometry(path string, cfg Config) error {
 // Config returns the store configuration.
 func (f *File) Config() Config { return f.cfg }
 
+// Workers returns the number of I/O worker goroutines (0 when the
+// store is synchronous).
+func (f *File) Workers() int { return f.nworks }
+
 // Stats returns a copy of the accumulated I/O statistics.
 func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	s := f.stats
 	s.PerDrive = append([]DriveStats(nil), f.stats.PerDrive...)
 	return s
 }
 
-// ResetStats zeroes the statistics. Stored data is untouched.
+// ResetStats zeroes the statistics (model and overlap). Stored data is
+// untouched.
 func (f *File) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.stats = Stats{PerDrive: make([]DriveStats, f.cfg.D)}
+	f.ov = OverlapStats{}
+	f.peak.Store(0)
+}
+
+// Overlap returns a copy of the accumulated physical-overlap counters.
+// They describe wall-clock behaviour only; model statistics are
+// independent of them.
+func (f *File) Overlap() OverlapStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	o := f.ov
+	o.ConcurrentPeak = f.peak.Load()
+	return o
 }
 
 func (f *File) touch(d, t int) {
@@ -210,12 +374,28 @@ func (f *File) blank(d, t int) bool {
 	return free
 }
 
-func (f *File) readSlot(d, t int, dst []uint64) error {
-	n, err := f.files[d].ReadAt(f.buf, int64(t)*f.slotB)
+// delay emulates one physical track access when AccessLatency is set:
+// the goroutine performing the transfer sleeps first, exactly as a
+// drive head would spend its access time. The sleep happens on
+// whichever goroutine moves the bytes, so the synchronous store pays
+// D sequential access times per parallel op while the worker store
+// pays them concurrently — the schedule difference the option exists
+// to expose.
+func (f *File) delay() {
+	if f.lat > 0 {
+		time.Sleep(f.lat)
+	}
+}
+
+// readSlotBuf reads and decodes one slot through the given scratch
+// buffer (one per worker, plus f.buf for the synchronous path).
+func (f *File) readSlotBuf(buf []byte, d, t int, dst []uint64) error {
+	f.delay()
+	n, err := f.files[d].ReadAt(buf, int64(t)*f.slotB)
 	if err != nil && err != io.EOF {
 		return err
 	}
-	if n < 8 || binary.LittleEndian.Uint64(f.buf[0:]) != trackMagic {
+	if n < 8 || binary.LittleEndian.Uint64(buf[0:]) != trackMagic {
 		// Never physically written (or wiped by a rollback): blank.
 		clear(dst)
 		return nil
@@ -224,30 +404,221 @@ func (f *File) readSlot(d, t int, dst []uint64) error {
 		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
 	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(f.buf[16+8*i:])
+		dst[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
 	}
-	if Checksum(dst) != binary.LittleEndian.Uint64(f.buf[8:]) {
+	if Checksum(dst) != binary.LittleEndian.Uint64(buf[8:]) {
 		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
 	return nil
 }
 
-func (f *File) writeSlot(d, t int, src []uint64) error {
-	binary.LittleEndian.PutUint64(f.buf[0:], trackMagic)
-	binary.LittleEndian.PutUint64(f.buf[8:], Checksum(src))
+func (f *File) writeSlotBuf(buf []byte, d, t int, src []uint64) error {
+	f.delay()
+	binary.LittleEndian.PutUint64(buf[0:], trackMagic)
+	binary.LittleEndian.PutUint64(buf[8:], Checksum(src))
 	for i, w := range src {
-		binary.LittleEndian.PutUint64(f.buf[16+8*i:], w)
+		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
 	}
-	_, err := f.files[d].WriteAt(f.buf, int64(t)*f.slotB)
+	_, err := f.files[d].WriteAt(buf, int64(t)*f.slotB)
 	return err
 }
 
 // wipeSlot clears a slot's magic word so the track reads as blank
 // again (used by AllocRestore to discard an aborted attempt's writes).
 func (f *File) wipeSlot(d, t int) error {
+	f.delay()
 	var zero [8]byte
 	_, err := f.files[d].WriteAt(zero[:], int64(t)*f.slotB)
 	return err
+}
+
+// --- worker machinery --------------------------------------------------
+
+func (f *File) worker(q *ioQueue, scratch []byte) {
+	defer f.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.tasks) == 0 && !q.stop {
+			q.cond.Wait()
+		}
+		if len(q.tasks) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		t := q.tasks[0]
+		q.tasks[0] = ioTask{}
+		q.tasks = q.tasks[1:]
+		q.mu.Unlock()
+		f.runTask(t, scratch)
+	}
+}
+
+func (f *File) runTask(t ioTask, scratch []byte) {
+	if t.kind == taskBarrier {
+		t.wg.Done()
+		return
+	}
+	n := f.running.Add(1)
+	for p := f.peak.Load(); n > p && !f.peak.CompareAndSwap(p, n); p = f.peak.Load() {
+	}
+	defer f.running.Add(-1)
+	switch t.kind {
+	case taskFill:
+		data := make([]uint64, f.cfg.B)
+		err := f.readSlotBuf(scratch, t.d, t.t, data)
+		f.mu.Lock()
+		e := t.entry
+		e.data, e.err = data, err
+		e.done = true
+		close(e.ready)
+		f.retire(e)
+		f.mu.Unlock()
+	case taskWrite:
+		err := f.writeSlotBuf(scratch, t.d, t.t, t.entry.data)
+		f.mu.Lock()
+		e := t.entry
+		e.done = true
+		if err != nil {
+			e.err = err
+			if f.werr == nil {
+				f.werr = fmt.Errorf("disk: deferred write of track %d on drive %d failed: %w", t.t, t.d, err)
+			}
+		}
+		close(e.ready)
+		// Retire the write-behind entry: from here on a reader goes to
+		// the drive file, which now holds the same bytes.
+		if !e.gone {
+			if f.cache[Addr{Disk: t.d, Track: t.t}] == e {
+				delete(f.cache, Addr{Disk: t.d, Track: t.t})
+			}
+			e.gone = true
+		}
+		f.retire(e)
+		f.mu.Unlock()
+	case taskWipe:
+		// Best-effort, exactly like the synchronous path's wipes.
+		_ = f.wipeSlot(t.d, t.t)
+		f.mu.Lock()
+		a := Addr{Disk: t.d, Track: t.t}
+		if f.wipes[a]--; f.wipes[a] == 0 {
+			delete(f.wipes, a)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// retire releases e's budget once it is both completed and unreachable
+// from the cache map. Called under f.mu; idempotent.
+func (f *File) retire(e *centry) {
+	if e.done && e.gone && e.words > 0 {
+		f.acct.Release(e.words)
+		e.words = 0
+	}
+}
+
+// dropEntry unlinks the cache entry for a, if any (written track
+// invalidated, freed, or rolled back). Called under f.mu.
+func (f *File) dropEntry(a Addr) {
+	if e, ok := f.cache[a]; ok {
+		delete(f.cache, a)
+		e.gone = true
+		f.retire(e)
+	}
+}
+
+// enqueue appends a physical task to its drive's queue. Must be called
+// with f.mu held: the lock is what serializes metadata updates and
+// queue order, keeping per-drive physical order identical to the
+// accounting order.
+func (f *File) enqueue(t ioTask) {
+	q := f.queues[t.d%f.nworks]
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// drain blocks until every physical task queued so far has completed.
+// Must be called without f.mu held.
+func (f *File) drain() {
+	if f.nworks == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(f.queues))
+	for _, q := range f.queues {
+		q.mu.Lock()
+		q.tasks = append(q.tasks, ioTask{kind: taskBarrier, wg: &wg})
+		q.cond.Signal()
+		q.mu.Unlock()
+	}
+	wg.Wait()
+}
+
+// Prefetch schedules asynchronous physical reads of the given blocks
+// into the cache, so a later ReadOp finds their bytes already in
+// memory. It is purely a physical hint: no model accounting happens,
+// Stats are untouched, and a prefetch that cannot be satisfied (budget
+// exhausted, address out of range, track blank or already cached) is
+// silently skipped — the later logical read simply misses. Safe to
+// call concurrently with operations; a no-op on a synchronous store.
+//
+// Prefetch doubles as the pipeline's group-boundary hint: every drive
+// written since its last flush starts a background fsync on its own
+// goroutine (flush-behind, off the task queues so fills never wait
+// behind an fsync), making the drive durable while the caller computes
+// so the next barrier Sync finds it mostly clean. This moves fsync
+// latency — the dominant physical cost on a real filesystem — off the
+// critical path without weakening the durability contract, which is
+// still established only by Sync. At most one flush per drive is in
+// flight; a flush error surfaces at the next Sync or Close like any
+// deferred write error.
+func (f *File) Prefetch(addrs []Addr) {
+	if f.nworks == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for d, dirty := range f.dirty {
+		if dirty && !f.flushing[d] {
+			f.dirty[d] = false
+			f.flushing[d] = true
+			f.flushWG.Add(1)
+			go f.bgFlush(d)
+		}
+	}
+	for _, a := range addrs {
+		if a.Disk < 0 || a.Disk >= f.cfg.D || a.Track < 0 {
+			continue
+		}
+		if f.blank(a.Disk, a.Track) {
+			continue
+		}
+		if _, ok := f.cache[a]; ok {
+			continue
+		}
+		words := int64(f.cfg.B + 2)
+		if f.acct.Grab(words) != nil {
+			break
+		}
+		e := &centry{words: words, ready: make(chan struct{})}
+		f.cache[a] = e
+		f.enqueue(ioTask{kind: taskFill, d: a.Disk, t: a.Track, entry: e})
+		f.ov.PrefetchIssued++
+	}
+}
+
+// bgFlush is one flush-behind fsync of drive d, running concurrently
+// with the engine and the I/O workers.
+func (f *File) bgFlush(d int) {
+	defer f.flushWG.Done()
+	err := f.files[d].Sync()
+	f.mu.Lock()
+	f.flushing[d] = false
+	if err != nil && f.werr == nil {
+		f.werr = fmt.Errorf("disk: flush-behind of drive %d failed: %w", d, err)
+	}
+	f.mu.Unlock()
 }
 
 // ReadOp performs one parallel read, at most one track per drive, with
@@ -260,13 +631,149 @@ func (f *File) ReadOp(reqs []ReadReq) error {
 	if err := validateDistinct(f.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
+	if f.nworks == 0 {
+		return f.readSync(reqs)
+	}
+	for _, r := range reqs {
+		if len(r.Dst) != f.cfg.B {
+			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), f.cfg.B)
+		}
+	}
+
+	// Phase 1, under the lock: apply all model accounting in request
+	// order (the drives are pairwise distinct, so per-request rollback
+	// below is exact), serve blank tracks and write-behind hits
+	// immediately, and pick how to serve everything else. When accesses
+	// are page-cache fast (no emulated latency), a miss whose track has
+	// no queued wipe reads the drive file directly on this goroutine
+	// (an uncached track has no write in flight — a queued write is
+	// visible in the cache until its bytes land — so the file holds
+	// current data and the inline pread skips a worker round-trip).
+	// With per-access latency the opposite holds: the misses of one op
+	// should sleep on D workers concurrently, not sequentially here, so
+	// they queue. Misses shadowed by a pending wipe always queue a fill
+	// behind it in drive FIFO order.
+	type pending struct {
+		i int
+		e *centry
+	}
+	var waits []pending
+	var inline []int
+	prev := make([]int, len(reqs))
+	f.mu.Lock()
+	for i, r := range reqs {
+		prev[i] = f.drives[r.Disk].lastTrack
+		f.touch(r.Disk, r.Track)
+		f.stats.PerDrive[r.Disk].BlocksRead++
+		if f.blank(r.Disk, r.Track) {
+			clear(r.Dst)
+			continue
+		}
+		if e, ok := f.cache[Addr{Disk: r.Disk, Track: r.Track}]; ok {
+			f.ov.PrefetchHits++
+			if e.write {
+				// Read-your-write: the payload is the cached data,
+				// regardless of whether the physical write landed yet.
+				copy(r.Dst, e.data)
+				continue
+			}
+			waits = append(waits, pending{i, e})
+			continue
+		}
+		f.ov.PrefetchMisses++
+		if f.lat == 0 && f.wipes[Addr{Disk: r.Disk, Track: r.Track}] == 0 {
+			inline = append(inline, i)
+			continue
+		}
+		// A private fill (never in the map): queued in drive FIFO
+		// order, which in particular sequences it behind any pending
+		// wipe so it delivers current bytes.
+		e := &centry{gone: true, ready: make(chan struct{})}
+		f.enqueue(ioTask{kind: taskFill, d: r.Disk, t: r.Track, entry: e})
+		waits = append(waits, pending{i, e})
+	}
+	f.mu.Unlock()
+
+	// Phase 2, no lock: inline misses read the drive files directly;
+	// then wait for any queued transfers.
+	inlineErr := make(map[int]error, len(inline))
+	if len(inline) > 0 {
+		scratch := make([]byte, f.slotB)
+		for _, i := range inline {
+			if err := f.readSlotBuf(scratch, reqs[i].Disk, reqs[i].Track, reqs[i].Dst); err != nil {
+				inlineErr[i] = err
+			}
+		}
+	}
+	var stall time.Duration
+	for _, w := range waits {
+		select {
+		case <-w.e.ready:
+		default:
+			t0 := time.Now()
+			<-w.e.ready
+			stall += time.Since(t0)
+		}
+	}
+
+	// Phase 3, under the lock again: deliver data, consume prefetched
+	// entries, and either commit the operation counters or — on the
+	// first failing request — roll accounting back to what the
+	// synchronous path would have left behind (requests before the
+	// failure accounted, the rest untouched).
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	failIdx, failErr := len(reqs), error(nil)
+	for i, err := range inlineErr {
+		if i < failIdx {
+			failIdx, failErr = i, err
+		}
+	}
+	for _, w := range waits {
+		if w.e.err != nil {
+			if w.i < failIdx {
+				failIdx, failErr = w.i, w.e.err
+			}
+			continue
+		}
+		copy(reqs[w.i].Dst, w.e.data)
+	}
+	for _, w := range waits {
+		if !w.e.gone {
+			a := Addr{Disk: reqs[w.i].Disk, Track: reqs[w.i].Track}
+			if f.cache[a] == w.e {
+				delete(f.cache, a)
+			}
+			w.e.gone = true
+			f.retire(w.e)
+		}
+	}
+	f.ov.StallNanos += stall.Nanoseconds()
+	if failErr != nil {
+		for i := failIdx; i < len(reqs); i++ {
+			f.drives[reqs[i].Disk].lastTrack = prev[i]
+			f.stats.PerDrive[reqs[i].Disk].BlocksRead--
+		}
+		return failErr
+	}
+	f.stats.Ops++
+	f.stats.ReadOps++
+	f.stats.BlocksRead += int64(len(reqs))
+	return nil
+}
+
+// readSync is the workerless read path, identical to the pre-worker
+// store (and to Array.ReadOp's semantics).
+func (f *File) readSync(reqs []ReadReq) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, r := range reqs {
 		if len(r.Dst) != f.cfg.B {
 			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), f.cfg.B)
 		}
 		if f.blank(r.Disk, r.Track) {
 			clear(r.Dst)
-		} else if err := f.readSlot(r.Disk, r.Track, r.Dst); err != nil {
+		} else if err := f.readSlotBuf(f.buf, r.Disk, r.Track, r.Dst); err != nil {
 			return err
 		}
 		f.touch(r.Disk, r.Track)
@@ -279,6 +786,9 @@ func (f *File) ReadOp(reqs []ReadReq) error {
 }
 
 // WriteOp performs one parallel write, at most one track per drive.
+// With workers, the payload is captured into the write-behind cache
+// and the physical write completes asynchronously (read-your-writes is
+// preserved via the cache; durability is established by Sync).
 func (f *File) WriteOp(reqs []WriteReq) error {
 	if len(reqs) == 0 {
 		return nil
@@ -286,11 +796,65 @@ func (f *File) WriteOp(reqs []WriteReq) error {
 	if err := validateDistinct(f.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
 		return err
 	}
+	if f.nworks == 0 {
+		return f.writeSync(reqs)
+	}
 	for _, r := range reqs {
 		if len(r.Src) != f.cfg.B {
 			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), f.cfg.B)
 		}
-		if err := f.writeSlot(r.Disk, r.Track, r.Src); err != nil {
+	}
+	var mine []*centry
+	stalled := false
+	f.mu.Lock()
+	for _, r := range reqs {
+		f.touch(r.Disk, r.Track)
+		f.stats.PerDrive[r.Disk].BlocksWritten++
+		words := int64(f.cfg.B + 2)
+		e := &centry{data: append([]uint64(nil), r.Src...), write: true, words: words, ready: make(chan struct{})}
+		if f.acct.Grab(words) != nil {
+			// Budget exhausted: the write still goes through the queue
+			// (ordering!), but this call stalls until its own transfers
+			// land, which bounds the backlog.
+			e.words = 0
+			stalled = true
+		}
+		f.dropEntry(Addr{Disk: r.Disk, Track: r.Track})
+		f.cache[Addr{Disk: r.Disk, Track: r.Track}] = e
+		f.enqueue(ioTask{kind: taskWrite, d: r.Disk, t: r.Track, entry: e})
+		f.dirty[r.Disk] = true
+		mine = append(mine, e)
+	}
+	f.stats.Ops++
+	f.stats.WriteOps++
+	f.stats.BlocksWritten += int64(len(reqs))
+	if !stalled {
+		f.ov.AsyncWrites += int64(len(reqs))
+	}
+	f.mu.Unlock()
+	if stalled {
+		t0 := time.Now()
+		for _, e := range mine {
+			<-e.ready
+		}
+		d := time.Since(t0)
+		f.mu.Lock()
+		f.ov.StallNanos += d.Nanoseconds()
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// writeSync is the workerless write path, identical to the pre-worker
+// store.
+func (f *File) writeSync(reqs []WriteReq) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range reqs {
+		if len(r.Src) != f.cfg.B {
+			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), f.cfg.B)
+		}
+		if err := f.writeSlotBuf(f.buf, r.Disk, r.Track, r.Src); err != nil {
 			return err
 		}
 		f.touch(r.Disk, r.Track)
@@ -306,6 +870,8 @@ func (f *File) WriteOp(reqs []WriteReq) error {
 // extending the drive — identical allocation order to Array.Alloc, so
 // durable and in-memory runs lay data out identically.
 func (f *File) Alloc(d int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	dr := &f.drives[d]
 	var t int
 	if n := len(dr.freeList); n > 0 {
@@ -322,8 +888,22 @@ func (f *File) Alloc(d int) int {
 	// word destroys no committed data — and makes recycled tracks (and
 	// slots holding stale bytes from a crashed run) read blank, exactly
 	// like Array. Best-effort, like AllocRestore's wipes.
-	f.wipeSlot(d, t) //nolint:errcheck
+	f.wipeTrack(d, t)
 	return t
+}
+
+// wipeTrack invalidates any cache entry for (d, t) and clears the
+// slot's magic word — through the drive queue when workers are on, so
+// the wipe keeps its place in the drive's FIFO order. Called under
+// f.mu.
+func (f *File) wipeTrack(d, t int) {
+	if f.nworks == 0 {
+		f.wipeSlot(d, t) //nolint:errcheck
+		return
+	}
+	f.dropEntry(Addr{Disk: d, Track: t})
+	f.wipes[Addr{Disk: d, Track: t}]++
+	f.enqueue(ioTask{kind: taskWipe, d: d, t: t})
 }
 
 // Release returns a track to the drive's free list. The release is
@@ -332,6 +912,8 @@ func (f *File) Alloc(d int) int {
 // ordering crash-safe: data referenced by the last durable commit
 // record is never physically destroyed before the next record lands.
 func (f *File) Release(d, t int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if d < 0 || d >= f.cfg.D {
 		return fmt.Errorf("disk: Release drive %d out of range [0,%d)", d, f.cfg.D)
 	}
@@ -347,12 +929,19 @@ func (f *File) Release(d, t int) error {
 	}
 	dr.freeSet[t] = struct{}{}
 	dr.freeList = append(dr.freeList, t)
+	// A freed track reads as zeros from here on; drop any cached copy
+	// so the budget is returned (the physical bytes may stay).
+	if f.nworks > 0 {
+		f.dropEntry(Addr{Disk: d, Track: t})
+	}
 	return nil
 }
 
 // ReserveRot allocates a standard-consecutive-format area with the
 // given drive rotation, exactly as Array.ReserveRot does.
 func (f *File) ReserveRot(nBlocks, rot int) Area {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if nBlocks < 0 {
 		panic("disk: Reserve with negative size")
 	}
@@ -367,7 +956,7 @@ func (f *File) ReserveRot(nBlocks, rot int) Area {
 		// attempt; wipe their magic words so ragged never-written slots
 		// read blank, as on Array. See Alloc.
 		for t := ar.base[d]; t < dr.next; t++ {
-			f.wipeSlot(d, t) //nolint:errcheck
+			f.wipeTrack(d, t)
 		}
 	}
 	return ar
@@ -375,6 +964,8 @@ func (f *File) ReserveRot(nBlocks, rot int) Area {
 
 // AllocSnapshot captures the allocator state for a later AllocRestore.
 func (f *File) AllocSnapshot() AllocMark {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	m := AllocMark{next: make([]int, f.cfg.D), free: make([][]int, f.cfg.D)}
 	for d := range f.drives {
 		m.next[d] = f.drives[d].next
@@ -387,20 +978,24 @@ func (f *File) AllocSnapshot() AllocMark {
 // magic word of every track the rollback unallocates, mirroring
 // Array.AllocRestore's clearing semantics. The wiped tracks are, by
 // the engines' checkpoint discipline, never referenced by committed
-// state, so the wipe is safe at any crash point.
+// state, so the wipe is safe at any crash point. The wipes keep their
+// FIFO position behind any of the aborted attempt's still-queued
+// writes, so the rollback is correct even mid-pipeline.
 func (f *File) AllocRestore(m AllocMark) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for d := range f.drives {
 		dr := &f.drives[d]
 		for t := m.next[d]; t < dr.next; t++ {
 			// Best-effort wipe: a failed wipe only leaves stale bytes
 			// that metadata already reads as blank.
-			_ = f.wipeSlot(d, t)
+			f.wipeTrack(d, t)
 		}
 		dr.next = m.next[d]
 		dr.freeList = append(dr.freeList[:0], m.free[d]...)
 		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
 		for _, t := range dr.freeList {
-			_ = f.wipeSlot(d, t)
+			f.wipeTrack(d, t)
 			dr.freeSet[t] = struct{}{}
 		}
 	}
@@ -408,12 +1003,15 @@ func (f *File) AllocRestore(m AllocMark) {
 
 // State captures the store's persistent metadata.
 func (f *File) State() StoreState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	s := StoreState{
-		Stats: f.Stats(),
+		Stats: f.stats,
 		Next:  make([]int, f.cfg.D),
 		Last:  make([]int, f.cfg.D),
 		Free:  make([][]int, f.cfg.D),
 	}
+	s.Stats.PerDrive = append([]DriveStats(nil), f.stats.PerDrive...)
 	for d := range f.drives {
 		s.Next[d] = f.drives[d].next
 		s.Last[d] = f.drives[d].lastTrack
@@ -425,10 +1023,18 @@ func (f *File) State() StoreState {
 // AdoptState replaces the store's metadata with a captured State — the
 // resume path. Track contents stay as the drive files hold them; any
 // bytes written after the adopted state was captured are unreachable
-// (free or beyond the bump mark) and read as zeros.
+// (free or beyond the bump mark) and read as zeros. Queued physical
+// work is drained and the cache cleared first: adopted metadata must
+// describe quiesced drives.
 func (f *File) AdoptState(s StoreState) error {
+	f.drain()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(s.Next) != f.cfg.D || len(s.Last) != f.cfg.D || len(s.Free) != f.cfg.D {
 		return fmt.Errorf("disk: AdoptState of %d/%d/%d-drive state into %d-drive store", len(s.Next), len(s.Last), len(s.Free), f.cfg.D)
+	}
+	for a := range f.cache {
+		f.dropEntry(a)
 	}
 	st := s.Stats
 	st.PerDrive = append([]DriveStats(nil), s.Stats.PerDrive...)
@@ -446,10 +1052,55 @@ func (f *File) AdoptState(s StoreState) error {
 	return nil
 }
 
-// Sync fsyncs every drive file. The engines call it before each
-// journal append: write-ahead discipline requires the data a commit
-// record references to be durable before the record itself.
+// Sync drains all queued physical work and fsyncs every drive file.
+// The engines call it before each journal append: write-ahead
+// discipline requires the data a commit record references to be
+// durable before the record itself. Any deferred write error surfaces
+// here. With workers on, the per-drive fsyncs run concurrently — on a
+// real filesystem the fsync is by far the slowest physical operation,
+// and D independent drives can flush in the time of one. The
+// durability contract is unchanged: Sync returns only when every
+// drive is flushed.
 func (f *File) Sync() error {
+	t0 := time.Now()
+	f.drain()
+	if f.nworks > 0 {
+		f.mu.Lock()
+		err := f.werr
+		f.mu.Unlock()
+		if err != nil {
+			f.mu.Lock()
+			f.ov.StallNanos += time.Since(t0).Nanoseconds()
+			f.mu.Unlock()
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(f.files))
+		for i, fh := range f.files {
+			if fh == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, fh *os.File) {
+				defer wg.Done()
+				n := f.running.Add(1)
+				for p := f.peak.Load(); n > p && !f.peak.CompareAndSwap(p, n); p = f.peak.Load() {
+				}
+				defer f.running.Add(-1)
+				errs[i] = fh.Sync()
+			}(i, fh)
+		}
+		wg.Wait()
+		f.mu.Lock()
+		f.ov.StallNanos += time.Since(t0).Nanoseconds()
+		f.mu.Unlock()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, fh := range f.files {
 		if fh == nil {
 			continue
@@ -461,9 +1112,25 @@ func (f *File) Sync() error {
 	return nil
 }
 
-// Close closes every drive file.
+// Close drains and stops the I/O workers, waits out any background
+// flush, and closes every drive file.
 func (f *File) Close() error {
 	var first error
+	if f.nworks > 0 {
+		f.drain()
+		f.flushWG.Wait()
+		for _, q := range f.queues {
+			q.mu.Lock()
+			q.stop = true
+			q.cond.Signal()
+			q.mu.Unlock()
+		}
+		f.wg.Wait()
+		f.nworks = 0
+		f.mu.Lock()
+		first = f.werr
+		f.mu.Unlock()
+	}
 	for i, fh := range f.files {
 		if fh == nil {
 			continue

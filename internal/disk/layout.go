@@ -44,6 +44,8 @@ func (a *Array) ReserveRot(nBlocks, rot int) Area {
 	if nBlocks < 0 {
 		panic("disk: Reserve with negative size")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	per := (nBlocks + a.cfg.D - 1) / a.cfg.D
 	ar := Area{d: a.cfg.D, n: nBlocks, rot: ((rot % a.cfg.D) + a.cfg.D) % a.cfg.D, base: make([]int, a.cfg.D)}
 	for d := range a.drives {

@@ -3,8 +3,8 @@ package fault
 import (
 	"errors"
 	"fmt"
-
 	"sort"
+	"sync"
 
 	"embsp/internal/disk"
 	"embsp/internal/prng"
@@ -27,17 +27,26 @@ type addr struct{ d, t int }
 // unchanged, whether the store underneath is the in-memory Array or
 // the durable file-backed File.
 //
-// Disk is not safe for concurrent use; the engines give each real
-// processor its own wrapped store, exactly as they give each its own
-// disk.Array.
+// The fault schedule is per drive: each drive has its own attempt
+// clock and its own injection PRNG stream (derived from the plan seed
+// and the drive index), and an operation attempt advances only the
+// clocks of the drives its request list touches. This makes the
+// accounting order-independent across drives — two operations on
+// disjoint drive sets commute bit-for-bit, whichever order a
+// concurrent caller lands them in — which is what lets the layer be
+// safe for concurrent use: all methods serialize on an internal mutex
+// (physical D-parallelism lives below, inside one store operation),
+// and racing operations on overlapping drives are ordered by whatever
+// the race decides, exactly as at the store level.
 type Disk struct {
 	inner      disk.Store
 	plan       Plan
 	maxRetries int
-	rng        *prng.Rand
 	below      driveDier // parity layer underneath, if any
 
-	attempts int64 // operation attempts seen, the fault-schedule clock
+	mu       sync.Mutex   // guards everything below
+	rngs     []*prng.Rand // per-drive injection streams
+	attempts []int64      // per-drive operation-attempt clocks
 	dead     []bool
 	sums     map[addr]uint64    // checksum per written physical track
 	mirrors  map[addr]disk.Addr // primary -> mirror copy location
@@ -81,16 +90,21 @@ func Wrap(a disk.Store, plan Plan, maxRetries int) (*Disk, error) {
 	if maxRetries < 0 {
 		maxRetries = 0
 	}
-	return &Disk{
+	f := &Disk{
 		inner:      a,
 		plan:       plan,
 		maxRetries: maxRetries,
-		rng:        prng.New(prng.Derive(plan.Seed, 0xFA01)),
 		below:      below,
+		rngs:       make([]*prng.Rand, cfg.D),
+		attempts:   make([]int64, cfg.D),
 		dead:       make([]bool, cfg.D),
 		sums:       make(map[addr]uint64),
 		mirrors:    make(map[addr]disk.Addr),
-	}, nil
+	}
+	for d := range f.rngs {
+		f.rngs[d] = prng.New(prng.Derive(plan.Seed, 0xFA01, uint64(d)))
+	}
+	return f, nil
 }
 
 // MustWrap is Wrap for statically valid plans.
@@ -114,13 +128,23 @@ func (f *Disk) Stats() disk.Stats { return f.inner.Stats() }
 func (f *Disk) ResetStats() { f.inner.ResetStats() }
 
 // Counters returns the fault and recovery accounting.
-func (f *Disk) Counters() Counters { return f.ctr }
+func (f *Disk) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ctr
+}
 
 // Down reports whether drive d has failed permanently.
-func (f *Disk) Down(d int) bool { return f.dead[d] }
+func (f *Disk) Down(d int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead[d]
+}
 
 // LiveDrives returns the number of drives still serving I/O.
 func (f *Disk) LiveDrives() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n := 0
 	for _, dd := range f.dead {
 		if !dd {
@@ -140,6 +164,8 @@ func (f *Disk) ReserveRot(nBlocks, rot int) disk.Area { return f.inner.ReserveRo
 
 // Release frees a track, its checksum, and its mirror copy (if any).
 func (f *Disk) Release(d, t int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	key := addr{d, t}
 	if m, ok := f.mirrors[key]; ok {
 		delete(f.mirrors, key)
@@ -165,22 +191,35 @@ func (f *Disk) mirrorDrive(d int) (int, bool) {
 	return 0, false
 }
 
-// tick advances the fault-schedule clock by one operation attempt and
-// reports whether injection is active for it, handling the scheduled
-// drive death.
-func (f *Disk) tick() (inject bool, dying int) {
-	idx := f.attempts
-	f.attempts++
+// tickDrives advances the attempt clock of each drive the request
+// list touches by one and reports, per request, whether injection is
+// active for it (its drive's clock has reached FirstOp). It also
+// handles the scheduled drive death: the failing drive dies when its
+// own clock reaches FailDriveOp, so only an operation that touches
+// that drive can trigger the death — which is what makes the schedule
+// independent of how operations on other drives interleave.
+func (f *Disk) tickDrives(n int, driveAt func(int) int) (inject []bool, dying int) {
+	inject = make([]bool, n)
 	dying = -1
-	if f.plan.FailDriveOp > 0 && idx >= f.plan.FailDriveOp && !f.dead[f.plan.FailDrive] {
-		f.dead[f.plan.FailDrive] = true
-		f.ctr.DriveFailures++
-		dying = f.plan.FailDrive
-		if f.below != nil {
-			f.below.DriveDied(dying)
+	ticked := make([]bool, len(f.attempts))
+	for i := 0; i < n; i++ {
+		d := driveAt(i)
+		if !ticked[d] {
+			ticked[d] = true
+			f.attempts[d]++
+		}
+		idx := f.attempts[d] - 1
+		inject[i] = idx >= f.plan.FirstOp
+		if f.plan.FailDriveOp > 0 && d == f.plan.FailDrive && idx >= f.plan.FailDriveOp && !f.dead[d] {
+			f.dead[d] = true
+			f.ctr.DriveFailures++
+			dying = d
+			if f.below != nil {
+				f.below.DriveDied(dying)
+			}
 		}
 	}
-	return idx >= f.plan.FirstOp, dying
+	return inject, dying
 }
 
 // survivable reports whether a permanent drive loss leaves the data
@@ -237,6 +276,8 @@ func (f *Disk) ReadOp(reqs []disk.ReadReq) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for try := 0; ; try++ {
 		err := f.readAttempt(reqs)
 		if err == nil {
@@ -252,7 +293,7 @@ func (f *Disk) ReadOp(reqs []disk.ReadReq) error {
 }
 
 func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
-	inject, dying := f.tick()
+	inject, dying := f.tickDrives(len(reqs), func(i int) int { return reqs[i].Disk })
 	if dying >= 0 {
 		// With a parity layer below, the death itself forces a superstep
 		// rollback: tracks written since the barrier are not yet striped
@@ -271,16 +312,28 @@ func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
 	}
 
 	// Draw the fault schedule for this attempt before doing any I/O,
-	// so the schedule depends only on the operation sequence.
-	failIdx, corrupt := -1, []int(nil)
-	if inject {
-		for i := range reqs {
-			if f.plan.ReadErrorRate > 0 && f.rng.Float64() < f.plan.ReadErrorRate && failIdx < 0 {
-				failIdx = i
-			}
-			if f.plan.CorruptRate > 0 && f.rng.Float64() < f.plan.CorruptRate {
-				corrupt = append(corrupt, i)
-			}
+	// each request from its own drive's stream, so the schedule depends
+	// only on that drive's attempt history.
+	type corruptDraw struct {
+		i   int
+		w   int
+		bit uint
+	}
+	failIdx, corrupt := -1, []corruptDraw(nil)
+	for i, r := range reqs {
+		if !inject[i] {
+			continue
+		}
+		rng := f.rngs[r.Disk]
+		if f.plan.ReadErrorRate > 0 && rng.Float64() < f.plan.ReadErrorRate && failIdx < 0 {
+			failIdx = i
+		}
+		if f.plan.CorruptRate > 0 && rng.Float64() < f.plan.CorruptRate {
+			corrupt = append(corrupt, corruptDraw{
+				i:   i,
+				w:   int(rng.Uint64() % uint64(len(r.Dst))),
+				bit: uint(rng.Uint64() % 64),
+			})
 		}
 	}
 
@@ -318,13 +371,11 @@ func (f *Disk) readAttempt(reqs []disk.ReadReq) error {
 
 	// In-flight corruption: flip one deterministic bit of the
 	// delivered block (only meaningful for checksummed tracks).
-	for _, i := range corrupt {
-		if _, ok := f.sums[addr{phys[i].Disk, phys[i].Track}]; !ok {
+	for _, c := range corrupt {
+		if _, ok := f.sums[addr{phys[c.i].Disk, phys[c.i].Track}]; !ok {
 			continue
 		}
-		w := int(f.rng.Uint64() % uint64(len(reqs[i].Dst)))
-		bit := uint(f.rng.Uint64() % 64)
-		reqs[i].Dst[w] ^= 1 << bit
+		reqs[c.i].Dst[c.w] ^= 1 << c.bit
 		f.ctr.InjectedCorruptions++
 	}
 
@@ -349,6 +400,8 @@ func (f *Disk) WriteOp(reqs []disk.WriteReq) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for try := 0; ; try++ {
 		err := f.writeAttempt(reqs)
 		if err == nil {
@@ -364,7 +417,7 @@ func (f *Disk) WriteOp(reqs []disk.WriteReq) error {
 }
 
 func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
-	inject, dying := f.tick()
+	inject, dying := f.tickDrives(len(reqs), func(i int) int { return reqs[i].Disk })
 	if dying >= 0 {
 		// See readAttempt: a death over a parity layer always aborts the
 		// attempt so the superstep replays with the drive already dead.
@@ -379,9 +432,12 @@ func (f *Disk) writeAttempt(reqs []disk.WriteReq) error {
 	}
 
 	failIdx := -1
-	if inject && f.plan.WriteErrorRate > 0 {
-		for i := range reqs {
-			if f.rng.Float64() < f.plan.WriteErrorRate && failIdx < 0 {
+	if f.plan.WriteErrorRate > 0 {
+		for i, r := range reqs {
+			if !inject[i] {
+				continue
+			}
+			if f.rngs[r.Disk].Float64() < f.plan.WriteErrorRate && failIdx < 0 {
 				failIdx = i
 			}
 		}
@@ -491,6 +547,8 @@ type Snapshot struct {
 
 // Snapshot captures rollback state at a compound-superstep barrier.
 func (f *Disk) Snapshot() *Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	s := &Snapshot{
 		alloc:   f.inner.AllocSnapshot(),
 		sums:    make(map[addr]uint64, len(f.sums)),
@@ -509,6 +567,8 @@ func (f *Disk) Snapshot() *Snapshot {
 // snapshot. The snapshot remains valid for further Restores (replays
 // can themselves fault).
 func (f *Disk) Restore(s *Snapshot) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.inner.AllocRestore(s.alloc)
 	f.sums = make(map[addr]uint64, len(s.sums))
 	for k, v := range s.sums {
@@ -529,19 +589,26 @@ func Replayable(err error) bool {
 }
 
 // EncodeState appends the fault layer's complete persistent state to
-// enc: the fault-schedule clock, the injection PRNG, dead drives, the
-// accumulated counters, and the checksum and mirror directories (in
-// sorted address order, so the encoding is deterministic). Unlike
-// Snapshot — which deliberately omits the clock and counters because
-// an in-process replay is new work under new draws — a journal commit
-// must capture everything: a resumed process replaces the crashed one
-// entirely, so the fault schedule has to continue exactly where the
-// last committed barrier left it.
+// enc: the per-drive fault-schedule clocks, the per-drive injection
+// PRNGs, dead drives, the accumulated counters, and the checksum and
+// mirror directories (in sorted address order, so the encoding is
+// deterministic). Unlike Snapshot — which deliberately omits the
+// clocks and counters because an in-process replay is new work under
+// new draws — a journal commit must capture everything: a resumed
+// process replaces the crashed one entirely, so the fault schedule
+// has to continue exactly where the last committed barrier left it.
 func (f *Disk) EncodeState(enc *words.Encoder) {
-	enc.PutInt(f.attempts)
-	st := f.rng.State()
-	for _, w := range st[:] {
-		enc.PutUint(w)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	enc.PutInt(int64(len(f.attempts)))
+	for _, a := range f.attempts {
+		enc.PutInt(a)
+	}
+	for _, r := range f.rngs {
+		st := r.State()
+		for _, w := range st[:] {
+			enc.PutUint(w)
+		}
 	}
 	enc.PutInt(int64(len(f.dead)))
 	for _, d := range f.dead {
@@ -593,12 +660,22 @@ func (f *Disk) EncodeState(enc *words.Encoder) {
 
 // DecodeState restores state previously written by EncodeState.
 func (f *Disk) DecodeState(dec *words.Decoder) error {
-	f.attempts = dec.Int()
-	var st [4]uint64
-	for i := range st {
-		st[i] = dec.Uint()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	na := int(dec.Int())
+	if na != len(f.attempts) {
+		return fmt.Errorf("fault: decoding clocks for %d drives into %d-drive layer", na, len(f.attempts))
 	}
-	f.rng.SetState(st)
+	for d := range f.attempts {
+		f.attempts[d] = dec.Int()
+	}
+	for _, r := range f.rngs {
+		var st [4]uint64
+		for i := range st {
+			st[i] = dec.Uint()
+		}
+		r.SetState(st)
+	}
 	nd := int(dec.Int())
 	if nd != len(f.dead) {
 		return fmt.Errorf("fault: decoding state for %d drives into %d-drive layer", nd, len(f.dead))

@@ -32,10 +32,14 @@
 // barrier and replaying is worthwhile. Snapshot/Restore support
 // exactly that rollback.
 //
-// All randomness is keyed by Plan.Seed via prng.Derive and consumed in
-// the (deterministic) order of disk operations, so a given seed yields
-// the same fault schedule on every run — fault injection preserves the
-// repository's bitwise reproducibility guarantees.
+// All randomness is keyed by Plan.Seed via prng.Derive, with one
+// stream and one attempt clock per drive, consumed in the
+// (deterministic) per-drive order of disk operations. A given seed
+// therefore yields the same fault schedule on every run, and — since
+// operations on disjoint drive sets advance disjoint clocks and
+// streams — the schedule is independent of how such operations
+// interleave, so fault injection preserves the repository's bitwise
+// reproducibility guarantees even under concurrent I/O.
 package fault
 
 import (
@@ -124,11 +128,15 @@ type Plan struct {
 	// recorded checksum are corrupted (a flip in a never-written block
 	// would be undetectable and meaningless).
 	CorruptRate float64
-	// FirstOp exempts the first FirstOp operation attempts from
-	// injection, e.g. to let input staging run clean.
+	// FirstOp exempts the first FirstOp operation attempts of each
+	// drive from injection, e.g. to let input staging run clean.
+	// (Clocks are per drive: an attempt advances only the clocks of
+	// the drives its requests touch.)
 	FirstOp int64
 	// FailDriveOp, when positive, kills drive FailDrive permanently at
-	// operation attempt index FailDriveOp.
+	// that drive's own operation-attempt index FailDriveOp — i.e. at
+	// the first attempt touching FailDrive after it has served
+	// FailDriveOp attempts.
 	FailDriveOp int64
 	// FailDrive is the drive that dies at FailDriveOp.
 	FailDrive int

@@ -107,6 +107,13 @@ func Open(dir string) (*Journal, error) {
 		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer fails its checksum"}
 	}
 	count, length := int(hw[0]), int64(hw[1])
+	// A checksummed HEAD can still carry implausible words (it is only
+	// 16 bytes of entropy away from a collision, and fuzzing finds
+	// them): a count or length that overflows int must be rejected here,
+	// or the negative slice bound below would panic instead of erroring.
+	if count < 0 || length < 0 {
+		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer is implausible"}
+	}
 
 	wal, err := os.OpenFile(walPath(dir), os.O_RDWR, 0o666)
 	if err != nil {

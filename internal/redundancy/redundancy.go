@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"embsp/internal/disk"
 	"embsp/internal/words"
@@ -167,11 +168,17 @@ func (c *Counters) Add(other Counters) {
 }
 
 // Store implements disk.Store over an inner store, adding rotated XOR
-// parity. It is not safe for concurrent use: each real processor owns
-// its own Store, exactly as it owns its own disk array.
+// parity. All methods are safe for concurrent use: the parity
+// directories and RMW arithmetic serialize on an internal mutex
+// (physical D-parallelism lives below, inside one inner-store
+// operation), so concurrent operations see the same deterministic
+// stripe state in whatever order they land, and pure pass-throughs
+// (Alloc, Stats, Sync, ...) rely on the inner store's own safety.
 type Store struct {
 	inner disk.Store
 	D, B  int
+
+	mu sync.Mutex // guards all stripe/parity/remap state below
 
 	stripeOf map[addr]int // logical data track -> stripe id
 	stripes  map[int]*stripe
@@ -261,10 +268,18 @@ func (s *Store) Stats() disk.Stats { return s.inner.Stats() }
 func (s *Store) ResetStats() { s.inner.ResetStats() }
 
 // Counters returns the redundancy accounting.
-func (s *Store) Counters() Counters { return s.ctr }
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctr
+}
 
 // Rebuilding reports whether an online rebuild is still in progress.
-func (s *Store) Rebuilding() bool { return s.rebDrive >= 0 }
+func (s *Store) Rebuilding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebDrive >= 0
+}
 
 // DriveDied marks drive d permanently dead and schedules the online
 // rebuild. The fault layer calls it at the moment of a scheduled drive
@@ -272,6 +287,8 @@ func (s *Store) Rebuilding() bool { return s.rebDrive >= 0 }
 // reads are reconstructed from parity or served from rebuilt copies,
 // writes land on spare capacity of the survivors.
 func (s *Store) DriveDied(d int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if d < 0 || d >= s.D || s.dead[d] {
 		return
 	}
@@ -649,6 +666,8 @@ func (s *Store) recomputeParity(sid int, dst []uint64) (int, error) {
 // reconstructed from the stripe's surviving members; blank tracks read
 // as zeros, exactly as on the raw store.
 func (s *Store) ReadOp(reqs []disk.ReadReq) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -734,6 +753,8 @@ func (s *Store) ReadOp(reqs []disk.ReadReq) error {
 // FlushParity. Writes to dead-drive tracks land on spare capacity of
 // the survivors and are remapped from then on.
 func (s *Store) WriteOp(reqs []disk.WriteReq) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -893,6 +914,8 @@ func (s *Store) WriteOp(reqs []disk.WriteReq) error {
 // side of the small-write penalty); the last member's release frees
 // the parity track too.
 func (s *Store) Release(d, t int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	k := addr{d, t}
 	if sid, ok := s.stripeOf[k]; ok {
 		st := s.stripes[sid]
@@ -1065,6 +1088,8 @@ func (s *Store) assign(k addr) (sid int, ok bool) {
 // at every compound-superstep barrier (and before every journal
 // commit), so committed state always carries consistent parity.
 func (s *Store) FlushParity() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.fresh) > 0 {
 		keys := make([]addr, 0, len(s.fresh))
 		for k := range s.fresh {
@@ -1209,6 +1234,8 @@ func (s *Store) recomputeStaleParity(sid int) (done bool, err error) {
 // uncheck-summed (blank or released) tracks are skipped. Scrub must
 // run at a barrier (after FlushParity), where parity is consistent.
 func (s *Store) Scrub(budget int) (wrapped bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if budget <= 0 {
 		return false, nil
 	}
@@ -1256,6 +1283,8 @@ func (s *Store) Scrub(budget int) (wrapped bool, err error) {
 // at a barrier. When everything is rebuilt the drive is considered
 // fully absorbed and Rebuilding turns false.
 func (s *Store) RebuildStep(budget int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.rebDrive < 0 || budget <= 0 {
 		return nil
 	}
@@ -1365,6 +1394,8 @@ type Snapshot struct {
 
 // Snapshot captures rollback state at a compound-superstep barrier.
 func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sn := &Snapshot{
 		stripeOf: make(map[addr]int, len(s.stripeOf)),
 		stripes:  make(map[int]*stripe, len(s.stripes)),
@@ -1414,6 +1445,8 @@ func (s *Store) Snapshot() *Snapshot {
 // Restore rolls the layer back to a snapshot. The snapshot remains
 // valid for further Restores.
 func (s *Store) Restore(sn *Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stripeOf = make(map[addr]int, len(sn.stripeOf))
 	for k, v := range sn.stripeOf {
 		s.stripeOf[k] = v
@@ -1470,6 +1503,8 @@ func (s *Store) Restore(sn *Snapshot) {
 // called at a barrier, after FlushParity (the parity cache and fresh
 // set are empty there and are not encoded).
 func (s *Store) EncodeState(enc *words.Encoder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	enc.PutInt(int64(s.D))
 	for _, d := range s.dead {
 		enc.PutBool(d)
@@ -1530,6 +1565,8 @@ func (s *Store) EncodeState(enc *words.Encoder) {
 // rebuilding the derived directories (stripe membership, parity
 // locations, open list, reverse remap).
 func (s *Store) DecodeState(dec *words.Decoder) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	nd := int(dec.Int())
 	if nd != s.D {
 		return fmt.Errorf("redundancy: decoding state for %d drives into %d-drive layer", nd, s.D)
@@ -1636,6 +1673,8 @@ func (s *Store) DecodeState(dec *words.Decoder) error {
 // restored around it and a resumed run's figures stay bitwise
 // identical to an uninterrupted one.
 func (s *Store) Reconcile() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ctr := s.ctr
 	st := s.inner.State()
 	err := s.reconcile()

@@ -1,0 +1,235 @@
+package embsp_test
+
+// The pipeline determinism battery: every Table 1 workload runs with
+// the group pipeline off (fully synchronous file store) and on
+// (per-drive I/O workers, prefetch, write-behind, flush-behind), on
+// sequential and parallel machines, under clean and faulty schedules —
+// and every word of the Result and every model-visible EM statistic
+// must be bitwise identical. The physical schedule is allowed to
+// change wall-clock time and the Overlap counters, nothing else.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"embsp"
+	"embsp/internal/prng"
+)
+
+type batterySpec struct {
+	name  string
+	build func(n, v int, r *prng.Rand) (embsp.Program, error)
+}
+
+// batteryTable lists all 13 Table 1 workloads at battery scale —
+// deliberately the same constructions as embsp-run's chaos soak.
+func batteryTable() []batterySpec {
+	return []batterySpec{
+		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			return embsp.NewSort(keys, 1, v)
+		}},
+		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			return embsp.NewPermute(vals, r.Perm(n), v)
+		}},
+		{"transpose", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			rows := 4
+			keys := make([]uint64, rows*(n/rows))
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			return embsp.NewTranspose(keys, rows, n/rows, v)
+		}},
+		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point3, n)
+			for i := range pts {
+				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+			}
+			return embsp.NewMaxima3D(pts, v)
+		}},
+		{"dominance", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			vals := make([]uint64, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+				vals[i] = uint64(i)
+			}
+			return embsp.NewDominance2D(pts, vals, v)
+		}},
+		{"rectunion", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			rects := make([]embsp.Rect, n)
+			for i := range rects {
+				x, y := r.Float64(), r.Float64()
+				rects[i] = embsp.Rect{X1: x, X2: x + r.Float64(), Y1: y, Y2: y + r.Float64()}
+			}
+			return embsp.NewRectUnion(rects, v)
+		}},
+		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewHull2D(pts, v)
+		}},
+		{"envelope", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			segs := make([]embsp.Segment, n)
+			for i := range segs {
+				x := 3 * float64(i)
+				segs[i] = embsp.Segment{X1: x, Y1: r.Float64(), X2: x + 2, Y2: r.Float64()}
+			}
+			return embsp.NewEnvelope(segs, v)
+		}},
+		{"nextelement", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			hsegs := make([]embsp.HSegment, n)
+			pts := make([]embsp.Point, n)
+			for i := range hsegs {
+				x := r.Float64()
+				hsegs[i] = embsp.HSegment{X1: x, X2: x + 0.2, Y: r.Float64()}
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewNextElement(hsegs, pts, v)
+		}},
+		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			return embsp.NewNN2D(pts, v)
+		}},
+		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			perm := r.Perm(n)
+			succ := make([]int, n)
+			for i := range succ {
+				succ[i] = -1
+			}
+			for i := 0; i+1 < n; i++ {
+				succ[perm[i]] = perm[i+1]
+			}
+			return embsp.NewListRank(succ, nil, v)
+		}},
+		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			edges := make([][2]int, n-1)
+			for i := 1; i < n; i++ {
+				edges[i-1] = [2]int{r.Intn(i), i}
+			}
+			return embsp.NewEulerTour(n, edges, v)
+		}},
+		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, error) {
+			edges := make([][2]int, 0, n)
+			for len(edges) < n {
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+			return embsp.NewCC(n, edges, v)
+		}},
+	}
+}
+
+// mustAgree asserts the two results are bitwise identical in every
+// model-visible field; only the wall-clock Overlap counters may differ.
+func mustAgree(t *testing.T, label string, serial, piped *embsp.Result) {
+	t.Helper()
+	for i := range serial.VPs {
+		if !reflect.DeepEqual(vpImage(serial.VPs[i]), vpImage(piped.VPs[i])) {
+			t.Fatalf("%s: VP %d context differs between serial and pipelined schedules", label, i)
+		}
+	}
+	if !reflect.DeepEqual(serial.Costs, piped.Costs) {
+		t.Fatalf("%s: model costs differ:\nserial:    %+v\npipelined: %+v", label, serial.Costs, piped.Costs)
+	}
+	es, ep := serial.EM, piped.EM
+	es.Overlap, ep.Overlap = embsp.OverlapStats{}, embsp.OverlapStats{}
+	if !reflect.DeepEqual(es, ep) {
+		t.Fatalf("%s: EM statistics differ:\nserial:    %+v\npipelined: %+v", label, es, ep)
+	}
+}
+
+// TestPipelineDeterminismBattery is the tentpole's acceptance battery:
+// for all 13 Table 1 workloads, on P = 1 and P = 3 machines, in-memory
+// vs. file-backed, with and without fault injection and parity
+// redundancy, the pipelined physical schedule produces the identical
+// Result to the fully synchronous one.
+func TestPipelineDeterminismBattery(t *testing.T) {
+	for _, spec := range batteryTable() {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			t.Parallel()
+			for _, procs := range []int{1, 3} {
+				r := prng.New(0xBA77E7)
+				n, v := 48, 6
+				prog, err := spec.build(n, v, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := embsp.MachineConfig{
+					P: procs, M: 4 * prog.MaxContextWords(), D: 4, B: 16, G: 100,
+					Cost: embsp.CostParams{GUnit: 1, GPkt: 64, Pkt: 64, L: 10},
+				}
+				// In-memory run: the model baseline the stores must match.
+				array, err := embsp.Run(prog, cfg, embsp.Options{Seed: 0xBA77E7})
+				if err != nil {
+					t.Fatalf("P=%d array: %v", procs, err)
+				}
+				serial, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: -1, IOWorkers: -1,
+				})
+				if err != nil {
+					t.Fatalf("P=%d serial file: %v", procs, err)
+				}
+				piped, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: 1,
+				})
+				if err != nil {
+					t.Fatalf("P=%d pipelined file: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d clean", procs), serial, piped)
+				// Across backends the contract covers outputs and model
+				// costs; the seq/rand access chains legitimately differ
+				// between Array and File (Release-time vs Alloc-time track
+				// clearing), so the full EM comparison is file-to-file only.
+				for i := range array.VPs {
+					if !reflect.DeepEqual(vpImage(array.VPs[i]), vpImage(serial.VPs[i])) {
+						t.Fatalf("P=%d: VP %d context differs between array and file backends", procs, i)
+					}
+				}
+				if !reflect.DeepEqual(array.Costs, serial.Costs) {
+					t.Fatalf("P=%d: model costs differ between array and file backends", procs)
+				}
+
+				// Faulty schedule: transient read/write/corrupt faults plus a
+				// permanent drive death under parity redundancy. The fault
+				// sequence is a pure function of the op order, which the
+				// pipeline must not perturb.
+				plan := &embsp.FaultPlan{
+					Seed:          0xFA17,
+					ReadErrorRate: 0.01, WriteErrorRate: 0.01, CorruptRate: 0.01,
+					FailDrive: 2, FailDriveOp: 40, FailProc: procs - 1,
+				}
+				fOpts := embsp.Options{
+					Seed: 0xBA77E7, FaultPlan: plan, Redundancy: embsp.RedundancyParity,
+					StateDir: t.TempDir(), Pipeline: -1, IOWorkers: -1,
+				}
+				fSerial, err := embsp.Run(prog, cfg, fOpts)
+				if err != nil {
+					t.Fatalf("P=%d faulty serial: %v", procs, err)
+				}
+				fOpts.StateDir, fOpts.Pipeline, fOpts.IOWorkers = t.TempDir(), 1, 0
+				fPiped, err := embsp.Run(prog, cfg, fOpts)
+				if err != nil {
+					t.Fatalf("P=%d faulty pipelined: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d faults+parity", procs), fSerial, fPiped)
+			}
+		})
+	}
+}

@@ -23,8 +23,9 @@ import (
 )
 
 const (
-	helperEnv = "EMBSP_CRASH_HELPER_DIR"
-	killEnv   = "EMBSP_CRASH_KILL_STEP"
+	helperEnv   = "EMBSP_CRASH_HELPER_DIR"
+	killEnv     = "EMBSP_CRASH_KILL_STEP"
+	pipelineEnv = "EMBSP_CRASH_PIPELINE" // "1" forces the group pipeline on in the helper
 )
 
 // crashSort builds the workload deterministically so the parent, the
@@ -90,7 +91,11 @@ func TestCrashHelperProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := &sigkillProgram{Program: crashSort(t), killStep: killStep}
-	_, err = embsp.Run(prog, crashMachine(), embsp.Options{Seed: 7, StateDir: dir})
+	opts := embsp.Options{Seed: 7, StateDir: dir}
+	if os.Getenv(pipelineEnv) == "1" {
+		opts.Pipeline = 1
+	}
+	_, err = embsp.Run(prog, crashMachine(), opts)
 	t.Fatalf("run survived its own SIGKILL: err=%v", err)
 }
 
@@ -128,6 +133,53 @@ func TestKillAndResumeSort(t *testing.T) {
 	if !reflect.DeepEqual(clean.Costs, res.Costs) {
 		t.Errorf("model costs differ:\nclean:   %+v\nresumed: %+v", clean.Costs, res.Costs)
 	}
+	// Overlap is wall-clock observability and outside the
+	// bitwise-identity contract; equalize it before comparing.
+	res.EM.Overlap = clean.EM.Overlap
+	if !reflect.DeepEqual(clean.EM, res.EM) {
+		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
+	}
+}
+
+// TestKillMidPipelineAndResumeSerial is the tentpole's crash-safety
+// property: SIGKILL a run whose group pipeline is forced on — dying
+// with prefetched blocks in the cache, write-behind queues in flight
+// and possibly a background flush mid-fsync — then resume it with the
+// pipeline forced OFF on a fully synchronous store. Crossing the
+// physical schedule over the crash boundary proves the journal's
+// durable state is schedule-independent: the resumed serial run must
+// be bitwise identical to an uninterrupted run.
+func TestKillMidPipelineAndResumeSerial(t *testing.T) {
+	p := crashSort(t)
+	cfg := crashMachine()
+	clean, err := embsp.Run(p, cfg, embsp.Options{Seed: 7, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "state")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashHelperProcess")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir, killEnv+"=2", pipelineEnv+"=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die by SIGKILL: err=%v\n%s", err, out)
+	}
+
+	res, err := embsp.Run(p, cfg, embsp.Options{
+		Seed: 7, StateDir: dir, Resume: true, Pipeline: -1, IOWorkers: -1,
+	})
+	if err != nil {
+		t.Fatalf("resume after SIGKILL mid-pipeline: %v", err)
+	}
+
+	if !reflect.DeepEqual(p.Output(clean.VPs), p.Output(res.VPs)) {
+		t.Error("serial resume of a pipelined crash sorted differently from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(clean.Costs, res.Costs) {
+		t.Errorf("model costs differ:\nclean:   %+v\nresumed: %+v", clean.Costs, res.Costs)
+	}
+	res.EM.Overlap = clean.EM.Overlap
 	if !reflect.DeepEqual(clean.EM, res.EM) {
 		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
 	}
