@@ -18,6 +18,7 @@ import (
 
 	"embsp"
 	"embsp/internal/bench"
+	"embsp/internal/obs"
 )
 
 func main() {
@@ -28,7 +29,17 @@ func main() {
 	redundancyFlag := flag.String("redundancy", "", "drive redundancy for every run: none, mirror or parity")
 	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
 	pipelineBaseline := flag.String("pipeline-baseline", "", "measure the group pipeline and write the JSON baseline (BENCH_pipeline.json) to this path")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /metrics on this address while experiments run (medium/large sweeps take minutes; profile them live)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		_, actual, err := obs.Serve(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug: serving pprof, expvar and /metrics on http://%s\n", actual)
+	}
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {

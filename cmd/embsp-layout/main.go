@@ -10,8 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"embsp/internal/core"
+	"embsp/internal/obs"
 )
 
 func main() {
@@ -21,12 +23,21 @@ func main() {
 	per := flag.Int("blocks", 2, "message blocks per virtual processor")
 	k := flag.Int("k", 2, "group size (VPs simulated together)")
 	seed := flag.Uint64("seed", 0xF162, "random seed")
+	report := flag.Bool("report", false, "print a per-phase wall-clock breakdown of the demo to stderr")
 	flag.Parse()
 
+	var tr *obs.Tracer
+	if *report {
+		tr = obs.New()
+	}
 	fmt.Printf("EM-BSP machine (Figure 1): 1 processor, D=%d drives, B=%d words/track;\n", *d, *b)
 	fmt.Printf("one parallel I/O operation moves up to %d words (one track per drive).\n\n", *d**b)
-	if err := core.DemoRouting(os.Stdout, *v, *d, *b, *per, *k, *seed); err != nil {
+	start := time.Now()
+	if err := core.DemoRouting(os.Stdout, tr, *v, *d, *b, *per, *k, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *report {
+		obs.WriteReport(os.Stderr, tr.Phases(), time.Since(start))
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"embsp"
+	"embsp/internal/obs"
 	"embsp/internal/prng"
 )
 
@@ -303,34 +305,50 @@ func parseFaultPlan(spec string, seed uint64) (*embsp.FaultPlan, error) {
 }
 
 func main() {
-	alg := flag.String("alg", "sort", "workload: sort permute hull maxima nn listrank euler cc lca expr")
-	n := flag.Int("n", 1<<16, "problem size")
-	v := flag.Int("v", 32, "virtual processors")
-	procs := flag.Int("p", 1, "real processors")
-	d := flag.Int("d", 4, "disks per processor")
-	b := flag.Int("b", 512, "block size in words")
-	mFactor := flag.Int("mfactor", 6, "memory = mfactor × µ (per processor)")
-	g := flag.Float64("g", 1000, "I/O cost G per parallel operation")
-	seed := flag.Uint64("seed", 1, "random seed")
-	det := flag.Bool("deterministic", false, "deterministic (CGM) block placement")
-	faults := flag.String("faults", "", "fault plan: a rate (e.g. 0.01) or read=R,write=R,corrupt=R,firstop=N,faildrive=D@OP,failproc=P,mirror")
-	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault schedule")
-	maxRetries := flag.Int("max-retries", 0, "transient-fault retry budget per op (0 = default, -1 disables retries)")
-	stateDir := flag.String("state-dir", "", "directory for durable on-disk state and the superstep journal")
-	resume := flag.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
-	killStep := flag.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
-	pipeline := flag.String("pipeline", "auto", "group pipeline (file-backed runs): auto, on or off")
-	ioWorkers := flag.Int("io-workers", 0, "per-drive I/O worker goroutines (0 = one per drive, -1 = synchronous)")
-	driveLatency := flag.Duration("drive-latency", 0, "emulated per-track access latency of the file-backed drives (e.g. 1ms; 0 = none)")
-	redundancyFlag := flag.String("redundancy", "", "drive redundancy: none, mirror or parity")
-	scrub := flag.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
-	soak := flag.Bool("soak", false, "chaos-soak mode: randomized fault/kill/resume schedules over the Table 1 workloads, checked bitwise against the reference")
-	soakDuration := flag.Duration("duration", 30*time.Second, "how long to keep soaking (-soak)")
-	soakAlgs := flag.String("soak-algs", "", "comma-separated workload filter for -soak (default: all 13)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, parameterized over its argument list and
+// output streams so the CLI tests can drive it in-process. Model
+// results go to stdout (kept byte-for-byte diffable between runs);
+// everything wall-clock — the overlap line, the phase report, the
+// metrics banner — goes to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("embsp-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alg := fs.String("alg", "sort", "workload: sort permute hull maxima nn listrank euler cc lca expr")
+	n := fs.Int("n", 1<<16, "problem size")
+	v := fs.Int("v", 32, "virtual processors")
+	procs := fs.Int("p", 1, "real processors")
+	d := fs.Int("d", 4, "disks per processor")
+	b := fs.Int("b", 512, "block size in words")
+	mFactor := fs.Int("mfactor", 6, "memory = mfactor × µ (per processor)")
+	g := fs.Float64("g", 1000, "I/O cost G per parallel operation")
+	seed := fs.Uint64("seed", 1, "random seed")
+	det := fs.Bool("deterministic", false, "deterministic (CGM) block placement")
+	faults := fs.String("faults", "", "fault plan: a rate (e.g. 0.01) or read=R,write=R,corrupt=R,firstop=N,faildrive=D@OP,failproc=P,mirror")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the fault schedule")
+	maxRetries := fs.Int("max-retries", 0, "transient-fault retry budget per op (0 = default, -1 disables retries)")
+	stateDir := fs.String("state-dir", "", "directory for durable on-disk state and the superstep journal")
+	resume := fs.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
+	killStep := fs.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
+	pipeline := fs.String("pipeline", "auto", "group pipeline (file-backed runs): auto, on or off")
+	ioWorkers := fs.Int("io-workers", 0, "per-drive I/O worker goroutines (0 = one per drive, -1 = synchronous)")
+	driveLatency := fs.Duration("drive-latency", 0, "emulated per-track access latency of the file-backed drives (e.g. 1ms; 0 = none)")
+	redundancyFlag := fs.String("redundancy", "", "drive redundancy: none, mirror or parity")
+	scrub := fs.Bool("scrub", false, "background scrub between supersteps (requires -redundancy parity)")
+	soak := fs.Bool("soak", false, "chaos-soak mode: randomized fault/kill/resume schedules over the Table 1 workloads, checked bitwise against the reference")
+	soakDuration := fs.Duration("duration", 30*time.Second, "how long to keep soaking (-soak)")
+	soakAlgs := fs.String("soak-algs", "", "comma-separated workload filter for -soak (default: all 13)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (chrome://tracing, Perfetto); with -resume the file is appended to")
+	report := fs.Bool("report", false, "print a per-phase wall-clock breakdown of the run to stderr")
+	metricsAddr := fs.String("metrics-addr", "", "serve the run's metrics (Prometheus text at /metrics, JSON at /metrics.json) plus pprof and expvar on this address while the run executes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *soak {
-		os.Exit(runSoak(*soakDuration, *soakAlgs, *seed))
+		return runSoak(*soakDuration, *soakAlgs, *seed)
 	}
 
 	var spec *algSpec
@@ -344,15 +362,15 @@ func main() {
 	}
 	if spec == nil {
 		sort.Strings(names)
-		fmt.Fprintf(os.Stderr, "unknown -alg %q; available: %v\n", *alg, names)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown -alg %q; available: %v\n", *alg, names)
+		return 2
 	}
 
 	r := prng.New(*seed)
 	prog, describe, err := spec.build(*n, *v, r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	cfg := embsp.MachineConfig{
 		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
@@ -370,22 +388,22 @@ func main() {
 	case "off":
 		opts.Pipeline = -1
 	default:
-		fmt.Fprintf(os.Stderr, "bad -pipeline %q: want auto, on or off\n", *pipeline)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bad -pipeline %q: want auto, on or off\n", *pipeline)
+		return 2
 	}
 	if *redundancyFlag != "" {
 		mode, err := embsp.ParseRedundancy(*redundancyFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		opts.Redundancy = mode
 	}
 	if *faults != "" {
 		plan, err := parseFaultPlan(*faults, *faultSeed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		opts.FaultPlan = plan
 	}
@@ -393,52 +411,95 @@ func main() {
 		prog = &killProgram{Program: prog, killStep: *killStep}
 	}
 
+	// Observability: a file-backed tracer for -trace, a memory-only one
+	// when -report wants the phase totals or -metrics-addr wants live
+	// phase histograms mid-run. Neither enters the config fingerprint,
+	// so traced and untraced runs resume each other.
+	var tr *embsp.Tracer
+	if *tracePath != "" {
+		tr, err = embsp.OpenTrace(*tracePath, *resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else if *report || *metricsAddr != "" {
+		tr = embsp.NewTracer()
+	}
+	defer tr.Close() //nolint:errcheck // write errors surface below
+	var reg *embsp.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = embsp.NewMetricsRegistry()
+		actual, err := embsp.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "metrics: serving Prometheus text, pprof and expvar on http://%s\n", actual)
+	}
+	tr.AttachRegistry(reg)
+	opts.Trace, opts.Metrics = tr, reg
+
 	// SIGINT/SIGTERM stop the run at the next superstep barrier; with a
 	// -state-dir the journal is left at the last committed superstep.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	start := time.Now()
 	res, err := embsp.RunContext(ctx, prog, cfg, opts)
+	wall := time.Since(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		if errors.Is(err, context.Canceled) && *stateDir != "" {
-			fmt.Fprintf(os.Stderr, "state saved; continue with: embsp-run -state-dir %s -resume (plus the original flags)\n", *stateDir)
+			fmt.Fprintf(stderr, "state saved; continue with: embsp-run -state-dir %s -resume (plus the original flags)\n", *stateDir)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("%s: %s\n", *alg, describe(res))
-	fmt.Printf("machine: p=%d D=%d B=%d M=%d words (k=%d VPs/group, %d groups)\n",
+	fmt.Fprintf(stdout, "%s: %s\n", *alg, describe(res))
+	fmt.Fprintf(stdout, "machine: p=%d D=%d B=%d M=%d words (k=%d VPs/group, %d groups)\n",
 		cfg.P, cfg.D, cfg.B, cfg.M, res.EM.K, res.EM.Groups)
-	fmt.Printf("supersteps λ=%d\n", res.Costs.Supersteps)
-	fmt.Printf("I/O: %d parallel ops, %d blocks, utilization %.2f, T_IO=%.4g\n",
+	fmt.Fprintf(stdout, "supersteps λ=%d\n", res.Costs.Supersteps)
+	fmt.Fprintf(stdout, "I/O: %d parallel ops, %d blocks, utilization %.2f, T_IO=%.4g\n",
 		res.EM.Run.Ops, res.EM.Run.Blocks(), res.EM.Run.Utilization(), res.EM.IOTime)
 	if cfg.P > 1 {
-		fmt.Printf("communication: %d packets (%d words), T_comm=%.4g\n",
+		fmt.Fprintf(stdout, "communication: %d packets (%d words), T_comm=%.4g\n",
 			res.EM.CommPkts, res.EM.CommWords, res.EM.CommTime)
 	}
-	fmt.Printf("memory high-water: %d words; peak disk blocks/drive: %d\n",
+	fmt.Fprintf(stdout, "memory high-water: %d words; peak disk blocks/drive: %d\n",
 		res.EM.MemHigh, res.EM.LiveBlocksPerDrive)
 	// The overlap counters are wall-clock observability, not model
 	// output: they go to stderr so two runs of the same workload stay
 	// diffable on stdout (the crash-recovery CI check relies on this).
-	if ov := res.EM.Overlap; ov.PrefetchIssued > 0 || ov.AsyncWrites > 0 {
-		fmt.Fprintf(os.Stderr, "pipeline: %d blocks prefetched (%d cache hits, %d misses), %d async writes, %.1fms stalled, peak %d transfers in flight\n",
+	// Only file-backed runs have a physical pipeline, so the line is
+	// suppressed entirely for in-memory runs instead of printing
+	// all-zero noise.
+	if ov := res.EM.Overlap; *stateDir != "" && (ov.PrefetchIssued > 0 || ov.AsyncWrites > 0) {
+		fmt.Fprintf(stderr, "pipeline: %d blocks prefetched (%d cache hits, %d misses), %d async writes, %.1fms stalled, peak %d transfers in flight\n",
 			ov.PrefetchIssued, ov.PrefetchHits, ov.PrefetchMisses,
 			ov.AsyncWrites, float64(ov.StallNanos)/1e6, ov.ConcurrentPeak)
 	}
 	if opts.FaultPlan != nil {
 		em := res.EM
-		fmt.Printf("faults: %d injected (%d checksum failures, %d drive losses)\n",
+		fmt.Fprintf(stdout, "faults: %d injected (%d checksum failures, %d drive losses)\n",
 			em.FaultsInjected, em.ChecksumFailures, em.DriveFailures)
-		fmt.Printf("recovery: %d retries (%d blocks), %d superstep replays, %d extra ops, %d mirror ops\n",
+		fmt.Fprintf(stdout, "recovery: %d retries (%d blocks), %d superstep replays, %d extra ops, %d mirror ops\n",
 			em.Retries, em.RetriedBlocks, em.Replays, em.RecoveryOps, em.MirrorOps)
 	}
 	if opts.Redundancy == embsp.RedundancyParity {
 		em := res.EM
-		fmt.Printf("parity: %d ops, %d parity blocks over %d striped, %d degraded ops, %d reconstructed, %d rebuilt\n",
+		fmt.Fprintf(stdout, "parity: %d ops, %d parity blocks over %d striped, %d degraded ops, %d reconstructed, %d rebuilt\n",
 			em.ParityOps, em.ParityBlocks, em.StripedBlocks, em.DegradedOps, em.ReconstructedBlocks, em.RebuiltBlocks)
 		if opts.Scrub {
-			fmt.Printf("scrub: %d blocks verified, %d repaired\n", em.ScrubbedBlocks, em.ScrubRepairs)
+			fmt.Fprintf(stdout, "scrub: %d blocks verified, %d repaired\n", em.ScrubbedBlocks, em.ScrubRepairs)
 		}
 	}
+	if *report {
+		obs.WriteReport(stderr, tr.Phases(), wall)
+	}
+	if tr != nil {
+		if err := tr.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

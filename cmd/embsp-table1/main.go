@@ -13,15 +13,25 @@ import (
 	"time"
 
 	"embsp/internal/bench"
+	"embsp/internal/obs"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium or large")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /metrics on this address while the sweep runs")
 	flag.Parse()
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		_, actual, err := obs.Serve(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug: serving pprof, expvar and /metrics on http://%s\n", actual)
 	}
 
 	fmt.Println("Table 1 reproduction — Dehne, Dittrich, Hutchinson (SPAA '97 / Algorithmica 2003)")

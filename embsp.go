@@ -37,6 +37,7 @@ import (
 	"embsp/internal/disk"
 	"embsp/internal/fault"
 	"embsp/internal/journal"
+	"embsp/internal/obs"
 	"embsp/internal/redundancy"
 )
 
@@ -104,6 +105,21 @@ type (
 	// returns when a fault plan schedules a permanent drive death while
 	// Redundancy is none.
 	UnprotectedDriveLossError = core.UnprotectedDriveLossError
+	// Tracer records per-phase spans of a run as Chrome trace_event
+	// JSON plus in-memory per-phase totals; set Options.Trace. Like
+	// OverlapStats it observes wall clock, so it sits outside the
+	// bitwise-identity contract and the config fingerprint; a nil
+	// Tracer costs nothing.
+	Tracer = obs.Tracer
+	// MetricsRegistry collects named counters and duration histograms
+	// from a run; set Options.Metrics. Same observability carve-out as
+	// Tracer.
+	MetricsRegistry = obs.Registry
+	// TraceEvent is one decoded Chrome trace_event record; see
+	// DecodeTrace.
+	TraceEvent = obs.Event
+	// PhaseTotal is a tracer's aggregated per-phase duration total.
+	PhaseTotal = obs.PhaseTotal
 )
 
 // Redundancy modes.
@@ -155,4 +171,32 @@ func RunContext(ctx context.Context, p Program, cfg MachineConfig, opts Options)
 // reference semantics every EM engine must reproduce exactly.
 func RunReference(p Program, seed uint64) (*ReferenceResult, error) {
 	return bsp.Run(p, bsp.RunOptions{Seed: seed})
+}
+
+// NewTracer returns a memory-only Tracer: per-phase totals accumulate
+// (see Tracer.Phases) but no trace file is written.
+func NewTracer() *Tracer { return obs.New() }
+
+// OpenTrace returns a Tracer writing Chrome trace_event JSON to path,
+// loadable in chrome://tracing or Perfetto. With resume true the file
+// is opened in append mode and a resume marker is emitted, so a
+// crash-resumed run extends its predecessor's trace.
+func OpenTrace(path string, resume bool) (*Tracer, error) { return obs.Open(path, resume) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DecodeTrace parses the trace_event JSON a Tracer wrote. It accepts
+// the unterminated-array form Tracer emits (the trailing "]" is
+// deliberately never written, which is what makes append-mode crash
+// survival safe; Chrome's loader tolerates it too).
+func DecodeTrace(data []byte) ([]TraceEvent, error) { return obs.DecodeTrace(data) }
+
+// ServeMetrics starts an HTTP listener on addr exposing the registry
+// as Prometheus text at /metrics and JSON at /metrics.json, plus the
+// standard pprof and expvar debug endpoints. It returns the actual
+// listen address (useful with ":0").
+func ServeMetrics(addr string, r *MetricsRegistry) (actual string, err error) {
+	_, actual, err = obs.Serve(addr, r)
+	return actual, err
 }

@@ -46,6 +46,29 @@ func benchEngine(b *testing.B, procs int) {
 func BenchmarkEngineSeq(b *testing.B)  { benchEngine(b, 1) }
 func BenchmarkEnginePar4(b *testing.B) { benchEngine(b, 4) }
 
+// BenchmarkEngineSeqTraced is BenchmarkEngineSeq with a memory-only
+// tracer and metrics registry attached. Compared against the untraced
+// row it measures the observability overhead, which the nil-sink fast
+// path is supposed to make the only cost tracing ever has.
+func BenchmarkEngineSeqTraced(b *testing.B) {
+	prog := sortWorkload(1<<15, 32)
+	cfg := embsp.MachineConfig{
+		P: 1, M: 6 * prog.MaxContextWords(), D: 4, B: 256, G: 1000,
+		Cost: embsp.CostParams{GUnit: 1, GPkt: 256, Pkt: 256, L: 100},
+	}
+	b.ReportAllocs()
+	b.SetBytes(8 << 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := embsp.NewTracer()
+		reg := embsp.NewMetricsRegistry()
+		tr.AttachRegistry(reg)
+		if _, err := embsp.Run(prog, cfg, embsp.Options{Seed: uint64(i), Trace: tr, Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchEngineFile measures the sequential engine on a file-backed
 // store with the group pipeline forced to the given setting — the
 // host-throughput companion to internal/bench's perf/pipeline

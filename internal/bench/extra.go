@@ -20,7 +20,7 @@ func init() {
 		Run: func(w io.Writer, s Scale) error {
 			v := pick(s, 8, 12, 16)
 			per := pick(s, 2, 3, 4)
-			return core.DemoRouting(w, v, 4, 8, per, (v+3)/4, 0xF162)
+			return core.DemoRouting(w, nil, v, 4, 8, per, (v+3)/4, 0xF162)
 		},
 	})
 

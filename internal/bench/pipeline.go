@@ -11,6 +11,7 @@ import (
 	"embsp/internal/alg/cgmsort"
 	"embsp/internal/core"
 	"embsp/internal/disk"
+	"embsp/internal/obs"
 )
 
 func init() {
@@ -35,6 +36,11 @@ type PipelineRow struct {
 	PrefetchMisses int64   `json:"prefetch_misses"`
 	AsyncWrites    int64   `json:"async_writes"`
 	ConcurrentPeak int64   `json:"concurrent_peak"`
+
+	// Per-phase wall-clock of the best trial (engine-category trace
+	// spans; nanoseconds per phase name), from the run's tracer.
+	SerialPhaseNanos    map[string]int64 `json:"serial_phase_ns,omitempty"`
+	PipelinedPhaseNanos map[string]int64 `json:"pipelined_phase_ns,omitempty"`
 }
 
 // PipelineReport is the JSON shape of BENCH_pipeline.json: the
@@ -98,11 +104,11 @@ func MeasurePipeline(s Scale) (*PipelineReport, error) {
 			}
 			serial := core.Options{Seed: 0x91BE, Pipeline: -1, IOWorkers: -1, DriveLatency: lat}
 			piped := core.Options{Seed: 0x91BE, Pipeline: 1, DriveLatency: lat}
-			serRes, serNs, err := timedFileRun(prog, cfg, serial, tr)
+			serRes, serNs, serPhases, err := timedFileRun(prog, cfg, serial, tr)
 			if err != nil {
 				return nil, fmt.Errorf("D=%d lat=%v serial: %w", d, lat, err)
 			}
-			pipRes, pipNs, err := timedFileRun(prog, cfg, piped, tr)
+			pipRes, pipNs, pipPhases, err := timedFileRun(prog, cfg, piped, tr)
 			if err != nil {
 				return nil, fmt.Errorf("D=%d lat=%v pipelined: %w", d, lat, err)
 			}
@@ -111,16 +117,18 @@ func MeasurePipeline(s Scale) (*PipelineReport, error) {
 			}
 			ov := pipRes.EM.Overlap
 			rep.Rows = append(rep.Rows, PipelineRow{
-				D:              d,
-				LatencyNanos:   lat.Nanoseconds(),
-				IOOps:          pipRes.EM.Run.Ops,
-				SerialNanos:    serNs,
-				PipelinedNanos: pipNs,
-				Speedup:        float64(serNs) / float64(pipNs),
-				PrefetchHits:   ov.PrefetchHits,
-				PrefetchMisses: ov.PrefetchMisses,
-				AsyncWrites:    ov.AsyncWrites,
-				ConcurrentPeak: ov.ConcurrentPeak,
+				D:                   d,
+				LatencyNanos:        lat.Nanoseconds(),
+				IOOps:               pipRes.EM.Run.Ops,
+				SerialNanos:         serNs,
+				PipelinedNanos:      pipNs,
+				Speedup:             float64(serNs) / float64(pipNs),
+				PrefetchHits:        ov.PrefetchHits,
+				PrefetchMisses:      ov.PrefetchMisses,
+				AsyncWrites:         ov.AsyncWrites,
+				ConcurrentPeak:      ov.ConcurrentPeak,
+				SerialPhaseNanos:    serPhases,
+				PipelinedPhaseNanos: pipPhases,
 			})
 		}
 	}
@@ -128,30 +136,48 @@ func MeasurePipeline(s Scale) (*PipelineReport, error) {
 }
 
 // timedFileRun executes the program on a file-backed store in a fresh
-// temporary state directory per trial and returns the last result and
-// the best (minimum) wall-clock across trials.
-func timedFileRun(prog *cgmsort.SortProgram, cfg core.MachineConfig, opts core.Options, trials int) (*core.Result, int64, error) {
+// temporary state directory per trial and returns the last result, the
+// best (minimum) wall-clock across trials, and the best trial's
+// per-phase engine breakdown (each trial gets a fresh memory-only
+// tracer; the tracer is wall-clock observability and does not perturb
+// the model results being compared).
+func timedFileRun(prog *cgmsort.SortProgram, cfg core.MachineConfig, opts core.Options, trials int) (*core.Result, int64, map[string]int64, error) {
 	var res *core.Result
+	var phases map[string]int64
 	best := int64(1) << 62
 	for t := 0; t < trials; t++ {
 		dir, err := os.MkdirTemp("", "embsp-pipeline-*")
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		opts.StateDir = dir
+		opts.Trace = obs.New()
 		start := time.Now()
 		r, err := core.Run(prog, cfg, opts)
 		ns := time.Since(start).Nanoseconds()
 		os.RemoveAll(dir)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		res = r
 		if ns < best {
 			best = ns
+			phases = enginePhases(opts.Trace)
 		}
 	}
-	return res, best, nil
+	return res, best, phases, nil
+}
+
+// enginePhases extracts the engine-category per-phase totals of a
+// completed run's tracer as a name → nanoseconds map.
+func enginePhases(tr *obs.Tracer) map[string]int64 {
+	m := make(map[string]int64)
+	for _, p := range tr.Phases() {
+		if p.Cat == obs.CatEngine {
+			m[p.Name] = p.Nanos
+		}
+	}
+	return m
 }
 
 // sameModelResult enforces the pipeline's core contract: everything in

@@ -20,6 +20,7 @@ import (
 	"embsp/internal/bsp"
 	"embsp/internal/disk"
 	"embsp/internal/fault"
+	"embsp/internal/obs"
 	"embsp/internal/redundancy"
 )
 
@@ -198,6 +199,26 @@ type Options struct {
 	// the config fingerprint. Zero emulates nothing; ignored by
 	// in-memory arrays.
 	DriveLatency time.Duration
+	// Trace, when non-nil, records the run's wall-clock phase spans:
+	// per-superstep/per-group engine phases (context fetch/writeback,
+	// message read/write, compute, SimulateRouting, parity
+	// flush/scrub/rebuild, barrier fsync, journal commit) on every
+	// engine, plus the file-backed store's worker-level physical
+	// transfers, exportable as Chrome trace_event JSON. Tracing is pure
+	// observability: it is deliberately left out of the config
+	// fingerprint and of the bitwise-identity contract (the same
+	// carve-out as EMStats.Overlap), so traced, untraced, and
+	// traced-resumed runs all produce bitwise-identical results. nil
+	// (the default) takes a no-op fast path that skips even the clock
+	// reads.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the run's counters as named
+	// metrics at the end of the run: the EMStats aggregates plus the
+	// overlap, fault and redundancy counters, and (when Trace is also
+	// set) per-phase duration histograms. Same observability carve-out
+	// as Trace: out of the fingerprint, out of the identity contract,
+	// nil costs nothing.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {

@@ -6,6 +6,7 @@ import (
 
 	"embsp/internal/disk"
 	"embsp/internal/mem"
+	"embsp/internal/obs"
 	"embsp/internal/prng"
 )
 
@@ -16,8 +17,9 @@ import (
 // per-drive bucket lists produced by the randomized writing phase),
 // runs Algorithm 2 (SimulateRouting), and prints the resulting
 // standard consecutive format, in which every group's blocks occupy
-// consecutive tracks striped across all drives.
-func DemoRouting(w io.Writer, v, d, b, blocksPerVP, k int, seed uint64) error {
+// consecutive tracks striped across all drives. tr (nil for none)
+// records the demo's writing and routing phases as trace spans.
+func DemoRouting(w io.Writer, tr *obs.Tracer, v, d, b, blocksPerVP, k int, seed uint64) error {
 	cfg := disk.Config{D: d, B: b}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -38,6 +40,7 @@ func DemoRouting(w io.Writer, v, d, b, blocksPerVP, k int, seed uint64) error {
 
 	// Writing phase: every VP sends blocksPerVP single-block messages
 	// to every... one block per (src, dst) round-robin pattern.
+	spWrite := tr.Begin(obs.CatEngine, phWriteMsg, 0, 0)
 	img := make([]uint64, b)
 	for c := 0; c < blocksPerVP; c++ {
 		for dst := 0; dst < v; dst++ {
@@ -54,6 +57,7 @@ func DemoRouting(w io.Writer, v, d, b, blocksPerVP, k int, seed uint64) error {
 	if err := writer.flush(); err != nil {
 		return err
 	}
+	spWrite.End()
 
 	fmt.Fprintf(w, "Figure 2 demo: v=%d VPs, D=%d drives, B=%d words, %d blocks per VP, groups of k=%d\n\n", v, d, b, blocksPerVP, k)
 	fmt.Fprintln(w, "Standard linked format after the randomized writing phase")
@@ -75,7 +79,9 @@ func DemoRouting(w io.Writer, v, d, b, blocksPerVP, k int, seed uint64) error {
 
 	before := arr.Stats()
 	groups := (v + k - 1) / k
+	spRoute := tr.Begin(obs.CatEngine, phRoute, 0, 0)
 	route, err := simulateRouting(arr, acct, dir, func(m blockMeta) int { return groupOf(m.dst, k) }, groups)
+	spRoute.End()
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"embsp/internal/fault"
 	"embsp/internal/journal"
 	"embsp/internal/mem"
+	"embsp/internal/obs"
 	"embsp/internal/prng"
 	"embsp/internal/redundancy"
 	"embsp/internal/words"
@@ -137,6 +138,7 @@ type parEngine struct {
 	procs []*procState
 
 	jrn   *journal.Journal // nil without a StateDir
+	tr    *obs.Tracer      // trace sink; nil-safe no-op when tracing is off
 	goctx context.Context
 	fpr   uint64 // config fingerprint stamped into every manifest
 
@@ -218,6 +220,7 @@ func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 		pktBlk:   maxInt(1, cfg.Cost.Pkt/cfg.B),
 		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
 		fpr:      configFingerprint(manifestParKind, cfg, opts, v, mu, gamma),
+		tr:       opts.Trace,
 	}
 	e.procs = make([]*procState, cfg.P)
 	for i := range e.procs {
@@ -239,7 +242,7 @@ func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 			// Each real processor's drives live in their own
 			// subdirectory; the journal is shared and lives at the root.
 			f, err := disk.OpenFileOpts(filepath.Join(opts.StateDir, fmt.Sprintf("proc-%02d", i)), diskCfg, opts.Resume,
-				fileStoreOpts(cfg, opts, k, mu, gamma))
+				fileStoreOpts(cfg, opts, k, mu, gamma, i))
 			if err != nil {
 				e.closeState()
 				return nil, err
@@ -301,6 +304,9 @@ func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 			e.closeState()
 			return nil, err
 		}
+		// The shared journal's append spans are attributed to a
+		// synthetic coordinator lane, one past the last processor.
+		e.jrn.SetTracer(e.tr, cfg.P)
 	}
 	for _, ps := range e.procs {
 		ps.ckptOn = e.ckpt()
@@ -343,7 +349,10 @@ func (e *parEngine) commitJournal(step int) error {
 		return nil
 	}
 	for _, ps := range e.procs {
-		if err := ps.store.Sync(); err != nil {
+		sp := e.tr.BeginStep(obs.CatEngine, phBarrier, ps.id, 0, step, -1)
+		err := ps.store.Sync()
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -352,6 +361,9 @@ func (e *parEngine) commitJournal(step int) error {
 	if err := e.jrn.Append(enc.Words()); err != nil {
 		return err
 	}
+	// Align trace durability with journal durability: a killed run's
+	// trace then reaches the same barrier its resume starts from.
+	e.tr.Flush() //nolint:errcheck
 	if e.opts.OnCommit != nil {
 		e.opts.OnCommit(step)
 	}
@@ -436,7 +448,11 @@ func (e *parEngine) run() (*Result, error) {
 			}
 			ps.noteLive(e.muBlocks, 0)
 		}
-		if err := e.replayPhase(func(ps *procState) error { return e.writeInitialContexts(ps) }); err != nil {
+		if err := e.replayPhase(func(ps *procState) error {
+			sp := e.tr.Begin(obs.CatEngine, phSetup, ps.id, 0)
+			defer sp.End()
+			return e.writeInitialContexts(ps)
+		}); err != nil {
 			return nil, err
 		}
 		if err := e.redBarrier(); err != nil {
@@ -488,7 +504,11 @@ func (e *parEngine) run() (*Result, error) {
 	}
 
 	vps := make([]bsp.VP, e.v)
-	if err := e.replayPhase(func(ps *procState) error { return e.readFinalContexts(ps, vps) }); err != nil {
+	if err := e.replayPhase(func(ps *procState) error {
+		sp := e.tr.Begin(obs.CatEngine, phFinish, ps.id, 0)
+		defer sp.End()
+		return e.readFinalContexts(ps, vps)
+	}); err != nil {
 		return nil, err
 	}
 	var finish disk.Stats
@@ -539,16 +559,22 @@ func (e *parEngine) run() (*Result, error) {
 		em.MirrorOps = c.MirrorOps
 		em.Replays = e.replays
 		em.RecoveryOps = c.RecoveryOps + e.recoveryOps
+		c.Publish(e.opts.Metrics)
 	}
 	for _, ps := range e.procs {
 		if ps.red != nil {
-			addRedStats(&em, ps.red.Counters())
+			c := ps.red.Counters()
+			addRedStats(&em, c)
+			c.Publish(e.opts.Metrics)
 		}
 		if ps.bfile != nil {
-			em.Overlap.Add(ps.bfile.Overlap())
+			ov := ps.bfile.Overlap()
+			em.Overlap.Add(ov)
+			ov.Publish(e.opts.Metrics)
 		}
 	}
 	res.EM = em
+	publishEMStats(e.opts.Metrics, &res.EM)
 	return res, nil
 }
 
@@ -679,16 +705,25 @@ func (e *parEngine) redBarrier() error {
 	var maxOps int64
 	for _, ps := range e.procs {
 		before := ps.dsk.Stats().Ops
-		if err := ps.red.FlushParity(); err != nil {
+		sp := e.tr.Begin(obs.CatEngine, phParity, ps.id, 0)
+		err := ps.red.FlushParity()
+		sp.End()
+		if err != nil {
 			return err
 		}
 		if ps.red.Rebuilding() {
-			if err := ps.red.RebuildStep(redBudget(e.cfg.D)); err != nil {
+			sp := e.tr.Begin(obs.CatEngine, phRebuild, ps.id, 0)
+			err := ps.red.RebuildStep(redBudget(e.cfg.D))
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
 		if e.opts.Scrub {
-			if _, err := ps.red.Scrub(redBudget(e.cfg.D)); err != nil {
+			sp := e.tr.Begin(obs.CatEngine, phScrub, ps.id, 0)
+			_, err := ps.red.Scrub(redBudget(e.cfg.D))
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -819,7 +854,11 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		// Fetching phase: read batch-j blocks and route them to the
 		// simulating processors.
 		e.fetchX = freshMatrix(P)
-		if err := e.parallel(func(ps *procState) error { return e.fetchForward(ps, j) }); err != nil {
+		if err := e.parallel(func(ps *procState) error {
+			sp := e.tr.BeginStep(obs.CatEngine, phFetchMsg, ps.id, 0, step, j)
+			defer sp.End()
+			return e.fetchForward(ps, j)
+		}); err != nil {
 			return 0, 0, err
 		}
 		// Computing phase (and cutting generated messages into packets
@@ -830,7 +869,11 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		}
 		// Writing phase: every processor writes the packets it
 		// received to its local disks, maintaining the D buckets.
-		if err := e.parallel(func(ps *procState) error { return e.receiveWrite(ps) }); err != nil {
+		if err := e.parallel(func(ps *procState) error {
+			sp := e.tr.BeginStep(obs.CatEngine, phWriteMsg, ps.id, 0, step, j)
+			defer sp.End()
+			return e.receiveWrite(ps)
+		}); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -842,7 +885,11 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 	if halts != e.v {
 		// Step 2 of Algorithm 3: reorganize the received batches with
 		// the local SimulateRouting.
-		if err := e.parallel(func(ps *procState) error { return e.routeLocal(ps) }); err != nil {
+		if err := e.parallel(func(ps *procState) error {
+			sp := e.tr.BeginStep(obs.CatEngine, phRoute, ps.id, 0, step, -1)
+			defer sp.End()
+			return e.routeLocal(ps)
+		}); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -945,6 +992,7 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 		}
 		return nil
 	}
+	spMsg := e.tr.BeginStep(obs.CatEngine, phFetchMsg, ps.id, 0, step, j)
 	inGrab := int64(total * B)
 	if err := ps.acct.Grab(inGrab); err != nil {
 		return err
@@ -968,8 +1016,10 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 			return err
 		}
 	}
+	spMsg.End()
 
 	// Contexts of the current k VPs.
+	spFetch := e.tr.BeginStep(obs.CatEngine, phFetchCtx, ps.id, 0, step, j)
 	ctxWords := n * e.muBlocks * B
 	if err := ps.acct.Grab(int64(ctxWords)); err != nil {
 		return err
@@ -984,6 +1034,11 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 		vps[i] = e.p.NewVP(lo + i)
 		vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*B : (i+1)*e.muBlocks*B]))
 	}
+	spFetch.End()
+
+	// The compute span also covers the pipeline's prefetch hint, so
+	// the engine phases tile this processor's lane with no gap.
+	spComp := e.tr.BeginStep(obs.CatEngine, phCompute, ps.id, 0, step, j)
 
 	// Group pipeline: stage batch j+1's context and message blocks
 	// into the local store's physical cache while this batch computes
@@ -1034,8 +1089,10 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 		})
 		e.recMu.Unlock()
 	}
+	spComp.End()
 
 	// Write contexts back.
+	spCtx := e.tr.BeginStep(obs.CatEngine, phWriteCtx, ps.id, 0, step, j)
 	clear(ctxBuf)
 	enc := words.NewEncoder(nil)
 	for i := 0; i < n; i++ {
@@ -1050,7 +1107,9 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 		return err
 	}
 	ps.acct.Release(int64(ctxWords))
+	spCtx.End()
 
+	spScatter := e.tr.BeginStep(obs.CatEngine, phScatter, ps.id, 0, step, j)
 	// Scatter: cut each message into blocks, group ⌊b/B⌋ consecutive
 	// blocks of one message into a packet, and send every packet to a
 	// uniformly random processor. In deterministic (CGM) mode the
@@ -1092,6 +1151,7 @@ func (e *parEngine) computeBatch(ps *procState, j, step int) error {
 	}
 	ps.acct.Release(outWords)
 	ps.acct.Release(inGrab)
+	spScatter.End()
 	return nil
 }
 

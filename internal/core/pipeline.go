@@ -24,8 +24,9 @@ import "embsp/internal/disk"
 // engine memory budget into the file store's options. The prefetch /
 // write-behind cache gets a quarter of the engine's internal-memory
 // budget, so the pipeline is bounded by the same O(M) constant as the
-// engine itself (internal/mem enforces it inside the store).
-func fileStoreOpts(cfg MachineConfig, opts Options, k, mu, gamma int) disk.FileOptions {
+// engine itself (internal/mem enforces it inside the store). pid
+// labels the store's trace spans with the owning processor.
+func fileStoreOpts(cfg MachineConfig, opts Options, k, mu, gamma, pid int) disk.FileOptions {
 	w := opts.IOWorkers
 	switch w {
 	case -1:
@@ -37,6 +38,8 @@ func fileStoreOpts(cfg MachineConfig, opts Options, k, mu, gamma int) disk.FileO
 		Workers:       w,
 		CacheWords:    engineMemLimit(cfg, k, mu, gamma) / 4,
 		AccessLatency: opts.DriveLatency,
+		Tracer:        opts.Trace,
+		TracePID:      pid,
 	}
 }
 

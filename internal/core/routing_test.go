@@ -6,6 +6,7 @@ import (
 
 	"embsp/internal/disk"
 	"embsp/internal/mem"
+	"embsp/internal/obs"
 	"embsp/internal/prng"
 )
 
@@ -130,8 +131,12 @@ func TestRoutingParallelism(t *testing.T) {
 
 func TestDemoRoutingRuns(t *testing.T) {
 	var sink nopWriter
-	if err := DemoRouting(&sink, 8, 4, 8, 2, 2, 1); err != nil {
+	tr := obs.New()
+	if err := DemoRouting(&sink, tr, 8, 4, 8, 2, 2, 1); err != nil {
 		t.Fatal(err)
+	}
+	if ph := tr.Phases(); len(ph) != 2 {
+		t.Errorf("demo recorded %d phases, want write-msg and route: %+v", len(ph), ph)
 	}
 	if sink.n == 0 {
 		t.Error("demo produced no output")

@@ -10,6 +10,7 @@ import (
 	"embsp/internal/fault"
 	"embsp/internal/journal"
 	"embsp/internal/mem"
+	"embsp/internal/obs"
 	"embsp/internal/prng"
 	"embsp/internal/redundancy"
 	"embsp/internal/words"
@@ -93,6 +94,7 @@ type seqEngine struct {
 	fd    *fault.Disk       // nil without a fault plan
 	dsk   disk.Disk         // store, or fd wrapping it
 	jrn   *journal.Journal  // nil without a StateDir
+	tr    *obs.Tracer       // nil = tracing off (no-op fast path)
 	goctx context.Context
 	acct  *mem.Accountant
 	rec   *bsp.CostRecorder
@@ -150,7 +152,7 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 		k = v
 	}
 	e := &seqEngine{
-		p: p, cfg: cfg, opts: opts, goctx: ctx,
+		p: p, cfg: cfg, opts: opts, goctx: ctx, tr: opts.Trace,
 		v: v, mu: mu, gamma: gamma, k: k,
 		groups:   (v + k - 1) / k,
 		muBlocks: (mu + cfg.B - 1) / cfg.B,
@@ -160,7 +162,7 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 	}
 	diskCfg := disk.Config{D: cfg.D, B: cfg.B}
 	if opts.StateDir != "" {
-		f, err := disk.OpenFileOpts(opts.StateDir, diskCfg, opts.Resume, fileStoreOpts(cfg, opts, k, mu, gamma))
+		f, err := disk.OpenFileOpts(opts.StateDir, diskCfg, opts.Resume, fileStoreOpts(cfg, opts, k, mu, gamma, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -214,6 +216,7 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 			e.store.Close()
 			return nil, err
 		}
+		e.jrn.SetTracer(e.tr, 0)
 	}
 	// The theorems assume γ = O(µ) (a VP's messages fit in its local
 	// memory), so the engine footprint is Θ(k·µ) = Θ(M). The budget
@@ -250,16 +253,25 @@ func (e *seqEngine) redBarrier() error {
 	if e.red == nil {
 		return nil
 	}
-	if err := e.red.FlushParity(); err != nil {
+	sp := e.tr.Begin(obs.CatEngine, phParity, 0, 0)
+	err := e.red.FlushParity()
+	sp.End()
+	if err != nil {
 		return err
 	}
 	if e.red.Rebuilding() {
-		if err := e.red.RebuildStep(redBudget(e.cfg.D)); err != nil {
+		sp := e.tr.Begin(obs.CatEngine, phRebuild, 0, 0)
+		err := e.red.RebuildStep(redBudget(e.cfg.D))
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
 	if e.opts.Scrub {
-		if _, err := e.red.Scrub(redBudget(e.cfg.D)); err != nil {
+		sp := e.tr.Begin(obs.CatEngine, phScrub, 0, 0)
+		_, err := e.red.Scrub(redBudget(e.cfg.D))
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -291,7 +303,10 @@ func (e *seqEngine) commitJournal(step int) error {
 	if e.jrn == nil {
 		return nil
 	}
-	if err := e.store.Sync(); err != nil {
+	sp := e.tr.BeginStep(obs.CatEngine, phBarrier, 0, 0, step, -1)
+	err := e.store.Sync()
+	sp.End()
+	if err != nil {
 		return err
 	}
 	enc := words.NewEncoder(nil)
@@ -299,6 +314,9 @@ func (e *seqEngine) commitJournal(step int) error {
 	if err := e.jrn.Append(enc.Words()); err != nil {
 		return err
 	}
+	// Flush the trace at every durable barrier so a killed run's trace
+	// survives to the same superstep as its journal.
+	e.tr.Flush() //nolint:errcheck // observability must not fail the run
 	if e.opts.OnCommit != nil {
 		e.opts.OnCommit(step)
 	}
@@ -342,13 +360,16 @@ func (e *seqEngine) run() (*Result, error) {
 		// prescribe. Under the checkpoint discipline a second area
 		// double-buffers the contexts so the barrier state survives a
 		// mid-superstep rollback or crash.
+		sp := e.tr.Begin(obs.CatEngine, phSetup, 0, 0)
 		e.ctxAreas[0] = disk.Reserve(e.dsk, e.v*e.muBlocks)
 		if e.ckpt() {
 			e.ctxAreas[1] = disk.Reserve(e.dsk, e.v*e.muBlocks)
 		}
 
 		e.noteLive(0)
-		if err := e.replayPhase(e.writeInitialContexts); err != nil {
+		err := e.replayPhase(e.writeInitialContexts)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		if err := e.redBarrier(); err != nil {
@@ -392,11 +413,14 @@ func (e *seqEngine) run() (*Result, error) {
 	runStats := e.dsk.Stats()
 
 	var vps []bsp.VP
-	if err := e.replayPhase(func() error {
+	spFin := e.tr.Begin(obs.CatEngine, phFinish, 0, 0)
+	err := e.replayPhase(func() error {
 		var err error
 		vps, err = e.readFinalContexts()
 		return err
-	}); err != nil {
+	})
+	spFin.End()
+	if err != nil {
 		return nil, err
 	}
 	finish := e.dsk.Stats()
@@ -433,13 +457,22 @@ func (e *seqEngine) run() (*Result, error) {
 		res.EM.MirrorOps = c.MirrorOps
 		res.EM.Replays = e.replays
 		res.EM.RecoveryOps = c.RecoveryOps + e.recoveryOps
+		c.Publish(e.opts.Metrics)
 	}
 	if e.red != nil {
-		addRedStats(&res.EM, e.red.Counters())
+		c := e.red.Counters()
+		addRedStats(&res.EM, c)
+		c.Publish(e.opts.Metrics)
 	}
 	if e.bfile != nil {
-		res.EM.Overlap = e.bfile.Overlap()
+		// Accumulate (not assign): the same semantics as the parallel
+		// engine's per-processor fold, so any overlap already present —
+		// or added by future multi-store configurations — is never lost.
+		ov := e.bfile.Overlap()
+		res.EM.Overlap.Add(ov)
+		ov.Publish(e.opts.Metrics)
 	}
+	publishEMStats(e.opts.Metrics, &res.EM)
 	return res, nil
 }
 
@@ -601,7 +634,9 @@ func (e *seqEngine) stepOnce(step int) (halts, sends int, err error) {
 		}
 	}
 	e.noteLive(e.inBlocks + dir.total)
+	spRoute := e.tr.BeginStep(obs.CatEngine, phRoute, 0, 0, step, -1)
 	route, err := simulateRouting(e.dsk, e.acct, dir, func(m blockMeta) int { return groupOf(m.dst, e.k) }, e.groups)
+	spRoute.End()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -740,6 +775,7 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		n := hi - lo
 
 		// Fetching phase: contexts (Step 1(a)).
+		spFetch := e.tr.BeginStep(obs.CatEngine, phFetchCtx, 0, 0, step, g)
 		if err := disk.ReadRange(e.dsk, e.ctxRead(), lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
 			return 0, 0, nil, err
 		}
@@ -748,8 +784,10 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 			vps[i] = e.p.NewVP(lo + i)
 			vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*e.cfg.B : (i+1)*e.muBlocks*e.cfg.B]))
 		}
+		spFetch.End()
 
 		// Fetching phase: incoming messages (Step 1(b)).
+		spMsg := e.tr.BeginStep(obs.CatEngine, phFetchMsg, 0, 0, step, g)
 		var buf []uint64
 		var metas []blockMeta
 		var grabbed int64
@@ -777,6 +815,13 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 				return 0, 0, nil, err
 			}
 		}
+		spMsg.End()
+
+		// Computation phase (Step 1(c)) — collect generated messages
+		// in internal memory, as the paper prescribes. The span covers
+		// the pipeline's prefetch hint too: it is part of what overlaps
+		// with this group's computation.
+		spComp := e.tr.BeginStep(obs.CatEngine, phCompute, 0, 0, step, g)
 
 		// Group pipeline: stage group g+1's context and message blocks
 		// into the store's physical cache while group g computes (the
@@ -785,9 +830,6 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		if e.pf != nil && g+1 < e.groups {
 			e.pf.Prefetch(e.prefetchAddrs(g + 1))
 		}
-
-		// Computation phase (Step 1(c)) — collect generated messages
-		// in internal memory, as the paper prescribes.
 		var outs []outMsg
 		var outWords int64
 		for i := 0; i < n; i++ {
@@ -833,8 +875,10 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		if err := e.acct.Grab(outWords); err != nil {
 			return 0, 0, nil, err
 		}
+		spComp.End()
 
 		// Writing phase: generated messages (Step 1(d)).
+		spWrite := e.tr.BeginStep(obs.CatEngine, phWriteMsg, 0, 0, step, g)
 		for _, m := range outs {
 			if err := cutMessage(m, e.cfg.B, scratch, writer.add); err != nil {
 				return 0, 0, nil, err
@@ -847,8 +891,10 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		if grabbed > 0 {
 			e.acct.Release(grabbed)
 		}
+		spWrite.End()
 
 		// Writing phase: changed contexts (Step 1(e)).
+		spCtx := e.tr.BeginStep(obs.CatEngine, phWriteCtx, 0, 0, step, g)
 		clear(ctxBuf[:n*e.muBlocks*e.cfg.B])
 		for i := 0; i < n; i++ {
 			enc.Reset()
@@ -861,6 +907,7 @@ func (e *seqEngine) compoundSuperstep(step int) (halts, sends int, dir *outDirec
 		if err := disk.WriteRange(e.dsk, e.ctxWrite(), lo*e.muBlocks, hi*e.muBlocks, ctxBuf[:n*e.muBlocks*e.cfg.B]); err != nil {
 			return 0, 0, nil, err
 		}
+		spCtx.End()
 	}
 	e.rec.EndStep()
 	return halts, sends, dir, nil

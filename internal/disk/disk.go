@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"embsp/internal/obs"
 )
 
 // Config describes the disk subsystem of one processor.
@@ -160,6 +162,23 @@ func (o *OverlapStats) Add(other OverlapStats) {
 	o.ConcurrentPeak = max(o.ConcurrentPeak, other.ConcurrentPeak)
 }
 
+// Publish folds the counters into the metrics registry under
+// overlap_* names, with the same accumulation semantics as Add (sums
+// for the monotone counters, a high-water fold for the concurrency
+// peak) so multi-store and multi-processor runs aggregate correctly.
+// A nil registry is a no-op.
+func (o OverlapStats) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("overlap_prefetch_issued").Add(o.PrefetchIssued)
+	r.Counter("overlap_prefetch_hits").Add(o.PrefetchHits)
+	r.Counter("overlap_prefetch_misses").Add(o.PrefetchMisses)
+	r.Counter("overlap_async_writes").Add(o.AsyncWrites)
+	r.Counter("overlap_stall_nanos").Add(o.StallNanos)
+	r.Counter("overlap_concurrent_peak").Max(o.ConcurrentPeak)
+}
+
 // Prefetcher is implemented by stores that can pull blocks toward
 // memory ahead of the logical read that will consume them (*File with
 // workers). Purely physical: no model accounting results.
@@ -205,7 +224,10 @@ type Disk interface {
 	ReserveRot(nBlocks, rot int) Area
 	// Stats returns a copy of the accumulated I/O statistics.
 	Stats() Stats
-	// ResetStats zeroes the statistics.
+	// ResetStats zeroes the model statistics. Implementations that also
+	// track wall-clock observability counters (e.g. *File's
+	// OverlapStats) must leave those untouched: they are outside the
+	// model contract and mid-run model resets must not discard them.
 	ResetStats()
 }
 

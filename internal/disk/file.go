@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"embsp/internal/mem"
+	"embsp/internal/obs"
 )
 
 // File is a file-backed Store: one regular file per simulated drive,
@@ -80,6 +81,8 @@ type File struct {
 	slotB  int64         // slot size in bytes: (2+B)*8
 	nworks int           // I/O worker goroutines (0 = fully synchronous)
 	lat    time.Duration // emulated per-access latency (FileOptions.AccessLatency)
+	tr     *obs.Tracer   // physical-transfer spans; nil = no tracing
+	tpid   int           // trace pid label (owning processor)
 
 	mu       sync.Mutex // guards drives, stats, cache, acct, ov, werr
 	drives   []drive    // tracks field unused; metadata only
@@ -123,6 +126,14 @@ type FileOptions struct {
 	// Both the synchronous and the worker store pay the same per-access
 	// cost; zero (the default) emulates nothing.
 	AccessLatency time.Duration
+	// Tracer, when non-nil, records every physical transfer (track
+	// reads, writes, wipes, fsyncs) as an "io"-category span, labelled
+	// with TracePID as the trace process id and 1+drive as the thread
+	// id. Pure wall-clock observability: model accounting and results
+	// are unaffected; nil (the default) costs nothing.
+	Tracer *obs.Tracer
+	// TracePID labels the store's spans with the owning processor id.
+	TracePID int
 }
 
 const (
@@ -211,6 +222,8 @@ func OpenFileOpts(dir string, cfg Config, resume bool, opt FileOptions) (*File, 
 		drives: make([]drive, cfg.D),
 		slotB:  int64(2+cfg.B) * 8,
 		lat:    opt.AccessLatency,
+		tr:     opt.Tracer,
+		tpid:   opt.TracePID,
 		buf:    make([]byte, int64(2+cfg.B)*8),
 	}
 	f.stats.PerDrive = make([]DriveStats, cfg.D)
@@ -331,12 +344,24 @@ func (f *File) Stats() Stats {
 	return s
 }
 
-// ResetStats zeroes the statistics (model and overlap). Stored data is
-// untouched.
+// ResetStats zeroes the model statistics. Stored data is untouched,
+// and so are the wall-clock OverlapStats: overlap counters are
+// observability, explicitly outside the model contract, so a mid-run
+// model reset (the engines reset after the setup phase to split setup
+// from run accounting) must not discard the overlap history
+// accumulated so far. Use ResetOverlap to clear them explicitly.
 func (f *File) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stats = Stats{PerDrive: make([]DriveStats, f.cfg.D)}
+}
+
+// ResetOverlap zeroes the wall-clock overlap counters (including the
+// concurrency peak), leaving the model statistics alone — the
+// observability-side complement of ResetStats.
+func (f *File) ResetOverlap() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.ov = OverlapStats{}
 	f.peak.Store(0)
 }
@@ -390,6 +415,8 @@ func (f *File) delay() {
 // readSlotBuf reads and decodes one slot through the given scratch
 // buffer (one per worker, plus f.buf for the synchronous path).
 func (f *File) readSlotBuf(buf []byte, d, t int, dst []uint64) error {
+	sp := f.tr.Begin(obs.CatIO, "phys-read", f.tpid, 1+d)
+	defer sp.End()
 	f.delay()
 	n, err := f.files[d].ReadAt(buf, int64(t)*f.slotB)
 	if err != nil && err != io.EOF {
@@ -413,6 +440,8 @@ func (f *File) readSlotBuf(buf []byte, d, t int, dst []uint64) error {
 }
 
 func (f *File) writeSlotBuf(buf []byte, d, t int, src []uint64) error {
+	sp := f.tr.Begin(obs.CatIO, "phys-write", f.tpid, 1+d)
+	defer sp.End()
 	f.delay()
 	binary.LittleEndian.PutUint64(buf[0:], trackMagic)
 	binary.LittleEndian.PutUint64(buf[8:], Checksum(src))
@@ -426,6 +455,8 @@ func (f *File) writeSlotBuf(buf []byte, d, t int, src []uint64) error {
 // wipeSlot clears a slot's magic word so the track reads as blank
 // again (used by AllocRestore to discard an aborted attempt's writes).
 func (f *File) wipeSlot(d, t int) error {
+	sp := f.tr.Begin(obs.CatIO, "phys-wipe", f.tpid, 1+d)
+	defer sp.End()
 	f.delay()
 	var zero [8]byte
 	_, err := f.files[d].WriteAt(zero[:], int64(t)*f.slotB)
@@ -612,7 +643,9 @@ func (f *File) Prefetch(addrs []Addr) {
 // with the engine and the I/O workers.
 func (f *File) bgFlush(d int) {
 	defer f.flushWG.Done()
+	sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+d)
 	err := f.files[d].Sync()
+	sp.End()
 	f.mu.Lock()
 	f.flushing[d] = false
 	if err != nil && f.werr == nil {
@@ -1087,7 +1120,9 @@ func (f *File) Sync() error {
 				for p := f.peak.Load(); n > p && !f.peak.CompareAndSwap(p, n); p = f.peak.Load() {
 				}
 				defer f.running.Add(-1)
+				sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+i)
 				errs[i] = fh.Sync()
+				sp.End()
 			}(i, fh)
 		}
 		wg.Wait()
@@ -1101,11 +1136,14 @@ func (f *File) Sync() error {
 		}
 		return nil
 	}
-	for _, fh := range f.files {
+	for i, fh := range f.files {
 		if fh == nil {
 			continue
 		}
-		if err := fh.Sync(); err != nil {
+		sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+i)
+		err := fh.Sync()
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}

@@ -44,6 +44,8 @@ package fault
 
 import (
 	"fmt"
+
+	"embsp/internal/obs"
 )
 
 // Kind classifies an injected fault.
@@ -230,4 +232,22 @@ func (c *Counters) Add(other Counters) {
 	c.RetriedBlocks += other.RetriedBlocks
 	c.RecoveryOps += other.RecoveryOps
 	c.MirrorOps += other.MirrorOps
+}
+
+// Publish folds the counters into the metrics registry under fault_*
+// names, with Add semantics so multi-processor runs aggregate. A nil
+// registry is a no-op.
+func (c Counters) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("fault_injected_read_faults").Add(c.InjectedReadFaults)
+	r.Counter("fault_injected_write_faults").Add(c.InjectedWriteFaults)
+	r.Counter("fault_injected_corruptions").Add(c.InjectedCorruptions)
+	r.Counter("fault_checksum_failures").Add(c.ChecksumFailures)
+	r.Counter("fault_drive_failures").Add(c.DriveFailures)
+	r.Counter("fault_retries").Add(c.Retries)
+	r.Counter("fault_retried_blocks").Add(c.RetriedBlocks)
+	r.Counter("fault_recovery_ops").Add(c.RecoveryOps)
+	r.Counter("fault_mirror_ops").Add(c.MirrorOps)
 }

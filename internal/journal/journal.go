@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 
 	"embsp/internal/disk"
+	"embsp/internal/obs"
 )
 
 const (
@@ -65,6 +66,16 @@ type Journal struct {
 	off     int64      // committed byte length of the wal
 	records [][]uint64 // committed payloads, in sequence order
 	torn    bool       // Open truncated an uncommitted tail
+	tr      *obs.Tracer
+	tpid    int
+}
+
+// SetTracer attaches an observability tracer: every Append records a
+// "journal-append" span covering the record write+fsync and the
+// atomic HEAD replacement, labelled with pid as the trace process id.
+// Pure wall-clock observability; nil detaches.
+func (j *Journal) SetTracer(tr *obs.Tracer, pid int) {
+	j.tr, j.tpid = tr, pid
 }
 
 func walPath(dir string) string  { return filepath.Join(dir, "journal.wal") }
@@ -231,6 +242,8 @@ func (j *Journal) writeHead(count int) error {
 // to the log, then the HEAD pointer is atomically advanced over it.
 // The payload is only considered committed once Append returns nil.
 func (j *Journal) Append(payload []uint64) error {
+	sp := j.tr.Begin(obs.CatEngine, "journal-append", j.tpid, 0)
+	defer sp.End()
 	seq := len(j.records)
 	ws := make([]uint64, 2+len(payload))
 	ws[0] = uint64(seq)

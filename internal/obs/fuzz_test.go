@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzTraceEvent cross-checks the hand-rolled trace_event encoder
+// against encoding/json: whatever phase name (including invalid UTF-8,
+// quotes, control bytes) and span geometry the fuzzer invents, the
+// emitted line must decode, and the decoded name must match what
+// encoding/json itself would produce for the same string (both
+// replace invalid UTF-8 with U+FFFD).
+func FuzzTraceEvent(f *testing.F) {
+	f.Add("compute", "engine", 0, 0, 3, 1, int64(1500))
+	f.Add("weird \"name\"\n\t", "io", 7, 2, -1, -1, int64(0))
+	f.Add("\xff\xfe invalid", "engine", 1, 0, 0, -1, int64(999))
+	f.Add("ünïcode ✓", "engine", 0, 0, -1, 5, int64(1<<40))
+	f.Fuzz(func(t *testing.T, name, cat string, pid, tid, step, group int, durNs int64) {
+		if durNs < 0 {
+			durNs = -durNs
+		}
+		var buf bytes.Buffer
+		tr := NewWriter(&buf)
+		s := Span{t: tr, cat: cat, name: name, pid: pid, tid: tid, step: step, group: group, start: tr.epoch}
+		tr.complete(s, tr.epoch.Add(time.Duration(durNs)))
+		if err := tr.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+
+		evs, err := DecodeTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("encoder produced undecodable output for name=%q cat=%q: %v\n%s", name, cat, err, buf.Bytes())
+		}
+		if len(evs) != 1 {
+			t.Fatalf("got %d events, want 1", len(evs))
+		}
+
+		// encoding/json's round trip of the raw string is the expected
+		// normalization (invalid UTF-8 → U+FFFD).
+		norm := func(s string) string {
+			data, err := json.Marshal(s)
+			if err != nil {
+				t.Fatalf("json.Marshal(%q): %v", s, err)
+			}
+			var out string
+			if err := json.Unmarshal(data, &out); err != nil {
+				t.Fatalf("json.Unmarshal(%s): %v", data, err)
+			}
+			return out
+		}
+		if evs[0].Name != norm(name) {
+			t.Errorf("name round-trip: got %q, want %q (raw %q)", evs[0].Name, norm(name), name)
+		}
+		if evs[0].Cat != norm(cat) {
+			t.Errorf("cat round-trip: got %q, want %q", evs[0].Cat, norm(cat))
+		}
+		if evs[0].PID != int64(pid) || evs[0].TID != int64(tid) {
+			t.Errorf("pid/tid: got %d/%d, want %d/%d", evs[0].PID, evs[0].TID, pid, tid)
+		}
+		wantDur := float64(durNs) / 1000
+		if diff := evs[0].Dur - wantDur; diff > 0.001 || diff < -0.001 {
+			t.Errorf("dur: got %vµs, want %vµs", evs[0].Dur, wantDur)
+		}
+		if step >= 0 && evs[0].Args["step"] != int64(step) {
+			t.Errorf("step arg: got %v, want %d", evs[0].Args, step)
+		}
+		if group >= 0 && evs[0].Args["group"] != int64(group) {
+			t.Errorf("group arg: got %v, want %d", evs[0].Args, group)
+		}
+	})
+}
+
+// FuzzTraceDecode feeds arbitrary bytes to the lenient trace parser:
+// it must never panic, only return events or an error.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte("[\n"))
+	f.Add([]byte(`[{"name":"a","ph":"X","ts":1.5,"dur":2.5,"pid":0,"tid":1},` + "\n"))
+	f.Add([]byte(`[{"name":"a"}]`))
+	f.Add([]byte("]["))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeTrace(data)
+		if err == nil {
+			for _, ev := range evs {
+				_ = ev.Name
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteReport prints a per-phase wall-clock breakdown. Engine-category
+// phases tile each processor's timeline exclusively, so their shares
+// of the wall clock are meaningful (and, for a single-processor run,
+// sum to roughly 100%); io-category spans are the physical transfers
+// running concurrently underneath the engine phases and are listed
+// separately without shares of their own.
+func WriteReport(w io.Writer, phases []PhaseTotal, wall time.Duration) {
+	fmt.Fprintf(w, "phase report (wall clock %v):\n", wall.Round(time.Microsecond))
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\tcat\tphase\tcount\ttotal\t%% wall\t\n")
+	cats := []string{CatEngine}
+	seen := map[string]bool{CatEngine: true}
+	for _, p := range phases {
+		if !seen[p.Cat] {
+			seen[p.Cat] = true
+			cats = append(cats, p.Cat)
+		}
+	}
+	sort.Strings(cats[1:])
+	for _, cat := range cats {
+		var rows []PhaseTotal
+		for _, p := range phases {
+			if p.Cat == cat {
+				rows = append(rows, p)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Nanos != rows[j].Nanos {
+				return rows[i].Nanos > rows[j].Nanos
+			}
+			return rows[i].Name < rows[j].Name
+		})
+		var total int64
+		for _, p := range rows {
+			total += p.Nanos
+			fmt.Fprintf(tw, "\t%s\t%s\t%d\t%v\t%s\t\n",
+				p.Cat, p.Name, p.Count,
+				time.Duration(p.Nanos).Round(time.Microsecond), share(p.Nanos, wall))
+		}
+		fmt.Fprintf(tw, "\t%s\t(total)\t\t%v\t%s\t\n",
+			cat, time.Duration(total).Round(time.Microsecond), share(total, wall))
+	}
+	tw.Flush()
+	if seen[CatIO] {
+		fmt.Fprintln(w, "note: io spans run concurrently with (and under) the engine phases;")
+		fmt.Fprintln(w, "      only engine shares are fractions of a processor's timeline.")
+	}
+}
+
+func share(nanos int64, wall time.Duration) string {
+	if wall <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(nanos)/float64(wall.Nanoseconds()))
+}

@@ -52,6 +52,7 @@ import (
 	"sync"
 
 	"embsp/internal/disk"
+	"embsp/internal/obs"
 	"embsp/internal/words"
 )
 
@@ -165,6 +166,26 @@ func (c *Counters) Add(other Counters) {
 	c.ScrubbedBlocks += other.ScrubbedBlocks
 	c.ScrubRepairs += other.ScrubRepairs
 	c.RebuiltBlocks += other.RebuiltBlocks
+}
+
+// Publish folds the counters into the metrics registry under parity_*
+// names, with Add semantics so multi-processor runs aggregate (the
+// two gauges sum across processors, like EMStats does). A nil
+// registry is a no-op.
+func (c Counters) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("parity_checksum_failures").Add(c.ChecksumFailures)
+	r.Counter("parity_repaired_blocks").Add(c.RepairedBlocks)
+	r.Counter("parity_reconstructed_blocks").Add(c.ReconstructedBlocks)
+	r.Counter("parity_degraded_ops").Add(c.DegradedOps)
+	r.Counter("parity_ops").Add(c.ParityOps)
+	r.Counter("parity_blocks").Add(c.ParityBlocks)
+	r.Counter("parity_striped_blocks").Add(c.StripedBlocks)
+	r.Counter("parity_scrubbed_blocks").Add(c.ScrubbedBlocks)
+	r.Counter("parity_scrub_repairs").Add(c.ScrubRepairs)
+	r.Counter("parity_rebuilt_blocks").Add(c.RebuiltBlocks)
 }
 
 // Store implements disk.Store over an inner store, adding rotated XOR
