@@ -20,7 +20,6 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -28,176 +27,8 @@ import (
 
 	"embsp"
 	"embsp/internal/obs"
-	"embsp/internal/prng"
+	"embsp/internal/workload"
 )
-
-type algSpec struct {
-	name  string
-	build func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error)
-}
-
-func algs() []algSpec {
-	return []algSpec{
-		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			keys := make([]uint64, n)
-			for i := range keys {
-				keys[i] = r.Uint64()
-			}
-			p, err := embsp.NewSort(keys, 1, v)
-			return p, func(res *embsp.Result) string {
-				out := p.Output(res.VPs)
-				for i := 1; i < len(out); i++ {
-					if out[i-1] > out[i] {
-						return "FAILED: output not sorted"
-					}
-				}
-				return fmt.Sprintf("%d keys sorted", len(out))
-			}, err
-		}},
-		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			vals := make([]uint64, n)
-			for i := range vals {
-				vals[i] = uint64(i)
-			}
-			p, err := embsp.NewPermute(vals, r.Perm(n), v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("%d records routed", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			pts := make([]embsp.Point, n)
-			for i := range pts {
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-			}
-			p, err := embsp.NewHull2D(pts, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("hull has %d vertices", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			pts := make([]embsp.Point3, n)
-			for i := range pts {
-				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
-			}
-			p, err := embsp.NewMaxima3D(pts, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("%d maximal points", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			pts := make([]embsp.Point, n)
-			for i := range pts {
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-			}
-			p, err := embsp.NewNN2D(pts, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("%d nearest neighbors found", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			perm := r.Perm(n)
-			succ := make([]int, n)
-			for i := range succ {
-				succ[i] = -1
-			}
-			for i := 0; i+1 < n; i++ {
-				succ[perm[i]] = perm[i+1]
-			}
-			p, err := embsp.NewListRank(succ, nil, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("%d nodes ranked", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			edges := randomTree(r, n)
-			p, err := embsp.NewEulerTour(n, edges, v)
-			return p, func(res *embsp.Result) string {
-				info := p.Output(res.VPs)
-				maxDepth := 0
-				for _, d := range info.Depth {
-					if d > maxDepth {
-						maxDepth = d
-					}
-				}
-				return fmt.Sprintf("tree rooted; height %d", maxDepth)
-			}, err
-		}},
-		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			edges := make([][2]int, 0, 2*n)
-			for len(edges) < 2*n {
-				a, b := r.Intn(n), r.Intn(n)
-				if a != b {
-					edges = append(edges, [2]int{a, b})
-				}
-			}
-			p, err := embsp.NewCC(n, edges, v)
-			return p, func(res *embsp.Result) string {
-				comps := map[int]bool{}
-				for _, l := range p.Output(res.VPs) {
-					comps[l] = true
-				}
-				return fmt.Sprintf("%d components, %d forest edges, %d Borůvka rounds",
-					len(comps), len(p.Forest(res.VPs)), p.Rounds(res.VPs))
-			}, err
-		}},
-		{"lca", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			edges := randomTree(r, n)
-			queries := make([][2]int, n)
-			for i := range queries {
-				queries[i] = [2]int{r.Intn(n), r.Intn(n)}
-			}
-			p, err := embsp.NewLCA(n, edges, queries, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("%d LCA queries answered", len(p.Output(res.VPs)))
-			}, err
-		}},
-		{"expr", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
-			parent, kind, value := randomExpr(r, n)
-			p, err := embsp.NewExprTree(parent, kind, value, v)
-			return p, func(res *embsp.Result) string {
-				return fmt.Sprintf("expression value %d", p.Output(res.VPs))
-			}, err
-		}},
-	}
-}
-
-func randomTree(r *prng.Rand, n int) [][2]int {
-	edges := make([][2]int, 0, n-1)
-	for i := 1; i < n; i++ {
-		edges = append(edges, [2]int{r.Intn(i), i})
-	}
-	return edges
-}
-
-func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []uint64) {
-	parent = []int{-1}
-	kind = []uint8{embsp.OpLeaf}
-	value = []uint64{r.Uint64() % 100}
-	if nLeaves <= 1 {
-		return
-	}
-	leaves := []int{0}
-	for len(leaves) < nLeaves {
-		li := r.Intn(len(leaves))
-		node := leaves[li]
-		if r.Bool() {
-			kind[node] = embsp.OpAdd
-		} else {
-			kind[node] = embsp.OpMul
-		}
-		for c := 0; c < 2; c++ {
-			parent = append(parent, node)
-			kind = append(kind, embsp.OpLeaf)
-			value = append(value, r.Uint64()%100)
-			if c == 0 {
-				leaves[li] = len(parent) - 1
-			} else {
-				leaves = append(leaves, len(parent)-1)
-			}
-		}
-	}
-	return
-}
 
 // killProgram wraps a Program so that one VP hard-kills the process
 // with SIGKILL — no deferred cleanup, exactly like a power loss — when
@@ -316,7 +147,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("embsp-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	alg := fs.String("alg", "sort", "workload: sort permute hull maxima nn listrank euler cc lca expr")
+	alg := fs.String("alg", "sort", "workload: "+strings.Join(workload.Names(), " "))
 	n := fs.Int("n", 1<<16, "problem size")
 	v := fs.Int("v", 32, "virtual processors")
 	procs := fs.Int("p", 1, "real processors")
@@ -351,27 +182,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSoak(*soakDuration, *soakAlgs, *seed)
 	}
 
-	var spec *algSpec
-	names := make([]string, 0)
-	for _, a := range algs() {
-		a := a
-		names = append(names, a.name)
-		if a.name == *alg {
-			spec = &a
-		}
-	}
-	if spec == nil {
-		sort.Strings(names)
-		fmt.Fprintf(stderr, "unknown -alg %q; available: %v\n", *alg, names)
-		return 2
-	}
-
-	r := prng.New(*seed)
-	prog, describe, err := spec.build(*n, *v, r)
+	inst, err := workload.Spec{Alg: *alg, N: *n, V: *v, Seed: *seed}.Build()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return 2
 	}
+	prog, describe := inst.Program, inst.Describe
 	cfg := embsp.MachineConfig{
 		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
 		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(*b), Pkt: *b, L: 100},
@@ -440,9 +256,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.Trace, opts.Metrics = tr, reg
 
 	// SIGINT/SIGTERM stop the run at the next superstep barrier; with a
-	// -state-dir the journal is left at the last committed superstep.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// -state-dir the journal is left at the last committed superstep. A
+	// second signal while the graceful stop is still draining — e.g. a
+	// barrier wedged behind slow physical I/O, where ctrl-C would
+	// otherwise appear ignored — forces an immediate hard exit with the
+	// conventional 128+signal status.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "embsp-run: %v: stopping at the next superstep barrier (signal again to force exit)\n", sig)
+		cancel()
+		if sig, ok = <-sigc; ok {
+			fmt.Fprintf(stderr, "embsp-run: %v again: forcing immediate exit\n", sig)
+			code := 130
+			if s, isSys := sig.(syscall.Signal); isSys {
+				code = 128 + int(s)
+			}
+			os.Exit(code)
+		}
+	}()
 
 	start := time.Now()
 	res, err := embsp.RunContext(ctx, prog, cfg, opts)

@@ -18,120 +18,8 @@ import (
 	"embsp"
 	"embsp/internal/prng"
 	"embsp/internal/words"
+	"embsp/internal/workload"
 )
-
-type soakSpec struct {
-	name  string
-	build func(n, v int, r *prng.Rand) (embsp.Program, error)
-}
-
-// soakTable lists all 13 Table 1 workloads at soak scale.
-func soakTable() []soakSpec {
-	return []soakSpec{
-		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			keys := make([]uint64, n)
-			for i := range keys {
-				keys[i] = r.Uint64()
-			}
-			return embsp.NewSort(keys, 1, v)
-		}},
-		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			vals := make([]uint64, n)
-			for i := range vals {
-				vals[i] = uint64(i)
-			}
-			return embsp.NewPermute(vals, r.Perm(n), v)
-		}},
-		{"transpose", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			rows := 4
-			keys := make([]uint64, rows*(n/rows))
-			for i := range keys {
-				keys[i] = r.Uint64()
-			}
-			return embsp.NewTranspose(keys, rows, n/rows, v)
-		}},
-		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			pts := make([]embsp.Point3, n)
-			for i := range pts {
-				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
-			}
-			return embsp.NewMaxima3D(pts, v)
-		}},
-		{"dominance", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			pts := make([]embsp.Point, n)
-			vals := make([]uint64, n)
-			for i := range pts {
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-				vals[i] = uint64(i)
-			}
-			return embsp.NewDominance2D(pts, vals, v)
-		}},
-		{"rectunion", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			rects := make([]embsp.Rect, n)
-			for i := range rects {
-				x, y := r.Float64(), r.Float64()
-				rects[i] = embsp.Rect{X1: x, X2: x + r.Float64(), Y1: y, Y2: y + r.Float64()}
-			}
-			return embsp.NewRectUnion(rects, v)
-		}},
-		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			pts := make([]embsp.Point, n)
-			for i := range pts {
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-			}
-			return embsp.NewHull2D(pts, v)
-		}},
-		{"envelope", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			segs := make([]embsp.Segment, n)
-			for i := range segs {
-				x := 3 * float64(i)
-				segs[i] = embsp.Segment{X1: x, Y1: r.Float64(), X2: x + 2, Y2: r.Float64()}
-			}
-			return embsp.NewEnvelope(segs, v)
-		}},
-		{"nextelement", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			hsegs := make([]embsp.HSegment, n)
-			pts := make([]embsp.Point, n)
-			for i := range hsegs {
-				x := r.Float64()
-				hsegs[i] = embsp.HSegment{X1: x, X2: x + 0.2, Y: r.Float64()}
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-			}
-			return embsp.NewNextElement(hsegs, pts, v)
-		}},
-		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			pts := make([]embsp.Point, n)
-			for i := range pts {
-				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
-			}
-			return embsp.NewNN2D(pts, v)
-		}},
-		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			perm := r.Perm(n)
-			succ := make([]int, n)
-			for i := range succ {
-				succ[i] = -1
-			}
-			for i := 0; i+1 < n; i++ {
-				succ[perm[i]] = perm[i+1]
-			}
-			return embsp.NewListRank(succ, nil, v)
-		}},
-		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			return embsp.NewEulerTour(n, randomTree(r, n), v)
-		}},
-		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, error) {
-			edges := make([][2]int, 0, n)
-			for len(edges) < n {
-				a, b := r.Intn(n), r.Intn(n)
-				if a != b {
-					edges = append(edges, [2]int{a, b})
-				}
-			}
-			return embsp.NewCC(n, edges, v)
-		}},
-	}
-}
 
 // soakCase is one drawn schedule, printable as a repro line.
 type soakCase struct {
@@ -204,9 +92,9 @@ func (v *crashVP) Step(env *embsp.Env, in []embsp.Message) (bool, error) {
 }
 
 // drawCase samples one schedule from r over the allowed workloads.
-func drawCase(r *prng.Rand, table []soakSpec) soakCase {
+func drawCase(r *prng.Rand, table []string) soakCase {
 	c := soakCase{
-		alg:       table[r.Intn(len(table))].name,
+		alg:       table[r.Intn(len(table))],
 		n:         40 + r.Intn(32),
 		v:         4 + r.Intn(5),
 		procs:     1 + 2*r.Intn(2), // 1 or 3
@@ -257,17 +145,12 @@ func soakImage(vp embsp.VP) string {
 
 // runCase executes one schedule and compares it bitwise against the
 // reference. It returns an error describing the divergence, if any.
-func runCase(c soakCase, table []soakSpec) error {
-	var spec *soakSpec
-	for i := range table {
-		if table[i].name == c.alg {
-			spec = &table[i]
-		}
-	}
-	prog, err := spec.build(c.n, c.v, prng.New(c.seed))
+func runCase(c soakCase) error {
+	inst, err := (workload.Spec{Alg: c.alg, N: c.n, V: c.v, Seed: c.seed}).Build()
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
 	}
+	prog := inst.Program
 	ref, err := embsp.RunReference(prog, c.seed)
 	if err != nil {
 		return fmt.Errorf("reference: %w", err)
@@ -347,17 +230,17 @@ func runCase(c soakCase, table []soakSpec) error {
 // runSoak drives random schedules until the duration expires. It
 // returns the process exit code.
 func runSoak(duration time.Duration, algsCSV string, seed uint64) int {
-	table := soakTable()
+	table := workload.Table1Names()
 	if algsCSV != "" {
 		want := make(map[string]bool)
 		for _, a := range strings.Split(algsCSV, ",") {
 			want[strings.TrimSpace(a)] = true
 		}
-		var filtered []soakSpec
-		for _, s := range table {
-			if want[s.name] {
-				filtered = append(filtered, s)
-				delete(want, s.name)
+		var filtered []string
+		for _, name := range table {
+			if want[name] {
+				filtered = append(filtered, name)
+				delete(want, name)
 			}
 		}
 		if len(want) > 0 || len(filtered) == 0 {
@@ -371,7 +254,7 @@ func runSoak(duration time.Duration, algsCSV string, seed uint64) int {
 	runs := 0
 	for time.Now().Before(deadline) {
 		c := drawCase(r, table)
-		if err := runCase(c, table); err != nil {
+		if err := runCase(c); err != nil {
 			fmt.Fprintf(os.Stderr, "soak FAILED after %d clean runs: %v\nrepro: %s\n", runs, err, c)
 			return 1
 		}

@@ -1,0 +1,121 @@
+// Command embsp-serve runs the EM-BSP simulation as a service: an
+// HTTP/JSON API over a supervised run queue. Jobs are named workload
+// specs executed on per-job state directories under -state, with
+// admission control (per-tenant memory quotas, bounded queue),
+// retry with backoff for transient faults, per-job deadlines, and
+// crash-resume: the queue is persisted in a fsynced manifest, and a
+// restarted daemon re-adopts unfinished jobs and resumes their runs
+// from their superstep journals.
+//
+// SIGTERM or SIGINT drains gracefully — running jobs stop at their
+// next journal commit and are marked interrupted for the next start.
+// A second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"embsp/internal/jobs"
+	"embsp/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("embsp-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "address to listen on (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the actually-bound address to this file once listening")
+	state := fs.String("state", "", "state root directory for the job manifest and per-job journals (required)")
+	workers := fs.Int("workers", 4, "maximum concurrently running jobs")
+	queue := fs.Int("queue", 64, "maximum live (queued+running) jobs before submissions are refused")
+	memGlobal := fs.Int64("mem-global", 0, "daemon-wide simulated-memory budget in words, 0 = unlimited")
+	memTenant := fs.Int64("mem-tenant", 0, "per-tenant simulated-memory quota in words, 0 = unlimited")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a graceful shutdown waits for running jobs to reach a journal commit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *state == "" {
+		fmt.Fprintln(stderr, "embsp-serve: -state is required")
+		return 2
+	}
+
+	sup, err := jobs.New(jobs.Config{
+		Root:           *state,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		GlobalMemWords: *memGlobal,
+		TenantMemWords: *memTenant,
+		Metrics:        obs.NewRegistry(),
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "embsp-serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "embsp-serve:", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written atomically so a script polling for the file never
+		// reads a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o666); err != nil {
+			fmt.Fprintln(stderr, "embsp-serve:", err)
+			return 1
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fmt.Fprintln(stderr, "embsp-serve:", err)
+			return 1
+		}
+	}
+
+	sup.Start()
+	srv := &http.Server{Handler: sup.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	fmt.Fprintf(stdout, "embsp-serve: listening on %s, state in %s\n", bound, *state)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sig := <-sigc
+	fmt.Fprintf(stderr, "embsp-serve: %v: draining — running jobs stop at their next journal commit (signal again to force exit)\n", sig)
+
+	done := make(chan int, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := sup.Drain(ctx); err != nil {
+			fmt.Fprintln(stderr, "embsp-serve:", err)
+			code = 1
+		}
+		srv.Shutdown(ctx) //nolint:errcheck // listener teardown
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		fmt.Fprintln(stdout, "embsp-serve: drained")
+		return code
+	case sig = <-sigc:
+		fmt.Fprintf(stderr, "embsp-serve: %v again: forcing immediate exit\n", sig)
+		if s, ok := sig.(syscall.Signal); ok {
+			return 128 + int(s)
+		}
+		return 130
+	}
+}

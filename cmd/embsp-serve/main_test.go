@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"embsp/internal/jobs"
+	"embsp/internal/journal"
+	"embsp/internal/workload"
+)
+
+// TestServeHelper is the daemon under test: the e2e tests below
+// re-execute the test binary with this env set, so they can SIGKILL
+// or SIGTERM a real embsp-serve process.
+func TestServeHelper(t *testing.T) {
+	if os.Getenv("EMBSP_SERVE_HELPER") != "1" {
+		t.Skip("helper process for the daemon e2e tests")
+	}
+	os.Exit(run(strings.Split(os.Getenv("EMBSP_SERVE_ARGS"), "\x1f"), os.Stdout, os.Stderr))
+}
+
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// startDaemon launches embsp-serve as a child process over state and
+// returns the command, its base URL, and its combined output buffer.
+func startDaemon(t *testing.T, state string) (*exec.Cmd, string, *lockedBuf) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := []string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-state", state}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestServeHelper$")
+	cmd.Env = append(os.Environ(),
+		"EMBSP_SERVE_HELPER=1",
+		"EMBSP_SERVE_ARGS="+strings.Join(args, "\x1f"))
+	out := &lockedBuf{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if buf, err := os.ReadFile(addrFile); err == nil && len(buf) > 0 {
+			return cmd, "http://" + string(buf), out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote %s; output:\n%s", addrFile, out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, url, body string) jobs.Job {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) //nolint:errcheck
+		t.Fatalf("submit status %d: %s", resp.StatusCode, buf.String())
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func getJob(t *testing.T, url, id string) (jobs.Job, error) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobs.Job{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var j jobs.Job
+	return j, json.NewDecoder(resp.Body).Decode(&j)
+}
+
+func pollJob(t *testing.T, url, id string, pred func(jobs.Job) bool) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	var last jobs.Job
+	for time.Now().Before(deadline) {
+		if j, err := getJob(t, url, id); err == nil {
+			last = j
+			if pred(j) {
+				return j
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck: state=%s attempts=%d err=%q", id, last.State, last.Attempts, last.Error)
+	return jobs.Job{}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return buf.String()
+}
+
+const slowJob = `{"workload":{"alg":"sort","n":96,"v":6,"seed":21},"drive_latency_us":3000}`
+
+func slowJobRequest() jobs.Request {
+	return jobs.Request{
+		Workload:       workload.Spec{Alg: "sort", N: 96, V: 6, Seed: 21},
+		DriveLatencyUS: 3000,
+	}
+}
+
+// TestKillRestartResume is the headline crash-resume e2e: SIGKILL the
+// daemon mid-superstep, restart it over the same state root, and the
+// job finishes with a Result fingerprint bitwise identical to a clean
+// un-killed run.
+func TestKillRestartResume(t *testing.T) {
+	state := t.TempDir()
+	cmd, url, out := startDaemon(t, state)
+
+	j := submitJob(t, url, slowJob)
+	if !strings.Contains(getBody(t, url+"/metrics"), "embsp_jobs_submitted 1") {
+		t.Error("/metrics does not report the submission")
+	}
+	// Wait until the run is mid-flight with at least one committed
+	// barrier, then pull the plug.
+	stateDir := filepath.Join(state, j.StateDir)
+	pollJob(t, url, j.ID, func(j jobs.Job) bool {
+		n, err := journal.Committed(stateDir)
+		return err == nil && n > 0 && j.State == jobs.StateRunning
+	})
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatalf("SIGKILLed daemon exited cleanly; output:\n%s", out)
+	}
+	if ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("daemon did not die of SIGKILL: %v", cmd.ProcessState)
+	}
+
+	// Restart over the same root: the manifest replays, the job is
+	// re-adopted and resumed from its journal.
+	cmd2, url2, out2 := startDaemon(t, state)
+	j = pollJob(t, url2, j.ID, func(j jobs.Job) bool { return j.State.Terminal() })
+	if j.State != jobs.StateDone || !j.Resumed {
+		t.Fatalf("state=%s resumed=%v err=%q; daemon output:\n%s", j.State, j.Resumed, j.Error, out2)
+	}
+	want, err := slowJobRequest().RunOnce(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Result == nil || j.Result.Fingerprint != want.Fingerprint {
+		t.Errorf("resumed fingerprint %+v, want %q", j.Result, want.Fingerprint)
+	}
+	metrics := getBody(t, url2+"/metrics")
+	for _, m := range []string{"embsp_jobs_adopted 1", "embsp_jobs_resumed 1", "embsp_jobs_done 1"} {
+		if !strings.Contains(metrics, m) {
+			t.Errorf("/metrics after restart missing %q", m)
+		}
+	}
+
+	// Graceful goodbye: SIGTERM with nothing running exits 0.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("drained daemon exited with %v; output:\n%s", err, out2)
+	}
+}
+
+// TestGracefulDrainPersistsInterrupted: SIGTERM drains to the next
+// journal commit, exits 0, and leaves the job marked interrupted in
+// the manifest for the next daemon to finish.
+func TestGracefulDrainPersistsInterrupted(t *testing.T) {
+	state := t.TempDir()
+	cmd, url, out := startDaemon(t, state)
+	j := submitJob(t, url, slowJob)
+	stateDir := filepath.Join(state, j.StateDir)
+	pollJob(t, url, j.ID, func(j jobs.Job) bool {
+		n, err := journal.Committed(stateDir)
+		return err == nil && n > 0 && j.State == jobs.StateRunning
+	})
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain exited with %v; output:\n%s", err, out)
+	}
+	buf, err := os.ReadFile(filepath.Join(state, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Jobs []jobs.Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs) != 1 || m.Jobs[0].State != jobs.StateInterrupted {
+		t.Fatalf("manifest after drain: %+v, want one interrupted job", m.Jobs)
+	}
+
+	cmd2, url2, out2 := startDaemon(t, state)
+	j = pollJob(t, url2, j.ID, func(j jobs.Job) bool { return j.State.Terminal() })
+	if j.State != jobs.StateDone || !j.Resumed {
+		t.Fatalf("state=%s resumed=%v err=%q; output:\n%s", j.State, j.Resumed, j.Error, out2)
+	}
+	want, err := slowJobRequest().RunOnce(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Result.Fingerprint != want.Fingerprint {
+		t.Errorf("fingerprint %q != clean run %q", j.Result.Fingerprint, want.Fingerprint)
+	}
+	cmd2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	cmd2.Wait()                          //nolint:errcheck
+}
+
+// TestSecondSignalForcesExit: during a graceful drain a second signal
+// must not wait for the barrier — the daemon exits immediately with
+// the conventional 128+signal code.
+func TestSecondSignalForcesExit(t *testing.T) {
+	state := t.TempDir()
+	cmd, url, out := startDaemon(t, state)
+	// 20ms per track puts the next barrier far away, so the drain
+	// would take a long time without the second signal.
+	submitJob(t, url, `{"workload":{"alg":"sort","n":96,"v":6,"seed":22},"drive_latency_us":20000}`)
+	pollJob(t, url, "j1", func(j jobs.Job) bool { return j.State == jobs.StateRunning })
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "draining") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no drain message after SIGTERM; output:\n%s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon still alive 10s after the second SIGTERM; output:\n%s", out)
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 128+int(syscall.SIGTERM) {
+		t.Errorf("exit code %d, want %d; output:\n%s", code, 128+int(syscall.SIGTERM), out)
+	}
+	if !strings.Contains(out.String(), "forcing immediate exit") {
+		t.Errorf("missing force-exit message; output:\n%s", out)
+	}
+}

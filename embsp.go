@@ -173,6 +173,16 @@ func RunReference(p Program, seed uint64) (*ReferenceResult, error) {
 	return bsp.Run(p, bsp.RunOptions{Seed: seed})
 }
 
+// Retriable classifies an error returned by Run / RunContext for
+// callers (CLIs, the job daemon) deciding whether to attempt the run
+// again: true means a fresh attempt — typically resuming the StateDir
+// journal — has a real chance of succeeding, false means the failure
+// is terminal and retrying only repeats it. ProgramError, journal
+// damage, unrepairable corruption, validation errors and context
+// cancellation are terminal; a fault the engines' own replay loop
+// would have considered recoverable is retriable.
+func Retriable(err error) bool { return core.Retriable(err) }
+
 // NewTracer returns a memory-only Tracer: per-phase totals accumulate
 // (see Tracer.Phases) but no trace file is written.
 func NewTracer() *Tracer { return obs.New() }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/fault"
+	"embsp/internal/journal"
+)
+
+// Retriable classifies an error returned by Run / RunContext for a
+// caller deciding whether to run the job again: true means a fresh
+// attempt (typically resuming the StateDir journal) has a real chance
+// of succeeding, false means the failure is terminal and retrying
+// only repeats it.
+//
+// The taxonomy is the one the engines themselves use mid-run.
+// fault.Replayable drives the superstep rollback/replay loop; a
+// *fault.Error that escapes to the caller is retriable exactly when
+// that loop would have considered it replayable — transient kinds and
+// drive losses covered by redundancy (a later attempt continues the
+// per-drive fault clocks from the journal, so it faces a fresh
+// schedule, not a rerun of the same one). Everything else is terminal:
+//
+//   - *bsp.ProgramError — the user program panicked; retrying executes
+//     the same deterministic program over the same state.
+//   - *journal.Error — the write-ahead journal itself is damaged; no
+//     replay source exists.
+//   - *disk.CorruptTrackError escaping the fault layer — at-rest
+//     corruption with no redundancy left to repair it from.
+//   - *UnprotectedDriveLossError and other validation errors — the
+//     configuration can never run.
+//   - context.Canceled / context.DeadlineExceeded — a decision, not a
+//     fault.
+//   - anything unrecognized — fail safe, report instead of looping.
+func Retriable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *bsp.ProgramError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var je *journal.Error
+	if errors.As(err, &je) {
+		return false
+	}
+	var ue *UnprotectedDriveLossError
+	if errors.As(err, &ue) {
+		return false
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return fe.Recoverable
+	}
+	var ce *disk.CorruptTrackError
+	if errors.As(err, &ce) {
+		return false
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"embsp/internal/bsp"
+	"embsp/internal/disk"
+	"embsp/internal/fault"
+	"embsp/internal/journal"
+)
+
+func TestRetriable(t *testing.T) {
+	recoverable := &fault.Error{Kind: fault.TransientRead, Disk: 1, Track: 2, Op: "read", Recoverable: true}
+	permanent := &fault.Error{Kind: fault.DriveLoss, Disk: 0, Recoverable: false}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"recoverable fault", recoverable, true},
+		{"wrapped recoverable fault", fmt.Errorf("superstep 3: %w", recoverable), true},
+		{"joined recoverable fault", errors.Join(errors.New("other"), recoverable), true},
+		{"unrecoverable fault", permanent, false},
+		{"wrapped unrecoverable fault", fmt.Errorf("superstep 3: %w", permanent), false},
+		{"program panic", &bsp.ProgramError{VP: 4, Superstep: 2, Value: "boom"}, false},
+		{"wrapped program panic", fmt.Errorf("run: %w", &bsp.ProgramError{VP: 0}), false},
+		{"journal damage", &journal.Error{Path: "HEAD", Record: -1, Reason: "not a journal HEAD"}, false},
+		{"wrapped journal damage", fmt.Errorf("resume: %w", &journal.Error{Record: 7, Reason: "bad checksum"}), false},
+		{"corrupt track", &disk.CorruptTrackError{Path: "d0", Disk: 0, Track: 9}, false},
+		{"unprotected drive loss", &UnprotectedDriveLossError{FailDrive: 1, FailOp: 40}, false},
+		{"cancellation", context.Canceled, false},
+		{"wrapped cancellation", fmt.Errorf("run: %w", context.Canceled), false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"generic error", errors.New("unknown"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Retriable(tc.err); got != tc.want {
+				t.Errorf("Retriable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// A cancellation that arrives while the fault layer is mid-retry can
+// surface wrapped around a recoverable fault; the decision (stop) must
+// win over the fault (retry).
+func TestRetriableCancellationWins(t *testing.T) {
+	err := fmt.Errorf("superstep 2: %w: %w", context.Canceled,
+		&fault.Error{Kind: fault.TransientRead, Recoverable: true})
+	if Retriable(err) {
+		t.Error("cancellation wrapped around a recoverable fault classified retriable")
+	}
+}

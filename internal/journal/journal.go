@@ -29,6 +29,7 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -98,32 +99,57 @@ func Create(dir string) (*Journal, error) {
 	return j, nil
 }
 
-// Open loads an existing journal for resumption. It verifies HEAD,
-// reads back exactly the committed records (verifying each frame), and
-// truncates any uncommitted tail beyond HEAD. Fewer intact records
-// than HEAD promises is corruption and yields a typed *Error.
-func Open(dir string) (*Journal, error) {
+// readHead loads and verifies the HEAD commit pointer of dir,
+// returning the committed record count and byte length.
+func readHead(dir string) (count int, length int64, err error) {
 	head, err := os.ReadFile(headPath(dir))
 	if err != nil {
-		return nil, &Error{Path: headPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable commit pointer: %v", err)}
+		return 0, 0, &Error{Path: headPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable commit pointer: %v", err)}
 	}
 	if len(head) != headBytes || binary.LittleEndian.Uint64(head[0:]) != headMagic {
-		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "not a journal HEAD"}
+		return 0, 0, &Error{Path: headPath(dir), Record: -1, Reason: "not a journal HEAD"}
 	}
 	hw := []uint64{
 		binary.LittleEndian.Uint64(head[8:]),
 		binary.LittleEndian.Uint64(head[16:]),
 	}
 	if disk.Checksum(hw) != binary.LittleEndian.Uint64(head[24:]) {
-		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer fails its checksum"}
+		return 0, 0, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer fails its checksum"}
 	}
-	count, length := int(hw[0]), int64(hw[1])
+	count, length = int(hw[0]), int64(hw[1])
 	// A checksummed HEAD can still carry implausible words (it is only
 	// 16 bytes of entropy away from a collision, and fuzzing finds
 	// them): a count or length that overflows int must be rejected here,
-	// or the negative slice bound below would panic instead of erroring.
+	// or a negative slice bound downstream would panic instead of
+	// erroring.
 	if count < 0 || length < 0 {
-		return nil, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer is implausible"}
+		return 0, 0, &Error{Path: headPath(dir), Record: -1, Reason: "commit pointer is implausible"}
+	}
+	return count, length, nil
+}
+
+// Committed reports how many committed records the journal in dir
+// holds, without opening it for appending or truncating its tail. A
+// directory with no journal HEAD at all reports 0 with a nil error.
+// Callers use it to decide between a fresh run and Options.Resume: a
+// state directory whose run died before its first barrier commit has
+// nothing to resume from and must be started fresh.
+func Committed(dir string) (int, error) {
+	if _, err := os.Stat(headPath(dir)); errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	count, _, err := readHead(dir)
+	return count, err
+}
+
+// Open loads an existing journal for resumption. It verifies HEAD,
+// reads back exactly the committed records (verifying each frame), and
+// truncates any uncommitted tail beyond HEAD. Fewer intact records
+// than HEAD promises is corruption and yields a typed *Error.
+func Open(dir string) (*Journal, error) {
+	count, length, err := readHead(dir)
+	if err != nil {
+		return nil, err
 	}
 
 	wal, err := os.OpenFile(walPath(dir), os.O_RDWR, 0o666)

@@ -5,15 +5,28 @@
 // buffers). The accountant makes that claim checkable: every buffer
 // the engine materializes is grabbed against the budget, and exceeding
 // it is an error rather than a silent fidelity leak.
+//
+// The job daemon reuses the same accountant one level up: per-tenant
+// quotas and the daemon-wide run budget are Accountants whose Grab
+// failure becomes an admission refusal (HTTP 429), and whose blocking
+// ReserveCtx is how an admitted job waits for running jobs to release
+// capacity — unblocking immediately if the waiting job is cancelled.
 package mem
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // Accountant tracks internal memory usage in words against a limit.
+// It is safe for concurrent use.
 type Accountant struct {
-	limit int64
-	used  int64
-	high  int64
+	mu      sync.Mutex
+	limit   int64
+	used    int64
+	high    int64
+	waiters chan struct{} // closed and replaced whenever capacity frees
 }
 
 // NewAccountant returns an accountant with the given limit in words.
@@ -27,13 +40,27 @@ func NewAccountant(limit int64) *Accountant {
 func (a *Accountant) Limit() int64 { return a.limit }
 
 // Used returns the currently held words.
-func (a *Accountant) Used() int64 { return a.used }
+func (a *Accountant) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
 
 // High returns the high-water mark of held words.
-func (a *Accountant) High() int64 { return a.high }
+func (a *Accountant) High() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.high
+}
 
 // Grab reserves n words, failing if the limit would be exceeded.
 func (a *Accountant) Grab(n int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.grabLocked(n)
+}
+
+func (a *Accountant) grabLocked(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("mem: negative grab %d", n)
 	}
@@ -47,34 +74,85 @@ func (a *Accountant) Grab(n int64) error {
 	return nil
 }
 
-// Release returns n words to the budget. Releasing more than is held
-// panics: that is an engine accounting bug, not a runtime condition.
+// ReserveCtx reserves n words like Grab, but when the budget is
+// currently exhausted it blocks until enough capacity is released —
+// or until ctx is cancelled, in which case it returns ctx's error with
+// nothing reserved. A reservation that could never fit (n exceeds the
+// limit itself) fails immediately rather than stalling forever.
+func (a *Accountant) ReserveCtx(ctx context.Context, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("mem: negative reserve %d", n)
+	}
+	for {
+		a.mu.Lock()
+		if a.limit > 0 && n > a.limit {
+			a.mu.Unlock()
+			return fmt.Errorf("mem: reserve %d words can never fit the limit of %d", n, a.limit)
+		}
+		if a.limit <= 0 || a.used+n <= a.limit {
+			a.grabLocked(n) //nolint:errcheck // fits by the checks above
+			a.mu.Unlock()
+			return nil
+		}
+		if a.waiters == nil {
+			a.waiters = make(chan struct{})
+		}
+		w := a.waiters
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w:
+		}
+	}
+}
+
+// Release returns n words to the budget, waking any ReserveCtx waiters.
+// Releasing more than is held panics: that is an accounting bug, not a
+// runtime condition.
 func (a *Accountant) Release(n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if n < 0 || n > a.used {
 		panic(fmt.Sprintf("mem: release %d with %d held", n, a.used))
 	}
 	a.used -= n
+	a.wakeLocked()
 }
 
 // AdoptHigh raises the high-water mark to at least h. The EM engines
 // journal the mark at every barrier commit and adopt it on resume, so
 // a resumed run reports the same MemHigh as an uninterrupted one.
 func (a *Accountant) AdoptHigh(h int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if h > a.high {
 		a.high = h
 	}
 }
 
 // Mark returns the current usage, for a later Rewind.
-func (a *Accountant) Mark() int64 { return a.used }
+func (a *Accountant) Mark() int64 { return a.Used() }
 
-// Rewind resets usage to a previous Mark. The EM engines use it when a
-// fault aborts a superstep attempt partway: buffers grabbed by the
-// aborted attempt are dropped wholesale rather than released one by
-// one along the unwound error path.
+// Rewind resets usage to a previous Mark, waking any ReserveCtx
+// waiters. The EM engines use it when a fault aborts a superstep
+// attempt partway: buffers grabbed by the aborted attempt are dropped
+// wholesale rather than released one by one along the unwound error
+// path.
 func (a *Accountant) Rewind(used int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if used < 0 || used > a.used {
 		panic(fmt.Sprintf("mem: rewind to %d with %d held", used, a.used))
 	}
 	a.used = used
+	a.wakeLocked()
+}
+
+// wakeLocked wakes every blocked ReserveCtx to re-check capacity.
+func (a *Accountant) wakeLocked() {
+	if a.waiters != nil {
+		close(a.waiters)
+		a.waiters = nil
+	}
 }

@@ -1,6 +1,11 @@
 package mem
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestGrabRelease(t *testing.T) {
 	a := NewAccountant(100)
@@ -54,4 +59,82 @@ func TestOverReleasePanics(t *testing.T) {
 	a := NewAccountant(10)
 	_ = a.Grab(5)
 	a.Release(6)
+}
+
+func TestReserveCtxImmediate(t *testing.T) {
+	a := NewAccountant(100)
+	if err := a.ReserveCtx(context.Background(), 100); err != nil {
+		t.Fatalf("fitting reserve blocked or failed: %v", err)
+	}
+	if a.Used() != 100 {
+		t.Errorf("Used = %d, want 100", a.Used())
+	}
+}
+
+func TestReserveCtxNeverFits(t *testing.T) {
+	a := NewAccountant(100)
+	if err := a.ReserveCtx(context.Background(), 101); err == nil {
+		t.Fatal("reserve larger than the limit did not fail immediately")
+	}
+	if a.Used() != 0 {
+		t.Errorf("failed reserve left %d words held", a.Used())
+	}
+}
+
+// TestReserveCtxCancellation is the satellite's regression test: a
+// reservation stalled on an exhausted budget must unblock with the
+// context's error when the waiting job is cancelled — previously the
+// only blocking-reservation pattern (the store's write-behind stall)
+// could wait forever with nothing to wake it.
+func TestReserveCtxCancellation(t *testing.T) {
+	a := NewAccountant(10)
+	if err := a.Grab(10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.ReserveCtx(ctx, 5) }()
+	select {
+	case err := <-done:
+		t.Fatalf("reserve on an exhausted budget returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled reserve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled reserve still blocked")
+	}
+	if a.Used() != 10 {
+		t.Errorf("cancelled reserve changed usage to %d", a.Used())
+	}
+}
+
+func TestReserveCtxUnblocksOnRelease(t *testing.T) {
+	a := NewAccountant(10)
+	if err := a.Grab(8); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.ReserveCtx(context.Background(), 5) }()
+	select {
+	case err := <-done:
+		t.Fatalf("reserve returned before capacity freed: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(8)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("reserve after release failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reserve still blocked after release freed capacity")
+	}
+	if a.Used() != 5 {
+		t.Errorf("Used = %d, want 5", a.Used())
+	}
 }

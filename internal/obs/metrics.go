@@ -283,11 +283,15 @@ func promName(s string) string {
 // and /metrics.json.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mountMetrics(mux, r)
+	Mount(mux, r)
 	return mux
 }
 
-func mountMetrics(mux *http.ServeMux, r *Registry) {
+// Mount registers the registry's /metrics (Prometheus text) and
+// /metrics.json handlers on an existing mux, for servers that expose
+// metrics alongside their own API (the job daemon mounts them on its
+// front-end mux).
+func Mount(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // client went away
@@ -309,7 +313,7 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 		return nil, "", err
 	}
 	mux := http.NewServeMux()
-	mountMetrics(mux, r)
+	Mount(mux, r)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,367 @@
+// Package workload is the shared registry of named Table 1 workloads.
+// A Spec identifies a workload by name and shape (problem size, VP
+// count, input seed) and builds it deterministically: the same Spec
+// always yields the same Program over the same input, which is what
+// lets a job daemon rebuild an in-flight job's Program after a crash
+// and resume its journal, and what lets the chaos soak and the CLI
+// share one table instead of three hand-copied ones.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"embsp"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// Spec names one workload instance. Building the same Spec twice — in
+// another process, after a daemon restart — yields the same Program
+// over the same deterministically drawn input.
+type Spec struct {
+	// Alg is the workload name; see Names.
+	Alg string `json:"alg"`
+	// N is the problem size (records, points, nodes ...).
+	N int `json:"n"`
+	// V is the number of virtual processors.
+	V int `json:"v"`
+	// Seed keys the deterministic input generator.
+	Seed uint64 `json:"seed"`
+}
+
+// Instance is a built workload: the Program plus its result describer.
+type Instance struct {
+	// Program is the BSP program for the spec.
+	Program embsp.Program
+	// Describe summarizes a completed run's output in one line (and
+	// performs the workload's cheap self-check, e.g. sortedness).
+	Describe func(*embsp.Result) string
+}
+
+type entry struct {
+	name  string
+	build func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error)
+}
+
+// table lists every named workload: the 13 Table 1 rows plus the LCA
+// and expression-tree graph workloads the CLI has always exposed.
+func table() []entry {
+	return []entry{
+		{"sort", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			p, err := embsp.NewSort(keys, 1, v)
+			return p, func(res *embsp.Result) string {
+				out := p.Output(res.VPs)
+				for i := 1; i < len(out); i++ {
+					if out[i-1] > out[i] {
+						return "FAILED: output not sorted"
+					}
+				}
+				return fmt.Sprintf("%d keys sorted", len(out))
+			}, err
+		}},
+		{"permute", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			p, err := embsp.NewPermute(vals, r.Perm(n), v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d records routed", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"transpose", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			rows := 4
+			for rows > 1 && n/rows < 1 {
+				rows /= 2
+			}
+			keys := make([]uint64, rows*(n/rows))
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			p, err := embsp.NewTranspose(keys, rows, n/rows, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d matrix entries transposed", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"maxima", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point3, n)
+			for i := range pts {
+				pts[i] = embsp.Point3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+			}
+			p, err := embsp.NewMaxima3D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d maximal points", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"dominance", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point, n)
+			vals := make([]uint64, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+				vals[i] = uint64(i)
+			}
+			p, err := embsp.NewDominance2D(pts, vals, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d dominance counts", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"rectunion", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			rects := make([]embsp.Rect, n)
+			for i := range rects {
+				x, y := r.Float64(), r.Float64()
+				rects[i] = embsp.Rect{X1: x, X2: x + r.Float64(), Y1: y, Y2: y + r.Float64()}
+			}
+			p, err := embsp.NewRectUnion(rects, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("union area %.6g", p.Output(res.VPs))
+			}, err
+		}},
+		{"hull", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			p, err := embsp.NewHull2D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("hull has %d vertices", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"envelope", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			segs := make([]embsp.Segment, n)
+			for i := range segs {
+				x := 3 * float64(i)
+				segs[i] = embsp.Segment{X1: x, Y1: r.Float64(), X2: x + 2, Y2: r.Float64()}
+			}
+			p, err := embsp.NewEnvelope(segs, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d envelope pieces", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"nextelement", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			hsegs := make([]embsp.HSegment, n)
+			pts := make([]embsp.Point, n)
+			for i := range hsegs {
+				x := r.Float64()
+				hsegs[i] = embsp.HSegment{X1: x, X2: x + 0.2, Y: r.Float64()}
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			p, err := embsp.NewNextElement(hsegs, pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d next-element queries answered", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"nn", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			pts := make([]embsp.Point, n)
+			for i := range pts {
+				pts[i] = embsp.Point{X: r.Float64(), Y: r.Float64()}
+			}
+			p, err := embsp.NewNN2D(pts, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d nearest neighbors found", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"listrank", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			perm := r.Perm(n)
+			succ := make([]int, n)
+			for i := range succ {
+				succ[i] = -1
+			}
+			for i := 0; i+1 < n; i++ {
+				succ[perm[i]] = perm[i+1]
+			}
+			p, err := embsp.NewListRank(succ, nil, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d nodes ranked", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"euler", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			p, err := embsp.NewEulerTour(n, RandomTree(r, n), v)
+			return p, func(res *embsp.Result) string {
+				info := p.Output(res.VPs)
+				maxDepth := 0
+				for _, d := range info.Depth {
+					if d > maxDepth {
+						maxDepth = d
+					}
+				}
+				return fmt.Sprintf("tree rooted; height %d", maxDepth)
+			}, err
+		}},
+		{"cc", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			edges := make([][2]int, 0, 2*n)
+			for len(edges) < 2*n {
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+			p, err := embsp.NewCC(n, edges, v)
+			return p, func(res *embsp.Result) string {
+				comps := map[int]bool{}
+				for _, l := range p.Output(res.VPs) {
+					comps[l] = true
+				}
+				return fmt.Sprintf("%d components, %d forest edges, %d Borůvka rounds",
+					len(comps), len(p.Forest(res.VPs)), p.Rounds(res.VPs))
+			}, err
+		}},
+		{"lca", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			edges := RandomTree(r, n)
+			queries := make([][2]int, n)
+			for i := range queries {
+				queries[i] = [2]int{r.Intn(n), r.Intn(n)}
+			}
+			p, err := embsp.NewLCA(n, edges, queries, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("%d LCA queries answered", len(p.Output(res.VPs)))
+			}, err
+		}},
+		{"expr", func(n, v int, r *prng.Rand) (embsp.Program, func(*embsp.Result) string, error) {
+			parent, kind, value := randomExpr(r, n)
+			p, err := embsp.NewExprTree(parent, kind, value, v)
+			return p, func(res *embsp.Result) string {
+				return fmt.Sprintf("expression value %d", p.Output(res.VPs))
+			}, err
+		}},
+	}
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	t := table()
+	names := make([]string, len(t))
+	for i, e := range t {
+		names[i] = e.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table1Names returns the names of the 13 Table 1 workloads (the soak
+// and bench set), in table order.
+func Table1Names() []string {
+	return []string{"sort", "permute", "transpose", "maxima", "dominance", "rectunion",
+		"hull", "envelope", "nextelement", "nn", "listrank", "euler", "cc"}
+}
+
+// Validate checks the spec's shape without building it.
+func (s Spec) Validate() error {
+	found := false
+	for _, e := range table() {
+		if e.name == s.Alg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("workload: unknown workload %q; available: %v", s.Alg, Names())
+	}
+	if s.N < 2 {
+		return fmt.Errorf("workload: n = %d, want >= 2", s.N)
+	}
+	if s.V < 1 {
+		return fmt.Errorf("workload: v = %d, want >= 1", s.V)
+	}
+	return nil
+}
+
+// Build constructs the workload deterministically from the spec.
+func (s Spec) Build() (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	for _, e := range table() {
+		if e.name != s.Alg {
+			continue
+		}
+		p, describe, err := e.build(s.N, s.V, prng.New(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Program: p, Describe: describe}, nil
+	}
+	panic("unreachable: Validate checked the name")
+}
+
+// RandomTree draws a uniformly attached random tree on n nodes as an
+// edge list (every node i > 0 attaches to a random earlier node).
+func RandomTree(r *prng.Rand, n int) [][2]int {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{r.Intn(i), i})
+	}
+	return edges
+}
+
+// randomExpr draws a random binary +/× expression tree with nLeaves
+// leaves holding small values.
+func randomExpr(r *prng.Rand, nLeaves int) (parent []int, kind []uint8, value []uint64) {
+	parent = []int{-1}
+	kind = []uint8{embsp.OpLeaf}
+	value = []uint64{r.Uint64() % 100}
+	if nLeaves <= 1 {
+		return
+	}
+	leaves := []int{0}
+	for len(leaves) < nLeaves {
+		li := r.Intn(len(leaves))
+		node := leaves[li]
+		if r.Bool() {
+			kind[node] = embsp.OpAdd
+		} else {
+			kind[node] = embsp.OpMul
+		}
+		for c := 0; c < 2; c++ {
+			parent = append(parent, node)
+			kind = append(kind, embsp.OpLeaf)
+			value = append(value, r.Uint64()%100)
+			if c == 0 {
+				leaves[li] = len(parent) - 1
+			} else {
+				leaves = append(leaves, len(parent)-1)
+			}
+		}
+	}
+	return
+}
+
+// Fingerprint digests a Result into one comparable value: the marshaled
+// context of every final VP (the bitwise-identity contract's ground
+// truth), the BSP model costs and the EM statistics — with
+// EMStats.Overlap zeroed first, since overlap is wall-clock
+// observability explicitly outside that contract. Two runs of the same
+// Spec on the same machine configuration — clean, fault-injected,
+// killed-and-resumed, pipelined or serial — must produce equal
+// fingerprints; the job daemon stores it per job so a crash-resumed
+// daemon's results can be checked against clean one-shot runs.
+func Fingerprint(res *embsp.Result) uint64 {
+	h := fnv.New64a()
+	enc := words.NewEncoder(nil)
+	var buf [8]byte
+	for _, vp := range res.VPs {
+		enc.Reset()
+		vp.Save(enc)
+		for _, w := range enc.Words() {
+			putWord(&buf, w)
+			h.Write(buf[:])
+		}
+		// Separate VPs so context boundaries shift the digest.
+		fmt.Fprintf(h, "|")
+	}
+	em := res.EM
+	em.Overlap = embsp.OverlapStats{}
+	fmt.Fprintf(h, "%+v%+v", res.Costs, em)
+	return h.Sum64()
+}
+
+func putWord(buf *[8]byte, w uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(w >> (8 * i))
+	}
+}
