@@ -188,10 +188,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	prog, describe := inst.Program, inst.Describe
-	cfg := embsp.MachineConfig{
-		P: *procs, M: *mFactor * prog.MaxContextWords(), D: *d, B: *b, G: *g,
-		Cost: embsp.CostParams{GUnit: 1, GPkt: float64(*b), Pkt: *b, L: 100},
-	}
+	cfg := workload.Machine(prog, *procs, *d, *b, *mFactor, *g)
 	opts := embsp.Options{
 		Seed: *seed, Deterministic: *det, MaxRetries: *maxRetries,
 		StateDir: *stateDir, Resume: *resume, Scrub: *scrub,

@@ -42,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 64, "maximum live (queued+running) jobs before submissions are refused")
 	memGlobal := fs.Int64("mem-global", 0, "daemon-wide simulated-memory budget in words, 0 = unlimited")
 	memTenant := fs.Int64("mem-tenant", 0, "per-tenant simulated-memory quota in words, 0 = unlimited")
+	diskTenant := fs.Int64("disk-tenant", 0, "per-tenant state-directory disk quota in bytes, 0 = unlimited")
+	retain := fs.Duration("retain", 0, "drop terminal jobs older than this from the manifest on startup, 0 = keep forever")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a graceful shutdown waits for running jobs to reach a journal commit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,12 +54,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	sup, err := jobs.New(jobs.Config{
-		Root:           *state,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		GlobalMemWords: *memGlobal,
-		TenantMemWords: *memTenant,
-		Metrics:        obs.NewRegistry(),
+		Root:            *state,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		GlobalMemWords:  *memGlobal,
+		TenantMemWords:  *memTenant,
+		TenantDiskBytes: *diskTenant,
+		Retain:          *retain,
+		Metrics:         obs.NewRegistry(),
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "embsp-serve:", err)

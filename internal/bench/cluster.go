@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"embsp/internal/cluster"
+	"embsp/internal/core"
+	"embsp/internal/obs"
+	"embsp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "perf/cluster",
+		Title:      "Multi-process cluster: superstep scaling of the TCP runtime vs. the in-process engine",
+		Reproduces: "the engineering claim of DESIGN.md §14 (real processors, identical results)",
+		Run:        runCluster,
+	})
+}
+
+// ClusterRow is one measured processor count of the cluster
+// experiment: the distributed runtime's wire traffic, barrier cost and
+// wall-clock next to the in-process engine running the same machine.
+type ClusterRow struct {
+	P          int `json:"p"`
+	Supersteps int `json:"supersteps"`
+
+	// Coordinator-side wire traffic (the star topology means every
+	// packet of every h-relation crosses these links twice: worker →
+	// coordinator → worker).
+	TxBytes  int64 `json:"tx_bytes"`
+	RxBytes  int64 `json:"rx_bytes"`
+	TxFrames int64 `json:"tx_frames"`
+	Retries  int64 `json:"retries"`
+
+	// Barrier-wait statistics from the coordinator's 2PC: one
+	// observation per phase fan-out, mean nanoseconds spent waiting
+	// for the slowest worker.
+	BarrierWaits         int64 `json:"barrier_waits"`
+	BarrierWaitMeanNanos int64 `json:"barrier_wait_mean_ns"`
+
+	ClusterNanos   int64 `json:"cluster_ns"`
+	InProcessNanos int64 `json:"in_process_ns"`
+}
+
+// ClusterReport is the JSON shape of BENCH_cluster.json: the committed
+// superstep-scaling baseline for the multi-process runtime.
+type ClusterReport struct {
+	Scale string       `json:"scale"`
+	Alg   string       `json:"alg"`
+	N     int          `json:"n"`
+	V     int          `json:"v"`
+	B     int          `json:"b"`
+	Rows  []ClusterRow `json:"rows"`
+}
+
+// MeasureCluster runs the Table 1 sort workload at p ∈ {2, 4} real
+// processors — worker goroutines serving over loopback TCP, exactly
+// the cmd/embsp-cluster protocol — and verifies each run's fingerprint
+// against the in-process engine on the identical machine before
+// reporting wire traffic, barrier waits and wall-clock. The in-process
+// engine is the oracle; wall-clock and comm counters are the only
+// things allowed to differ.
+func MeasureCluster(s Scale) (*ClusterReport, error) {
+	spec := workload.Spec{
+		Alg:  "sort",
+		N:    pick(s, 192, 2048, 8192),
+		V:    8,
+		Seed: 0xC105,
+	}
+	b := pick(s, 8, 32, 64)
+	rep := &ClusterReport{Alg: spec.Alg, N: spec.N, V: spec.V, B: b}
+	switch s {
+	case Small:
+		rep.Scale = "small"
+	case Medium:
+		rep.Scale = "medium"
+	default:
+		rep.Scale = "large"
+	}
+	for _, p := range []int{2, 4} {
+		row, err := measureClusterRow(spec, p, b)
+		if err != nil {
+			return nil, fmt.Errorf("p=%d: %w", p, err)
+		}
+		rep.Rows = append(rep.Rows, *row)
+	}
+	return rep, nil
+}
+
+// measureClusterRow runs one (spec, p) cell twice — in-process oracle,
+// then the TCP cluster — and folds both into a row. Programs mutate as
+// they run, so each run gets a freshly built instance.
+func measureClusterRow(spec workload.Spec, p, b int) (*ClusterRow, error) {
+	inst, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := machineFor(inst.Program, p, 2, b, 8)
+	opts := core.Options{Seed: spec.Seed}
+
+	oracleDir, err := os.MkdirTemp("", "embsp-cluster-oracle-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(oracleDir)
+	oOpts := opts
+	oOpts.StateDir = oracleDir
+	start := time.Now()
+	oracle, err := core.Run(inst.Program, cfg, oOpts)
+	oracleNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("in-process oracle: %w", err)
+	}
+
+	inst, err = spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	root, err := os.MkdirTemp("", "embsp-cluster-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, p)
+	for i := 0; i < p; i++ {
+		w := &cluster.Worker{
+			Prog:   inst.Program,
+			Cfg:    cfg,
+			Opts:   opts,
+			NodeID: i,
+			Dir:    filepath.Join(root, fmt.Sprintf("node-%d", i)),
+		}
+		wg.Add(1)
+		go func(i int, w *cluster.Worker) {
+			defer wg.Done()
+			workerErrs[i] = w.Run(addr, false, cluster.LinkConfig{
+				Self: i, Peer: p, BackoffSeed: uint64(i) + 1,
+			})
+		}(i, w)
+	}
+
+	reg := obs.NewRegistry()
+	start = time.Now()
+	res, err := cluster.Run(cluster.Config{
+		Prog:     inst.Program,
+		Cfg:      cfg,
+		Opts:     opts,
+		Dir:      filepath.Join(root, "coord"),
+		Listener: ln,
+		Metrics:  reg,
+	})
+	clusterNs := time.Since(start).Nanoseconds()
+	wg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("cluster run: %w", err)
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, werr)
+		}
+	}
+	if of, cf := workload.Fingerprint(oracle), workload.Fingerprint(res); of != cf {
+		return nil, fmt.Errorf("cluster result diverged: fingerprint %016x, oracle %016x", cf, of)
+	}
+
+	bw := reg.Histogram("cluster_barrier_wait_nanos").Snapshot()
+	row := &ClusterRow{
+		P:                    p,
+		Supersteps:           res.Costs.Supersteps,
+		TxBytes:              reg.Counter("cluster_tx_bytes").Value(),
+		RxBytes:              reg.Counter("cluster_rx_bytes").Value(),
+		TxFrames:             reg.Counter("cluster_tx_frames").Value(),
+		Retries:              reg.Counter("cluster_retries").Value(),
+		BarrierWaits:         bw.Count,
+		BarrierWaitMeanNanos: bw.Mean().Nanoseconds(),
+		ClusterNanos:         clusterNs,
+		InProcessNanos:       oracleNs,
+	}
+	return row, nil
+}
+
+// WriteClusterBaseline runs MeasureCluster and records the report as
+// JSON — the generator behind the committed BENCH_cluster.json.
+func WriteClusterBaseline(path string, s Scale) error {
+	rep, err := MeasureCluster(s)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runCluster(w io.Writer, s Scale) error {
+	rep, err := MeasureCluster(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Cluster sort (n=%d, v=%d, B=%d): p worker goroutines over loopback\n", rep.N, rep.V, rep.B)
+	fmt.Fprintln(w, "TCP with the full wire protocol and 2PC barriers, verified bitwise")
+	fmt.Fprintln(w, "identical to the in-process engine before reporting. Traffic is")
+	fmt.Fprintln(w, "coordinator-side (star topology: every packet crosses it twice).")
+	tw := newTable(w)
+	fmt.Fprintf(tw, "p\tλ\ttx\trx\tframes\tretries\tbarriers\tbarrier wait\tcluster\tin-process\n")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			r.P, r.Supersteps, r.TxBytes, r.RxBytes, r.TxFrames, r.Retries,
+			r.BarrierWaits, time.Duration(r.BarrierWaitMeanNanos).Round(time.Microsecond),
+			time.Duration(r.ClusterNanos).Round(time.Millisecond),
+			time.Duration(r.InProcessNanos).Round(time.Millisecond))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,391 @@
+package cluster_test
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"embsp/internal/bsp"
+	"embsp/internal/cluster"
+	"embsp/internal/core"
+	"embsp/internal/fault"
+	"embsp/internal/obs"
+	"embsp/internal/workload"
+)
+
+func clusterMachine(p int) core.MachineConfig {
+	return core.MachineConfig{
+		P: p, M: 256, D: 2, B: 8, G: 10,
+		Cost: bsp.CostParams{GUnit: 1, GPkt: 2, Pkt: 16, L: 5},
+	}
+}
+
+// battery is the Table 1 subset the cluster determinism battery runs;
+// sizes are small so the full matrix stays fast.
+var battery = []workload.Spec{
+	{Alg: "sort", N: 96, V: 8, Seed: 41},
+	{Alg: "listrank", N: 64, V: 8, Seed: 42},
+	{Alg: "cc", N: 40, V: 8, Seed: 43},
+}
+
+// oracleFingerprint runs the in-process engine — the p-node reference
+// oracle — over the same configuration and digests its Result.
+func oracleFingerprint(t *testing.T, prog bsp.Program, cfg core.MachineConfig, seed uint64) uint64 {
+	t.Helper()
+	res, err := core.Run(prog, cfg, core.Options{Seed: seed, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	return workload.Fingerprint(res)
+}
+
+// killed is the panic sentinel the crash probes throw: the goroutine
+// "process" around the worker or coordinator unwinds without any
+// protocol farewell, like a SIGKILL would end a real process, leaving
+// only the journals behind.
+type killed struct{ who string }
+
+// harness runs a coordinator plus P worker goroutines over real TCP
+// loopback connections. Worker goroutines redial forever until the
+// harness is marked done, so killed workers respawn and a killed
+// coordinator's workers outlive it into the restarted run.
+type harness struct {
+	t    *testing.T
+	prog bsp.Program
+	cfg  core.MachineConfig
+	opts core.Options
+	root string
+	addr string
+	plan fault.NetPlan
+
+	done atomic.Bool
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	kills  map[string]bool // "node/phase/step" -> already fired
+	funnel func(id int, phase string, step int)
+}
+
+func newHarness(t *testing.T, prog bsp.Program, cfg core.MachineConfig, seed uint64) *harness {
+	t.Helper()
+	h := &harness{
+		t: t, prog: prog, cfg: cfg,
+		opts:  core.Options{Seed: seed},
+		root:  t.TempDir(),
+		kills: make(map[string]bool),
+	}
+	// Bind once to pick a free port, then remember the address so a
+	// restarted coordinator listens where the workers keep dialing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.addr = ln.Addr().String()
+	ln.Close()
+	t.Cleanup(h.stop)
+	return h
+}
+
+// killAt schedules one simulated SIGKILL: the first time the given
+// probe fires on the given side, its process dies.
+func (h *harness) killAt(who string, step int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.kills[fmt.Sprintf("%s/%d", who, step)] = false
+}
+
+func (h *harness) maybeKill(who string, step int) {
+	h.mu.Lock()
+	key := fmt.Sprintf("%s/%d", who, step)
+	fired, scheduled := h.kills[key]
+	if scheduled && !fired {
+		h.kills[key] = true
+		h.mu.Unlock()
+		panic(killed{who: key})
+	}
+	h.mu.Unlock()
+}
+
+func (h *harness) startWorkers() {
+	for i := 0; i < h.cfg.P; i++ {
+		h.wg.Add(1)
+		go h.workerLoop(i)
+	}
+}
+
+func (h *harness) stop() {
+	h.done.Store(true)
+	h.wg.Wait()
+}
+
+// workerLoop is one worker "process" incarnation after another: dial,
+// serve until shutdown, death, or connection loss, repeat. Each
+// incarnation opens the engine fresh from the node's state directory,
+// exactly like a respawned process would.
+func (h *harness) workerLoop(id int) {
+	defer h.wg.Done()
+	dir := filepath.Join(h.root, fmt.Sprintf("node-%d", id))
+	for !h.done.Load() {
+		conn, err := net.Dial("tcp", h.addr)
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		h.serveOnce(id, dir, conn)
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (h *harness) serveOnce(id int, dir string, conn net.Conn) {
+	link := cluster.NewLink(conn, cluster.LinkConfig{
+		Self: id, Peer: h.cfg.P, Plan: h.plan,
+		BackoffSeed: uint64(id) + 1,
+		AckTimeout:  50 * time.Millisecond,
+	})
+	defer link.Close()
+	w := &cluster.Worker{
+		Prog: h.prog, Cfg: h.cfg, Opts: h.opts, NodeID: id, Dir: dir,
+		Probe: func(phase string, step int) {
+			h.maybeKill(fmt.Sprintf("worker%d/%s", id, phase), step)
+		},
+	}
+	defer w.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				panic(r)
+			}
+		}
+	}()
+	w.Serve(link) //nolint:errcheck // lost links redial; errors are the loop's signal
+}
+
+// runCoord runs one coordinator incarnation. A probe-scheduled kill
+// surfaces as (nil, killed-error); the caller restarts by calling
+// runCoord again — resuming from the decision journal on disk.
+func (h *harness) runCoord(metrics *obs.Registry) (res *core.Result, err error) {
+	ln, lerr := net.Listen("tcp", h.addr)
+	if lerr != nil {
+		return nil, lerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			k, ok := r.(killed)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, fmt.Errorf("coordinator killed at %s", k.who)
+		}
+	}()
+	return cluster.Run(cluster.Config{
+		Prog: h.prog, Cfg: h.cfg, Opts: h.opts,
+		Dir:      filepath.Join(h.root, "coord"),
+		Listener: ln,
+		Net:      h.plan,
+		Probe: func(phase string, step int) {
+			h.maybeKill("coord/"+phase, step)
+		},
+		AckTimeout:  50 * time.Millisecond,
+		RecvTimeout: 30 * time.Second,
+		JoinTimeout: 20 * time.Second,
+		Metrics:     metrics,
+	})
+}
+
+// run starts the workers, drives coordinator incarnations until one
+// completes (restarting through scheduled coordinator kills), and
+// returns the Result.
+func (h *harness) run(metrics *obs.Registry) (*core.Result, error) {
+	h.startWorkers()
+	for attempt := 0; ; attempt++ {
+		res, err := h.runCoord(metrics)
+		if err != nil && attempt < 4 {
+			h.t.Logf("coordinator attempt %d: %v (restarting)", attempt, err)
+			continue
+		}
+		return res, err
+	}
+}
+
+func buildSpec(t *testing.T, spec workload.Spec) bsp.Program {
+	t.Helper()
+	inst, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Program
+}
+
+// TestClusterBattery is the determinism battery: three Table 1
+// workloads at p in {2, 4} real worker processes, clean and under an
+// injected network fault plan, all bitwise identical to the in-process
+// engine's Result.
+func TestClusterBattery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster battery is slow")
+	}
+	plans := []struct {
+		name string
+		plan fault.NetPlan
+	}{
+		{"clean", fault.NetPlan{}},
+		{"netfaults", fault.NetPlan{
+			Seed: 7, DropRate: 0.08, DupRate: 0.05,
+			DelayRate: 0.05, Delay: time.Millisecond, CleanAfter: 3,
+		}},
+	}
+	for _, spec := range battery {
+		for _, p := range []int{2, 4} {
+			for _, pl := range plans {
+				spec, p, pl := spec, p, pl
+				t.Run(fmt.Sprintf("%s/p%d/%s", spec.Alg, p, pl.name), func(t *testing.T) {
+					t.Parallel()
+					prog := buildSpec(t, spec)
+					cfg := clusterMachine(p)
+					want := oracleFingerprint(t, prog, cfg, spec.Seed)
+
+					h := newHarness(t, prog, cfg, spec.Seed)
+					h.plan = pl.plan
+					metrics := obs.NewRegistry()
+					res, err := h.run(metrics)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := workload.Fingerprint(res); got != want {
+						t.Fatalf("cluster fingerprint %x, oracle %x", got, want)
+					}
+					if metrics.Counter("cluster_tx_frames").Value() == 0 {
+						t.Fatal("no frames counted; comm metrics are dead")
+					}
+					if pl.plan.Enabled() && metrics.Counter("cluster_faults_injected").Value() == 0 {
+						t.Fatal("fault plan enabled but nothing injected")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestClusterWorkerKill SIGKILLs (simulated) worker 1 once at every
+// worker-side barrier phase — mid-compute, after PREPARE is fsynced,
+// and after its local COMMIT but before the coordinator hears of it —
+// at both an early and a later superstep. The respawned worker
+// reconciles from its journal and the Result stays bitwise identical.
+func TestClusterWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster kill matrix is slow")
+	}
+	spec := battery[0] // sort
+	for _, phase := range []string{"computed", "prepared", "committed"} {
+		for _, step := range []int{0, 2} {
+			phase, step := phase, step
+			t.Run(fmt.Sprintf("%s/step%d", phase, step), func(t *testing.T) {
+				t.Parallel()
+				prog := buildSpec(t, spec)
+				cfg := clusterMachine(2)
+				want := oracleFingerprint(t, prog, cfg, spec.Seed)
+
+				h := newHarness(t, prog, cfg, spec.Seed)
+				h.killAt(fmt.Sprintf("worker1/%s", phase), step)
+				res, err := h.run(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.mu.Lock()
+				fired := h.kills[fmt.Sprintf("worker1/%s/%d", phase, step)]
+				h.mu.Unlock()
+				if !fired {
+					t.Fatalf("kill at %s/step %d never fired; the run had no such window", phase, step)
+				}
+				if got := workload.Fingerprint(res); got != want {
+					t.Fatalf("cluster fingerprint %x after worker kill, oracle %x", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestClusterCoordKill SIGKILLs (simulated) the coordinator once at
+// each of its decision phases — before the PREPARE barrier and right
+// after the decision record lands but before any worker hears COMMIT
+// — and restarts it over the same journal. Workers reconcile through
+// the rejoin handshake (commit-on-reconcile for the decided window,
+// presumed abort otherwise) and the Result stays bitwise identical.
+func TestClusterCoordKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster kill matrix is slow")
+	}
+	spec := battery[0] // sort
+	for _, phase := range []string{"prepare", "decided"} {
+		for _, step := range []int{0, 2} {
+			phase, step := phase, step
+			t.Run(fmt.Sprintf("%s/step%d", phase, step), func(t *testing.T) {
+				t.Parallel()
+				prog := buildSpec(t, spec)
+				cfg := clusterMachine(2)
+				want := oracleFingerprint(t, prog, cfg, spec.Seed)
+
+				h := newHarness(t, prog, cfg, spec.Seed)
+				h.killAt("coord/"+phase, step)
+				res, err := h.run(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.mu.Lock()
+				fired := h.kills[fmt.Sprintf("coord/%s/%d", phase, step)]
+				h.mu.Unlock()
+				if !fired {
+					t.Fatalf("kill at %s/step %d never fired; the run had no such window", phase, step)
+				}
+				if got := workload.Fingerprint(res); got != want {
+					t.Fatalf("cluster fingerprint %x after coordinator kill, oracle %x", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestClusterSetupKill covers decision record 0: the coordinator dies
+// after committing the setup barrier; the restart resumes past setup.
+func TestClusterSetupKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster kill matrix is slow")
+	}
+	spec := battery[1] // listrank
+	prog := buildSpec(t, spec)
+	cfg := clusterMachine(2)
+	want := oracleFingerprint(t, prog, cfg, spec.Seed)
+
+	h := newHarness(t, prog, cfg, spec.Seed)
+	h.killAt("coord/decided", -1)
+	res, err := h.run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := workload.Fingerprint(res); got != want {
+		t.Fatalf("cluster fingerprint %x after setup-kill, oracle %x", got, want)
+	}
+}
+
+// TestClusterRejectsBadOptions pins ClusterCheck's gate at the Run API.
+func TestClusterRejectsBadOptions(t *testing.T) {
+	spec := battery[0]
+	prog := buildSpec(t, spec)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = cluster.Run(cluster.Config{
+		Prog: prog, Cfg: clusterMachine(1), Opts: core.Options{},
+		Dir: t.TempDir(), Listener: ln,
+		JoinTimeout: time.Second,
+	})
+	if err == nil {
+		t.Fatal("P=1 cluster accepted; ClusterCheck not wired into Run")
+	}
+}

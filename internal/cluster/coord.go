@@ -1,0 +1,690 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"embsp/internal/bsp"
+	"embsp/internal/core"
+	"embsp/internal/disk"
+	"embsp/internal/fault"
+	"embsp/internal/obs"
+	"embsp/internal/prng"
+	"embsp/internal/words"
+)
+
+// Config configures a cluster coordinator run.
+type Config struct {
+	Prog bsp.Program
+	Cfg  core.MachineConfig
+	Opts core.Options
+	// Dir is the coordinator's state directory (decision journal).
+	Dir string
+	// Listener accepts worker connections; the coordinator owns it.
+	Listener net.Listener
+	// Net is the injected network fault plan (zero value: none).
+	Net fault.NetPlan
+	// BackoffSeed keys retransmission backoff (derived per link).
+	BackoffSeed uint64
+	// AckTimeout / Retries / RecvTimeout tune the transport (see
+	// LinkConfig; RecvTimeout bounds a phase response, default 2m).
+	AckTimeout  time.Duration
+	RecvTimeout time.Duration
+	Retries     int
+	// StepRetries bounds how many times one superstep may be aborted
+	// and replayed before the run gives up (default 5).
+	StepRetries int
+	// JoinTimeout bounds the wait for a worker to (re)join (default 60s).
+	JoinTimeout time.Duration
+	// Respawn, when set, is invoked when worker id's connection died
+	// and a rejoin is needed — spawn mode uses it to relaunch the
+	// worker process. With Respawn nil the coordinator just waits for
+	// an external rejoin (join mode).
+	Respawn func(id int) error
+	// Probe, when set, is called at coordinator decision boundaries
+	// ("prepare", "decided", "recover") for crash tests.
+	Probe func(phase string, step int)
+	// Metrics receives comm counters and the barrier-wait histogram.
+	Metrics *obs.Registry
+}
+
+// WorkerError is a worker-reported engine failure (program panic,
+// real I/O failure). It is fatal: replaying cannot fix a
+// deterministic engine error.
+type WorkerError struct {
+	Node int
+	Msg  string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("cluster: worker %d: %s", e.Node, e.Msg)
+}
+
+func fatal(err error) bool {
+	var we *WorkerError
+	return errors.As(err, &we)
+}
+
+type coordinator struct {
+	cc    Config
+	core  *core.CoordCore
+	links []*Link // per worker slot; nil = disconnected
+
+	joins    chan joinReq
+	acceptWG sync.WaitGroup
+	closed   chan struct{}
+
+	stepOpen bool
+
+	barrierWait *obs.Histogram
+	replays     *obs.Counter
+}
+
+type joinReq struct {
+	h    hello
+	link *Link
+}
+
+// Run drives a full cluster run: accept P workers, reconcile their
+// journals, drive compound supersteps under two-phase commit, survive
+// worker deaths by abort-and-replay, and assemble the Result — which
+// is bitwise identical to core.Run of the same configuration.
+func Run(cc Config) (*core.Result, error) {
+	if cc.RecvTimeout <= 0 {
+		cc.RecvTimeout = 2 * time.Minute
+	}
+	if cc.StepRetries <= 0 {
+		cc.StepRetries = 5
+	}
+	if cc.JoinTimeout <= 0 {
+		cc.JoinTimeout = 60 * time.Second
+	}
+	resume := false
+	if _, err := os.Stat(filepath.Join(cc.Dir, "journal.wal")); err == nil {
+		resume = true
+	}
+	cco, err := core.OpenCoord(cc.Prog, cc.Cfg, cc.Opts, cc.Dir, resume)
+	if err != nil {
+		return nil, err
+	}
+	c := &coordinator{
+		cc:     cc,
+		core:   cco,
+		links:  make([]*Link, cc.Cfg.P),
+		joins:  make(chan joinReq, cc.Cfg.P),
+		closed: make(chan struct{}),
+	}
+	if m := cc.Metrics; m != nil {
+		c.barrierWait = m.Histogram("cluster_barrier_wait_nanos")
+		c.replays = m.Counter("cluster_step_replays")
+	}
+	defer c.shutdown()
+	if c.core.Committed() > 0 {
+		if err := c.core.LoadCommitted(); err != nil {
+			return nil, err
+		}
+	}
+	c.acceptWG.Add(1)
+	go c.acceptLoop()
+
+	if err := c.gatherAll(); err != nil {
+		return nil, err
+	}
+	if c.core.Committed() == 0 {
+		if err := c.runSetup(); err != nil {
+			return nil, err
+		}
+	}
+	halted := c.core.Halted()
+	for step := c.core.StepsDone(); !halted; step++ {
+		if step >= c.core.MaxSupersteps() {
+			return nil, fmt.Errorf("core: no convergence after %d supersteps", c.core.MaxSupersteps())
+		}
+		h, err := c.runStep(step)
+		if err != nil {
+			return nil, err
+		}
+		halted = h
+	}
+	return c.assemble()
+}
+
+func (c *coordinator) probe(phase string, step int) {
+	if c.cc.Probe != nil {
+		c.cc.Probe(phase, step)
+	}
+}
+
+// acceptLoop admits connections and completes the HELLO half of the
+// handshake; joins delivers them to whoever is waiting for workers.
+func (c *coordinator) acceptLoop() {
+	defer c.acceptWG.Done()
+	for {
+		conn, err := c.cc.Listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			link := NewLink(conn, LinkConfig{
+				Self:        c.cc.Cfg.P,
+				Peer:        -1,
+				Plan:        c.cc.Net,
+				BackoffSeed: prng.Derive(c.cc.BackoffSeed, uint64(c.cc.Cfg.P)),
+				AckTimeout:  c.cc.AckTimeout,
+				Retries:     c.cc.Retries,
+				Metrics:     c.cc.Metrics,
+			})
+			msg, err := link.Recv(c.cc.JoinTimeout)
+			if err != nil {
+				link.Close()
+				return
+			}
+			dec, err := expect(msg, msgHello)
+			if err != nil {
+				link.Close()
+				return
+			}
+			h := decodeHello(dec)
+			if h.NodeID < 0 || h.NodeID >= c.cc.Cfg.P {
+				link.Close()
+				return
+			}
+			link.SetPeer(h.NodeID)
+			select {
+			case c.joins <- joinReq{h: h, link: link}:
+			case <-c.closed:
+				link.Close()
+			}
+		}()
+	}
+}
+
+// welcome reconciles one worker's journal against the decision log
+// and installs its link. The 2PC recovery rule: a prepared record is
+// committed exactly when the coordinator's journal covers it;
+// otherwise presumed abort.
+func (c *coordinator) welcome(j joinReq) error {
+	id := j.h.NodeID
+	if want := c.core.NodeFpr(id); j.h.Fpr != want {
+		j.link.Close()
+		return fmt.Errorf("%w: worker %d fingerprint %x, want %x (different program, machine, or options?)", errDiverged, id, j.h.Fpr, want)
+	}
+	C := c.core.Committed()
+	var req []uint64
+	if C == 0 {
+		req = welcome{Reset: true}.encode()
+	} else {
+		switch {
+		case j.h.Committed == C:
+			// Fully caught up; any pending tail is an unprepared next
+			// step that must be presumed aborted.
+			req = welcome{CommitPending: false}.encode()
+		case j.h.Committed == C-1 && j.h.HasPending:
+			req = welcome{CommitPending: true}.encode()
+		default:
+			j.link.Close()
+			return fmt.Errorf("%w: worker %d journal has %d committed records (pending: %v), coordinator has %d — state lost beyond 2PC recovery",
+				errDiverged, id, j.h.Committed, j.h.HasPending, C)
+		}
+	}
+	if err := j.link.Send(req); err != nil {
+		j.link.Close()
+		return err
+	}
+	msg, err := j.link.Recv(c.cc.RecvTimeout)
+	if err != nil {
+		j.link.Close()
+		return err
+	}
+	dec, err := expect(msg, msgWelcomeOut)
+	if err != nil {
+		j.link.Close()
+		return err
+	}
+	out := decodeWelcomeOut(dec)
+	if C > 0 && (out.Committed != C || out.StepsDone != c.core.StepsDone()) {
+		j.link.Close()
+		return fmt.Errorf("%w: worker %d reconciled to record %d / step %d, coordinator at record %d / step %d",
+			errDiverged, id, out.Committed, out.StepsDone, C, c.core.StepsDone())
+	}
+	if old := c.links[id]; old != nil {
+		old.Close()
+	}
+	c.links[id] = j.link
+	return nil
+}
+
+// gatherAll waits until every worker slot has a reconciled link.
+func (c *coordinator) gatherAll() error {
+	for {
+		missing := -1
+		for i, l := range c.links {
+			if l == nil {
+				missing = i
+				break
+			}
+		}
+		if missing < 0 {
+			return nil
+		}
+		select {
+		case j := <-c.joins:
+			if err := c.welcome(j); err != nil {
+				if fatalJoin(err) {
+					return err
+				}
+				// A stale or broken connection; keep waiting.
+				continue
+			}
+		case <-time.After(c.cc.JoinTimeout):
+			return fmt.Errorf("cluster: worker %d did not join within %v", missing, c.cc.JoinTimeout)
+		}
+	}
+}
+
+// fatalJoin: divergence errors end the run; transport hiccups during
+// a handshake just drop that connection attempt.
+func fatalJoin(err error) bool {
+	return errors.Is(err, errDiverged) || fatal(err)
+}
+
+var errDiverged = errors.New("cluster: state diverged")
+
+// fanout sends req(i) to every worker concurrently and returns the
+// typed responses. Any failure is joined with its worker attributed;
+// the caller classifies and recovers.
+func (c *coordinator) fanout(respKind uint64, req func(i int) []uint64) ([]*words.Decoder, error) {
+	P := len(c.links)
+	decs := make([]*words.Decoder, P)
+	errs := make([]error, P)
+	var wg sync.WaitGroup
+	for i := 0; i < P; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := c.links[i]
+			if l == nil {
+				errs[i] = fmt.Errorf("cluster: worker %d disconnected", i)
+				return
+			}
+			if err := l.Send(req(i)); err != nil {
+				errs[i] = fmt.Errorf("cluster: worker %d: %w", i, err)
+				return
+			}
+			msg, err := l.Recv(c.cc.RecvTimeout)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: worker %d: %w", i, err)
+				return
+			}
+			dec, err := expect(msg, respKind)
+			if err != nil {
+				var we *WorkerError
+				if errors.As(err, &we) {
+					we.Node = i
+				} else {
+					err = fmt.Errorf("cluster: worker %d: %w", i, err)
+				}
+				errs[i] = err
+			}
+			decs[i] = dec
+		}(i)
+	}
+	wg.Wait()
+	return decs, errors.Join(errs...)
+}
+
+// runSetup drives the setup barrier (decision record 0). No barrier
+// has committed yet, so recovery from any failure here is a full
+// reset-and-retry of the setup on every worker.
+func (c *coordinator) runSetup() error {
+	for attempt := 0; ; attempt++ {
+		err := c.trySetup()
+		if err == nil {
+			return nil
+		}
+		if fatal(err) || attempt >= c.cc.StepRetries {
+			return err
+		}
+		add(c.replays, 1)
+		c.probe("recover", -1)
+		if err := c.resetAll(); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *coordinator) trySetup() error {
+	decs, err := c.fanout(msgSetupOut, func(int) []uint64 { return encodeKind(msgSetup) })
+	if err != nil {
+		return err
+	}
+	stats := make([]disk.Stats, len(decs))
+	for i, dec := range decs {
+		stats[i] = core.DecodeDiskStats(dec)
+	}
+	c.probe("prepare", -1)
+	if err := c.core.CommitSetup(stats); err != nil {
+		return err
+	}
+	c.probe("decided", -1)
+	return c.broadcastCommit()
+}
+
+// resetAll wipes every worker fresh (live ones via RESET, dead ones
+// at rejoin, where the C == 0 handshake resets them).
+func (c *coordinator) resetAll() error {
+	for i, l := range c.links {
+		if l == nil {
+			continue
+		}
+		ok := l.Send(welcome{Reset: true}.encode()) == nil
+		if ok {
+			msg, err := l.Recv(c.cc.RecvTimeout)
+			if err == nil {
+				if _, err := expect(msg, msgWelcomeOut); err != nil {
+					if fatal(err) {
+						return err
+					}
+					ok = false
+				}
+			} else {
+				ok = false
+			}
+		}
+		if !ok {
+			l.Close()
+			c.links[i] = nil
+		}
+	}
+	return c.reacquire()
+}
+
+// reacquire restores every empty worker slot: trigger the respawn
+// hook and absorb rejoins until the roster is complete.
+func (c *coordinator) reacquire() error {
+	if c.cc.Respawn != nil {
+		for i, l := range c.links {
+			if l == nil {
+				if err := c.cc.Respawn(i); err != nil {
+					return fmt.Errorf("cluster: respawn worker %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return c.gatherAll()
+}
+
+// runStep drives one compound superstep with abort-and-replay
+// recovery: any transport failure before the decision record lands
+// aborts the attempt everywhere and replays it; failures after the
+// decision only delay the commit broadcast, never the outcome.
+func (c *coordinator) runStep(step int) (halted bool, err error) {
+	for attempt := 0; ; attempt++ {
+		halted, err = c.tryStep(step)
+		if err == nil {
+			return halted, nil
+		}
+		if fatal(err) || attempt >= c.cc.StepRetries {
+			return false, err
+		}
+		add(c.replays, 1)
+		c.probe("recover", step)
+		if err := c.abortStep(); err != nil {
+			return false, err
+		}
+	}
+}
+
+// abortStep rolls every participant back to the last committed
+// barrier: the coordinator rewinds its accounting, live workers
+// reload their journals, dead workers rejoin (their prepared tails
+// are presumed aborted by the handshake).
+func (c *coordinator) abortStep() error {
+	if c.stepOpen {
+		c.core.AbortStep()
+		c.stepOpen = false
+	}
+	for i, l := range c.links {
+		if l == nil {
+			continue
+		}
+		ok := l.Send(encodeKind(msgAbort)) == nil
+		if ok {
+			msg, err := l.Recv(c.cc.RecvTimeout)
+			if err == nil {
+				if _, err := expect(msg, msgAborted); err != nil {
+					if fatal(err) {
+						return err
+					}
+					ok = false
+				}
+			} else {
+				ok = false
+			}
+		}
+		if !ok {
+			l.Close()
+			c.links[i] = nil
+		}
+	}
+	return c.reacquire()
+}
+
+func (c *coordinator) tryStep(step int) (halted bool, err error) {
+	P := len(c.links)
+	c.core.BeginStep()
+	c.stepOpen = true
+	if _, err := c.fanout(msgOK, func(int) []uint64 {
+		return encodeKindStep(msgStepBegin, int64(step))
+	}); err != nil {
+		return false, err
+	}
+	for j := 0; j < c.core.Batches(); j++ {
+		// Fetching phase.
+		decs, err := c.fanout(msgFetchOut, func(int) []uint64 {
+			return encodeKindStep(msgFetch, int64(j), int64(step))
+		})
+		if err != nil {
+			return false, err
+		}
+		outs := make([]fetchOut, P)
+		for i, dec := range decs {
+			outs[i] = decodeFetchOut(dec)
+			if outs[i].Has {
+				c.core.AddFetch(i, outs[i].NWords)
+			}
+		}
+		// Computing phase: relay each worker its inbox column.
+		decs, err = c.fanout(msgComputeOut, func(dst int) []uint64 {
+			in := make([]core.BlockBatch, P)
+			for src := 0; src < P; src++ {
+				if outs[src].Has {
+					in[src] = outs[src].Out[dst]
+				}
+			}
+			return encodeCompute(j, step, in)
+		})
+		if err != nil {
+			return false, err
+		}
+		bos := make([]*core.BatchOut, P)
+		for i, dec := range decs {
+			bos[i] = decodeComputeOut(dec)
+			c.core.AddBatch(i, bos[i])
+			c.core.RecordTraffic(bos[i].Traffic)
+		}
+		// Writing phase: relay the scattered packets.
+		if _, err = c.fanout(msgOK, func(dst int) []uint64 {
+			in := make([]core.BlockBatch, P)
+			for src := 0; src < P; src++ {
+				in[src] = bos[src].Scatter[dst]
+			}
+			return encodeWrite(j, step, in)
+		}); err != nil {
+			return false, err
+		}
+	}
+	// Vote.
+	decs, err := c.fanout(msgSumOut, func(int) []uint64 { return encodeKind(msgSum) })
+	if err != nil {
+		return false, err
+	}
+	var halts, sends int
+	var maxOps int64
+	for _, dec := range decs {
+		s := decodeSumOut(dec)
+		halts += s.Halts
+		sends += s.Sends
+		if s.Ops > maxOps {
+			maxOps = s.Ops
+		}
+	}
+	halted, err = c.core.Vote(step, halts, sends)
+	if err != nil {
+		return false, err // a program bug, not a fault: fatal
+	}
+	if !halted {
+		// Step 2 of Algorithm 3 on every node.
+		decs, err := c.fanout(msgRouteOut, func(int) []uint64 {
+			return encodeKindStep(msgRoute, int64(step))
+		})
+		if err != nil {
+			return false, err
+		}
+		maxOps = 0
+		for _, dec := range decs {
+			if ops := dec.Ints()[0]; ops > maxOps {
+				maxOps = ops
+			}
+		}
+	}
+	c.core.FinishStep(maxOps)
+
+	// Two-phase commit: PREPARE everywhere, then the decision record,
+	// then COMMIT everywhere.
+	haltWord := int64(0)
+	if halted {
+		haltWord = 1
+	}
+	c.probe("prepare", step)
+	barrier := time.Now()
+	if _, err := c.fanout(msgPrepared, func(int) []uint64 {
+		return encodeKindStep(msgPrepare, int64(step), haltWord)
+	}); err != nil {
+		return false, err
+	}
+	if err := c.core.CommitStep(step, halted); err != nil {
+		return false, err
+	}
+	c.stepOpen = false
+	c.probe("decided", step)
+	if err := c.broadcastCommit(); err != nil {
+		return false, err
+	}
+	if c.barrierWait != nil {
+		c.barrierWait.Observe(time.Since(barrier).Nanoseconds())
+	}
+	return halted, nil
+}
+
+// broadcastCommit is 2PC phase two: tell every worker the decision
+// landed. The decision is already durable, so worker deaths here are
+// absorbed without abort — a dead worker's rejoin handshake commits
+// its prepared record.
+func (c *coordinator) broadcastCommit() error {
+	for {
+		_, err := c.fanout(msgCommitted, func(int) []uint64 { return encodeKind(msgCommit) })
+		if err == nil {
+			return nil
+		}
+		if fatal(err) {
+			return err
+		}
+		// Drop dead links; rejoining workers reconcile to the
+		// committed record, which doubles as their COMMIT.
+		for i, l := range c.links {
+			if l != nil && l.Err() != nil {
+				l.Close()
+				c.links[i] = nil
+			}
+		}
+		live := 0
+		for _, l := range c.links {
+			if l != nil {
+				live++
+			}
+		}
+		if live == len(c.links) {
+			// Everyone is connected yet the broadcast failed — a
+			// protocol error rather than a death; surface it.
+			return err
+		}
+		if err := c.reacquire(); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *coordinator) assemble() (*core.Result, error) {
+	decs, err := c.fanout(msgFinalOut, func(int) []uint64 { return encodeKind(msgFinal) })
+	if err != nil {
+		// The run is fully committed; losing a worker while reading
+		// final contexts is recoverable by rejoin and retry.
+		if fatal(err) {
+			return nil, err
+		}
+		for i, l := range c.links {
+			if l != nil && l.Err() != nil {
+				l.Close()
+				c.links[i] = nil
+			}
+		}
+		if err := c.reacquire(); err != nil {
+			return nil, err
+		}
+		if decs, err = c.fanout(msgFinalOut, func(int) []uint64 { return encodeKind(msgFinal) }); err != nil {
+			return nil, err
+		}
+	}
+	reports := make([]*core.NodeReport, len(decs))
+	for i, dec := range decs {
+		reports[i] = core.DecodeNodeReport(dec)
+	}
+	return c.core.Assemble(reports)
+}
+
+// shutdown releases every resource; workers get a best-effort
+// SHUTDOWN so join-mode processes exit cleanly.
+func (c *coordinator) shutdown() {
+	close(c.closed)
+	for _, l := range c.links {
+		if l == nil {
+			continue
+		}
+		if l.Send(encodeKind(msgShutdown)) == nil {
+			if msg, err := l.Recv(5 * time.Second); err == nil {
+				expect(msg, msgBye) //nolint:errcheck
+			}
+		}
+		l.Close()
+	}
+	c.cc.Listener.Close()
+	c.acceptWG.Wait()
+	// Joins that raced the close and parked in the buffered channel
+	// hold live connections; close them so their workers see the end
+	// of the run instead of waiting forever for a WELCOME.
+	for {
+		select {
+		case j := <-c.joins:
+			j.link.Close()
+		default:
+			c.core.Close()
+			return
+		}
+	}
+}

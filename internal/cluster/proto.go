@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"fmt"
+
+	"embsp/internal/core"
+	"embsp/internal/disk"
+	"embsp/internal/words"
+)
+
+// The cluster protocol is strict request/response lockstep: the
+// coordinator sends one request per worker per phase and waits for
+// the typed response before the phase barrier. Every message is a
+// word vector whose first word is the kind; payloads are encoded with
+// internal/words, the same codec the manifests use.
+//
+// One compound superstep, coordinator's view (per worker, phases
+// fanned out concurrently, folded in node order):
+//
+//	STEP_BEGIN → OK
+//	per batch j:  FETCH → FETCH_OUT      (blocks by destination + word counts)
+//	              COMPUTE → COMPUTE_OUT  (scattered packets + traffic)
+//	              WRITE → OK
+//	SUM → SUM_OUT                        (halt votes, sends, I/O ops)
+//	if not halting:  ROUTE → ROUTE_OUT   (ops after reorganization)
+//	PREPARE → PREPARED                   (2PC phase one: journal fsynced)
+//	-- coordinator appends its decision record --
+//	COMMIT → COMMITTED                   (2PC phase two: HEAD advanced)
+//
+// A worker that cannot perform a request answers ERR; the coordinator
+// turns it into an abort (pre-decision) or a fatal run error.
+const (
+	msgHello uint64 = iota + 1
+	msgWelcome
+	msgWelcomeOut
+	msgReset
+	msgSetup
+	msgSetupOut
+	msgStepBegin
+	msgFetch
+	msgFetchOut
+	msgCompute
+	msgComputeOut
+	msgWrite
+	msgSum
+	msgSumOut
+	msgRoute
+	msgRouteOut
+	msgPrepare
+	msgPrepared
+	msgCommit
+	msgCommitted
+	msgAbort
+	msgAborted
+	msgFinal
+	msgFinalOut
+	msgShutdown
+	msgBye
+	msgOK
+	msgErr
+)
+
+func msgName(k uint64) string {
+	names := map[uint64]string{
+		msgHello: "HELLO", msgWelcome: "WELCOME", msgWelcomeOut: "WELCOME_OUT",
+		msgReset: "RESET", msgSetup: "SETUP", msgSetupOut: "SETUP_OUT",
+		msgStepBegin: "STEP_BEGIN", msgFetch: "FETCH", msgFetchOut: "FETCH_OUT",
+		msgCompute: "COMPUTE", msgComputeOut: "COMPUTE_OUT", msgWrite: "WRITE",
+		msgSum: "SUM", msgSumOut: "SUM_OUT", msgRoute: "ROUTE", msgRouteOut: "ROUTE_OUT",
+		msgPrepare: "PREPARE", msgPrepared: "PREPARED", msgCommit: "COMMIT",
+		msgCommitted: "COMMITTED", msgAbort: "ABORT", msgAborted: "ABORTED",
+		msgFinal: "FINAL", msgFinalOut: "FINAL_OUT", msgShutdown: "SHUTDOWN",
+		msgBye: "BYE", msgOK: "OK", msgErr: "ERR",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(%d)", k)
+}
+
+func putString(enc *words.Encoder, s string) {
+	b := []byte(s)
+	enc.PutInt(int64(len(b)))
+	for len(b) > 0 {
+		var w uint64
+		n := len(b)
+		if n > 8 {
+			n = 8
+		}
+		for i := 0; i < n; i++ {
+			w |= uint64(b[i]) << (8 * i)
+		}
+		enc.PutUint(w)
+		b = b[n:]
+	}
+}
+
+func getString(dec *words.Decoder) string {
+	n := int(dec.Int())
+	b := make([]byte, 0, n)
+	for len(b) < n {
+		w := dec.Uint()
+		for i := 0; i < 8 && len(b) < n; i++ {
+			b = append(b, byte(w>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// hello is the worker's opening message: who it is and where its
+// journal stands, for the coordinator's 2PC reconciliation.
+type hello struct {
+	NodeID     int
+	Committed  int
+	HasPending bool
+	Fpr        uint64
+}
+
+func (h hello) encode() []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgHello)
+	enc.PutInts([]int64{int64(h.NodeID), int64(h.Committed)})
+	enc.PutBool(h.HasPending)
+	enc.PutUint(h.Fpr)
+	return enc.Words()
+}
+
+func decodeHello(dec *words.Decoder) hello {
+	f := dec.Ints()
+	return hello{
+		NodeID: int(f[0]), Committed: int(f[1]),
+		HasPending: dec.Bool(), Fpr: dec.Uint(),
+	}
+}
+
+// welcome is the coordinator's reconciliation verdict: either reset
+// (wipe and start fresh) or resolve — commit or abort any prepared
+// tail, then reload the last committed barrier.
+type welcome struct {
+	Reset         bool
+	CommitPending bool
+}
+
+func (w welcome) encode() []uint64 {
+	enc := words.NewEncoder(nil)
+	if w.Reset {
+		enc.PutUint(msgReset)
+		return enc.Words()
+	}
+	enc.PutUint(msgWelcome)
+	enc.PutBool(w.CommitPending)
+	return enc.Words()
+}
+
+// welcomeOut reports the worker's post-reconciliation barrier state.
+type welcomeOut struct {
+	Committed int
+	StepsDone int
+	Halted    bool
+}
+
+func (w welcomeOut) encode() []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgWelcomeOut)
+	enc.PutInts([]int64{int64(w.Committed), int64(w.StepsDone)})
+	enc.PutBool(w.Halted)
+	return enc.Words()
+}
+
+func decodeWelcomeOut(dec *words.Decoder) welcomeOut {
+	f := dec.Ints()
+	return welcomeOut{Committed: int(f[0]), StepsDone: int(f[1]), Halted: dec.Bool()}
+}
+
+func encodeKind(k uint64) []uint64 { return []uint64{k} }
+
+func encodeKindStep(k uint64, a ...int64) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(k)
+	enc.PutInts(a)
+	return enc.Words()
+}
+
+func encodeErr(err error) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgErr)
+	putString(enc, err.Error())
+	return enc.Words()
+}
+
+func encodeSetupOut(s disk.Stats) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgSetupOut)
+	core.EncodeDiskStats(enc, s)
+	return enc.Words()
+}
+
+func encodeBatches(enc *words.Encoder, bs []core.BlockBatch) {
+	enc.PutInt(int64(len(bs)))
+	for _, b := range bs {
+		b.Encode(enc)
+	}
+}
+
+func decodeBatches(dec *words.Decoder) []core.BlockBatch {
+	n := int(dec.Int())
+	bs := make([]core.BlockBatch, n)
+	for i := range bs {
+		bs[i] = core.DecodeBlockBatch(dec)
+	}
+	return bs
+}
+
+// fetchOut carries one worker's fetching-phase output: the batch's
+// blocks grouped by destination (absent when the batch had no input)
+// and the per-destination word counts for the cost model.
+type fetchOut struct {
+	Has    bool
+	Out    []core.BlockBatch
+	NWords []int64
+}
+
+func (f fetchOut) encode() []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgFetchOut)
+	enc.PutBool(f.Has)
+	if f.Has {
+		encodeBatches(enc, f.Out)
+		enc.PutInts(f.NWords)
+	}
+	return enc.Words()
+}
+
+func decodeFetchOut(dec *words.Decoder) fetchOut {
+	var f fetchOut
+	f.Has = dec.Bool()
+	if f.Has {
+		f.Out = decodeBatches(dec)
+		f.NWords = dec.Ints()
+	}
+	return f
+}
+
+func encodeCompute(j, step int, in []core.BlockBatch) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgCompute)
+	enc.PutInts([]int64{int64(j), int64(step)})
+	encodeBatches(enc, in)
+	return enc.Words()
+}
+
+func encodeComputeOut(bo *core.BatchOut) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgComputeOut)
+	encodeBatches(enc, bo.Scatter)
+	enc.PutInts(bo.Pkts)
+	enc.PutInts(bo.Wrds)
+	core.EncodeTraffic(enc, bo.Traffic)
+	return enc.Words()
+}
+
+func decodeComputeOut(dec *words.Decoder) *core.BatchOut {
+	return &core.BatchOut{
+		Scatter: decodeBatches(dec),
+		Pkts:    dec.Ints(),
+		Wrds:    dec.Ints(),
+		Traffic: core.DecodeTraffic(dec),
+	}
+}
+
+func encodeWrite(j, step int, in []core.BlockBatch) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgWrite)
+	enc.PutInts([]int64{int64(j), int64(step)})
+	encodeBatches(enc, in)
+	return enc.Words()
+}
+
+// sumOut carries the worker's superstep totals at the vote point.
+type sumOut struct {
+	Halts, Sends int
+	Ops          int64
+}
+
+func (s sumOut) encode() []uint64 {
+	return encodeKindStep(msgSumOut, int64(s.Halts), int64(s.Sends), s.Ops)
+}
+
+func decodeSumOut(dec *words.Decoder) sumOut {
+	f := dec.Ints()
+	return sumOut{Halts: int(f[0]), Sends: int(f[1]), Ops: f[2]}
+}
+
+func encodeFinalOut(r *core.NodeReport) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgFinalOut)
+	core.EncodeNodeReport(enc, r)
+	return enc.Words()
+}
+
+// expect decodes a message and demands the given kind, surfacing a
+// worker's ERR as a *WorkerError (fatal: a deterministic engine
+// failure will not go away on replay).
+func expect(msg []uint64, kind uint64) (*words.Decoder, error) {
+	dec := words.NewDecoder(msg)
+	got := dec.Uint()
+	if got == msgErr {
+		return nil, &WorkerError{Node: -1, Msg: getString(dec)}
+	}
+	if got != kind {
+		return nil, fmt.Errorf("cluster: expected %s, got %s", msgName(kind), msgName(got))
+	}
+	return dec, nil
+}

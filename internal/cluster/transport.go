@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"embsp/internal/fault"
+	"embsp/internal/jobs"
+	"embsp/internal/obs"
+)
+
+// Link is a reliable, deduplicating message channel over one TCP
+// connection: stop-and-wait ARQ with per-message deadlines, bounded
+// retries, and deterministic exponential backoff between
+// retransmissions. The cluster protocol is strict request/response
+// lockstep, so one outstanding message per direction is exactly the
+// pipelining it needs, and keeps the retransmission state trivial to
+// reason about under injected faults.
+//
+// A fault.NetPlan is applied *below* the ARQ on this endpoint's own
+// writes — data frames and ACKs both — so drops, delays, and
+// duplicates exercise the retransmission and dedup machinery rather
+// than bypassing it. Sequence numbers are per connection and start at
+// 1; the receiver re-ACKs anything at or below its delivered
+// watermark and rejects gaps (the lockstep protocol never has any).
+type Link struct {
+	conn net.Conn
+	wbuf []byte
+
+	self, peer int
+	plan       fault.NetPlan
+	seed       uint64
+
+	ackTimeout time.Duration
+	retries    int
+
+	sendSeq uint64 // last sequence successfully ACKed by the peer
+	recvSeq uint64 // last sequence delivered to the caller
+	ackN    int    // times recvSeq has been ACKed (fault-stream clock)
+	stash   *frame // data frame consumed by Send as an implicit ACK
+
+	in      chan frame
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+
+	txFrames, txBytes  *obs.Counter
+	rxFrames, rxBytes  *obs.Counter
+	retriesC, injected *obs.Counter
+	checksumRejects    *obs.Counter
+}
+
+// LinkConfig configures a Link. Self and Peer are the endpoint ids
+// used to key the fault plan's per-direction streams (workers use
+// their node id; the coordinator uses P).
+type LinkConfig struct {
+	Self, Peer  int
+	Plan        fault.NetPlan
+	BackoffSeed uint64
+	// AckTimeout is how long a sent frame waits for its ACK before it
+	// is retransmitted (default 250ms).
+	AckTimeout time.Duration
+	// Retries bounds retransmissions per message (default 10).
+	Retries int
+	// Metrics receives the comm counters (nil for none).
+	Metrics *obs.Registry
+}
+
+// ackBit keys ACK fates into a fault stream distinct from their data
+// frame's.
+const ackBit = uint64(1) << 63
+
+// SetPeer fixes the peer's id once the handshake reveals it (the
+// coordinator cannot know which worker dialed until HELLO arrives).
+func (l *Link) SetPeer(id int) { l.peer = id }
+
+// NewLink wraps conn. The Link owns the connection: Close closes it.
+func NewLink(conn net.Conn, cfg LinkConfig) *Link {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 250 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 10
+	}
+	l := &Link{
+		conn:       conn,
+		self:       cfg.Self,
+		peer:       cfg.Peer,
+		plan:       cfg.Plan,
+		seed:       cfg.BackoffSeed,
+		ackTimeout: cfg.AckTimeout,
+		retries:    cfg.Retries,
+		in:         make(chan frame, 64),
+		done:       make(chan struct{}),
+	}
+	m := cfg.Metrics
+	l.txFrames = counter(m, "cluster_tx_frames")
+	l.txBytes = counter(m, "cluster_tx_bytes")
+	l.rxFrames = counter(m, "cluster_rx_frames")
+	l.rxBytes = counter(m, "cluster_rx_bytes")
+	l.retriesC = counter(m, "cluster_retries")
+	l.injected = counter(m, "cluster_faults_injected")
+	l.checksumRejects = counter(m, "cluster_checksum_rejects")
+	go l.readLoop()
+	return l
+}
+
+func counter(m *obs.Registry, name string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Counter(name)
+}
+
+func add(c *obs.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// readLoop is the connection's only reader: frames never race a
+// deadline mid-read, so the stream cannot desynchronize. Checksum
+// failures are consumed and dropped (the sender retransmits); real
+// errors end the link.
+func (l *Link) readLoop() {
+	br := bufio.NewReaderSize(l.conn, 1<<16)
+	for {
+		f, err := readFrame(br)
+		if err == errChecksum {
+			add(l.checksumRejects, 1)
+			continue
+		}
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		add(l.rxFrames, 1)
+		add(l.rxBytes, int64(frameHeaderBytes+8*len(f.payload)+frameChecksumSize))
+		select {
+		case l.in <- f:
+		case <-l.done:
+			return
+		}
+	}
+}
+
+func (l *Link) fail(err error) {
+	l.errOnce.Do(func() {
+		l.err = err
+		close(l.done)
+	})
+}
+
+// Err returns the error that ended the link, if any.
+func (l *Link) Err() error {
+	select {
+	case <-l.done:
+		return l.err
+	default:
+		return nil
+	}
+}
+
+// Close tears the link down and closes the connection.
+func (l *Link) Close() error {
+	l.fail(fmt.Errorf("cluster: link closed"))
+	return l.conn.Close()
+}
+
+// writeFrame sends one frame through the fault plan: a dropped frame
+// is simply not written (the ARQ recovers it), a delayed one is held,
+// a duplicated one is written twice back to back.
+func (l *Link) writeFrame(kind byte, seq uint64, payload []uint64, attempt int) error {
+	key := seq
+	if kind == frameAck {
+		key |= ackBit
+	}
+	d := l.plan.Decide(fault.Link(l.self, l.peer), key, attempt)
+	if d.Drop {
+		add(l.injected, 1)
+		return nil
+	}
+	if d.Delay > 0 {
+		add(l.injected, 1)
+		time.Sleep(d.Delay)
+	}
+	writes := 1
+	if d.Duplicate {
+		add(l.injected, 1)
+		writes = 2
+	}
+	l.wbuf = appendFrame(l.wbuf, frame{kind: kind, seq: seq, payload: payload})
+	for ; writes > 0; writes-- {
+		if _, err := l.conn.Write(l.wbuf); err != nil {
+			l.fail(err)
+			return err
+		}
+		add(l.txFrames, 1)
+		add(l.txBytes, int64(len(l.wbuf)))
+	}
+	return nil
+}
+
+func (l *Link) ack(seq uint64) error {
+	if seq == l.recvSeq {
+		l.ackN++
+	}
+	return l.writeFrame(frameAck, seq, nil, l.ackN-1)
+}
+
+// Send delivers msg to the peer, retransmitting on ACK timeout with
+// jobs.BackoffDelay between attempts, up to the retry bound. Stale
+// duplicate data arriving while the ACK is awaited is re-ACKed (the
+// peer is retransmitting because our ACK was lost).
+func (l *Link) Send(msg []uint64) error {
+	seq := l.sendSeq + 1
+	for attempt := 0; attempt <= l.retries; attempt++ {
+		if attempt > 0 {
+			add(l.retriesC, 1)
+			time.Sleep(jobs.BackoffDelay(l.seed^seq, attempt))
+		}
+		if err := l.writeFrame(frameData, seq, msg, attempt); err != nil {
+			return err
+		}
+		timer := time.NewTimer(l.ackTimeout)
+	wait:
+		for {
+			select {
+			case f := <-l.in:
+				if f.kind == frameAck {
+					if f.seq == seq {
+						timer.Stop()
+						l.sendSeq = seq
+						return nil
+					}
+					continue // stale ACK of an older message
+				}
+				if f.seq <= l.recvSeq {
+					if err := l.ack(f.seq); err != nil {
+						return err
+					}
+					continue
+				}
+				if f.seq == l.recvSeq+1 {
+					// The peer's *response* arrived while our ACK was
+					// still pending: under lockstep it can only have
+					// been sent after our message was delivered, so it
+					// is an implicit ACK. Complete the send and stash
+					// the frame for the next Recv.
+					timer.Stop()
+					l.sendSeq = seq
+					l.stash = &f
+					return nil
+				}
+				timer.Stop()
+				return fmt.Errorf("cluster: peer %d sent data seq %d while seq %d unacknowledged", l.peer, f.seq, seq)
+			case <-timer.C:
+				break wait
+			case <-l.done:
+				timer.Stop()
+				return l.err
+			}
+		}
+	}
+	return fmt.Errorf("cluster: no ACK for message %d to peer %d after %d attempts", seq, l.peer, l.retries+1)
+}
+
+// Recv waits up to timeout for the next message, re-ACKing duplicates
+// of already-delivered frames. timeout <= 0 waits forever.
+func (l *Link) Recv(timeout time.Duration) ([]uint64, error) {
+	if f := l.stash; f != nil {
+		l.stash = nil
+		l.recvSeq = f.seq
+		l.ackN = 0
+		if err := l.ack(f.seq); err != nil {
+			return nil, err
+		}
+		return f.payload, nil
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	for {
+		select {
+		case f := <-l.in:
+			if f.kind == frameAck {
+				continue // stale ACK (our last send already completed)
+			}
+			if f.seq <= l.recvSeq {
+				if err := l.ack(f.seq); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if f.seq != l.recvSeq+1 {
+				return nil, fmt.Errorf("cluster: peer %d jumped from seq %d to %d", l.peer, l.recvSeq, f.seq)
+			}
+			l.recvSeq = f.seq
+			l.ackN = 0
+			if err := l.ack(f.seq); err != nil {
+				return nil, err
+			}
+			return f.payload, nil
+		case <-expire:
+			return nil, fmt.Errorf("cluster: no message from peer %d within %v", l.peer, timeout)
+		case <-l.done:
+			return nil, l.err
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"embsp/internal/bsp"
+	"embsp/internal/core"
+	"embsp/internal/words"
+)
+
+// Worker is one real processor of a cluster run: a core.NodeEngine
+// over its own state directory, serving the coordinator's lockstep
+// requests. It never initiates anything except the HELLO handshake;
+// after that the coordinator speaks first and the worker answers. A
+// worker that loses its connection exits Serve with the error — the
+// process around it decides whether to redial (join mode) or die and
+// be respawned (spawn mode). Either way its journal carries the
+// barrier state, so the rejoin handshake reconciles it exactly.
+type Worker struct {
+	Prog   bsp.Program
+	Cfg    core.MachineConfig
+	Opts   core.Options
+	NodeID int
+	Dir    string
+
+	// Probe, when set, is called at phase boundaries ("computed",
+	// "prepared", "committed" — after the engine op, before the
+	// response is sent). Crash tests use it to die in the windows the
+	// 2PC must survive.
+	Probe func(phase string, step int)
+
+	engine *core.NodeEngine
+}
+
+func (w *Worker) probe(phase string, step int) {
+	if w.Probe != nil {
+		w.Probe(phase, step)
+	}
+}
+
+// Open opens the worker's engine, resuming from the node journal when
+// one exists (the respawn path) and starting fresh otherwise.
+func (w *Worker) Open() error {
+	if w.engine != nil {
+		return nil
+	}
+	resume := false
+	if _, err := os.Stat(filepath.Join(w.Dir, "journal.wal")); err == nil {
+		resume = true
+	}
+	eng, err := core.OpenNode(w.Prog, w.Cfg, w.Opts, w.NodeID, w.Dir, resume)
+	if err != nil {
+		return err
+	}
+	w.engine = eng
+	return nil
+}
+
+// Close releases the engine.
+func (w *Worker) Close() error {
+	if w.engine == nil {
+		return nil
+	}
+	err := w.engine.Close()
+	w.engine = nil
+	return err
+}
+
+// reset wipes the node's state directory and reopens fresh — the
+// coordinator's verdict when no barrier has ever committed.
+func (w *Worker) reset() error {
+	if w.engine != nil {
+		w.engine.Close()
+		w.engine = nil
+	}
+	if err := os.RemoveAll(w.Dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+		return err
+	}
+	eng, err := core.OpenNode(w.Prog, w.Cfg, w.Opts, w.NodeID, w.Dir, false)
+	if err != nil {
+		return err
+	}
+	w.engine = eng
+	return nil
+}
+
+func (w *Worker) welcomeOut() []uint64 {
+	return welcomeOut{
+		Committed: w.engine.Committed(),
+		StepsDone: w.engine.StepsDone(),
+		Halted:    w.engine.Halted(),
+	}.encode()
+}
+
+// Serve runs the worker's side of the protocol over link until the
+// coordinator says SHUTDOWN (returns nil) or the link dies (returns
+// the error). The engine must be Open.
+func (w *Worker) Serve(link *Link) error {
+	if err := w.Open(); err != nil {
+		return err
+	}
+	h := hello{
+		NodeID:     w.NodeID,
+		Committed:  w.engine.Committed(),
+		HasPending: w.engine.HasPending(),
+		Fpr:        w.engine.Fingerprint(),
+	}
+	if err := link.Send(h.encode()); err != nil {
+		return err
+	}
+	for {
+		msg, err := link.Recv(0)
+		if err != nil {
+			return err
+		}
+		resp, done := w.handle(msg)
+		if err := link.Send(resp); err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// handle performs one request and builds the response. Engine errors
+// become ERR responses — the coordinator classifies them; the worker
+// keeps serving.
+func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
+	dec := words.NewDecoder(msg)
+	kind := dec.Uint()
+	fail := func(err error) ([]uint64, bool) { return encodeErr(err), false }
+	switch kind {
+	case msgReset:
+		if err := w.reset(); err != nil {
+			return fail(err)
+		}
+		return w.welcomeOut(), false
+	case msgWelcome:
+		commit := dec.Bool()
+		if w.engine.HasPending() {
+			if err := w.engine.ResolvePending(commit); err != nil {
+				return fail(err)
+			}
+		}
+		// Reload rather than a bare load: a reconnecting worker may
+		// carry a half-run superstep in memory and on disk; reopening
+		// from the journal discards every trace of it.
+		if err := w.engine.Reload(); err != nil {
+			return fail(err)
+		}
+		return w.welcomeOut(), false
+	case msgSetup:
+		if err := w.engine.Setup(); err != nil {
+			return fail(err)
+		}
+		stats, err := w.engine.PrepareSetup()
+		if err != nil {
+			return fail(err)
+		}
+		return encodeSetupOut(stats), false
+	case msgStepBegin:
+		w.engine.BeginStep()
+		return encodeKind(msgOK), false
+	case msgFetch:
+		f := dec.Ints()
+		out, nwords, err := w.engine.Fetch(int(f[0]), int(f[1]))
+		if err != nil {
+			return fail(err)
+		}
+		return fetchOut{Has: out != nil, Out: out, NWords: nwords}.encode(), false
+	case msgCompute:
+		f := dec.Ints()
+		in := decodeBatches(dec)
+		bo, err := w.engine.Compute(int(f[0]), int(f[1]), in)
+		if err != nil {
+			return fail(err)
+		}
+		w.probe("computed", int(f[1]))
+		return encodeComputeOut(bo), false
+	case msgWrite:
+		f := dec.Ints()
+		in := decodeBatches(dec)
+		if err := w.engine.Write(int(f[0]), int(f[1]), in); err != nil {
+			return fail(err)
+		}
+		return encodeKind(msgOK), false
+	case msgSum:
+		halts, sends := w.engine.StepTotals()
+		return sumOut{Halts: halts, Sends: sends, Ops: w.engine.StepOps()}.encode(), false
+	case msgRoute:
+		step := int(dec.Ints()[0])
+		if err := w.engine.Route(step); err != nil {
+			return fail(err)
+		}
+		return encodeKindStep(msgRouteOut, w.engine.StepOps()), false
+	case msgPrepare:
+		f := dec.Ints()
+		step := int(f[0])
+		if err := w.engine.Prepare(step, f[1] != 0); err != nil {
+			return fail(err)
+		}
+		w.probe("prepared", step)
+		return encodeKind(msgPrepared), false
+	case msgCommit:
+		// Idempotent: a worker that reconciled at rejoin has already
+		// committed; the broadcast's retry must still succeed.
+		if w.engine.HasPending() {
+			if err := w.engine.Commit(); err != nil {
+				return fail(err)
+			}
+		}
+		w.probe("committed", w.engine.StepsDone()-1)
+		return encodeKind(msgCommitted), false
+	case msgAbort:
+		if err := w.engine.Reload(); err != nil {
+			return fail(err)
+		}
+		return encodeKind(msgAborted), false
+	case msgFinal:
+		r, err := w.engine.Final()
+		if err != nil {
+			return fail(err)
+		}
+		return encodeFinalOut(r), false
+	case msgShutdown:
+		return encodeKind(msgBye), true
+	}
+	return fail(fmt.Errorf("cluster: worker %d: unexpected %s", w.NodeID, msgName(kind)))
+}
+
+// Run dials the coordinator and serves; with redial true it keeps
+// reconnecting (with backoff) after connection loss until SHUTDOWN,
+// which is the join-mode worker's whole life cycle.
+func (w *Worker) Run(addr string, redial bool, lc LinkConfig) error {
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			if !redial || attempt > 60 {
+				return err
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		link := NewLink(conn, lc)
+		err = w.Serve(link)
+		link.Close()
+		if err == nil {
+			return nil
+		}
+		if !redial {
+			return err
+		}
+		attempt = 0
+		time.Sleep(500 * time.Millisecond)
+	}
+}

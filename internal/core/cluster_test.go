@@ -1,0 +1,403 @@
+package core_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"embsp/internal/bsp/bsptest"
+	"embsp/internal/core"
+	"embsp/internal/disk"
+)
+
+// These tests drive NodeEngine + CoordCore through the cluster
+// protocol choreography in one process — the same phase sequence the
+// networked coordinator runs, minus the wire — and hold the results
+// bitwise identical to core.Run. The cluster package's own tests add
+// real processes, TCP, faults, and SIGKILL on top; this layer pins the
+// engine-side contract first.
+
+type clusterRig struct {
+	root  string
+	coord *core.CoordCore
+	nodes []*core.NodeEngine
+}
+
+func openRig(t *testing.T, prog *bsptest.RandomProgram, cfg core.MachineConfig, opts core.Options, root string) *clusterRig {
+	t.Helper()
+	coord, err := core.OpenCoord(prog, cfg, opts, filepath.Join(root, "coord"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &clusterRig{root: root, coord: coord, nodes: make([]*core.NodeEngine, cfg.P)}
+	for i := 0; i < cfg.P; i++ {
+		rig.nodes[i], err = core.OpenNode(prog, cfg, opts, i, filepath.Join(root, fmt.Sprintf("node-%d", i)), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { rig.close() })
+	return rig
+}
+
+func (r *clusterRig) close() {
+	for i, n := range r.nodes {
+		if n != nil {
+			n.Close()
+			r.nodes[i] = nil
+		}
+	}
+	if r.coord != nil {
+		r.coord.Close()
+		r.coord = nil
+	}
+}
+
+func (r *clusterRig) setup(t *testing.T) {
+	t.Helper()
+	stats := make([]disk.Stats, len(r.nodes))
+	for i, n := range r.nodes {
+		if err := n.Setup(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if stats[i], err = n.PrepareSetup(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.coord.CommitSetup(stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.nodes {
+		if err := n.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runBatches runs the fetch/compute/write rounds of one superstep and
+// returns the summed halt votes and sends.
+func (r *clusterRig) runBatches(t *testing.T, step int) (halts, sends int) {
+	t.Helper()
+	P := len(r.nodes)
+	r.coord.BeginStep()
+	for _, n := range r.nodes {
+		n.BeginStep()
+	}
+	for j := 0; j < r.coord.Batches(); j++ {
+		outs := make([][]core.BlockBatch, P)
+		for i, n := range r.nodes {
+			out, nwords, err := n.Fetch(j, step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs[i] = out
+			r.coord.AddFetch(i, nwords)
+		}
+		bos := make([]*core.BatchOut, P)
+		for i, n := range r.nodes {
+			in := make([]core.BlockBatch, P)
+			for src := 0; src < P; src++ {
+				if outs[src] != nil {
+					in[src] = outs[src][i]
+				}
+			}
+			bo, err := n.Compute(j, step, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bos[i] = bo
+			r.coord.AddBatch(i, bo)
+			r.coord.RecordTraffic(bo.Traffic)
+		}
+		for i, n := range r.nodes {
+			in := make([]core.BlockBatch, P)
+			for src := 0; src < P; src++ {
+				in[src] = bos[src].Scatter[i]
+			}
+			if err := n.Write(j, step, in); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, n := range r.nodes {
+		h, s := n.StepTotals()
+		halts += h
+		sends += s
+	}
+	return halts, sends
+}
+
+// finishStep completes a superstep from the vote on: route, costs,
+// PREPARE on every node, the coordinator's decision, COMMIT.
+func (r *clusterRig) finishStep(t *testing.T, step, halts, sends int) (halted bool) {
+	t.Helper()
+	halted, err := r.coord.Vote(step, halts, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		for _, n := range r.nodes {
+			if err := n.Route(step); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var maxOps int64
+	for _, n := range r.nodes {
+		if d := n.StepOps(); d > maxOps {
+			maxOps = d
+		}
+	}
+	r.coord.FinishStep(maxOps)
+	for _, n := range r.nodes {
+		if err := n.Prepare(step, halted); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.coord.CommitStep(step, halted); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.nodes {
+		if err := n.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return halted
+}
+
+func (r *clusterRig) step(t *testing.T, step int) (halted bool) {
+	t.Helper()
+	halts, sends := r.runBatches(t, step)
+	return r.finishStep(t, step, halts, sends)
+}
+
+// abortStep rolls a live rig back to the last barrier: every node
+// reloads its committed state and the coordinator rewinds its
+// accounting — the path a worker failure mid-superstep takes.
+func (r *clusterRig) abortStep(t *testing.T) {
+	t.Helper()
+	for _, n := range r.nodes {
+		if err := n.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.coord.AbortStep()
+}
+
+func (r *clusterRig) assemble(t *testing.T) *core.Result {
+	t.Helper()
+	reports := make([]*core.NodeReport, len(r.nodes))
+	for i, n := range r.nodes {
+		var err error
+		if reports[i], err = n.Final(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.coord.Assemble(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func (r *clusterRig) run(t *testing.T) *core.Result {
+	t.Helper()
+	r.setup(t)
+	for step := 0; ; step++ {
+		if step >= r.coord.MaxSupersteps() {
+			t.Fatalf("no convergence after %d supersteps", step)
+		}
+		if r.step(t, step) {
+			break
+		}
+	}
+	return r.assemble(t)
+}
+
+func clusterProgram() *bsptest.RandomProgram {
+	return &bsptest.RandomProgram{V: 16, Steps: 5, MsgsPerStep: 4, MaxLen: 12}
+}
+
+// TestClusterCoreMatchesInProcess: the protocol choreography is
+// bitwise identical to the in-process parallel engine — VP states,
+// model costs, and EM statistics — across processor counts, including
+// P > V (empty nodes).
+func TestClusterCoreMatchesInProcess(t *testing.T) {
+	for _, tc := range []struct{ p, v int }{{2, 16}, {4, 16}, {4, 3}} {
+		prog := clusterProgram()
+		prog.V = tc.v
+		cfg := parMachine(tc.p, 2, 8, 256)
+		opts := core.Options{Seed: 7}
+		oracle, err := core.Run(prog, cfg, core.Options{Seed: 7, StateDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig := openRig(t, prog, cfg, opts, t.TempDir())
+		res := rig.run(t)
+		resultsIdentical(t, res, oracle, fmt.Sprintf("cluster p=%d v=%d", tc.p, tc.v))
+	}
+}
+
+// TestClusterCoreAbortReplay: aborting the attempt at every superstep
+// in turn — batches done, routing done, or every node already PREPARED
+// but no decision — then replaying leaves no trace: the final result
+// is still bitwise identical to an undisturbed run.
+func TestClusterCoreAbortReplay(t *testing.T) {
+	prog := clusterProgram()
+	cfg := parMachine(3, 2, 8, 256)
+	opts := core.Options{Seed: 11}
+	oracle, err := core.Run(prog, cfg, core.Options{Seed: 11, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := oracle.Costs.Supersteps
+	for abortAt := 0; abortAt < steps; abortAt++ {
+		for _, phase := range []string{"batches", "routed", "prepared"} {
+			rig := openRig(t, prog, cfg, opts, t.TempDir())
+			rig.setup(t)
+			aborted := false
+			for step := 0; ; step++ {
+				if step == abortAt && !aborted {
+					halts, sends := rig.runBatches(t, step)
+					if phase != "batches" {
+						halted, err := rig.coord.Vote(step, halts, sends)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !halted {
+							for _, n := range rig.nodes {
+								if err := n.Route(step); err != nil {
+									t.Fatal(err)
+								}
+							}
+						}
+						if phase == "prepared" {
+							for _, n := range rig.nodes {
+								if err := n.Prepare(step, halted); err != nil {
+									t.Fatal(err)
+								}
+							}
+						}
+					}
+					rig.abortStep(t)
+					aborted = true
+				}
+				if rig.step(t, step) {
+					break
+				}
+			}
+			res := rig.assemble(t)
+			resultsIdentical(t, res, oracle, fmt.Sprintf("abort@%d/%s", abortAt, phase))
+			rig.close()
+		}
+	}
+}
+
+// reopen closes every engine and reopens them from their journals,
+// then reconciles: each node with a prepared tail commits it exactly
+// when the coordinator's decision journal covers it (presumed abort
+// otherwise) — the restart path after a SIGKILL.
+func (r *clusterRig) reopen(t *testing.T, prog *bsptest.RandomProgram, cfg core.MachineConfig, opts core.Options) {
+	t.Helper()
+	r.close()
+	coord, err := core.OpenCoord(prog, cfg, opts, filepath.Join(r.root, "coord"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.coord = coord
+	if err := r.coord.LoadCommitted(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.nodes {
+		n, err := core.OpenNode(prog, cfg, opts, i, filepath.Join(r.root, fmt.Sprintf("node-%d", i)), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes[i] = n
+		if n.HasPending() {
+			if err := n.ResolvePending(r.coord.Committed() > n.Committed()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.LoadCommitted(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := n.Fingerprint(), r.coord.NodeFpr(i); got != want {
+			t.Fatalf("node %d fingerprint %x, coordinator derives %x", i, got, want)
+		}
+	}
+}
+
+// TestClusterCoreCrashReopen: kill the whole cluster in either 2PC
+// window — every node PREPARED but no decision (presumed abort), or
+// the decision committed but no node told (commit on reconnect) — and
+// the reopened run still finishes bitwise identical.
+func TestClusterCoreCrashReopen(t *testing.T) {
+	prog := clusterProgram()
+	cfg := parMachine(3, 2, 8, 256)
+	opts := core.Options{Seed: 13}
+	oracle, err := core.Run(prog, cfg, core.Options{Seed: 13, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := oracle.Costs.Supersteps
+	for crashAt := 0; crashAt < steps; crashAt++ {
+		for _, window := range []string{"prepared-undecided", "decided-untold"} {
+			rig := openRig(t, prog, cfg, opts, t.TempDir())
+			rig.setup(t)
+			crashed := false
+			for step := 0; ; step++ {
+				if step == crashAt && !crashed {
+					halts, sends := rig.runBatches(t, step)
+					halted, err := rig.coord.Vote(step, halts, sends)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !halted {
+						for _, n := range rig.nodes {
+							if err := n.Route(step); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					var maxOps int64
+					for _, n := range rig.nodes {
+						if d := n.StepOps(); d > maxOps {
+							maxOps = d
+						}
+					}
+					rig.coord.FinishStep(maxOps)
+					for _, n := range rig.nodes {
+						if err := n.Prepare(step, halted); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if window == "decided-untold" {
+						if err := rig.coord.CommitStep(step, halted); err != nil {
+							t.Fatal(err)
+						}
+					}
+					rig.reopen(t, prog, cfg, opts)
+					crashed = true
+					// After an undecided crash the step replays; after
+					// a decided one it is already committed.
+					if rig.coord.StepsDone() == step+1 {
+						if rig.coord.Halted() {
+							break
+						}
+						continue
+					}
+					step--
+					continue
+				}
+				if rig.step(t, step) {
+					break
+				}
+			}
+			res := rig.assemble(t)
+			resultsIdentical(t, res, oracle, fmt.Sprintf("crash@%d/%s", crashAt, window))
+			rig.close()
+		}
+	}
+}

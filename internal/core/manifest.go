@@ -25,8 +25,10 @@ import (
 // program, seed, fault plan or machine.
 
 const (
-	manifestSeqKind = 0x5345513 // "SEQ" tag
-	manifestParKind = 0x5041523 // "PAR" tag
+	manifestSeqKind   = 0x5345513  // "SEQ" tag
+	manifestParKind   = 0x5041523  // "PAR" tag
+	manifestNodeKind  = 0x4e4f4445 // "NODE" tag — one cluster worker's processor state
+	manifestCoordKind = 0x434f5244 // "CORD" tag — the cluster coordinator's global state
 )
 
 // configFingerprint folds everything a resumed run must agree on into
@@ -300,29 +302,76 @@ func (e *parEngine) encodeManifest(enc *words.Encoder) {
 	encodeRecSteps(enc, e.rec.Steps())
 	enc.PutInt(int64(len(e.procs)))
 	for _, ps := range e.procs {
-		st := ps.rng.State()
-		for _, w := range st[:] {
-			enc.PutUint(w)
-		}
-		enc.PutInt(int64(ps.ctxCur))
-		ps.ctxAreas[0].Encode(enc)
-		ps.ctxAreas[1].Encode(enc)
-		enc.PutInt(int64(ps.inBlocks))
-		encodeRegions(enc, ps.inRegions)
-		encodeAreas(enc, ps.inAreas)
-		enc.PutInts([]int64{ps.routeOps, ps.ragged, ps.peakLive})
-		enc.PutFloat(ps.maxSkew)
-		enc.PutInt(ps.acct.High())
-		encodeStoreState(enc, ps.store.State())
-		enc.PutBool(ps.fd != nil)
-		if ps.fd != nil {
-			ps.fd.EncodeState(enc)
-		}
-		enc.PutBool(ps.red != nil)
-		if ps.red != nil {
-			ps.red.EncodeState(enc)
+		encodeProcManifest(enc, ps)
+	}
+}
+
+// encodeProcManifest writes one processor's complete barrier state —
+// the per-processor section of the parallel manifest, and the whole
+// body of a cluster node's manifest.
+func encodeProcManifest(enc *words.Encoder, ps *procState) {
+	st := ps.rng.State()
+	for _, w := range st[:] {
+		enc.PutUint(w)
+	}
+	enc.PutInt(int64(ps.ctxCur))
+	ps.ctxAreas[0].Encode(enc)
+	ps.ctxAreas[1].Encode(enc)
+	enc.PutInt(int64(ps.inBlocks))
+	encodeRegions(enc, ps.inRegions)
+	encodeAreas(enc, ps.inAreas)
+	enc.PutInts([]int64{ps.routeOps, ps.ragged, ps.peakLive})
+	enc.PutFloat(ps.maxSkew)
+	enc.PutInt(ps.acct.High())
+	encodeStoreState(enc, ps.store.State())
+	enc.PutBool(ps.fd != nil)
+	if ps.fd != nil {
+		ps.fd.EncodeState(enc)
+	}
+	enc.PutBool(ps.red != nil)
+	if ps.red != nil {
+		ps.red.EncodeState(enc)
+	}
+}
+
+func decodeProcManifest(dec *words.Decoder, ps *procState) error {
+	var st [4]uint64
+	for i := range st {
+		st[i] = dec.Uint()
+	}
+	ps.rng.SetState(st)
+	ps.ctxCur = int(dec.Int())
+	ps.ctxAreas[0] = disk.DecodeArea(dec)
+	ps.ctxAreas[1] = disk.DecodeArea(dec)
+	ps.inBlocks = int(dec.Int())
+	ps.inRegions = decodeRegions(dec)
+	ps.inAreas = decodeAreas(dec)
+	pt := dec.Ints()
+	ps.routeOps, ps.ragged, ps.peakLive = pt[0], pt[1], pt[2]
+	ps.maxSkew = dec.Float()
+	ps.acct.AdoptHigh(dec.Int())
+	if err := ps.store.AdoptState(decodeStoreState(dec)); err != nil {
+		return err
+	}
+	hadFault := dec.Bool()
+	if hadFault != (ps.fd != nil) {
+		return fmt.Errorf("core: journal fault-layer presence (%v) disagrees with the resuming options (%v)", hadFault, ps.fd != nil)
+	}
+	if ps.fd != nil {
+		if err := ps.fd.DecodeState(dec); err != nil {
+			return err
 		}
 	}
+	hadRed := dec.Bool()
+	if hadRed != (ps.red != nil) {
+		return fmt.Errorf("core: journal parity-layer presence (%v) disagrees with the resuming options (%v)", hadRed, ps.red != nil)
+	}
+	if ps.red != nil {
+		if err := ps.red.DecodeState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *parEngine) decodeManifest(payload []uint64) error {
@@ -342,41 +391,8 @@ func (e *parEngine) decodeManifest(payload []uint64) error {
 		return fmt.Errorf("core: journal records %d processors, machine has %d", n, len(e.procs))
 	}
 	for _, ps := range e.procs {
-		var st [4]uint64
-		for i := range st {
-			st[i] = dec.Uint()
-		}
-		ps.rng.SetState(st)
-		ps.ctxCur = int(dec.Int())
-		ps.ctxAreas[0] = disk.DecodeArea(dec)
-		ps.ctxAreas[1] = disk.DecodeArea(dec)
-		ps.inBlocks = int(dec.Int())
-		ps.inRegions = decodeRegions(dec)
-		ps.inAreas = decodeAreas(dec)
-		pt := dec.Ints()
-		ps.routeOps, ps.ragged, ps.peakLive = pt[0], pt[1], pt[2]
-		ps.maxSkew = dec.Float()
-		ps.acct.AdoptHigh(dec.Int())
-		if err := ps.store.AdoptState(decodeStoreState(dec)); err != nil {
+		if err := decodeProcManifest(dec, ps); err != nil {
 			return err
-		}
-		hadFault := dec.Bool()
-		if hadFault != (ps.fd != nil) {
-			return fmt.Errorf("core: journal fault-layer presence (%v) disagrees with the resuming options (%v)", hadFault, ps.fd != nil)
-		}
-		if ps.fd != nil {
-			if err := ps.fd.DecodeState(dec); err != nil {
-				return err
-			}
-		}
-		hadRed := dec.Bool()
-		if hadRed != (ps.red != nil) {
-			return fmt.Errorf("core: journal parity-layer presence (%v) disagrees with the resuming options (%v)", hadRed, ps.red != nil)
-		}
-		if ps.red != nil {
-			if err := ps.red.DecodeState(dec); err != nil {
-				return err
-			}
 		}
 	}
 	return nil

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sync"
 
 	"embsp/internal/bsp"
@@ -47,6 +46,11 @@ import (
 // communication cells are owned by a single writer per phase and all
 // deliveries are sorted canonically, so results are bitwise
 // deterministic and identical to the in-memory reference runner.
+//
+// The per-processor phase bodies live on simShape (node.go); this file
+// is the in-process driver that exchanges blocks through in-memory
+// matrices. The cluster runtime (cluster.go, internal/cluster) drives
+// the identical phases over the wire.
 //
 // With a fault plan configured, each processor's disk array is wrapped
 // in its own fault layer (fault schedules keyed per processor); the
@@ -122,23 +126,11 @@ func (ps *procState) ctxWrite() disk.Area {
 }
 
 type parEngine struct {
-	p    bsp.Program
-	cfg  MachineConfig
-	opts Options
-
-	v        int
-	mu       int
-	gamma    int
-	k        int
-	vpp      int // VPs per real processor (ceiling)
-	batches  int // rounds per compound superstep
-	muBlocks int
-	pktBlk   int // blocks per packet: max(1, ⌊b/B⌋)
+	simShape
 
 	procs []*procState
 
 	jrn   *journal.Journal // nil without a StateDir
-	tr    *obs.Tracer      // trace sink; nil-safe no-op when tracing is off
 	goctx context.Context
 	fpr   uint64 // config fingerprint stamped into every manifest
 
@@ -147,7 +139,6 @@ type parEngine struct {
 	halted    bool       // all VPs voted halt (committed)
 
 	recMu sync.Mutex
-	rec   *bsp.CostRecorder
 
 	// Exchange matrices, reallocated each phase; cell [src][dst] is
 	// written only by src's goroutine and read only after the barrier.
@@ -165,32 +156,6 @@ type parEngine struct {
 	recoveryOps int64 // I/O ops consumed by rolled-back attempts
 }
 
-// owner returns the real processor owning VP id.
-func (e *parEngine) owner(id int) int { return id / e.vpp }
-
-// batchOf returns the batch (round index) in which VP id is simulated.
-func (e *parEngine) batchOf(id int) int { return (id % e.vpp) / e.k }
-
-// bucketKey maps a block to its bucket: each bucket covers
-// ⌈batches/D⌉ consecutive batches, as Algorithm 3 prescribes.
-func (e *parEngine) bucketKey(m blockMeta) int {
-	per := (e.batches + e.cfg.D - 1) / e.cfg.D
-	return e.batchOf(m.dst) / per
-}
-
-// batchBounds returns the VP range [lo, hi) of processor ps in round j.
-func (e *parEngine) batchBounds(ps *procState, j int) (lo, hi int) {
-	lo = ps.lo + j*e.k
-	hi = lo + e.k
-	if hi > ps.hi {
-		hi = ps.hi
-	}
-	if lo > ps.hi {
-		lo = ps.hi
-	}
-	return lo, hi
-}
-
 // faulty reports whether the engine runs under a fault plan.
 func (e *parEngine) faulty() bool { return e.procs[0].fd != nil }
 
@@ -201,57 +166,23 @@ func (e *parEngine) ckpt() bool { return e.faulty() || e.jrn != nil }
 
 func runPar(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options) (*Result, error) {
 	opts.defaults()
-	v := p.NumVPs()
-	mu := p.MaxContextWords()
-	gamma := p.MaxCommWords()
-	k := cfg.M / mu
-	if k < 1 {
-		k = 1
-	}
-	vpp := (v + cfg.P - 1) / cfg.P
-	if k > vpp {
-		k = vpp
-	}
 	e := &parEngine{
-		p: p, cfg: cfg, opts: opts, goctx: ctx,
-		v: v, mu: mu, gamma: gamma, k: k, vpp: vpp,
-		batches:  (vpp + k - 1) / k,
-		muBlocks: (mu + cfg.B - 1) / cfg.B,
-		pktBlk:   maxInt(1, cfg.Cost.Pkt/cfg.B),
-		rec:      bsp.NewCostRecorder(cfg.Cost.Pkt),
-		fpr:      configFingerprint(manifestParKind, cfg, opts, v, mu, gamma),
-		tr:       opts.Trace,
+		simShape: newSimShape(p, cfg, opts),
+		goctx:    ctx,
 	}
+	e.fpr = configFingerprint(manifestParKind, cfg, opts, e.v, e.mu, e.gamma)
 	e.procs = make([]*procState, cfg.P)
 	for i := range e.procs {
-		lo := i * vpp
-		hi := lo + vpp
-		if lo > v {
-			lo = v
-		}
-		if hi > v {
-			hi = v
-		}
-		ps := &procState{
-			id: i, lo: lo, hi: hi,
-			acct: mem.NewAccountant(engineMemLimit(cfg, k, mu, gamma)),
-			rng:  prng.New(prng.Derive(opts.Seed, 0xFA12, uint64(i))),
-		}
-		diskCfg := disk.Config{D: cfg.D, B: cfg.B}
+		var dir string
 		if opts.StateDir != "" {
 			// Each real processor's drives live in their own
 			// subdirectory; the journal is shared and lives at the root.
-			f, err := disk.OpenFileOpts(filepath.Join(opts.StateDir, fmt.Sprintf("proc-%02d", i)), diskCfg, opts.Resume,
-				fileStoreOpts(cfg, opts, k, mu, gamma, i))
-			if err != nil {
-				e.closeState()
-				return nil, err
-			}
-			ps.store = f
-			ps.bfile = f
-			ps.pf = pipelineFor(opts, f)
-		} else {
-			ps.store = disk.MustNewArray(diskCfg)
+			dir = procDir(opts.StateDir, i)
+		}
+		ps, err := e.newProcState(i, dir, opts.Resume)
+		if err != nil {
+			e.closeState()
+			return nil, err
 		}
 		mode := opts.effectiveRedundancy()
 		if mode == redundancy.Parity {
@@ -442,11 +373,7 @@ func (e *parEngine) run() (*Result, error) {
 		// Setup: every processor reserves its context area(s) and writes
 		// its VPs' initial contexts.
 		for _, ps := range e.procs {
-			ps.ctxAreas[0] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
-			if ps.ckptOn {
-				ps.ctxAreas[1] = disk.Reserve(ps.dsk, ps.ownCount()*e.muBlocks)
-			}
-			ps.noteLive(e.muBlocks, 0)
+			e.setupReserve(ps)
 		}
 		if err := e.replayPhase(func(ps *procState) error {
 			sp := e.tr.Begin(obs.CatEngine, phSetup, ps.id, 0)
@@ -507,7 +434,12 @@ func (e *parEngine) run() (*Result, error) {
 	if err := e.replayPhase(func(ps *procState) error {
 		sp := e.tr.Begin(obs.CatEngine, phFinish, ps.id, 0)
 		defer sp.End()
-		return e.readFinalContexts(ps, vps)
+		return e.readFinalContexts(ps, func(id int, ctx []uint64) error {
+			vp := e.p.NewVP(id)
+			vp.Load(words.NewDecoder(ctx))
+			vps[id] = vp
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -694,40 +626,19 @@ func (e *parEngine) runStep(step int) (halts, sends int, err error) {
 }
 
 // redBarrier is the parity-aware commit point, run on every processor
-// after the superstep committed: stripe the fresh tracks into parity
-// groups, then a budgeted slice of online rebuild and (when enabled)
-// scrub. The extra parallel I/O is charged to the model at cost G as
-// the slowest processor's share.
+// after the superstep committed. The extra parallel I/O is charged to
+// the model at cost G as the slowest processor's share.
 func (e *parEngine) redBarrier() error {
 	if e.procs[0].red == nil {
 		return nil
 	}
 	var maxOps int64
 	for _, ps := range e.procs {
-		before := ps.dsk.Stats().Ops
-		sp := e.tr.Begin(obs.CatEngine, phParity, ps.id, 0)
-		err := ps.red.FlushParity()
-		sp.End()
+		d, err := e.redProc(ps)
 		if err != nil {
 			return err
 		}
-		if ps.red.Rebuilding() {
-			sp := e.tr.Begin(obs.CatEngine, phRebuild, ps.id, 0)
-			err := ps.red.RebuildStep(redBudget(e.cfg.D))
-			sp.End()
-			if err != nil {
-				return err
-			}
-		}
-		if e.opts.Scrub {
-			sp := e.tr.Begin(obs.CatEngine, phScrub, ps.id, 0)
-			_, err := ps.red.Scrub(redBudget(e.cfg.D))
-			sp.End()
-			if err != nil {
-				return err
-			}
-		}
-		if d := ps.dsk.Stats().Ops - before; d > maxOps {
+		if d > maxOps {
 			maxOps = d
 		}
 	}
@@ -741,83 +652,8 @@ func (e *parEngine) redBarrier() error {
 // processor finished the superstep.
 func (e *parEngine) commitSuperstep() error {
 	for _, ps := range e.procs {
-		if ps.pendingRoute != nil {
-			for _, ar := range ps.inAreas {
-				if err := disk.FreeArea(ps.dsk, ar); err != nil {
-					return err
-				}
-			}
-			route := ps.pendingRoute
-			ps.pendingRoute = nil
-			ps.routeOps += route.stats.ops
-			ps.ragged += route.stats.ragged
-			if route.stats.maxSkew > ps.maxSkew {
-				ps.maxSkew = route.stats.maxSkew
-			}
-			ps.inRegions, ps.inAreas, ps.inBlocks = route.regions, route.areas, route.total
-			ps.noteLive(e.muBlocks, route.total)
-		}
-		ps.ctxCur ^= 1
-	}
-	return nil
-}
-
-func (e *parEngine) writeInitialContexts(ps *procState) error {
-	if ps.ownCount() == 0 {
-		return nil
-	}
-	bufWords := e.k * e.muBlocks * e.cfg.B
-	if err := ps.acct.Grab(int64(bufWords)); err != nil {
-		return err
-	}
-	defer ps.acct.Release(int64(bufWords))
-	buf := make([]uint64, bufWords)
-	enc := words.NewEncoder(nil)
-	for j := 0; j < e.batches; j++ {
-		lo, hi := e.batchBounds(ps, j)
-		if lo == hi {
-			continue
-		}
-		clear(buf[:(hi-lo)*e.muBlocks*e.cfg.B])
-		for id := lo; id < hi; id++ {
-			enc.Reset()
-			e.p.NewVP(id).Save(enc)
-			if enc.Len() > e.mu {
-				return fmt.Errorf("core: VP %d initial context is %d words, exceeding µ=%d", id, enc.Len(), e.mu)
-			}
-			copy(buf[(id-lo)*e.muBlocks*e.cfg.B:], enc.Words())
-		}
-		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-		if err := disk.WriteRange(ps.dsk, ps.ctxRead(), cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
+		if err := e.commitProc(ps); err != nil {
 			return err
-		}
-	}
-	return nil
-}
-
-func (e *parEngine) readFinalContexts(ps *procState, out []bsp.VP) error {
-	if ps.ownCount() == 0 {
-		return nil
-	}
-	bufWords := e.k * e.muBlocks * e.cfg.B
-	if err := ps.acct.Grab(int64(bufWords)); err != nil {
-		return err
-	}
-	defer ps.acct.Release(int64(bufWords))
-	buf := make([]uint64, bufWords)
-	for j := 0; j < e.batches; j++ {
-		lo, hi := e.batchBounds(ps, j)
-		if lo == hi {
-			continue
-		}
-		cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-		if err := disk.ReadRange(ps.dsk, ps.ctxRead(), cl, ch, buf[:(hi-lo)*e.muBlocks*e.cfg.B]); err != nil {
-			return err
-		}
-		for id := lo; id < hi; id++ {
-			vp := e.p.NewVP(id)
-			vp.Load(words.NewDecoder(buf[(id-lo)*e.muBlocks*e.cfg.B : (id-lo+1)*e.muBlocks*e.cfg.B]))
-			out[id] = vp
 		}
 	}
 	return nil
@@ -838,16 +674,7 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		e.wordX[i] = make([]int64, P)
 	}
 	for _, ps := range e.procs {
-		ps.halts, ps.sends = 0, 0
-		ps.dir = newOutDirectory(e.cfg.D, e.cfg.D)
-		ps.opsMark = ps.dsk.Stats().Ops
-		flushBuf := make([]uint64, e.cfg.D*e.cfg.B)
-		var down func(int) bool
-		if ps.fd != nil {
-			down = ps.fd.Down
-		}
-		ps.writer = newBlockWriter(ps.dsk, ps.dir, e.bucketKey, ps.rng, e.opts.Deterministic, down, flushBuf)
-		ps.scratch = make([]uint64, e.cfg.B)
+		e.beginStep(ps)
 	}
 
 	for j := 0; j < e.batches; j++ {
@@ -857,14 +684,46 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		if err := e.parallel(func(ps *procState) error {
 			sp := e.tr.BeginStep(obs.CatEngine, phFetchMsg, ps.id, 0, step, j)
 			defer sp.End()
-			return e.fetchForward(ps, j)
+			out, nwords, err := e.fetchForward(ps, j)
+			if err != nil || out == nil {
+				return err
+			}
+			e.fetchX[ps.id] = out
+			for o, w := range nwords {
+				if o == ps.id || w == 0 {
+					continue
+				}
+				e.wordX[ps.id][o] += w
+				e.pktX[ps.id][o] += e.fetchPkts(w)
+			}
+			return nil
 		}); err != nil {
 			return 0, 0, err
 		}
 		// Computing phase (and cutting generated messages into packets
 		// scattered to random processors).
 		e.scatterX = freshMatrix(P)
-		if err := e.parallel(func(ps *procState) error { return e.computeBatch(ps, j, step) }); err != nil {
+		if err := e.parallel(func(ps *procState) error {
+			in := make([][]wireBlock, P)
+			for src := 0; src < P; src++ {
+				in[src] = e.fetchX[src][ps.id]
+			}
+			bo, err := e.computeBatch(ps, j, step, in)
+			if err != nil {
+				return err
+			}
+			e.scatterX[ps.id] = bo.scatter
+			for t := 0; t < P; t++ {
+				e.pktX[ps.id][t] += bo.pkts[t]
+				e.wordX[ps.id][t] += bo.wrds[t]
+			}
+			e.recMu.Lock()
+			for _, tr := range bo.traffic {
+				e.rec.RecordVP(tr)
+			}
+			e.recMu.Unlock()
+			return nil
+		}); err != nil {
 			return 0, 0, err
 		}
 		// Writing phase: every processor writes the packets it
@@ -872,7 +731,11 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		if err := e.parallel(func(ps *procState) error {
 			sp := e.tr.BeginStep(obs.CatEngine, phWriteMsg, ps.id, 0, step, j)
 			defer sp.End()
-			return e.receiveWrite(ps)
+			in := make([][]wireBlock, P)
+			for src := 0; src < P; src++ {
+				in[src] = e.scatterX[src][ps.id]
+			}
+			return e.receiveWrite(ps, in)
 		}); err != nil {
 			return 0, 0, err
 		}
@@ -904,26 +767,10 @@ func (e *parEngine) compoundSuperstep(step int) (halts, sends int, err error) {
 		}
 	}
 	e.ioTime += e.cfg.G * float64(maxOps)
-	var maxPkts int64
-	for i := 0; i < P; i++ {
-		var sent, recv int64
-		for o := 0; o < P; o++ {
-			if o != i {
-				sent += e.pktX[i][o]
-				recv += e.pktX[o][i]
-				e.commWords += e.wordX[i][o]
-				e.commPkts += e.pktX[i][o]
-			}
-		}
-		if sent+recv > maxPkts {
-			maxPkts = sent + recv
-		}
-	}
-	ct := e.cfg.Cost.GPkt * float64(maxPkts)
-	if ct < e.cfg.Cost.L {
-		ct = e.cfg.Cost.L
-	}
+	ct, pkts, wrds := superstepCommCosts(e.cfg, e.pktX, e.wordX)
 	e.commTime += ct
+	e.commPkts += pkts
+	e.commWords += wrds
 	return halts, sends, nil
 }
 
@@ -933,272 +780,4 @@ func freshMatrix(p int) [][][]wireBlock {
 		m[i] = make([][]wireBlock, p)
 	}
 	return m
-}
-
-// fetchForward reads the blocks of batch j from the local disks and
-// forwards each to the processor simulating its destination VP,
-// combining blocks per destination into packets of size b.
-func (e *parEngine) fetchForward(ps *procState, j int) error {
-	var regions []groupRegion
-	if j < len(ps.inRegions) {
-		regions = ps.inRegions[j]
-	}
-	buf, metas, grabbed, err := readRegions(ps.dsk, ps.acct, regions)
-	if err != nil {
-		return err
-	}
-	if metas == nil {
-		return nil
-	}
-	B := e.cfg.B
-	nwords := make([]int64, e.cfg.P)
-	for i, m := range metas {
-		o := e.owner(m.dst)
-		img := make([]uint64, B)
-		copy(img, buf[i*B:(i+1)*B])
-		e.fetchX[ps.id][o] = append(e.fetchX[ps.id][o], wireBlock{meta: m, img: img})
-		nwords[o] += int64(B)
-	}
-	for o, w := range nwords {
-		if o == ps.id || w == 0 {
-			continue
-		}
-		e.wordX[ps.id][o] += w
-		e.pktX[ps.id][o] += (w + int64(e.rec.PktSize()) - 1) / int64(e.rec.PktSize())
-	}
-	if grabbed > 0 {
-		ps.acct.Release(grabbed)
-	}
-	return nil
-}
-
-// computeBatch reassembles the batch's messages, simulates the k
-// current VPs, and scatters the generated messages — as packets of
-// ⌊b/B⌋ blocks — to randomly chosen processors.
-func (e *parEngine) computeBatch(ps *procState, j, step int) error {
-	lo, hi := e.batchBounds(ps, j)
-	n := hi - lo
-	B := e.cfg.B
-
-	// Gather the wire blocks addressed to this processor.
-	var metas []blockMeta
-	var total int
-	for src := 0; src < e.cfg.P; src++ {
-		total += len(e.fetchX[src][ps.id])
-	}
-	if n == 0 {
-		if total != 0 {
-			return fmt.Errorf("core: processor %d received %d blocks for an empty batch %d", ps.id, total, j)
-		}
-		return nil
-	}
-	spMsg := e.tr.BeginStep(obs.CatEngine, phFetchMsg, ps.id, 0, step, j)
-	inGrab := int64(total * B)
-	if err := ps.acct.Grab(inGrab); err != nil {
-		return err
-	}
-	buf := make([]uint64, total*B)
-	idx := 0
-	for src := 0; src < e.cfg.P; src++ {
-		for _, wb := range e.fetchX[src][ps.id] {
-			copy(buf[idx*B:(idx+1)*B], wb.img)
-			metas = append(metas, wb.meta)
-			idx++
-		}
-	}
-	var inbox [][]bsp.Message
-	var err error
-	if total == 0 {
-		inbox = make([][]bsp.Message, n)
-	} else {
-		inbox, err = reassemble(buf, metas, B, lo, hi)
-		if err != nil {
-			return err
-		}
-	}
-	spMsg.End()
-
-	// Contexts of the current k VPs.
-	spFetch := e.tr.BeginStep(obs.CatEngine, phFetchCtx, ps.id, 0, step, j)
-	ctxWords := n * e.muBlocks * B
-	if err := ps.acct.Grab(int64(ctxWords)); err != nil {
-		return err
-	}
-	ctxBuf := make([]uint64, ctxWords)
-	cl, ch := (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks
-	if err := disk.ReadRange(ps.dsk, ps.ctxRead(), cl, ch, ctxBuf); err != nil {
-		return err
-	}
-	vps := make([]bsp.VP, n)
-	for i := 0; i < n; i++ {
-		vps[i] = e.p.NewVP(lo + i)
-		vps[i].Load(words.NewDecoder(ctxBuf[i*e.muBlocks*B : (i+1)*e.muBlocks*B]))
-	}
-	spFetch.End()
-
-	// The compute span also covers the pipeline's prefetch hint, so
-	// the engine phases tile this processor's lane with no gap.
-	spComp := e.tr.BeginStep(obs.CatEngine, phCompute, ps.id, 0, step, j)
-
-	// Group pipeline: stage batch j+1's context and message blocks
-	// into the local store's physical cache while this batch computes
-	// (purely physical, no accounting — see pipeline.go).
-	if ps.pf != nil && j+1 < e.batches {
-		ps.pf.Prefetch(e.prefetchBatch(ps, j+1))
-	}
-
-	// Simulate the computation supersteps.
-	var outs []outMsg
-	var outWords int64
-	for i := 0; i < n; i++ {
-		id := lo + i
-		recvWords, recvPkts := 0, 0
-		for _, m := range inbox[i] {
-			w := len(m.Payload) + 1
-			recvWords += w
-			recvPkts += e.rec.MsgPkts(w)
-		}
-		if recvWords > e.gamma {
-			return fmt.Errorf("core: VP %d received %d words in superstep %d, exceeding γ=%d", id, recvWords, step, e.gamma)
-		}
-		seq := 0
-		sendPkts := 0
-		env := bsp.NewEnv(id, e.v, step, e.opts.Seed, func(dst int, payload []uint64) {
-			outs = append(outs, outMsg{dst: dst, src: id, seq: seq, payload: payload})
-			seq++
-			sendPkts += e.rec.MsgPkts(len(payload) + 1)
-			outWords += int64(len(payload) + 1)
-		})
-		halt, err := bsp.SafeStep(vps[i], env, inbox[i])
-		if err != nil {
-			return fmt.Errorf("core: VP %d superstep %d: %w", id, step, err)
-		}
-		sw, msgs, charge := env.SendTotals()
-		if sw > e.gamma {
-			return fmt.Errorf("core: VP %d sent %d words in superstep %d, exceeding γ=%d", id, sw, step, e.gamma)
-		}
-		if halt {
-			ps.halts++
-		}
-		ps.sends += msgs
-		e.recMu.Lock()
-		e.rec.RecordVP(bsp.VPTraffic{
-			SendWords: sw, RecvWords: recvWords,
-			SendPkts: sendPkts, RecvPkts: recvPkts,
-			Messages: msgs, Charge: charge,
-		})
-		e.recMu.Unlock()
-	}
-	spComp.End()
-
-	// Write contexts back.
-	spCtx := e.tr.BeginStep(obs.CatEngine, phWriteCtx, ps.id, 0, step, j)
-	clear(ctxBuf)
-	enc := words.NewEncoder(nil)
-	for i := 0; i < n; i++ {
-		enc.Reset()
-		vps[i].Save(enc)
-		if enc.Len() > e.mu {
-			return fmt.Errorf("core: VP %d context is %d words after superstep %d, exceeding µ=%d", lo+i, enc.Len(), step, e.mu)
-		}
-		copy(ctxBuf[i*e.muBlocks*B:], enc.Words())
-	}
-	if err := disk.WriteRange(ps.dsk, ps.ctxWrite(), cl, ch, ctxBuf); err != nil {
-		return err
-	}
-	ps.acct.Release(int64(ctxWords))
-	spCtx.End()
-
-	spScatter := e.tr.BeginStep(obs.CatEngine, phScatter, ps.id, 0, step, j)
-	// Scatter: cut each message into blocks, group ⌊b/B⌋ consecutive
-	// blocks of one message into a packet, and send every packet to a
-	// uniformly random processor. In deterministic (CGM) mode the
-	// packet goes straight to a rotation determined by its message
-	// identity, which is balanced for predetermined communication.
-	if err := ps.acct.Grab(outWords); err != nil {
-		return err
-	}
-	rng := prng.New(prng.Derive(e.opts.Seed, 0x5CA7, uint64(ps.id), uint64(step)))
-	for _, m := range outs {
-		pktLeft := 0
-		target := 0
-		npkt := 0
-		err := cutMessage(m, B, ps.scratch, func(meta blockMeta, img []uint64) error {
-			if pktLeft == 0 {
-				if e.opts.Deterministic {
-					target = (meta.dst + meta.src + npkt) % e.cfg.P
-				} else {
-					target = rng.Intn(e.cfg.P)
-				}
-				npkt++
-				pktLeft = e.pktBlk
-				if target != ps.id {
-					e.pktX[ps.id][target]++
-				}
-			}
-			pktLeft--
-			cp := make([]uint64, B)
-			copy(cp, img)
-			e.scatterX[ps.id][target] = append(e.scatterX[ps.id][target], wireBlock{meta: meta, img: cp})
-			if target != ps.id {
-				e.wordX[ps.id][target] += int64(B)
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-	}
-	ps.acct.Release(outWords)
-	ps.acct.Release(inGrab)
-	spScatter.End()
-	return nil
-}
-
-// receiveWrite writes the scattered packets this processor received
-// to its local disks, D blocks per parallel operation under a random
-// drive permutation, maintaining the bucket directory.
-func (e *parEngine) receiveWrite(ps *procState) error {
-	for src := 0; src < e.cfg.P; src++ {
-		for _, wb := range e.scatterX[src][ps.id] {
-			if err := ps.writer.add(wb.meta, wb.img); err != nil {
-				return err
-			}
-		}
-	}
-	return ps.writer.flush()
-}
-
-// routeLocal is Step 2 of Algorithm 3: reorganize this processor's
-// received blocks so each batch is evenly distributed over the local
-// disks in standard consecutive format. In normal operation the result
-// is installed immediately; under the checkpoint discipline it is
-// parked until the engine-level barrier commit, because a fault on
-// another processor (or a crash before the journal record lands) can
-// still roll this superstep back.
-func (e *parEngine) routeLocal(ps *procState) error {
-	if !ps.ckptOn {
-		for _, ar := range ps.inAreas {
-			if err := disk.FreeArea(ps.dsk, ar); err != nil {
-				return err
-			}
-		}
-	}
-	ps.noteLive(e.muBlocks, ps.inBlocks+ps.dir.total)
-	route, err := simulateRouting(ps.dsk, ps.acct, ps.dir, func(m blockMeta) int { return e.batchOf(m.dst) }, e.batches)
-	if err != nil {
-		return err
-	}
-	if ps.ckptOn {
-		ps.pendingRoute = route
-		return nil
-	}
-	ps.routeOps += route.stats.ops
-	ps.ragged += route.stats.ragged
-	if route.stats.maxSkew > ps.maxSkew {
-		ps.maxSkew = route.stats.maxSkew
-	}
-	ps.inRegions, ps.inAreas, ps.inBlocks = route.regions, route.areas, route.total
-	ps.noteLive(e.muBlocks, route.total)
-	return nil
 }

@@ -91,12 +91,12 @@ func (e *seqEngine) prefetchAddrs(g int) []disk.Addr {
 // prefetchBatch collects the blocks processor ps will read for batch
 // j: its slice of the committed context area plus the routed regions
 // of the batch.
-func (e *parEngine) prefetchBatch(ps *procState, j int) []disk.Addr {
-	lo, hi := e.batchBounds(ps, j)
+func (sh *simShape) prefetchBatch(ps *procState, j int) []disk.Addr {
+	lo, hi := sh.batchBounds(ps, j)
 	if lo == hi {
 		return nil
 	}
-	addrs := areaAddrs(nil, ps.ctxRead(), (lo-ps.lo)*e.muBlocks, (hi-ps.lo)*e.muBlocks)
+	addrs := areaAddrs(nil, ps.ctxRead(), (lo-ps.lo)*sh.muBlocks, (hi-ps.lo)*sh.muBlocks)
 	if j < len(ps.inRegions) {
 		for _, r := range ps.inRegions[j] {
 			addrs = areaAddrs(addrs, r.area, r.lo, r.hi)

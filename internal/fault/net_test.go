@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func netPlan() NetPlan {
+	return NetPlan{Seed: 99, DropRate: 0.3, DelayRate: 0.2, Delay: time.Millisecond, DupRate: 0.1, CleanAfter: 8}
+}
+
+func TestNetDecideDeterministic(t *testing.T) {
+	p := netPlan()
+	for seq := uint64(0); seq < 200; seq++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := p.Decide(Link(0, 1), seq, attempt)
+			b := p.Decide(Link(0, 1), seq, attempt)
+			if a != b {
+				t.Fatalf("seq %d attempt %d: %+v then %+v", seq, attempt, a, b)
+			}
+		}
+	}
+}
+
+func TestNetDecideIndependentStreams(t *testing.T) {
+	p := netPlan()
+	// Different links and different attempts must not share a fate
+	// wholesale: over many sequence numbers, the decision vectors
+	// should differ somewhere.
+	same := true
+	for seq := uint64(0); seq < 100 && same; seq++ {
+		if p.Decide(Link(0, 1), seq, 0) != p.Decide(Link(1, 0), seq, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("links (0,1) and (1,0) share an identical fault schedule")
+	}
+	same = true
+	for seq := uint64(0); seq < 100 && same; seq++ {
+		if p.Decide(Link(0, 1), seq, 0) != p.Decide(Link(0, 1), seq, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("attempts 0 and 1 share an identical fault schedule")
+	}
+}
+
+func TestNetDecideRates(t *testing.T) {
+	p := netPlan()
+	const n = 5000
+	var drops, delays, dups int
+	for seq := uint64(0); seq < n; seq++ {
+		d := p.Decide(Link(2, 3), seq, 0)
+		if d.Drop {
+			drops++
+		}
+		if d.Delay != 0 {
+			delays++
+		}
+		if d.Duplicate {
+			dups++
+		}
+	}
+	// Coarse sanity: each class occurs, none dominates far beyond its
+	// configured rate. (Delay and Dup draw after a non-drop, so their
+	// observed rates are scaled by 1-DropRate.)
+	checks := []struct {
+		name string
+		got  int
+		lo   float64
+		hi   float64
+	}{
+		{"drops", drops, 0.2, 0.4},
+		{"delays", delays, 0.2 * 0.5, 0.2 * 1.1},
+		{"dups", dups, 0.1 * 0.5, 0.1 * 1.1},
+	}
+	for _, c := range checks {
+		f := float64(c.got) / n
+		if f < c.lo || f > c.hi {
+			t.Errorf("%s: observed rate %.3f outside [%.3f, %.3f]", c.name, f, c.lo, c.hi)
+		}
+	}
+}
+
+func TestNetCleanAfter(t *testing.T) {
+	p := netPlan()
+	for seq := uint64(0); seq < 500; seq++ {
+		for attempt := p.CleanAfter; attempt < p.CleanAfter+3; attempt++ {
+			if d := p.Decide(Link(0, 1), seq, attempt); !d.Clean() {
+				t.Fatalf("seq %d attempt %d: %+v, want clean past CleanAfter", seq, attempt, d)
+			}
+		}
+	}
+}
+
+func TestNetDisabledPlanIsClean(t *testing.T) {
+	var p NetPlan
+	if p.Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		if d := p.Decide(Link(0, 1), seq, 0); !d.Clean() {
+			t.Fatalf("zero plan injected %+v", d)
+		}
+	}
+}
+
+func TestNetValidate(t *testing.T) {
+	good := netPlan()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []NetPlan{
+		{DropRate: -0.1},
+		{DropRate: 1},
+		{DelayRate: 0.5}, // missing Delay
+		{DupRate: 2},
+		{Delay: -time.Second},
+		{CleanAfter: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNetLinkDistinct(t *testing.T) {
+	seen := map[uint64][2]int{}
+	for from := 0; from < 5; from++ {
+		for to := 0; to < 5; to++ {
+			l := Link(from, to)
+			if prev, dup := seen[l]; dup {
+				t.Fatalf("Link(%d,%d) collides with Link(%d,%d)", from, to, prev[0], prev[1])
+			}
+			seen[l] = [2]int{from, to}
+		}
+	}
+}

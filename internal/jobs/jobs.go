@@ -261,6 +261,15 @@ type Config struct {
 	// TenantMemWords is each tenant's quota, charged at admission and
 	// released when the job reaches a terminal state; 0 is unlimited.
 	TenantMemWords int64
+	// TenantDiskBytes is each tenant's on-disk budget: every job is
+	// charged its estimated StateDir footprint (D·tracks·trackBytes) at
+	// admission, released at its terminal state; 0 is unlimited.
+	TenantDiskBytes int64
+	// Retain bounds how long terminal jobs survive in the manifest:
+	// on startup, jobs that finished more than Retain ago are dropped
+	// and their state directories deleted, so the manifest stops
+	// growing without bound. 0 retains everything.
+	Retain time.Duration
 	// Metrics receives job-lifecycle counters and queue/run
 	// histograms; nil disables.
 	Metrics *obs.Registry
@@ -300,16 +309,18 @@ type Supervisor struct {
 	kick     chan struct{} // wakes one idle worker; cap 1
 	wg       sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order
-	queue    []string // runnable job IDs, FIFO
-	nextID   int
-	tenants  map[string]*mem.Accountant
-	charged  map[string]int64 // live jobs' admitted charge in words
-	cancels  map[string]context.CancelCauseFunc
-	draining bool
-	started  bool
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order
+	queue       []string // runnable job IDs, FIFO
+	nextID      int
+	tenants     map[string]*mem.Accountant
+	tenantsDisk map[string]*mem.Accountant
+	charged     map[string]int64 // live jobs' admitted charge in words
+	chargedDisk map[string]int64 // live jobs' admitted charge in disk bytes
+	cancels     map[string]context.CancelCauseFunc
+	draining    bool
+	started     bool
 }
 
 // New opens (or creates) the state root, replays the manifest, and
@@ -326,15 +337,17 @@ func New(cfg Config) (*Supervisor, error) {
 	}
 	ctx, stop := context.WithCancelCause(context.Background())
 	s := &Supervisor{
-		cfg:      cfg,
-		global:   mem.NewAccountant(cfg.GlobalMemWords),
-		baseCtx:  ctx,
-		baseStop: stop,
-		kick:     make(chan struct{}, 1),
-		jobs:     make(map[string]*Job),
-		tenants:  make(map[string]*mem.Accountant),
-		charged:  make(map[string]int64),
-		cancels:  make(map[string]context.CancelCauseFunc),
+		cfg:         cfg,
+		global:      mem.NewAccountant(cfg.GlobalMemWords),
+		baseCtx:     ctx,
+		baseStop:    stop,
+		kick:        make(chan struct{}, 1),
+		jobs:        make(map[string]*Job),
+		tenants:     make(map[string]*mem.Accountant),
+		tenantsDisk: make(map[string]*mem.Accountant),
+		charged:     make(map[string]int64),
+		chargedDisk: make(map[string]int64),
+		cancels:     make(map[string]context.CancelCauseFunc),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -354,18 +367,44 @@ func (s *Supervisor) tenant(name string) *mem.Accountant {
 	return a
 }
 
+func (s *Supervisor) tenantDisk(name string) *mem.Accountant {
+	a := s.tenantsDisk[name]
+	if a == nil {
+		a = mem.NewAccountant(s.cfg.TenantDiskBytes)
+		s.tenantsDisk[name] = a
+	}
+	return a
+}
+
 // charge computes a job's admission charge: the simulated machine's
 // total internal memory, P·M words.
 func (r Request) charge() (int64, error) {
+	words, _, err := r.charges()
+	return words, err
+}
+
+// charges computes both admission charges: the simulated machine's
+// total internal memory (P·M words) and the estimated StateDir
+// footprint (D·tracks·trackBytes). The disk estimate covers the blocks
+// a run keeps live — double-buffered contexts plus in- and outbound
+// message areas, 2·v·(⌈µ/B⌉+⌈γ/B⌉) blocks striped over D drives at
+// B+2 words (payload, address tag, checksum) per track slot.
+func (r Request) charges() (memWords, diskBytes int64, err error) {
 	inst, err := r.Workload.Build()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	cfg := r.machineFor(inst.Program)
+	prog := inst.Program
+	cfg := r.machineFor(prog)
 	if err := cfg.Validate(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return int64(cfg.P) * int64(cfg.M), nil
+	muBlocks := (prog.MaxContextWords() + cfg.B - 1) / cfg.B
+	gammaBlocks := (prog.MaxCommWords() + cfg.B - 1) / cfg.B
+	blocks := 2 * int64(prog.NumVPs()) * int64(muBlocks+gammaBlocks)
+	tracks := (blocks + int64(cfg.D) - 1) / int64(cfg.D)
+	diskBytes = int64(cfg.D) * tracks * int64(cfg.B+2) * 8
+	return int64(cfg.P) * int64(cfg.M), diskBytes, nil
 }
 
 // load replays the manifest and re-adopts unfinished jobs.
@@ -378,8 +417,20 @@ func (s *Supervisor) load() error {
 		return s.persistLocked()
 	}
 	s.nextID = m.NextID
-	adopted := 0
+	adopted, compacted := 0, 0
+	cutoff := time.Now().Add(-s.cfg.Retain).UnixMilli()
 	for _, j := range m.Jobs {
+		// Compaction: terminal jobs outside the retention window are
+		// dropped from the manifest and their state reclaimed, so the
+		// manifest stops growing without bound. Live jobs are always
+		// kept — they hold resumable state.
+		if s.cfg.Retain > 0 && j.State.Terminal() && j.FinishedUnixMS > 0 && j.FinishedUnixMS < cutoff {
+			compacted++
+			if j.StateDir != "" && !filepath.IsAbs(j.StateDir) {
+				os.RemoveAll(filepath.Join(s.cfg.Root, j.StateDir)) //nolint:errcheck // best-effort reclaim
+			}
+			continue
+		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
 		if j.State.Terminal() {
@@ -387,17 +438,23 @@ func (s *Supervisor) load() error {
 		}
 		j.State = StateQueued
 		adopted++
-		// Re-admit against the (possibly re-configured) quota. A job
+		// Re-admit against the (possibly re-configured) quotas. A job
 		// that no longer fits stays adopted but uncharged — it was
 		// admitted once, and refusing it now would strand its state.
-		if c, err := j.Request.charge(); err == nil {
+		if c, dc, err := j.Request.charges(); err == nil {
 			if s.tenant(j.Request.Tenant).Grab(c) == nil {
 				s.charged[j.ID] = c
+			}
+			if s.tenantDisk(j.Request.Tenant).Grab(dc) == nil {
+				s.chargedDisk[j.ID] = dc
 			}
 		}
 	}
 	if adopted > 0 {
 		s.cfg.Metrics.Counter("jobs_adopted").Add(int64(adopted))
+	}
+	if compacted > 0 {
+		s.cfg.Metrics.Counter("jobs_compacted").Add(int64(compacted))
 	}
 	return s.persistLocked()
 }
@@ -432,7 +489,7 @@ func (s *Supervisor) Submit(req Request) (Job, error) {
 	if err := req.Workload.Validate(); err != nil {
 		return Job{}, err
 	}
-	c, err := req.charge()
+	c, dc, err := req.charges()
 	if err != nil {
 		return Job{}, err
 	}
@@ -466,6 +523,14 @@ func (s *Supervisor) Submit(req Request) (Job, error) {
 			RetryAfter: time.Second,
 		}
 	}
+	if err := s.tenantDisk(req.Tenant).Grab(dc); err != nil {
+		s.tenant(req.Tenant).Release(c)
+		s.cfg.Metrics.Counter("jobs_rejected").Add(1)
+		return Job{}, &AdmissionError{
+			Reason:     fmt.Sprintf("tenant %q disk quota exhausted: %v", req.Tenant, err),
+			RetryAfter: time.Second,
+		}
+	}
 	s.nextID++
 	id := fmt.Sprintf("j%d", s.nextID)
 	j := &Job{
@@ -480,18 +545,22 @@ func (s *Supervisor) Submit(req Request) (Job, error) {
 	}
 	if err := os.MkdirAll(filepath.Join(s.cfg.Root, j.StateDir), 0o777); err != nil {
 		s.tenant(req.Tenant).Release(c)
+		s.tenantDisk(req.Tenant).Release(dc)
 		return Job{}, err
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.charged[id] = c
+	s.chargedDisk[id] = dc
 	if err := s.persistLocked(); err != nil {
 		// The job never becomes visible if its admission cannot be
 		// made durable.
 		delete(s.jobs, id)
 		delete(s.charged, id)
+		delete(s.chargedDisk, id)
 		s.order = s.order[:len(s.order)-1]
 		s.tenant(req.Tenant).Release(c)
+		s.tenantDisk(req.Tenant).Release(dc)
 		return Job{}, err
 	}
 	s.cfg.Metrics.Counter("jobs_submitted").Add(1)
@@ -663,7 +732,7 @@ func (s *Supervisor) runJob(id string) {
 		}
 		if embsp.Retriable(err) && j.Attempts < j.Request.MaxAttempts {
 			s.cfg.Metrics.Counter("jobs_retried").Add(1)
-			d := backoffDelay(j.Request.Workload.Seed, j.Attempts)
+			d := BackoffDelay(j.Request.Workload.Seed, j.Attempts)
 			s.mu.Lock()
 			j.State = StateBackoff
 			j.Error = fmt.Sprintf("attempt %d: %v (retrying in %v)", j.Attempts, err, d)
@@ -756,6 +825,10 @@ func (s *Supervisor) finishLocked(j *Job, state State, msg string) {
 		delete(s.charged, j.ID)
 		s.tenant(j.Request.Tenant).Release(c)
 	}
+	if dc, ok := s.chargedDisk[j.ID]; ok {
+		delete(s.chargedDisk, j.ID)
+		s.tenantDisk(j.Request.Tenant).Release(dc)
+	}
 	switch state {
 	case StateDone:
 		s.cfg.Metrics.Counter("jobs_done").Add(1)
@@ -783,12 +856,23 @@ func (s *Supervisor) gaugesLocked() {
 	s.cfg.Metrics.Counter("jobs_running").Set(running)
 }
 
-// backoffDelay is the wait before retry attempt+1: exponential from
+// BackoffDelay is the wait before retry attempt+1: exponential from
 // 50ms, capped at 2s, with ±25% jitter drawn deterministically from
-// the job's seed and attempt number.
-func backoffDelay(seed uint64, attempt int) time.Duration {
-	base := 50 * time.Millisecond << (attempt - 1)
-	if base > 2*time.Second || base <= 0 {
+// the seed and attempt number. It is shared by the job supervisor and
+// the cluster transport's resend loop. The exponent is clamped before
+// shifting: 50ms<<6 already exceeds the 2s cap, and an unclamped shift
+// wraps int64 around attempt 40, producing a bogus small-or-negative
+// base before the cap could catch it.
+func BackoffDelay(seed uint64, attempt int) time.Duration {
+	k := attempt - 1
+	switch {
+	case k < 0:
+		k = 0
+	case k > 6:
+		k = 6
+	}
+	base := 50 * time.Millisecond << k
+	if base > 2*time.Second {
 		base = 2 * time.Second
 	}
 	r := prng.New(seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15))

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -487,15 +488,148 @@ func TestHTTPAPI(t *testing.T) {
 
 func TestBackoffDeterministicJitter(t *testing.T) {
 	for attempt := 1; attempt <= 8; attempt++ {
-		a := backoffDelay(42, attempt)
-		if b := backoffDelay(42, attempt); a != b {
+		a := BackoffDelay(42, attempt)
+		if b := BackoffDelay(42, attempt); a != b {
 			t.Fatalf("attempt %d: %v vs %v — jitter not deterministic", attempt, a, b)
 		}
 		if a < 37*time.Millisecond || a > 2500*time.Millisecond {
 			t.Errorf("attempt %d delay %v outside [37ms, 2.5s]", attempt, a)
 		}
 	}
-	if backoffDelay(1, 1) == backoffDelay(2, 1) {
+	if BackoffDelay(1, 1) == BackoffDelay(2, 1) {
 		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// TestBackoffOverflowClamped: the exponent must be clamped before the
+// shift — 50ms<<39 wraps int64, and before the clamp the wrapped value
+// could slip past the cap as a bogus small positive delay. Every
+// attempt count, however large, must land in the jittered [1.5s, 2.5s]
+// band once the cap is reached.
+func TestBackoffOverflowClamped(t *testing.T) {
+	for _, tc := range []struct {
+		attempt  int
+		min, max time.Duration
+	}{
+		{1, 37 * time.Millisecond, 63 * time.Millisecond},     // 50ms ±25%
+		{2, 75 * time.Millisecond, 125 * time.Millisecond},    // 100ms ±25%
+		{6, 1200 * time.Millisecond, 2000 * time.Millisecond}, // 1.6s ±25%
+		{7, 1500 * time.Millisecond, 2500 * time.Millisecond}, // capped
+		{40, 1500 * time.Millisecond, 2500 * time.Millisecond},
+		{63, 1500 * time.Millisecond, 2500 * time.Millisecond},
+		{64, 1500 * time.Millisecond, 2500 * time.Millisecond},
+		{1 << 20, 1500 * time.Millisecond, 2500 * time.Millisecond},
+	} {
+		for seed := uint64(0); seed < 16; seed++ {
+			d := BackoffDelay(seed, tc.attempt)
+			if d < tc.min || d > tc.max {
+				t.Errorf("BackoffDelay(%d, %d) = %v, want within [%v, %v]",
+					seed, tc.attempt, d, tc.min, tc.max)
+			}
+		}
+	}
+}
+
+// TestDiskQuotaAdmission: jobs are charged their estimated StateDir
+// footprint against the per-tenant disk budget; an exhausted budget is
+// an AdmissionError (429) that clears when a charged job ends.
+func TestDiskQuotaAdmission(t *testing.T) {
+	req := Request{Workload: testSpec(1), Tenant: "a"}
+	req.normalize()
+	_, dc, err := req.charges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc <= 0 {
+		t.Fatalf("disk charge = %d, want > 0", dc)
+	}
+	s, err := New(Config{
+		Root:            t.TempDir(),
+		TenantDiskBytes: dc, // exactly one job per tenant
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("first job refused: %v", err)
+	}
+	var adm *AdmissionError
+	_, err = s.Submit(req)
+	if !errors.As(err, &adm) {
+		t.Fatalf("over-disk-quota submit returned %v, want AdmissionError", err)
+	}
+	if !strings.Contains(adm.Reason, "disk quota") {
+		t.Errorf("refusal reason %q does not name the disk quota", adm.Reason)
+	}
+	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "b"}); err != nil {
+		t.Fatalf("other tenant refused: %v", err)
+	}
+	// Terminal jobs release their disk charge.
+	if _, err := s.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(req); err != nil {
+		t.Fatalf("submit after release refused: %v", err)
+	}
+}
+
+// TestManifestCompaction: with Retain set, a restarted supervisor drops
+// terminal jobs older than the window — manifest entry and state dir
+// both — while keeping recent and non-terminal ones.
+func TestManifestCompaction(t *testing.T) {
+	root := t.TempDir()
+	s := startSupervisor(t, Config{Root: root, Metrics: obs.NewRegistry()})
+	old, err := s.Submit(Request{Workload: testSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.Submit(Request{Workload: testSpec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, old.ID, func(j Job) bool { return j.State == StateDone })
+	waitJob(t, s, fresh.ID, func(j Job) bool { return j.State == StateDone })
+
+	// Age the first job past the retention window.
+	s.mu.Lock()
+	s.jobs[old.ID].FinishedUnixMS = time.Now().Add(-48 * time.Hour).UnixMilli()
+	oldDir := filepath.Join(root, s.jobs[old.ID].StateDir)
+	err = s.persistLocked()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldDir); err != nil {
+		t.Fatalf("old job's state dir missing before compaction: %v", err)
+	}
+
+	s2, err := New(Config{Root: root, Retain: 24 * time.Hour, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(old.ID); ok {
+		t.Error("job outside the retention window survived compaction")
+	}
+	if _, ok := s2.Get(fresh.ID); !ok {
+		t.Error("job inside the retention window was compacted")
+	}
+	if _, err := os.Stat(oldDir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("compacted job's state dir still present: %v", err)
+	}
+	if got := s2.Metrics().Counter("jobs_compacted").Value(); got != 1 {
+		t.Errorf("jobs_compacted = %d, want 1", got)
+	}
+
+	// The survivor list must round-trip: a third supervisor with no
+	// retention sees exactly the compacted manifest.
+	s3, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s3.List()); n != 1 {
+		t.Errorf("after compaction: %d jobs persisted, want 1", n)
 	}
 }

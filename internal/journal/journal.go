@@ -62,13 +62,16 @@ func (e *Error) Error() string {
 // Journal is an append-only commit log. It is not safe for concurrent
 // use.
 type Journal struct {
-	dir     string
-	wal     *os.File
-	off     int64      // committed byte length of the wal
-	records [][]uint64 // committed payloads, in sequence order
-	torn    bool       // Open truncated an uncommitted tail
-	tr      *obs.Tracer
-	tpid    int
+	dir        string
+	wal        *os.File
+	off        int64      // committed byte length of the wal
+	records    [][]uint64 // committed payloads, in sequence order
+	torn       bool       // Open truncated an uncommitted tail
+	pending    []uint64   // prepared-but-undecided tail record payload
+	hasPending bool       // a prepared record awaits its commit/abort decision
+	pendLen    int64      // frame length of the pending record in bytes
+	tr         *obs.Tracer
+	tpid       int
 }
 
 // SetTracer attaches an observability tracer: every Append records a
@@ -138,8 +141,22 @@ func Committed(dir string) (int, error) {
 	if _, err := os.Stat(headPath(dir)); errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
-	count, _, err := readHead(dir)
-	return count, err
+	count, length, err := readHead(dir)
+	if err != nil {
+		return 0, err
+	}
+	// A HEAD that covers more bytes than the log holds promises records
+	// that cannot exist — the same corruption Open would report, caught
+	// here so callers don't treat the directory as resumable.
+	st, err := os.Stat(walPath(dir))
+	if err != nil {
+		return 0, &Error{Path: walPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable log: %v", err)}
+	}
+	if st.Size() < length {
+		return 0, &Error{Path: walPath(dir), Record: -1,
+			Reason: fmt.Sprintf("log is %d bytes, commit pointer covers %d", st.Size(), length)}
+	}
+	return count, nil
 }
 
 // Open loads an existing journal for resumption. It verifies HEAD,
@@ -197,6 +214,72 @@ func Open(dir string) (*Journal, error) {
 			wal.Close()
 			return nil, err
 		}
+	}
+	return j, nil
+}
+
+// OpenPrepared is Open for two-phase-commit participants: when the
+// bytes beyond HEAD form exactly one intact record with the next
+// sequence number — the signature of a crash between PREPARE and the
+// coordinator's decision — the record is retained as Pending instead of
+// being truncated, so the caller can re-apply the coordinator's
+// decision via CommitPending or AbortPending. Any other tail (a torn
+// frame, trailing garbage) is truncated exactly as Open does.
+func OpenPrepared(dir string) (*Journal, error) {
+	count, length, err := readHead(dir)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath(dir), os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, &Error{Path: walPath(dir), Record: -1, Reason: fmt.Sprintf("unreadable log: %v", err)}
+	}
+	j := &Journal{dir: dir, wal: wal, off: length}
+	buf, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if int64(len(buf)) < length {
+		wal.Close()
+		return nil, &Error{Path: walPath(dir), Record: -1,
+			Reason: fmt.Sprintf("log is %d bytes, commit pointer covers %d", len(buf), length)}
+	}
+	off := int64(0)
+	for seq := 0; seq < count; seq++ {
+		payload, n, rerr := parseRecord(buf[off:length], seq)
+		if rerr != nil {
+			wal.Close()
+			rerr.Path = walPath(dir)
+			return nil, rerr
+		}
+		j.records = append(j.records, payload)
+		off += n
+	}
+	if off != length {
+		wal.Close()
+		return nil, &Error{Path: walPath(dir), Record: -1,
+			Reason: fmt.Sprintf("committed records end at byte %d, commit pointer says %d", off, length)}
+	}
+	tail := buf[length:]
+	if len(tail) == 0 {
+		return j, nil
+	}
+	if payload, n, rerr := parseRecord(tail, count); rerr == nil && n == int64(len(tail)) {
+		j.pending = payload
+		j.hasPending = true
+		j.pendLen = n
+		return j, nil
+	}
+	// Not a clean prepared record: fall back to Open's rollback.
+	j.torn = true
+	if err := wal.Truncate(length); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return nil, err
 	}
 	return j, nil
 }
@@ -270,6 +353,22 @@ func (j *Journal) writeHead(count int) error {
 func (j *Journal) Append(payload []uint64) error {
 	sp := j.tr.Begin(obs.CatEngine, "journal-append", j.tpid, 0)
 	defer sp.End()
+	if err := j.Prepare(payload); err != nil {
+		return err
+	}
+	return j.CommitPending()
+}
+
+// Prepare durably writes the next record's frame without advancing
+// HEAD: the PREPARE half of a two-phase commit. After Prepare returns
+// nil the record survives any crash, but Open still treats it as an
+// uncommitted tail (rollback) unless the coordinator's decision is
+// re-applied via OpenPrepared + CommitPending. At most one record may
+// be pending at a time.
+func (j *Journal) Prepare(payload []uint64) error {
+	if j.hasPending {
+		return &Error{Path: walPath(j.dir), Record: len(j.records), Reason: "prepare with a record already pending"}
+	}
 	seq := len(j.records)
 	ws := make([]uint64, 2+len(payload))
 	ws[0] = uint64(seq)
@@ -287,12 +386,60 @@ func (j *Journal) Append(payload []uint64) error {
 	if err := j.wal.Sync(); err != nil {
 		return err
 	}
-	j.off += int64(len(frame))
-	if err := j.writeHead(seq + 1); err != nil {
+	j.pending = append([]uint64{}, payload...)
+	j.hasPending = true
+	j.pendLen = int64(len(frame))
+	return nil
+}
+
+// CommitPending atomically advances HEAD over the pending record — the
+// COMMIT half of a two-phase commit. The record is only considered
+// committed once CommitPending returns nil.
+func (j *Journal) CommitPending() error {
+	if !j.hasPending {
+		return &Error{Path: walPath(j.dir), Record: len(j.records), Reason: "commit with no record pending"}
+	}
+	j.off += j.pendLen
+	if err := j.writeHead(len(j.records) + 1); err != nil {
+		j.off -= j.pendLen
 		return err
 	}
-	j.records = append(j.records, append([]uint64(nil), payload...))
+	j.records = append(j.records, j.pending)
+	j.pending, j.hasPending, j.pendLen = nil, false, 0
 	return nil
+}
+
+// AbortPending discards the pending record, truncating the log back to
+// the last committed byte — the ABORT decision of a two-phase commit.
+// A no-op when nothing is pending.
+func (j *Journal) AbortPending() error {
+	if !j.hasPending {
+		return nil
+	}
+	if err := j.wal.Truncate(j.off); err != nil {
+		return err
+	}
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	j.pending, j.hasPending, j.pendLen = nil, false, 0
+	return nil
+}
+
+// HasPending reports whether a prepared record awaits its decision.
+func (j *Journal) HasPending() bool { return j.hasPending }
+
+// Pending returns the prepared-but-undecided record payload (empty for
+// an empty payload), or nil when nothing is pending. The caller must
+// not modify it.
+func (j *Journal) Pending() []uint64 {
+	if !j.hasPending {
+		return nil
+	}
+	if j.pending == nil {
+		return []uint64{}
+	}
+	return j.pending
 }
 
 // Records returns the committed payloads in sequence order. The caller

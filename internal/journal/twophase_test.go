@@ -1,0 +1,274 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestJournalPrepareCommit: Prepare leaves HEAD untouched (a plain Open
+// rolls the record back), CommitPending advances it, and OpenPrepared
+// retains a prepared tail across a simulated crash.
+func TestJournalPrepareCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Prepare([]uint64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Pending(); !reflect.DeepEqual(got, []uint64{2, 2}) {
+		t.Fatalf("Pending() = %v, want [2 2]", got)
+	}
+	// A second Prepare while one is pending is an error.
+	if err := j.Prepare([]uint64{3}); err == nil {
+		t.Fatal("double Prepare: want error, got nil")
+	}
+	j.Close() // crash between PREPARE and the decision
+
+	// The commit pointer still only covers the committed record.
+	if n, err := Committed(dir); err != nil || n != 1 {
+		t.Fatalf("Committed = %d, %v; want 1, nil", n, err)
+	}
+
+	// A plain Open rolls the prepared record back...
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Torn() || len(j2.Records()) != 1 {
+		t.Fatalf("Open: torn=%v records=%d, want torn rollback to 1", j2.Torn(), len(j2.Records()))
+	}
+	j2.Close()
+
+	// ...so re-prepare and this time recover via OpenPrepared + commit.
+	j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Prepare([]uint64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+
+	j4, err := OpenPrepared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j4.Pending(); !reflect.DeepEqual(got, []uint64{2, 2}) {
+		t.Fatalf("OpenPrepared Pending() = %v, want [2 2]", got)
+	}
+	if err := j4.CommitPending(); err != nil {
+		t.Fatal(err)
+	}
+	j4.Close()
+	if n, err := Committed(dir); err != nil || n != 2 {
+		t.Fatalf("after recovery commit: Committed = %d, %v; want 2, nil", n, err)
+	}
+}
+
+// TestJournalAbortPending: the ABORT decision truncates the prepared
+// record and the journal accepts a fresh prepare at the same sequence.
+func TestJournalAbortPending(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AbortPending(); err != nil { // no-op with nothing pending
+		t.Fatal(err)
+	}
+	if err := j.Prepare([]uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AbortPending(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != nil {
+		t.Fatal("Pending() non-nil after abort")
+	}
+	if fi, _ := os.Stat(walPath(dir)); fi.Size() != j.off {
+		t.Fatalf("wal is %d bytes after abort, want %d", fi.Size(), j.off)
+	}
+	if err := j.Prepare([]uint64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CommitPending(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenPrepared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Records()
+	if len(got) != 2 || got[1][0] != 8 {
+		t.Fatalf("records = %v, want [[1] [8]]", got)
+	}
+	if j2.Pending() != nil {
+		t.Fatal("clean journal reports a pending record")
+	}
+}
+
+// TestJournalOpenPreparedTornTail: a tail that is not exactly one
+// intact record (a frame cut mid-payload) must be rolled back by
+// OpenPrepared just as Open would.
+func TestJournalOpenPreparedTornTail(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1})
+
+	wal, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write(make([]byte, 41)); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	j, err := OpenPrepared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !j.Torn() {
+		t.Error("Torn() = false after garbage-tail rollback")
+	}
+	if j.Pending() != nil {
+		t.Error("garbage tail surfaced as a pending record")
+	}
+	if fi, _ := os.Stat(walPath(dir)); fi.Size() != j.off {
+		t.Errorf("wal is %d bytes after rollback, want %d", fi.Size(), j.off)
+	}
+}
+
+// TestCommittedEmptyDir: a directory with no journal at all (and a
+// nonexistent directory) report 0 committed records with a nil error.
+func TestCommittedEmptyDir(t *testing.T) {
+	if n, err := Committed(t.TempDir()); n != 0 || err != nil {
+		t.Fatalf("empty dir: Committed = %d, %v; want 0, nil", n, err)
+	}
+	if n, err := Committed(t.TempDir() + "/nope"); n != 0 || err != nil {
+		t.Fatalf("missing dir: Committed = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestCommittedTornHead: a HEAD that is the wrong size, has bad magic,
+// or fails its checksum is a typed *Error from Committed, not a count.
+func TestCommittedTornHead(t *testing.T) {
+	for name, mutate := range map[string]func([]byte) []byte{
+		"short":        func(h []byte) []byte { return h[:12] },
+		"bad-magic":    func(h []byte) []byte { h[0] ^= 0xff; return h },
+		"bad-checksum": func(h []byte) []byte { h[9] ^= 0x01; return h },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			mustCreate(t, dir, []uint64{1})
+			head, err := os.ReadFile(headPath(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(headPath(dir), mutate(head), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			_, err = Committed(dir)
+			var je *Error
+			if !errors.As(err, &je) {
+				t.Fatalf("got %v, want *journal.Error", err)
+			}
+			if je.Record != -1 {
+				t.Errorf("error names record %d, want -1 (HEAD)", je.Record)
+			}
+		})
+	}
+}
+
+// TestCommittedHeadPastLog: a HEAD whose byte length exceeds the log —
+// a silently truncated wal — must surface as corruption from Committed,
+// not as a resumable count.
+func TestCommittedHeadPastLog(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, []uint64{1}, []uint64{2})
+
+	fi, err := os.Stat(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath(dir), fi.Size()-8); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Committed(dir)
+	var je *Error
+	if !errors.As(err, &je) {
+		t.Fatalf("got %v, want *journal.Error", err)
+	}
+
+	// A deleted wal with a surviving HEAD is the same class of damage.
+	if err := os.Remove(walPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Committed(dir); !errors.As(err, &je) {
+		t.Fatalf("missing wal: got %v, want *journal.Error", err)
+	}
+}
+
+// TestCommittedDuringCommit: Committed racing an in-flight Append must
+// always observe a consistent journal — some prefix count, never an
+// error — because the record fsync strictly precedes the atomic HEAD
+// replacement.
+func TestCommittedDuringCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	const appends = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n, err := Committed(dir)
+			if err != nil {
+				t.Errorf("Committed during commit: %v", err)
+				return
+			}
+			if n < last || n > appends {
+				t.Errorf("Committed went backwards or past the end: %d after %d", n, last)
+				return
+			}
+			last = n
+		}
+	}()
+	for i := 0; i < appends; i++ {
+		if err := j.Append([]uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n, err := Committed(dir); err != nil || n != appends {
+		t.Fatalf("final Committed = %d, %v; want %d, nil", n, err, appends)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a named scalar metric. Some are monotone sums (Add),
@@ -104,6 +105,14 @@ type HistogramSnapshot struct {
 	Count    int64   `json:"count"`
 	SumNanos int64   `json:"sum_ns"`
 	Counts   []int64 `json:"bucket_counts"` // per bucket; last is +Inf
+}
+
+// Mean returns the mean observation as a duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
 }
 
 // Snapshot returns a copy of the histogram's current state.
