@@ -73,13 +73,18 @@ func parseKillAt(spec string) (killSpec, error) {
 }
 
 // probe returns a probe hook that SIGKILLs the process — no deferred
-// cleanup, exactly like a power loss — when the spec matches.
-func (k killSpec) probe() func(phase string, step int) {
+// cleanup, exactly like a power loss — when the spec matches. A
+// non-empty wipeDir is removed first: the machine does not just die,
+// its disks are gone too (the permanent-loss scenario).
+func (k killSpec) probe(wipeDir string) func(phase string, step int) {
 	if k.phase == "" {
 		return nil
 	}
 	return func(phase string, step int) {
 		if phase == k.phase && step == k.step {
+			if wipeDir != "" {
+				os.RemoveAll(wipeDir) //nolint:errcheck
+			}
 			syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck
 		}
 	}
@@ -161,6 +166,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ackTimeout := fs.Duration("ack-timeout", 0, "transport retransmission timeout (0 = default)")
 	recvTimeout := fs.Duration("recv-timeout", 0, "coordinator per-phase response deadline (0 = default)")
 	joinTimeout := fs.Duration("join-timeout", 0, "how long the coordinator waits for a worker to (re)join (0 = default)")
+	replicate := fs.Bool("replicate", true, "replicate worker state to the coordinator at each commit; off, permanent worker loss fails the run")
+	spare := fs.Bool("spare", false, "worker mode: join as a spare owning no node, adopted via replica restore when a worker is permanently lost")
+	secret := fs.String("secret", "", "shared join-authentication secret; empty disables the HMAC challenge")
+	wipe := fs.Bool("wipe", false, "with -kill-at: also wipe this worker's state directory before dying (permanent machine loss)")
+	heartbeat := fs.Duration("heartbeat", 0, "link keep-alive interval; an idle peer is declared lost after -heartbeat-timeout (0 disables)")
+	hbTimeout := fs.Duration("heartbeat-timeout", 0, "silence span that declares a peer lost (default 4x -heartbeat)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -196,40 +207,87 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *spare && *join == "" {
+		fmt.Fprintln(stderr, "embsp-cluster: -spare needs -join (a spare dials the coordinator)")
+		return 2
+	}
 	if *join != "" {
-		return runWorker(*join, *node, *stateDir, prog, cfg, opts, plan, *ackTimeout, kill, stderr)
+		return runWorker(workerParams{
+			addr: *join, node: *node, root: *stateDir,
+			prog: prog, cfg: cfg, opts: opts, plan: plan,
+			ackTimeout: *ackTimeout, heartbeat: *heartbeat, hbTimeout: *hbTimeout,
+			spare: *spare, secret: *secret, wipe: *wipe, kill: kill,
+		}, stderr)
 	}
 	return runCoordinator(coordParams{
 		inst: inst, prog: prog, cfg: cfg, opts: opts, plan: plan,
 		root: *stateDir, listen: *listen, spawn: *spawn,
 		check: *check, kill: kill, killWorker: *killWorker,
 		ackTimeout: *ackTimeout, recvTimeout: *recvTimeout, joinTimeout: *joinTimeout,
+		replicate: *replicate, secret: *secret,
+		heartbeat: *heartbeat, hbTimeout: *hbTimeout, wipe: *wipe,
 		args: args,
 	}, stdout, stderr)
+}
+
+type workerParams struct {
+	addr string
+	node int
+	root string
+	prog bsp.Program
+	cfg  core.MachineConfig
+	opts core.Options
+	plan fault.NetPlan
+
+	ackTimeout, heartbeat, hbTimeout time.Duration
+
+	spare  bool
+	secret string
+	wipe   bool
+	kill   killSpec
 }
 
 // runWorker is a worker process's whole life: open the node engine
 // over its state directory (resuming from the journal when one is
 // there), dial the coordinator, serve until SHUTDOWN — redialing
-// through coordinator restarts.
-func runWorker(addr string, node int, root string, prog bsp.Program, cfg core.MachineConfig, opts core.Options, plan fault.NetPlan, ackTimeout time.Duration, kill killSpec, stderr io.Writer) int {
-	if node < 0 || node >= cfg.P {
-		fmt.Fprintf(stderr, "embsp-cluster: -join needs -node in [0, %d)\n", cfg.P)
-		return 2
+// through coordinator restarts. A spare opens nothing: it parks at the
+// coordinator until a RESTORE makes it some lost worker's replacement.
+func runWorker(p workerParams, stderr io.Writer) int {
+	self := p.node
+	var dir string
+	if p.spare {
+		// A spare is a different machine: its directory is its own, not
+		// any node's slot, and stays its own after adoption.
+		self = p.cfg.P + 1
+		dir = filepath.Join(p.root, fmt.Sprintf("spare-%d", os.Getpid()))
+	} else {
+		if p.node < 0 || p.node >= p.cfg.P {
+			fmt.Fprintf(stderr, "embsp-cluster: -join needs -node in [0, %d)\n", p.cfg.P)
+			return 2
+		}
+		dir = nodeDir(p.root, p.node)
+	}
+	wipeDir := ""
+	if p.wipe {
+		wipeDir = dir
 	}
 	w := &cluster.Worker{
-		Prog: prog, Cfg: cfg, Opts: opts, NodeID: node,
-		Dir:   nodeDir(root, node),
-		Probe: kill.probe(),
+		Prog: p.prog, Cfg: p.cfg, Opts: p.opts, NodeID: p.node,
+		Dir:    dir,
+		Spare:  p.spare,
+		Secret: p.secret,
+		Probe:  p.kill.probe(wipeDir),
 	}
 	defer w.Close()
-	err := w.Run(addr, true, cluster.LinkConfig{
-		Self: node, Peer: cfg.P, Plan: plan,
-		BackoffSeed: uint64(node) + 1,
-		AckTimeout:  ackTimeout,
+	err := w.Run(p.addr, true, cluster.LinkConfig{
+		Self: self, Peer: p.cfg.P, Plan: p.plan,
+		BackoffSeed:      uint64(self) + 1,
+		AckTimeout:       p.ackTimeout,
+		Heartbeat:        p.heartbeat,
+		HeartbeatTimeout: p.hbTimeout,
 	})
 	if err != nil {
-		fmt.Fprintf(stderr, "embsp-cluster: worker %d: %v\n", node, err)
+		fmt.Fprintf(stderr, "embsp-cluster: worker %d: %v\n", w.NodeID, err)
 		return 1
 	}
 	return 0
@@ -253,8 +311,12 @@ type coordParams struct {
 
 	kill       killSpec
 	killWorker int
+	wipe       bool
 
-	ackTimeout, recvTimeout, joinTimeout time.Duration
+	replicate bool
+	secret    string
+
+	ackTimeout, recvTimeout, joinTimeout, heartbeat, hbTimeout time.Duration
 
 	args []string // original command line, reused to spawn workers
 }
@@ -275,6 +337,9 @@ func runCoordinator(p coordParams, stdout, stderr io.Writer) int {
 			args = append(args, workerArgs(p.args)...)
 			if withKill && p.killWorker == id && p.kill.phase != "" {
 				args = append(args, "-kill-at", p.kill.phase+"@"+strconv.Itoa(p.kill.step))
+				if p.wipe {
+					args = append(args, "-wipe")
+				}
 			}
 			cmd := exec.Command(os.Args[0], args...)
 			cmd.Stdout = os.Stderr
@@ -298,20 +363,24 @@ func runCoordinator(p coordParams, stdout, stderr io.Writer) int {
 	metrics := obs.NewRegistry()
 	var coordKill func(string, int)
 	if p.killWorker < 0 {
-		coordKill = p.kill.probe()
+		coordKill = p.kill.probe("")
 	}
 	start := time.Now()
 	res, err := cluster.Run(cluster.Config{
 		Prog: p.prog, Cfg: p.cfg, Opts: p.opts,
-		Dir:         filepath.Join(p.root, "coord"),
-		Listener:    ln,
-		Net:         p.plan,
-		AckTimeout:  p.ackTimeout,
-		RecvTimeout: p.recvTimeout,
-		JoinTimeout: p.joinTimeout,
-		Respawn:     respawn,
-		Probe:       coordKill,
-		Metrics:     metrics,
+		Dir:              filepath.Join(p.root, "coord"),
+		Listener:         ln,
+		Net:              p.plan,
+		AckTimeout:       p.ackTimeout,
+		RecvTimeout:      p.recvTimeout,
+		JoinTimeout:      p.joinTimeout,
+		Replicate:        p.replicate,
+		Secret:           p.secret,
+		Heartbeat:        p.heartbeat,
+		HeartbeatTimeout: p.hbTimeout,
+		Respawn:          respawn,
+		Probe:            coordKill,
+		Metrics:          metrics,
 	})
 	wall := time.Since(start)
 	if err != nil {
@@ -337,6 +406,9 @@ func runCoordinator(p coordParams, stdout, stderr io.Writer) int {
 		metrics.Counter("cluster_rx_frames").Value(), metrics.Counter("cluster_rx_bytes").Value(),
 		metrics.Counter("cluster_retries").Value(), metrics.Counter("cluster_faults_injected").Value(),
 		metrics.Counter("cluster_checksum_rejects").Value(), meanBarrier, wall.Round(time.Millisecond))
+	fmt.Fprintf(stderr, "robustness: %d heartbeat misses, %d migrations, %d replica bytes shipped, %d auth rejects\n",
+		metrics.Counter("cluster_heartbeat_misses").Value(), metrics.Counter("cluster_migrations").Value(),
+		metrics.Counter("cluster_replica_bytes").Value(), metrics.Counter("cluster_auth_rejects").Value())
 
 	if p.check {
 		tmp, err := os.MkdirTemp("", "embsp-cluster-check-*")
@@ -368,6 +440,7 @@ func workerArgs(args []string) []string {
 		"-alg": true, "-n": true, "-v": true, "-p": true, "-d": true, "-b": true,
 		"-mfactor": true, "-g": true, "-seed": true, "-state-dir": true,
 		"-net-faults": true, "-net-seed": true, "-ack-timeout": true,
+		"-secret": true, "-heartbeat": true, "-heartbeat-timeout": true,
 	}
 	var out []string
 	for i := 0; i < len(args); i++ {

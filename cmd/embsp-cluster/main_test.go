@@ -160,10 +160,12 @@ func TestWorkerArgsFilter(t *testing.T) {
 	in := []string{
 		"-spawn", "-check", "-alg", "sort", "-n", "256", "-kill-at", "prepared@1",
 		"-kill-worker", "1", "-state-dir", "/tmp/x", "-net-faults", "drop=0.1",
-		"-listen", ":7000", "-seed=5",
+		"-listen", ":7000", "-seed=5", "-secret", "hunter2", "-heartbeat", "1s",
+		"-heartbeat-timeout", "4s", "-replicate=false", "-spares", "2", "-wipe",
 	}
 	got := strings.Join(workerArgs(in), " ")
-	want := "-alg sort -n 256 -state-dir /tmp/x -net-faults drop=0.1 -seed=5"
+	want := "-alg sort -n 256 -state-dir /tmp/x -net-faults drop=0.1 -seed=5" +
+		" -secret hunter2 -heartbeat 1s -heartbeat-timeout 4s"
 	if got != want {
 		t.Fatalf("workerArgs:\n got %q\nwant %q", got, want)
 	}

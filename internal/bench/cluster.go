@@ -48,6 +48,13 @@ type ClusterRow struct {
 
 	ClusterNanos   int64 `json:"cluster_ns"`
 	InProcessNanos int64 `json:"in_process_ns"`
+
+	// Replication overhead: the same run with commit-time snapshot
+	// shipping on (DESIGN.md §15). ReplicaBytes is the snapshot volume
+	// folded into the coordinator's replica store; the nanos column is
+	// the replicated run's wall-clock next to ClusterNanos.
+	ReplicaBytes    int64 `json:"replica_bytes"`
+	ReplicatedNanos int64 `json:"replicated_ns"`
 }
 
 // ClusterReport is the JSON shape of BENCH_cluster.json: the committed
@@ -120,68 +127,106 @@ func measureClusterRow(spec workload.Spec, p, b int) (*ClusterRow, error) {
 		return nil, fmt.Errorf("in-process oracle: %w", err)
 	}
 
-	inst, err = spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	root, err := os.MkdirTemp("", "embsp-cluster-bench-*")
-	if err != nil {
-		return nil, err
-	}
-	defer os.RemoveAll(root)
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	addr := ln.Addr().String()
-	var wg sync.WaitGroup
-	workerErrs := make([]error, p)
-	for i := 0; i < p; i++ {
-		w := &cluster.Worker{
-			Prog:   inst.Program,
-			Cfg:    cfg,
-			Opts:   opts,
-			NodeID: i,
-			Dir:    filepath.Join(root, fmt.Sprintf("node-%d", i)),
+	// One cluster run over loopback TCP; each call builds the program
+	// fresh (programs mutate as they run) and verifies the fingerprint
+	// against the oracle before its numbers count.
+	runOnce := func(replicate bool) (*obs.Registry, int64, error) {
+		inst, err := spec.Build()
+		if err != nil {
+			return nil, 0, err
 		}
-		wg.Add(1)
-		go func(i int, w *cluster.Worker) {
-			defer wg.Done()
-			workerErrs[i] = w.Run(addr, false, cluster.LinkConfig{
-				Self: i, Peer: p, BackoffSeed: uint64(i) + 1,
-			})
-		}(i, w)
+		root, err := os.MkdirTemp("", "embsp-cluster-bench-*")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(root)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, 0, err
+		}
+		addr := ln.Addr().String()
+		var wg sync.WaitGroup
+		workerErrs := make([]error, p)
+		for i := 0; i < p; i++ {
+			w := &cluster.Worker{
+				Prog:   inst.Program,
+				Cfg:    cfg,
+				Opts:   opts,
+				NodeID: i,
+				Dir:    filepath.Join(root, fmt.Sprintf("node-%d", i)),
+			}
+			wg.Add(1)
+			go func(i int, w *cluster.Worker) {
+				defer wg.Done()
+				workerErrs[i] = w.Run(addr, false, cluster.LinkConfig{
+					Self: i, Peer: p, BackoffSeed: uint64(i) + 1,
+				})
+			}(i, w)
+		}
+
+		reg := obs.NewRegistry()
+		start := time.Now()
+		res, err := cluster.Run(cluster.Config{
+			Prog:      inst.Program,
+			Cfg:       cfg,
+			Opts:      opts,
+			Dir:       filepath.Join(root, "coord"),
+			Listener:  ln,
+			Metrics:   reg,
+			Replicate: replicate,
+		})
+		ns := time.Since(start).Nanoseconds()
+		wg.Wait()
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster run: %w", err)
+		}
+		for i, werr := range workerErrs {
+			if werr != nil {
+				return nil, 0, fmt.Errorf("worker %d: %w", i, werr)
+			}
+		}
+		if of, cf := workload.Fingerprint(oracle), workload.Fingerprint(res); of != cf {
+			return nil, 0, fmt.Errorf("cluster result diverged: fingerprint %016x, oracle %016x", cf, of)
+		}
+		return reg, ns, nil
 	}
 
-	reg := obs.NewRegistry()
-	start = time.Now()
-	res, err := cluster.Run(cluster.Config{
-		Prog:     inst.Program,
-		Cfg:      cfg,
-		Opts:     opts,
-		Dir:      filepath.Join(root, "coord"),
-		Listener: ln,
-		Metrics:  reg,
-	})
-	clusterNs := time.Since(start).Nanoseconds()
-	wg.Wait()
-	if err != nil {
-		return nil, fmt.Errorf("cluster run: %w", err)
-	}
-	for i, werr := range workerErrs {
-		if werr != nil {
-			return nil, fmt.Errorf("worker %d: %w", i, werr)
+	// Wall-clock noise between identical runs dwarfs the effects being
+	// measured on a busy machine, so each variant reports its best of
+	// three — the noise floor — while counters come from the first run
+	// (they are deterministic across repeats).
+	const reps = 3
+	best := func(replicate bool) (*obs.Registry, int64, error) {
+		var reg *obs.Registry
+		var bestNs int64
+		for r := 0; r < reps; r++ {
+			g, ns, err := runOnce(replicate)
+			if err != nil {
+				return nil, 0, err
+			}
+			if reg == nil || ns < bestNs {
+				bestNs = ns
+			}
+			if reg == nil {
+				reg = g
+			}
 		}
+		return reg, bestNs, nil
 	}
-	if of, cf := workload.Fingerprint(oracle), workload.Fingerprint(res); of != cf {
-		return nil, fmt.Errorf("cluster result diverged: fingerprint %016x, oracle %016x", cf, of)
+	reg, clusterNs, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	replReg, replicatedNs, err := best(true)
+	if err != nil {
+		return nil, fmt.Errorf("replicated: %w", err)
 	}
 
 	bw := reg.Histogram("cluster_barrier_wait_nanos").Snapshot()
 	row := &ClusterRow{
 		P:                    p,
-		Supersteps:           res.Costs.Supersteps,
+		Supersteps:           oracle.Costs.Supersteps,
 		TxBytes:              reg.Counter("cluster_tx_bytes").Value(),
 		RxBytes:              reg.Counter("cluster_rx_bytes").Value(),
 		TxFrames:             reg.Counter("cluster_tx_frames").Value(),
@@ -190,6 +235,8 @@ func measureClusterRow(spec workload.Spec, p, b int) (*ClusterRow, error) {
 		BarrierWaitMeanNanos: bw.Mean().Nanoseconds(),
 		ClusterNanos:         clusterNs,
 		InProcessNanos:       oracleNs,
+		ReplicaBytes:         replReg.Counter("cluster_replica_bytes").Value(),
+		ReplicatedNanos:      replicatedNs,
 	}
 	return row, nil
 }
@@ -217,14 +264,18 @@ func runCluster(w io.Writer, s Scale) error {
 	fmt.Fprintln(w, "TCP with the full wire protocol and 2PC barriers, verified bitwise")
 	fmt.Fprintln(w, "identical to the in-process engine before reporting. Traffic is")
 	fmt.Fprintln(w, "coordinator-side (star topology: every packet crosses it twice).")
+	fmt.Fprintln(w, "The last columns rerun each cell with replication on (§15): snapshot")
+	fmt.Fprintln(w, "bytes shipped into the replica store and the replicated wall-clock.")
 	tw := newTable(w)
-	fmt.Fprintf(tw, "p\tλ\ttx\trx\tframes\tretries\tbarriers\tbarrier wait\tcluster\tin-process\n")
+	fmt.Fprintf(tw, "p\tλ\ttx\trx\tframes\tretries\tbarriers\tbarrier wait\tcluster\tin-process\trepl bytes\treplicated\n")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%d\t%v\n",
 			r.P, r.Supersteps, r.TxBytes, r.RxBytes, r.TxFrames, r.Retries,
 			r.BarrierWaits, time.Duration(r.BarrierWaitMeanNanos).Round(time.Microsecond),
 			time.Duration(r.ClusterNanos).Round(time.Millisecond),
-			time.Duration(r.InProcessNanos).Round(time.Millisecond))
+			time.Duration(r.InProcessNanos).Round(time.Millisecond),
+			r.ReplicaBytes,
+			time.Duration(r.ReplicatedNanos).Round(time.Millisecond))
 	}
 	return tw.Flush()
 }

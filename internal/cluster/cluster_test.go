@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"fmt"
 	"net"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -62,11 +63,24 @@ type harness struct {
 	addr string
 	plan fault.NetPlan
 
+	// PR 8 robustness knobs.
+	replicate     bool           // coordinator keeps a replica store
+	secret        string         // coordinator's join-auth secret
+	workerSecrets map[int]string // per-worker secret override (default: secret)
+	badSeed       map[int]uint64 // per-worker wrong run seed (fingerprint divergence)
+	heartbeat     time.Duration  // keep-alive interval, both sides
+	wipeKill      bool           // a killed worker's state dir is wiped too
+	permaKill     bool           // a killed worker never respawns
+	spares        int            // extra spare workers dialing in
+	spareDelay    time.Duration  // coordinator's spare-adoption delay
+	workerMetrics *obs.Registry  // transport counters on the worker side
+
 	done atomic.Bool
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
 	kills  map[string]bool // "node/phase/step" -> already fired
+	dead   map[int]bool    // workers gone for good (permaKill)
 	funnel func(id int, phase string, step int)
 }
 
@@ -77,6 +91,7 @@ func newHarness(t *testing.T, prog bsp.Program, cfg core.MachineConfig, seed uin
 		opts:  core.Options{Seed: seed},
 		root:  t.TempDir(),
 		kills: make(map[string]bool),
+		dead:  make(map[int]bool),
 	}
 	// Bind once to pick a free port, then remember the address so a
 	// restarted coordinator listens where the workers keep dialing.
@@ -115,6 +130,17 @@ func (h *harness) startWorkers() {
 		h.wg.Add(1)
 		go h.workerLoop(i)
 	}
+	for i := 0; i < h.spares; i++ {
+		h.wg.Add(1)
+		go h.spareLoop(i)
+	}
+}
+
+func (h *harness) workerSecret(id int) string {
+	if s, ok := h.workerSecrets[id]; ok {
+		return s
+	}
+	return h.secret
 }
 
 func (h *harness) stop() {
@@ -129,26 +155,75 @@ func (h *harness) stop() {
 func (h *harness) workerLoop(id int) {
 	defer h.wg.Done()
 	dir := filepath.Join(h.root, fmt.Sprintf("node-%d", id))
-	for !h.done.Load() {
+	for epoch := 0; !h.done.Load(); epoch++ {
+		h.mu.Lock()
+		gone := h.dead[id]
+		h.mu.Unlock()
+		if gone {
+			return // machine permanently lost; no respawn
+		}
 		conn, err := net.Dial("tcp", h.addr)
 		if err != nil {
+			epoch--
 			time.Sleep(20 * time.Millisecond)
 			continue
 		}
-		h.serveOnce(id, dir, conn)
+		h.serveOnce(id, dir, conn, epoch)
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-func (h *harness) serveOnce(id int, dir string, conn net.Conn) {
-	link := cluster.NewLink(conn, cluster.LinkConfig{
-		Self: id, Peer: h.cfg.P, Plan: h.plan,
-		BackoffSeed: uint64(id) + 1,
-		AckTimeout:  50 * time.Millisecond,
-	})
-	defer link.Close()
+// spareLoop is one spare worker "process": it parks at the coordinator
+// with no node, and — unlike workerLoop's process-per-incarnation — the
+// Worker persists across redials, because once adopted it IS some node
+// and must rejoin as such (exactly how cmd/embsp-cluster behaves).
+func (h *harness) spareLoop(i int) {
+	defer h.wg.Done()
 	w := &cluster.Worker{
-		Prog: h.prog, Cfg: h.cfg, Opts: h.opts, NodeID: id, Dir: dir,
+		Prog: h.prog, Cfg: h.cfg, Opts: h.opts, NodeID: -1,
+		Dir:    filepath.Join(h.root, fmt.Sprintf("spare-%d", i)),
+		Spare:  true,
+		Secret: h.secret,
+	}
+	defer w.Close()
+	for epoch := 0; !h.done.Load(); epoch++ {
+		conn, err := net.Dial("tcp", h.addr)
+		if err != nil {
+			epoch--
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		link := cluster.NewLink(conn, h.linkConfig(h.cfg.P+1+i, epoch))
+		err = w.Serve(link)
+		link.Close()
+		if err == nil {
+			return // orderly SHUTDOWN
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (h *harness) linkConfig(self, epoch int) cluster.LinkConfig {
+	return cluster.LinkConfig{
+		Self: self, Peer: h.cfg.P, Plan: h.plan,
+		Epoch:       epoch,
+		BackoffSeed: uint64(self) + 1,
+		AckTimeout:  50 * time.Millisecond,
+		Heartbeat:   h.heartbeat,
+		Metrics:     h.workerMetrics,
+	}
+}
+
+func (h *harness) serveOnce(id int, dir string, conn net.Conn, epoch int) {
+	link := cluster.NewLink(conn, h.linkConfig(id, epoch))
+	defer link.Close()
+	opts := h.opts
+	if s, ok := h.badSeed[id]; ok {
+		opts.Seed = s
+	}
+	w := &cluster.Worker{
+		Prog: h.prog, Cfg: h.cfg, Opts: opts, NodeID: id, Dir: dir,
+		Secret: h.workerSecret(id),
 		Probe: func(phase string, step int) {
 			h.maybeKill(fmt.Sprintf("worker%d/%s", id, phase), step)
 		},
@@ -158,6 +233,16 @@ func (h *harness) serveOnce(id int, dir string, conn net.Conn) {
 		if r := recover(); r != nil {
 			if _, ok := r.(killed); !ok {
 				panic(r)
+			}
+			// The "machine" died. Optionally its disks die with it —
+			// the permanent-loss scenario replication exists for.
+			if h.wipeKill {
+				os.RemoveAll(dir) //nolint:errcheck
+			}
+			if h.permaKill {
+				h.mu.Lock()
+				h.dead[id] = true
+				h.mu.Unlock()
 			}
 		}
 	}()
@@ -192,6 +277,10 @@ func (h *harness) runCoord(metrics *obs.Registry) (res *core.Result, err error) 
 		AckTimeout:  50 * time.Millisecond,
 		RecvTimeout: 30 * time.Second,
 		JoinTimeout: 20 * time.Second,
+		Replicate:   h.replicate,
+		Secret:      h.secret,
+		Heartbeat:   h.heartbeat,
+		SpareDelay:  h.spareDelay,
 		Metrics:     metrics,
 	})
 }

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"crypto/hmac"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"net"
@@ -41,6 +43,25 @@ type Config struct {
 	StepRetries int
 	// JoinTimeout bounds the wait for a worker to (re)join (default 60s).
 	JoinTimeout time.Duration
+	// Replicate enables barrier-time state replication: every PREPARED
+	// (and SETUP_OUT) reply carries the worker's barrier snapshot
+	// (usually a delta), which the coordinator folds into a replica
+	// store under Dir the moment its decision record lands. A worker
+	// whose own state is permanently gone is re-seeded from the replica
+	// instead of failing the run with a divergence error.
+	Replicate bool
+	// Secret, when non-empty, requires every joining worker to answer
+	// an HMAC-SHA256 challenge over a fresh nonce; joins that cannot
+	// are dropped (and counted as cluster_auth_rejects).
+	Secret string
+	// Heartbeat / HeartbeatTimeout thread keep-alives into every
+	// accepted link (see LinkConfig); zero disables them.
+	Heartbeat        time.Duration
+	HeartbeatTimeout time.Duration
+	// SpareDelay is how long a worker slot may sit empty before a
+	// parked spare is adopted for it (default JoinTimeout/4). Spares
+	// only ever replace a slot whose replica is restorable.
+	SpareDelay time.Duration
 	// Respawn, when set, is invoked when worker id's connection died
 	// and a rejoin is needed — spawn mode uses it to relaunch the
 	// worker process. With Respawn nil the coordinator just waits for
@@ -71,18 +92,34 @@ func fatal(err error) bool {
 }
 
 type coordinator struct {
-	cc    Config
-	core  *core.CoordCore
-	links []*Link // per worker slot; nil = disconnected
+	cc      Config
+	core    *core.CoordCore
+	links   []*Link // per worker slot; nil = disconnected
+	epochs  []int   // connection incarnations seen per slot
+	replica *ReplicaStore
+	spares  []joinReq // parked spare workers, adopted on worker loss
 
 	joins    chan joinReq
 	acceptWG sync.WaitGroup
 	closed   chan struct{}
 
+	// pending tracks links whose handshake is still in flight, so
+	// shutdown can cut them loose instead of leaking their goroutines
+	// into the JoinTimeout.
+	pmu     sync.Mutex
+	pending map[*Link]struct{}
+
 	stepOpen bool
 
-	barrierWait *obs.Histogram
-	replays     *obs.Counter
+	// replApply tracks the (at most one) background replica-apply
+	// batch; see applySnapshots / replWait.
+	replApply sync.WaitGroup
+
+	barrierWait  *obs.Histogram
+	replays      *obs.Counter
+	migrations   *obs.Counter
+	replicaBytes *obs.Counter
+	authRejects  *obs.Counter
 }
 
 type joinReq struct {
@@ -113,15 +150,28 @@ func Run(cc Config) (*core.Result, error) {
 		return nil, err
 	}
 	c := &coordinator{
-		cc:     cc,
-		core:   cco,
-		links:  make([]*Link, cc.Cfg.P),
-		joins:  make(chan joinReq, cc.Cfg.P),
-		closed: make(chan struct{}),
+		cc:      cc,
+		core:    cco,
+		links:   make([]*Link, cc.Cfg.P),
+		epochs:  make([]int, cc.Cfg.P),
+		joins:   make(chan joinReq, 2*cc.Cfg.P),
+		closed:  make(chan struct{}),
+		pending: make(map[*Link]struct{}),
 	}
 	if m := cc.Metrics; m != nil {
 		c.barrierWait = m.Histogram("cluster_barrier_wait_nanos")
 		c.replays = m.Counter("cluster_step_replays")
+		c.migrations = m.Counter("cluster_migrations")
+		c.replicaBytes = m.Counter("cluster_replica_bytes")
+		c.authRejects = m.Counter("cluster_auth_rejects")
+	}
+	if cc.Replicate {
+		rs, err := OpenReplicas(filepath.Join(cc.Dir, "replica"), cc.Cfg.P, cc.Cfg.D, cc.Cfg.B)
+		if err != nil {
+			cco.Close()
+			return nil, err
+		}
+		c.replica = rs
 	}
 	defer c.shutdown()
 	if c.core.Committed() > 0 {
@@ -162,6 +212,9 @@ func (c *coordinator) probe(phase string, step int) {
 
 // acceptLoop admits connections and completes the HELLO half of the
 // handshake; joins delivers them to whoever is waiting for workers.
+// Every handshake goroutine is tracked by acceptWG and its link is
+// registered in c.pending, so shutdown can close them out instead of
+// leaking Recv waiters into the JoinTimeout.
 func (c *coordinator) acceptLoop() {
 	defer c.acceptWG.Done()
 	for {
@@ -169,16 +222,25 @@ func (c *coordinator) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		c.acceptWG.Add(1)
 		go func() {
+			defer c.acceptWG.Done()
 			link := NewLink(conn, LinkConfig{
-				Self:        c.cc.Cfg.P,
-				Peer:        -1,
-				Plan:        c.cc.Net,
-				BackoffSeed: prng.Derive(c.cc.BackoffSeed, uint64(c.cc.Cfg.P)),
-				AckTimeout:  c.cc.AckTimeout,
-				Retries:     c.cc.Retries,
-				Metrics:     c.cc.Metrics,
+				Self:             c.cc.Cfg.P,
+				Peer:             -1,
+				Plan:             c.cc.Net,
+				BackoffSeed:      prng.Derive(c.cc.BackoffSeed, uint64(c.cc.Cfg.P)),
+				AckTimeout:       c.cc.AckTimeout,
+				Retries:          c.cc.Retries,
+				Heartbeat:        c.cc.Heartbeat,
+				HeartbeatTimeout: c.cc.HeartbeatTimeout,
+				Metrics:          c.cc.Metrics,
 			})
+			if !c.trackPending(link) {
+				link.Close() // raced shutdown
+				return
+			}
+			defer c.untrackPending(link)
 			msg, err := link.Recv(c.cc.JoinTimeout)
 			if err != nil {
 				link.Close()
@@ -190,11 +252,32 @@ func (c *coordinator) acceptLoop() {
 				return
 			}
 			h := decodeHello(dec)
-			if h.NodeID < 0 || h.NodeID >= c.cc.Cfg.P {
-				link.Close()
-				return
+			if h.Spare {
+				if h.NodeID != -1 {
+					link.Close()
+					return
+				}
+			} else {
+				if h.NodeID < 0 || h.NodeID >= c.cc.Cfg.P {
+					link.Close()
+					return
+				}
+				link.SetPeer(h.NodeID)
+				c.pmu.Lock()
+				link.SetEpoch(c.epochs[h.NodeID])
+				c.epochs[h.NodeID]++
+				c.pmu.Unlock()
 			}
-			link.SetPeer(h.NodeID)
+			if c.cc.Secret != "" {
+				if err := c.challenge(link); err != nil {
+					link.Close()
+					return
+				}
+			}
+			// Untrack before handing over: once the join is delivered
+			// the link belongs to the run, and shutdown must not close
+			// an installed link out from under it.
+			c.untrackPending(link)
 			select {
 			case c.joins <- joinReq{h: h, link: link}:
 			case <-c.closed:
@@ -202,6 +285,52 @@ func (c *coordinator) acceptLoop() {
 			}
 		}()
 	}
+}
+
+func (c *coordinator) trackPending(l *Link) bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	select {
+	case <-c.closed:
+		return false
+	default:
+	}
+	c.pending[l] = struct{}{}
+	return true
+}
+
+func (c *coordinator) untrackPending(l *Link) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	delete(c.pending, l)
+}
+
+// challenge authenticates a joining worker: a fresh 32-byte nonce goes
+// out, HMAC-SHA256(secret, nonce) must come back. A wrong answer is
+// counted; a transport failure just drops the attempt.
+func (c *coordinator) challenge(link *Link) error {
+	nonce := make([]byte, 8*nonceWords)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	nw := bytesToWords(nonce)
+	if err := link.Send(encodeChallenge(nw)); err != nil {
+		return err
+	}
+	msg, err := link.Recv(c.cc.JoinTimeout)
+	if err != nil {
+		return err
+	}
+	dec, err := expect(msg, msgAuth)
+	if err != nil {
+		add(c.authRejects, 1)
+		return err
+	}
+	if !hmac.Equal(wordsToBytes(dec.Uints()), wordsToBytes(authMAC(c.cc.Secret, nw))) {
+		add(c.authRejects, 1)
+		return fmt.Errorf("cluster: join authentication failed")
+	}
+	return nil
 }
 
 // welcome reconciles one worker's journal against the decision log
@@ -227,6 +356,15 @@ func (c *coordinator) welcome(j joinReq) error {
 		case j.h.Committed == C-1 && j.h.HasPending:
 			req = welcome{CommitPending: true}.encode()
 		default:
+			// The worker's own journal cannot reach the committed
+			// barrier — 2PC recovery is out. With a replica at exactly
+			// this barrier the node migrates onto the connection (wiped
+			// directory, fresh respawn, whatever it holds is discarded);
+			// without one the loss is permanent and loud.
+			c.replWait()
+			if c.replica != nil && c.replica.Restorable(id, C) {
+				return c.migrate(j.link, id)
+			}
 			j.link.Close()
 			return fmt.Errorf("%w: worker %d journal has %d committed records (pending: %v), coordinator has %d — state lost beyond 2PC recovery",
 				errDiverged, id, j.h.Committed, j.h.HasPending, C)
@@ -259,8 +397,85 @@ func (c *coordinator) welcome(j joinReq) error {
 	return nil
 }
 
+// migrate re-seeds node id from its replica onto link — the RESTORE
+// leg of the handshake — and installs the link on success. The replica
+// must already have been checked Restorable at the coordinator's
+// barrier.
+func (c *coordinator) migrate(link *Link, id int) error {
+	C := c.core.Committed()
+	snap, err := c.replica.Load(id)
+	if err != nil {
+		// The replica lied about being clean; stop trusting it. With
+		// the worker's own state also gone this run cannot continue.
+		c.replica.Invalidate(id)
+		link.Close()
+		return fmt.Errorf("%w: worker %d state lost and replica unreadable: %v", errDiverged, id, err)
+	}
+	link.SetPeer(id)
+	if err := link.Send(encodeRestore(id, snap)); err != nil {
+		link.Close()
+		return err
+	}
+	msg, err := link.Recv(c.cc.RecvTimeout)
+	if err != nil {
+		link.Close()
+		return err
+	}
+	dec, err := expect(msg, msgWelcomeOut)
+	if err != nil {
+		link.Close()
+		return err
+	}
+	out := decodeWelcomeOut(dec)
+	if out.Committed != C || out.StepsDone != c.core.StepsDone() {
+		link.Close()
+		return fmt.Errorf("%w: worker %d restored to record %d / step %d, coordinator at record %d / step %d",
+			errDiverged, id, out.Committed, out.StepsDone, C, c.core.StepsDone())
+	}
+	if old := c.links[id]; old != nil {
+		old.Close()
+	}
+	c.links[id] = link
+	add(c.migrations, 1)
+	return nil
+}
+
+// adoptSpare hands worker slot id to a parked spare, if one is alive
+// and the slot's replica is restorable. Reports whether a spare was
+// installed.
+func (c *coordinator) adoptSpare(id int) bool {
+	c.replWait()
+	if c.replica == nil || !c.replica.Restorable(id, c.core.Committed()) {
+		return false
+	}
+	for len(c.spares) > 0 {
+		j := c.spares[0]
+		c.spares = c.spares[1:]
+		if j.link.Err() != nil {
+			j.link.Close()
+			continue
+		}
+		if err := c.migrate(j.link, id); err != nil {
+			if fatalJoin(err) {
+				// Divergence during a spare restore means the replica is
+				// bad; fall back to waiting for the real worker.
+				return false
+			}
+			continue // spare died mid-restore; try the next one
+		}
+		return true
+	}
+	return false
+}
+
 // gatherAll waits until every worker slot has a reconciled link.
+// Spares park; a slot still empty after SpareDelay is handed to one.
 func (c *coordinator) gatherAll() error {
+	spareDelay := c.cc.SpareDelay
+	if spareDelay <= 0 {
+		spareDelay = c.cc.JoinTimeout / 4
+	}
+	start := time.Now()
 	for {
 		missing := -1
 		for i, l := range c.links {
@@ -274,6 +489,10 @@ func (c *coordinator) gatherAll() error {
 		}
 		select {
 		case j := <-c.joins:
+			if j.h.Spare {
+				c.spares = append(c.spares, j)
+				continue
+			}
 			if err := c.welcome(j); err != nil {
 				if fatalJoin(err) {
 					return err
@@ -281,8 +500,15 @@ func (c *coordinator) gatherAll() error {
 				// A stale or broken connection; keep waiting.
 				continue
 			}
-		case <-time.After(c.cc.JoinTimeout):
-			return fmt.Errorf("cluster: worker %d did not join within %v", missing, c.cc.JoinTimeout)
+			start = time.Now() // progress: restart the clock
+		case <-time.After(spareDelay):
+			if c.adoptSpare(missing) {
+				start = time.Now()
+				continue
+			}
+			if time.Since(start) >= c.cc.JoinTimeout {
+				return &LostError{Peer: missing, Reason: fmt.Sprintf("did not join within %v and no spare could take over", c.cc.JoinTimeout)}
+			}
 		}
 	}
 }
@@ -359,20 +585,49 @@ func (c *coordinator) runSetup() error {
 }
 
 func (c *coordinator) trySetup() error {
-	decs, err := c.fanout(msgSetupOut, func(int) []uint64 { return encodeKind(msgSetup) })
+	c.replWait()
+	decs, err := c.fanout(msgSetupOut, func(i int) []uint64 { return encodeSetup(c.replReq(i)) })
 	if err != nil {
 		return err
 	}
 	stats := make([]disk.Stats, len(decs))
+	snaps := make([]*core.NodeSnapshot, len(decs))
 	for i, dec := range decs {
 		stats[i] = core.DecodeDiskStats(dec)
+		snaps[i] = c.stageSnapshot(i, dec)
 	}
 	c.probe("prepare", -1)
 	if err := c.core.CommitSetup(stats); err != nil {
 		return err
 	}
+	c.applySnapshots(snaps)
 	c.probe("decided", -1)
 	return c.broadcastCommit()
+}
+
+// replReq builds worker i's replication piggyback for this barrier's
+// phase-one request. The caller must have replWait()ed first so
+// Version reflects the previous barrier's landed apply.
+func (c *coordinator) replReq(i int) replReq {
+	if c.replica == nil {
+		return replReq{Base: -1}
+	}
+	return replReq{Replicate: true, Base: c.replica.Version(i)}
+}
+
+// stageSnapshot decodes the optional snapshot tail of worker i's
+// phase-one reply. Staged, not applied: only a landed decision record
+// promotes it into the replica store.
+func (c *coordinator) stageSnapshot(i int, dec *words.Decoder) *core.NodeSnapshot {
+	if c.replica == nil {
+		return nil
+	}
+	snap, err := decodeSnapshotTail(dec)
+	if err != nil {
+		c.replica.Invalidate(i)
+		return nil
+	}
+	return snap
 }
 
 // resetAll wipes every worker fresh (live ones via RESET, dead ones
@@ -573,15 +828,22 @@ func (c *coordinator) tryStep(step int) (halted bool, err error) {
 	}
 	c.probe("prepare", step)
 	barrier := time.Now()
-	if _, err := c.fanout(msgPrepared, func(int) []uint64 {
-		return encodeKindStep(msgPrepare, int64(step), haltWord)
-	}); err != nil {
+	c.replWait() // the previous barrier's apply had the whole superstep to land
+	decs, err = c.fanout(msgPrepared, func(i int) []uint64 {
+		return encodePrepare(step, haltWord != 0, c.replReq(i))
+	})
+	if err != nil {
 		return false, err
+	}
+	snaps := make([]*core.NodeSnapshot, len(decs))
+	for i, dec := range decs {
+		snaps[i] = c.stageSnapshot(i, dec)
 	}
 	if err := c.core.CommitStep(step, halted); err != nil {
 		return false, err
 	}
 	c.stepOpen = false
+	c.applySnapshots(snaps)
 	c.probe("decided", step)
 	if err := c.broadcastCommit(); err != nil {
 		return false, err
@@ -593,9 +855,11 @@ func (c *coordinator) tryStep(step int) (halted bool, err error) {
 }
 
 // broadcastCommit is 2PC phase two: tell every worker the decision
-// landed. The decision is already durable, so worker deaths here are
-// absorbed without abort — a dead worker's rejoin handshake commits
-// its prepared record.
+// landed. The decision is already durable — and with replication on,
+// the barrier's snapshots (shipped on PREPARED) are already in the
+// replica store — so worker deaths here are absorbed without abort: a
+// dead worker's rejoin handshake commits its prepared record, and a
+// dead worker whose state died with it migrates from the replica.
 func (c *coordinator) broadcastCommit() error {
 	for {
 		_, err := c.fanout(msgCommitted, func(int) []uint64 { return encodeKind(msgCommit) })
@@ -630,6 +894,47 @@ func (c *coordinator) broadcastCommit() error {
 	}
 }
 
+// applySnapshots folds the decided barrier's staged snapshots into
+// the replica store. The fsync-heavy disk work runs in a background
+// goroutine so it overlaps the next superstep's compute instead of
+// sitting on the barrier critical path; at most one apply batch is
+// ever in flight (preserving each node's delta chain), and every
+// coordinator-side replica read waits for it first (replWait). A
+// snapshot that fails to apply just invalidates that node's replica —
+// the next PREPARE requests a full snapshot (Version reports -1) — it
+// never fails the run.
+func (c *coordinator) applySnapshots(snaps []*core.NodeSnapshot) {
+	if c.replica == nil {
+		return
+	}
+	c.replWait()
+	for _, snap := range snaps {
+		if snap != nil {
+			add(c.replicaBytes, int64(8*snap.WireWords()))
+		}
+	}
+	c.replApply.Add(1)
+	go func() {
+		defer c.replApply.Done()
+		for i, snap := range snaps {
+			if snap == nil {
+				continue
+			}
+			c.replica.Apply(i, snap) //nolint:errcheck // a failed apply leaves the replica invalid, which is the handling
+		}
+	}()
+}
+
+// replWait blocks until the in-flight apply batch (if any) has landed.
+// It must precede every coordinator-side touch of the replica store:
+// Version reads when building the next barrier's requests, Restorable
+// and Load on a migration, and shutdown.
+func (c *coordinator) replWait() {
+	if c.replica != nil {
+		c.replApply.Wait()
+	}
+}
+
 func (c *coordinator) assemble() (*core.Result, error) {
 	decs, err := c.fanout(msgFinalOut, func(int) []uint64 { return encodeKind(msgFinal) })
 	if err != nil {
@@ -658,20 +963,39 @@ func (c *coordinator) assemble() (*core.Result, error) {
 	return c.core.Assemble(reports)
 }
 
-// shutdown releases every resource; workers get a best-effort
-// SHUTDOWN so join-mode processes exit cleanly.
+// shutdown releases every resource; workers (parked spares included)
+// get a best-effort SHUTDOWN so join-mode processes exit cleanly.
 func (c *coordinator) shutdown() {
+	c.replWait() // don't leave a replica apply writing into a dying run
 	close(c.closed)
-	for _, l := range c.links {
-		if l == nil {
-			continue
-		}
+	// Cut loose handshakes still waiting in Recv: their goroutines are
+	// in acceptWG and would otherwise hold the shutdown hostage for a
+	// full JoinTimeout.
+	c.pmu.Lock()
+	for l := range c.pending {
+		l.Close()
+	}
+	c.pmu.Unlock()
+	byebye := func(l *Link) {
 		if l.Send(encodeKind(msgShutdown)) == nil {
 			if msg, err := l.Recv(5 * time.Second); err == nil {
 				expect(msg, msgBye) //nolint:errcheck
 			}
 		}
 		l.Close()
+	}
+	for _, l := range c.links {
+		if l == nil {
+			continue
+		}
+		byebye(l)
+	}
+	for _, j := range c.spares {
+		if j.link.Err() == nil {
+			byebye(j.link)
+		} else {
+			j.link.Close()
+		}
 	}
 	c.cc.Listener.Close()
 	c.acceptWG.Wait()
@@ -681,7 +1005,7 @@ func (c *coordinator) shutdown() {
 	for {
 		select {
 		case j := <-c.joins:
-			j.link.Close()
+			byebye(j.link)
 		default:
 			c.core.Close()
 			return

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"embsp/internal/core"
@@ -23,8 +26,11 @@ import (
 //	              WRITE → OK
 //	SUM → SUM_OUT                        (halt votes, sends, I/O ops)
 //	if not halting:  ROUTE → ROUTE_OUT   (ops after reorganization)
-//	PREPARE → PREPARED                   (2PC phase one: journal fsynced)
-//	-- coordinator appends its decision record --
+//	PREPARE → PREPARED                   (2PC phase one: journal fsynced;
+//	                                      with replication on, PREPARED
+//	                                      carries the barrier snapshot)
+//	-- coordinator appends its decision record,
+//	   then folds the staged snapshots into the replica store --
 //	COMMIT → COMMITTED                   (2PC phase two: HEAD advanced)
 //
 // A worker that cannot perform a request answers ERR; the coordinator
@@ -58,6 +64,11 @@ const (
 	msgBye
 	msgOK
 	msgErr
+	// PR 8 extensions. New kinds must append here — the values above
+	// are load-bearing for mixed-version debugging of captures.
+	msgChallenge // coordinator → worker: HMAC nonce (join authentication)
+	msgAuth      // worker → coordinator: HMAC-SHA256(secret, nonce)
+	msgRestore   // coordinator → worker: adopt this node from a replica snapshot
 )
 
 func msgName(k uint64) string {
@@ -71,6 +82,7 @@ func msgName(k uint64) string {
 		msgCommitted: "COMMITTED", msgAbort: "ABORT", msgAborted: "ABORTED",
 		msgFinal: "FINAL", msgFinalOut: "FINAL_OUT", msgShutdown: "SHUTDOWN",
 		msgBye: "BYE", msgOK: "OK", msgErr: "ERR",
+		msgChallenge: "CHALLENGE", msgAuth: "AUTH", msgRestore: "RESTORE",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -108,12 +120,15 @@ func getString(dec *words.Decoder) string {
 }
 
 // hello is the worker's opening message: who it is and where its
-// journal stands, for the coordinator's 2PC reconciliation.
+// journal stands, for the coordinator's 2PC reconciliation. A spare
+// (NodeID -1, Spare true) owns no node yet; it parks until the
+// coordinator assigns it a lost node via RESTORE.
 type hello struct {
 	NodeID     int
 	Committed  int
 	HasPending bool
 	Fpr        uint64
+	Spare      bool
 }
 
 func (h hello) encode() []uint64 {
@@ -122,15 +137,20 @@ func (h hello) encode() []uint64 {
 	enc.PutInts([]int64{int64(h.NodeID), int64(h.Committed)})
 	enc.PutBool(h.HasPending)
 	enc.PutUint(h.Fpr)
+	enc.PutBool(h.Spare)
 	return enc.Words()
 }
 
 func decodeHello(dec *words.Decoder) hello {
 	f := dec.Ints()
-	return hello{
+	h := hello{
 		NodeID: int(f[0]), Committed: int(f[1]),
 		HasPending: dec.Bool(), Fpr: dec.Uint(),
 	}
+	if dec.Remaining() > 0 {
+		h.Spare = dec.Bool()
+	}
+	return h
 }
 
 // welcome is the coordinator's reconciliation verdict: either reset
@@ -188,10 +208,139 @@ func encodeErr(err error) []uint64 {
 	return enc.Words()
 }
 
-func encodeSetupOut(s disk.Stats) []uint64 {
+// replReq is the replication piggyback a SETUP or PREPARE request
+// carries: when Replicate is set the worker's reply ships a snapshot
+// of the barrier it just prepared — a delta on Base when its dirty-set
+// coverage matches, a full snapshot otherwise. The snapshot rides 2PC
+// phase one so the coordinator can fold it into the replica store the
+// instant the decision record lands: a worker lost — state directory
+// and all — at any point after the decision is then restorable at
+// exactly the decided barrier, never one behind it.
+type replReq struct {
+	Replicate bool
+	Base      int // replica's current version for this node; -1 forces full
+}
+
+func (r replReq) put(enc *words.Encoder) {
+	enc.PutBool(r.Replicate)
+	enc.PutInt(int64(r.Base))
+}
+
+// decodeReplReq reads the optional piggyback tail; a request without
+// one (the pre-replication form) asks for no snapshot.
+func decodeReplReq(dec *words.Decoder) replReq {
+	if dec.Remaining() == 0 {
+		return replReq{Base: -1}
+	}
+	return replReq{Replicate: dec.Bool(), Base: int(dec.Int())}
+}
+
+func encodeSetup(r replReq) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgSetup)
+	r.put(enc)
+	return enc.Words()
+}
+
+func encodePrepare(step int, halt bool, r replReq) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgPrepare)
+	h := int64(0)
+	if halt {
+		h = 1
+	}
+	enc.PutInts([]int64{int64(step), h})
+	r.put(enc)
+	return enc.Words()
+}
+
+// putSnapshot appends the optional snapshot tail of a SETUP_OUT or
+// PREPARED reply.
+func putSnapshot(enc *words.Encoder, snap *core.NodeSnapshot) {
+	if snap == nil {
+		enc.PutBool(false)
+		return
+	}
+	enc.PutBool(true)
+	snap.Encode(enc)
+}
+
+// decodeSnapshotTail reads a reply's optional snapshot; replies from
+// pre-replication workers have no tail at all.
+func decodeSnapshotTail(dec *words.Decoder) (*core.NodeSnapshot, error) {
+	if dec.Remaining() == 0 || !dec.Bool() {
+		return nil, nil
+	}
+	return core.DecodeSnapshot(dec)
+}
+
+func encodePrepared(snap *core.NodeSnapshot) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgPrepared)
+	putSnapshot(enc, snap)
+	return enc.Words()
+}
+
+func encodeRestore(id int, snap *core.NodeSnapshot) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgRestore)
+	enc.PutInt(int64(id))
+	snap.Encode(enc)
+	return enc.Words()
+}
+
+// nonceWords is the join-authentication nonce size (32 bytes).
+const nonceWords = 4
+
+func encodeChallenge(nonce []uint64) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgChallenge)
+	enc.PutUints(nonce)
+	return enc.Words()
+}
+
+func encodeAuth(mac []uint64) []uint64 {
+	enc := words.NewEncoder(nil)
+	enc.PutUint(msgAuth)
+	enc.PutUints(mac)
+	return enc.Words()
+}
+
+// wordsToBytes / bytesToWords bridge the word codec and byte-oriented
+// crypto (HMAC input and output), little-endian like the wire.
+func wordsToBytes(ws []uint64) []byte {
+	b := make([]byte, 8*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+func bytesToWords(b []byte) []uint64 {
+	ws := make([]uint64, (len(b)+7)/8)
+	for i := range ws {
+		var w uint64
+		for j := 0; j < 8 && 8*i+j < len(b); j++ {
+			w |= uint64(b[8*i+j]) << (8 * j)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// authMAC is the worker's answer to a join challenge:
+// HMAC-SHA256(secret, nonce).
+func authMAC(secret string, nonce []uint64) []uint64 {
+	h := hmac.New(sha256.New, []byte(secret))
+	h.Write(wordsToBytes(nonce))
+	return bytesToWords(h.Sum(nil))
+}
+
+func encodeSetupOut(s disk.Stats, snap *core.NodeSnapshot) []uint64 {
 	enc := words.NewEncoder(nil)
 	enc.PutUint(msgSetupOut)
 	core.EncodeDiskStats(enc, s)
+	putSnapshot(enc, snap)
 	return enc.Words()
 }
 

@@ -5,12 +5,29 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"embsp/internal/fault"
 	"embsp/internal/jobs"
 	"embsp/internal/obs"
+	"embsp/internal/prng"
 )
+
+// LostError reports a peer the transport or coordinator considers
+// permanently lost — a heartbeat timeout, an exhausted retransmission
+// budget, or a liveness deadline — as opposed to an orderly close or
+// a fatal protocol divergence. The coordinator treats it as the
+// trigger for migration: abort the step, and re-seed the node from
+// the replica if its own state never comes back.
+type LostError struct {
+	Peer   int
+	Reason string
+}
+
+func (e *LostError) Error() string {
+	return fmt.Sprintf("cluster: peer %d lost: %s", e.Peer, e.Reason)
+}
 
 // Link is a reliable, deduplicating message channel over one TCP
 // connection: stop-and-wait ARQ with per-message deadlines, bounded
@@ -28,11 +45,14 @@ import (
 // watermark and rejects gaps (the lockstep protocol never has any).
 type Link struct {
 	conn net.Conn
-	wbuf []byte
+	wmu  sync.Mutex // serializes whole-frame writes (protocol, pings, pongs)
+	wbuf []byte     // guarded by wmu
 
-	self, peer int
-	plan       fault.NetPlan
-	seed       uint64
+	self  int
+	peer  atomic.Int64 // settable post-handshake (SetPeer) while pings fly
+	epoch atomic.Int64
+	plan  fault.NetPlan
+	seed  uint64
 
 	ackTimeout time.Duration
 	retries    int
@@ -41,6 +61,11 @@ type Link struct {
 	recvSeq uint64 // last sequence delivered to the caller
 	ackN    int    // times recvSeq has been ACKed (fault-stream clock)
 	stash   *frame // data frame consumed by Send as an implicit ACK
+
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+	lastRecv   atomic.Int64 // UnixNano of the last intact frame read
+	pingSeq    uint64       // heartbeat goroutine only
 
 	in      chan frame
 	done    chan struct{}
@@ -51,6 +76,7 @@ type Link struct {
 	rxFrames, rxBytes  *obs.Counter
 	retriesC, injected *obs.Counter
 	checksumRejects    *obs.Counter
+	hbMisses           *obs.Counter
 }
 
 // LinkConfig configures a Link. Self and Peer are the endpoint ids
@@ -60,11 +86,25 @@ type LinkConfig struct {
 	Self, Peer  int
 	Plan        fault.NetPlan
 	BackoffSeed uint64
+	// Epoch counts connection incarnations between the same endpoints
+	// (first dial 0, first redial 1, ...). It keys the fault plan —
+	// both the per-epoch rate streams and LinkDeath specs — so an
+	// injected permanent death of epoch e spares the replacement
+	// connection, exactly like a replaced machine.
+	Epoch int
 	// AckTimeout is how long a sent frame waits for its ACK before it
 	// is retransmitted (default 250ms).
 	AckTimeout time.Duration
 	// Retries bounds retransmissions per message (default 10).
 	Retries int
+	// Heartbeat, when positive, pings the peer whenever the link has
+	// been idle that long, and declares the peer lost (a *LostError
+	// ends the link) after HeartbeatTimeout of silence. Zero disables
+	// keep-alives: an idle link then blocks forever, as before PR 8.
+	Heartbeat time.Duration
+	// HeartbeatTimeout is the silence span that kills the link
+	// (default 4× Heartbeat).
+	HeartbeatTimeout time.Duration
 	// Metrics receives the comm counters (nil for none).
 	Metrics *obs.Registry
 }
@@ -75,10 +115,26 @@ const ackBit = uint64(1) << 63
 
 // SetPeer fixes the peer's id once the handshake reveals it (the
 // coordinator cannot know which worker dialed until HELLO arrives).
-func (l *Link) SetPeer(id int) { l.peer = id }
+func (l *Link) SetPeer(id int) { l.peer.Store(int64(id)) }
+
+// SetEpoch fixes the connection-incarnation number once the handshake
+// reveals which worker (and therefore which incarnation) this is.
+func (l *Link) SetEpoch(e int) { l.epoch.Store(int64(e)) }
+
+func (l *Link) peerID() int { return int(l.peer.Load()) }
+func (l *Link) epochN() int { return int(l.epoch.Load()) }
 
 // NewLink wraps conn. The Link owns the connection: Close closes it.
 func NewLink(conn net.Conn, cfg LinkConfig) *Link {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Snapshot-bearing frames (PREPARED with a replica delta) run to
+		// hundreds of kilobytes; with default socket buffers one Send
+		// blocks and wakes through the netpoller several times per
+		// frame. Buffers sized past the largest routine frame let a
+		// whole frame land in one write.
+		tc.SetWriteBuffer(1 << 20) //nolint:errcheck // best-effort tuning
+		tc.SetReadBuffer(1 << 20)  //nolint:errcheck
+	}
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 250 * time.Millisecond
 	}
@@ -88,13 +144,19 @@ func NewLink(conn net.Conn, cfg LinkConfig) *Link {
 	l := &Link{
 		conn:       conn,
 		self:       cfg.Self,
-		peer:       cfg.Peer,
 		plan:       cfg.Plan,
 		seed:       cfg.BackoffSeed,
 		ackTimeout: cfg.AckTimeout,
 		retries:    cfg.Retries,
+		hbInterval: cfg.Heartbeat,
+		hbTimeout:  cfg.HeartbeatTimeout,
 		in:         make(chan frame, 64),
 		done:       make(chan struct{}),
+	}
+	l.peer.Store(int64(cfg.Peer))
+	l.epoch.Store(int64(cfg.Epoch))
+	if l.hbInterval > 0 && l.hbTimeout <= 0 {
+		l.hbTimeout = 4 * l.hbInterval
 	}
 	m := cfg.Metrics
 	l.txFrames = counter(m, "cluster_tx_frames")
@@ -104,8 +166,40 @@ func NewLink(conn net.Conn, cfg LinkConfig) *Link {
 	l.retriesC = counter(m, "cluster_retries")
 	l.injected = counter(m, "cluster_faults_injected")
 	l.checksumRejects = counter(m, "cluster_checksum_rejects")
+	l.hbMisses = counter(m, "cluster_heartbeat_misses")
+	l.lastRecv.Store(time.Now().UnixNano())
 	go l.readLoop()
+	if l.hbInterval > 0 {
+		go l.heartbeat()
+	}
 	return l
+}
+
+// heartbeat keeps an idle link honest: a ping whenever nothing has
+// arrived for an interval, and a *LostError (plus connection close, so
+// every blocked goroutine wakes) after hbTimeout of silence. Protocol
+// traffic counts as liveness — a busy link never pings.
+func (l *Link) heartbeat() {
+	t := time.NewTicker(l.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-t.C:
+		}
+		idle := time.Duration(time.Now().UnixNano() - l.lastRecv.Load())
+		if idle >= l.hbTimeout {
+			add(l.hbMisses, 1)
+			l.fail(&LostError{Peer: l.peerID(), Reason: fmt.Sprintf("no frame for %v (heartbeat timeout %v)", idle.Round(time.Millisecond), l.hbTimeout)})
+			l.conn.Close()
+			return
+		}
+		if idle >= l.hbInterval {
+			l.pingSeq++
+			l.writeFrame(framePing, l.pingSeq, nil, 0) //nolint:errcheck // the timeout above is the error path
+		}
+	}
 }
 
 func counter(m *obs.Registry, name string) *obs.Counter {
@@ -139,6 +233,14 @@ func (l *Link) readLoop() {
 		}
 		add(l.rxFrames, 1)
 		add(l.rxBytes, int64(frameHeaderBytes+8*len(f.payload)+frameChecksumSize))
+		l.lastRecv.Store(time.Now().UnixNano())
+		switch f.kind {
+		case framePing:
+			l.writeFrame(framePong, f.seq, nil, 0) //nolint:errcheck // peer's heartbeat timeout is the error path
+			continue
+		case framePong:
+			continue // lastRecv already refreshed — that is the point
+		}
 		select {
 		case l.in <- f:
 		case <-l.done:
@@ -174,15 +276,35 @@ func (l *Link) Close() error {
 // is simply not written (the ARQ recovers it), a delayed one is held,
 // a duplicated one is written twice back to back.
 func (l *Link) writeFrame(kind byte, seq uint64, payload []uint64, attempt int) error {
+	peer, epoch := l.peerID(), l.epochN()
+	if kind == framePing || kind == framePong {
+		// Keep-alives have their own sequence counter; on a dying link
+		// they stop entirely (they are what detects the death).
+		if l.plan.DeadLink(l.self, peer, epoch) {
+			add(l.injected, 1)
+			return nil
+		}
+	} else if l.plan.Dead(l.self, peer, epoch, seq) {
+		add(l.injected, 1)
+		return nil // permanently dead: nothing ever leaves this endpoint
+	}
 	key := seq
 	if kind == frameAck {
 		key |= ackBit
 	}
-	d := l.plan.Decide(fault.Link(l.self, l.peer), key, attempt)
+	link := fault.Link(l.self, peer)
+	if epoch > 0 {
+		// Re-key the rate-fault streams per connection incarnation so a
+		// redialed link draws fresh fates (sequence numbers restart).
+		link = prng.Derive(link, uint64(epoch))
+	}
+	d := l.plan.Decide(link, key, attempt)
 	if d.Drop {
 		add(l.injected, 1)
 		return nil
 	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	if d.Delay > 0 {
 		add(l.injected, 1)
 		time.Sleep(d.Delay)
@@ -256,7 +378,7 @@ func (l *Link) Send(msg []uint64) error {
 					return nil
 				}
 				timer.Stop()
-				return fmt.Errorf("cluster: peer %d sent data seq %d while seq %d unacknowledged", l.peer, f.seq, seq)
+				return fmt.Errorf("cluster: peer %d sent data seq %d while seq %d unacknowledged", l.peerID(), f.seq, seq)
 			case <-timer.C:
 				break wait
 			case <-l.done:
@@ -265,7 +387,7 @@ func (l *Link) Send(msg []uint64) error {
 			}
 		}
 	}
-	return fmt.Errorf("cluster: no ACK for message %d to peer %d after %d attempts", seq, l.peer, l.retries+1)
+	return &LostError{Peer: l.peerID(), Reason: fmt.Sprintf("no ACK for message %d after %d attempts", seq, l.retries+1)}
 }
 
 // Recv waits up to timeout for the next message, re-ACKing duplicates
@@ -299,7 +421,7 @@ func (l *Link) Recv(timeout time.Duration) ([]uint64, error) {
 				continue
 			}
 			if f.seq != l.recvSeq+1 {
-				return nil, fmt.Errorf("cluster: peer %d jumped from seq %d to %d", l.peer, l.recvSeq, f.seq)
+				return nil, fmt.Errorf("cluster: peer %d jumped from seq %d to %d", l.peerID(), l.recvSeq, f.seq)
 			}
 			l.recvSeq = f.seq
 			l.ackN = 0
@@ -308,7 +430,7 @@ func (l *Link) Recv(timeout time.Duration) ([]uint64, error) {
 			}
 			return f.payload, nil
 		case <-expire:
-			return nil, fmt.Errorf("cluster: no message from peer %d within %v", l.peer, timeout)
+			return nil, fmt.Errorf("cluster: no message from peer %d within %v", l.peerID(), timeout)
 		case <-l.done:
 			return nil, l.err
 		}

@@ -29,6 +29,13 @@ import (
 const (
 	frameData = 0x01
 	frameAck  = 0x02
+	// PING/PONG keep-alives handled at the frame layer (below the
+	// ARQ): neither is retransmitted or ACKed, their sequence numbers
+	// are an independent per-link counter, and they never surface to
+	// Send/Recv. A link that stays silent past its heartbeat timeout
+	// is declared lost.
+	framePing = 0x03
+	framePong = 0x04
 
 	// maxFramePayload bounds a frame's payload length (in 8-byte
 	// words) so a corrupt length prefix cannot provoke an absurd
@@ -91,7 +98,7 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	if n > maxFramePayload {
 		return frame{}, fmt.Errorf("cluster: frame advertises %d payload words (max %d)", n, maxFramePayload)
 	}
-	if f.kind != frameData && f.kind != frameAck {
+	if f.kind != frameData && f.kind != frameAck && f.kind != framePing && f.kind != framePong {
 		return frame{}, fmt.Errorf("cluster: unknown frame kind 0x%02x", f.kind)
 	}
 	body := make([]byte, 8*int(n)+frameChecksumSize)

@@ -27,6 +27,15 @@ type Worker struct {
 	NodeID int
 	Dir    string
 
+	// Spare marks a worker that owns no node yet: it joins with
+	// NodeID -1, parks at the coordinator, and only becomes node i when
+	// a RESTORE assigns it a lost worker's replica.
+	Spare bool
+
+	// Secret, when the coordinator requires join authentication, is the
+	// shared secret answering its HMAC challenge.
+	Secret string
+
 	// Probe, when set, is called at phase boundaries ("computed",
 	// "prepared", "committed" — after the engine op, before the
 	// response is sent). Crash tests use it to die in the windows the
@@ -91,6 +100,28 @@ func (w *Worker) reset() error {
 	return nil
 }
 
+// restore re-materializes node id from a replica snapshot — the
+// migration path. Whatever state this worker held before (a wiped
+// fresh open, a diverged journal, or nothing at all for a spare) is
+// discarded; the directory is rebuilt from the snapshot.
+func (w *Worker) restore(id int, snap *core.NodeSnapshot) error {
+	if !w.Spare && id != w.NodeID {
+		return fmt.Errorf("cluster: worker %d told to restore node %d", w.NodeID, id)
+	}
+	if w.engine != nil {
+		w.engine.Close()
+		w.engine = nil
+	}
+	eng, err := core.AdoptNode(w.Prog, w.Cfg, w.Opts, id, w.Dir, snap)
+	if err != nil {
+		return err
+	}
+	w.engine = eng
+	w.NodeID = id
+	w.Spare = false // from here on it is node id, redials and all
+	return nil
+}
+
 func (w *Worker) welcomeOut() []uint64 {
 	return welcomeOut{
 		Committed: w.engine.Committed(),
@@ -103,14 +134,21 @@ func (w *Worker) welcomeOut() []uint64 {
 // coordinator says SHUTDOWN (returns nil) or the link dies (returns
 // the error). The engine must be Open.
 func (w *Worker) Serve(link *Link) error {
-	if err := w.Open(); err != nil {
-		return err
-	}
-	h := hello{
-		NodeID:     w.NodeID,
-		Committed:  w.engine.Committed(),
-		HasPending: w.engine.HasPending(),
-		Fpr:        w.engine.Fingerprint(),
+	var h hello
+	if w.Spare {
+		// A spare owns nothing until a RESTORE arrives; its hello is
+		// just a parking request.
+		h = hello{NodeID: -1, Spare: true}
+	} else {
+		if err := w.Open(); err != nil {
+			return err
+		}
+		h = hello{
+			NodeID:     w.NodeID,
+			Committed:  w.engine.Committed(),
+			HasPending: w.engine.HasPending(),
+			Fpr:        w.engine.Fingerprint(),
+		}
 	}
 	if err := link.Send(h.encode()); err != nil {
 		return err
@@ -137,7 +175,27 @@ func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
 	dec := words.NewDecoder(msg)
 	kind := dec.Uint()
 	fail := func(err error) ([]uint64, bool) { return encodeErr(err), false }
+	if w.engine == nil {
+		// A parked spare can only authenticate, adopt a node, or leave.
+		switch kind {
+		case msgChallenge, msgRestore, msgShutdown:
+		default:
+			return fail(fmt.Errorf("cluster: spare worker got %s before RESTORE", msgName(kind)))
+		}
+	}
 	switch kind {
+	case msgChallenge:
+		return encodeAuth(authMAC(w.Secret, dec.Uints())), false
+	case msgRestore:
+		id := int(dec.Int())
+		snap, err := core.DecodeSnapshot(dec)
+		if err != nil {
+			return fail(err)
+		}
+		if err := w.restore(id, snap); err != nil {
+			return fail(err)
+		}
+		return w.welcomeOut(), false
 	case msgReset:
 		if err := w.reset(); err != nil {
 			return fail(err)
@@ -158,6 +216,7 @@ func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
 		}
 		return w.welcomeOut(), false
 	case msgSetup:
+		req := decodeReplReq(dec)
 		if err := w.engine.Setup(); err != nil {
 			return fail(err)
 		}
@@ -165,7 +224,13 @@ func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
 		if err != nil {
 			return fail(err)
 		}
-		return encodeSetupOut(stats), false
+		var snap *core.NodeSnapshot
+		if req.Replicate {
+			if snap, err = w.engine.ExportSnapshot(req.Base); err != nil {
+				return fail(err)
+			}
+		}
+		return encodeSetupOut(stats, snap), false
 	case msgStepBegin:
 		w.engine.BeginStep()
 		return encodeKind(msgOK), false
@@ -203,12 +268,20 @@ func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
 		return encodeKindStep(msgRouteOut, w.engine.StepOps()), false
 	case msgPrepare:
 		f := dec.Ints()
+		req := decodeReplReq(dec)
 		step := int(f[0])
 		if err := w.engine.Prepare(step, f[1] != 0); err != nil {
 			return fail(err)
 		}
 		w.probe("prepared", step)
-		return encodeKind(msgPrepared), false
+		var snap *core.NodeSnapshot
+		if req.Replicate {
+			var err error
+			if snap, err = w.engine.ExportSnapshot(req.Base); err != nil {
+				return fail(err)
+			}
+		}
+		return encodePrepared(snap), false
 	case msgCommit:
 		// Idempotent: a worker that reconciled at rejoin has already
 		// committed; the broadcast's retry must still succeed.
@@ -240,6 +313,7 @@ func (w *Worker) handle(msg []uint64) (resp []uint64, done bool) {
 // reconnecting (with backoff) after connection loss until SHUTDOWN,
 // which is the join-mode worker's whole life cycle.
 func (w *Worker) Run(addr string, redial bool, lc LinkConfig) error {
+	incarnation := lc.Epoch
 	for attempt := 0; ; attempt++ {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -249,6 +323,11 @@ func (w *Worker) Run(addr string, redial bool, lc LinkConfig) error {
 			time.Sleep(500 * time.Millisecond)
 			continue
 		}
+		// Each established connection is a new incarnation: the fault
+		// plan's link streams re-key, so an injected death of epoch e
+		// spares the replacement, exactly like a replaced machine.
+		lc.Epoch = incarnation
+		incarnation++
 		link := NewLink(conn, lc)
 		err = w.Serve(link)
 		link.Close()

@@ -206,6 +206,13 @@ type NodeEngine struct {
 	stepsDone int
 	halted    bool
 	report    *NodeReport
+
+	// Replication bookkeeping (snapshot.go): dirty accumulates the
+	// store's changed-track set across Reloads; exportBase is the
+	// barrier version that accumulation is known to cover changes
+	// since, or -1 when coverage is unknown (forces a full export).
+	dirty      map[disk.Addr]struct{}
+	exportBase int
 }
 
 // OpenNode opens node nodeID's engine rooted at dir. With resume
@@ -248,6 +255,11 @@ func OpenNode(p bsp.Program, cfg MachineConfig, opts Options, nodeID int, dir st
 		return nil, err
 	}
 	n.jrn.SetTracer(n.sh.tr, nodeID)
+	// A fresh or resumed store's content is exactly its committed
+	// barrier, and every write from here on lands in the dirty set —
+	// so deltas may be exported against the opening version.
+	n.dirty = make(map[disk.Addr]struct{})
+	n.exportBase = n.Committed()
 	return n, nil
 }
 
@@ -281,6 +293,11 @@ func (n *NodeEngine) ResolvePending(commit bool) error {
 		return nil
 	}
 	if commit {
+		// The pending record's writes happened before this process
+		// opened the store, so the dirty set does not cover the barrier
+		// being committed: delta coverage is unknown until the next
+		// full export.
+		n.exportBase = -1
 		return n.jrn.CommitPending()
 	}
 	return n.jrn.AbortPending()
@@ -433,6 +450,11 @@ func (n *NodeEngine) Commit() error { return n.jrn.CommitPending() }
 // tail, and restoring the last committed barrier state. After Reload
 // the node is bitwise-identical to one that never ran the attempt.
 func (n *NodeEngine) Reload() error {
+	// The aborted attempt's writes are logically dead, but its dirty
+	// marks must outlive the store instance: the replay's writes are a
+	// subset-rewrite of them, and earlier uncommitted-to-replica
+	// barriers may still be in the accumulator.
+	n.mergeDirty()
 	var errs []error
 	if err := n.jrn.Close(); err != nil {
 		errs = append(errs, err)

@@ -94,6 +94,7 @@ type File struct {
 	dirty    []bool       // drives written since their last flush-behind
 	flushing []bool       // drives with a background flush in flight
 	wipes    map[Addr]int // queued-but-unlanded wipes per address
+	repl     map[Addr]struct{} // tracks logically mutated since TakeDirty (replication deltas)
 	werr     error        // first deferred write error, surfaced at Sync/Close
 
 	queues  []*ioQueue
@@ -225,6 +226,7 @@ func OpenFileOpts(dir string, cfg Config, resume bool, opt FileOptions) (*File, 
 		tr:     opt.Tracer,
 		tpid:   opt.TracePID,
 		buf:    make([]byte, int64(2+cfg.B)*8),
+		repl:   make(map[Addr]struct{}),
 	}
 	f.stats.PerDrive = make([]DriveStats, cfg.D)
 	flags := os.O_RDWR | os.O_CREATE
@@ -856,6 +858,7 @@ func (f *File) WriteOp(reqs []WriteReq) error {
 		f.cache[Addr{Disk: r.Disk, Track: r.Track}] = e
 		f.enqueue(ioTask{kind: taskWrite, d: r.Disk, t: r.Track, entry: e})
 		f.dirty[r.Disk] = true
+		f.repl[Addr{Disk: r.Disk, Track: r.Track}] = struct{}{}
 		mine = append(mine, e)
 	}
 	f.stats.Ops++
@@ -892,6 +895,7 @@ func (f *File) writeSync(reqs []WriteReq) error {
 		}
 		f.touch(r.Disk, r.Track)
 		f.stats.PerDrive[r.Disk].BlocksWritten++
+		f.repl[Addr{Disk: r.Disk, Track: r.Track}] = struct{}{}
 	}
 	f.stats.Ops++
 	f.stats.WriteOps++
@@ -930,6 +934,7 @@ func (f *File) Alloc(d int) int {
 // the wipe keeps its place in the drive's FIFO order. Called under
 // f.mu.
 func (f *File) wipeTrack(d, t int) {
+	f.repl[Addr{Disk: d, Track: t}] = struct{}{}
 	if f.nworks == 0 {
 		f.wipeSlot(d, t) //nolint:errcheck
 		return

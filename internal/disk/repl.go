@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Replication support. The cluster runtime ships a node's state to the
+// coordinator's replica store at every committed barrier; what it
+// needs from the store is (a) the set of tracks whose logical content
+// may have changed since the last shipment and (b) raw, side-effect
+// free access to track payloads. Both live here, deliberately outside
+// the model-accounting surface: none of these methods touch Stats, the
+// fault clock, emulated latency or the cache, so a run that exports
+// its tracks stays bitwise identical to one that does not.
+
+// TakeDirty returns the addresses of every track logically mutated
+// (written, wiped on alloc/reserve, or rolled back) since the previous
+// TakeDirty, and resets the set. The set is a superset of the tracks
+// whose content differs from the last capture — wipes of already-blank
+// tracks and writes later rolled back are included; that is harmless
+// for replication, which re-reads the current content per address.
+func (f *File) TakeDirty() []Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Addr, 0, len(f.repl))
+	for a := range f.repl {
+		out = append(out, a)
+	}
+	clear(f.repl)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Disk != out[j].Disk {
+			return out[i].Disk < out[j].Disk
+		}
+		return out[i].Track < out[j].Track
+	})
+	return out
+}
+
+// ExportTrack reads the committed payload of one track, bypassing all
+// model accounting, emulated latency and the write-behind cache. It
+// returns nil (no error) when the track reads as blank — released,
+// beyond the bump mark, or never physically written. The caller must
+// have quiesced the store with Sync first: queued writes that have not
+// landed are not visible to the raw read.
+func (f *File) ExportTrack(d, t int) ([]uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d < 0 || d >= f.cfg.D || t < 0 {
+		return nil, fmt.Errorf("disk: ExportTrack (%d,%d) out of range", d, t)
+	}
+	if f.blank(d, t) {
+		return nil, nil
+	}
+	buf := make([]byte, f.slotB)
+	n, err := f.files[d].ReadAt(buf, int64(t)*f.slotB)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if n < 8 || binary.LittleEndian.Uint64(buf[0:]) != trackMagic {
+		return nil, nil // never physically written (or wiped): blank
+	}
+	if n < int(f.slotB) {
+		return nil, &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
+	}
+	dst := make([]uint64, f.cfg.B)
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
+	}
+	if Checksum(dst) != binary.LittleEndian.Uint64(buf[8:]) {
+		return nil, &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
+	}
+	return dst, nil
+}
+
+// ImportTrack writes one track payload raw — magic word, checksum,
+// payload — bypassing all model accounting and the cache, or wipes the
+// slot's magic word when payload is nil. It exists for adopting a
+// replica snapshot into a fresh store; using it on a store with queued
+// physical work is a caller bug.
+func (f *File) ImportTrack(d, t int, payload []uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d < 0 || d >= f.cfg.D || t < 0 {
+		return fmt.Errorf("disk: ImportTrack (%d,%d) out of range", d, t)
+	}
+	if payload == nil {
+		var zero [8]byte
+		_, err := f.files[d].WriteAt(zero[:], int64(t)*f.slotB)
+		return err
+	}
+	if len(payload) != f.cfg.B {
+		return fmt.Errorf("disk: ImportTrack payload has %d words, want B=%d", len(payload), f.cfg.B)
+	}
+	buf := make([]byte, f.slotB)
+	binary.LittleEndian.PutUint64(buf[0:], trackMagic)
+	binary.LittleEndian.PutUint64(buf[8:], Checksum(payload))
+	for i, w := range payload {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
+	}
+	_, err := f.files[d].WriteAt(buf, int64(t)*f.slotB)
+	return err
+}
