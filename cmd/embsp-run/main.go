@@ -164,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "resume an interrupted run from the journal in -state-dir")
 	killStep := fs.Int("kill-step", -1, "crash-test hook: SIGKILL the process mid-computation of this superstep")
 	pipeline := fs.String("pipeline", "auto", "group pipeline (file-backed runs): auto, on or off")
+	storeKind := fs.String("store", "file", "durable store backend for -state-dir runs: file (pread/pwrite) or mapped (mmap, zero-copy; falls back to file where unsupported)")
 	ioWorkers := fs.Int("io-workers", 0, "per-drive I/O worker goroutines (0 = one per drive, -1 = synchronous)")
 	driveLatency := fs.Duration("drive-latency", 0, "emulated per-track access latency of the file-backed drives (e.g. 1ms; 0 = none)")
 	redundancyFlag := fs.String("redundancy", "", "drive redundancy: none, mirror or parity")
@@ -202,6 +203,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Pipeline = -1
 	default:
 		fmt.Fprintf(stderr, "bad -pipeline %q: want auto, on or off\n", *pipeline)
+		return 2
+	}
+	switch *storeKind {
+	case "file":
+	case "mapped":
+		if *stateDir == "" {
+			fmt.Fprintln(stderr, "-store mapped requires -state-dir (the mapped store maps durable drive files)")
+			return 2
+		}
+		opts.MappedStore = true
+		if !embsp.MmapSupported() {
+			fmt.Fprintln(stderr, "note: mmap is unsupported on this platform; falling back to the file store (results are identical)")
+		}
+	default:
+		fmt.Fprintf(stderr, "bad -store %q: want file or mapped\n", *storeKind)
 		return 2
 	}
 	if *redundancyFlag != "" {

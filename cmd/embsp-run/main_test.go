@@ -40,8 +40,11 @@ func TestStdoutStaysDiffableAndOverlapGating(t *testing.T) {
 		t.Errorf("overlap line leaked onto stdout:\n%s", memOut)
 	}
 
+	// The emulated drive latency routes transfers through the worker
+	// queues: at zero latency the store's inline fast path generates
+	// no overlap activity, and the all-zero line is suppressed.
 	dir := t.TempDir()
-	fileOut, fileErr, rc := runCLI(t, append(base, "-state-dir", dir, "-pipeline", "on")...)
+	fileOut, fileErr, rc := runCLI(t, append(base, "-state-dir", dir, "-pipeline", "on", "-drive-latency", "2ms")...)
 	if rc != 0 {
 		t.Fatalf("file-backed run failed (rc=%d): %s", rc, fileErr)
 	}

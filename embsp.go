@@ -151,6 +151,13 @@ func DefaultMachine() MachineConfig { return core.DefaultMachine() }
 // examples.
 func DefaultCostParams() CostParams { return bsp.DefaultCostParams() }
 
+// MmapSupported reports whether the mmap-backed store
+// (Options.MappedStore) is available on this platform. When it is
+// not, mapped runs silently fall back to the pread/pwrite file store
+// with identical results, so callers only need this to explain the
+// fallback, never to gate correctness.
+func MmapSupported() bool { return disk.MmapSupported() }
+
 // Run executes the program on the configured external-memory machine,
 // using the sequential engine for P == 1 and the parallel engine
 // otherwise.

@@ -23,9 +23,14 @@ func init() {
 	})
 }
 
-// PipelineRow is one measured (drive count, emulated latency) cell of
-// the pipeline experiment.
+// PipelineRow is one measured (store, drive count, emulated latency)
+// cell of the pipeline experiment. Store is "" (the pread/pwrite file
+// store: PipelinedNanos is the group-pipeline schedule) or "mapped"
+// (the mmap-backed store, which has no physical queue: PipelinedNanos
+// is the mapped run's wall-clock and Speedup compares it to the same
+// serial file baseline).
 type PipelineRow struct {
+	Store          string  `json:"store,omitempty"`
 	D              int     `json:"d"`
 	LatencyNanos   int64   `json:"latency_ns"`
 	IOOps          int64   `json:"io_ops"`
@@ -130,6 +135,32 @@ func MeasurePipeline(s Scale) (*PipelineReport, error) {
 				SerialPhaseNanos:    serPhases,
 				PipelinedPhaseNanos: pipPhases,
 			})
+			// The mmap-backed store, against the same serial file
+			// baseline. It is fully synchronous, so under emulated
+			// latency it would just replay the serial schedule's sleeps
+			// — only the zero-latency regime (where its zero-copy reads
+			// matter) is measured. Skipped where mmap is unsupported.
+			if lat == 0 && disk.MmapSupported() {
+				mapped := core.Options{Seed: 0x91BE, MappedStore: true}
+				mapRes, mapNs, mapPhases, err := timedFileRun(prog, cfg, mapped, tr)
+				if err != nil {
+					return nil, fmt.Errorf("D=%d lat=%v mapped: %w", d, lat, err)
+				}
+				if err := sameModelResult(serRes, mapRes); err != nil {
+					return nil, fmt.Errorf("D=%d lat=%v: mapped store changed the result: %w", d, lat, err)
+				}
+				rep.Rows = append(rep.Rows, PipelineRow{
+					Store:               "mapped",
+					D:                   d,
+					LatencyNanos:        lat.Nanoseconds(),
+					IOOps:               mapRes.EM.Run.Ops,
+					SerialNanos:         serNs,
+					PipelinedNanos:      mapNs,
+					Speedup:             float64(serNs) / float64(mapNs),
+					SerialPhaseNanos:    serPhases,
+					PipelinedPhaseNanos: mapPhases,
+				})
+			}
 		}
 	}
 	return rep, nil
@@ -223,10 +254,14 @@ func runPipeline(w io.Writer, s Scale) error {
 	fmt.Fprintln(w, "synchronous schedule. Model results verified bitwise identical first.")
 	fmt.Fprintln(w, "latency = emulated per-track access time (0 = raw page-cache host).")
 	tw := newTable(w)
-	fmt.Fprintf(tw, "D\tlatency\tI/O ops\tserial\tpipelined\tspeedup\thits\tmisses\tasync writes\tpeak\n")
+	fmt.Fprintf(tw, "store\tD\tlatency\tI/O ops\tserial\tpipelined\tspeedup\thits\tmisses\tasync writes\tpeak\n")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(tw, "%d\t%v\t%d\t%v\t%v\t%.2fx\t%d\t%d\t%d\t%d\n",
-			r.D, time.Duration(r.LatencyNanos), r.IOOps,
+		store := r.Store
+		if store == "" {
+			store = "file"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t%v\t%v\t%.2fx\t%d\t%d\t%d\t%d\n",
+			store, r.D, time.Duration(r.LatencyNanos), r.IOOps,
 			time.Duration(r.SerialNanos).Round(time.Millisecond),
 			time.Duration(r.PipelinedNanos).Round(time.Millisecond),
 			r.Speedup, r.PrefetchHits, r.PrefetchMisses, r.AsyncWrites, r.ConcurrentPeak)

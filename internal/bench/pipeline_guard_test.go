@@ -4,6 +4,10 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"embsp/internal/alg/cgmsort"
+	"embsp/internal/core"
+	"embsp/internal/disk"
 )
 
 // TestPipelineSpeedupGuard is the CI tripwire for the group pipeline's
@@ -26,6 +30,9 @@ func TestPipelineSpeedupGuard(t *testing.T) {
 	// guards cannot materialize) skip with the reason recorded.
 	if testing.Short() {
 		t.Skip("skipping wall-clock pipeline guard in -short mode (it sleeps ~seconds of emulated latency)")
+	}
+	if raceEnabled {
+		t.Skip("skipping wall-clock pipeline guard under the race detector: instrumentation swamps the timing being guarded (CI runs the guards in a no-race step)")
 	}
 	if p := runtime.GOMAXPROCS(0); p < 2 {
 		t.Skipf("skipping wall-clock pipeline guard with GOMAXPROCS=%d: the I/O workers cannot run concurrently, so the guarded speedup cannot materialize", p)
@@ -55,5 +62,72 @@ func TestPipelineSpeedupGuard(t *testing.T) {
 	}
 	if !guarded {
 		t.Fatal("MeasurePipeline(Small) produced no emulated-latency D=8 row to guard")
+	}
+}
+
+// TestZeroLatencyNoRegression is the fast path's tripwire: at ZERO
+// emulated latency — the page-cache regime where the pipeline
+// historically cost 18–20% in pure bookkeeping — the pipelined
+// schedule must stay within 5% of the fully synchronous store. The
+// inline fast paths (reads, writes and wipes whose track has no
+// queued physical work bypass the worker round-trip), pooled payload
+// buffers and coalesced fsyncs are what hold this line; a regression
+// that reroutes hot-path traffic through the queues or reintroduces
+// per-track allocation lands well below it. The mmap-backed store is
+// measured against the same serial baseline and must hold the same
+// line (it has no queues at all, so anything slower than serial is
+// overhead in the mapped read/write path itself).
+func TestZeroLatencyNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock no-regression guard in -short mode (it times full file-backed sorts)")
+	}
+	if raceEnabled {
+		t.Skip("skipping wall-clock no-regression guard under the race detector: instrumentation swamps the overhead being guarded (CI runs the guards in a no-race step)")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("skipping wall-clock no-regression guard with GOMAXPROCS=%d: the schedules being compared share one CPU, so the ratio measures scheduler luck, not overhead", p)
+	}
+	const n, b, d, trials = 1 << 16, 256, 8, 3
+	prog, err := cgmsort.NewSort(genKeys(0x91BE, n), 1, benchVPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machineFor(prog, 1, d, b, 8)
+	serRes, serNs, _, err := timedFileRun(prog, cfg, core.Options{Seed: 0x91BE, Pipeline: -1, IOWorkers: -1}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipRes, pipNs, _, err := timedFileRun(prog, cfg, core.Options{Seed: 0x91BE, Pipeline: 1}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameModelResult(serRes, pipRes); err != nil {
+		t.Fatalf("pipeline changed the result: %v", err)
+	}
+	const floor = 0.95
+	if ratio := float64(serNs) / float64(pipNs); ratio < floor {
+		t.Errorf("zero-latency pipelined schedule at %.2fx of serial, want >= %.2fx (serial %v, pipelined %v)",
+			ratio, floor, time.Duration(serNs), time.Duration(pipNs))
+	} else {
+		t.Logf("zero-latency pipelined schedule at %.2fx of serial (serial %v, pipelined %v)",
+			ratio, time.Duration(serNs), time.Duration(pipNs))
+	}
+	if !disk.MmapSupported() {
+		t.Log("mmap unsupported on this platform; mapped-store leg skipped")
+		return
+	}
+	mapRes, mapNs, _, err := timedFileRun(prog, cfg, core.Options{Seed: 0x91BE, MappedStore: true}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameModelResult(serRes, mapRes); err != nil {
+		t.Fatalf("mapped store changed the result: %v", err)
+	}
+	if ratio := float64(serNs) / float64(mapNs); ratio < floor {
+		t.Errorf("zero-latency mapped store at %.2fx of serial, want >= %.2fx (serial %v, mapped %v)",
+			ratio, floor, time.Duration(serNs), time.Duration(mapNs))
+	} else {
+		t.Logf("zero-latency mapped store at %.2fx of serial (serial %v, mapped %v)",
+			ratio, time.Duration(serNs), time.Duration(mapNs))
 	}
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled mirrors the -race build tag so wall-clock guards can
+// skip themselves: under the race detector both schedules pay
+// instrumentation costs that swamp the overhead being guarded, so the
+// measured ratio reflects instrumentation, not the store. CI runs the
+// guards in a dedicated no-race step.
+const raceEnabled = true

@@ -72,8 +72,8 @@ type procState struct {
 	lo int // first owned VP
 	hi int // one past last owned VP
 
-	store  disk.Store        // outermost store: raw array/file, or the parity layer over it
-	bfile  *disk.File        // the file store itself, nil for in-memory runs
+	store  disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
+	bfile  fileStore         // the durable store itself (file or mapped), nil for in-memory runs
 	pf     disk.Prefetcher   // group-pipeline prefetch target, nil when off
 	red    *redundancy.Store // nil unless Redundancy is parity
 	fd     *fault.Disk       // nil without a fault plan
@@ -503,6 +503,7 @@ func (e *parEngine) run() (*Result, error) {
 			ov := ps.bfile.Overlap()
 			em.Overlap.Add(ov)
 			ov.Publish(e.opts.Metrics)
+			publishMappedWords(e.opts.Metrics, ps.bfile)
 		}
 	}
 	res.EM = em

@@ -1,6 +1,9 @@
 package core
 
-import "embsp/internal/disk"
+import (
+	"embsp/internal/disk"
+	"embsp/internal/obs"
+)
 
 // The group pipeline overlaps physical I/O with compute without
 // touching the model: while group g runs its computation phase, the
@@ -19,6 +22,64 @@ import "embsp/internal/disk"
 // and the staged entries simply go unused (a later miss, never a
 // wrong byte) — prefetching is pure cache priming with zero model
 // accounting either way.
+
+// fileStore is the surface the engines need from a durable store
+// beyond disk.Store: wall-clock overlap observability and the raw
+// track import/export hooks the cluster runtime replicates through.
+// Both the pread/pwrite *disk.File and the mmap-backed *disk.Mapped
+// implement it; in-memory runs leave the field nil.
+type fileStore interface {
+	disk.Store
+	Overlap() disk.OverlapStats
+	ResetOverlap()
+	TakeDirty() []disk.Addr
+	ExportTrack(d, t int) ([]uint64, error)
+	ImportTrack(d, t int, payload []uint64) error
+}
+
+// openRunStore opens the durable store for one processor: the
+// mmap-backed variant when Options.MappedStore is set and the
+// platform supports it (falling back to the file store otherwise, so
+// mapped runs degrade gracefully on foreign platforms — the two
+// stores share one on-disk format, so the fallback is invisible to
+// results and resume), else the file store with the run's I/O-worker
+// options. The second result is the group pipeline's prefetch target:
+// nil for the mapped store, which is fully synchronous and has no
+// physical queue to stage into — the pipeline degrades to the serial
+// schedule exactly as on the in-memory Array.
+func openRunStore(dir string, cfg MachineConfig, opts Options, resume bool, k, mu, gamma, pid int) (fileStore, disk.Prefetcher, error) {
+	dcfg := disk.Config{D: cfg.D, B: cfg.B}
+	if opts.MappedStore && disk.MmapSupported() {
+		m, err := disk.OpenMapped(dir, dcfg, resume, disk.MappedOptions{
+			AccessLatency: opts.DriveLatency,
+			Tracer:        opts.Trace,
+			TracePID:      pid,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, nil, nil
+	}
+	f, err := disk.OpenFileOpts(dir, dcfg, resume, fileStoreOpts(cfg, opts, k, mu, gamma, pid))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, pipelineFor(opts, f), nil
+}
+
+// publishMappedWords surfaces the mmap-backed store's page-cache
+// footprint (high-water mapped words) as a metric. Mapped pages are
+// deliberately outside the engine's internal-memory budget M — they
+// are kernel page cache, the EM model's "disk" — so the accounting
+// lives in its own gauge rather than the engine accountant.
+func publishMappedWords(r *obs.Registry, s fileStore) {
+	if r == nil {
+		return
+	}
+	if m, ok := s.(*disk.Mapped); ok {
+		r.Counter("store_mapped_high_words").Max(m.MappedHigh())
+	}
+}
 
 // fileStoreOpts resolves the run options' I/O-worker knob and the
 // engine memory budget into the file store's options. The prefetch /

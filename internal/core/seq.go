@@ -87,8 +87,8 @@ type seqEngine struct {
 	groups   int
 	muBlocks int
 
-	store disk.Store        // outermost store: raw array/file, or the parity layer over it
-	bfile *disk.File        // the file store itself, nil for in-memory runs
+	store disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
+	bfile fileStore         // the durable store itself (file or mapped), nil for in-memory runs
 	pf    disk.Prefetcher   // group-pipeline prefetch target, nil when off
 	red   *redundancy.Store // nil unless Redundancy is parity
 	fd    *fault.Disk       // nil without a fault plan
@@ -162,13 +162,13 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 	}
 	diskCfg := disk.Config{D: cfg.D, B: cfg.B}
 	if opts.StateDir != "" {
-		f, err := disk.OpenFileOpts(opts.StateDir, diskCfg, opts.Resume, fileStoreOpts(cfg, opts, k, mu, gamma, 0))
+		f, pf, err := openRunStore(opts.StateDir, cfg, opts, opts.Resume, k, mu, gamma, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.store = f
 		e.bfile = f
-		e.pf = pipelineFor(opts, f)
+		e.pf = pf
 	} else {
 		e.store = disk.MustNewArray(diskCfg)
 	}
@@ -471,6 +471,7 @@ func (e *seqEngine) run() (*Result, error) {
 		ov := e.bfile.Overlap()
 		res.EM.Overlap.Add(ov)
 		ov.Publish(e.opts.Metrics)
+		publishMappedWords(e.opts.Metrics, e.bfile)
 	}
 	publishEMStats(e.opts.Metrics, &res.EM)
 	return res, nil

@@ -1,0 +1,57 @@
+package disk
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The slot codec moves words between track payloads ([]uint64) and
+// their on-disk little-endian byte representation. On little-endian
+// hosts an 8-byte-aligned byte slice can be reinterpreted as a word
+// slice and moved with one copy; other hosts (or unaligned buffers,
+// which Go's allocator never produces for slot-sized slices but mmap
+// offsets could in principle) fall back to the portable per-word
+// encoding. Both directions are drop-in equivalent: the bytes written
+// and the words read are identical either way.
+
+// hostLittleEndian reports whether the host's native word order
+// matches the on-disk (little-endian) order.
+var hostLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// wordView reinterprets b as a []uint64 of n words without copying.
+// ok is false when the reinterpretation would be incorrect (big-endian
+// host) or unsafe (misaligned base, short buffer).
+func wordView(b []byte, n int) (w []uint64, ok bool) {
+	if !hostLittleEndian || n <= 0 || len(b) < 8*n {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), true
+}
+
+// getWords decodes len(dst) little-endian words from b into dst.
+func getWords(dst []uint64, b []byte) {
+	if w, ok := wordView(b, len(dst)); ok {
+		copy(dst, w)
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+}
+
+// putWords encodes src as little-endian words into b.
+func putWords(b []byte, src []uint64) {
+	if w, ok := wordView(b, len(src)); ok {
+		copy(w, src)
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+}

@@ -61,13 +61,32 @@ import (
 // up to one block per drive, and writes that cannot grab budget fall
 // back to stalling until their own transfers complete).
 //
+// When accesses are page-cache fast (AccessLatency zero), the worker
+// round-trip costs more than the transfer it reschedules, so reads,
+// writes and wipes whose track has no queued physical work short-cut
+// to an inline pread/pwrite on the calling goroutine; with emulated
+// latency everything queues so one op's transfers sleep on D workers
+// concurrently. The fast path is invisible to the model (same
+// accounting, same bytes) — it only removes scheduler overhead. The
+// payload buffers that do flow through the queues are recycled
+// through a free list (see blockPool); a per-entry refcount keeps a
+// buffer out of the pool while any reader still aliases it.
+//
+// fsync work is coalesced: every physical byte-landing marks its
+// drive as needing fsync, Sync flushes only marked drives, and a
+// completed fsync (barrier or flush-behind) unmarks the drive unless
+// new bytes landed while it ran — tracked with a per-drive epoch
+// counter, so the durability contract is exactly as before: when Sync
+// returns, every byte landed before the call is on disk.
+//
 // Two deliberate deviations exist on error paths, both documented
 // here: (1) a physical write error (e.g. a full disk) surfaces at the
-// next Sync or Close rather than from the WriteOp that queued it, with
-// accounting as if the write succeeded; (2) with workers on, malformed
-// request lists are rejected before any accounting, whereas the
-// synchronous path (like Array) accounts requests preceding the
-// malformed one. Neither is reachable from a correct engine.
+// next Sync or Close rather than from the WriteOp that issued it
+// (inline fast-path writes included), with accounting as if the write
+// succeeded; (2) with workers on, malformed request lists are
+// rejected before any accounting, whereas the synchronous path (like
+// Array) accounts requests preceding the malformed one. Neither is
+// reachable from a correct engine.
 //
 // All methods are safe for concurrent use. Operations that race on the
 // same drive serialize in lock order (their relative order, and hence
@@ -87,15 +106,19 @@ type File struct {
 	mu       sync.Mutex // guards drives, stats, cache, acct, ov, werr
 	drives   []drive    // tracks field unused; metadata only
 	stats    Stats
-	buf      []byte // scratch for one slot (synchronous path only)
+	buf      []byte // scratch for one slot (synchronous + inline-write paths, under mu)
 	cache    map[Addr]*centry
 	acct     *mem.Accountant // cache budget in words, used under mu
 	ov       OverlapStats
 	dirty    []bool       // drives written since their last flush-behind
 	flushing []bool       // drives with a background flush in flight
-	wipes    map[Addr]int // queued-but-unlanded wipes per address
+	needSync []bool       // drives with bytes landed since their last completed fsync
+	wepoch   []int64      // bumped per byte-landing; guards needSync against racing fsyncs
+	pend     map[Addr]int // queued-but-unlanded physical writes + wipes per address
 	repl     map[Addr]struct{} // tracks logically mutated since TakeDirty (replication deltas)
 	werr     error        // first deferred write error, surfaced at Sync/Close
+	pool     *blockPool   // recycled payload buffers for the worker path
+	scr      *bytePool    // recycled slot scratch for inline reads (outside mu)
 
 	queues  []*ioQueue
 	wg      sync.WaitGroup
@@ -173,21 +196,53 @@ type ioTask struct {
 // centry is one track in the physical cache: a prefetched (or
 // in-flight) read, or a write-behind payload on its way to disk. data
 // is immutable once done; all other fields are guarded by File.mu.
+// data buffers come from the store's blockPool, so an entry is only
+// retired to the pool once it is done, unreachable from the cache map
+// and no reader holds a reference (refs counts ReadOp waiters between
+// their registration and their delivery copy).
 type centry struct {
 	data  []uint64
 	err   error
 	write bool
 	done  bool          // physical transfer completed
 	gone  bool          // no longer reachable from the cache map
+	refs  int           // ReadOp waiters still aliasing data
 	ready chan struct{} // closed when done
 	words int64         // budget words held (0 when none)
 }
 
+// ioQueue is one worker's task queue: a growable ring, so steady-state
+// pushes and pops recycle the same backing array instead of appending
+// a fresh slice element per physical transfer.
 type ioQueue struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	tasks []ioTask
-	stop  bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []ioTask
+	head int
+	n    int
+	stop bool
+}
+
+// push appends a task. Caller holds q.mu.
+func (q *ioQueue) push(t ioTask) {
+	if q.n == len(q.buf) {
+		nb := make([]ioTask, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+}
+
+// pop removes the oldest task. Caller holds q.mu and has checked n > 0.
+func (q *ioQueue) pop() ioTask {
+	t := q.buf[q.head]
+	q.buf[q.head] = ioTask{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return t
 }
 
 // OpenFile opens (resume) or creates (fresh) a synchronous file-backed
@@ -229,6 +284,8 @@ func OpenFileOpts(dir string, cfg Config, resume bool, opt FileOptions) (*File, 
 		repl:   make(map[Addr]struct{}),
 	}
 	f.stats.PerDrive = make([]DriveStats, cfg.D)
+	f.needSync = make([]bool, cfg.D)
+	f.wepoch = make([]int64, cfg.D)
 	flags := os.O_RDWR | os.O_CREATE
 	if !resume {
 		flags |= os.O_TRUNC
@@ -255,7 +312,9 @@ func OpenFileOpts(dir string, cfg Config, resume bool, opt FileOptions) (*File, 
 		f.cache = make(map[Addr]*centry)
 		f.dirty = make([]bool, cfg.D)
 		f.flushing = make([]bool, cfg.D)
-		f.wipes = make(map[Addr]int)
+		f.pend = make(map[Addr]int)
+		f.pool = newBlockPool(cfg.B, 8*cfg.D)
+		f.scr = newBytePool(int(f.slotB), cfg.D)
 		f.queues = make([]*ioQueue, f.nworks)
 		for i := range f.queues {
 			q := &ioQueue{}
@@ -432,9 +491,7 @@ func (f *File) readSlotBuf(buf []byte, d, t int, dst []uint64) error {
 	if n < int(f.slotB) {
 		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
-	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
-	}
+	getWords(dst, buf[16:])
 	if Checksum(dst) != binary.LittleEndian.Uint64(buf[8:]) {
 		return &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
@@ -447,9 +504,7 @@ func (f *File) writeSlotBuf(buf []byte, d, t int, src []uint64) error {
 	f.delay()
 	binary.LittleEndian.PutUint64(buf[0:], trackMagic)
 	binary.LittleEndian.PutUint64(buf[8:], Checksum(src))
-	for i, w := range src {
-		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
-	}
+	putWords(buf[16:], src)
 	_, err := f.files[d].WriteAt(buf, int64(t)*f.slotB)
 	return err
 }
@@ -471,16 +526,14 @@ func (f *File) worker(q *ioQueue, scratch []byte) {
 	defer f.wg.Done()
 	for {
 		q.mu.Lock()
-		for len(q.tasks) == 0 && !q.stop {
+		for q.n == 0 && !q.stop {
 			q.cond.Wait()
 		}
-		if len(q.tasks) == 0 {
+		if q.n == 0 {
 			q.mu.Unlock()
 			return
 		}
-		t := q.tasks[0]
-		q.tasks[0] = ioTask{}
-		q.tasks = q.tasks[1:]
+		t := q.pop()
 		q.mu.Unlock()
 		f.runTask(t, scratch)
 	}
@@ -497,7 +550,7 @@ func (f *File) runTask(t ioTask, scratch []byte) {
 	defer f.running.Add(-1)
 	switch t.kind {
 	case taskFill:
-		data := make([]uint64, f.cfg.B)
+		data := f.pool.get()
 		err := f.readSlotBuf(scratch, t.d, t.t, data)
 		f.mu.Lock()
 		e := t.entry
@@ -509,6 +562,11 @@ func (f *File) runTask(t ioTask, scratch []byte) {
 	case taskWrite:
 		err := f.writeSlotBuf(scratch, t.d, t.t, t.entry.data)
 		f.mu.Lock()
+		a := Addr{Disk: t.d, Track: t.t}
+		if f.pend[a]--; f.pend[a] == 0 {
+			delete(f.pend, a)
+		}
+		f.markWritten(t.d)
 		e := t.entry
 		e.done = true
 		if err != nil {
@@ -521,8 +579,8 @@ func (f *File) runTask(t ioTask, scratch []byte) {
 		// Retire the write-behind entry: from here on a reader goes to
 		// the drive file, which now holds the same bytes.
 		if !e.gone {
-			if f.cache[Addr{Disk: t.d, Track: t.t}] == e {
-				delete(f.cache, Addr{Disk: t.d, Track: t.t})
+			if f.cache[a] == e {
+				delete(f.cache, a)
 			}
 			e.gone = true
 		}
@@ -533,19 +591,39 @@ func (f *File) runTask(t ioTask, scratch []byte) {
 		_ = f.wipeSlot(t.d, t.t)
 		f.mu.Lock()
 		a := Addr{Disk: t.d, Track: t.t}
-		if f.wipes[a]--; f.wipes[a] == 0 {
-			delete(f.wipes, a)
+		if f.pend[a]--; f.pend[a] == 0 {
+			delete(f.pend, a)
 		}
+		f.markWritten(t.d)
 		f.mu.Unlock()
 	}
 }
 
-// retire releases e's budget once it is both completed and unreachable
-// from the cache map. Called under f.mu; idempotent.
+// markWritten records that bytes just landed on drive d's file: the
+// drive needs an fsync before the next durability point, and the epoch
+// bump invalidates any fsync already in flight (its snapshot no longer
+// covers these bytes). Called under f.mu, at the moment a pwrite
+// completes — not when it is queued — so a cleared needSync flag
+// always means "every landed byte is durable".
+func (f *File) markWritten(d int) {
+	f.needSync[d] = true
+	f.wepoch[d]++
+}
+
+// retire releases e's budget and recycles its payload buffer once it
+// is completed, unreachable from the cache map, and unreferenced by
+// any reader. Called under f.mu; idempotent.
 func (f *File) retire(e *centry) {
-	if e.done && e.gone && e.words > 0 {
+	if !e.done || !e.gone || e.refs > 0 {
+		return
+	}
+	if e.words > 0 {
 		f.acct.Release(e.words)
 		e.words = 0
+	}
+	if e.data != nil {
+		f.pool.put(e.data)
+		e.data = nil
 	}
 }
 
@@ -566,7 +644,7 @@ func (f *File) dropEntry(a Addr) {
 func (f *File) enqueue(t ioTask) {
 	q := f.queues[t.d%f.nworks]
 	q.mu.Lock()
-	q.tasks = append(q.tasks, t)
+	q.push(t)
 	q.cond.Signal()
 	q.mu.Unlock()
 }
@@ -581,7 +659,7 @@ func (f *File) drain() {
 	wg.Add(len(f.queues))
 	for _, q := range f.queues {
 		q.mu.Lock()
-		q.tasks = append(q.tasks, ioTask{kind: taskBarrier, wg: &wg})
+		q.push(ioTask{kind: taskBarrier, wg: &wg})
 		q.cond.Signal()
 		q.mu.Unlock()
 	}
@@ -620,6 +698,14 @@ func (f *File) Prefetch(addrs []Addr) {
 			go f.bgFlush(d)
 		}
 	}
+	// At zero emulated latency a fill is pure overhead: the engine's
+	// eventual inline pread costs less than the worker round-trip,
+	// budget traffic and cache bookkeeping of staging the same
+	// page-cache-resident bytes. Prefetch then only kicks flush-behind
+	// (above); with emulated latency the fills are the entire point.
+	if f.lat == 0 {
+		return
+	}
 	for _, a := range addrs {
 		if a.Disk < 0 || a.Disk >= f.cfg.D || a.Track < 0 {
 			continue
@@ -642,14 +728,25 @@ func (f *File) Prefetch(addrs []Addr) {
 }
 
 // bgFlush is one flush-behind fsync of drive d, running concurrently
-// with the engine and the I/O workers.
+// with the engine and the I/O workers. A successful flush clears the
+// drive's needSync mark — letting the next barrier Sync skip the
+// drive entirely — but only when no new bytes landed while the fsync
+// ran: the epoch is snapshotted under the lock before the fsync, and
+// any pwrite completing after that snapshot bumps it, so a stale
+// snapshot can never hide un-durable bytes from Sync.
 func (f *File) bgFlush(d int) {
 	defer f.flushWG.Done()
+	f.mu.Lock()
+	epoch := f.wepoch[d]
+	f.mu.Unlock()
 	sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+d)
 	err := f.files[d].Sync()
 	sp.End()
 	f.mu.Lock()
 	f.flushing[d] = false
+	if err == nil && f.wepoch[d] == epoch {
+		f.needSync[d] = false
+	}
 	if err != nil && f.werr == nil {
 		f.werr = fmt.Errorf("disk: flush-behind of drive %d failed: %w", d, err)
 	}
@@ -712,18 +809,19 @@ func (f *File) ReadOp(reqs []ReadReq) error {
 				copy(r.Dst, e.data)
 				continue
 			}
+			e.refs++
 			waits = append(waits, pending{i, e})
 			continue
 		}
 		f.ov.PrefetchMisses++
-		if f.lat == 0 && f.wipes[Addr{Disk: r.Disk, Track: r.Track}] == 0 {
+		if f.lat == 0 && f.pend[Addr{Disk: r.Disk, Track: r.Track}] == 0 {
 			inline = append(inline, i)
 			continue
 		}
 		// A private fill (never in the map): queued in drive FIFO
 		// order, which in particular sequences it behind any pending
-		// wipe so it delivers current bytes.
-		e := &centry{gone: true, ready: make(chan struct{})}
+		// wipe or write so it delivers current bytes.
+		e := &centry{gone: true, refs: 1, ready: make(chan struct{})}
 		f.enqueue(ioTask{kind: taskFill, d: r.Disk, t: r.Track, entry: e})
 		waits = append(waits, pending{i, e})
 	}
@@ -733,12 +831,13 @@ func (f *File) ReadOp(reqs []ReadReq) error {
 	// then wait for any queued transfers.
 	inlineErr := make(map[int]error, len(inline))
 	if len(inline) > 0 {
-		scratch := make([]byte, f.slotB)
+		scratch := f.scr.get()
 		for _, i := range inline {
 			if err := f.readSlotBuf(scratch, reqs[i].Disk, reqs[i].Track, reqs[i].Dst); err != nil {
 				inlineErr[i] = err
 			}
 		}
+		f.scr.put(scratch)
 	}
 	var stall time.Duration
 	for _, w := range waits {
@@ -773,15 +872,20 @@ func (f *File) ReadOp(reqs []ReadReq) error {
 		}
 		copy(reqs[w.i].Dst, w.e.data)
 	}
+	// Delivery copies done: release the references taken in phase 1,
+	// unlink consumed entries, and retire whatever nobody needs — the
+	// refcount is what keeps the pooled payload buffer alive between a
+	// concurrent reader's registration and its copy above.
 	for _, w := range waits {
+		w.e.refs--
 		if !w.e.gone {
 			a := Addr{Disk: reqs[w.i].Disk, Track: reqs[w.i].Track}
 			if f.cache[a] == w.e {
 				delete(f.cache, a)
 			}
 			w.e.gone = true
-			f.retire(w.e)
 		}
+		f.retire(w.e)
 	}
 	f.ov.StallNanos += stall.Nanoseconds()
 	if failErr != nil {
@@ -841,12 +945,30 @@ func (f *File) WriteOp(reqs []WriteReq) error {
 	}
 	var mine []*centry
 	stalled := false
+	queued := int64(0)
 	f.mu.Lock()
 	for _, r := range reqs {
+		a := Addr{Disk: r.Disk, Track: r.Track}
 		f.touch(r.Disk, r.Track)
 		f.stats.PerDrive[r.Disk].BlocksWritten++
+		f.dirty[r.Disk] = true
+		f.repl[a] = struct{}{}
+		if f.lat == 0 && f.pend[a] == 0 {
+			// Page-cache-fast write with no queued physical work on the
+			// track: pwrite inline, skipping the capture copy and the
+			// worker round-trip. A failure is deferred to Sync/Close
+			// exactly like a queued write's (deviation (1) above).
+			f.dropEntry(a)
+			if err := f.writeSlotBuf(f.buf, r.Disk, r.Track, r.Src); err != nil && f.werr == nil {
+				f.werr = fmt.Errorf("disk: write of track %d on drive %d failed: %w", r.Track, r.Disk, err)
+			}
+			f.markWritten(r.Disk)
+			continue
+		}
 		words := int64(f.cfg.B + 2)
-		e := &centry{data: append([]uint64(nil), r.Src...), write: true, words: words, ready: make(chan struct{})}
+		data := f.pool.get()
+		copy(data, r.Src)
+		e := &centry{data: data, write: true, words: words, ready: make(chan struct{})}
 		if f.acct.Grab(words) != nil {
 			// Budget exhausted: the write still goes through the queue
 			// (ordering!), but this call stalls until its own transfers
@@ -854,18 +976,18 @@ func (f *File) WriteOp(reqs []WriteReq) error {
 			e.words = 0
 			stalled = true
 		}
-		f.dropEntry(Addr{Disk: r.Disk, Track: r.Track})
-		f.cache[Addr{Disk: r.Disk, Track: r.Track}] = e
+		f.dropEntry(a)
+		f.cache[a] = e
+		f.pend[a]++
 		f.enqueue(ioTask{kind: taskWrite, d: r.Disk, t: r.Track, entry: e})
-		f.dirty[r.Disk] = true
-		f.repl[Addr{Disk: r.Disk, Track: r.Track}] = struct{}{}
+		queued++
 		mine = append(mine, e)
 	}
 	f.stats.Ops++
 	f.stats.WriteOps++
 	f.stats.BlocksWritten += int64(len(reqs))
 	if !stalled {
-		f.ov.AsyncWrites += int64(len(reqs))
+		f.ov.AsyncWrites += queued
 	}
 	f.mu.Unlock()
 	if stalled {
@@ -890,7 +1012,9 @@ func (f *File) writeSync(reqs []WriteReq) error {
 		if len(r.Src) != f.cfg.B {
 			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), f.cfg.B)
 		}
-		if err := f.writeSlotBuf(f.buf, r.Disk, r.Track, r.Src); err != nil {
+		err := f.writeSlotBuf(f.buf, r.Disk, r.Track, r.Src)
+		f.markWritten(r.Disk) // even on error: bytes may have partially landed
+		if err != nil {
 			return err
 		}
 		f.touch(r.Disk, r.Track)
@@ -930,17 +1054,26 @@ func (f *File) Alloc(d int) int {
 }
 
 // wipeTrack invalidates any cache entry for (d, t) and clears the
-// slot's magic word — through the drive queue when workers are on, so
-// the wipe keeps its place in the drive's FIFO order. Called under
-// f.mu.
+// slot's magic word — through the drive queue when workers are on and
+// the track has queued physical work (the wipe must keep its place in
+// the drive's FIFO order behind it); otherwise inline, which at zero
+// latency is both cheaper than a worker round-trip and what keeps the
+// queues idle on the fast path. Called under f.mu.
 func (f *File) wipeTrack(d, t int) {
-	f.repl[Addr{Disk: d, Track: t}] = struct{}{}
+	a := Addr{Disk: d, Track: t}
+	f.repl[a] = struct{}{}
 	if f.nworks == 0 {
 		f.wipeSlot(d, t) //nolint:errcheck
+		f.markWritten(d)
 		return
 	}
-	f.dropEntry(Addr{Disk: d, Track: t})
-	f.wipes[Addr{Disk: d, Track: t}]++
+	f.dropEntry(a)
+	if f.lat == 0 && f.pend[a] == 0 {
+		f.wipeSlot(d, t) //nolint:errcheck
+		f.markWritten(d)
+		return
+	}
+	f.pend[a]++
 	f.enqueue(ioTask{kind: taskWipe, d: d, t: t})
 }
 
@@ -1090,15 +1223,20 @@ func (f *File) AdoptState(s StoreState) error {
 	return nil
 }
 
-// Sync drains all queued physical work and fsyncs every drive file.
-// The engines call it before each journal append: write-ahead
-// discipline requires the data a commit record references to be
-// durable before the record itself. Any deferred write error surfaces
-// here. With workers on, the per-drive fsyncs run concurrently — on a
-// real filesystem the fsync is by far the slowest physical operation,
-// and D independent drives can flush in the time of one. The
-// durability contract is unchanged: Sync returns only when every
-// drive is flushed.
+// Sync drains all queued physical work and fsyncs every drive file
+// with un-durable landed bytes. The engines call it before each
+// journal append: write-ahead discipline requires the data a commit
+// record references to be durable before the record itself. Any
+// deferred write error surfaces here. With workers on, the per-drive
+// fsyncs run concurrently — on a real filesystem the fsync is by far
+// the slowest physical operation, and D independent drives can flush
+// in the time of one. The fsyncs are also coalesced: a drive whose
+// needSync mark is clear (nothing landed since its last completed
+// fsync, barrier or flush-behind) is skipped, so a pipelined run
+// whose flush-behind kept up pays nothing here and a serial run pays
+// one fsync per dirtied drive per barrier instead of one per drive.
+// The durability contract is unchanged: when Sync returns, every byte
+// landed before the call is on disk.
 func (f *File) Sync() error {
 	t0 := time.Now()
 	f.drain()
@@ -1112,42 +1250,60 @@ func (f *File) Sync() error {
 			f.mu.Unlock()
 			return err
 		}
+	}
+	// Snapshot which drives need an fsync and at which write epoch;
+	// after the fsyncs, clear only marks whose epoch is unchanged (a
+	// racing writer's bytes stay marked for the next Sync).
+	f.mu.Lock()
+	epochs := make([]int64, f.cfg.D)
+	for d := range epochs {
+		epochs[d] = -1
+		if f.files[d] != nil && f.needSync[d] {
+			epochs[d] = f.wepoch[d]
+		}
+	}
+	f.mu.Unlock()
+	errs := make([]error, f.cfg.D)
+	if f.nworks > 0 {
 		var wg sync.WaitGroup
-		errs := make([]error, len(f.files))
-		for i, fh := range f.files {
-			if fh == nil {
+		for d := range epochs {
+			if epochs[d] < 0 {
 				continue
 			}
 			wg.Add(1)
-			go func(i int, fh *os.File) {
+			go func(d int) {
 				defer wg.Done()
 				n := f.running.Add(1)
 				for p := f.peak.Load(); n > p && !f.peak.CompareAndSwap(p, n); p = f.peak.Load() {
 				}
 				defer f.running.Add(-1)
-				sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+i)
-				errs[i] = fh.Sync()
+				sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+d)
+				errs[d] = f.files[d].Sync()
 				sp.End()
-			}(i, fh)
+			}(d)
 		}
 		wg.Wait()
-		f.mu.Lock()
-		f.ov.StallNanos += time.Since(t0).Nanoseconds()
-		f.mu.Unlock()
-		for _, err := range errs {
-			if err != nil {
-				return err
+	} else {
+		for d := range epochs {
+			if epochs[d] < 0 {
+				continue
 			}
+			sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+d)
+			errs[d] = f.files[d].Sync()
+			sp.End()
 		}
-		return nil
 	}
-	for i, fh := range f.files {
-		if fh == nil {
-			continue
+	f.mu.Lock()
+	for d := range epochs {
+		if epochs[d] >= 0 && errs[d] == nil && f.wepoch[d] == epochs[d] {
+			f.needSync[d] = false
 		}
-		sp := f.tr.Begin(obs.CatIO, "phys-fsync", f.tpid, 1+i)
-		err := fh.Sync()
-		sp.End()
+	}
+	if f.nworks > 0 {
+		f.ov.StallNanos += time.Since(t0).Nanoseconds()
+	}
+	f.mu.Unlock()
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // Fixed fuzz geometry — the seed corpus carries a matching geometry
@@ -91,7 +92,15 @@ func FuzzGeometry(f *testing.F) {
 				t.Fatal(err)
 			}
 			cfg := Config{D: fuzzD, B: fuzzB}
-			st, err := OpenFileOpts(dir, cfg, true, FileOptions{Workers: workers})
+			// The worker variant gets a small emulated latency so the
+			// hostile bytes flow through the queued fill path — at zero
+			// latency prefetch no-ops and reads go inline, which the
+			// workers=0 variant already covers.
+			var lat time.Duration
+			if workers > 0 {
+				lat = 50 * time.Microsecond
+			}
+			st, err := OpenFileOpts(dir, cfg, true, FileOptions{Workers: workers, AccessLatency: lat})
 			if err != nil {
 				continue // refused the directory — the safe outcome
 			}

@@ -1,0 +1,663 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"embsp/internal/mem"
+	"embsp/internal/obs"
+)
+
+// Mapped is an mmap-backed Store: the same on-disk layout as File —
+// one drive-NNN.dat per simulated drive, fixed (2+B)-word checksummed
+// slots, the same geometry file — but the drive files are mapped into
+// memory instead of accessed with pread/pwrite. A read decodes the
+// mapped slot straight into the caller's buffer (one copy, no syscall,
+// no scratch encode/decode round-trip) and a write encodes straight
+// into the mapping; durability is established by Sync via msync+fsync.
+//
+// Because the byte format is identical to File's, the store kinds are
+// interchangeable under the engines' commit journal: a run killed on
+// one store kind resumes on the other (the config fingerprint
+// deliberately excludes the store kind, like it excludes the I/O
+// schedule). Crash safety is also File's, unchanged: the per-track
+// checksum makes a torn mapped write — the page writeback equivalent
+// of a torn pwrite — detectable instead of silently delivering
+// garbage, releases stay metadata-only, and wipe-on-alloc still
+// clears stale magic words before a slot is reused. The one hazard
+// specific to mmap, SIGBUS on access beyond end-of-file, is
+// unreachable by construction: the file is always ftruncated to the
+// mapped capacity before the mapping is created.
+//
+// Mapped is fully synchronous (every transfer happens inside the
+// call, under one lock) and does not implement Prefetcher: there is
+// no physical queue to overlap, which is the point — on page-cache
+// fast storage the zero-copy path *is* the fast path, and the group
+// pipeline degrades gracefully to the serial schedule exactly as on
+// the in-memory Array. Model accounting is identical to Array and
+// File, so runs are bitwise identical across all three.
+//
+// The words of mapped capacity are tracked in a mem.Accountant
+// (MappedWords/MappedHigh) for observability: mapped pages are backed
+// by the page cache, not the engine's internal memory M, so they are
+// accounted separately and never charged against the engine budget.
+type Mapped struct {
+	cfg   Config
+	dir   string
+	slotB int64
+	lat   time.Duration
+	tr    *obs.Tracer
+	tpid  int
+
+	mu       sync.Mutex
+	files    []*os.File
+	maps     [][]byte // drive d's file, mapped; len = capT[d]*slotB
+	capT     []int    // mapped capacity of drive d, in tracks
+	needSync []bool   // drives with writes (or growth) since their last Sync
+	drives   []drive  // allocator metadata (tracks field unused)
+	stats    Stats
+	repl     map[Addr]struct{} // tracks logically mutated since TakeDirty
+	acct     *mem.Accountant   // mapped words, observability only
+}
+
+// MappedOptions tunes an mmap-backed store.
+type MappedOptions struct {
+	// AccessLatency emulates the access time of one track transfer,
+	// exactly as FileOptions.AccessLatency does for the synchronous
+	// File store: each mapped slot access sleeps this long first,
+	// inside the call.
+	AccessLatency time.Duration
+	// Tracer, when non-nil, records every mapped transfer as an
+	// "io"-category span ("map-read", "map-write", "map-sync"),
+	// labelled with TracePID and 1+drive like File's spans.
+	Tracer *obs.Tracer
+	// TracePID labels the store's spans with the owning processor id.
+	TracePID int
+}
+
+// MmapSupported reports whether this platform can open a Mapped store.
+// Callers that want the mmap fast path opportunistically (the engines'
+// Options.MappedStore) fall back to OpenFileOpts when it is false.
+func MmapSupported() bool { return mmapSupported }
+
+// minMappedTracks is the initial per-drive mapped capacity; growth
+// doubles from there, so remaps are O(log tracks) per drive.
+const minMappedTracks = 64
+
+// OpenMapped opens (resume) or creates (fresh) an mmap-backed store
+// under dir, with the same directory contract as OpenFile: a fresh
+// open truncates previous drive files and records the geometry, a
+// resuming open requires a matching geometry and leaves all track
+// contents in place — including contents written by a File store,
+// which uses the identical layout.
+func OpenMapped(dir string, cfg Config, resume bool, opt MappedOptions) (*Mapped, error) {
+	if !mmapSupported {
+		return nil, errNoMmap()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	geomPath := filepath.Join(dir, "geometry")
+	if resume {
+		if err := checkGeometry(geomPath, cfg); err != nil {
+			return nil, err
+		}
+	} else if err := writeGeometry(geomPath, cfg); err != nil {
+		return nil, err
+	}
+	m := &Mapped{
+		cfg:      cfg,
+		dir:      dir,
+		slotB:    int64(2+cfg.B) * 8,
+		lat:      opt.AccessLatency,
+		tr:       opt.Tracer,
+		tpid:     opt.TracePID,
+		files:    make([]*os.File, cfg.D),
+		maps:     make([][]byte, cfg.D),
+		capT:     make([]int, cfg.D),
+		needSync: make([]bool, cfg.D),
+		drives:   make([]drive, cfg.D),
+		repl:     make(map[Addr]struct{}),
+		acct:     mem.NewAccountant(0), // non-positive limit: track, never block
+	}
+	m.stats.PerDrive = make([]DriveStats, cfg.D)
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	for d := 0; d < cfg.D; d++ {
+		fh, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("drive-%03d.dat", d)), flags, 0o666)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.files[d] = fh
+		m.drives[d].lastTrack = -1
+		// Map at least the existing contents (a resume may adopt a
+		// store a File run grew track by track), rounded up to whole
+		// slots and the minimum capacity.
+		st, err := fh.Stat()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		capT := int((st.Size() + m.slotB - 1) / m.slotB)
+		if capT < minMappedTracks {
+			capT = minMappedTracks
+		}
+		if err := m.remap(d, capT); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// errNoMmap exists so the non-Linux build's stubs and the portable
+// OpenMapped guard share one definition site.
+func errNoMmap() error {
+	return fmt.Errorf("disk: mmap-backed store is not supported on %s", runtime.GOOS)
+}
+
+// remap grows drive d's mapping to newCap tracks: extend the file
+// first (so no mapped page is ever beyond end-of-file), then replace
+// the mapping. Called under m.mu (or during Open, single-threaded).
+func (m *Mapped) remap(d, newCap int) error {
+	if err := m.files[d].Truncate(int64(newCap) * m.slotB); err != nil {
+		return fmt.Errorf("disk: growing mapped drive %d to %d tracks: %w", d, newCap, err)
+	}
+	nb, err := mmapFile(m.files[d], newCap*int(m.slotB))
+	if err != nil {
+		return fmt.Errorf("disk: mapping drive %d (%d tracks): %w", d, newCap, err)
+	}
+	if m.maps[d] != nil {
+		old := int64(len(m.maps[d]) / 8)
+		if err := munmapFile(m.maps[d]); err != nil {
+			_ = munmapFile(nb)
+			return err
+		}
+		m.acct.Release(old)
+	}
+	if err := m.acct.Grab(int64(len(nb) / 8)); err != nil {
+		// Unlimited accountant: only reachable on arithmetic overflow.
+		_ = munmapFile(nb)
+		return err
+	}
+	m.maps[d] = nb
+	m.capT[d] = newCap
+	// The file grew: its new size must reach disk with the next Sync.
+	m.needSync[d] = true
+	return nil
+}
+
+// slot returns the mapped bytes of track t on drive d. Caller holds
+// m.mu and has ensured t < m.capT[d].
+func (m *Mapped) slot(d, t int) []byte {
+	off := int64(t) * m.slotB
+	return m.maps[d][off : off+m.slotB]
+}
+
+// Config returns the store configuration.
+func (m *Mapped) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (m *Mapped) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.PerDrive = append([]DriveStats(nil), m.stats.PerDrive...)
+	return s
+}
+
+// ResetStats zeroes the model statistics, leaving stored data alone.
+func (m *Mapped) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{PerDrive: make([]DriveStats, m.cfg.D)}
+}
+
+// Overlap returns zeroes: the mapped store is fully synchronous, so
+// there is no physical overlap to observe. It exists so the engines
+// can treat File and Mapped uniformly.
+func (m *Mapped) Overlap() OverlapStats { return OverlapStats{} }
+
+// ResetOverlap is a no-op for the synchronous mapped store.
+func (m *Mapped) ResetOverlap() {}
+
+// MappedWords returns the current mapped capacity across all drives,
+// in words. Page-cache memory, not engine memory: reported for
+// observability, never charged against the engine's M budget.
+func (m *Mapped) MappedWords() int64 { return m.acct.Used() }
+
+// MappedHigh returns the high-water mark of MappedWords.
+func (m *Mapped) MappedHigh() int64 { return m.acct.High() }
+
+func (m *Mapped) touch(d, t int) {
+	dr := &m.drives[d]
+	if t == dr.lastTrack+1 {
+		m.stats.PerDrive[d].SeqAccesses++
+	} else {
+		m.stats.PerDrive[d].RandAccesses++
+	}
+	dr.lastTrack = t
+}
+
+// blank reports whether the track reads as zeros by allocator
+// metadata alone — same rule as Array and File.
+func (m *Mapped) blank(d, t int) bool {
+	dr := &m.drives[d]
+	if t >= dr.next {
+		return true
+	}
+	_, free := dr.freeSet[t]
+	return free
+}
+
+func (m *Mapped) delay() {
+	if m.lat > 0 {
+		time.Sleep(m.lat)
+	}
+}
+
+// readTrack decodes the mapped slot (d, t) into dst. Caller holds
+// m.mu; the track is not blank by metadata.
+func (m *Mapped) readTrack(d, t int, dst []uint64) error {
+	sp := m.tr.Begin(obs.CatIO, "map-read", m.tpid, 1+d)
+	defer sp.End()
+	m.delay()
+	if t >= m.capT[d] {
+		// Beyond the mapped (= physical) capacity: never written.
+		clear(dst)
+		return nil
+	}
+	s := m.slot(d, t)
+	if binary.LittleEndian.Uint64(s[0:]) != trackMagic {
+		// Never physically written, or wiped by a rollback: blank.
+		clear(dst)
+		return nil
+	}
+	getWords(dst, s[16:])
+	if Checksum(dst) != binary.LittleEndian.Uint64(s[8:]) {
+		return &CorruptTrackError{Path: m.files[d].Name(), Disk: d, Track: t}
+	}
+	return nil
+}
+
+// writeTrack encodes src into the mapped slot (d, t), growing the
+// mapping as needed. Caller holds m.mu.
+func (m *Mapped) writeTrack(d, t int, src []uint64) error {
+	sp := m.tr.Begin(obs.CatIO, "map-write", m.tpid, 1+d)
+	defer sp.End()
+	m.delay()
+	if t >= m.capT[d] {
+		newCap := m.capT[d] * 2
+		if newCap <= t {
+			newCap = t + 1
+		}
+		if err := m.remap(d, newCap); err != nil {
+			return err
+		}
+	}
+	s := m.slot(d, t)
+	binary.LittleEndian.PutUint64(s[0:], trackMagic)
+	binary.LittleEndian.PutUint64(s[8:], Checksum(src))
+	putWords(s[16:], src)
+	m.needSync[d] = true
+	return nil
+}
+
+// wipeTrack clears the slot's magic word so the track reads as blank
+// again. A track beyond the mapped capacity has no bytes at all and
+// needs no wipe. Caller holds m.mu.
+func (m *Mapped) wipeTrack(d, t int) {
+	m.repl[Addr{Disk: d, Track: t}] = struct{}{}
+	if t >= m.capT[d] {
+		return
+	}
+	binary.LittleEndian.PutUint64(m.slot(d, t)[0:], 0)
+	m.needSync[d] = true
+}
+
+// ReadOp performs one parallel read, at most one track per drive, with
+// the same validation, accounting and blank-track semantics as
+// Array.ReadOp and File.ReadOp.
+func (m *Mapped) ReadOp(reqs []ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := validateDistinct(m.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range reqs {
+		if len(r.Dst) != m.cfg.B {
+			return fmt.Errorf("disk: read buffer has %d words, want B=%d", len(r.Dst), m.cfg.B)
+		}
+		if m.blank(r.Disk, r.Track) {
+			clear(r.Dst)
+		} else if err := m.readTrack(r.Disk, r.Track, r.Dst); err != nil {
+			return err
+		}
+		m.touch(r.Disk, r.Track)
+		m.stats.PerDrive[r.Disk].BlocksRead++
+	}
+	m.stats.Ops++
+	m.stats.ReadOps++
+	m.stats.BlocksRead += int64(len(reqs))
+	return nil
+}
+
+// WriteOp performs one parallel write, at most one track per drive.
+// Fully synchronous: when it returns, the mapping holds the new
+// payload (durability still requires Sync).
+func (m *Mapped) WriteOp(reqs []WriteReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := validateDistinct(m.cfg, len(reqs), func(i int) (int, int) { return reqs[i].Disk, reqs[i].Track }); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range reqs {
+		if len(r.Src) != m.cfg.B {
+			return fmt.Errorf("disk: write buffer has %d words, want B=%d", len(r.Src), m.cfg.B)
+		}
+		if err := m.writeTrack(r.Disk, r.Track, r.Src); err != nil {
+			return err
+		}
+		m.touch(r.Disk, r.Track)
+		m.stats.PerDrive[r.Disk].BlocksWritten++
+		m.repl[Addr{Disk: r.Disk, Track: r.Track}] = struct{}{}
+	}
+	m.stats.Ops++
+	m.stats.WriteOps++
+	m.stats.BlocksWritten += int64(len(reqs))
+	return nil
+}
+
+// Alloc returns a free track on drive d — identical allocation order
+// to Array and File, and like File it wipes the slot's stale magic
+// word so recycled tracks (and slots left by a crashed run) read
+// blank.
+func (m *Mapped) Alloc(d int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dr := &m.drives[d]
+	var t int
+	if n := len(dr.freeList); n > 0 {
+		t = dr.freeList[n-1]
+		dr.freeList = dr.freeList[:n-1]
+		delete(dr.freeSet, t)
+	} else {
+		t = dr.next
+		dr.next++
+	}
+	m.wipeTrack(d, t)
+	return t
+}
+
+// Release returns a track to the drive's free list, metadata-only —
+// the same crash-safety property as File.Release.
+func (m *Mapped) Release(d, t int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 || d >= m.cfg.D {
+		return fmt.Errorf("disk: Release drive %d out of range [0,%d)", d, m.cfg.D)
+	}
+	dr := &m.drives[d]
+	if t < 0 || t >= dr.next {
+		return fmt.Errorf("disk: Release track %d on drive %d outside allocated range [0,%d)", t, d, dr.next)
+	}
+	if _, free := dr.freeSet[t]; free {
+		return fmt.Errorf("disk: double release of track %d on drive %d", t, d)
+	}
+	if dr.freeSet == nil {
+		dr.freeSet = make(map[int]struct{})
+	}
+	dr.freeSet[t] = struct{}{}
+	dr.freeList = append(dr.freeList, t)
+	return nil
+}
+
+// ReserveRot allocates a standard-consecutive-format area with the
+// given drive rotation, exactly as Array.ReserveRot does, wiping the
+// reserved slots' stale magic words like File.ReserveRot.
+func (m *Mapped) ReserveRot(nBlocks, rot int) Area {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if nBlocks < 0 {
+		panic("disk: Reserve with negative size")
+	}
+	per := (nBlocks + m.cfg.D - 1) / m.cfg.D
+	ar := Area{d: m.cfg.D, n: nBlocks, rot: ((rot % m.cfg.D) + m.cfg.D) % m.cfg.D, base: make([]int, m.cfg.D)}
+	for d := range m.drives {
+		dr := &m.drives[d]
+		ar.base[d] = dr.next
+		dr.next += per
+		for t := ar.base[d]; t < dr.next; t++ {
+			m.wipeTrack(d, t)
+		}
+	}
+	return ar
+}
+
+// AllocSnapshot captures the allocator state for a later AllocRestore.
+func (m *Mapped) AllocSnapshot() AllocMark {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mk := AllocMark{next: make([]int, m.cfg.D), free: make([][]int, m.cfg.D)}
+	for d := range m.drives {
+		mk.next[d] = m.drives[d].next
+		mk.free[d] = append([]int(nil), m.drives[d].freeList...)
+	}
+	return mk
+}
+
+// AllocRestore rolls the allocator back to a snapshot, wiping the
+// magic word of every track the rollback unallocates — the same
+// clearing semantics as Array and File.
+func (m *Mapped) AllocRestore(mk AllocMark) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := range m.drives {
+		dr := &m.drives[d]
+		for t := mk.next[d]; t < dr.next; t++ {
+			m.wipeTrack(d, t)
+		}
+		dr.next = mk.next[d]
+		dr.freeList = append(dr.freeList[:0], mk.free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			m.wipeTrack(d, t)
+			dr.freeSet[t] = struct{}{}
+		}
+	}
+}
+
+// State captures the store's persistent metadata.
+func (m *Mapped) State() StoreState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := StoreState{
+		Stats: m.stats,
+		Next:  make([]int, m.cfg.D),
+		Last:  make([]int, m.cfg.D),
+		Free:  make([][]int, m.cfg.D),
+	}
+	s.Stats.PerDrive = append([]DriveStats(nil), m.stats.PerDrive...)
+	for d := range m.drives {
+		s.Next[d] = m.drives[d].next
+		s.Last[d] = m.drives[d].lastTrack
+		s.Free[d] = append([]int(nil), m.drives[d].freeList...)
+	}
+	return s
+}
+
+// AdoptState replaces the store's metadata with a captured State — the
+// resume path, identical to File.AdoptState (there is no queued
+// physical work to drain: the mapped store is synchronous).
+func (m *Mapped) AdoptState(s StoreState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(s.Next) != m.cfg.D || len(s.Last) != m.cfg.D || len(s.Free) != m.cfg.D {
+		return fmt.Errorf("disk: AdoptState of %d/%d/%d-drive state into %d-drive store", len(s.Next), len(s.Last), len(s.Free), m.cfg.D)
+	}
+	st := s.Stats
+	st.PerDrive = append([]DriveStats(nil), s.Stats.PerDrive...)
+	m.stats = st
+	for d := range m.drives {
+		dr := &m.drives[d]
+		dr.next = s.Next[d]
+		dr.lastTrack = s.Last[d]
+		dr.freeList = append([]int(nil), s.Free[d]...)
+		dr.freeSet = make(map[int]struct{}, len(dr.freeList))
+		for _, t := range dr.freeList {
+			dr.freeSet[t] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Sync makes all stored track contents durable: kick writeback of the
+// dirty mappings (msync MS_ASYNC), then fsync the files. On Linux's
+// unified page cache the fsync alone covers mmap-dirtied pages — it
+// is what establishes durability; the asynchronous msync just starts
+// the writeback early. (A synchronous MS_SYNC here would write every
+// dirty page back twice per barrier.) The fsync also makes the file
+// size from any growth ftruncate durable. Drives with no stores since
+// their last Sync are skipped.
+func (m *Mapped) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := range m.files {
+		if m.files[d] == nil || !m.needSync[d] {
+			continue
+		}
+		sp := m.tr.Begin(obs.CatIO, "map-sync", m.tpid, 1+d)
+		err := msyncFile(m.maps[d])
+		if err == nil {
+			err = m.files[d].Sync()
+		}
+		sp.End()
+		if err != nil {
+			return err
+		}
+		m.needSync[d] = false
+	}
+	return nil
+}
+
+// Close unmaps and closes every drive file.
+func (m *Mapped) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for d := range m.files {
+		if m.maps[d] != nil {
+			if err := munmapFile(m.maps[d]); err != nil && first == nil {
+				first = err
+			}
+			m.acct.Release(int64(len(m.maps[d]) / 8))
+			m.maps[d] = nil
+			m.capT[d] = 0
+		}
+		if m.files[d] != nil {
+			if err := m.files[d].Close(); err != nil && first == nil {
+				first = err
+			}
+			m.files[d] = nil
+		}
+	}
+	return first
+}
+
+// TakeDirty returns the addresses of every track logically mutated
+// since the previous TakeDirty and resets the set — the replication
+// delta surface, identical in contract to File.TakeDirty.
+func (m *Mapped) TakeDirty() []Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Addr, 0, len(m.repl))
+	for a := range m.repl {
+		out = append(out, a)
+	}
+	clear(m.repl)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Disk != out[j].Disk {
+			return out[i].Disk < out[j].Disk
+		}
+		return out[i].Track < out[j].Track
+	})
+	return out
+}
+
+// ExportTrack reads the committed payload of one track, bypassing all
+// model accounting and emulated latency — File.ExportTrack's contract
+// on the mapped store. There is no write-behind cache to quiesce, but
+// callers Sync first anyway for the durability half of the contract.
+func (m *Mapped) ExportTrack(d, t int) ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 || d >= m.cfg.D || t < 0 {
+		return nil, fmt.Errorf("disk: ExportTrack (%d,%d) out of range", d, t)
+	}
+	if m.blank(d, t) || t >= m.capT[d] {
+		return nil, nil
+	}
+	s := m.slot(d, t)
+	if binary.LittleEndian.Uint64(s[0:]) != trackMagic {
+		return nil, nil // never physically written (or wiped): blank
+	}
+	dst := make([]uint64, m.cfg.B)
+	getWords(dst, s[16:])
+	if Checksum(dst) != binary.LittleEndian.Uint64(s[8:]) {
+		return nil, &CorruptTrackError{Path: m.files[d].Name(), Disk: d, Track: t}
+	}
+	return dst, nil
+}
+
+// ImportTrack writes one track payload raw, or wipes the slot when
+// payload is nil — File.ImportTrack's contract on the mapped store.
+func (m *Mapped) ImportTrack(d, t int, payload []uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 || d >= m.cfg.D || t < 0 {
+		return fmt.Errorf("disk: ImportTrack (%d,%d) out of range", d, t)
+	}
+	if payload == nil {
+		if t < m.capT[d] {
+			binary.LittleEndian.PutUint64(m.slot(d, t)[0:], 0)
+			m.needSync[d] = true
+		}
+		return nil
+	}
+	if len(payload) != m.cfg.B {
+		return fmt.Errorf("disk: ImportTrack payload has %d words, want B=%d", len(payload), m.cfg.B)
+	}
+	if t >= m.capT[d] {
+		newCap := m.capT[d] * 2
+		if newCap <= t {
+			newCap = t + 1
+		}
+		if err := m.remap(d, newCap); err != nil {
+			return err
+		}
+	}
+	s := m.slot(d, t)
+	binary.LittleEndian.PutUint64(s[0:], trackMagic)
+	binary.LittleEndian.PutUint64(s[8:], Checksum(payload))
+	putWords(s[16:], payload)
+	m.needSync[d] = true
+	return nil
+}

@@ -1,0 +1,102 @@
+package disk
+
+// FuzzMappedGeometry is FuzzGeometry's twin for the mmap-backed
+// store: the two stores share one on-disk format (geometry file +
+// slotted drive images), so the mapped resume path must uphold the
+// identical contract over arbitrary bytes — refuse the directory, or
+// open a store whose reads each yield intact data, zeros, or a typed
+// *CorruptTrackError. Never a panic (in particular never a SIGBUS
+// from reading past a short mapping — OpenMapped rounds every file up
+// to its mapped capacity first) and never silently delivered garbage.
+// Writes are fuzzed too: overwriting hostile slots and growing the
+// image past its mapped capacity must leave the slots readable.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzMappedGeometry(f *testing.F) {
+	if !MmapSupported() {
+		f.Skip("mmap is unsupported on this platform")
+	}
+	geom, drive0 := seedStore(f)
+	slotB := int((2 + fuzzB) * 8)
+	f.Add(geom, drive0)
+	f.Add([]byte{}, drive0)             // no geometry at all
+	f.Add(geom[:8], drive0)             // truncated geometry
+	f.Add(drive0[:24], drive0)          // wrong magic, right length
+	f.Add(geom, drive0[:len(drive0)-9]) // torn final slot (mid-pwrite crash)
+	flip := bytes.Clone(drive0)
+	flip[slotB+16] ^= 0xFF // payload word of track 1: checksum must catch it
+	f.Add(geom, flip)
+	flip = bytes.Clone(drive0)
+	flip[8] ^= 0x01 // stored checksum of track 0
+	f.Add(geom, flip)
+	wrongGeom := bytes.Clone(geom)
+	binary.LittleEndian.PutUint64(wrongGeom[8:], 11) // claims D=11
+	f.Add(wrongGeom, drive0)
+
+	f.Fuzz(func(t *testing.T, geom, drive []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "geometry"), geom, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "drive-000.dat"), drive, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{D: fuzzD, B: fuzzB}
+		st, err := OpenMapped(dir, cfg, true, MappedOptions{})
+		if err != nil {
+			return // refused the directory — the safe outcome
+		}
+		// Make every track the fuzzed image could cover reachable, as
+		// an adopted resume state would.
+		tracks := len(drive)/slotB + 2
+		st.mu.Lock()
+		for d := range st.drives {
+			st.drives[d].next = tracks
+		}
+		st.mu.Unlock()
+		dst := make([]uint64, fuzzB)
+		src := make([]uint64, fuzzB)
+		for d := 0; d < fuzzD; d++ {
+			for tr := 0; tr < tracks; tr++ {
+				err := st.ReadOp([]ReadReq{{Disk: d, Track: tr, Dst: dst}})
+				if err != nil {
+					if _, ok := err.(*CorruptTrackError); !ok {
+						t.Fatalf("ReadOp(%d/%d) returned untyped error %T: %v", d, tr, err, err)
+					}
+				}
+			}
+		}
+		// Overwrite the first fuzzed track and one past the image's
+		// mapped capacity (forcing growth over hostile bytes); both
+		// must read back exactly what was written.
+		for i := range src {
+			src[i] = uint64(0xA0<<8 | i)
+		}
+		for _, tr := range []int{0, tracks - 1} {
+			if err := st.WriteOp([]WriteReq{{Disk: 0, Track: tr, Src: src}}); err != nil {
+				t.Fatalf("WriteOp(0/%d): %v", tr, err)
+			}
+			if err := st.ReadOp([]ReadReq{{Disk: 0, Track: tr, Dst: dst}}); err != nil {
+				t.Fatalf("ReadOp(0/%d) after write: %v", tr, err)
+			}
+			for i := range dst {
+				if dst[i] != src[i] {
+					t.Fatalf("track 0/%d word %d: got %#x want %#x", tr, i, dst[i], src[i])
+				}
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatalf("Sync after fuzzed writes: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("Close after fuzzed reads: %v", err)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+//go:build linux
+
+package disk
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapSupported gates the Mapped store at runtime. The implementation
+// needs a unified page cache with a dependable fsync/msync story, so
+// it is built for Linux only; other platforms get the stub and the
+// engines fall back to the pread/pwrite File store.
+const mmapSupported = true
+
+// mmapFile maps length bytes of f read-write and shared. The caller
+// must have extended the file to at least length bytes first (a store
+// never touches pages beyond the file size, so SIGBUS is unreachable).
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// msyncFile schedules writeback of the mapping's dirty pages
+// (MS_ASYNC: starts writeback and returns). Durability comes from the
+// fsync that Sync issues right after — Linux's unified page cache
+// makes fsync on the fd cover mmap-dirtied pages — so a synchronous
+// MS_SYNC here would write every page back twice per barrier. The
+// stdlib syscall package does not wrap msync, so this issues it raw.
+func msyncFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_ASYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package disk
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolCanary, when non-zero, is stamped into every payload buffer on
+// its way back to the block pool. Tests set it (via SetPoolCanary) to
+// prove the pooled worker path never recycles a buffer a reader still
+// aliases: if delivered data ever shows the canary, a buffer was
+// returned to the pool while live.
+var poolCanary atomic.Uint64
+
+// SetPoolCanary installs (or, with 0, removes) the canary word stamped
+// into pooled payload buffers on release. Testing hook only; it has no
+// effect on correctness, just makes use-after-release loud.
+func SetPoolCanary(w uint64) { poolCanary.Store(w) }
+
+// blockPool recycles the B-word payload buffers that flow through the
+// worker path (prefetch fills, private fills, write-behind captures).
+// Fills and retires happen once per physically-touched track, so
+// without recycling the worker store allocates (and the collector
+// chases) one B-word slice per track per pass — measurable garbage at
+// zero drive latency. A bounded free list under its own mutex keeps
+// the hot path allocation-free without sync.Pool's per-Put boxing.
+type blockPool struct {
+	mu    sync.Mutex
+	words int // buffer length (B)
+	cap   int // max buffers kept
+	free  [][]uint64
+}
+
+func newBlockPool(words, capacity int) *blockPool {
+	return &blockPool{words: words, cap: capacity}
+}
+
+// get returns a payload buffer of the pool's word count. The contents
+// are unspecified (possibly a canary fill); every consumer overwrites
+// the buffer in full before attaching it to a cache entry.
+func (p *blockPool) get() []uint64 {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return make([]uint64, p.words)
+}
+
+// put recycles a buffer. Callers must guarantee no reader still holds
+// a reference (File.retire enforces this with a per-entry refcount).
+func (p *blockPool) put(b []uint64) {
+	if cap(b) < p.words {
+		return
+	}
+	b = b[:p.words]
+	if c := poolCanary.Load(); c != 0 {
+		for i := range b {
+			b[i] = c
+		}
+	}
+	p.mu.Lock()
+	if len(p.free) < p.cap {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// bytePool is the blockPool's byte-slice sibling, recycling the
+// slot-sized scratch buffers of inline reads (which run outside
+// File.mu and so cannot share the store's single scratch slot).
+type bytePool struct {
+	mu    sync.Mutex
+	bytes int
+	cap   int
+	free  [][]byte
+}
+
+func newBytePool(bytes, capacity int) *bytePool {
+	return &bytePool{bytes: bytes, cap: capacity}
+}
+
+func (p *bytePool) get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return make([]byte, p.bytes)
+}
+
+func (p *bytePool) put(b []byte) {
+	if cap(b) < p.bytes {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.cap {
+		p.free = append(p.free, b[:p.bytes])
+	}
+	p.mu.Unlock()
+}

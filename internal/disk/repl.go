@@ -66,9 +66,7 @@ func (f *File) ExportTrack(d, t int) ([]uint64, error) {
 		return nil, &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
 	dst := make([]uint64, f.cfg.B)
-	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
-	}
+	getWords(dst, buf[16:])
 	if Checksum(dst) != binary.LittleEndian.Uint64(buf[8:]) {
 		return nil, &CorruptTrackError{Path: f.files[d].Name(), Disk: d, Track: t}
 	}
@@ -89,6 +87,7 @@ func (f *File) ImportTrack(d, t int, payload []uint64) error {
 	if payload == nil {
 		var zero [8]byte
 		_, err := f.files[d].WriteAt(zero[:], int64(t)*f.slotB)
+		f.markWritten(d)
 		return err
 	}
 	if len(payload) != f.cfg.B {
@@ -97,9 +96,8 @@ func (f *File) ImportTrack(d, t int, payload []uint64) error {
 	buf := make([]byte, f.slotB)
 	binary.LittleEndian.PutUint64(buf[0:], trackMagic)
 	binary.LittleEndian.PutUint64(buf[8:], Checksum(payload))
-	for i, w := range payload {
-		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
-	}
+	putWords(buf[16:], payload)
 	_, err := f.files[d].WriteAt(buf, int64(t)*f.slotB)
+	f.markWritten(d)
 	return err
 }

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"testing"
+	"time"
 )
 
 // TestResetStatsLeavesOverlapIntact pins the split between the model
@@ -11,8 +12,14 @@ import (
 // discarded the overlap history too, making EMStats.Overlap undercount
 // any run with a mid-run reset.
 func TestResetStatsLeavesOverlapIntact(t *testing.T) {
+	// A small emulated latency routes writes and prefetches through
+	// the worker queues — at zero latency both take the inline fast
+	// path and generate no overlap activity to preserve.
 	const D, B = 2, 8
-	f, err := OpenFileOpts(t.TempDir(), Config{D: D, B: B}, false, FileOptions{Workers: D})
+	f, err := OpenFileOpts(t.TempDir(), Config{D: D, B: B}, false, FileOptions{
+		Workers:       D,
+		AccessLatency: 100 * time.Microsecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,13 @@ package embsp_test
 
 // The pipeline determinism battery: every Table 1 workload runs with
 // the group pipeline off (fully synchronous file store) and on
-// (per-drive I/O workers, prefetch, write-behind, flush-behind), on
+// (per-drive I/O workers, prefetch, write-behind, flush-behind), and
+// on the mmap-backed store (zero-copy, fully synchronous), on
 // sequential and parallel machines, under clean and faulty schedules —
 // and every word of the Result and every model-visible EM statistic
-// must be bitwise identical. The physical schedule is allowed to
-// change wall-clock time and the Overlap counters, nothing else.
+// must be bitwise identical. The physical schedule and the store
+// backend are allowed to change wall-clock time and the Overlap
+// counters, nothing else.
 
 import (
 	"fmt"
@@ -193,6 +195,27 @@ func TestPipelineDeterminismBattery(t *testing.T) {
 					t.Fatalf("P=%d pipelined file: %v", procs, err)
 				}
 				mustAgree(t, fmt.Sprintf("P=%d clean", procs), serial, piped)
+				// The mmap-backed store shares the file store's on-disk
+				// format and its exact accounting (wipe-on-alloc track
+				// clearing included), so the mapped runs must match the
+				// serial file run in the FULL EM statistics, not just
+				// outputs and costs. Pipeline "on" degrades to the serial
+				// schedule on the mapped store (it has no physical queue to
+				// stage into) but must still be bitwise identical.
+				mSerial, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: -1, MappedStore: true,
+				})
+				if err != nil {
+					t.Fatalf("P=%d mapped serial: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d mapped", procs), serial, mSerial)
+				mPiped, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: 1, MappedStore: true,
+				})
+				if err != nil {
+					t.Fatalf("P=%d mapped pipelined: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d mapped+pipeline", procs), serial, mPiped)
 				// Across backends the contract covers outputs and model
 				// costs; the seq/rand access chains legitimately differ
 				// between Array and File (Release-time vs Alloc-time track
@@ -229,6 +252,15 @@ func TestPipelineDeterminismBattery(t *testing.T) {
 					t.Fatalf("P=%d faulty pipelined: %v", procs, err)
 				}
 				mustAgree(t, fmt.Sprintf("P=%d faults+parity", procs), fSerial, fPiped)
+				// Same faulty schedule on the mapped store: the fault
+				// sequence is a pure function of the op order, which the
+				// store backend must not perturb either.
+				fOpts.StateDir, fOpts.MappedStore = t.TempDir(), true
+				fMapped, err := embsp.Run(prog, cfg, fOpts)
+				if err != nil {
+					t.Fatalf("P=%d faulty mapped: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d faults+parity mapped", procs), fSerial, fMapped)
 			}
 		})
 	}

@@ -26,6 +26,7 @@ const (
 	helperEnv   = "EMBSP_CRASH_HELPER_DIR"
 	killEnv     = "EMBSP_CRASH_KILL_STEP"
 	pipelineEnv = "EMBSP_CRASH_PIPELINE" // "1" forces the group pipeline on in the helper
+	storeEnv    = "EMBSP_CRASH_STORE"    // "mapped" runs the helper on the mmap-backed store
 )
 
 // crashSort builds the workload deterministically so the parent, the
@@ -94,6 +95,9 @@ func TestCrashHelperProcess(t *testing.T) {
 	opts := embsp.Options{Seed: 7, StateDir: dir}
 	if os.Getenv(pipelineEnv) == "1" {
 		opts.Pipeline = 1
+	}
+	if os.Getenv(storeEnv) == "mapped" {
+		opts.MappedStore = true
 	}
 	_, err = embsp.Run(prog, crashMachine(), opts)
 	t.Fatalf("run survived its own SIGKILL: err=%v", err)
@@ -183,4 +187,69 @@ func TestKillMidPipelineAndResumeSerial(t *testing.T) {
 	if !reflect.DeepEqual(clean.EM, res.EM) {
 		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
 	}
+}
+
+// killHelper re-executes the test binary as the crash helper with the
+// given environment and asserts it died by SIGKILL.
+func killHelper(t *testing.T, env ...string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashHelperProcess")
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die by SIGKILL: err=%v\n%s", err, out)
+	}
+}
+
+// TestKillAndResumeAcrossStores crosses the STORE BACKEND over the
+// crash boundary, in both directions: SIGKILL a run on the mmap-backed
+// store and resume it on the fully synchronous pread/pwrite file
+// store, then SIGKILL a pipelined file-store run and resume it on the
+// mapped store. The two stores share one on-disk slot format and one
+// journal, so each resumed run must be bitwise identical to an
+// uninterrupted one — the durable state carries no trace of which
+// backend (or physical schedule) wrote it.
+func TestKillAndResumeAcrossStores(t *testing.T) {
+	p := crashSort(t)
+	cfg := crashMachine()
+	clean, err := embsp.Run(p, cfg, embsp.Options{Seed: 7, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, res *embsp.Result) {
+		t.Helper()
+		if !reflect.DeepEqual(p.Output(clean.VPs), p.Output(res.VPs)) {
+			t.Errorf("%s: resumed run sorted differently from the uninterrupted run", label)
+		}
+		if !reflect.DeepEqual(clean.Costs, res.Costs) {
+			t.Errorf("%s: model costs differ:\nclean:   %+v\nresumed: %+v", label, clean.Costs, res.Costs)
+		}
+		res.EM.Overlap = clean.EM.Overlap
+		if !reflect.DeepEqual(clean.EM, res.EM) {
+			t.Errorf("%s: EM statistics differ:\nclean:   %+v\nresumed: %+v", label, clean.EM, res.EM)
+		}
+	}
+
+	// Die on the mapped store, resume on the synchronous file store.
+	dir := filepath.Join(t.TempDir(), "state")
+	killHelper(t, helperEnv+"="+dir, killEnv+"=3", storeEnv+"=mapped")
+	res, err := embsp.Run(p, cfg, embsp.Options{
+		Seed: 7, StateDir: dir, Resume: true, Pipeline: -1, IOWorkers: -1,
+	})
+	if err != nil {
+		t.Fatalf("file resume of a mapped crash: %v", err)
+	}
+	check("mapped->file", res)
+
+	// Die on the pipelined file store, resume on the mapped store.
+	dir = filepath.Join(t.TempDir(), "state")
+	killHelper(t, helperEnv+"="+dir, killEnv+"=2", pipelineEnv+"=1")
+	res, err = embsp.Run(p, cfg, embsp.Options{
+		Seed: 7, StateDir: dir, Resume: true, MappedStore: true,
+	})
+	if err != nil {
+		t.Fatalf("mapped resume of a pipelined file crash: %v", err)
+	}
+	check("file->mapped", res)
 }
