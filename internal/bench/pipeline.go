@@ -42,6 +42,12 @@ type PipelineRow struct {
 	AsyncWrites    int64   `json:"async_writes"`
 	ConcurrentPeak int64   `json:"concurrent_peak"`
 
+	// Tier cache traffic of the run's outermost tier ("tier" rows
+	// only): tracks served from staged memory and tracks staged by the
+	// fill workers.
+	TierHits  int64 `json:"tier_hits,omitempty"`
+	TierFills int64 `json:"tier_fills,omitempty"`
+
 	// Per-phase wall-clock of the best trial (engine-category trace
 	// spans; nanoseconds per phase name), from the run's tracer.
 	SerialPhaseNanos    map[string]int64 `json:"serial_phase_ns,omitempty"`
@@ -161,6 +167,42 @@ func MeasurePipeline(s Scale) (*PipelineReport, error) {
 					PipelinedPhaseNanos: mapPhases,
 				})
 			}
+			// The tiered store: a memory-speed intermediate tier stacked
+			// over the same pipelined file store, against the same serial
+			// flat baseline. At zero latency the tier's fill workers stay
+			// off (there is no device sleep for a cache to hide) and the
+			// row exposes the tier's pure bookkeeping overhead; under the
+			// emulated per-track latency the fills stage upcoming tracks
+			// in tier memory so group reads hit at memory speed instead
+			// of paying the drive sleep.
+			tiered := core.Options{Seed: 0x91BE, Pipeline: 1, DriveLatency: lat, Tiers: []core.TierSpec{{}}}
+			tierRes, tierNs, tierPhases, err := timedFileRun(prog, cfg, tiered, tr)
+			if err != nil {
+				return nil, fmt.Errorf("D=%d lat=%v tiered: %w", d, lat, err)
+			}
+			if err := sameModelResult(serRes, tierRes); err != nil {
+				return nil, fmt.Errorf("D=%d lat=%v: tiered store changed the result: %w", d, lat, err)
+			}
+			tov := tierRes.EM.Overlap
+			trow := PipelineRow{
+				Store:               "tier",
+				D:                   d,
+				LatencyNanos:        lat.Nanoseconds(),
+				IOOps:               tierRes.EM.Run.Ops,
+				SerialNanos:         serNs,
+				PipelinedNanos:      tierNs,
+				Speedup:             float64(serNs) / float64(tierNs),
+				PrefetchHits:        tov.PrefetchHits,
+				PrefetchMisses:      tov.PrefetchMisses,
+				AsyncWrites:         tov.AsyncWrites,
+				ConcurrentPeak:      tov.ConcurrentPeak,
+				SerialPhaseNanos:    serPhases,
+				PipelinedPhaseNanos: tierPhases,
+			}
+			if ts := tierRes.EM.Tiers; len(ts) > 0 {
+				trow.TierHits, trow.TierFills = ts[0].Hits, ts[0].Fills
+			}
+			rep.Rows = append(rep.Rows, trow)
 		}
 	}
 	return rep, nil
@@ -212,8 +254,9 @@ func enginePhases(tr *obs.Tracer) map[string]int64 {
 }
 
 // sameModelResult enforces the pipeline's core contract: everything in
-// the Result except the wall-clock Overlap counters is bitwise
-// identical between the two schedules.
+// the Result except the wall-clock Overlap counters, the opened-backend
+// name, and the tier cache counters is bitwise identical between the
+// two schedules.
 func sameModelResult(a, b *core.Result) error {
 	ca, cb := a.ToBSPResult(), b.ToBSPResult()
 	if !reflect.DeepEqual(ca.VPs, cb.VPs) {
@@ -224,6 +267,8 @@ func sameModelResult(a, b *core.Result) error {
 	}
 	ea, eb := a.EM, b.EM
 	ea.Overlap, eb.Overlap = disk.OverlapStats{}, disk.OverlapStats{}
+	ea.StoreBackend, eb.StoreBackend = "", ""
+	ea.Tiers, eb.Tiers = nil, nil
 	if !reflect.DeepEqual(ea, eb) {
 		return fmt.Errorf("EM statistics differ: %+v vs %+v", ea, eb)
 	}

@@ -131,3 +131,63 @@ func TestZeroLatencyNoRegression(t *testing.T) {
 			ratio, time.Duration(serNs), time.Duration(mapNs))
 	}
 }
+
+// TestTierNoRegression holds the tiered store to the same zero-latency
+// line as the flat pipeline: with an intermediate tier stacked over the
+// file store and no emulated device latency — the regime where the tier
+// can never pay for itself, because there is no drive sleep for its
+// cache to hide — a tiered run must stay within 5% of the flat serial
+// schedule. The tier's fill workers are off here (they only engage when
+// something below the tier has latency to hide), so what this guards is
+// the pure per-op cost of the tier's accounting layer: a regression
+// that adds allocation, lock traffic or a forced staging round-trip to
+// the hot read/write path lands below the floor. Both the serial and
+// the pipelined schedule are held to it, and both must stay bitwise
+// identical to the flat baseline.
+func TestTierNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock tier guard in -short mode (it times full file-backed sorts)")
+	}
+	if raceEnabled {
+		t.Skip("skipping wall-clock tier guard under the race detector: instrumentation swamps the overhead being guarded (CI runs the guards in a no-race step)")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("skipping wall-clock tier guard with GOMAXPROCS=%d: the schedules being compared share one CPU, so the ratio measures scheduler luck, not overhead", p)
+	}
+	const n, b, d, trials = 1 << 16, 256, 8, 3
+	prog, err := cgmsort.NewSort(genKeys(0x91BE, n), 1, benchVPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machineFor(prog, 1, d, b, 8)
+	serRes, serNs, _, err := timedFileRun(prog, cfg, core.Options{Seed: 0x91BE, Pipeline: -1, IOWorkers: -1}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floor = 0.95
+	for _, leg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"tiered serial", core.Options{Seed: 0x91BE, Pipeline: -1, IOWorkers: -1, Tiers: []core.TierSpec{{}}}},
+		{"tiered pipelined", core.Options{Seed: 0x91BE, Pipeline: 1, Tiers: []core.TierSpec{{}}}},
+	} {
+		res, ns, _, err := timedFileRun(prog, cfg, leg.opts, trials)
+		if err != nil {
+			t.Fatalf("%s: %v", leg.name, err)
+		}
+		if err := sameModelResult(serRes, res); err != nil {
+			t.Fatalf("%s changed the result: %v", leg.name, err)
+		}
+		if len(res.EM.Tiers) != 1 {
+			t.Fatalf("%s reported %d tiers, want 1", leg.name, len(res.EM.Tiers))
+		}
+		if ratio := float64(serNs) / float64(ns); ratio < floor {
+			t.Errorf("zero-latency %s at %.2fx of flat serial, want >= %.2fx (flat %v, tiered %v)",
+				leg.name, ratio, floor, time.Duration(serNs), time.Duration(ns))
+		} else {
+			t.Logf("zero-latency %s at %.2fx of flat serial (flat %v, tiered %v)",
+				leg.name, ratio, time.Duration(serNs), time.Duration(ns))
+		}
+	}
+}

@@ -121,13 +121,14 @@ func (sh *simShape) newProcState(i int, dir string, resume bool) (*procState, er
 	}
 	diskCfg := disk.Config{D: sh.cfg.D, B: sh.cfg.B}
 	if dir != "" {
-		f, pf, err := openRunStore(dir, sh.cfg, sh.opts, resume, sh.k, sh.mu, sh.gamma, i)
+		f, pf, backend, err := openRunStore(dir, sh.cfg, sh.opts, resume, sh.k, sh.mu, sh.gamma, i)
 		if err != nil {
 			return nil, err
 		}
 		ps.store = f
 		ps.bfile = f
 		ps.pf = pf
+		ps.backend = backend
 	} else {
 		ps.store = disk.MustNewArray(diskCfg)
 	}

@@ -72,15 +72,16 @@ type procState struct {
 	lo int // first owned VP
 	hi int // one past last owned VP
 
-	store  disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
-	bfile  fileStore         // the durable store itself (file or mapped), nil for in-memory runs
-	pf     disk.Prefetcher   // group-pipeline prefetch target, nil when off
-	red    *redundancy.Store // nil unless Redundancy is parity
-	fd     *fault.Disk       // nil without a fault plan
-	dsk    disk.Disk         // store, or fd wrapping it
-	ckptOn bool              // barrier checkpoint discipline active
-	acct   *mem.Accountant
-	rng    *prng.Rand
+	store   disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
+	bfile   fileStore         // the durable store chain (tiers over file/mapped), nil for in-memory runs
+	backend string            // name of the durable backend actually opened ("" in-memory)
+	pf      disk.Prefetcher   // group-pipeline prefetch target, nil when off
+	red     *redundancy.Store // nil unless Redundancy is parity
+	fd      *fault.Disk       // nil without a fault plan
+	dsk     disk.Disk         // store, or fd wrapping it
+	ckptOn  bool              // barrier checkpoint discipline active
+	acct    *mem.Accountant
+	rng     *prng.Rand
 
 	ctxAreas  [2]disk.Area // checkpoint mode double-buffers; [1] unused otherwise
 	ctxCur    int
@@ -504,8 +505,11 @@ func (e *parEngine) run() (*Result, error) {
 			em.Overlap.Add(ov)
 			ov.Publish(e.opts.Metrics)
 			publishMappedWords(e.opts.Metrics, ps.bfile)
+			em.StoreBackend = ps.backend
+			em.Tiers = addTierStats(em.Tiers, collectTierStats(ps.bfile))
 		}
 	}
+	publishTierStats(e.opts.Metrics, em.Tiers)
 	res.EM = em
 	publishEMStats(e.opts.Metrics, &res.EM)
 	return res, nil

@@ -26,29 +26,38 @@ import (
 // fileStore is the surface the engines need from a durable store
 // beyond disk.Store: wall-clock overlap observability and the raw
 // track import/export hooks the cluster runtime replicates through.
-// Both the pread/pwrite *disk.File and the mmap-backed *disk.Mapped
-// implement it; in-memory runs leave the field nil.
-type fileStore interface {
-	disk.Store
-	Overlap() disk.OverlapStats
-	ResetOverlap()
-	TakeDirty() []disk.Addr
-	ExportTrack(d, t int) ([]uint64, error)
-	ImportTrack(d, t int, payload []uint64) error
-}
+// It is exactly disk.Backend — the pread/pwrite *disk.File, the
+// mmap-backed *disk.Mapped, and any *disk.Tier chain stacked above
+// either all implement it; in-memory runs leave the field nil.
+type fileStore = disk.Backend
 
-// openRunStore opens the durable store for one processor: the
-// mmap-backed variant when Options.MappedStore is set and the
+// Store backend names reported in EMStats.StoreBackend.
+const (
+	backendFile   = "file"
+	backendMapped = "mapped"
+	// backendMappedFallback marks a run that asked for the mapped
+	// store on a platform without mmap support and got the (on-disk
+	// compatible, bitwise-identical) file store instead.
+	backendMappedFallback = "mapped→file"
+)
+
+// openRunStore opens the durable store chain for one processor: the
+// mmap-backed backend when Options.MappedStore is set and the
 // platform supports it (falling back to the file store otherwise, so
 // mapped runs degrade gracefully on foreign platforms — the two
 // stores share one on-disk format, so the fallback is invisible to
-// results and resume), else the file store with the run's I/O-worker
-// options. The second result is the group pipeline's prefetch target:
-// nil for the mapped store, which is fully synchronous and has no
-// physical queue to stage into — the pipeline degrades to the serial
-// schedule exactly as on the in-memory Array.
-func openRunStore(dir string, cfg MachineConfig, opts Options, resume bool, k, mu, gamma, pid int) (fileStore, disk.Prefetcher, error) {
+// results and resume; the returned backend name and the
+// store_mapped_fallbacks metric make it visible to observability),
+// else the file store with the run's I/O-worker options — then any
+// Options.Tiers stacked above it, innermost last. The second result
+// is the group pipeline's prefetch target: the outermost tier when
+// tiers are configured (which is how a mapped backend, synchronous on
+// its own, gains a pipeline), else the file store, else nil.
+func openRunStore(dir string, cfg MachineConfig, opts Options, resume bool, k, mu, gamma, pid int) (fileStore, disk.Prefetcher, string, error) {
 	dcfg := disk.Config{D: cfg.D, B: cfg.B}
+	var base fileStore
+	var pf disk.Prefetcher
+	backend := backendFile
 	if opts.MappedStore && disk.MmapSupported() {
 		m, err := disk.OpenMapped(dir, dcfg, resume, disk.MappedOptions{
 			AccessLatency: opts.DriveLatency,
@@ -56,29 +65,109 @@ func openRunStore(dir string, cfg MachineConfig, opts Options, resume bool, k, m
 			TracePID:      pid,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		return m, nil, nil
+		base, backend = m, backendMapped
+	} else {
+		if opts.MappedStore {
+			backend = backendMappedFallback
+			opts.Metrics.Counter("store_mapped_fallbacks").Add(1)
+		}
+		f, err := disk.OpenFileOpts(dir, dcfg, resume, fileStoreOpts(cfg, opts, k, mu, gamma, pid))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		base, pf = f, pipelineFor(opts, f)
 	}
-	f, err := disk.OpenFileOpts(dir, dcfg, resume, fileStoreOpts(cfg, opts, k, mu, gamma, pid))
-	if err != nil {
-		return nil, nil, err
+	// Stack the tier chain, innermost (last spec) first. A tier's
+	// fill workers only run when the pipeline is on and there is
+	// emulated latency below it to hide — at page-cache speed a
+	// staging copy costs more than the read it saves, mirroring the
+	// file store's own zero-latency fill skip.
+	latBelow := opts.DriveLatency
+	for i := len(opts.Tiers) - 1; i >= 0; i-- {
+		spec := opts.Tiers[i]
+		words := spec.Words
+		if words == 0 {
+			words = engineMemLimit(cfg, k, mu, gamma) / 4
+		}
+		fill := 0
+		if opts.Pipeline >= 0 && latBelow > 0 {
+			fill = cfg.D
+		}
+		t := disk.NewTier(base, disk.TierOptions{
+			CacheWords:    words,
+			AccessLatency: spec.Latency,
+			FillWorkers:   fill,
+			Tracer:        opts.Trace,
+			TracePID:      pid,
+			Level:         i,
+		})
+		base = t
+		latBelow += spec.Latency
+		if opts.Pipeline >= 0 {
+			pf = t
+		}
 	}
-	return f, pipelineFor(opts, f), nil
+	return base, pf, backend, nil
 }
 
 // publishMappedWords surfaces the mmap-backed store's page-cache
 // footprint (high-water mapped words) as a metric. Mapped pages are
 // deliberately outside the engine's internal-memory budget M — they
 // are kernel page cache, the EM model's "disk" — so the accounting
-// lives in its own gauge rather than the engine accountant.
+// lives in its own gauge rather than the engine accountant. The
+// backend is found under any tier chain.
 func publishMappedWords(r *obs.Registry, s fileStore) {
 	if r == nil {
 		return
 	}
-	if m, ok := s.(*disk.Mapped); ok {
+	if m, ok := baseBackend(s).(*disk.Mapped); ok {
 		r.Counter("store_mapped_high_words").Max(m.MappedHigh())
 	}
+}
+
+// baseBackend unwraps a tier chain down to the durable backend.
+func baseBackend(s fileStore) fileStore {
+	for {
+		t, ok := s.(*disk.Tier)
+		if !ok {
+			return s
+		}
+		s = t.Backend()
+	}
+}
+
+// collectTierStats reports the tier chain's cache-traffic counters
+// (outermost first), or nil for an unstacked store.
+func collectTierStats(s fileStore) []disk.TierStats {
+	if t, ok := s.(*disk.Tier); ok {
+		return t.Tiers()
+	}
+	return nil
+}
+
+// addTierStats folds one processor's tier counters into a run
+// aggregate (index-aligned: every processor runs the same chain).
+func addTierStats(agg []disk.TierStats, ts []disk.TierStats) []disk.TierStats {
+	if agg == nil {
+		agg = make([]disk.TierStats, len(ts))
+		for i := range ts {
+			agg[i].Level = ts[i].Level
+			agg[i].CapWords = ts[i].CapWords
+		}
+	}
+	for i := range ts {
+		if i >= len(agg) {
+			break
+		}
+		agg[i].Hits += ts[i].Hits
+		agg[i].Misses += ts[i].Misses
+		agg[i].Fills += ts[i].Fills
+		agg[i].Drains += ts[i].Drains
+		agg[i].HighWords = max(agg[i].HighWords, ts[i].HighWords)
+	}
+	return agg
 }
 
 // fileStoreOpts resolves the run options' I/O-worker knob and the

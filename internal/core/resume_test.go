@@ -59,11 +59,15 @@ func resultsIdentical(t *testing.T, a, b *core.Result, label string) {
 	if !reflect.DeepEqual(a.Costs, b.Costs) {
 		t.Errorf("%s: model costs differ:\na: %+v\nb: %+v", label, a.Costs, b.Costs)
 	}
-	// Overlap is wall-clock observability, explicitly outside the
-	// bitwise-identity contract (see EMStats.Overlap); compare the
-	// rest of EMStats exactly.
+	// Overlap, the opened-backend name, and the tier cache counters
+	// are wall-clock/configuration observability, explicitly outside
+	// the bitwise-identity contract (see EMStats.Overlap,
+	// EMStats.StoreBackend, EMStats.Tiers); compare the rest of
+	// EMStats exactly.
 	ea, eb := a.EM, b.EM
 	ea.Overlap, eb.Overlap = disk.OverlapStats{}, disk.OverlapStats{}
+	ea.StoreBackend, eb.StoreBackend = "", ""
+	ea.Tiers, eb.Tiers = nil, nil
 	if !reflect.DeepEqual(ea, eb) {
 		t.Errorf("%s: EM statistics differ:\na: %+v\nb: %+v", label, ea, eb)
 	}
@@ -125,6 +129,72 @@ func TestCrashAndResumeBitwise(t *testing.T) {
 				t.Fatalf("%s resume: %v", label, err)
 			}
 			resultsIdentical(t, clean, res, label)
+		}
+	}
+}
+
+// TestTieredCrashAndResumeBitwise extends the crash-resume property to
+// tiered store chains, crossing the tier configuration over the crash
+// boundary in both directions: a tiered run resumed flat and a flat
+// run resumed tiered must both be bitwise identical to an
+// uninterrupted FLAT run. Tier contents are cache, never durable
+// state, so the journal carries no trace of the chain that wrote it.
+func TestTieredCrashAndResumeBitwise(t *testing.T) {
+	p := testProgram()
+	tiers := []core.TierSpec{{}}
+	for _, procs := range []int{1, 3} {
+		for _, plan := range []*fault.Plan{nil, transientPlan(41)} {
+			label := fmt.Sprintf("P=%d faults=%v", procs, plan != nil)
+			cfg := parMachine(procs, 4, 8, 256)
+
+			clean, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: t.TempDir(), FaultPlan: plan})
+			if err != nil {
+				t.Fatalf("%s clean: %v", label, err)
+			}
+
+			crash := func(dir string, tiered bool) {
+				t.Helper()
+				var tt []core.TierSpec
+				if tiered {
+					tt = tiers
+				}
+				crashed := &panicProgram{Program: p, panicStep: 2}
+				_, err := core.Run(crashed, cfg, core.Options{Seed: 3, StateDir: dir, FaultPlan: plan, Tiers: tt})
+				var pe *bsp.ProgramError
+				if !errors.As(err, &pe) {
+					t.Fatalf("%s: crashed run returned %v, want *bsp.ProgramError", label, err)
+				}
+			}
+
+			// Crash tiered, resume flat.
+			dir := t.TempDir()
+			crash(dir, true)
+			res, err := core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true, FaultPlan: plan})
+			if err != nil {
+				t.Fatalf("%s tiered→flat resume: %v", label, err)
+			}
+			resultsIdentical(t, clean, res, label+" tiered→flat")
+
+			// Crash flat, resume tiered (pipelined, so the resumed leg
+			// prefetches through the tier).
+			dir = t.TempDir()
+			crash(dir, false)
+			res, err = core.Run(p, cfg, core.Options{
+				Seed: 3, StateDir: dir, Resume: true, FaultPlan: plan, Tiers: tiers, Pipeline: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s flat→tiered resume: %v", label, err)
+			}
+			resultsIdentical(t, clean, res, label+" flat→tiered")
+
+			// Crash tiered, resume tiered.
+			dir = t.TempDir()
+			crash(dir, true)
+			res, err = core.Run(p, cfg, core.Options{Seed: 3, StateDir: dir, Resume: true, FaultPlan: plan, Tiers: tiers})
+			if err != nil {
+				t.Fatalf("%s tiered→tiered resume: %v", label, err)
+			}
+			resultsIdentical(t, clean, res, label+" tiered→tiered")
 		}
 	}
 }

@@ -87,19 +87,20 @@ type seqEngine struct {
 	groups   int
 	muBlocks int
 
-	store disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
-	bfile fileStore         // the durable store itself (file or mapped), nil for in-memory runs
-	pf    disk.Prefetcher   // group-pipeline prefetch target, nil when off
-	red   *redundancy.Store // nil unless Redundancy is parity
-	fd    *fault.Disk       // nil without a fault plan
-	dsk   disk.Disk         // store, or fd wrapping it
-	jrn   *journal.Journal  // nil without a StateDir
-	tr    *obs.Tracer       // nil = tracing off (no-op fast path)
-	goctx context.Context
-	acct  *mem.Accountant
-	rec   *bsp.CostRecorder
-	rng   *prng.Rand
-	fpr   uint64 // config fingerprint stamped into every manifest
+	store   disk.Store        // outermost store: raw array/file/mapped, or the parity layer over it
+	bfile   fileStore         // the durable store chain (tiers over file/mapped), nil for in-memory runs
+	backend string            // name of the durable backend actually opened ("" in-memory)
+	pf      disk.Prefetcher   // group-pipeline prefetch target, nil when off
+	red     *redundancy.Store // nil unless Redundancy is parity
+	fd      *fault.Disk       // nil without a fault plan
+	dsk     disk.Disk         // store, or fd wrapping it
+	jrn     *journal.Journal  // nil without a StateDir
+	tr      *obs.Tracer       // nil = tracing off (no-op fast path)
+	goctx   context.Context
+	acct    *mem.Accountant
+	rec     *bsp.CostRecorder
+	rng     *prng.Rand
+	fpr     uint64 // config fingerprint stamped into every manifest
 
 	setup     disk.Stats // setup-phase statistics (journaled for resume)
 	stepsDone int        // supersteps committed so far
@@ -162,13 +163,14 @@ func runSeq(ctx context.Context, p bsp.Program, cfg MachineConfig, opts Options)
 	}
 	diskCfg := disk.Config{D: cfg.D, B: cfg.B}
 	if opts.StateDir != "" {
-		f, pf, err := openRunStore(opts.StateDir, cfg, opts, opts.Resume, k, mu, gamma, 0)
+		f, pf, backend, err := openRunStore(opts.StateDir, cfg, opts, opts.Resume, k, mu, gamma, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.store = f
 		e.bfile = f
 		e.pf = pf
+		e.backend = backend
 	} else {
 		e.store = disk.MustNewArray(diskCfg)
 	}
@@ -472,6 +474,9 @@ func (e *seqEngine) run() (*Result, error) {
 		res.EM.Overlap.Add(ov)
 		ov.Publish(e.opts.Metrics)
 		publishMappedWords(e.opts.Metrics, e.bfile)
+		res.EM.StoreBackend = e.backend
+		res.EM.Tiers = collectTierStats(e.bfile)
+		publishTierStats(e.opts.Metrics, res.EM.Tiers)
 	}
 	publishEMStats(e.opts.Metrics, &res.EM)
 	return res, nil

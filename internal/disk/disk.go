@@ -292,9 +292,10 @@ type drive struct {
 // the same drive are ordered by whatever the race decides.
 type Array struct {
 	cfg    Config
-	mu     sync.Mutex // guards drives and stats
+	mu     sync.Mutex // guards drives, stats and repl
 	drives []drive
 	stats  Stats
+	repl   map[Addr]struct{} // tracks logically mutated since TakeDirty
 }
 
 // NewArray returns a blank disk subsystem.
@@ -302,7 +303,7 @@ func NewArray(cfg Config) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{cfg: cfg, drives: make([]drive, cfg.D)}
+	a := &Array{cfg: cfg, drives: make([]drive, cfg.D), repl: make(map[Addr]struct{})}
 	for i := range a.drives {
 		a.drives[i].lastTrack = -1
 	}
@@ -416,6 +417,7 @@ func (a *Array) WriteOp(reqs []WriteReq) error {
 			dr.tracks[r.Track] = make([]uint64, a.cfg.B)
 		}
 		copy(dr.tracks[r.Track], r.Src)
+		a.repl[Addr{Disk: r.Disk, Track: r.Track}] = struct{}{}
 		a.touch(r.Disk, r.Track)
 		a.stats.PerDrive[r.Disk].BlocksWritten++
 	}
@@ -491,6 +493,7 @@ func (a *Array) Release(d, t int) error {
 	if t < len(dr.tracks) {
 		dr.tracks[t] = nil
 	}
+	a.repl[Addr{Disk: d, Track: t}] = struct{}{}
 	if dr.freeSet == nil {
 		dr.freeSet = make(map[int]struct{})
 	}
@@ -538,6 +541,7 @@ func (a *Array) AllocRestore(m AllocMark) {
 			if t < len(dr.tracks) {
 				dr.tracks[t] = nil
 			}
+			a.repl[Addr{Disk: d, Track: t}] = struct{}{}
 		}
 		dr.next = m.next[d]
 		dr.freeList = append(dr.freeList[:0], m.free[d]...)
@@ -548,6 +552,7 @@ func (a *Array) AllocRestore(m AllocMark) {
 			if t < len(dr.tracks) {
 				dr.tracks[t] = nil
 			}
+			a.repl[Addr{Disk: d, Track: t}] = struct{}{}
 			dr.freeSet[t] = struct{}{}
 		}
 	}

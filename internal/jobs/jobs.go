@@ -481,6 +481,57 @@ func (s *Supervisor) Start() {
 	}
 }
 
+// Admission backoff hints. A 429's Retry-After used to be a fixed
+// second regardless of load; it is now derived from what the daemon
+// has actually observed — the jobs_run histogram (how long a running
+// job takes to free its capacity) and the jobs_queue_wait histogram
+// (how long a queued job waits for a worker) — scaled by the backlog
+// standing between the caller and free capacity. Before any job has
+// completed there is no history, and the hint falls back to the old
+// fixed second; it is always clamped to [100ms, 2m] so a degenerate
+// histogram can neither tell clients to hammer nor to go away for
+// hours.
+
+const (
+	minRetryAfter = 100 * time.Millisecond
+	maxRetryAfter = 2 * time.Minute
+)
+
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Second // no observed history yet
+	}
+	return min(max(d, minRetryAfter), maxRetryAfter)
+}
+
+// retryAfterSlotLocked estimates the wait for a queue slot: with
+// Workers jobs retiring concurrently, one of the live jobs terminates
+// roughly every meanRun/Workers. Caller holds s.mu.
+func (s *Supervisor) retryAfterSlotLocked() time.Duration {
+	mean := s.cfg.Metrics.Histogram("jobs_run").Snapshot().Mean()
+	return clampRetryAfter(mean / time.Duration(s.cfg.Workers))
+}
+
+// retryAfterTenantLocked estimates the wait for the tenant's quota to
+// free: one of the tenant's own jobs must terminate. A running job
+// frees capacity after about one mean run time; if the tenant's
+// backlog is entirely queued, the next release is a queue wait plus a
+// run away. Caller holds s.mu.
+func (s *Supervisor) retryAfterTenantLocked(tenant string) time.Duration {
+	running := false
+	for _, j := range s.jobs {
+		if j.Request.Tenant == tenant && j.State == StateRunning {
+			running = true
+			break
+		}
+	}
+	d := s.cfg.Metrics.Histogram("jobs_run").Snapshot().Mean()
+	if !running {
+		d += s.cfg.Metrics.Histogram("jobs_queue_wait").Snapshot().Mean()
+	}
+	return clampRetryAfter(d)
+}
+
 // Submit admits a job: validates the request, charges the tenant's
 // quota, persists it queued, and hands it to the worker pool. The
 // returned Job is a snapshot.
@@ -513,14 +564,14 @@ func (s *Supervisor) Submit(req Request) (Job, error) {
 		s.cfg.Metrics.Counter("jobs_rejected").Add(1)
 		return Job{}, &AdmissionError{
 			Reason:     fmt.Sprintf("queue full (%d live jobs)", live),
-			RetryAfter: time.Second,
+			RetryAfter: s.retryAfterSlotLocked(),
 		}
 	}
 	if err := s.tenant(req.Tenant).Grab(c); err != nil {
 		s.cfg.Metrics.Counter("jobs_rejected").Add(1)
 		return Job{}, &AdmissionError{
 			Reason:     fmt.Sprintf("tenant %q quota exhausted: %v", req.Tenant, err),
-			RetryAfter: time.Second,
+			RetryAfter: s.retryAfterTenantLocked(req.Tenant),
 		}
 	}
 	if err := s.tenantDisk(req.Tenant).Grab(dc); err != nil {
@@ -528,7 +579,7 @@ func (s *Supervisor) Submit(req Request) (Job, error) {
 		s.cfg.Metrics.Counter("jobs_rejected").Add(1)
 		return Job{}, &AdmissionError{
 			Reason:     fmt.Sprintf("tenant %q disk quota exhausted: %v", req.Tenant, err),
-			RetryAfter: time.Second,
+			RetryAfter: s.retryAfterTenantLocked(req.Tenant),
 		}
 	}
 	s.nextID++

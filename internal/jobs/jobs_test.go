@@ -117,8 +117,10 @@ func TestAdmission(t *testing.T) {
 	var adm *AdmissionError
 	if _, err := s.Submit(req); !errors.As(err, &adm) {
 		t.Fatalf("over-quota submit returned %v, want AdmissionError", err)
-	} else if adm.RetryAfter <= 0 {
-		t.Errorf("RetryAfter = %v, want > 0", adm.RetryAfter)
+	} else if adm.RetryAfter != time.Second {
+		// No job has ever completed, so the hint has no history to draw
+		// on and must be the documented fixed-second fallback.
+		t.Errorf("no-history RetryAfter = %v, want %v", adm.RetryAfter, time.Second)
 	}
 	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "b"}); err != nil {
 		t.Fatalf("under-quota tenant refused: %v", err)
@@ -128,6 +130,8 @@ func TestAdmission(t *testing.T) {
 	}
 	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "d"}); !errors.As(err, &adm) {
 		t.Fatalf("submit into a full queue returned %v, want AdmissionError", err)
+	} else if adm.RetryAfter != time.Second {
+		t.Errorf("no-history queue-full RetryAfter = %v, want %v", adm.RetryAfter, time.Second)
 	}
 	if got := s.Metrics().Counter("jobs_rejected").Value(); got != 2 {
 		t.Errorf("jobs_rejected = %d, want 2", got)
@@ -139,6 +143,101 @@ func TestAdmission(t *testing.T) {
 	}
 	if _, err := s.Submit(req); err != nil {
 		t.Fatalf("submit after cancel refused: %v", err)
+	}
+}
+
+// TestClampRetryAfter pins the hint's guard rails: no history falls
+// back to the old fixed second, and derived values are clamped to
+// [100ms, 2m] so a degenerate histogram can neither tell clients to
+// hammer nor to go away for hours.
+func TestClampRetryAfter(t *testing.T) {
+	cases := []struct{ in, want time.Duration }{
+		{0, time.Second},
+		{-5 * time.Second, time.Second},
+		{time.Millisecond, minRetryAfter},
+		{minRetryAfter, minRetryAfter},
+		{5 * time.Second, 5 * time.Second},
+		{maxRetryAfter, maxRetryAfter},
+		{10 * time.Minute, maxRetryAfter},
+	}
+	for _, c := range cases {
+		if got := clampRetryAfter(c.in); got != c.want {
+			t.Errorf("clampRetryAfter(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterDerivedFromHistory seeds the jobs_run and
+// jobs_queue_wait histograms with known durations and checks that a
+// refusal's Retry-After actually tracks them: a queue-full refusal
+// hints one mean run time divided across the worker pool, and a
+// quota refusal for a tenant with nothing running hints a queue wait
+// plus a run. No workers run, so the histograms stay exactly as
+// seeded and every admitted job stays queued.
+func TestRetryAfterDerivedFromHistory(t *testing.T) {
+	req := Request{Workload: testSpec(1), Tenant: "a"}
+	req.normalize()
+	charge, err := req.charge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	// Two completed runs of 4s and 8s (mean 6s), queued for 2s each.
+	reg.Histogram("jobs_run").Observe((4 * time.Second).Nanoseconds())
+	reg.Histogram("jobs_run").Observe((8 * time.Second).Nanoseconds())
+	reg.Histogram("jobs_queue_wait").Observe((2 * time.Second).Nanoseconds())
+	s, err := New(Config{
+		Root:           t.TempDir(),
+		TenantMemWords: charge, // exactly one job per tenant
+		QueueDepth:     2,
+		Workers:        4,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Submit(req); err != nil {
+		t.Fatalf("first job refused: %v", err)
+	}
+	// Tenant quota: nothing of tenant a's is running, so its next
+	// release is a queue wait plus a run away: 2s + 6s.
+	var adm *AdmissionError
+	if _, err := s.Submit(req); !errors.As(err, &adm) {
+		t.Fatalf("over-quota submit returned %v, want AdmissionError", err)
+	} else if want := 8 * time.Second; adm.RetryAfter != want {
+		t.Errorf("tenant-quota RetryAfter = %v, want mean wait + mean run = %v", adm.RetryAfter, want)
+	}
+	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "b"}); err != nil {
+		t.Fatalf("second tenant refused: %v", err)
+	}
+	// Queue slot: 4 workers retire a mean-6s job every 6s/4.
+	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "c"}); !errors.As(err, &adm) {
+		t.Fatalf("submit into a full queue returned %v, want AdmissionError", err)
+	} else if want := 6 * time.Second / 4; adm.RetryAfter != want {
+		t.Errorf("queue-full RetryAfter = %v, want mean run / workers = %v", adm.RetryAfter, want)
+	}
+
+	// A pathological history is clamped, not forwarded: sub-millisecond
+	// runs must not tell clients to hammer the endpoint.
+	fast := obs.NewRegistry()
+	fast.Histogram("jobs_run").Observe((100 * time.Microsecond).Nanoseconds())
+	s2, err := New(Config{
+		Root:       t.TempDir(),
+		QueueDepth: 1,
+		Workers:    4,
+		Metrics:    fast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Submit(req); err != nil {
+		t.Fatalf("first job refused: %v", err)
+	}
+	if _, err := s2.Submit(req); !errors.As(err, &adm) {
+		t.Fatalf("submit into a full queue returned %v, want AdmissionError", err)
+	} else if adm.RetryAfter != minRetryAfter {
+		t.Errorf("clamped RetryAfter = %v, want floor %v", adm.RetryAfter, minRetryAfter)
 	}
 }
 
@@ -563,6 +662,9 @@ func TestDiskQuotaAdmission(t *testing.T) {
 	}
 	if !strings.Contains(adm.Reason, "disk quota") {
 		t.Errorf("refusal reason %q does not name the disk quota", adm.Reason)
+	}
+	if adm.RetryAfter != time.Second {
+		t.Errorf("no-history disk-quota RetryAfter = %v, want %v", adm.RetryAfter, time.Second)
 	}
 	if _, err := s.Submit(Request{Workload: testSpec(1), Tenant: "b"}); err != nil {
 		t.Fatalf("other tenant refused: %v", err)

@@ -22,11 +22,24 @@ import (
 // Accountant tracks internal memory usage in words against a limit.
 // It is safe for concurrent use.
 type Accountant struct {
-	mu      sync.Mutex
-	limit   int64
-	used    int64
-	high    int64
-	waiters chan struct{} // closed and replaced whenever capacity frees
+	mu    sync.Mutex
+	limit int64
+	used  int64
+	high  int64
+	// waiters is the FIFO queue of blocked ReserveCtx calls. Capacity
+	// freed by Release/Rewind is handed to the oldest waiter first
+	// (its reservation is made on its behalf before its channel is
+	// closed), so a large reservation cannot be starved by a stream of
+	// small ones racing it to the lock.
+	waiters []*waiter
+}
+
+// waiter is one blocked ReserveCtx: its reservation size and the
+// channel closed when the reservation has been granted on its behalf.
+type waiter struct {
+	n       int64
+	granted bool
+	ready   chan struct{}
 }
 
 // NewAccountant returns an accountant with the given limit in words.
@@ -79,31 +92,55 @@ func (a *Accountant) grabLocked(n int64) error {
 // or until ctx is cancelled, in which case it returns ctx's error with
 // nothing reserved. A reservation that could never fit (n exceeds the
 // limit itself) fails immediately rather than stalling forever.
+//
+// Blocked reservations are served strictly oldest-first: freed
+// capacity is handed to the head of the queue (even while younger,
+// smaller reservations are waiting behind it), so a large reservation
+// is guaranteed to proceed once enough capacity has drained, instead
+// of losing every re-check race to smaller ones.
 func (a *Accountant) ReserveCtx(ctx context.Context, n int64) error {
 	if n < 0 {
 		return fmt.Errorf("mem: negative reserve %d", n)
 	}
-	for {
-		a.mu.Lock()
-		if a.limit > 0 && n > a.limit {
-			a.mu.Unlock()
-			return fmt.Errorf("mem: reserve %d words can never fit the limit of %d", n, a.limit)
-		}
-		if a.limit <= 0 || a.used+n <= a.limit {
-			a.grabLocked(n) //nolint:errcheck // fits by the checks above
-			a.mu.Unlock()
-			return nil
-		}
-		if a.waiters == nil {
-			a.waiters = make(chan struct{})
-		}
-		w := a.waiters
+	a.mu.Lock()
+	if a.limit > 0 && n > a.limit {
 		a.mu.Unlock()
-		select {
-		case <-ctx.Done():
+		return fmt.Errorf("mem: reserve %d words can never fit the limit of %d", n, a.limit)
+	}
+	// Joining behind existing waiters even when n would fit right now
+	// keeps the handoff fair: capacity freed for the queue head must
+	// not be snatched by a latecomer.
+	if len(a.waiters) == 0 && (a.limit <= 0 || a.used+n <= a.limit) {
+		a.grabLocked(n) //nolint:errcheck // fits by the checks above
+		a.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the reservation was
+			// already made on our behalf, so hand it straight back.
+			a.used -= w.n
+			a.wakeLocked()
+			a.mu.Unlock()
 			return ctx.Err()
-		case <-w:
 		}
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		// Removing a waiter can unblock the ones behind it.
+		a.wakeLocked()
+		a.mu.Unlock()
+		return ctx.Err()
+	case <-w.ready:
+		return nil
 	}
 }
 
@@ -149,10 +186,26 @@ func (a *Accountant) Rewind(used int64) {
 	a.wakeLocked()
 }
 
-// wakeLocked wakes every blocked ReserveCtx to re-check capacity.
+// waiterCount reports the queued ReserveCtx waiters (test hook).
+func (a *Accountant) waiterCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
+
+// wakeLocked grants reservations to queued ReserveCtx waiters,
+// oldest first, for as long as the head fits the free capacity. The
+// reservation is made here, on the waiter's behalf, before its
+// channel is closed — a FIFO handoff, not a broadcast re-race.
 func (a *Accountant) wakeLocked() {
-	if a.waiters != nil {
-		close(a.waiters)
-		a.waiters = nil
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.limit > 0 && a.used+w.n > a.limit {
+			return
+		}
+		a.grabLocked(w.n) //nolint:errcheck // fits by the check above
+		w.granted = true
+		close(w.ready)
+		a.waiters = a.waiters[1:]
 	}
 }

@@ -138,7 +138,8 @@ func batteryTable() []batterySpec {
 }
 
 // mustAgree asserts the two results are bitwise identical in every
-// model-visible field; only the wall-clock Overlap counters may differ.
+// model-visible field; only the wall-clock Overlap counters, the
+// opened-backend name, and the tier cache counters may differ.
 func mustAgree(t *testing.T, label string, serial, piped *embsp.Result) {
 	t.Helper()
 	for i := range serial.VPs {
@@ -151,6 +152,8 @@ func mustAgree(t *testing.T, label string, serial, piped *embsp.Result) {
 	}
 	es, ep := serial.EM, piped.EM
 	es.Overlap, ep.Overlap = embsp.OverlapStats{}, embsp.OverlapStats{}
+	es.StoreBackend, ep.StoreBackend = "", ""
+	es.Tiers, ep.Tiers = nil, nil
 	if !reflect.DeepEqual(es, ep) {
 		t.Fatalf("%s: EM statistics differ:\nserial:    %+v\npipelined: %+v", label, es, ep)
 	}
@@ -216,6 +219,35 @@ func TestPipelineDeterminismBattery(t *testing.T) {
 					t.Fatalf("P=%d mapped pipelined: %v", procs, err)
 				}
 				mustAgree(t, fmt.Sprintf("P=%d mapped+pipeline", procs), serial, mPiped)
+				// Tiered store chains: a bounded staging tier above the
+				// file store and above the mapped store. Tier contents
+				// are cache, never durable state, so every tiered run
+				// must be bitwise identical to the flat serial run in
+				// the FULL EM statistics — with the pipeline off (the
+				// tier is a pure accounting shim) and on (prefetch
+				// staging routes through the tier).
+				tiers := []embsp.TierSpec{{}}
+				tSerial, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: -1, IOWorkers: -1, Tiers: tiers,
+				})
+				if err != nil {
+					t.Fatalf("P=%d tiered serial: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d tiered", procs), serial, tSerial)
+				tPiped, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: 1, Tiers: tiers,
+				})
+				if err != nil {
+					t.Fatalf("P=%d tiered pipelined: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d tiered+pipeline", procs), serial, tPiped)
+				tMapped, err := embsp.Run(prog, cfg, embsp.Options{
+					Seed: 0xBA77E7, StateDir: t.TempDir(), Pipeline: 1, MappedStore: true, Tiers: tiers,
+				})
+				if err != nil {
+					t.Fatalf("P=%d tiered mapped: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d tiered mapped", procs), serial, tMapped)
 				// Across backends the contract covers outputs and model
 				// costs; the seq/rand access chains legitimately differ
 				// between Array and File (Release-time vs Alloc-time track
@@ -261,6 +293,15 @@ func TestPipelineDeterminismBattery(t *testing.T) {
 					t.Fatalf("P=%d faulty mapped: %v", procs, err)
 				}
 				mustAgree(t, fmt.Sprintf("P=%d faults+parity mapped", procs), fSerial, fMapped)
+				// And tiered under the same faulty schedule: the fault
+				// layer sits above the tier, so injected faults must
+				// replay identically over a tiered chain.
+				fOpts.StateDir, fOpts.MappedStore, fOpts.Tiers = t.TempDir(), false, tiers
+				fTiered, err := embsp.Run(prog, cfg, fOpts)
+				if err != nil {
+					t.Fatalf("P=%d faulty tiered: %v", procs, err)
+				}
+				mustAgree(t, fmt.Sprintf("P=%d faults+parity tiered", procs), fSerial, fTiered)
 			}
 		})
 	}

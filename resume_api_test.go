@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"syscall"
 	"testing"
+	"time"
 
 	"embsp"
 	"embsp/internal/prng"
@@ -27,6 +28,7 @@ const (
 	killEnv     = "EMBSP_CRASH_KILL_STEP"
 	pipelineEnv = "EMBSP_CRASH_PIPELINE" // "1" forces the group pipeline on in the helper
 	storeEnv    = "EMBSP_CRASH_STORE"    // "mapped" runs the helper on the mmap-backed store
+	tiersEnv    = "EMBSP_CRASH_TIERS"    // "1" stacks a staging tier (with emulated drive latency, so its fill workers are live at the kill)
 )
 
 // crashSort builds the workload deterministically so the parent, the
@@ -99,6 +101,10 @@ func TestCrashHelperProcess(t *testing.T) {
 	if os.Getenv(storeEnv) == "mapped" {
 		opts.MappedStore = true
 	}
+	if os.Getenv(tiersEnv) == "1" {
+		opts.Tiers = []embsp.TierSpec{{}}
+		opts.DriveLatency = 200 * time.Microsecond
+	}
 	_, err = embsp.Run(prog, crashMachine(), opts)
 	t.Fatalf("run survived its own SIGKILL: err=%v", err)
 }
@@ -140,6 +146,7 @@ func TestKillAndResumeSort(t *testing.T) {
 	// Overlap is wall-clock observability and outside the
 	// bitwise-identity contract; equalize it before comparing.
 	res.EM.Overlap = clean.EM.Overlap
+	res.EM.StoreBackend, res.EM.Tiers = clean.EM.StoreBackend, clean.EM.Tiers
 	if !reflect.DeepEqual(clean.EM, res.EM) {
 		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
 	}
@@ -184,6 +191,7 @@ func TestKillMidPipelineAndResumeSerial(t *testing.T) {
 		t.Errorf("model costs differ:\nclean:   %+v\nresumed: %+v", clean.Costs, res.Costs)
 	}
 	res.EM.Overlap = clean.EM.Overlap
+	res.EM.StoreBackend, res.EM.Tiers = clean.EM.StoreBackend, clean.EM.Tiers
 	if !reflect.DeepEqual(clean.EM, res.EM) {
 		t.Errorf("EM statistics differ:\nclean:   %+v\nresumed: %+v", clean.EM, res.EM)
 	}
@@ -226,6 +234,7 @@ func TestKillAndResumeAcrossStores(t *testing.T) {
 			t.Errorf("%s: model costs differ:\nclean:   %+v\nresumed: %+v", label, clean.Costs, res.Costs)
 		}
 		res.EM.Overlap = clean.EM.Overlap
+		res.EM.StoreBackend, res.EM.Tiers = clean.EM.StoreBackend, clean.EM.Tiers
 		if !reflect.DeepEqual(clean.EM, res.EM) {
 			t.Errorf("%s: EM statistics differ:\nclean:   %+v\nresumed: %+v", label, clean.EM, res.EM)
 		}
@@ -252,4 +261,58 @@ func TestKillAndResumeAcrossStores(t *testing.T) {
 		t.Fatalf("mapped resume of a pipelined file crash: %v", err)
 	}
 	check("file->mapped", res)
+}
+
+// TestKillAndResumeTiered crosses a STORE TIER over the crash
+// boundary: SIGKILL a pipelined run with a staging tier above a
+// latency-emulating file store — dying with tier fill workers live and
+// staged blocks in the tier cache — then resume it flat, serial, at
+// zero latency. Tier contents are cache, never durable state, so the
+// resumed run must be bitwise identical to an uninterrupted flat run;
+// then the reverse direction, resuming a flat crash with the tier
+// stacked.
+func TestKillAndResumeTiered(t *testing.T) {
+	p := crashSort(t)
+	cfg := crashMachine()
+	clean, err := embsp.Run(p, cfg, embsp.Options{Seed: 7, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, res *embsp.Result) {
+		t.Helper()
+		if !reflect.DeepEqual(p.Output(clean.VPs), p.Output(res.VPs)) {
+			t.Errorf("%s: resumed run sorted differently from the uninterrupted run", label)
+		}
+		if !reflect.DeepEqual(clean.Costs, res.Costs) {
+			t.Errorf("%s: model costs differ:\nclean:   %+v\nresumed: %+v", label, clean.Costs, res.Costs)
+		}
+		res.EM.Overlap = clean.EM.Overlap
+		res.EM.StoreBackend, res.EM.Tiers = clean.EM.StoreBackend, clean.EM.Tiers
+		if !reflect.DeepEqual(clean.EM, res.EM) {
+			t.Errorf("%s: EM statistics differ:\nclean:   %+v\nresumed: %+v", label, clean.EM, res.EM)
+		}
+	}
+
+	// Die tiered mid-pipeline, resume flat and fully synchronous.
+	dir := filepath.Join(t.TempDir(), "state")
+	killHelper(t, helperEnv+"="+dir, killEnv+"=2", pipelineEnv+"=1", tiersEnv+"=1")
+	res, err := embsp.Run(p, cfg, embsp.Options{
+		Seed: 7, StateDir: dir, Resume: true, Pipeline: -1, IOWorkers: -1,
+	})
+	if err != nil {
+		t.Fatalf("flat resume of a tiered crash: %v", err)
+	}
+	check("tiered->flat", res)
+
+	// Die flat, resume with the tier stacked and the pipeline on.
+	dir = filepath.Join(t.TempDir(), "state")
+	killHelper(t, helperEnv+"="+dir, killEnv+"=3")
+	res, err = embsp.Run(p, cfg, embsp.Options{
+		Seed: 7, StateDir: dir, Resume: true, Pipeline: 1,
+		Tiers: []embsp.TierSpec{{}},
+	})
+	if err != nil {
+		t.Fatalf("tiered resume of a flat crash: %v", err)
+	}
+	check("flat->tiered", res)
 }
